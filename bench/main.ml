@@ -1,0 +1,387 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (6).
+
+     dune exec bench/main.exe -- table1          Table 1 (spec syntax)
+     dune exec bench/main.exe -- fig5            RQ1: encoding overhead
+     dune exec bench/main.exe -- fig6            RQ2/RQ3: splicing
+     dune exec bench/main.exe -- fig7            RQ4: candidate scaling
+     dune exec bench/main.exe -- ablate          design-choice ablations
+     dune exec bench/main.exe -- micro           bechamel substrate micro-benches
+     dune exec bench/main.exe -- all             everything (the default)
+
+   Knobs (anywhere on the command line):
+     --reps N           repetitions per measurement (default 3; paper: 30)
+     --public-nodes N   reusable-node pool size for the "public" cache
+                        (default 800; the paper's public cache holds ~20k
+                        specs — raise this if you have the minutes)
+     --full             run all 32 objectives instead of the
+                        representative subset
+
+   Absolute times are not comparable to the paper's (their substrate is
+   clingo on a 96-core Icelake node; ours is a from-scratch OCaml ASP
+   engine in a container) — the claims under test are the *relative*
+   shapes: percent overheads, who wins, where things cross over. *)
+
+let reps = ref 3
+let public_nodes = ref 800
+let quick = ref true
+
+let repo = Radiuss.Universe.repo ()
+
+let quick_specs =
+  [ "mfem"; "samrai"; "hypre"; "scr"; "visit"; "glvis"; "raja"; "zfp"; "py-shroud" ]
+
+let objectives () = if !quick then quick_specs else Radiuss.Universe.top_level
+
+let mpi_objectives () =
+  List.filter (fun n -> List.mem n Radiuss.Universe.mpi_dependent) (objectives ())
+
+let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l)
+
+let stddev l =
+  let m = mean l in
+  sqrt (mean (List.map (fun x -> (x -. m) ** 2.0) l))
+
+let timed_reps f =
+  List.init !reps (fun _ ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Unix.gettimeofday () -. t0)
+
+let pct_increase base new_ = (new_ -. base) /. base *. 100.0
+
+let caches =
+  lazy
+    (let t0 = Unix.gettimeofday () in
+     let local = Radiuss.Caches.local ~repo () in
+     let public, synthetic =
+       Radiuss.Caches.public_scaled ~repo ~configs:3 ~target_nodes:!public_nodes ()
+     in
+     let public_pool = Radiuss.Caches.reusable_specs public @ synthetic in
+     Printf.printf
+       "[setup] local cache: %d node entries; public pool: %d specs / ~%d nodes; built in %.1fs\n%!"
+       (Radiuss.Caches.node_count local)
+       (List.length public_pool) !public_nodes
+       (Unix.gettimeofday () -. t0);
+     (local, public_pool))
+
+let local_pool () = Radiuss.Caches.reusable_specs (fst (Lazy.force caches))
+let public_pool () = snd (Lazy.force caches)
+
+let concretize ?(encoding = Core.Encode.Hash_attr) ?(splicing = false) ~pool requests =
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.encoding;
+      splicing;
+      reuse = pool }
+  in
+  Core.Concretizer.concretize ~repo ~options requests
+
+(* ------------------------------------------------------------------ *)
+
+let table1 () =
+  Printf.printf "\n=== Table 1: spec syntax ===\n";
+  Printf.printf "%-24s %-28s %s\n" "Example" "Meaning" "Round-trip";
+  List.iter
+    (fun (example, meaning) ->
+      let parsed = Spec.Parser.parse example in
+      Printf.printf "%-24s %-28s %s\n" example meaning (Spec.Abstract.to_string parsed))
+    [ ("hdf5@1.14.5", "require version");
+      ("hdf5+cxx", "require variant");
+      ("hdf5~mpi", "disable variant");
+      ("hdf5 ^zlib", "depends on (link-run)");
+      ("hdf5 %clang", "depends on (build)");
+      ("hdf5 target=icelake", "require target");
+      ("hdf5 api=default", "variant holds value") ]
+
+(* Figure 5 / RQ1: old vs hash_attr encoding, splicing disabled.
+   Paper: +4.7% (local) / +7.1% (public) mean concretization time. *)
+let fig5 () =
+  Printf.printf "\n=== Figure 5 (RQ1): reusable-spec encoding overhead ===\n";
+  Printf.printf "%d runs per cell; times in seconds\n" !reps;
+  Printf.printf "%-14s %-7s | %-18s | %-18s | %s\n" "spec" "cache" "old spack"
+    "splice spack" "delta";
+  let overall = Hashtbl.create 4 in
+  List.iter
+    (fun (cache_name, pool) ->
+      List.iter
+        (fun name ->
+          let run encoding =
+            timed_reps (fun () ->
+                match concretize ~encoding ~pool [ Core.Encode.request_of_string name ] with
+                | Ok _ -> ()
+                | Error e -> failwith (name ^ ": " ^ e))
+          in
+          let old_t = run Core.Encode.Old in
+          let new_t = run Core.Encode.Hash_attr in
+          Printf.printf "%-14s %-7s | %8.3f ± %6.3f | %8.3f ± %6.3f | %+6.1f%%\n" name
+            cache_name (mean old_t) (stddev old_t) (mean new_t) (stddev new_t)
+            (pct_increase (mean old_t) (mean new_t));
+          let l = try Hashtbl.find overall cache_name with Not_found -> [] in
+          Hashtbl.replace overall cache_name ((mean old_t, mean new_t) :: l))
+        (objectives ()))
+    [ ("local", local_pool ()); ("public", public_pool ()) ];
+  List.iter
+    (fun cache_name ->
+      let cells = Hashtbl.find overall cache_name in
+      let old_total = List.fold_left (fun a (o, _) -> a +. o) 0.0 cells in
+      let new_total = List.fold_left (fun a (_, n) -> a +. n) 0.0 cells in
+      Printf.printf
+        "[fig5] %s cache: %+.1f%% mean concretization time from the encoding change (paper: %s)\n"
+        cache_name
+        (pct_increase old_total new_total)
+        (if cache_name = "local" then "+4.7%" else "+7.1%"))
+    [ "local"; "public" ]
+
+(* Figure 6 / RQ2+RQ3: old spack resolving ^mpich vs splice spack
+   resolving ^mpiabi with splicing on. Paper: +17.1% (local) / +153%
+   (public); py-shroud unaffected; spliced solutions always found. *)
+let fig6 () =
+  Printf.printf "\n=== Figure 6 (RQ2, RQ3): splicing correctness and overhead ===\n";
+  Printf.printf "%d runs per cell; times in seconds\n" !reps;
+  Printf.printf "%-14s %-7s | %-18s | %-18s | %-7s | %s\n" "spec" "cache"
+    "old ^mpich" "splice ^mpiabi" "spliced" "delta";
+  let specs = mpi_objectives () @ [ Radiuss.Universe.no_mpi_control ] in
+  let overall = Hashtbl.create 4 in
+  List.iter
+    (fun (cache_name, pool) ->
+      List.iter
+        (fun name ->
+          let mpi = List.mem name Radiuss.Universe.mpi_dependent in
+          let old_req = if mpi then name ^ " ^mpich@3.4.3" else name in
+          let new_req = if mpi then name ^ " ^mpiabi" else name in
+          let old_t =
+            timed_reps (fun () ->
+                match
+                  concretize ~encoding:Core.Encode.Old ~pool
+                    [ Core.Encode.request_of_string old_req ]
+                with
+                | Ok _ -> ()
+                | Error e -> failwith (old_req ^ ": " ^ e))
+          in
+          let spliced = ref false in
+          let new_t =
+            timed_reps (fun () ->
+                match
+                  concretize ~splicing:true ~pool
+                    [ Core.Encode.request_of_string new_req ]
+                with
+                | Ok o ->
+                  spliced := Core.Decode.is_spliced_solution o.Core.Concretizer.solution
+                | Error e -> failwith (new_req ^ ": " ^ e))
+          in
+          if mpi && not !spliced then
+            Printf.printf "!! RQ2 violation: %s did not come back spliced\n" name;
+          Printf.printf "%-14s %-7s | %8.3f ± %6.3f | %8.3f ± %6.3f | %-7s | %+6.1f%%\n"
+            name cache_name (mean old_t) (stddev old_t) (mean new_t) (stddev new_t)
+            (if mpi then string_of_bool !spliced else "n/a")
+            (pct_increase (mean old_t) (mean new_t));
+          if mpi then begin
+            let l = try Hashtbl.find overall cache_name with Not_found -> [] in
+            Hashtbl.replace overall cache_name ((mean old_t, mean new_t) :: l)
+          end)
+        specs)
+    [ ("local", local_pool ()); ("public", public_pool ()) ];
+  List.iter
+    (fun cache_name ->
+      let cells = Hashtbl.find overall cache_name in
+      let old_total = List.fold_left (fun a (o, _) -> a +. o) 0.0 cells in
+      let new_total = List.fold_left (fun a (_, n) -> a +. n) 0.0 cells in
+      Printf.printf
+        "[fig6] %s cache: MPI-dependent specs %+.1f%% with splicing (paper: %s)\n"
+        cache_name
+        (pct_increase old_total new_total)
+        (if cache_name = "local" then "+17.1%" else "+153%"))
+    [ "local"; "public" ]
+
+(* Figure 7 / RQ4: scaling the number of splice candidates; requests
+   forbid mpich. Paper: +74.2% from 10 to 100 replicas for
+   MPI-dependent specs, ~flat otherwise. *)
+let fig7 () =
+  Printf.printf "\n=== Figure 7 (RQ4): scaling splice candidates ===\n";
+  Printf.printf "%d runs per cell; local cache; times in seconds\n" !reps;
+  let replica_counts = if !quick then [ 10; 50; 100 ] else [ 10; 25; 50; 75; 100 ] in
+  let pool = local_pool () in
+  let specs = mpi_objectives () @ [ Radiuss.Universe.no_mpi_control ] in
+  Printf.printf "%-14s" "spec";
+  List.iter (fun n -> Printf.printf " | N=%-12d" n) replica_counts;
+  Printf.printf " | 10 -> max\n";
+  let increases = ref [] in
+  List.iter
+    (fun name ->
+      let mpi = List.mem name Radiuss.Universe.mpi_dependent in
+      Printf.printf "%-14s%!" name;
+      let times =
+        List.map
+          (fun n ->
+            let repo_n = Radiuss.Universe.with_replicas repo n in
+            let req = Core.Encode.request_of_string ~forbid:[ "mpich" ] name in
+            let options =
+              { Core.Concretizer.default_options with
+                Core.Concretizer.splicing = true;
+                reuse = pool }
+            in
+            let t =
+              timed_reps (fun () ->
+                  match Core.Concretizer.concretize ~repo:repo_n ~options [ req ] with
+                  | Ok o ->
+                    if
+                      mpi
+                      && not (Core.Decode.is_spliced_solution o.Core.Concretizer.solution)
+                    then Printf.printf "!! %s N=%d: not spliced%!" name n
+                  | Error e -> failwith (name ^ ": " ^ e))
+            in
+            Printf.printf " | %6.3f ± %5.3f%!" (mean t) (stddev t);
+            mean t)
+          replica_counts
+      in
+      match (times, List.rev times) with
+      | first :: _, last :: _ ->
+        let d = pct_increase first last in
+        Printf.printf " | %+6.1f%%\n" d;
+        if mpi then increases := d :: !increases
+      | _ -> Printf.printf "\n")
+    specs;
+  Printf.printf
+    "[fig7] mean increase for MPI-dependent specs, 10 -> %d replicas: %+.1f%% (paper: +74.2%% at 100)\n"
+    (List.fold_left max 0 replica_counts)
+    (mean !increases)
+
+(* Ablations over the design choices DESIGN.md calls out. *)
+let ablate () =
+  Printf.printf "\n=== Ablations ===\n";
+  let pool = local_pool () in
+  List.iter
+    (fun (label, encoding) ->
+      match concretize ~encoding ~pool [ Core.Encode.request_of_string "mfem" ] with
+      | Ok o ->
+        let s = o.Core.Concretizer.stats in
+        Printf.printf
+          "time split (%-9s): encode %.3fs ground %.3fs solve %.3fs (atoms %d, rules %d)\n"
+          label s.Core.Concretizer.encode_seconds s.Core.Concretizer.ground_seconds
+          s.Core.Concretizer.solve_seconds s.Core.Concretizer.ground_atoms
+          s.Core.Concretizer.ground_rules
+      | Error e -> Printf.printf "ablate: %s\n" e)
+    [ ("old", Core.Encode.Old); ("hash_attr", Core.Encode.Hash_attr) ];
+  (match
+     concretize ~splicing:true ~pool [ Core.Encode.request_of_string "mfem ^mpiabi" ]
+   with
+  | Ok o ->
+    let s = o.Core.Concretizer.stats in
+    Printf.printf
+      "stable-model machinery: %d candidate models checked during optimization\n"
+      s.Core.Concretizer.stable_checks
+  | Error e -> Printf.printf "ablate: %s\n" e);
+  let control = Radiuss.Universe.no_mpi_control in
+  let t_off =
+    timed_reps (fun () ->
+        ignore (concretize ~pool [ Core.Encode.request_of_string control ]))
+  in
+  let t_on =
+    timed_reps (fun () ->
+        ignore (concretize ~splicing:true ~pool [ Core.Encode.request_of_string control ]))
+  in
+  Printf.printf
+    "splicing flag on %s (no candidates): %.3fs -> %.3fs (%+.1f%%; paper: 'virtually no difference')\n"
+    control (mean t_off) (mean t_on)
+    (pct_increase (mean t_off) (mean t_on))
+
+(* Bechamel micro-benchmarks over the substrate operations. *)
+let micro () =
+  Printf.printf "\n=== Substrate micro-benchmarks (bechamel, ns/op) ===\n%!";
+  let open Bechamel in
+  let spec_text = "example@1.0.0 +bzip arch=linux-centos8-skylake ^zlib@1.2.11 ^mpich" in
+  let program_text =
+    "p(1). p(2). p(3). q(X) :- p(X), X >= 2. 1 { r(X) : q(X) } 1. :- r(2)."
+  in
+  let small_repo =
+    Pkg.Repo.of_packages
+      Pkg.Package.
+        [ make "a" |> version "1.0" |> depends_on "b" |> depends_on "c";
+          make "b" |> version "1.0" |> depends_on "c";
+          make "c" |> version "1.0" ]
+  in
+  let concrete =
+    match Core.Concretizer.concretize_spec ~repo:small_repo "a" with
+    | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
+    | Error e -> failwith e
+  in
+  let payload = String.make 1024 'x' in
+  let tests =
+    Test.make_grouped ~name:"substrate"
+      [ Test.make ~name:"spec-parse"
+          (Staged.stage (fun () -> ignore (Spec.Parser.parse spec_text)));
+        Test.make ~name:"sha256-1k"
+          (Staged.stage (fun () -> ignore (Chash.Sha256.digest payload)));
+        Test.make ~name:"asp-parse"
+          (Staged.stage (fun () -> ignore (Asp.parse program_text)));
+        Test.make ~name:"asp-solve"
+          (Staged.stage (fun () -> ignore (Asp.solve_text program_text)));
+        Test.make ~name:"dag-hash"
+          (Staged.stage (fun () ->
+               let nodes = Spec.Concrete.nodes concrete in
+               let edges = Spec.Concrete.edges concrete in
+               ignore
+                 (Spec.Concrete.dag_hash
+                    (Spec.Concrete.create ~root:(Spec.Concrete.root concrete) ~nodes
+                       ~edges ()))));
+        Test.make ~name:"concretize-small"
+          (Staged.stage (fun () ->
+               ignore (Core.Concretizer.concretize_spec ~repo:small_repo "a"))) ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) results [] in
+  List.iter
+    (fun (name, o) ->
+      match Analyze.OLS.estimates o with
+      | Some [ est ] -> Printf.printf "%-32s %14.1f\n" name est
+      | _ -> Printf.printf "%-32s (no estimate)\n" name)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let commands = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--reps" :: n :: rest ->
+      reps := int_of_string n;
+      parse rest
+    | "--public-nodes" :: n :: rest ->
+      public_nodes := int_of_string n;
+      parse rest
+    | "--full" :: rest ->
+      quick := false;
+      parse rest
+    | cmd :: rest ->
+      commands := cmd :: !commands;
+      parse rest
+  in
+  parse args;
+  let commands = match List.rev !commands with [] -> [ "all" ] | l -> l in
+  let dispatch = function
+    | "table1" -> table1 ()
+    | "fig5" -> fig5 ()
+    | "fig6" -> fig6 ()
+    | "fig7" -> fig7 ()
+    | "ablate" -> ablate ()
+    | "micro" -> micro ()
+    | "all" ->
+      table1 ();
+      micro ();
+      fig5 ();
+      fig6 ();
+      fig7 ();
+      ablate ()
+    | other ->
+      Printf.eprintf "unknown command %s (try table1|fig5|fig6|fig7|ablate|micro|all)\n"
+        other;
+      exit 2
+  in
+  List.iter dispatch commands

@@ -1,0 +1,266 @@
+(* spackml — a command-line front end over the library, operating on
+   the bundled RADIUSS-like universe.
+
+     spackml concretize "mfem ^mpiabi" --reuse --splice
+     spackml install "mfem ^mpiabi" --splice
+     spackml splice "app ^zlib@1.2.13" zlib@1.3.1
+     spackml buildcache
+     spackml solve -e 'a :- not b. b :- not a. :- a.'
+     spackml providers mpi *)
+
+open Cmdliner
+
+let repo = Radiuss.Universe.repo ()
+
+let local_cache = lazy (Radiuss.Caches.local ~repo ())
+
+let options ~reuse ~splicing ~old_encoding =
+  { Core.Concretizer.default_options with
+    Core.Concretizer.reuse =
+      (if reuse then Radiuss.Caches.reusable_specs (Lazy.force local_cache) else []);
+    splicing;
+    encoding = (if old_encoding then Core.Encode.Old else Core.Encode.Hash_attr) }
+
+let concretize_one ~opts text =
+  match Core.Concretizer.concretize_spec ~repo ~options:opts text with
+  | Ok o -> Ok o
+  | Error e -> Error e
+
+(* ---- flags shared by several commands ---- *)
+
+let reuse_flag =
+  Arg.(value & flag & info [ "reuse" ] ~doc:"Reuse specs from the bundled local buildcache.")
+
+let splice_flag =
+  Arg.(value & flag & info [ "splice" ] ~doc:"Enable automatic splicing in the solver.")
+
+let old_flag =
+  Arg.(value & flag & info [ "old-encoding" ]
+      ~doc:"Use the pre-splicing encoding of reusable specs (no splicing possible).")
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print solver statistics.")
+
+let spec_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC")
+
+(* ---- concretize ---- *)
+
+let json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the concrete spec as spec.json.")
+
+let dot_flag =
+  Arg.(value & flag & info [ "dot" ] ~doc:"Emit the concrete spec as a Graphviz digraph.")
+
+let concretize_cmd =
+  let run reuse splicing old_encoding stats json dot spec_text =
+    let opts = options ~reuse ~splicing ~old_encoding in
+    match concretize_one ~opts spec_text with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok o when json ->
+      let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+      print_endline (Spec.Codec.to_string ~pretty:true spec);
+      ignore stats;
+      0
+    | Ok o when dot ->
+      let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+      Format.printf "%a" Spec.Concrete.pp_dot spec;
+      0
+    | Ok o ->
+      let sol = o.Core.Concretizer.solution in
+      let spec = List.hd sol.Core.Decode.specs in
+      Format.printf "%a" Spec.Concrete.pp_tree spec;
+      if sol.Core.Decode.built <> [] then
+        Format.printf "to build: %s@." (String.concat ", " sol.Core.Decode.built);
+      List.iter
+        (fun (s : Core.Decode.splice_record) ->
+          Format.printf "splice: %s's %s -> %s@." s.Core.Decode.sp_parent
+            s.Core.Decode.sp_old s.Core.Decode.sp_new)
+        sol.Core.Decode.splices;
+      if stats then Format.printf "%a@." Core.Concretizer.pp_stats o.Core.Concretizer.stats;
+      0
+  in
+  Cmd.v
+    (Cmd.info "concretize" ~doc:"Resolve an abstract spec to a concrete spec DAG.")
+    Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag $ dot_flag $ spec_arg)
+
+(* ---- install ---- *)
+
+let install_cmd =
+  let run reuse splicing spec_text =
+    let opts = options ~reuse ~splicing ~old_encoding:false in
+    match concretize_one ~opts spec_text with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok o ->
+      let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+      let vfs = Binary.Vfs.create () in
+      let store = Binary.Store.create ~root:"/opt/spackml" vfs in
+      let caches =
+        if reuse then [ (Lazy.force local_cache).Radiuss.Caches.cache ] else []
+      in
+      let report = Binary.Installer.install store ~repo ~caches spec in
+      Format.printf "%a@.%a@." Spec.Concrete.pp_tree spec Binary.Installer.pp_report
+        report;
+      (match report.Binary.Installer.link_result with Ok _ -> 0 | Error _ -> 1)
+  in
+  Cmd.v
+    (Cmd.info "install" ~doc:"Concretize and install a spec into a fresh store.")
+    Term.(const run $ reuse_flag $ splice_flag $ spec_arg)
+
+(* ---- splice (manual, Fig. 2 mechanics) ---- *)
+
+let splice_cmd =
+  let target_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"TARGET") in
+  let repl_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"REPLACEMENT") in
+  let intransitive =
+    Arg.(value & flag & info [ "intransitive" ]
+        ~doc:"Keep the target's versions of shared dependencies.")
+  in
+  let run intransitive target_text repl_text =
+    let opts = options ~reuse:false ~splicing:false ~old_encoding:false in
+    match (concretize_one ~opts target_text, concretize_one ~opts repl_text) with
+    | Error e, _ | _, Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok t, Ok r ->
+      let target = List.hd t.Core.Concretizer.solution.Core.Decode.specs in
+      let replacement = List.hd r.Core.Concretizer.solution.Core.Decode.specs in
+      (try
+         let spliced =
+           Core.Splice.splice ~target ~replacement ~transitive:(not intransitive) ()
+         in
+         Format.printf "%a" Spec.Concrete.pp_tree spliced;
+         0
+       with Invalid_argument e ->
+         Format.eprintf "error: %s@." e;
+         1)
+  in
+  Cmd.v
+    (Cmd.info "splice"
+       ~doc:
+         "Concretize TARGET and REPLACEMENT, then splice REPLACEMENT's root into \
+          TARGET (Fig. 2 mechanics).")
+    Term.(const run $ intransitive $ target_arg $ repl_arg)
+
+(* ---- buildcache ---- *)
+
+let buildcache_cmd =
+  let run () =
+    let l = Lazy.force local_cache in
+    Format.printf "local buildcache: %d entries@." (Radiuss.Caches.node_count l);
+    List.iter
+      (fun spec -> Format.printf "  %s@." (Spec.Concrete.to_string spec))
+      l.Radiuss.Caches.specs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "buildcache" ~doc:"Build and list the bundled local buildcache.")
+    Term.(const run $ const ())
+
+(* ---- solve (raw ASP) ---- *)
+
+let solve_cmd =
+  let expr =
+    Arg.(value & opt (some string) None & info [ "e" ] ~docv:"PROGRAM"
+        ~doc:"Program text (otherwise read the FILE argument).")
+  in
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run expr file =
+    let text =
+      match (expr, file) with
+      | Some t, _ -> Some t
+      | None, Some f ->
+        let ic = open_in f in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        Some s
+      | None, None -> None
+    in
+    match text with
+    | None ->
+      Format.eprintf "error: provide a FILE or -e PROGRAM@.";
+      2
+    | Some text -> (
+      match Asp.solve_text text with
+      | exception Asp.Parser.Parse_error e ->
+        Format.eprintf "parse error: %s@." e;
+        1
+      | Asp.Logic.Unsat ->
+        Format.printf "UNSATISFIABLE@.";
+        1
+      | Asp.Logic.Sat m ->
+        Format.printf "Answer:@.";
+        List.iter (fun a -> Format.printf "%a " Asp.Ast.pp_atom a) m.Asp.Logic.atoms;
+        Format.printf "@.";
+        if m.Asp.Logic.costs <> [] then
+          Format.printf "Optimization: %s@."
+            (String.concat " "
+               (List.map (fun (p, c) -> Printf.sprintf "%d@%d" c p) m.Asp.Logic.costs));
+        0)
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Run the built-in ASP solver on a logic program.")
+    Term.(const run $ expr $ file)
+
+(* ---- discover (automatic ABI discovery, the paper's future work) ---- *)
+
+let discover_cmd =
+  let run () =
+    let l = Lazy.force local_cache in
+    let suggestions =
+      Core.Discovery.scan ~repo ~specs:l.Radiuss.Caches.specs
+        ~store:l.Radiuss.Caches.store
+    in
+    if suggestions = [] then begin
+      Format.printf "no ABI-compatible replacements discovered@.";
+      0
+    end
+    else begin
+      List.iter
+        (fun (s : Core.Discovery.suggestion) ->
+          Format.printf "%s: %s%s@." s.Core.Discovery.replacement
+            (Core.Discovery.to_directive s)
+            (if s.Core.Discovery.exact then "   (surfaces identical)" else ""))
+        suggestions;
+      0
+    end
+  in
+  Cmd.v
+    (Cmd.info "discover"
+       ~doc:
+         "Scan the local buildcache's binaries and suggest can_splice directives \
+          (automatic ABI discovery).")
+    Term.(const run $ const ())
+
+(* ---- providers ---- *)
+
+let providers_cmd =
+  let virt = Arg.(required & pos 0 (some string) None & info [] ~docv:"VIRTUAL") in
+  let run v =
+    match Pkg.Repo.providers repo v with
+    | [] ->
+      Format.eprintf "no providers for %s@." v;
+      1
+    | ps ->
+      List.iter (fun (p : Pkg.Package.t) -> Format.printf "%s@." p.Pkg.Package.name) ps;
+      0
+  in
+  Cmd.v
+    (Cmd.info "providers" ~doc:"List providers of a virtual package.")
+    Term.(const run $ virt)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default
+          (Cmd.info "spackml" ~version:"1.0.0"
+             ~doc:
+               "Source and binary package management with ABI-compatible splicing \
+                (OCaml reproduction of the SC'25 Spack splicing paper).")
+          [ concretize_cmd; install_cmd; splice_cmd; buildcache_cmd; solve_cmd;
+            discover_cmd; providers_cmd ]))

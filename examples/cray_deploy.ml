@@ -1,0 +1,105 @@
+(* The paper's motivating scenario (1): deploy an MPI stack, built
+   against the general MPICH on a build server, onto an "HPE Cray"
+   cluster whose vendor MPI (cray-mpich) exists only there — without
+   rebuilding anything.
+
+   $ dune exec examples/cray_deploy.exe *)
+
+open Spec.Types
+
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "trilinos"
+        |> version "14.4.0"
+        |> variant "shared" ~default:(Bool true)
+        |> depends_on "mpi"
+        |> depends_on "openblas"
+        |> depends_on "zlib"
+        |> depends_on "cmake" ~deptypes:dt_build;
+        make "openblas" |> version "0.3.24";
+        make "zlib" |> version "1.3.1";
+        make "cmake" |> version "3.27.7";
+        make "mpich" ~abi_family:"mpich-abi"
+        |> version "3.4.3" |> provides "mpi" |> depends_on "zlib";
+        (* Cray MPICH: same ABI family as MPICH (the vendor keeps the
+           mpich ABI), declared spliceable by its own developers
+           (5.2.1: the replacement declares what it can replace). *)
+        make "cray-mpich" ~abi_family:"mpich-abi"
+        |> version "8.1.27" |> provides "mpi" |> depends_on "zlib"
+        |> can_splice "mpich@3.4.3" ~when_:"@8.1" ]
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  let vfs = Binary.Vfs.create () in
+
+  section "1. Build server: build trilinos ^mpich@3.4.3, push to a buildcache";
+  let farm = Binary.Store.create ~root:"/buildfarm" vfs in
+  let built =
+    match Core.Concretizer.concretize_spec ~repo "trilinos ^mpich@3.4.3" with
+    | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
+    | Error e -> failwith e
+  in
+  ignore (Binary.Builder.build_all farm ~repo built);
+  let cache = Binary.Buildcache.create ~name:"public" in
+  ignore (Binary.Buildcache.push cache farm built);
+  Format.printf "%a" Spec.Concrete.pp_tree built;
+  Format.printf "cache entries: %d@." (Binary.Buildcache.size cache);
+
+  section "2. Cray cluster: vendor cray-mpich is installed locally (only here)";
+  let cluster = Binary.Store.create ~root:"/opt/cray" vfs in
+  let cray =
+    match Core.Concretizer.concretize_spec ~repo "cray-mpich" with
+    | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
+    | Error e -> failwith e
+  in
+  ignore (Binary.Builder.build_all cluster ~repo cray);
+  Format.printf "%a" Spec.Concrete.pp_tree cray;
+
+  section "3. Concretize trilinos ^cray-mpich with splicing, reusing the cache";
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.reuse = Binary.Buildcache.specs cache @ [ cray ];
+      splicing = true }
+  in
+  let outcome =
+    match
+      Core.Concretizer.concretize ~repo ~options
+        [ Core.Encode.request_of_string "trilinos ^cray-mpich" ]
+    with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let sol = outcome.Core.Concretizer.solution in
+  let spliced = List.hd sol.Core.Decode.specs in
+  Format.printf "%a" Spec.Concrete.pp_tree spliced;
+  List.iter
+    (fun (s : Core.Decode.splice_record) ->
+      Format.printf "splice: %s's %s -> %s@." s.Core.Decode.sp_parent
+        s.Core.Decode.sp_old s.Core.Decode.sp_new)
+    sol.Core.Decode.splices;
+  assert (Core.Decode.is_spliced_solution sol);
+  assert (sol.Core.Decode.built = []);
+
+  section "4. Install on the cluster: rewiring only, zero compiles";
+  let report = Binary.Installer.install cluster ~repo ~caches:[ cache ] spliced in
+  Format.printf "%a@." Binary.Installer.pp_report report;
+  assert (Binary.Installer.rebuild_count report = 0);
+  (match report.Binary.Installer.link_result with
+  | Ok n -> Format.printf "dynamic linker: resolved %d objects, ABI clean@." n
+  | Error es ->
+    List.iter (fun e -> Format.printf "LINK ERROR: %a@." Binary.Linker.pp_error e) es;
+    failwith "spliced install failed to link");
+
+  section "5. Counterfactual: the same deployment without splicing";
+  let options_ns = { options with Core.Concretizer.splicing = false } in
+  (match
+     Core.Concretizer.concretize ~repo ~options:options_ns
+       [ Core.Encode.request_of_string "trilinos ^cray-mpich" ]
+   with
+  | Ok o ->
+    let b = o.Core.Concretizer.solution.Core.Decode.built in
+    Format.printf "without splicing, %d packages would rebuild: %s@."
+      (List.length b) (String.concat ", " b)
+  | Error e -> Format.printf "without splicing: %s@." e)

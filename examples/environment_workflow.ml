@@ -1,0 +1,79 @@
+(* Environments end to end: jointly concretize a small stack, pin it
+   with a lockfile, carry the lockfile to a "new machine", reinstall
+   bit-for-bit from the buildcache, and validate the result with the
+   independent checker.
+
+   $ dune exec examples/environment_workflow.exe *)
+
+
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "simulation" |> version "5.1" |> depends_on "solver" |> depends_on "io-lib";
+        make "analysis" |> version "2.2" |> depends_on "io-lib" |> depends_on "zlib@1.2";
+        make "solver" |> version "3.0" |> depends_on "zlib" |> depends_on "openblas";
+        make "io-lib" |> version "1.8" |> depends_on "zlib";
+        make "openblas" |> version "0.3.24";
+        make "zlib" |> version "1.3.1" |> version "1.2.13" ]
+
+let section title = Format.printf "@.== %s ==@." title
+
+let () =
+  section "1. Build the environment: two apps, concretized jointly";
+  let env =
+    Core.Env.(create "campaign" |> Fun.flip add "simulation" |> Fun.flip add "analysis")
+  in
+  let env =
+    match Core.Env.concretize ~repo env with Ok e -> e | Error e -> failwith e
+  in
+  print_string (Core.Env.status env);
+  (* Joint solving: analysis pins zlib@1.2, so simulation's whole stack
+     lands on the same zlib. *)
+  List.iter
+    (fun spec ->
+      assert (
+        Vers.Version.to_string (Spec.Concrete.node spec "zlib").Spec.Concrete.version
+        = "1.2.13"))
+    env.Core.Env.concrete;
+
+  section "2. Install on the build machine and push a buildcache";
+  let vfs = Binary.Vfs.create () in
+  let farm = Binary.Store.create ~root:"/farm" vfs in
+  let reports = Core.Env.install env farm ~repo () in
+  List.iter
+    (fun (root, r) -> Format.printf "%s: %a@." root Binary.Installer.pp_report r)
+    reports;
+  let cache = Binary.Buildcache.create ~name:"campaign-cache" in
+  List.iter (fun s -> ignore (Binary.Buildcache.push cache farm s)) env.Core.Env.concrete;
+
+  section "3. Write the lockfile";
+  let lock_text = Sjson.to_string ~pretty:true (Core.Env.lockfile env) in
+  Format.printf "lockfile: %d bytes, %d pinned specs@." (String.length lock_text)
+    (List.length env.Core.Env.concrete);
+
+  section "4. New machine: reinstall from the lockfile, binaries only";
+  let env' = Core.Env.of_lockfile (Sjson.of_string lock_text) in
+  assert (
+    List.map Spec.Concrete.dag_hash env'.Core.Env.concrete
+    = List.map Spec.Concrete.dag_hash env.Core.Env.concrete);
+  let cluster = Binary.Store.create ~root:"/cluster" (Binary.Vfs.create ()) in
+  let reports' = Core.Env.install env' cluster ~repo ~caches:[ cache ] () in
+  List.iter
+    (fun (root, (r : Binary.Installer.report)) ->
+      Format.printf "%s: %a@." root Binary.Installer.pp_report r;
+      assert (Binary.Installer.rebuild_count r = 0);
+      match r.Binary.Installer.link_result with
+      | Ok _ -> ()
+      | Error _ -> failwith (root ^ ": link failed"))
+    reports';
+
+  section "5. Validate every installed spec with the independent checker";
+  List.iter
+    (fun spec ->
+      match Core.Verify.check_solution ~repo spec with
+      | [] -> Format.printf "%s: valid@." (Spec.Concrete.root spec)
+      | vs ->
+        List.iter (fun v -> Format.printf "%a@." Core.Verify.pp_violation v) vs;
+        failwith "validation failed")
+    env'.Core.Env.concrete;
+  Format.printf "@.environment reproduced bit-for-bit from the lockfile.@."

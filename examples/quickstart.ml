@@ -1,0 +1,52 @@
+(* Quickstart: define packages, concretize a spec, install it, run the
+   simulated linker over the result.
+
+   $ dune exec examples/quickstart.exe *)
+
+open Spec.Types
+
+(* The example package of Fig. 1, and its little universe. *)
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "example"
+        |> version "1.1.0"
+        |> version "1.0.0"
+        |> variant "bzip" ~default:(Bool true)
+        |> depends_on "bzip2" ~when_:"+bzip"
+        |> depends_on "zlib@1.2" ~when_:"@1.0.0"
+        |> depends_on "zlib@1.3" ~when_:"@1.1.0"
+        |> depends_on "mpi"
+        |> can_splice "example@1.0.0" ~when_:"@1.1.0"
+        |> can_splice "example-ng@2.3.2+compat" ~when_:"@1.1.0+bzip";
+        make "example-ng" |> version "2.3.2" |> variant "compat" ~default:(Bool true);
+        make "bzip2" |> version "1.0.8" |> variant "pic" ~default:(Bool true);
+        make "zlib" |> version "1.3.1" |> version "1.2.13";
+        make "mpich" ~abi_family:"mpich-abi"
+        |> version "3.4.3" |> provides "mpi" |> depends_on "zlib";
+        make "openmpi" ~abi_family:"ompi" |> version "4.1.5" |> provides "mpi" ]
+
+let () =
+  (* 1. Concretize an abstract spec (Table 1 syntax). *)
+  let outcome =
+    match Core.Concretizer.concretize_spec ~repo "example@1.1.0 ^zlib@1.3 ^mpich" with
+    | Ok o -> o
+    | Error e -> failwith e
+  in
+  let spec = List.hd outcome.Core.Concretizer.solution.Core.Decode.specs in
+  Format.printf "Concretized:@.%a@." Spec.Concrete.pp_tree spec;
+
+  (* 2. Install it into a store: everything builds from source here. *)
+  let vfs = Binary.Vfs.create () in
+  let store = Binary.Store.create ~root:"/opt/spack" vfs in
+  let report = Binary.Installer.install store ~repo spec in
+  Format.printf "Install: %a@." Binary.Installer.pp_report report;
+
+  (* 3. The spec is addressable by hash and satisfies its request. *)
+  Format.printf "dag hash: %s@." (Chash.short (Spec.Concrete.dag_hash spec));
+  assert (Spec.Concrete.satisfies spec (Spec.Parser.parse "example@1.1.0 ^zlib@1.3"));
+
+  (* 4. Reinstalling is pure reuse. *)
+  let again = Binary.Installer.install store ~repo spec in
+  assert (Binary.Installer.rebuild_count again = 0);
+  Format.printf "Reinstall: %a@." Binary.Installer.pp_report again

@@ -1,0 +1,83 @@
+(* Fig. 2, replayed exactly: two pre-compiled specs
+       T ^H ^Z@1.0      (rectangular nodes)
+       H' ^S ^Z@1.1     (rounded nodes)
+   A request for T ^H' is satisfied by a TRANSITIVE splice (shared Z
+   tie-breaks to the spliced-in side, 1.1); a request for
+   T ^H' ^Z@1.0 needs the INTRANSITIVE form (Z restored to 1.0).
+   Build provenance (dashed lines in the figure) is the build spec.
+
+   $ dune exec examples/splice_anatomy.exe *)
+
+open Spec.Types
+
+let v = Vers.Version.of_string
+
+let node ?build_hash name version =
+  { Spec.Concrete.name;
+    version = v version;
+    variants = Smap.empty;
+    os = "linux";
+    target = "x86_64";
+    build_hash }
+
+(* T ^H ^Z@1.0 *)
+let t_spec =
+  Spec.Concrete.create ~root:"t"
+    ~nodes:[ node "t" "1.0"; node "h" "1.0"; node "z" "1.0" ]
+    ~edges:[ ("t", "h", dt_link); ("t", "z", dt_link); ("h", "z", dt_link) ]
+    ()
+
+(* H' ^S ^Z@1.1 — H' is a different implementation of H's interface,
+   modeled as package h-prime. *)
+let h'_spec =
+  Spec.Concrete.create ~root:"h-prime"
+    ~nodes:[ node "h-prime" "2.0"; node "s" "1.0"; node "z" "1.1" ]
+    ~edges:[ ("h-prime", "s", dt_link); ("h-prime", "z", dt_link) ]
+    ()
+
+let show title spec =
+  Format.printf "@.-- %s --@.%a" title Spec.Concrete.pp_tree spec
+
+let () =
+  show "T ^H ^Z@1.0 (already built)" t_spec;
+  show "H' ^S ^Z@1.1 (already built)" h'_spec;
+
+  (* Transitive: satisfies T ^H'. Shared Z goes to 1.1 (blue in Fig 2). *)
+  let transitive =
+    Core.Splice.splice ~replace:"h" ~target:t_spec ~replacement:h'_spec
+      ~transitive:true ()
+  in
+  show "transitive splice of H' into T  =>  T ^H' ^Z@1.1" transitive;
+  assert ((Spec.Concrete.node transitive "z").Spec.Concrete.version = v "1.1");
+  assert (Spec.Concrete.is_spliced transitive);
+  (* T was relinked: it carries the hash it was built as. *)
+  assert ((Spec.Concrete.node transitive "t").Spec.Concrete.build_hash
+          = Some (Spec.Concrete.node_hash t_spec "t"));
+
+  (* Intransitive: satisfies T ^H' ^Z@1.0 — splice Z@1.0 back in (red
+     in Fig 2): H' now points at Z@1.0 and T's Z is restored. *)
+  let z10 = Spec.Concrete.subdag t_spec "z" in
+  let intransitive =
+    Core.Splice.splice ~replace:"z" ~target:transitive ~replacement:z10
+      ~transitive:true ()
+  in
+  show "then splicing Z@1.0 back  =>  T ^H' ^Z@1.0 (intransitive)" intransitive;
+  assert ((Spec.Concrete.node intransitive "z").Spec.Concrete.version = v "1.0");
+  (* H' is now relinked too: built against Z@1.1, deployed against Z@1.0. *)
+  assert ((Spec.Concrete.node intransitive "h-prime").Spec.Concrete.build_hash
+          = Some (Spec.Concrete.dag_hash h'_spec));
+
+  (* The one-step intransitive splice produces the same DAG. *)
+  let direct =
+    Core.Splice.splice ~replace:"h" ~target:t_spec ~replacement:h'_spec
+      ~transitive:false ()
+  in
+  show "one-step intransitive splice of H' into T" direct;
+  assert (Spec.Concrete.dag_hash direct = Spec.Concrete.dag_hash intransitive);
+
+  (* Provenance chain: the build spec of the re-spliced spec is the
+     transitively spliced one, whose build spec is the original T. *)
+  (match Spec.Concrete.build_spec intransitive with
+  | Some bs -> assert (Spec.Concrete.dag_hash bs = Spec.Concrete.dag_hash transitive)
+  | None -> assert false);
+  Format.printf "@.all Fig. 2 shapes verified.@."

@@ -1,0 +1,510 @@
+type atom_id = int
+
+type ghead =
+  | Gatom of atom_id
+  | Gchoice of { lo : int option; hi : int option; gelems : atom_id list }
+  | Gconstraint
+
+type grule = { ghead : ghead; gpos : atom_id list; gneg : atom_id list }
+
+type gmin = {
+  gweight : int;
+  gpriority : int;
+  gkey : string;
+  gcond_pos : atom_id list;
+  gcond_neg : atom_id list;
+}
+
+(* Interned atom store. Atoms interned through [intern_possible] can be
+   true in some model; atoms interned only through [intern_referenced]
+   (negative literals whose subject is never derivable) are constant
+   false. Indexes: by predicate, and by predicate plus first argument
+   for selective joins. *)
+type store = {
+  tbl : (Ast.atom, atom_id) Hashtbl.t;
+  mutable arr : Ast.atom array;
+  mutable possible : Bytes.t;
+  mutable count : int;
+  by_pred : (string * int, atom_id list ref) Hashtbl.t;
+  by_pred_arg0 : (string * int * Term.t, atom_id list ref) Hashtbl.t;
+}
+
+let store_create () =
+  { tbl = Hashtbl.create 4096;
+    arr = Array.make 4096 { Ast.pred = ""; args = [] };
+    possible = Bytes.make 4096 '\000';
+    count = 0;
+    by_pred = Hashtbl.create 64;
+    by_pred_arg0 = Hashtbl.create 4096 }
+
+let store_grow st =
+  if st.count >= Array.length st.arr then begin
+    let arr = Array.make (2 * Array.length st.arr) { Ast.pred = ""; args = [] } in
+    Array.blit st.arr 0 arr 0 st.count;
+    st.arr <- arr;
+    let possible = Bytes.make (2 * Bytes.length st.possible) '\000' in
+    Bytes.blit st.possible 0 possible 0 st.count;
+    st.possible <- possible
+  end
+
+let push_index tbl key id =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> l := id :: !l
+  | None -> Hashtbl.add tbl key (ref [ id ])
+
+(* Returns (id, freshly_marked_possible). *)
+let intern st (a : Ast.atom) ~possible =
+  match Hashtbl.find_opt st.tbl a with
+  | Some id ->
+    if possible && Bytes.get st.possible id = '\000' then begin
+      Bytes.set st.possible id '\001';
+      (id, true)
+    end
+    else (id, false)
+  | None ->
+    store_grow st;
+    let id = st.count in
+    st.count <- id + 1;
+    Hashtbl.add st.tbl a id;
+    st.arr.(id) <- a;
+    if possible then Bytes.set st.possible id '\001';
+    let arity = List.length a.Ast.args in
+    push_index st.by_pred (a.Ast.pred, arity) id;
+    (match a.Ast.args with
+    | arg0 :: _ -> push_index st.by_pred_arg0 (a.Ast.pred, arity, arg0) id
+    | [] -> ());
+    (id, possible)
+
+(* Candidate atoms possibly matching a (partially instantiated) pattern
+   atom. *)
+let candidates st (pattern : Ast.atom) =
+  let arity = List.length pattern.Ast.args in
+  let from_index tbl key = match Hashtbl.find_opt tbl key with Some l -> !l | None -> [] in
+  match pattern.Ast.args with
+  | arg0 :: _ when Term.is_ground arg0 ->
+    from_index st.by_pred_arg0 (pattern.Ast.pred, arity, arg0)
+  | _ -> from_index st.by_pred (pattern.Ast.pred, arity)
+
+let match_atom ~(pattern : Ast.atom) subst (subject : Ast.atom) =
+  if
+    String.equal pattern.Ast.pred subject.Ast.pred
+    && List.length pattern.Ast.args = List.length subject.Ast.args
+  then
+    let rec go s = function
+      | [], [] -> Some s
+      | p :: ps, t :: ts -> (
+        match Term.match_term ~pattern:p s t with
+        | Some s' -> go s' (ps, ts)
+        | None -> None)
+      | _ -> None
+    in
+    go subst (pattern.Ast.args, subject.Ast.args)
+  else None
+
+(* Ground-term comparison: ints numerically, otherwise structural. *)
+let term_cmp_value op l r =
+  let c =
+    match (l, r) with
+    | Term.Int a, Term.Int b -> Int.compare a b
+    | _ -> Term.compare l r
+  in
+  match op with
+  | Ast.Eq -> c = 0
+  | Ast.Ne -> c <> 0
+  | Ast.Lt -> c < 0
+  | Ast.Le -> c <= 0
+  | Ast.Gt -> c > 0
+  | Ast.Ge -> c >= 0
+
+exception Stuck_cmp
+
+(* Enumerate all substitutions extending [subst] that satisfy the body
+   literals. Positive literals join against the store; comparisons are
+   evaluated when ground, with [V = ground-term] acting as a binding;
+   not-yet-evaluable comparisons are delayed past the next positive
+   literal. Negative literals are handled by [on_neg] (phase 1 ignores
+   them; phase 2 records them). *)
+let join st lits subst ~on_neg ~k =
+  let rec go lits delayed subst negs =
+    match lits with
+    | [] ->
+      (* Flush delayed comparisons; they must be ground now. *)
+      let ok =
+        List.for_all
+          (fun (op, l, r) ->
+            let l = Term.subst_term subst l and r = Term.subst_term subst r in
+            if Term.is_ground l && Term.is_ground r then term_cmp_value op l r
+            else raise Stuck_cmp)
+          delayed
+      in
+      if ok then k subst (List.rev negs)
+    | Ast.Pos pattern :: rest ->
+      let pattern' =
+        { pattern with Ast.args = List.map (Term.subst_term subst) pattern.Ast.args }
+      in
+      List.iter
+        (fun id ->
+          let subject = st.arr.(id) in
+          if Bytes.get st.possible id = '\001' then
+            match match_atom ~pattern:pattern' subst subject with
+            | Some subst' -> go rest delayed subst' negs
+            | None -> ())
+        (candidates st pattern')
+    | Ast.Cmp (op, l, r) :: rest -> (
+      let l' = Term.subst_term subst l and r' = Term.subst_term subst r in
+      match (Term.is_ground l', Term.is_ground r') with
+      | true, true -> if term_cmp_value op l' r' then go rest delayed subst negs
+      | false, true when op = Ast.Eq -> (
+        match l' with
+        | Term.Var v -> go rest delayed (Term.Smap.add v r' subst) negs
+        | _ -> go rest ((op, l, r) :: delayed) subst negs)
+      | true, false when op = Ast.Eq -> (
+        match r' with
+        | Term.Var v -> go rest delayed (Term.Smap.add v l' subst) negs
+        | _ -> go rest ((op, l, r) :: delayed) subst negs)
+      | _ -> go rest ((op, l, r) :: delayed) subst negs)
+    | Ast.Neg pattern :: rest -> (
+      match on_neg with
+      | `Ignore -> go rest delayed subst negs
+      | `Record ->
+        let a =
+          { pattern with Ast.args = List.map (Term.subst_term subst) pattern.Ast.args }
+        in
+        if not (List.for_all Term.is_ground a.Ast.args) then
+          invalid_arg
+            (Format.asprintf "unsafe negative literal after grounding: %a" Ast.pp_atom a);
+        go rest delayed subst (a :: negs))
+  in
+  go lits [] subst []
+
+type t = {
+  st : store;
+  grules : grule list;
+  gmins : gmin list;
+}
+
+(* Phase 1: possible-atom fixpoint over derivation pseudo-rules
+   (head, positive body). *)
+type pseudo = { phead : Ast.atom; pbody : Ast.body_lit list }
+
+let pseudo_rules prog =
+  List.concat_map
+    (function
+      | Ast.Rule { head = Ast.Head_atom h; body } -> [ { phead = h; pbody = body } ]
+      | Ast.Rule { head = Ast.Head_none; _ } -> []
+      | Ast.Rule { head = Ast.Head_choice { elems; _ }; body } ->
+        List.map (fun (e : Ast.choice_elem) -> { phead = e.elem; pbody = body @ e.cond }) elems
+      | Ast.Minimize _ -> [])
+    prog
+
+let phase1 st prog =
+  let pseudos = Array.of_list (pseudo_rules prog) in
+  (* Index pseudo-rules by the predicates of their positive body
+     literals, so a new atom only retriggers relevant rules. *)
+  let by_trigger : (string * int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun ri p ->
+      List.iteri
+        (fun li lit ->
+          match lit with
+          | Ast.Pos a ->
+            push_index by_trigger (a.Ast.pred, List.length a.Ast.args) (ri, li)
+          | _ -> ())
+        p.pbody)
+    pseudos;
+  let queue = Queue.create () in
+  let derive a =
+    let id, fresh = intern st a ~possible:true in
+    if fresh then Queue.add id queue
+  in
+  (* Seed: rules with no positive body literal fire immediately. *)
+  Array.iter
+    (fun p ->
+      let has_pos = List.exists (function Ast.Pos _ -> true | _ -> false) p.pbody in
+      if not has_pos then
+        try
+          join st p.pbody Term.Smap.empty ~on_neg:`Ignore ~k:(fun subst _ ->
+              let h =
+                { p.phead with
+                  Ast.args = List.map (Term.subst_term subst) p.phead.Ast.args }
+              in
+              derive h)
+        with Stuck_cmp ->
+          invalid_arg "grounder: comparison with unbound variables (unsafe rule)")
+    pseudos;
+  (* Delta loop: for each new atom, re-evaluate rules triggered through
+     the matching body position, seeding the join there. *)
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    let atom = st.arr.(id) in
+    let triggers =
+      match Hashtbl.find_opt by_trigger (atom.Ast.pred, List.length atom.Ast.args) with
+      | Some l -> !l
+      | None -> []
+    in
+    List.iter
+      (fun (ri, li) ->
+        let p = pseudos.(ri) in
+        (* Split the body: literal [li] is seeded with [atom]. *)
+        let seed_lit = List.nth p.pbody li in
+        let rest = List.filteri (fun i _ -> i <> li) p.pbody in
+        match seed_lit with
+        | Ast.Pos pattern -> (
+          match match_atom ~pattern Term.Smap.empty atom with
+          | None -> ()
+          | Some subst -> (
+            try
+              join st rest subst ~on_neg:`Ignore ~k:(fun subst _ ->
+                  let h =
+                    { p.phead with
+                      Ast.args = List.map (Term.subst_term subst) p.phead.Ast.args }
+                  in
+                  derive h)
+            with Stuck_cmp ->
+              invalid_arg "grounder: comparison with unbound variables (unsafe rule)"))
+        | _ -> assert false)
+      triggers
+  done
+
+(* Phase 2: emit ground statements over the fixed atom set. *)
+let phase2 st prog =
+  let grules = ref [] in
+  let gmins = ref [] in
+  let seen_rules = Hashtbl.create 4096 in
+  let intern_head a =
+    let id, _ = intern st a ~possible:true in
+    id
+  in
+  let intern_neg a =
+    let id, _ = intern st a ~possible:false in
+    id
+  in
+  let emit r =
+    let key = (r.ghead, List.sort Int.compare r.gpos, List.sort Int.compare r.gneg) in
+    if not (Hashtbl.mem seen_rules key) then begin
+      Hashtbl.add seen_rules key ();
+      grules := r :: !grules
+    end
+  in
+  let ground_body body subst k =
+    join st body subst ~on_neg:`Record ~k:(fun subst negs ->
+        let pos =
+          List.filter_map
+            (function
+              | Ast.Pos a ->
+                let a' =
+                  { a with Ast.args = List.map (Term.subst_term subst) a.Ast.args }
+                in
+                Some (fst (intern st a' ~possible:false))
+              | _ -> None)
+            body
+        in
+        (* Positive atoms were matched against possible atoms, so the
+           lookup above finds existing ids. *)
+        let neg = List.map intern_neg negs in
+        k subst pos neg)
+  in
+  List.iter
+    (function
+      | Ast.Rule { head = Ast.Head_atom h; body } ->
+        (try
+           ground_body body Term.Smap.empty (fun subst pos neg ->
+               let h' =
+                 { h with Ast.args = List.map (Term.subst_term subst) h.Ast.args }
+               in
+               emit { ghead = Gatom (intern_head h'); gpos = pos; gneg = neg })
+         with Stuck_cmp -> invalid_arg "grounder: unsafe comparison")
+      | Ast.Rule { head = Ast.Head_none; body } ->
+        (try
+           ground_body body Term.Smap.empty (fun _ pos neg ->
+               emit { ghead = Gconstraint; gpos = pos; gneg = neg })
+         with Stuck_cmp -> invalid_arg "grounder: unsafe comparison")
+      | Ast.Rule { head = Ast.Head_choice { lo; hi; elems }; body } ->
+        (try
+           ground_body body Term.Smap.empty (fun subst pos neg ->
+               let gelems = ref [] in
+               List.iter
+                 (fun (e : Ast.choice_elem) ->
+                   try
+                     join st e.cond subst ~on_neg:`Ignore ~k:(fun subst' _ ->
+                         let a =
+                           { e.elem with
+                             Ast.args =
+                               List.map (Term.subst_term subst') e.elem.Ast.args }
+                         in
+                         let id = intern_head a in
+                         if not (List.mem id !gelems) then gelems := id :: !gelems)
+                   with Stuck_cmp -> invalid_arg "grounder: unsafe comparison")
+                 elems;
+               emit
+                 { ghead = Gchoice { lo; hi; gelems = List.rev !gelems };
+                   gpos = pos;
+                   gneg = neg })
+         with Stuck_cmp -> invalid_arg "grounder: unsafe comparison")
+      | Ast.Minimize elems ->
+        List.iter
+          (fun (e : Ast.min_elem) ->
+            try
+              ground_body e.mcond Term.Smap.empty (fun subst pos neg ->
+                  let w =
+                    match Term.subst_term subst e.weight with
+                    | Term.Int n -> n
+                    | t ->
+                      invalid_arg
+                        (Format.asprintf "minimize weight is not an integer: %a"
+                           Term.pp t)
+                  in
+                  let key =
+                    Format.asprintf "%d@%d|%a" w e.priority
+                      (Format.pp_print_list
+                         ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+                         Term.pp)
+                      (List.map (Term.subst_term subst) e.terms)
+                  in
+                  gmins :=
+                    { gweight = w;
+                      gpriority = e.priority;
+                      gkey = key;
+                      gcond_pos = pos;
+                      gcond_neg = neg }
+                    :: !gmins)
+            with Stuck_cmp -> invalid_arg "grounder: unsafe comparison")
+          elems)
+    prog;
+  (List.rev !grules, List.rev !gmins)
+
+(* Fact propagation (what clingo's grounder does): atoms that are
+   certainly true — derivable through rules with no remaining negative
+   or undecided positive subgoals — become facts; their occurrences in
+   bodies are simplified away, rules that can no longer fire are
+   dropped, and rules whose head is a fact disappear. The hash_attr
+   recovery rules of 5.3 compile to pure copies of facts, so this pass
+   is what keeps the new encoding's overhead at clingo-like levels. *)
+let simplify st grules gmins =
+  let possible id = Bytes.get st.possible id = '\001' in
+  (* 1. negative literals on impossible atoms are trivially true *)
+  let clean_negs negs = List.filter possible negs in
+  let grules =
+    List.map (fun r -> { r with gneg = clean_negs r.gneg }) grules
+  in
+  let gmins = List.map (fun m -> { m with gcond_neg = clean_negs m.gcond_neg }) gmins in
+  (* 2. least fixpoint of certain atoms over negation-free atom rules *)
+  let certain = Hashtbl.create 1024 in
+  let sources =
+    List.filter_map
+      (fun r ->
+        match r.ghead with
+        | Gatom h when r.gneg = [] -> Some (h, r.gpos)
+        | _ -> None)
+      grules
+  in
+  let rule_arr = Array.of_list sources in
+  let counts = Array.map (fun (_, pos) -> List.length pos) rule_arr in
+  let by_atom : (int, int list ref) Hashtbl.t = Hashtbl.create 1024 in
+  Array.iteri
+    (fun i (_, pos) -> List.iter (fun id -> push_index by_atom id i) pos)
+    rule_arr;
+  let queue = Queue.create () in
+  let derive id =
+    if not (Hashtbl.mem certain id) then begin
+      Hashtbl.replace certain id ();
+      Queue.add id queue
+    end
+  in
+  Array.iteri (fun i c -> if c = 0 then derive (fst rule_arr.(i))) counts;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match Hashtbl.find_opt by_atom id with
+    | None -> ()
+    | Some l ->
+      List.iter
+        (fun i ->
+          counts.(i) <- counts.(i) - 1;
+          if counts.(i) = 0 then derive (fst rule_arr.(i)))
+        !l
+  done;
+  let is_certain id = Hashtbl.mem certain id in
+  (* 3. rewrite *)
+  let out = ref [] in
+  let seen = Hashtbl.create 4096 in
+  let emit r =
+    let key = (r.ghead, r.gpos, r.gneg) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      out := r :: !out
+    end
+  in
+  Hashtbl.iter (fun id () -> emit { ghead = Gatom id; gpos = []; gneg = [] }) certain;
+  List.iter
+    (fun r ->
+      (* a rule is dead if some negative literal is certainly true *)
+      if not (List.exists is_certain r.gneg) then begin
+        let gpos = List.filter (fun id -> not (is_certain id)) r.gpos in
+        match r.ghead with
+        | Gatom h when is_certain h -> () (* subsumed by the fact *)
+        | _ -> emit { r with gpos }
+      end)
+    grules;
+  let gmins =
+    List.filter_map
+      (fun m ->
+        if List.exists is_certain m.gcond_neg then None
+        else
+          Some
+            { m with
+              gcond_pos = List.filter (fun id -> not (is_certain id)) m.gcond_pos })
+      gmins
+  in
+  (List.rev !out, gmins)
+
+let ground prog =
+  (match Ast.check_safety prog with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("grounder: " ^ e));
+  let st = store_create () in
+  phase1 st prog;
+  let grules, gmins = phase2 st prog in
+  let grules, gmins = simplify st grules gmins in
+  { st; grules; gmins }
+
+let rules t = t.grules
+
+let minimizes t = t.gmins
+
+let atom_count t = t.st.count
+
+let possible t id = Bytes.get t.st.possible id = '\001'
+
+let atom_of_id t id = t.st.arr.(id)
+
+let find_atom t a = Hashtbl.find_opt t.st.tbl a
+
+let pp_atom_id t fmt id = Ast.pp_atom fmt (atom_of_id t id)
+
+let pp fmt t =
+  let pp_ids fmt ids =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      (pp_atom_id t) fmt ids
+  in
+  List.iter
+    (fun r ->
+      (match r.ghead with
+      | Gatom id -> pp_atom_id t fmt id
+      | Gconstraint -> ()
+      | Gchoice { lo; hi; gelems } ->
+        (match lo with Some l -> Format.fprintf fmt "%d " l | None -> ());
+        Format.fprintf fmt "{ %a }" pp_ids gelems;
+        (match hi with Some h -> Format.fprintf fmt " %d" h | None -> ()));
+      if r.gpos <> [] || r.gneg <> [] then begin
+        Format.fprintf fmt " :- %a" pp_ids r.gpos;
+        if r.gneg <> [] then begin
+          if r.gpos <> [] then Format.pp_print_string fmt ", ";
+          Format.pp_print_list
+            ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+            (fun fmt id -> Format.fprintf fmt "not %a" (pp_atom_id t) id)
+            fmt r.gneg
+        end
+      end;
+      Format.fprintf fmt ".@.")
+    t.grules

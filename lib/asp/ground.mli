@@ -1,0 +1,52 @@
+(** Grounder: instantiate a safe program over its Herbrand base.
+
+    Two phases: (1) a delta-driven fixpoint derives every {e possible}
+    atom — treating each rule head, choice element (with its local
+    condition conjoined to the rule body) as a positive derivation and
+    ignoring negative literals (the standard over-approximation);
+    (2) with the atom set fixed, every statement is instantiated in
+    full, evaluating comparisons, dropping negative literals on atoms
+    that can never hold, and emitting ground rules over interned atom
+    ids. *)
+
+type atom_id = int
+
+type ghead =
+  | Gatom of atom_id
+  | Gchoice of { lo : int option; hi : int option; gelems : atom_id list }
+  | Gconstraint
+
+type grule = { ghead : ghead; gpos : atom_id list; gneg : atom_id list }
+
+type gmin = {
+  gweight : int;
+  gpriority : int;
+  gkey : string;  (** rendered tuple identity: distinct keys sum *)
+  gcond_pos : atom_id list;
+  gcond_neg : atom_id list;
+}
+
+type t
+
+val ground : Ast.program -> t
+
+val rules : t -> grule list
+
+val minimizes : t -> gmin list
+
+val atom_count : t -> int
+(** Total interned atoms (possible or merely referenced under
+    negation); valid ids are [0 .. atom_count - 1]. *)
+
+val possible : t -> atom_id -> bool
+(** Atoms with no possible derivation are constant-false. *)
+
+val atom_of_id : t -> atom_id -> Ast.atom
+
+val find_atom : t -> Ast.atom -> atom_id option
+(** Look up a ground atom. *)
+
+val pp_atom_id : t -> Format.formatter -> atom_id -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Debug dump of the ground program. *)

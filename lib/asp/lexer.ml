@@ -1,0 +1,140 @@
+type token =
+  | IDENT of string
+  | VAR of string
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | IF
+  | DOT
+  | AT
+  | NOT
+  | SLASH
+  | MINIMIZE
+  | SHOW
+  | CMP of Ast.cmp_op
+  | EOF
+
+exception Lex_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Lex_error s)) fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z')
+
+let is_var_start c = (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 in
+  let toks = ref [] in
+  let emit t = toks := t :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '%' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      let word = String.sub src start (!i - start) in
+      emit (if word = "not" then NOT else IDENT word)
+    end
+    else if is_var_start c then begin
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do incr i done;
+      emit (VAR (String.sub src start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      emit (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while not !closed do
+        if !i >= n then fail "line %d: unterminated string" !line;
+        (match src.[!i] with
+        | '"' -> closed := true
+        | '\\' when !i + 1 < n ->
+          incr i;
+          Buffer.add_char buf src.[!i]
+        | ch -> Buffer.add_char buf ch);
+        incr i
+      done;
+      emit (STRING (Buffer.contents buf))
+    end
+    else if c = '#' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_ident_char src.[!j] do incr j done;
+      let word = String.sub src start (!j - start) in
+      i := !j;
+      match word with
+      | "minimize" -> emit MINIMIZE
+      | "show" -> emit SHOW
+      | _ -> fail "line %d: unknown directive #%s" !line word
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | ":-" -> emit IF; i := !i + 2
+      | "!=" -> emit (CMP Ast.Ne); i := !i + 2
+      | "<=" -> emit (CMP Ast.Le); i := !i + 2
+      | ">=" -> emit (CMP Ast.Ge); i := !i + 2
+      | _ -> (
+        incr i;
+        match c with
+        | '(' -> emit LPAREN
+        | ')' -> emit RPAREN
+        | '{' -> emit LBRACE
+        | '}' -> emit RBRACE
+        | ',' -> emit COMMA
+        | ';' -> emit SEMI
+        | ':' -> emit COLON
+        | '.' -> emit DOT
+        | '@' -> emit AT
+        | '/' -> emit SLASH
+        | '=' -> emit (CMP Ast.Eq)
+        | '<' -> emit (CMP Ast.Lt)
+        | '>' -> emit (CMP Ast.Gt)
+        | _ -> fail "line %d: unexpected character %C" !line c)
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+let pp_token fmt = function
+  | IDENT s -> Format.fprintf fmt "ident %s" s
+  | VAR s -> Format.fprintf fmt "var %s" s
+  | INT n -> Format.fprintf fmt "int %d" n
+  | STRING s -> Format.fprintf fmt "string %S" s
+  | LPAREN -> Format.pp_print_string fmt "("
+  | RPAREN -> Format.pp_print_string fmt ")"
+  | LBRACE -> Format.pp_print_string fmt "{"
+  | RBRACE -> Format.pp_print_string fmt "}"
+  | COMMA -> Format.pp_print_string fmt ","
+  | SEMI -> Format.pp_print_string fmt ";"
+  | COLON -> Format.pp_print_string fmt ":"
+  | IF -> Format.pp_print_string fmt ":-"
+  | DOT -> Format.pp_print_string fmt "."
+  | AT -> Format.pp_print_string fmt "@"
+  | NOT -> Format.pp_print_string fmt "not"
+  | SLASH -> Format.pp_print_string fmt "/"
+  | MINIMIZE -> Format.pp_print_string fmt "#minimize"
+  | SHOW -> Format.pp_print_string fmt "#show"
+  | CMP op -> Format.pp_print_string fmt (Ast.cmp_to_string op)
+  | EOF -> Format.pp_print_string fmt "<eof>"

@@ -1,0 +1,31 @@
+(** Tokenizer for the ASP surface syntax. Comments run from [%] to end
+    of line (but [#minimize]'s [#] is its own token family). *)
+
+type token =
+  | IDENT of string  (** lowercase-initial identifier *)
+  | VAR of string  (** uppercase-initial or [_]-initial variable *)
+  | INT of int
+  | STRING of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | COMMA
+  | SEMI
+  | COLON
+  | IF  (** [:-] *)
+  | DOT
+  | AT
+  | NOT
+  | SLASH  (** [/] (arity separators in #show) *)
+  | MINIMIZE  (** [#minimize] *)
+  | SHOW  (** [#show] (parsed and ignored) *)
+  | CMP of Ast.cmp_op
+  | EOF
+
+exception Lex_error of string
+
+val tokenize : string -> token list
+(** @raise Lex_error with line information on bad input. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,394 @@
+type model = {
+  atoms : Ast.atom list;
+  costs : (int * int) list;
+  sat_stats : (string * int) list;
+  stable_checks : int;
+  loop_clauses : int;
+}
+
+type outcome = Sat of model | Unsat
+
+(* Internal record of a rule after translation, for the stable check. *)
+type trule = {
+  t_head : thead;
+  t_pos : int list;  (* atom ids *)
+  t_neg : int list;
+  t_body_lit : int;  (* SAT literal of the body conjunction; -1 = empty body *)
+}
+
+and thead = T_atom of int | T_choice of int list
+
+type ctx = {
+  g : Ground.t;
+  sat : Sat.t;
+  (* atom id -> SAT var (identity by construction, kept explicit) *)
+  atom_var : int array;
+  trules : trule list;
+  (* supports per atom id: body vars of rules that can derive it *)
+  mutable stable_checks : int;
+  mutable loop_clauses : int;
+}
+
+let body_lits ctx pos neg =
+  List.map (fun id -> Sat.pos ctx.atom_var.(id)) pos
+  @ List.map (fun id -> Sat.neg ctx.atom_var.(id)) neg
+
+(* A literal equivalent to the conjunction of the body: single-literal
+   bodies are represented by that literal directly; longer bodies get a
+   defined variable, shared across identical bodies. Returns -1 for the
+   empty (constant-true) body. *)
+let make_body_lit ctx cache pos neg =
+  match (pos, neg) with
+  | [], [] -> -1
+  | [ x ], [] -> Sat.pos ctx.atom_var.(x)
+  | [], [ y ] -> Sat.neg ctx.atom_var.(y)
+  | _ -> (
+    let key = (List.sort Int.compare pos, List.sort Int.compare neg) in
+    match Hashtbl.find_opt cache key with
+    | Some l -> l
+    | None ->
+      let v = Sat.new_var ctx.sat in
+      let lits = body_lits ctx pos neg in
+      List.iter (fun l -> Sat.add_clause ctx.sat [ Sat.neg v; l ]) lits;
+      Sat.add_clause ctx.sat (Sat.pos v :: List.map Sat.lit_not lits);
+      Hashtbl.add cache key (Sat.pos v);
+      Sat.pos v)
+
+let translate g =
+  let sat = Sat.create () in
+  let n = Ground.atom_count g in
+  let atom_var = Array.init n (fun _ -> Sat.new_var sat) in
+  (* Atoms with no possible derivation are constant false. *)
+  for id = 0 to n - 1 do
+    if not (Ground.possible g id) then Sat.add_clause sat [ Sat.neg atom_var.(id) ]
+  done;
+  let ctx =
+    { g; sat; atom_var; trules = []; stable_checks = 0; loop_clauses = 0 }
+  in
+  let body_cache = Hashtbl.create 1024 in
+  let supports : (int, Sat.lit list ref) Hashtbl.t = Hashtbl.create 1024 in
+  let facts : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let free : (int, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add_support id l =
+    match Hashtbl.find_opt supports id with
+    | Some r -> r := l :: !r
+    | None -> Hashtbl.add supports id (ref [ l ])
+  in
+  let trules = ref [] in
+  List.iter
+    (fun (r : Ground.grule) ->
+      match r.Ground.ghead with
+      | Ground.Gconstraint ->
+        Sat.add_clause sat (List.map Sat.lit_not (body_lits ctx r.gpos r.gneg))
+      | Ground.Gatom h ->
+        if r.gpos = [] && r.gneg = [] then begin
+          Sat.add_clause sat [ Sat.pos atom_var.(h) ];
+          Hashtbl.replace facts h ();
+          trules := { t_head = T_atom h; t_pos = []; t_neg = []; t_body_lit = -1 } :: !trules
+        end
+        else begin
+          let b = make_body_lit ctx body_cache r.gpos r.gneg in
+          (* body -> head *)
+          Sat.add_clause sat [ Sat.lit_not b; Sat.pos atom_var.(h) ];
+          add_support h b;
+          trules :=
+            { t_head = T_atom h; t_pos = r.gpos; t_neg = r.gneg; t_body_lit = b }
+            :: !trules
+        end
+      | Ground.Gchoice { lo; hi; gelems } ->
+        let b_lit =
+          match make_body_lit ctx body_cache r.gpos r.gneg with
+          | -1 -> None
+          | l -> Some l
+        in
+        List.iter
+          (fun e ->
+            match b_lit with
+            | None ->
+              (* Unconditional choice: the element is supported
+                 outright and needs no completion constraint. *)
+              Hashtbl.replace free e ()
+            | Some l -> add_support e l)
+          gelems;
+        trules :=
+          { t_head = T_choice gelems;
+            t_pos = r.gpos;
+            t_neg = r.gneg;
+            t_body_lit = (match b_lit with Some l -> l | None -> -1) }
+          :: !trules;
+        let ne = List.length gelems in
+        (* Upper bound: sum of elems <= hi whenever the body holds. *)
+        (match hi with
+        | Some u when u < ne ->
+          if u < 0 then
+            (match b_lit with
+            | None -> Sat.add_clause sat []
+            | Some l -> Sat.add_clause sat [ Sat.lit_not l ])
+          else
+            let wl = List.map (fun e -> (1, Sat.pos atom_var.(e))) gelems in
+            let wl, bound =
+              match b_lit with
+              | None -> (wl, u)
+              | Some l -> ((ne - u, l) :: wl, ne)
+            in
+            Sat.add_pb_le sat wl bound
+        | _ -> ());
+        (* Lower bound: sum of elems >= lo, i.e. sum of negations
+           <= ne - lo, whenever the body holds. *)
+        (match lo with
+        | Some l0 when l0 > 0 ->
+          if l0 > ne then
+            (match b_lit with
+            | None -> Sat.add_clause sat []
+            | Some l -> Sat.add_clause sat [ Sat.lit_not l ])
+          else
+            let wl = List.map (fun e -> (1, Sat.neg atom_var.(e))) gelems in
+            let wl, bound =
+              match b_lit with
+              | None -> (wl, ne - l0)
+              | Some l -> ((l0, l) :: wl, ne)
+            in
+            Sat.add_pb_le sat wl bound
+        | _ -> ()))
+    (Ground.rules g);
+  (* Completion: every true atom needs some support. *)
+  for id = 0 to n - 1 do
+    if Ground.possible g id && not (Hashtbl.mem facts id) && not (Hashtbl.mem free id)
+    then begin
+      let sup = match Hashtbl.find_opt supports id with Some r -> !r | None -> [] in
+      Sat.add_clause sat (Sat.neg atom_var.(id) :: sup)
+    end
+  done;
+  { ctx with trules = !trules }
+
+(* ----- optimization objectives ------------------------------------ *)
+
+type objective = {
+  priority : int;
+  terms : (int * int) list;  (* (weight, tuple var) *)
+}
+
+let build_objectives ctx =
+  let groups : (string, int * int * Sat.lit list list) Hashtbl.t = Hashtbl.create 64 in
+  (* key -> (weight, priority, list of condition clauses) *)
+  List.iter
+    (fun (m : Ground.gmin) ->
+      if m.Ground.gweight < 0 then
+        invalid_arg "minimize: negative weights are not supported";
+      let cond = body_lits ctx m.gcond_pos m.gcond_neg in
+      match Hashtbl.find_opt groups m.gkey with
+      | Some (w, p, conds) -> Hashtbl.replace groups m.gkey (w, p, cond :: conds)
+      | None -> Hashtbl.add groups m.gkey (m.gweight, m.gpriority, [ cond ]))
+    (Ground.minimizes ctx.g);
+  let by_priority : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _key (w, p, conds) ->
+      if w > 0 then begin
+        let t = Sat.new_var ctx.sat in
+        (* Each satisfied condition forces the tuple to count. *)
+        List.iter
+          (fun cond ->
+            Sat.add_clause ctx.sat (Sat.pos t :: List.map Sat.lit_not cond))
+          conds;
+        match Hashtbl.find_opt by_priority p with
+        | Some r -> r := (w, t) :: !r
+        | None -> Hashtbl.add by_priority p (ref [ (w, t) ])
+      end)
+    groups;
+  Hashtbl.fold (fun p r acc -> { priority = p; terms = !r } :: acc) by_priority []
+  |> List.sort (fun a b -> Int.compare b.priority a.priority)
+
+let objective_cost ctx obj =
+  List.fold_left
+    (fun acc (w, t) -> if Sat.value ctx.sat t then acc + w else acc)
+    0 obj.terms
+
+(* ----- stability check -------------------------------------------- *)
+
+(* Compute the least model of the reduct w.r.t. the candidate model and
+   return the unfounded set (true atoms without well-founded support). *)
+let unfounded_set ctx =
+  let truth id = Sat.value ctx.sat ctx.atom_var.(id) in
+  let rules = ctx.trules in
+  (* Only rules whose negative body holds in the model survive the
+     reduct. Count outstanding positive subgoals per rule. *)
+  let live =
+    List.filter
+      (fun r -> List.for_all (fun id -> not (truth id)) r.t_neg)
+      rules
+  in
+  let derived = Hashtbl.create 256 in
+  let pending = Array.of_list live in
+  let counts = Array.map (fun r -> List.length r.t_pos) pending in
+  let rule_by_atom : (int, int list ref) Hashtbl.t = Hashtbl.create 256 in
+  Array.iteri
+    (fun i r ->
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt rule_by_atom id with
+          | Some l -> l := i :: !l
+          | None -> Hashtbl.add rule_by_atom id (ref [ i ]))
+        r.t_pos)
+    pending;
+  let queue = Queue.create () in
+  let derive id =
+    if not (Hashtbl.mem derived id) then begin
+      Hashtbl.replace derived id ();
+      Queue.add id queue
+    end
+  in
+  let fire i =
+    let r = pending.(i) in
+    match r.t_head with
+    | T_atom h -> derive h
+    | T_choice elems -> List.iter (fun e -> if truth e then derive e) elems
+  in
+  Array.iteri (fun i c -> if c = 0 then fire i) counts;
+  while not (Queue.is_empty queue) do
+    let id = Queue.pop queue in
+    match Hashtbl.find_opt rule_by_atom id with
+    | None -> ()
+    | Some l ->
+      List.iter
+        (fun i ->
+          counts.(i) <- counts.(i) - 1;
+          if counts.(i) = 0 then fire i)
+        !l
+  done;
+  let unfounded = ref [] in
+  for id = 0 to Ground.atom_count ctx.g - 1 do
+    if truth id && not (Hashtbl.mem derived id) then unfounded := id :: !unfounded
+  done;
+  !unfounded
+
+(* Cut an unfounded set. For any atom set U, if every rule that can
+   derive into U needs some of U itself (no external support body is
+   true), then no atom of U can hold in a stable model. The clauses
+   [not a \/ ext(U)] for each a in U are therefore globally valid — and
+   the externals belong to the set as a whole, not to the individual
+   atom, since internal rules may pass support around once anything in
+   U is externally established. *)
+let add_loop_clauses ctx unfounded =
+  let in_u = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace in_u id ()) unfounded;
+  let externals = ref [] in
+  List.iter
+    (fun r ->
+      let heads = match r.t_head with T_atom h -> [ h ] | T_choice es -> es in
+      if
+        List.exists (fun h -> Hashtbl.mem in_u h) heads
+        && (not (List.exists (fun p -> Hashtbl.mem in_u p) r.t_pos))
+        && r.t_body_lit >= 0
+      then
+        let l = r.t_body_lit in
+        if not (List.mem l !externals) then externals := l :: !externals)
+    ctx.trules;
+  List.iter
+    (fun a ->
+      Sat.add_clause ctx.sat (Sat.neg ctx.atom_var.(a) :: !externals);
+      ctx.loop_clauses <- ctx.loop_clauses + 1)
+    unfounded
+
+(* Solve and keep refining until the SAT model is a stable model. *)
+let solve_stable ctx ~assumptions =
+  let rec go () =
+    if not (Sat.solve ~assumptions ctx.sat) then false
+    else begin
+      ctx.stable_checks <- ctx.stable_checks + 1;
+      match unfounded_set ctx with
+      | [] -> true
+      | u ->
+        add_loop_clauses ctx u;
+        go ()
+    end
+  in
+  go ()
+
+let extract_atoms ctx =
+  let out = ref [] in
+  for id = Ground.atom_count ctx.g - 1 downto 0 do
+    if Ground.possible ctx.g id && Sat.value ctx.sat ctx.atom_var.(id) then
+      out := Ground.atom_of_id ctx.g id :: !out
+  done;
+  !out
+
+let solve g =
+  let ctx = translate g in
+  let objectives = build_objectives ctx in
+  if not (solve_stable ctx ~assumptions:[]) then Unsat
+  else begin
+    (* Lexicographic descent: fix each priority level at its minimum
+       before optimizing the next. *)
+    List.iter
+      (fun obj ->
+        let total = List.fold_left (fun acc (w, _) -> acc + w) 0 obj.terms in
+        let current = ref (objective_cost ctx obj) in
+        let improved = ref true in
+        while !improved && !current > 0 do
+          let bound = !current - 1 in
+          if bound >= total then improved := false
+          else begin
+            let a = Sat.new_var ctx.sat in
+            (* sum + (total - bound) * a <= total: active iff a. *)
+            Sat.add_pb_le ctx.sat
+              ((total - bound, Sat.pos a) :: List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms)
+              total;
+            if solve_stable ctx ~assumptions:[ Sat.pos a ] then
+              current := objective_cost ctx obj
+            else begin
+              Sat.add_clause ctx.sat [ Sat.neg a ];
+              improved := false;
+              (* Re-establish a model consistent with all permanent
+                 constraints for cost extraction at lower levels. *)
+              let ok = solve_stable ctx ~assumptions:[] in
+              assert ok
+            end
+          end
+        done;
+        (* Freeze this level. *)
+        Sat.add_pb_le ctx.sat
+          (List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms)
+          !current;
+        let ok = solve_stable ctx ~assumptions:[] in
+        assert ok)
+      objectives;
+    let costs = List.map (fun o -> (o.priority, objective_cost ctx o)) objectives in
+    Sat
+      { atoms = extract_atoms ctx;
+        costs;
+        sat_stats = Sat.stats ctx.sat;
+        stable_checks = ctx.stable_checks;
+        loop_clauses = ctx.loop_clauses }
+  end
+
+let holds m a = List.exists (fun a' -> a' = a) m.atoms
+
+let enumerate ?(limit = 64) g =
+  let ctx = translate g in
+  let models = ref [] in
+  let continue_search = ref true in
+  while !continue_search && List.length !models < limit do
+    if solve_stable ctx ~assumptions:[] then begin
+      let atoms = extract_atoms ctx in
+      models :=
+        { atoms;
+          costs = [];
+          sat_stats = Sat.stats ctx.sat;
+          stable_checks = ctx.stable_checks;
+          loop_clauses = ctx.loop_clauses }
+        :: !models;
+      (* Block this exact assignment over the atom variables. *)
+      let blocking =
+        List.concat
+          (List.init (Ground.atom_count ctx.g) (fun id ->
+               if not (Ground.possible ctx.g id) then []
+               else if Sat.value ctx.sat ctx.atom_var.(id) then
+                 [ Sat.neg ctx.atom_var.(id) ]
+               else [ Sat.pos ctx.atom_var.(id) ]))
+      in
+      if blocking = [] then continue_search := false
+      else Sat.add_clause ctx.sat blocking
+    end
+    else continue_search := false
+  done;
+  List.rev !models

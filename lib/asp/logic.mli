@@ -1,0 +1,34 @@
+(** Stable-model search over a ground program.
+
+    The ground program is translated to SAT: Clark completion for
+    derived atoms (choice-rule bodies support their elements without
+    forcing them), integrity constraints as clauses, and cardinality
+    bounds as pseudo-Boolean constraints. Because completion admits
+    self-supporting loops, every candidate model is checked for
+    unfounded sets (computing the least model of the reduct); unfounded
+    sets are cut with loop clauses and the search resumes — sound and
+    complete stable-model semantics without upfront loop enumeration.
+
+    [#minimize] objectives are optimized lexicographically (higher
+    priority first) by branch-and-bound descent with activation
+    literals. *)
+
+type model = {
+  atoms : Ast.atom list;  (** true atoms of the optimal stable model *)
+  costs : (int * int) list;  (** (priority, cost), descending priority *)
+  sat_stats : (string * int) list;
+  stable_checks : int;  (** candidate models subjected to the check *)
+  loop_clauses : int;  (** loop clauses added by failed checks *)
+}
+
+type outcome = Sat of model | Unsat
+
+val solve : Ground.t -> outcome
+
+val holds : model -> Ast.atom -> bool
+
+val enumerate : ?limit:int -> Ground.t -> model list
+(** Enumerate stable models (up to [limit], default 64) by adding
+    blocking clauses over full assignments. [#minimize] statements are
+    ignored — enumeration explores the unoptimized model space (used
+    by tests and the CLI's solver front end). *)

@@ -1,0 +1,194 @@
+open Lexer
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+type state = { toks : token array; mutable pos : int }
+
+let peek st = st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then st.toks.(st.pos + 1) else EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else fail "expected %s, found %a" what Lexer.pp_token (peek st)
+
+let rec parse_term st =
+  match peek st with
+  | INT n -> advance st; Term.Int n
+  | STRING s -> advance st; Term.Str s
+  | VAR v -> advance st; Term.Var v
+  | IDENT f ->
+    advance st;
+    if peek st = LPAREN then begin
+      advance st;
+      let args = parse_term_list st in
+      expect st RPAREN ")";
+      Term.App (f, args)
+    end
+    else Term.Sym f
+  | t -> fail "expected term, found %a" Lexer.pp_token t
+
+and parse_term_list st =
+  let first = parse_term st in
+  let rec more acc =
+    if peek st = COMMA then begin
+      advance st;
+      more (parse_term st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+let term_to_atom = function
+  | Term.App (f, args) -> { Ast.pred = f; args }
+  | Term.Sym f -> { Ast.pred = f; args = [] }
+  | t -> fail "expected an atom, found term %a" Term.pp t
+
+let parse_body_lit st =
+  match peek st with
+  | NOT ->
+    advance st;
+    Ast.Neg (term_to_atom (parse_term st))
+  | _ -> (
+    let t = parse_term st in
+    match peek st with
+    | CMP op ->
+      advance st;
+      let rhs = parse_term st in
+      Ast.Cmp (op, t, rhs)
+    | _ -> Ast.Pos (term_to_atom t))
+
+let parse_body st =
+  let first = parse_body_lit st in
+  let rec more acc =
+    if peek st = COMMA then begin
+      advance st;
+      more (parse_body_lit st :: acc)
+    end
+    else List.rev acc
+  in
+  more [ first ]
+
+let parse_choice_elem st =
+  let elem = term_to_atom (parse_term st) in
+  let cond = if peek st = COLON then begin advance st; parse_body st end else [] in
+  { Ast.elem; cond }
+
+let parse_choice st lo =
+  expect st LBRACE "{";
+  let elems =
+    if peek st = RBRACE then []
+    else begin
+      let first = parse_choice_elem st in
+      let rec more acc =
+        if peek st = SEMI then begin
+          advance st;
+          more (parse_choice_elem st :: acc)
+        end
+        else List.rev acc
+      in
+      more [ first ]
+    end
+  in
+  expect st RBRACE "}";
+  let hi = match peek st with INT n -> advance st; Some n | _ -> None in
+  Ast.Head_choice { lo; hi; elems }
+
+let parse_head st =
+  match peek st with
+  | INT n when peek2 st = LBRACE ->
+    advance st;
+    parse_choice st (Some n)
+  | LBRACE -> parse_choice st None
+  | _ -> Ast.Head_atom (term_to_atom (parse_term st))
+
+let parse_rule st =
+  match peek st with
+  | IF ->
+    advance st;
+    let body = parse_body st in
+    expect st DOT ".";
+    Ast.Rule { head = Ast.Head_none; body }
+  | _ ->
+    let head = parse_head st in
+    let body =
+      if peek st = IF then begin
+        advance st;
+        parse_body st
+      end
+      else []
+    in
+    expect st DOT ".";
+    Ast.Rule { head; body }
+
+let parse_min_elem st =
+  let weight = parse_term st in
+  let priority =
+    if peek st = AT then begin
+      advance st;
+      match peek st with
+      | INT n -> advance st; n
+      | t -> fail "expected priority integer after @, found %a" Lexer.pp_token t
+    end
+    else 0
+  in
+  let terms =
+    let rec more acc =
+      if peek st = COMMA then begin
+        advance st;
+        more (parse_term st :: acc)
+      end
+      else List.rev acc
+    in
+    more []
+  in
+  let mcond = if peek st = COLON then begin advance st; parse_body st end else [] in
+  { Ast.weight; priority; terms; mcond }
+
+let parse_statement st =
+  match peek st with
+  | MINIMIZE ->
+    advance st;
+    expect st LBRACE "{";
+    let elems =
+      if peek st = RBRACE then []
+      else begin
+        let first = parse_min_elem st in
+        let rec more acc =
+          if peek st = SEMI then begin
+            advance st;
+            more (parse_min_elem st :: acc)
+          end
+          else List.rev acc
+        in
+        more [ first ]
+      end
+    in
+    expect st RBRACE "}";
+    expect st DOT ".";
+    Some (Ast.Minimize elems)
+  | SHOW ->
+    (* #show directives are accepted and ignored: skip to the dot. *)
+    while peek st <> DOT && peek st <> EOF do advance st done;
+    expect st DOT ".";
+    None
+  | _ -> Some (parse_rule st)
+
+let parse_program src =
+  let toks =
+    try Array.of_list (Lexer.tokenize src)
+    with Lexer.Lex_error m -> raise (Parse_error m)
+  in
+  let st = { toks; pos = 0 } in
+  let out = ref [] in
+  while peek st <> EOF do
+    match parse_statement st with
+    | Some s -> out := s :: !out
+    | None -> ()
+  done;
+  List.rev !out

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for the ASP surface syntax. *)
+
+exception Parse_error of string
+
+val parse_program : string -> Ast.program
+(** Parse a whole logic program. Safety is {e not} checked here; run
+    {!Ast.check_safety} (the solver façade does). @raise Parse_error *)

@@ -1,0 +1,53 @@
+(** CDCL SAT core with pseudo-Boolean constraints.
+
+    The propositional engine under the ASP solver: two-watched-literal
+    clause propagation, first-UIP conflict analysis with clause
+    learning, VSIDS-style activities, phase saving, Luby restarts, and
+    a counter-based propagator for linear pseudo-Boolean constraints
+    [sum of w_i over true literals <= bound] (used for choice-rule
+    cardinality bounds and optimization descent).
+
+    Literal encoding: variable [v]'s positive literal is [2 * v],
+    its negation [2 * v + 1]. *)
+
+type t
+
+type lit = int
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Returns the fresh variable's index. *)
+
+val nvars : t -> int
+
+val pos : int -> lit
+
+val neg : int -> lit
+
+val lit_not : lit -> lit
+
+val add_clause : t -> lit list -> unit
+(** Add a clause. May only be called when the solver is at decision
+    level 0 (initially, or after any [solve] call returns). If the
+    clause makes the instance trivially unsatisfiable the solver
+    becomes permanently UNSAT. *)
+
+val add_pb_le : t -> (int * lit) list -> int -> unit
+(** [add_pb_le s wlits bound]: constrain the weighted count of true
+    literals to stay [<= bound]. Weights must be positive. *)
+
+val solve : ?assumptions:lit list -> t -> bool
+(** Search for a model extending the assumptions. [true] = SAT: query
+    values with {!value}. [false] = UNSAT under these assumptions
+    (permanently UNSAT if there were none). *)
+
+val value : t -> int -> bool
+(** Value of a variable in the most recent model. Only meaningful after
+    [solve] returned [true]. *)
+
+val lit_value_in_model : t -> lit -> bool
+
+val stats : t -> (string * int) list
+(** Counters: conflicts, decisions, propagations, learned clauses,
+    restarts. *)

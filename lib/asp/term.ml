@@ -1,0 +1,68 @@
+module Smap = Map.Make (String)
+
+type t =
+  | Int of int
+  | Sym of string
+  | Str of string
+  | Var of string
+  | App of string * t list
+
+type subst = t Smap.t
+
+let rec is_ground = function
+  | Int _ | Sym _ | Str _ -> true
+  | Var _ -> false
+  | App (_, args) -> List.for_all is_ground args
+
+let compare = Stdlib.compare
+
+let equal a b = compare a b = 0
+
+let rec subst_term s = function
+  | (Int _ | Sym _ | Str _) as t -> t
+  | Var v as t -> (match Smap.find_opt v s with Some t' -> t' | None -> t)
+  | App (f, args) -> App (f, List.map (subst_term s) args)
+
+let rec match_term ~pattern s subject =
+  match (pattern, subject) with
+  | Int a, Int b when a = b -> Some s
+  | Sym a, Sym b when String.equal a b -> Some s
+  | Str a, Str b when String.equal a b -> Some s
+  | Var v, t -> (
+    match Smap.find_opt v s with
+    | Some bound -> if equal bound t then Some s else None
+    | None -> Some (Smap.add v t s))
+  | App (f, pargs), App (g, sargs)
+    when String.equal f g && List.length pargs = List.length sargs ->
+    let rec go s = function
+      | [], [] -> Some s
+      | p :: ps, t :: ts -> (
+        match match_term ~pattern:p s t with
+        | Some s' -> go s' (ps, ts)
+        | None -> None)
+      | _ -> None
+    in
+    go s (pargs, sargs)
+  | _ -> None
+
+let vars t =
+  let rec go acc = function
+    | Int _ | Sym _ | Str _ -> acc
+    | Var v -> if List.mem v acc then acc else v :: acc
+    | App (_, args) -> List.fold_left go acc args
+  in
+  List.rev (go [] t)
+
+let rec pp fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Sym s -> Format.pp_print_string fmt s
+  | Str s -> Format.fprintf fmt "%S" s
+  | Var v -> Format.pp_print_string fmt v
+  | App (f, args) ->
+    Format.fprintf fmt "%s(%a)" f
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.pp_print_char fmt ',')
+         pp)
+      args
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** First-order terms for the ASP engine.
+
+    Constants are integers, identifiers ([mpich]) or quoted strings
+    (["example"]); compound terms apply a function symbol to arguments
+    ([node("example")]). Variables start with an uppercase letter. *)
+
+module Smap : Map.S with type key = string
+
+type t =
+  | Int of int
+  | Sym of string  (** identifier constant *)
+  | Str of string  (** quoted string constant *)
+  | Var of string
+  | App of string * t list
+
+type subst = t Smap.t
+
+val is_ground : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val subst_term : subst -> t -> t
+(** Apply a substitution; unbound variables stay. *)
+
+val match_term : pattern:t -> subst -> t -> subst option
+(** One-way matching: bind the pattern's variables so it equals the
+    (ground) subject, extending the given bindings. *)
+
+val vars : t -> string list
+(** Variable names occurring, without duplicates. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

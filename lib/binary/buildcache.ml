@@ -1,0 +1,107 @@
+type entry = {
+  e_spec : Spec.Concrete.t;
+  e_objects : (string * Object_file.t) list;
+  e_prefixes : (string * string) list;
+}
+
+type t = {
+  cache_name : string;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ~name = { cache_name = name; entries = Hashtbl.create 64 }
+
+let name t = t.cache_name
+
+let size t = Hashtbl.length t.entries
+
+let find t ~hash = Hashtbl.find_opt t.entries hash
+
+let mem t ~hash = Hashtbl.mem t.entries hash
+
+let specs t = Hashtbl.fold (fun _ e acc -> e.e_spec :: acc) t.entries []
+
+let relative ~prefix path =
+  let plen = String.length prefix in
+  if String.length path > plen && String.sub path 0 plen = prefix then
+    String.sub path (plen + 1) (String.length path - plen - 1)
+  else path
+
+let push t store spec =
+  let vfs = Store.vfs store in
+  let created = ref 0 in
+  List.iter
+    (fun (n : Spec.Concrete.node) ->
+      let hash = Spec.Concrete.node_hash spec n.Spec.Concrete.name in
+      if not (Hashtbl.mem t.entries hash) then begin
+        match Store.installed store ~hash with
+        | None ->
+          failwith
+            (Printf.sprintf "buildcache push: %s (%s) is not installed"
+               n.Spec.Concrete.name (Chash.short hash))
+        | Some r ->
+          let sub = Spec.Concrete.subdag spec n.Spec.Concrete.name in
+          let objects =
+            Vfs.list_prefix vfs r.Store.prefix
+            |> List.filter_map (fun path ->
+                   match Vfs.read vfs path with
+                   | Some (Vfs.Object o) ->
+                     Some (relative ~prefix:r.Store.prefix path, Object_file.copy o)
+                   | Some (Vfs.Text _) | None -> None)
+          in
+          let prefixes =
+            List.map
+              (fun (d : Spec.Concrete.node) ->
+                let dh = Spec.Concrete.node_hash sub d.Spec.Concrete.name in
+                match Store.installed store ~hash:dh with
+                | Some dr -> (dh, dr.Store.prefix)
+                | None ->
+                  (* A missing dependency record would poison every
+                     future relocation of this entry. *)
+                  failwith
+                    (Printf.sprintf
+                       "buildcache push: dependency %s (%s) of %s is not installed"
+                       d.Spec.Concrete.name (Chash.short dh) n.Spec.Concrete.name))
+              (Spec.Concrete.nodes sub)
+          in
+          Hashtbl.replace t.entries hash
+            { e_spec = sub; e_objects = objects; e_prefixes = prefixes };
+          incr created
+      end)
+    (Spec.Concrete.nodes spec);
+  !created
+
+let install_from t store ~hash =
+  match find t ~hash with
+  | None -> None
+  | Some entry ->
+    let root_node = Spec.Concrete.root_node entry.e_spec in
+    let new_prefix_of h (n : Spec.Concrete.node) =
+      Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version
+        ~hash:h
+    in
+    (* Map every build-time prefix in the entry's sub-DAG to its
+       location in the target store. *)
+    let mapping =
+      List.filter_map
+        (fun (n : Spec.Concrete.node) ->
+          let h = Spec.Concrete.node_hash entry.e_spec n.Spec.Concrete.name in
+          match List.assoc_opt h entry.e_prefixes with
+          | Some old_prefix -> Some (old_prefix, new_prefix_of h n)
+          | None -> None)
+        (Spec.Concrete.nodes entry.e_spec)
+    in
+    let prefix = new_prefix_of hash root_node in
+    let vfs = Store.vfs store in
+    let stats = ref Relocate.empty_stats in
+    List.iter
+      (fun (rel, o) ->
+        let o = Object_file.copy o in
+        stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
+        Vfs.write vfs (prefix ^ "/" ^ rel) (Vfs.Object o))
+      entry.e_objects;
+    Vfs.write vfs (prefix ^ "/.spack/spec.json")
+      (Vfs.Text (Spec.Codec.to_string ~pretty:true entry.e_spec));
+    let record = { Store.spec = entry.e_spec; prefix } in
+    Store.register store ~hash record;
+    Some (record, !stats)

@@ -1,0 +1,41 @@
+(** Buildcaches (§6.1.3): relocatable snapshots of built specs.
+
+    An entry records a node's concrete sub-DAG, its object files, and
+    the install prefixes everything lived at when built — the data
+    needed to relocate the binaries into any other store (§3.4:
+    "Spack can build binaries on a node's local filesystem ... and
+    install them again on a separate cluster"). *)
+
+type entry = {
+  e_spec : Spec.Concrete.t;
+  e_objects : (string * Object_file.t) list;  (** prefix-relative paths *)
+  e_prefixes : (string * string) list;  (** node hash -> prefix at build time *)
+}
+
+type t
+
+val create : name:string -> t
+
+val name : t -> string
+
+val size : t -> int
+
+val push : t -> Store.t -> Spec.Concrete.t -> int
+(** Snapshot every node of an installed spec into the cache; returns
+    how many new entries were created. The spec must be fully
+    installed in the store. *)
+
+val find : t -> hash:string -> entry option
+
+val mem : t -> hash:string -> bool
+
+val specs : t -> Spec.Concrete.t list
+(** The concrete specs of all entries — what the concretizer sees as
+    reusable. *)
+
+val install_from :
+  t -> Store.t -> hash:string -> (Store.record * Relocate.stats) option
+(** Copy an entry's binaries into the store, relocating every embedded
+    prefix from its build-time location to the target store's layout.
+    The entry's dependencies must already be installed (or concurrently
+    installable — their target prefixes are computed, not read). *)

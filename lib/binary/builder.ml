@@ -1,0 +1,71 @@
+let import_fraction = 0.6
+
+let family_of repo name =
+  match Pkg.Repo.find repo name with
+  | Some p -> p.Pkg.Package.abi_family
+  | None -> name
+
+let build_node store ~repo ~spec ~node =
+  let n = Spec.Concrete.node spec node in
+  let hash = Spec.Concrete.node_hash spec node in
+  match Store.installed store ~hash with
+  | Some r -> r
+  | None ->
+    let deps = Spec.Concrete.children spec node in
+    let link_deps = List.filter (fun ((_ : string), dt) -> dt.Spec.Types.link) deps in
+    let dep_records =
+      List.map
+        (fun (c, _) ->
+          let ch = Spec.Concrete.node_hash spec c in
+          match Store.installed store ~hash:ch with
+          | Some r -> (c, r)
+          | None -> failwith (Printf.sprintf "build %s: dependency %s not installed" node c))
+        link_deps
+    in
+    let prefix = Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version ~hash in
+    let dep_surface (c, (r : Store.record)) =
+      let soname = Store.soname_of c in
+      match Vfs.read_object (Store.vfs store) (Store.lib_path ~prefix:r.prefix ~soname) with
+      | Some o -> (soname, Abi.required_of o.Object_file.exports ~fraction:import_fraction)
+      | None ->
+        failwith (Printf.sprintf "build %s: %s has no object in its prefix" node c)
+    in
+    let exports =
+      (* Family-private extras derive from the family, not the package:
+         implementations of one ABI must export identical surfaces. *)
+      let family = family_of repo n.Spec.Concrete.name in
+      Abi.synthesize ~family ~interface_version:"1"
+        ~extra_symbols:(Hashtbl.hash family mod 3)
+        ()
+    in
+    let obj =
+      Object_file.create
+        ~soname:(Store.soname_of node)
+        ~exports
+        ~imports:(List.map dep_surface dep_records)
+        ~needed:(List.map (fun (c, _) -> Store.soname_of c) link_deps)
+        ~rpaths:(List.map (fun (_, (r : Store.record)) -> r.Store.prefix ^ "/lib") dep_records)
+        ~embedded:[ prefix ]
+        ()
+    in
+    let vfs = Store.vfs store in
+    Vfs.write vfs (Store.lib_path ~prefix ~soname:obj.Object_file.soname) (Vfs.Object obj);
+    Vfs.write vfs
+      (prefix ^ "/.spack/spec.json")
+      (Vfs.Text (Spec.Codec.to_string ~pretty:true (Spec.Concrete.subdag spec node)));
+    let record = { Store.spec = Spec.Concrete.subdag spec node; prefix } in
+    Store.register store ~hash record;
+    record
+
+let build_all store ~repo spec =
+  let built = ref [] in
+  let rec go node =
+    List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
+    let hash = Spec.Concrete.node_hash spec node in
+    if not (Store.is_installed store ~hash) then begin
+      ignore (build_node store ~repo ~spec ~node);
+      built := hash :: !built
+    end
+  in
+  go (Spec.Concrete.root spec);
+  List.rev !built

@@ -1,0 +1,22 @@
+(** The simulated compiler: turn a concrete spec node into an installed
+    shared object.
+
+    A built object exports the ABI surface of its package's ABI family,
+    imports a deterministic subset of each link dependency's {e actual}
+    installed surface (what a real compile bakes in from headers +
+    link), carries NEEDED entries and RPATHs pointing at the
+    dependencies' install prefixes, and embeds its own prefix (the
+    relocation workload of §3.4). *)
+
+val build_node :
+  Store.t -> repo:Pkg.Repo.t -> spec:Spec.Concrete.t -> node:string -> Store.record
+(** Compile one node; every link dependency must already be installed.
+    @raise Failure if a dependency is missing from the store. *)
+
+val build_all :
+  Store.t -> repo:Pkg.Repo.t -> Spec.Concrete.t -> string list
+(** Build every node of the spec not yet installed, dependencies first;
+    returns the hashes built. *)
+
+val import_fraction : float
+(** Fraction of a provider's symbols a consumer links against. *)

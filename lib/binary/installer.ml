@@ -1,0 +1,188 @@
+type report = {
+  built : string list;
+  reused : string list;
+  from_cache : string list;
+  rewired : string list;
+  reloc : Relocate.stats;
+  link_result : (int, Linker.error list) result;
+}
+
+(* Where an already-built binary and its build-time prefixes can be
+   found: the local store or some buildcache. *)
+type source =
+  | From_store of Store.record
+  | From_cache of Buildcache.entry
+
+let find_source store caches ~hash =
+  match Store.installed store ~hash with
+  | Some r -> Some (From_store r)
+  | None ->
+    List.find_map
+      (fun c -> Option.map (fun e -> From_cache e) (Buildcache.find c ~hash))
+      caches
+
+let source_spec = function
+  | From_store r -> r.Store.spec
+  | From_cache e -> e.Buildcache.e_spec
+
+let source_prefix_of store = function
+  | From_store _ ->
+    fun hash -> Option.map (fun (r : Store.record) -> r.Store.prefix) (Store.installed store ~hash)
+  | From_cache e -> fun hash -> List.assoc_opt hash e.Buildcache.e_prefixes
+
+let source_objects store = function
+  | From_store r ->
+    let vfs = Store.vfs store in
+    Vfs.list_prefix vfs r.Store.prefix
+    |> List.filter_map (fun path ->
+           match Vfs.read vfs path with
+           | Some (Vfs.Object o) ->
+             let plen = String.length r.Store.prefix in
+             Some (String.sub path (plen + 1) (String.length path - plen - 1), o)
+           | _ -> None)
+  | From_cache e -> e.Buildcache.e_objects
+
+(* Pair the original node's direct link dependencies with the spliced
+   node's: same names pair up; the replaced dependencies are the
+   leftovers, paired in name order (a splice replaces like with like —
+   one substitute per replaced dependency). Build-only dependencies of
+   the original are irrelevant to the binary and are excluded. *)
+let pair_children ~old_children ~new_children =
+  let link l = List.filter (fun ((_ : string), dt) -> dt.Spec.Types.link) l in
+  let old_children = link old_children and new_children = link new_children in
+  let olds = List.map fst old_children and news = List.map fst new_children in
+  let shared = List.filter (fun c -> List.mem c news) olds in
+  let only_old = List.sort String.compare (List.filter (fun c -> not (List.mem c news)) olds) in
+  let only_new = List.sort String.compare (List.filter (fun c -> not (List.mem c olds)) news) in
+  let rec zip a b = match (a, b) with x :: xs, y :: ys -> (x, y) :: zip xs ys | _ -> [] in
+  List.map (fun c -> (c, c)) shared @ zip only_old only_new
+
+let rewire_node store ~spec ~node ~build_hash ~caches =
+  let n = Spec.Concrete.node spec node in
+  let hash = Spec.Concrete.node_hash spec node in
+  let source =
+    match find_source store caches ~hash:build_hash with
+    | Some s -> s
+    | None ->
+      failwith
+        (Printf.sprintf "rewire %s: original binary %s not found in store or caches"
+           node (Chash.short build_hash))
+  in
+  let old_spec = source_spec source in
+  let old_prefix_of = source_prefix_of store source in
+  let old_root = Spec.Concrete.root old_spec in
+  let old_children = Spec.Concrete.children old_spec old_root in
+  let new_children = Spec.Concrete.children spec node in
+  let new_prefix_of c =
+    let cn = Spec.Concrete.node spec c in
+    Spec.Concrete.node_hash spec c
+    |> fun h ->
+    Store.prefix_for store ~name:cn.Spec.Concrete.name ~version:cn.Spec.Concrete.version ~hash:h
+  in
+  let prefix =
+    Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version ~hash
+  in
+  let pairs = pair_children ~old_children ~new_children in
+  let mapping =
+    (match old_prefix_of build_hash with
+    | Some old_self -> [ (old_self, prefix) ]
+    | None -> [])
+    @ List.filter_map
+        (fun (old_c, new_c) ->
+          match old_prefix_of (Spec.Concrete.node_hash old_spec old_c) with
+          | Some old_p ->
+            let new_p = new_prefix_of new_c in
+            if String.equal old_p new_p then None else Some (old_p, new_p)
+          | None -> None)
+        pairs
+  in
+  (* Cross-name splices (mpich -> mpiabi) also need their NEEDED
+     entries retargeted — patchelf --replace-needed in real life. *)
+  let renames =
+    List.filter_map
+      (fun (old_c, new_c) ->
+        if String.equal old_c new_c then None
+        else Some (Store.soname_of old_c, Store.soname_of new_c))
+      pairs
+  in
+  let rename soname =
+    match List.assoc_opt soname renames with Some s -> s | None -> soname
+  in
+  let vfs = Store.vfs store in
+  let stats = ref Relocate.empty_stats in
+  List.iter
+    (fun (rel, o) ->
+      let o = Object_file.copy o in
+      stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
+      let o =
+        { o with
+          Object_file.needed = List.map rename o.Object_file.needed;
+          imports = List.map (fun (s, surf) -> (rename s, surf)) o.Object_file.imports }
+      in
+      Vfs.write vfs (prefix ^ "/" ^ rel) (Vfs.Object o))
+    (source_objects store source);
+  Vfs.write vfs (prefix ^ "/.spack/spec.json")
+    (Vfs.Text (Spec.Codec.to_string ~pretty:true (Spec.Concrete.subdag spec node)));
+  Store.register store ~hash { Store.spec = Spec.Concrete.subdag spec node; prefix };
+  !stats
+
+let install store ~repo ?(caches = []) spec =
+  let built = ref [] and reused = ref [] and from_cache = ref [] and rewired = ref [] in
+  let reloc = ref Relocate.empty_stats in
+  let visited = Hashtbl.create 16 in
+  let rec go node =
+    if not (Hashtbl.mem visited node) then begin
+      Hashtbl.replace visited node ();
+      List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
+      let n = Spec.Concrete.node spec node in
+      let hash = Spec.Concrete.node_hash spec node in
+      if Store.is_installed store ~hash then reused := hash :: !reused
+      else
+        match n.Spec.Concrete.build_hash with
+        | Some build_hash ->
+          let stats = rewire_node store ~spec ~node ~build_hash ~caches in
+          reloc := Relocate.add_stats !reloc stats;
+          rewired := hash :: !rewired
+        | None -> (
+          match
+            List.find_map
+              (fun c -> if Buildcache.mem c ~hash then Some c else None)
+              caches
+          with
+          | Some cache ->
+            (match Buildcache.install_from cache store ~hash with
+            | Some (_, stats) ->
+              reloc := Relocate.add_stats !reloc stats;
+              from_cache := hash :: !from_cache
+            | None -> assert false)
+          | None ->
+            ignore (Builder.build_node store ~repo ~spec ~node);
+            built := hash :: !built)
+    end
+  in
+  go (Spec.Concrete.root spec);
+  let root_record =
+    match Store.installed store ~hash:(Spec.Concrete.dag_hash spec) with
+    | Some r -> r
+    | None -> failwith "install: root not installed after walk"
+  in
+  let root_obj =
+    Store.lib_path ~prefix:root_record.Store.prefix
+      ~soname:(Store.soname_of (Spec.Concrete.root spec))
+  in
+  { built = List.rev !built;
+    reused = List.rev !reused;
+    from_cache = List.rev !from_cache;
+    rewired = List.rev !rewired;
+    reloc = !reloc;
+    link_result = Linker.load (Store.vfs store) root_obj }
+
+let rebuild_count r = List.length r.built
+
+let pp_report fmt r =
+  Format.fprintf fmt "built=%d reused=%d from-cache=%d rewired=%d reloc(%a) link=%s"
+    (List.length r.built) (List.length r.reused) (List.length r.from_cache)
+    (List.length r.rewired) Relocate.pp_stats r.reloc
+    (match r.link_result with
+    | Ok n -> Printf.sprintf "ok(%d objects)" n
+    | Error es -> Printf.sprintf "FAILED(%d errors)" (List.length es))

@@ -1,0 +1,35 @@
+(** The installer: execute a concrete (possibly spliced) spec against a
+    store, doing the cheapest correct thing per node —
+
+    - already installed: reuse;
+    - spliced (carries a [build_hash]): take the original binary and
+      {e rewire} it (§4.2) — relocate its dependency references from
+      the prefixes it was built against to the prefixes of the
+      ABI-compatible substitutes — no compilation;
+    - available in a buildcache: install and relocate;
+    - otherwise: build from source.
+
+    The report's counters are the quantities the paper's scenarios talk
+    about (zero rebuilds of dependents when splicing, etc.), and the
+    final link check runs the simulated dynamic linker over the
+    installed root. *)
+
+type report = {
+  built : string list;  (** node hashes compiled from source *)
+  reused : string list;
+  from_cache : string list;
+  rewired : string list;  (** spliced nodes patched without rebuilding *)
+  reloc : Relocate.stats;
+  link_result : (int, Linker.error list) result;
+}
+
+val install :
+  Store.t ->
+  repo:Pkg.Repo.t ->
+  ?caches:Buildcache.t list ->
+  Spec.Concrete.t ->
+  report
+
+val rebuild_count : report -> int
+
+val pp_report : Format.formatter -> report -> unit

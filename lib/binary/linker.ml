@@ -1,0 +1,51 @@
+type error =
+  | Library_not_found of { needed : string; searched : string list }
+  | Bad_symbol of { library : string; problem : Abi.incompatibility }
+
+let resolve vfs rpaths soname =
+  let rec go = function
+    | [] -> None
+    | dir :: rest -> (
+      let candidate = dir ^ "/" ^ soname in
+      match Vfs.read_object vfs candidate with
+      | Some o -> Some (candidate, o)
+      | None -> go rest)
+  in
+  go rpaths
+
+let load vfs path =
+  match Vfs.read_object vfs path with
+  | None -> Error [ Library_not_found { needed = path; searched = [] } ]
+  | Some root ->
+    let loaded = Hashtbl.create 16 in
+    let errors = ref [] in
+    let rec map path (o : Object_file.t) =
+      if not (Hashtbl.mem loaded path) then begin
+        Hashtbl.replace loaded path ();
+        let rpaths = Object_file.rpath_dirs o in
+        List.iter
+          (fun needed ->
+            match resolve vfs rpaths needed with
+            | None ->
+              errors := Library_not_found { needed; searched = rpaths } :: !errors
+            | Some (dep_path, dep_obj) ->
+              (* Check the surface this object was compiled against. *)
+              (match List.assoc_opt needed o.Object_file.imports with
+              | None -> ()
+              | Some required ->
+                List.iter
+                  (fun problem -> errors := Bad_symbol { library = needed; problem } :: !errors)
+                  (Abi.check ~provider:dep_obj.Object_file.exports ~required));
+              map dep_path dep_obj)
+          o.Object_file.needed
+      end
+    in
+    map path root;
+    if !errors = [] then Ok (Hashtbl.length loaded) else Error (List.rev !errors)
+
+let pp_error fmt = function
+  | Library_not_found { needed; searched } ->
+    Format.fprintf fmt "cannot open shared object %s (searched: %s)" needed
+      (String.concat ":" searched)
+  | Bad_symbol { library; problem } ->
+    Format.fprintf fmt "%s: %a" library Abi.pp_incompatibility problem

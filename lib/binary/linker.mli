@@ -1,0 +1,18 @@
+(** The simulated dynamic linker: the ground truth for whether an
+    install (spliced or not) actually runs.
+
+    Starting from one object, every NEEDED soname is resolved through
+    the requesting object's RPATHs, and every imported symbol surface
+    is checked against the resolved provider's exports — so a splice
+    whose declared ABI compatibility was a lie fails here exactly the
+    way a real binary would (undefined symbols, layout mismatches). *)
+
+type error =
+  | Library_not_found of { needed : string; searched : string list }
+  | Bad_symbol of { library : string; problem : Abi.incompatibility }
+
+val load : Vfs.t -> string -> (int, error list) result
+(** [load vfs path]: transitively resolve and check the object at
+    [path]; [Ok n] reports how many distinct objects were mapped. *)
+
+val pp_error : Format.formatter -> error -> unit

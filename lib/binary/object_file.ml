@@ -1,0 +1,36 @@
+type path_slot = {
+  mutable path : string;
+  mutable capacity : int;
+}
+
+type t = {
+  soname : string;
+  exports : Abi.surface;
+  imports : (string * Abi.surface) list;
+  needed : string list;
+  rpaths : path_slot list;
+  embedded : path_slot list;
+}
+
+let slot ~padding path = { path; capacity = String.length path + padding }
+
+let create ~soname ~exports ~imports ~needed ~rpaths ~embedded ?(slot_padding = 8) () =
+  { soname;
+    exports;
+    imports;
+    needed;
+    rpaths = List.map (slot ~padding:slot_padding) rpaths;
+    embedded = List.map (slot ~padding:slot_padding) embedded }
+
+let copy t =
+  { t with
+    rpaths = List.map (fun s -> { path = s.path; capacity = s.capacity }) t.rpaths;
+    embedded = List.map (fun s -> { path = s.path; capacity = s.capacity }) t.embedded }
+
+let rpath_dirs t = List.map (fun s -> s.path) t.rpaths
+
+let pp fmt t =
+  Format.fprintf fmt "SONAME %s@." t.soname;
+  List.iter (fun n -> Format.fprintf fmt "NEEDED %s@." n) t.needed;
+  List.iter (fun s -> Format.fprintf fmt "RPATH %s (cap %d)@." s.path s.capacity) t.rpaths;
+  List.iter (fun s -> Format.fprintf fmt "PATH %s (cap %d)@." s.path s.capacity) t.embedded

@@ -1,0 +1,43 @@
+(** Simulated ELF shared objects.
+
+    Enough structure to exercise the paths Spack's installer cares
+    about (§3.4, §4.2): a soname, exported/imported symbol surfaces,
+    NEEDED entries, and embedded path strings (RPATHs and code-embedded
+    prefixes) stored in fixed-capacity slots — overwriting a slot with
+    a longer path requires a patchelf-style rebuild, which we count. *)
+
+type path_slot = {
+  mutable path : string;
+  mutable capacity : int;  (** bytes reserved in the "binary" *)
+}
+
+type t = {
+  soname : string;
+  exports : Abi.surface;
+  imports : (string * Abi.surface) list;
+      (** (needed soname, surface compiled against) *)
+  needed : string list;
+  rpaths : path_slot list;
+  embedded : path_slot list;  (** non-RPATH prefix references *)
+}
+
+val create :
+  soname:string ->
+  exports:Abi.surface ->
+  imports:(string * Abi.surface) list ->
+  needed:string list ->
+  rpaths:string list ->
+  embedded:string list ->
+  ?slot_padding:int ->
+  unit ->
+  t
+(** Paths get [slot_padding] spare bytes of capacity (default 8 —
+    Spack-like padded install prefixes make most relocations fit in
+    place). *)
+
+val copy : t -> t
+(** Deep copy (slots are mutable). *)
+
+val rpath_dirs : t -> string list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type stats = {
+  patched : int;
+  grown : int;
+  untouched : int;
+}
+
+let empty_stats = { patched = 0; grown = 0; untouched = 0 }
+
+let add_stats a b =
+  { patched = a.patched + b.patched;
+    grown = a.grown + b.grown;
+    untouched = a.untouched + b.untouched }
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let map_path mapping path =
+  let rec go = function
+    | [] -> None
+    | (old_p, new_p) :: rest ->
+      if starts_with ~prefix:old_p path then
+        Some (new_p ^ String.sub path (String.length old_p) (String.length path - String.length old_p))
+      else go rest
+  in
+  go mapping
+
+let relocate_slot mapping (slot : Object_file.path_slot) =
+  match map_path mapping slot.Object_file.path with
+  | None -> `Untouched
+  | Some path ->
+    if String.equal path slot.Object_file.path then `Untouched
+    else if String.length path <= slot.Object_file.capacity then begin
+      (* Simple in-place patch: the shorter (or equal) path fits in the
+         reserved bytes. *)
+      slot.Object_file.path <- path;
+      `Patched
+    end
+    else begin
+      (* patchelf: rebuild the slot with more room. *)
+      slot.Object_file.path <- path;
+      slot.Object_file.capacity <- String.length path;
+      `Grown
+    end
+
+let relocate_object (o : Object_file.t) ~mapping =
+  List.fold_left
+    (fun acc slot ->
+      match relocate_slot mapping slot with
+      | `Patched -> { acc with patched = acc.patched + 1 }
+      | `Grown -> { acc with grown = acc.grown + 1 }
+      | `Untouched -> { acc with untouched = acc.untouched + 1 })
+    empty_stats
+    (o.Object_file.rpaths @ o.Object_file.embedded)
+
+let pp_stats fmt s =
+  Format.fprintf fmt "patched=%d grown(patchelf)=%d untouched=%d" s.patched s.grown
+    s.untouched

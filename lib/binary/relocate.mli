@@ -1,0 +1,27 @@
+(** Binary relocation (§3.4): rewrite the install-prefix references
+    embedded in an object when it moves — or, for rewiring (§4.2), when
+    a dependency is replaced by an ABI-compatible substitute at a
+    different prefix.
+
+    Short-enough replacements are patched in place; replacements longer
+    than the reserved slot require a patchelf-style rebuild of the
+    slot, which we count separately (the expensive path). *)
+
+type stats = {
+  patched : int;  (** in-place rewrites *)
+  grown : int;  (** patchelf-style slot growths *)
+  untouched : int;
+}
+
+val empty_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+val map_path : (string * string) list -> string -> string option
+(** Apply the first matching (old_prefix -> new_prefix) rule to a path;
+    [None] when no rule applies. *)
+
+val relocate_object : Object_file.t -> mapping:(string * string) list -> stats
+(** Rewrite every RPATH and embedded path slot in place. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,41 @@
+type record = {
+  spec : Spec.Concrete.t;
+  prefix : string;
+}
+
+type t = {
+  root : string;
+  vfs : Vfs.t;
+  by_hash : (string, record) Hashtbl.t;
+}
+
+let create ~root vfs = { root; vfs; by_hash = Hashtbl.create 64 }
+
+let root t = t.root
+
+let vfs t = t.vfs
+
+let prefix_for t ~name ~version ~hash =
+  Printf.sprintf "%s/%s-%s-%s" t.root name (Vers.Version.to_string version)
+    (Chash.short hash)
+
+let register t ~hash record = Hashtbl.replace t.by_hash hash record
+
+let installed t ~hash = Hashtbl.find_opt t.by_hash hash
+
+let is_installed t ~hash = Hashtbl.mem t.by_hash hash
+
+let records t =
+  Hashtbl.fold (fun _ r acc -> r :: acc) t.by_hash []
+  |> List.sort (fun a b -> String.compare a.prefix b.prefix)
+
+let uninstall t ~hash =
+  match installed t ~hash with
+  | None -> ()
+  | Some r ->
+    ignore (Vfs.remove_prefix t.vfs r.prefix);
+    Hashtbl.remove t.by_hash hash
+
+let soname_of name = "lib" ^ name ^ ".so"
+
+let lib_path ~prefix ~soname = prefix ^ "/lib/" ^ soname

@@ -1,0 +1,38 @@
+(** Content-addressed install store.
+
+    Every installed spec node gets a prefix
+    [<root>/<name>-<version>-<hash7>] derived from its sub-DAG hash, so
+    ABI-distinct builds never collide and reuse is a hash lookup. *)
+
+type record = {
+  spec : Spec.Concrete.t;  (** the sub-DAG rooted at the installed node *)
+  prefix : string;
+}
+
+type t
+
+val create : root:string -> Vfs.t -> t
+
+val root : t -> string
+
+val vfs : t -> Vfs.t
+
+val prefix_for : t -> name:string -> version:Vers.Version.t -> hash:string -> string
+
+val register : t -> hash:string -> record -> unit
+
+val installed : t -> hash:string -> record option
+
+val is_installed : t -> hash:string -> bool
+
+val records : t -> record list
+(** All installed records, sorted by prefix. *)
+
+val uninstall : t -> hash:string -> unit
+(** Drop the record and its files. *)
+
+val lib_path : prefix:string -> soname:string -> string
+(** Conventional location of a prefix's shared object. *)
+
+val soname_of : string -> string
+(** [soname_of "zlib"] = ["libzlib.so"]. *)

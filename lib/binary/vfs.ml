@@ -1,0 +1,35 @@
+type file =
+  | Object of Object_file.t
+  | Text of string
+
+type t = { files : (string, file) Hashtbl.t }
+
+let create () = { files = Hashtbl.create 256 }
+
+let write t path file = Hashtbl.replace t.files path file
+
+let read t path = Hashtbl.find_opt t.files path
+
+let read_object t path =
+  match read t path with Some (Object o) -> Some o | _ -> None
+
+let exists t path = Hashtbl.mem t.files path
+
+let remove t path = Hashtbl.remove t.files path
+
+let under prefix path =
+  let p = if String.length prefix > 0 && prefix.[String.length prefix - 1] = '/' then prefix else prefix ^ "/" in
+  String.length path >= String.length p && String.sub path 0 (String.length p) = p
+
+let remove_prefix t prefix =
+  let doomed =
+    Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files []
+  in
+  List.iter (Hashtbl.remove t.files) doomed;
+  List.length doomed
+
+let list_prefix t prefix =
+  Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files []
+  |> List.sort String.compare
+
+let file_count t = Hashtbl.length t.files

@@ -1,0 +1,31 @@
+(** In-memory filesystem backing the simulated install trees.
+
+    Paths are ['/']-separated absolute strings; directories are
+    implicit. Keeps the whole substrate hermetic — builds, caches and
+    relocations never touch the real disk. *)
+
+type file =
+  | Object of Object_file.t
+  | Text of string
+
+type t
+
+val create : unit -> t
+
+val write : t -> string -> file -> unit
+
+val read : t -> string -> file option
+
+val read_object : t -> string -> Object_file.t option
+
+val exists : t -> string -> bool
+
+val remove : t -> string -> unit
+
+val remove_prefix : t -> string -> int
+(** Remove every file under a directory prefix; returns the count. *)
+
+val list_prefix : t -> string -> string list
+(** All file paths under a directory prefix, sorted. *)
+
+val file_count : t -> int

@@ -1,0 +1,27 @@
+module Sha256 = Sha256
+
+let alphabet = "abcdefghijklmnopqrstuvwxyz234567"
+
+(* RFC 4648 base32 over raw bytes, lowercase, no padding: 5 bytes of
+   input yield 8 output symbols; the tail is truncated like Spack's
+   [b32_hash]. *)
+let b32 raw =
+  let n = String.length raw in
+  let out = Buffer.create ((n * 8 / 5) + 2) in
+  let acc = ref 0 and bits = ref 0 in
+  String.iter
+    (fun c ->
+      acc := (!acc lsl 8) lor Char.code c;
+      bits := !bits + 8;
+      while !bits >= 5 do
+        bits := !bits - 5;
+        Buffer.add_char out alphabet.[(!acc lsr !bits) land 31]
+      done)
+    raw;
+  if !bits > 0 then Buffer.add_char out alphabet.[(!acc lsl (5 - !bits)) land 31];
+  Buffer.contents out
+
+let hash_string s = b32 (Sha256.digest s)
+
+let short ?(len = 7) digest =
+  if String.length digest <= len then digest else String.sub digest 0 len

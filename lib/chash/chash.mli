@@ -1,0 +1,19 @@
+(** Content hashing for spec DAGs.
+
+    Spack identifies every concrete spec by a base32-rendered digest of
+    its canonical description; equal DAGs hash equal, and the hash of a
+    parent commits to the hashes of its children (a Merkle DAG). This
+    module provides the digest and rendering; the canonicalisation of
+    specs lives in {!Spec}. *)
+
+module Sha256 = Sha256
+
+val b32 : string -> string
+(** Render raw digest bytes in Spack's lowercase base32 alphabet
+    (RFC 4648 without padding, lowercased). *)
+
+val hash_string : string -> string
+(** [hash_string s] is the full base32 digest of [s]. *)
+
+val short : ?len:int -> string -> string
+(** First [len] (default 7) characters of a digest, Spack's display form. *)

@@ -1,0 +1,24 @@
+(** From-scratch SHA-256 (FIPS 180-4).
+
+    Spack addresses installed specs by cryptographic digests of their
+    DAG contents; this module provides the primitive. Pure OCaml, no
+    dependencies, validated against the FIPS test vectors in
+    [test/test_chash.ml]. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+(** Fresh context. *)
+
+val feed : ctx -> string -> unit
+(** [feed ctx s] absorbs the bytes of [s]. *)
+
+val finalize : ctx -> string
+(** Returns the 32-byte raw digest and invalidates the context. *)
+
+val digest : string -> string
+(** One-shot raw 32-byte digest. *)
+
+val hex : string -> string
+(** One-shot digest rendered as 64 lowercase hex characters. *)

@@ -1,0 +1,115 @@
+type options = {
+  encoding : Encode.encoding;
+  splicing : bool;
+  reuse : Spec.Concrete.t list;
+  host_os : string;
+  host_target : string;
+}
+
+let default_options =
+  { encoding = Encode.Hash_attr;
+    splicing = false;
+    reuse = [];
+    host_os = "linux";
+    host_target = "x86_64" }
+
+type stats = {
+  ground_atoms : int;
+  ground_rules : int;
+  fact_count : int;
+  sat_stats : (string * int) list;
+  stable_checks : int;
+  costs : (int * int) list;
+  encode_seconds : float;
+  ground_seconds : float;
+  solve_seconds : float;
+  total_seconds : float;
+}
+
+type outcome = {
+  solution : Decode.solution;
+  stats : stats;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Requests must name known packages (or virtuals): an unknown name
+   would otherwise surface as a baffling UNSAT. *)
+let check_known ~repo requests =
+  let known n = Pkg.Repo.mem repo n || Pkg.Repo.is_virtual repo n in
+  List.find_map
+    (fun (r : Encode.request) ->
+      let root = r.Encode.req.Spec.Abstract.root.Spec.Abstract.name in
+      if Pkg.Repo.is_virtual repo root then
+        Some
+          (Printf.sprintf
+             "virtual packages cannot be requested as roots: %s (request a provider: %s)"
+             root
+             (String.concat ", "
+                (List.map
+                   (fun (p : Pkg.Package.t) -> p.Pkg.Package.name)
+                   (Pkg.Repo.providers repo root))))
+      else
+        let names =
+          root
+          :: List.map
+               (fun (d : Spec.Abstract.dep) -> d.Spec.Abstract.node.Spec.Abstract.name)
+               r.Encode.req.Spec.Abstract.deps
+        in
+        List.find_map
+          (fun n ->
+            if known n then None else Some (Printf.sprintf "unknown package: %s" n))
+          names)
+    requests
+
+let concretize ~repo ?(options = default_options) requests =
+  match check_known ~repo requests with
+  | Some e -> Error e
+  | None ->
+  let t0 = now () in
+  let encoded =
+    Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
+      ~reuse:options.reuse ~host_os:options.host_os ~host_target:options.host_target
+      requests
+  in
+  let program_text =
+    Program.assemble ~encoding:options.encoding ~splicing:options.splicing
+  in
+  let statements =
+    Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts
+  in
+  let t1 = now () in
+  let ground = Asp.Ground.ground statements in
+  let t2 = now () in
+  let result = Asp.Logic.solve ground in
+  let t3 = now () in
+  match result with
+  | Asp.Logic.Unsat -> Error "UNSAT: no valid concretization exists"
+  | Asp.Logic.Sat model -> (
+    match Decode.decode ~pool:encoded.Encode.pool ~requests model with
+    | Error e -> Error ("decode: " ^ e)
+    | Ok solution ->
+      Ok
+        { solution;
+          stats =
+            { ground_atoms = Asp.Ground.atom_count ground;
+              ground_rules = List.length (Asp.Ground.rules ground);
+              fact_count = List.length encoded.Encode.facts;
+              sat_stats = model.Asp.Logic.sat_stats;
+              stable_checks = model.Asp.Logic.stable_checks;
+              costs = model.Asp.Logic.costs;
+              encode_seconds = t1 -. t0;
+              ground_seconds = t2 -. t1;
+              solve_seconds = t3 -. t2;
+              total_seconds = t3 -. t0 } })
+
+let concretize_spec ~repo ?options text =
+  match Encode.request_of_string text with
+  | req -> concretize ~repo ?options [ req ]
+  | exception Spec.Parser.Parse_error e -> Error ("parse error: " ^ e)
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "atoms=%d rules=%d facts=%d stable_checks=%d encode=%.3fs ground=%.3fs solve=%.3fs total=%.3fs"
+    s.ground_atoms s.ground_rules s.fact_count s.stable_checks s.encode_seconds
+    s.ground_seconds s.solve_seconds s.total_seconds

@@ -1,0 +1,56 @@
+(** The concretizer: Spack's dependency resolver with automatic
+    splicing (§5).
+
+    Pipeline (§3.3): compile packages + requests + reusable specs to
+    ASP facts ({!Encode}), join them with the logic program
+    ({!Program}), ground and solve for the optimal stable model
+    ({!Asp}), and interpret the model back into concrete specs
+    ({!Decode}).
+
+    Knobs map one-to-one onto the paper's experimental axes (§6.1.4):
+    the reusable-spec [encoding] (old vs hash_attr), whether automatic
+    [splicing] is considered, and the set of reusable specs (the
+    buildcache contents). *)
+
+type options = {
+  encoding : Encode.encoding;
+  splicing : bool;
+  reuse : Spec.Concrete.t list;
+  host_os : string;
+  host_target : string;
+}
+
+val default_options : options
+(** hash_attr encoding, splicing off, no reuse, linux/x86_64 host. *)
+
+type stats = {
+  ground_atoms : int;
+  ground_rules : int;
+  fact_count : int;
+  sat_stats : (string * int) list;
+  stable_checks : int;
+  costs : (int * int) list;
+  encode_seconds : float;
+  ground_seconds : float;
+  solve_seconds : float;
+  total_seconds : float;
+}
+
+type outcome = {
+  solution : Decode.solution;
+  stats : stats;
+}
+
+val concretize :
+  repo:Pkg.Repo.t ->
+  ?options:options ->
+  Encode.request list ->
+  (outcome, string) result
+(** Concretize one or more abstract requests jointly. [Error] carries
+    "UNSAT" or a decode failure description. *)
+
+val concretize_spec :
+  repo:Pkg.Repo.t -> ?options:options -> string -> (outcome, string) result
+(** Convenience: single request from spec syntax. *)
+
+val pp_stats : Format.formatter -> stats -> unit

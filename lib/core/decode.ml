@@ -1,0 +1,275 @@
+module T = Asp.Term
+module Smap = Spec.Types.Smap
+
+type splice_record = {
+  sp_parent : string;
+  sp_old : string;
+  sp_old_hash : string;
+  sp_new : string;
+}
+
+type solution = {
+  specs : Spec.Concrete.t list;
+  built : string list;
+  reused : (string * string) list;
+  splices : splice_record list;
+  model : Asp.Logic.model;
+}
+
+(* Model atoms bucketed into lookup tables. *)
+type tables = {
+  nodes : (string, unit) Hashtbl.t;
+  versions : (string, string) Hashtbl.t;
+  variants : (string, (string * string) list ref) Hashtbl.t;
+  oses : (string, string) Hashtbl.t;
+  targets : (string, string) Hashtbl.t;
+  hashes : (string, string) Hashtbl.t;
+  builds : (string, unit) Hashtbl.t;
+  edges : (string, (string * Spec.Types.deptypes) list ref) Hashtbl.t;
+  splice_atoms : splice_record list ref;
+}
+
+let node_name = function T.App ("node", [ T.Str p ]) -> Some p | _ -> None
+
+let scan (model : Asp.Logic.model) =
+  let t =
+    { nodes = Hashtbl.create 64;
+      versions = Hashtbl.create 64;
+      variants = Hashtbl.create 64;
+      oses = Hashtbl.create 64;
+      targets = Hashtbl.create 64;
+      hashes = Hashtbl.create 64;
+      builds = Hashtbl.create 64;
+      edges = Hashtbl.create 64;
+      splice_atoms = ref [] }
+  in
+  let add_edge p c dt =
+    let merged =
+      match Hashtbl.find_opt t.edges p with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add t.edges p l;
+        l
+    in
+    match List.assoc_opt c !merged with
+    | Some prev ->
+      merged :=
+        (c, Spec.Types.deptypes_union prev dt) :: List.remove_assoc c !merged
+    | None -> merged := (c, dt) :: !merged
+  in
+  List.iter
+    (fun (a : Asp.Ast.atom) ->
+      match (a.Asp.Ast.pred, a.Asp.Ast.args) with
+      | "attr", [ T.Str "node"; n ] -> (
+        match node_name n with
+        | Some p -> Hashtbl.replace t.nodes p ()
+        | None -> ())
+      | "attr", [ T.Str "version"; n; T.Str v ] -> (
+        match node_name n with
+        | Some p -> Hashtbl.replace t.versions p v
+        | None -> ())
+      | "attr", [ T.Str "variant_value"; n; T.Str var; T.Str value ] -> (
+        match node_name n with
+        | Some p -> (
+          match Hashtbl.find_opt t.variants p with
+          | Some l -> l := (var, value) :: !l
+          | None -> Hashtbl.add t.variants p (ref [ (var, value) ]))
+        | None -> ())
+      | "attr", [ T.Str "node_os"; n; T.Str os ] -> (
+        match node_name n with
+        | Some p -> Hashtbl.replace t.oses p os
+        | None -> ())
+      | "attr", [ T.Str "node_target"; n; T.Str tg ] -> (
+        match node_name n with
+        | Some p -> Hashtbl.replace t.targets p tg
+        | None -> ())
+      | "attr", [ T.Str "hash"; n; T.Str h ] -> (
+        match node_name n with
+        | Some p -> Hashtbl.replace t.hashes p h
+        | None -> ())
+      | "attr", [ T.Str "splice"; n; T.Str old_name; T.Str old_hash; s ] -> (
+        match (node_name n, node_name s) with
+        | Some parent, Some replacement ->
+          t.splice_atoms :=
+            { sp_parent = parent;
+              sp_old = old_name;
+              sp_old_hash = old_hash;
+              sp_new = replacement }
+            :: !(t.splice_atoms)
+        | _ -> ())
+      | "build", [ T.Str p ] -> Hashtbl.replace t.builds p ()
+      | "depends_on_actual", [ T.Str p; T.Str c; T.Str dt ] ->
+        add_edge p c
+          (match dt with
+          | "build" -> Spec.Types.dt_build
+          | _ -> Spec.Types.dt_link)
+      | _ -> ())
+    model.Asp.Logic.atoms;
+  t
+
+let link_children t p =
+  match Hashtbl.find_opt t.edges p with
+  | None -> []
+  | Some l -> List.filter (fun ((_ : string), dt) -> dt.Spec.Types.link) !l
+
+let all_children t p =
+  match Hashtbl.find_opt t.edges p with None -> [] | Some l -> !l
+
+(* A reused node is unchanged when its imposed link-dependency
+   structure matches the pool spec hash-for-hash, recursively. *)
+let rec unchanged ~pool ~t memo p =
+  match Hashtbl.find_opt memo p with
+  | Some r -> r
+  | None ->
+    let r =
+      match Hashtbl.find_opt t.hashes p with
+      | None -> false
+      | Some h -> (
+        match Hashtbl.find_opt pool.Encode.by_hash h with
+        | None -> false
+        | Some spec ->
+          let pool_children =
+            List.filter
+              (fun ((_ : string), dt) -> dt.Spec.Types.link)
+              (Spec.Concrete.children spec p)
+          in
+          let model_children = link_children t p in
+          let names l = List.sort String.compare (List.map fst l) in
+          names pool_children = names model_children
+          && List.for_all
+               (fun (c, _) ->
+                 match Hashtbl.find_opt t.hashes c with
+                 | Some ch ->
+                   String.equal ch (Spec.Concrete.node_hash spec c)
+                   && unchanged ~pool ~t memo c
+                 | None -> false)
+               pool_children)
+    in
+    Hashtbl.replace memo p r;
+    r
+
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let build_spec_for ~pool ~t root =
+  let memo = Hashtbl.create 32 in
+  let nodes : (string, Spec.Concrete.node) Hashtbl.t = Hashtbl.create 32 in
+  let edges : (string, (string * Spec.Types.deptypes) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let graft spec =
+    List.iter
+      (fun (n : Spec.Concrete.node) ->
+        if not (Hashtbl.mem nodes n.Spec.Concrete.name) then begin
+          Hashtbl.replace nodes n.Spec.Concrete.name n;
+          Hashtbl.replace edges n.Spec.Concrete.name
+            (Spec.Concrete.children spec n.Spec.Concrete.name)
+        end)
+      (Spec.Concrete.nodes spec)
+  in
+  let rec collect p =
+    if not (Hashtbl.mem nodes p) then begin
+      if not (Hashtbl.mem t.nodes p) then fail "solution has no node %s" p;
+      let reused_hash = Hashtbl.find_opt t.hashes p in
+      let is_unchanged =
+        match reused_hash with
+        | Some _ -> unchanged ~pool ~t memo p
+        | None -> false
+      in
+      match (reused_hash, is_unchanged) with
+      | Some h, true ->
+        (* Pure reuse: graft the installed sub-DAG verbatim so hashes
+           round-trip. *)
+        let spec =
+          match Hashtbl.find_opt pool.Encode.by_hash h with
+          | Some s -> s
+          | None -> fail "reused hash %s not in pool" h
+        in
+        graft spec
+      | _ ->
+        let version =
+          match Hashtbl.find_opt t.versions p with
+          | Some v -> Vers.Version.of_string v
+          | None -> fail "node %s has no version in the model" p
+        in
+        let variants =
+          match Hashtbl.find_opt t.variants p with
+          | None -> Smap.empty
+          | Some l ->
+            List.fold_left
+              (fun m (var, value) ->
+                let v =
+                  match value with
+                  | "True" -> Spec.Types.Bool true
+                  | "False" -> Spec.Types.Bool false
+                  | s -> Spec.Types.Str s
+                in
+                Smap.add var v m)
+              Smap.empty !l
+        in
+        let os = Option.value (Hashtbl.find_opt t.oses p) ~default:"unknown" in
+        let target = Option.value (Hashtbl.find_opt t.targets p) ~default:"unknown" in
+        let build_hash =
+          (* Relinked reused node: it was built as its chosen hash —
+             unless the installed binary itself carries older
+             provenance (a re-splice), which wins. *)
+          match reused_hash with
+          | None -> None
+          | Some h -> (
+            match Hashtbl.find_opt pool.Encode.by_hash h with
+            | Some spec -> (
+              match (Spec.Concrete.root_node spec).Spec.Concrete.build_hash with
+              | Some older -> Some older
+              | None -> Some h)
+            | None -> Some h)
+        in
+        let children =
+          (* A relinked binary sheds build-only deps (§4.1); a node
+             built from source keeps them. *)
+          match reused_hash with
+          | Some _ -> link_children t p
+          | None -> all_children t p
+        in
+        Hashtbl.replace nodes p
+          { Spec.Concrete.name = p; version; variants; os; target; build_hash };
+        Hashtbl.replace edges p children;
+        List.iter (fun (c, _) -> collect c) children
+    end
+  in
+  collect root;
+  let node_list = Hashtbl.fold (fun _ n acc -> n :: acc) nodes [] in
+  let edge_list =
+    Hashtbl.fold
+      (fun p cs acc -> List.fold_left (fun acc (c, dt) -> (p, c, dt) :: acc) acc cs)
+      edges []
+  in
+  let spec = Spec.Concrete.create ~root ~nodes:node_list ~edges:edge_list () in
+  (* Spec-level provenance: when the root itself was relinked, the
+     installed spec it reuses is the build spec. *)
+  match ((Spec.Concrete.root_node spec).Spec.Concrete.build_hash, Hashtbl.find_opt t.hashes root) with
+  | Some _, Some h -> (
+    match Hashtbl.find_opt pool.Encode.by_hash h with
+    | Some original -> Spec.Concrete.with_build_spec spec (Some original)
+    | None -> spec)
+  | _ -> spec
+
+let decode ~pool ~requests model =
+  let t = scan model in
+  try
+    let specs =
+      List.map
+        (fun (r : Encode.request) ->
+          build_spec_for ~pool ~t r.Encode.req.Spec.Abstract.root.Spec.Abstract.name)
+        requests
+    in
+    let built = Hashtbl.fold (fun p () acc -> p :: acc) t.builds [] |> List.sort String.compare in
+    let reused =
+      Hashtbl.fold (fun p h acc -> (p, h) :: acc) t.hashes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    Ok { specs; built; reused; splices = !(t.splice_atoms); model }
+  with Decode_error e -> Error e
+
+let is_spliced_solution s = s.splices <> []

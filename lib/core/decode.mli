@@ -1,0 +1,33 @@
+(** Interpret the optimal stable model back into concrete specs
+    (§3.3's third stage, extended with splice synthesis, §5.4).
+
+    Reused nodes whose entire imposed sub-DAG survived intact are
+    grafted verbatim from the reuse pool (their hashes must round-trip
+    exactly); nodes the solver relinked — a [splice] atom replaced one
+    of their dependencies, directly or transitively — are rebuilt from
+    the model's attributes, marked with the [build_hash] they were
+    compiled as, and shed their build-only edges, exactly like a manual
+    {!Splice.splice}. *)
+
+type splice_record = {
+  sp_parent : string;  (** node whose dependency was replaced *)
+  sp_old : string;  (** replaced package name *)
+  sp_old_hash : string;
+  sp_new : string;  (** replacing package name *)
+}
+
+type solution = {
+  specs : Spec.Concrete.t list;  (** one per requested root, same order *)
+  built : string list;  (** package names built from source *)
+  reused : (string * string) list;  (** (package, installed hash) reused *)
+  splices : splice_record list;
+  model : Asp.Logic.model;
+}
+
+val decode :
+  pool:Encode.reuse_pool ->
+  requests:Encode.request list ->
+  Asp.Logic.model ->
+  (solution, string) result
+
+val is_spliced_solution : solution -> bool

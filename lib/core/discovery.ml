@@ -1,0 +1,106 @@
+type suggestion = {
+  replacement : string;
+  replacement_version : Vers.Version.t;
+  target : string;
+  target_version : Vers.Version.t;
+  exact : bool;
+}
+
+(* The virtuals a package provides, per the repository. *)
+let virtuals_of repo name =
+  match Pkg.Repo.find repo name with
+  | None -> []
+  | Some p ->
+    List.map (fun (pr : Pkg.Package.provide_decl) -> pr.Pkg.Package.p_virtual)
+      p.Pkg.Package.provides
+
+let surface_of store (spec : Spec.Concrete.t) =
+  let root = Spec.Concrete.root spec in
+  let hash = Spec.Concrete.dag_hash spec in
+  match Binary.Store.installed store ~hash with
+  | None -> None
+  | Some r ->
+    Binary.Vfs.read_object (Binary.Store.vfs store)
+      (Binary.Store.lib_path ~prefix:r.Binary.Store.prefix
+         ~soname:(Binary.Store.soname_of root))
+    |> Option.map (fun o -> o.Binary.Object_file.exports)
+
+let candidate_pair repo a b =
+  let name_a = Spec.Concrete.root a and name_b = Spec.Concrete.root b in
+  if String.equal name_a name_b then
+    not (String.equal (Spec.Concrete.dag_hash a) (Spec.Concrete.dag_hash b))
+  else
+    let va = virtuals_of repo name_a and vb = virtuals_of repo name_b in
+    List.exists (fun v -> List.mem v vb) va
+
+let scan ~repo ~specs ~store =
+  (* One representative sub-spec per root node hash. *)
+  let roots = Hashtbl.create 64 in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun (n : Spec.Concrete.node) ->
+          let sub = Spec.Concrete.subdag spec n.Spec.Concrete.name in
+          Hashtbl.replace roots (Spec.Concrete.dag_hash sub) sub)
+        (Spec.Concrete.nodes spec))
+    specs;
+  let entries =
+    Hashtbl.fold
+      (fun _ spec acc ->
+        match surface_of store spec with
+        | Some surface -> (spec, surface) :: acc
+        | None -> acc)
+      roots []
+  in
+  let out = ref [] in
+  List.iter
+    (fun (replacement, r_surface) ->
+      List.iter
+        (fun (target, t_surface) ->
+          if
+            candidate_pair repo replacement target
+            && Abi.compatible ~provider:r_surface ~required:t_surface
+          then begin
+            let rn = Spec.Concrete.root_node replacement in
+            let tn = Spec.Concrete.root_node target in
+            let s =
+              { replacement = rn.Spec.Concrete.name;
+                replacement_version = rn.Spec.Concrete.version;
+                target = tn.Spec.Concrete.name;
+                target_version = tn.Spec.Concrete.version;
+                exact = Abi.compatible ~provider:t_surface ~required:r_surface }
+            in
+            if not (List.mem s !out) then out := s :: !out
+          end)
+        entries)
+    entries;
+  List.sort compare !out
+
+let to_directive s =
+  Printf.sprintf "can_splice \"%s@=%s\" ~when_:\"@=%s\"" s.target
+    (Vers.Version.to_string s.target_version)
+    (Vers.Version.to_string s.replacement_version)
+
+let apply repo suggestions =
+  List.fold_left
+    (fun repo s ->
+      match Pkg.Repo.find repo s.replacement with
+      | None -> repo
+      | Some p ->
+        let target =
+          Printf.sprintf "%s@=%s" s.target (Vers.Version.to_string s.target_version)
+        in
+        let when_ =
+          Printf.sprintf "@=%s" (Vers.Version.to_string s.replacement_version)
+        in
+        (* Skip duplicates of hand-written directives. *)
+        let already =
+          List.exists
+            (fun (d : Pkg.Package.splice_decl) ->
+              Spec.Abstract.to_string d.Pkg.Package.s_target
+              = Spec.Abstract.to_string (Spec.Parser.parse target))
+            p.Pkg.Package.splices
+        in
+        if already then repo
+        else Pkg.Repo.add repo (Pkg.Package.can_splice target ~when_ p))
+    repo suggestions

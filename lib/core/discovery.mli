@@ -1,0 +1,40 @@
+(** Automatic ABI discovery — the paper's future work (§8):
+    "In the future, we will develop methods for automating ABI
+    discovery for the Spack ecosystem in order to reduce developer
+    burden."
+
+    Instead of package developers hand-writing [can_splice]
+    directives, this module inspects the {e actual binaries} in a
+    store or buildcache: for every pair of installed specs that could
+    stand in for each other (same package, or providers of the same
+    virtual), it compares the exported ABI surfaces — symbol digests
+    and type layouts — and suggests [can_splice] directives exactly
+    when the replacement's surface serves every consumer of the
+    target's (superset with identical layouts).
+
+    The suggestions are conservative by construction: they are derived
+    from the compiled artifacts, not the API, so an Open-MPI-style
+    opaque-layout divergence (§2.1) is never suggested. *)
+
+type suggestion = {
+  replacement : string;  (** package that can stand in *)
+  replacement_version : Vers.Version.t;
+  target : string;  (** package being replaced *)
+  target_version : Vers.Version.t;
+  exact : bool;  (** surfaces identical (vs. strict superset) *)
+}
+
+val scan :
+  repo:Pkg.Repo.t -> specs:Spec.Concrete.t list -> store:Binary.Store.t -> suggestion list
+(** Compare the installed binaries of the given specs pairwise.
+    Candidate pairs: same package name at different hashes, or two
+    providers of a common virtual. Suggestions are deduplicated and
+    sorted. *)
+
+val to_directive : suggestion -> string
+(** Render as the DSL call, e.g.
+    ["can_splice \"mpich@3.4.3\" ~when_:\"@=1.0\""]. *)
+
+val apply : Pkg.Repo.t -> suggestion list -> Pkg.Repo.t
+(** Install the discovered directives into the repository's package
+    definitions, so the concretizer can use them. *)

@@ -1,0 +1,51 @@
+(** Compilation of the concretizer's inputs to ASP facts and rules
+    (§5.1–§5.3).
+
+    Three fact groups: package definitions (versions, variants,
+    conditional dependencies via the condition/requirement/imposition
+    machinery of §5.1.1, provides, conflicts), the user's abstract
+    requests, and reusable concrete specs — in either the {e old}
+    direct [imposed_constraint] encoding (§5.1.2) or the {e new}
+    [hash_attr] encoding that splicing needs (§5.3, Fig. 3a).
+
+    [can_splice] directives compile to one ASP rule each (Fig. 4a),
+    generated here because their version-range tests must be
+    precompiled against the known version universe (ASP cannot order
+    version strings). *)
+
+type encoding = Old | Hash_attr
+
+type request = {
+  req : Spec.Abstract.t;
+  forbid : string list;
+      (** package names the solution must not contain (§6.4 requires
+          solutions that do not depend on mpich) *)
+}
+
+val request_of_string : ?forbid:string list -> string -> request
+
+type reuse_pool = {
+  by_hash : (string, Spec.Concrete.t) Hashtbl.t;
+      (** node hash -> the concrete sub-DAG rooted there *)
+}
+
+val pool_of_specs : Spec.Concrete.t list -> reuse_pool
+(** Index every node of every spec (each is individually reusable). *)
+
+val pool_size : reuse_pool -> int
+
+type t = {
+  facts : Asp.Ast.statement list;
+  rules : Asp.Ast.statement list;  (** generated can_splice rules *)
+  pool : reuse_pool;
+}
+
+val encode :
+  repo:Pkg.Repo.t ->
+  encoding:encoding ->
+  splicing:bool ->
+  reuse:Spec.Concrete.t list ->
+  host_os:string ->
+  host_target:string ->
+  request list ->
+  t

@@ -1,0 +1,80 @@
+type t = {
+  env_name : string;
+  requests : Encode.request list;
+  concrete : Spec.Concrete.t list;
+}
+
+let create env_name = { env_name; requests = []; concrete = [] }
+
+let add t text =
+  { t with requests = t.requests @ [ Encode.request_of_string text ]; concrete = [] }
+
+let remove t name =
+  { t with
+    requests =
+      List.filter
+        (fun (r : Encode.request) ->
+          r.Encode.req.Spec.Abstract.root.Spec.Abstract.name <> name)
+        t.requests;
+    concrete = [] }
+
+let concretize ~repo ?options t =
+  if t.requests = [] then Ok { t with concrete = [] }
+  else
+    match Concretizer.concretize ~repo ?options t.requests with
+    | Error e -> Error e
+    | Ok o -> Ok { t with concrete = o.Concretizer.solution.Decode.specs }
+
+let lockfile t =
+  Sjson.Object
+    [ ("name", Sjson.String t.env_name);
+      ( "roots",
+        Sjson.Array
+          (List.map
+             (fun (r : Encode.request) ->
+               Sjson.Object
+                 [ ("spec", Sjson.String (Spec.Abstract.to_string r.Encode.req));
+                   ( "forbid",
+                     Sjson.Array (List.map (fun f -> Sjson.String f) r.Encode.forbid) )
+                 ])
+             t.requests) );
+      ("concrete", Sjson.Array (List.map Spec.Codec.to_json t.concrete)) ]
+
+let of_lockfile j =
+  let env_name = Sjson.get_string (Sjson.member "name" j) in
+  let requests =
+    List.map
+      (fun r ->
+        let forbid =
+          List.map Sjson.get_string (Sjson.to_list (Sjson.member "forbid" r))
+        in
+        Encode.request_of_string ~forbid (Sjson.get_string (Sjson.member "spec" r)))
+      (Sjson.to_list (Sjson.member "roots" j))
+  in
+  let concrete =
+    List.map Spec.Codec.of_json (Sjson.to_list (Sjson.member "concrete" j))
+  in
+  { env_name; requests; concrete }
+
+let install t store ~repo ?(caches = []) () =
+  List.map
+    (fun spec ->
+      (Spec.Concrete.root spec, Binary.Installer.install store ~repo ~caches spec))
+    t.concrete
+
+let status t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "environment %s: %d roots" t.env_name
+                         (List.length t.requests));
+  if t.concrete = [] then Buffer.add_string b " (not concretized)"
+  else begin
+    Buffer.add_string b "\n";
+    List.iter
+      (fun spec ->
+        Buffer.add_string b
+          (Printf.sprintf "  [%s] %s\n"
+             (Chash.short (Spec.Concrete.dag_hash spec))
+             (Spec.Concrete.to_string spec)))
+      t.concrete
+  end;
+  Buffer.contents b

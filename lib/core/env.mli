@@ -1,0 +1,47 @@
+(** Environments: named collections of root specs concretized
+    {e jointly} and pinned by a lockfile (Spack's spack.yaml /
+    spack.lock analogue).
+
+    Joint concretization gives all roots one consistent DAG per
+    package (§6.3 concretizes the stack "separately and jointly");
+    the lockfile pins every concrete spec — hashes included, splice
+    provenance included — so an environment can be reinstalled
+    bit-for-bit elsewhere. *)
+
+type t = {
+  env_name : string;
+  requests : Encode.request list;  (** the abstract roots, in order *)
+  concrete : Spec.Concrete.t list;
+      (** one per request after {!concretize}; empty before *)
+}
+
+val create : string -> t
+
+val add : t -> string -> t
+(** Add a root in spec syntax. Clears stale concretizations.
+    @raise Spec.Parser.Parse_error *)
+
+val remove : t -> string -> t
+(** Remove roots whose package name matches. *)
+
+val concretize :
+  repo:Pkg.Repo.t -> ?options:Concretizer.options -> t -> (t, string) result
+(** Concretize all roots jointly. *)
+
+val lockfile : t -> Sjson.t
+(** Roots + full concrete specs. Only valid after {!concretize}. *)
+
+val of_lockfile : Sjson.t -> t
+(** @raise Sjson.Parse_error on malformed input. *)
+
+val install :
+  t ->
+  Binary.Store.t ->
+  repo:Pkg.Repo.t ->
+  ?caches:Binary.Buildcache.t list ->
+  unit ->
+  (string * Binary.Installer.report) list
+(** Install every concretized root; returns per-root reports. *)
+
+val status : t -> string
+(** Human-readable summary. *)

@@ -1,0 +1,30 @@
+(** The concretizer's logic program (§5.1, §5.3, §5.4), as ASP text.
+
+    Assembled from sections so experiments can measure each change in
+    isolation: the base concretization semantics, the reuse machinery
+    shared by both encodings, the [hash_attr] recovery rules of
+    Fig. 3b (new encoding only), and the splice-selection logic of
+    Fig. 4b (only when splicing is enabled — the feature is
+    conditionally loaded, §5.4). *)
+
+val base : string
+(** Node derivation, condition machinery, virtuals/providers, version
+    and variant selection, user constraints, conflicts. *)
+
+val reuse : string
+(** Reuse choice, imposition application, build/reuse objective
+    plumbing — shared by both encodings. *)
+
+val hash_attr_recovery : string
+(** Fig. 3b: recover [imposed_constraint] from [hash_attr], with the
+    hash and depends_on impositions deferring to splices. *)
+
+val splice_logic : string
+(** Fig. 4b: choose between imposing an original dependency and
+    splicing in a compatible replacement. *)
+
+val optimization : string
+(** Objectives: minimize builds (highest priority, weight 100 as in
+    §5.1.2), version preference, non-default variants, splice count. *)
+
+val assemble : encoding:Encode.encoding -> splicing:bool -> string

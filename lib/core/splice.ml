@@ -1,0 +1,121 @@
+open Spec
+
+(* Merge plan: for every package name in the result, which side's node
+   record and outgoing edges to keep. *)
+type side = Target | Replacement
+
+let splice ?replace ~target ~replacement ~transitive () =
+  let rname =
+    match replace with Some r -> r | None -> Concrete.root replacement
+  in
+  if Concrete.find_node target rname = None then
+    invalid_arg
+      (Printf.sprintf "splice: target has no node %S to replace" rname);
+  let new_root_name = Concrete.root replacement in
+  let target_names =
+    List.map (fun (n : Concrete.node) -> n.Concrete.name) (Concrete.nodes target)
+  in
+  let repl_names =
+    List.map (fun (n : Concrete.node) -> n.Concrete.name) (Concrete.nodes replacement)
+  in
+  let side name =
+    let in_t = List.mem name target_names and in_r = List.mem name repl_names in
+    match (in_t, in_r) with
+    | true, true ->
+      if String.equal name rname then Replacement
+      else if transitive then Replacement
+      else Target
+    | true, false -> Target
+    | false, _ -> Replacement
+  in
+  (* Collect nodes and edges, starting from the target's root, with the
+     replaced name resolving to the replacement's root. *)
+  let rename c = if String.equal c rname then new_root_name else c in
+  let nodes = Hashtbl.create 16 in
+  let edges = ref [] in
+  let rec visit name =
+    if not (Hashtbl.mem nodes name) then begin
+      let from, record =
+        match side name with
+        | Target -> (target, Concrete.node target name)
+        | Replacement -> (replacement, Concrete.node replacement name)
+      in
+      Hashtbl.replace nodes name record;
+      List.iter
+        (fun (c, dt) ->
+          let c' = rename c in
+          edges := (name, c', dt) :: !edges;
+          visit c')
+        (Concrete.children from name)
+    end
+  in
+  let root =
+    if String.equal (Concrete.root target) rname then new_root_name
+    else Concrete.root target
+  in
+  visit root;
+  let merged =
+    Concrete.create ~root
+      ~nodes:(Hashtbl.fold (fun _ n acc -> n :: acc) nodes [])
+      ~edges:!edges ()
+  in
+  (* Provenance: a node whose sub-DAG hash no longer matches the hash
+     it had on its own side was relinked; record what it was built as
+     (keeping an earlier provenance if this is a re-splice) and drop
+     its build-only edges. *)
+  let provenance_hash name =
+    let source = match side name with Target -> target | Replacement -> replacement in
+    let original = Concrete.node source name in
+    match original.Concrete.build_hash with
+    | Some h -> h (* built even earlier, as h *)
+    | None -> Concrete.node_hash source name
+  in
+  let changed name =
+    let source = match side name with Target -> target | Replacement -> replacement in
+    not (String.equal (Concrete.node_hash merged name) (Concrete.node_hash source name))
+  in
+  let final_nodes =
+    Hashtbl.fold
+      (fun name (n : Concrete.node) acc ->
+        let n =
+          if changed name then { n with Concrete.build_hash = Some (provenance_hash name) }
+          else n
+        in
+        n :: acc)
+      nodes []
+  in
+  let final_edges =
+    List.filter
+      (fun (p, (_ : string), dt) ->
+        (* Relinked nodes shed build-only dependencies (§4.1). *)
+        if changed p && not dt.Types.link then false else true)
+      !edges
+    |> List.map (fun (p, c, dt) ->
+           if changed p then (p, c, { dt with Types.build = false }) else (p, c, dt))
+  in
+  (* Dropping build edges can orphan pure build dependencies; keep only
+     what the root still reaches. *)
+  let adj = Hashtbl.create 16 in
+  List.iter
+    (fun (p, c, _) ->
+      Hashtbl.replace adj p (c :: (try Hashtbl.find adj p with Not_found -> [])))
+    final_edges;
+  let reachable = Hashtbl.create 16 in
+  let rec reach name =
+    if not (Hashtbl.mem reachable name) then begin
+      Hashtbl.replace reachable name ();
+      List.iter reach (try Hashtbl.find adj name with Not_found -> [])
+    end
+  in
+  reach root;
+  let final_nodes =
+    List.filter (fun (n : Concrete.node) -> Hashtbl.mem reachable n.Concrete.name) final_nodes
+  in
+  let final_edges = List.filter (fun (p, _, _) -> Hashtbl.mem reachable p) final_edges in
+  Concrete.create ~root ~nodes:final_nodes ~edges:final_edges ~build_spec:target ()
+
+let changed_nodes spec =
+  List.filter_map
+    (fun (n : Concrete.node) ->
+      match n.Concrete.build_hash with Some _ -> Some n.Concrete.name | None -> None)
+    (Concrete.nodes spec)

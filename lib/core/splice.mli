@@ -1,0 +1,32 @@
+(** Splice mechanics on concrete specs (§4, Fig. 2).
+
+    [splice ~target ~replacement ~transitive] produces the spec DAG in
+    which [replacement]'s root stands in for a node of [target]:
+
+    - the replaced node (by default the node named like [replacement]'s
+      root; [?replace] overrides, allowing cross-name splices like
+      [example-ng] for [example]) and its exclusive subtree leave the
+      DAG, [replacement]'s DAG comes in, and every edge that pointed at
+      the replaced node now points at [replacement]'s root;
+    - dependencies {e shared} between the remaining target and the
+      replacement are tie-broken (§4.1): a {e transitive} splice takes
+      the replacement's copies, an {e intransitive} one keeps the
+      target's;
+    - every node whose link-time dependencies changed is marked with a
+      [build_hash] — the DAG hash it was actually compiled as — and
+      loses its build-only dependency edges (they no longer describe
+      the runtime representation); the resulting spec records [target]
+      as its [build_spec] for full provenance. *)
+
+val splice :
+  ?replace:string ->
+  target:Spec.Concrete.t ->
+  replacement:Spec.Concrete.t ->
+  transitive:bool ->
+  unit ->
+  Spec.Concrete.t
+(** @raise Invalid_argument when the replaced node is absent from
+    [target], or when the merge would be cyclic. *)
+
+val changed_nodes : Spec.Concrete.t -> string list
+(** Names of nodes carrying splice provenance (a [build_hash]). *)

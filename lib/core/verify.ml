@@ -1,0 +1,142 @@
+type violation = {
+  v_node : string;
+  v_rule : string;
+  v_detail : string;
+}
+
+let pp_violation fmt v =
+  Format.fprintf fmt "%s: [%s] %s" v.v_node v.v_rule v.v_detail
+
+let node_matches_when (n : Spec.Concrete.node) = function
+  | None -> true
+  | Some w -> Spec.Concrete.node_satisfies n w
+
+(* Does some node of the DAG satisfy a dependency spec's root
+   constraints, reachable by an edge from [parent]? Virtual targets
+   match through providers. *)
+let dep_satisfied ~repo spec parent (d : Pkg.Package.dep_decl) =
+  let droot = d.Pkg.Package.d_spec.Spec.Abstract.root in
+  let dname = droot.Spec.Abstract.name in
+  let children = Spec.Concrete.children spec parent in
+  let candidate_names =
+    if Pkg.Repo.is_virtual repo dname then
+      List.map (fun (p : Pkg.Package.t) -> p.Pkg.Package.name)
+        (Pkg.Repo.providers repo dname)
+    else [ dname ]
+  in
+  List.exists
+    (fun (c, (dt : Spec.Types.deptypes)) ->
+      List.mem c candidate_names
+      && (* edge types must cover the directive's (build deps may be
+            pruned from relinked/reused binaries, so only require the
+            link part when the node was not built fresh) *)
+      (dt.Spec.Types.link || not d.Pkg.Package.d_types.Spec.Types.link)
+      &&
+      let cn = Spec.Concrete.node spec c in
+      (* For virtuals, only the version/variant constraints of the
+         directive apply to the provider when they name the virtual's
+         interface — our model applies them structurally. *)
+      (Pkg.Repo.is_virtual repo dname && Vers.Range.is_any droot.Spec.Abstract.version
+       && Spec.Types.Smap.is_empty droot.Spec.Abstract.variants)
+      || Spec.Concrete.node_satisfies cn { droot with Spec.Abstract.name = cn.Spec.Concrete.name })
+    children
+
+let check_solution ~repo ?request ?(host_os = "linux") ?(host_target = "x86_64")
+    ?(allow_reused_versions = true) spec =
+  let violations = ref [] in
+  let add v_node v_rule fmt =
+    Format.kasprintf (fun v_detail -> violations := { v_node; v_rule; v_detail } :: !violations) fmt
+  in
+  let nodes = Spec.Concrete.nodes spec in
+  (* per-node checks *)
+  List.iter
+    (fun (n : Spec.Concrete.node) ->
+      let name = n.Spec.Concrete.name in
+      match Pkg.Repo.find repo name with
+      | None -> add name "unknown-package" "not defined in the repository"
+      | Some pkg ->
+        (* version declared *)
+        if
+          (not (Pkg.Package.has_version pkg n.Spec.Concrete.version))
+          && not allow_reused_versions
+        then
+          add name "undeclared-version" "version %s is not declared"
+            (Vers.Version.to_string n.Spec.Concrete.version);
+        (* variants declared and legal *)
+        Spec.Types.Smap.iter
+          (fun var value ->
+            match
+              List.find_opt
+                (fun (v : Pkg.Package.variant_decl) -> v.Pkg.Package.v_name = var)
+                pkg.Pkg.Package.variants
+            with
+            | None -> add name "undeclared-variant" "variant %s is not declared" var
+            | Some decl -> (
+              match (decl.Pkg.Package.v_values, value) with
+              | Some allowed, Spec.Types.Str s when not (List.mem s allowed) ->
+                add name "illegal-variant-value" "%s=%s not in {%s}" var s
+                  (String.concat "," allowed)
+              | Some allowed, Spec.Types.Bool b
+                when not (List.mem (if b then "True" else "False") allowed) ->
+                add name "illegal-variant-value" "%s=%b not allowed" var b
+              | _ -> ()))
+          n.Spec.Concrete.variants;
+        (* dependency directives with satisfied conditions *)
+        List.iter
+          (fun (d : Pkg.Package.dep_decl) ->
+            if node_matches_when n d.Pkg.Package.d_when then
+              if not (dep_satisfied ~repo spec name d) then
+                (* Relinked or reused nodes legitimately shed build-only
+                   dependencies (4.1). *)
+                let build_only = not d.Pkg.Package.d_types.Spec.Types.link in
+                if not (build_only && n.Spec.Concrete.build_hash <> None) then
+                  add name "missing-dependency" "directive %s unsatisfied"
+                    (Spec.Abstract.to_string d.Pkg.Package.d_spec))
+          pkg.Pkg.Package.dependencies;
+        (* conflicts *)
+        List.iter
+          (fun (c : Pkg.Package.conflict_decl) ->
+            if
+              node_matches_when n c.Pkg.Package.c_when
+              && Spec.Concrete.node_satisfies n c.Pkg.Package.c_spec
+            then
+              add name "conflict" "forbidden configuration %s holds"
+                (Format.asprintf "%a" Spec.Abstract.pp_node c.Pkg.Package.c_spec))
+          pkg.Pkg.Package.conflicts;
+        (* arch *)
+        if not (String.equal n.Spec.Concrete.os host_os) then
+          add name "os-mismatch" "%s vs host %s" n.Spec.Concrete.os host_os;
+        if
+          not
+            (Spec.Targets.compatible ~binary:n.Spec.Concrete.target ~host:host_target)
+        then
+          add name "target-incompatible" "%s does not run on %s" n.Spec.Concrete.target
+            host_target)
+    nodes;
+  (* one provider per virtual *)
+  let providers_present =
+    List.concat_map
+      (fun (n : Spec.Concrete.node) ->
+        match Pkg.Repo.find repo n.Spec.Concrete.name with
+        | None -> []
+        | Some p ->
+          List.map
+            (fun (pr : Pkg.Package.provide_decl) ->
+              (pr.Pkg.Package.p_virtual, n.Spec.Concrete.name))
+            p.Pkg.Package.provides)
+      nodes
+  in
+  List.iter
+    (fun (virt, _) ->
+      let all = List.filter (fun (v, _) -> v = virt) providers_present in
+      if List.length all > 1 then
+        add (Spec.Concrete.root spec) "multiple-providers" "%s provided by {%s}" virt
+          (String.concat "," (List.map snd all)))
+    (List.sort_uniq compare providers_present);
+  (* the request *)
+  (match request with
+  | Some r when not (Spec.Concrete.satisfies spec r) ->
+    add (Spec.Concrete.root spec) "request-unsatisfied" "%s"
+      (Spec.Abstract.to_string r)
+  | _ -> ());
+  List.rev !violations

@@ -1,0 +1,40 @@
+(** Independent validation of concretizer output.
+
+    The concretizer's correctness rests on the ASP encoding; this
+    module re-checks a concrete spec against the package repository
+    and the user's request {e without} the solver — a separate, direct
+    implementation of the concretization semantics used for
+    differential testing (every solver answer must pass) and as a
+    safety net for externally supplied specs (lockfiles, caches).
+
+    Checked invariants:
+    - every node's package exists; its version is declared (or marked
+      as coming from reuse); variant values are declared and legal;
+    - every dependency directive whose [when] condition holds is
+      satisfied by an edge to a matching node (virtuals through a
+      provider), and the dependency's version/variant constraints hold;
+    - conflicts whose conditions hold are absent;
+    - at most one provider of any virtual in the DAG;
+    - the user's abstract request is satisfied;
+    - the DAG is acyclic with one node per package (by construction of
+      {!Spec.Concrete.t}) and all node targets are host-compatible. *)
+
+type violation = {
+  v_node : string;
+  v_rule : string;  (** short machine-ish tag, e.g. "undeclared-version" *)
+  v_detail : string;
+}
+
+val check_solution :
+  repo:Pkg.Repo.t ->
+  ?request:Spec.Abstract.t ->
+  ?host_os:string ->
+  ?host_target:string ->
+  ?allow_reused_versions:bool ->
+  Spec.Concrete.t ->
+  violation list
+(** Empty list = valid. [allow_reused_versions] (default true) accepts
+    node versions absent from the package's declaration list, as reuse
+    of installed specs does. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,133 @@
+open Spec.Types
+
+type variant_decl = {
+  v_name : string;
+  v_default : variant_value;
+  v_values : string list option;
+  v_when : Spec.Abstract.node option;
+}
+
+type dep_decl = {
+  d_spec : Spec.Abstract.t;
+  d_types : deptypes;
+  d_when : Spec.Abstract.node option;
+}
+
+type provide_decl = {
+  p_virtual : string;
+  p_when : Spec.Abstract.node option;
+}
+
+type conflict_decl = {
+  c_spec : Spec.Abstract.node;
+  c_when : Spec.Abstract.node option;
+}
+
+type splice_decl = {
+  s_target : Spec.Abstract.t;
+  s_when : Spec.Abstract.node;
+}
+
+type t = {
+  name : string;
+  versions : Vers.Version.t list;
+  variants : variant_decl list;
+  dependencies : dep_decl list;
+  provides : provide_decl list;
+  conflicts : conflict_decl list;
+  splices : splice_decl list;
+  abi_family : string;
+}
+
+let make ?abi_family name =
+  { name;
+    versions = [];
+    variants = [];
+    dependencies = [];
+    provides = [];
+    conflicts = [];
+    splices = [];
+    abi_family = (match abi_family with Some f -> f | None -> name) }
+
+(* [when] constraints are anonymous node specs over the declaring
+   package ("@1.0.0", "+bzip", "@1.1.0+bzip"). *)
+let parse_when pkg = function
+  | None -> None
+  | Some s ->
+    let n = Spec.Parser.parse_node s in
+    if n.Spec.Abstract.name <> "" && n.Spec.Abstract.name <> pkg then
+      invalid_arg
+        (Printf.sprintf "package %s: when-constraint %S names a different package" pkg s);
+    Some { n with Spec.Abstract.name = pkg }
+
+let version v t = { t with versions = t.versions @ [ Vers.Version.of_string v ] }
+
+let variant ?(default = Bool false) ?values ?when_ name t =
+  { t with
+    variants =
+      t.variants
+      @ [ { v_name = name;
+            v_default = default;
+            v_values = values;
+            v_when = parse_when t.name when_ } ] }
+
+let depends_on ?(deptypes = dt_both) ?when_ spec t =
+  { t with
+    dependencies =
+      t.dependencies
+      @ [ { d_spec = Spec.Parser.parse spec;
+            d_types = deptypes;
+            d_when = parse_when t.name when_ } ] }
+
+let provides ?when_ virtual_name t =
+  { t with
+    provides =
+      t.provides @ [ { p_virtual = virtual_name; p_when = parse_when t.name when_ } ] }
+
+let conflicts ?when_ spec t =
+  { t with
+    conflicts =
+      t.conflicts
+      @ [ { c_spec = Spec.Parser.parse_node spec; c_when = parse_when t.name when_ } ] }
+
+let can_splice target ~when_ t =
+  let w = Spec.Parser.parse_node when_ in
+  let w =
+    if w.Spec.Abstract.name <> "" && w.Spec.Abstract.name <> t.name then
+      invalid_arg
+        (Printf.sprintf "package %s: can_splice when-constraint names %s" t.name
+           w.Spec.Abstract.name)
+    else { w with Spec.Abstract.name = t.name }
+  in
+  { t with splices = t.splices @ [ { s_target = Spec.Parser.parse target; s_when = w } ] }
+
+let has_version t v = List.exists (Vers.Version.equal v) t.versions
+
+let version_weight t v =
+  let rec go i = function
+    | [] -> None
+    | x :: rest -> if Vers.Version.equal x v then Some i else go (i + 1) rest
+  in
+  go 0 t.versions
+
+let pp fmt t =
+  Format.fprintf fmt "package %s@." t.name;
+  List.iter (fun v -> Format.fprintf fmt "  version %a@." Vers.Version.pp v) t.versions;
+  List.iter
+    (fun v ->
+      Format.fprintf fmt "  variant %s default=%s@." v.v_name
+        (variant_value_to_string v.v_default))
+    t.variants;
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "  depends_on %a%s@." Spec.Abstract.pp d.d_spec
+        (match d.d_when with
+        | None -> ""
+        | Some w -> Format.asprintf " when %a" Spec.Abstract.pp_node w))
+    t.dependencies;
+  List.iter (fun p -> Format.fprintf fmt "  provides %s@." p.p_virtual) t.provides;
+  List.iter
+    (fun s ->
+      Format.fprintf fmt "  can_splice %a when %a@." Spec.Abstract.pp s.s_target
+        Spec.Abstract.pp_node s.s_when)
+    t.splices

@@ -1,0 +1,99 @@
+(** Package definitions: the packaging DSL of §3.2 plus the
+    [can_splice] directive of §5.2.
+
+    A package declares a combinatorial configuration space through
+    directives, most of which accept a [when] constraint (an abstract
+    spec over the declaring package) gating their applicability:
+
+    {[
+      let example =
+        Package.(
+          make "example"
+          |> version "1.1.0"
+          |> version "1.0.0"
+          |> variant "bzip" ~default:(Bool true)
+          |> depends_on "bzip2" ~when_:"+bzip"
+          |> depends_on "zlib@1.2" ~when_:"@1.0.0"
+          |> depends_on "zlib@1.3" ~when_:"@1.1.0"
+          |> depends_on "mpi"
+          |> can_splice "example@1.0.0" ~when_:"@1.1.0"
+          |> can_splice "example-ng@2.3.2+compat" ~when_:"@1.1.0+bzip")
+    ]}
+
+    Versions are declared newest-preferred-first (like listing order in
+    Spack's [package.py]). [depends_on] may name a virtual package
+    (e.g. [mpi]); some other package must [provides] it. *)
+
+open Spec.Types
+
+type variant_decl = {
+  v_name : string;
+  v_default : variant_value;
+  v_values : string list option;
+      (** allowed string values; [None] for boolean variants *)
+  v_when : Spec.Abstract.node option;
+}
+
+type dep_decl = {
+  d_spec : Spec.Abstract.t;  (** constraints on the dependency *)
+  d_types : deptypes;
+  d_when : Spec.Abstract.node option;
+}
+
+type provide_decl = {
+  p_virtual : string;
+  p_when : Spec.Abstract.node option;
+}
+
+type conflict_decl = {
+  c_spec : Spec.Abstract.node;  (** forbidden configurations of self *)
+  c_when : Spec.Abstract.node option;
+}
+
+type splice_decl = {
+  s_target : Spec.Abstract.t;
+      (** what this package can replace (§5.2: packages declare which
+          specs they {e can replace}, not which can replace them) *)
+  s_when : Spec.Abstract.node;  (** condition on the replacing package *)
+}
+
+type t = {
+  name : string;
+  versions : Vers.Version.t list;  (** declaration order = preference *)
+  variants : variant_decl list;
+  dependencies : dep_decl list;
+  provides : provide_decl list;
+  conflicts : conflict_decl list;
+  splices : splice_decl list;
+  abi_family : string;
+      (** packages sharing a family synthesize compatible binary
+          interfaces (see {!Abi}); defaults to the package name *)
+}
+
+val make : ?abi_family:string -> string -> t
+
+val version : string -> t -> t
+
+val variant :
+  ?default:variant_value -> ?values:string list -> ?when_:string -> string -> t -> t
+(** Boolean by default ([default] = [Bool false]). *)
+
+val depends_on : ?deptypes:deptypes -> ?when_:string -> string -> t -> t
+(** The dependency is given in spec syntax (["zlib@1.2"]); default
+    deptypes are build+link like Spack's. *)
+
+val provides : ?when_:string -> string -> t -> t
+
+val conflicts : ?when_:string -> string -> t -> t
+
+val can_splice : string -> when_:string -> t -> t
+(** [can_splice target ~when_]: configurations of this package
+    satisfying [when_] may be spliced in for installed specs satisfying
+    [target]. Both use full spec syntax. *)
+
+val has_version : t -> Vers.Version.t -> bool
+
+val version_weight : t -> Vers.Version.t -> int option
+(** Position in the preference order (0 = most preferred). *)
+
+val pp : Format.formatter -> t -> unit

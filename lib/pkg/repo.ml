@@ -1,0 +1,57 @@
+module Smap = Map.Make (String)
+
+type t = { packages : Package.t Smap.t }
+
+let of_packages pkgs =
+  let packages =
+    List.fold_left
+      (fun m (p : Package.t) ->
+        if Smap.mem p.Package.name m then
+          invalid_arg ("Repo.of_packages: duplicate package " ^ p.Package.name)
+        else Smap.add p.Package.name p m)
+      Smap.empty pkgs
+  in
+  { packages }
+
+let find t name = Smap.find_opt name t.packages
+
+let get t name =
+  match find t name with Some p -> p | None -> raise Not_found
+
+let mem t name = Smap.mem name t.packages
+
+let packages t = Smap.bindings t.packages |> List.map snd
+
+let providers t virtual_name =
+  packages t
+  |> List.filter (fun (p : Package.t) ->
+         List.exists
+           (fun (pr : Package.provide_decl) ->
+             String.equal pr.Package.p_virtual virtual_name)
+           p.Package.provides)
+
+let is_virtual t name = (not (mem t name)) && providers t name <> []
+
+let add t p = { packages = Smap.add p.Package.name p t.packages }
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  let known name = mem t name || is_virtual t name in
+  List.iter
+    (fun (p : Package.t) ->
+      if p.Package.versions = [] then err "package %s has no versions" p.Package.name;
+      List.iter
+        (fun (d : Package.dep_decl) ->
+          let dep_name = d.Package.d_spec.Spec.Abstract.root.Spec.Abstract.name in
+          if not (known dep_name) then
+            err "package %s depends on unknown package %s" p.Package.name dep_name)
+        p.Package.dependencies;
+      List.iter
+        (fun (s : Package.splice_decl) ->
+          let target = s.Package.s_target.Spec.Abstract.root.Spec.Abstract.name in
+          if not (known target) then
+            err "package %s can_splice unknown package %s" p.Package.name target)
+        p.Package.splices)
+    (packages t);
+  match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -1,0 +1,32 @@
+(** A package repository: the universe of package definitions the
+    concretizer reasons over (Spack's builtin repo analogue). *)
+
+type t
+
+val of_packages : Package.t list -> t
+(** @raise Invalid_argument on duplicate package names. *)
+
+val find : t -> string -> Package.t option
+
+val get : t -> string -> Package.t
+(** @raise Not_found *)
+
+val mem : t -> string -> bool
+
+val packages : t -> Package.t list
+(** Sorted by name. *)
+
+val is_virtual : t -> string -> bool
+(** A name is virtual when some package provides it and none defines
+    it. *)
+
+val providers : t -> string -> Package.t list
+(** Packages with a [provides] directive for the given virtual. *)
+
+val add : t -> Package.t -> t
+(** Add or replace a definition. *)
+
+val validate : t -> (unit, string list) result
+(** Sanity checks: dependencies and splice targets must name known
+    packages or virtuals; virtuals must have at least one provider;
+    every package needs at least one version. *)

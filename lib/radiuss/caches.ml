@@ -1,0 +1,176 @@
+type built = {
+  cache : Binary.Buildcache.t;
+  store : Binary.Store.t;
+  specs : Spec.Concrete.t list;
+}
+
+let concretize_build_push ~repo ~store ~cache text =
+  match Core.Concretizer.concretize_spec ~repo text with
+  | Error _ -> None (* infeasible configuration: skip *)
+  | Ok o ->
+    let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+    ignore (Binary.Builder.build_all store ~repo spec);
+    ignore (Binary.Buildcache.push cache store spec);
+    Some spec
+
+let request_for name =
+  if List.mem name Universe.mpi_dependent then
+    (* The cache stacks are built against the general MPICH at the
+       splice-target version (1: "build ... against a compatible MPICH
+       and simply link against Cray MPICH"). *)
+    Printf.sprintf "%s ^%s" name Universe.splice_target
+  else name
+
+let build_named ~repo ~name requests =
+  let vfs = Binary.Vfs.create () in
+  let store = Binary.Store.create ~root:("/buildfarm/" ^ name) vfs in
+  let cache = Binary.Buildcache.create ~name in
+  let specs =
+    List.filter_map (concretize_build_push ~repo ~store ~cache) requests
+  in
+  { cache; store; specs }
+
+let local ~repo () =
+  build_named ~repo ~name:"local"
+    (List.map request_for Universe.top_level @ [ "mpiabi" ])
+
+(* Configuration variations for the public cache: version pins, variant
+   flips, dependency pins — mirroring how Spack's CI populates the
+   public cache with many configurations of the same stack. *)
+let variations ~repo name =
+  let pkg = Pkg.Repo.get repo name in
+  let base = request_for name in
+  let rest = String.sub base (String.length name) (String.length base - String.length name) in
+  let version_pins =
+    match pkg.Pkg.Package.versions with
+    | _ :: older ->
+      List.map
+        (fun v -> Printf.sprintf "%s@%s%s" name (Vers.Version.to_string v) rest)
+        older
+    | [] -> []
+  in
+  let variant_flips =
+    List.map
+      (fun (v : Pkg.Package.variant_decl) ->
+        let flip =
+          match v.Pkg.Package.v_default with
+          | Spec.Types.Bool true -> "~" ^ v.Pkg.Package.v_name
+          | Spec.Types.Bool false -> "+" ^ v.Pkg.Package.v_name
+          | Spec.Types.Str _ -> "+" ^ v.Pkg.Package.v_name
+        in
+        Printf.sprintf "%s %s" base flip)
+      pkg.Pkg.Package.variants
+  in
+  let dep_pins =
+    [ base ^ " ^zlib@1.2.13";
+      base ^ " ^hdf5@1.12.2";
+      base ^ " ^conduit@0.8.8 ^zlib@1.2.13";
+      base ^ " ^openblas@0.3.23" ]
+  in
+  version_pins @ variant_flips @ dep_pins
+
+let take n l =
+  let rec go n = function
+    | [] -> []
+    | _ when n <= 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n l
+
+let public ~repo ~configs () =
+  let requests =
+    List.concat_map
+      (fun name -> request_for name :: take configs (variations ~repo name))
+      Universe.top_level
+    @ [ "mpiabi"; "mpiabi ^zlib@1.2.13" ]
+  in
+  build_named ~repo ~name:"public" requests
+
+(* CI-style config churn: derive additional reusable specs from a built
+   one by re-pinning node versions and variant values among their
+   declared alternatives. The result is what a public cache really is —
+   thousands of configurations of the same stack, most of them
+   irrelevant to any given request, all of which the concretizer must
+   consider. *)
+let mutate ~repo ~seed spec =
+  let choose name salt n = (Hashtbl.hash (seed, name, salt) land 0xFFFF) mod n in
+  Spec.Concrete.map_nodes
+    (fun (n : Spec.Concrete.node) ->
+      match Pkg.Repo.find repo n.Spec.Concrete.name with
+      | None -> n
+      | Some pkg ->
+        let version =
+          match pkg.Pkg.Package.versions with
+          | [] -> n.Spec.Concrete.version
+          | vs -> List.nth vs (choose n.Spec.Concrete.name "v" (List.length vs))
+        in
+        let variants =
+          List.fold_left
+            (fun acc (vd : Pkg.Package.variant_decl) ->
+              let value =
+                match vd.Pkg.Package.v_values with
+                | Some vals when vals <> [] ->
+                  Spec.Types.Str
+                    (List.nth vals
+                       (choose n.Spec.Concrete.name vd.Pkg.Package.v_name
+                          (List.length vals)))
+                | _ ->
+                  Spec.Types.Bool
+                    (choose n.Spec.Concrete.name vd.Pkg.Package.v_name 2 = 0)
+              in
+              if Spec.Types.Smap.mem vd.Pkg.Package.v_name acc then
+                Spec.Types.Smap.add vd.Pkg.Package.v_name value acc
+              else acc)
+            n.Spec.Concrete.variants pkg.Pkg.Package.variants
+        in
+        { n with Spec.Concrete.version; variants })
+    spec
+
+let synthesize_pool ~repo ~base_specs ~target_nodes =
+  let seen = Hashtbl.create 1024 in
+  let count_new spec =
+    let fresh = ref 0 in
+    List.iter
+      (fun (n : Spec.Concrete.node) ->
+        let h = Spec.Concrete.node_hash spec n.Spec.Concrete.name in
+        if not (Hashtbl.mem seen h) then begin
+          Hashtbl.replace seen h ();
+          incr fresh
+        end)
+      (Spec.Concrete.nodes spec);
+    !fresh
+  in
+  List.iter (fun s -> ignore (count_new s)) base_specs;
+  let out = ref [] in
+  let seed = ref 0 in
+  let dry_rounds = ref 0 in
+  (* Stop when the mutation space is exhausted: a few full rounds with
+     no fresh node mean further seeds only repeat configurations. *)
+  while Hashtbl.length seen < target_nodes && !dry_rounds < 25 do
+    incr seed;
+    let fresh_this_round = ref 0 in
+    List.iter
+      (fun base ->
+        if Hashtbl.length seen < target_nodes then begin
+          let m = mutate ~repo ~seed:!seed base in
+          let fresh = count_new m in
+          if fresh > 0 then begin
+            out := m :: !out;
+            fresh_this_round := !fresh_this_round + fresh
+          end
+        end)
+      base_specs;
+    if !fresh_this_round = 0 then incr dry_rounds else dry_rounds := 0
+  done;
+  List.rev !out
+
+let public_scaled ~repo ~configs ~target_nodes () =
+  let b = public ~repo ~configs () in
+  let synthetic =
+    synthesize_pool ~repo ~base_specs:(Binary.Buildcache.specs b.cache) ~target_nodes
+  in
+  (b, synthetic)
+
+let reusable_specs b = Binary.Buildcache.specs b.cache
+
+let node_count b = Binary.Buildcache.size b.cache

@@ -1,0 +1,54 @@
+(** Buildcache construction for the experiments (§6.1.3).
+
+    The {e local} cache holds one default configuration of every
+    top-level RADIUSS spec (plus transitive dependencies) — the
+    controlled ~200-spec environment. The {e public} cache holds many
+    configurations (version pins, variant flips) of the same stack,
+    scaled by [configs] — the stand-in for Spack's ~20k-spec public
+    cache (we default to a few thousand node entries so benchmarks
+    finish; the knob is explicit).
+
+    Both caches are {e real}: every spec is concretized, compiled by
+    the simulated builder into an install store, and pushed, so cache
+    entries carry genuine binaries the installer can later relocate or
+    rewire. *)
+
+type built = {
+  cache : Binary.Buildcache.t;
+  store : Binary.Store.t;  (** the build-server store the cache came from *)
+  specs : Spec.Concrete.t list;  (** top-level concrete specs pushed *)
+}
+
+val local : repo:Pkg.Repo.t -> unit -> built
+(** Default config of each top-level spec, built with mpich, plus an
+    mpiabi entry built against the stack's zlib (the splice donor). *)
+
+val public : repo:Pkg.Repo.t -> configs:int -> unit -> built
+(** [configs] alternative configurations per top-level spec in
+    addition to the default. *)
+
+val synthesize_pool :
+  repo:Pkg.Repo.t ->
+  base_specs:Spec.Concrete.t list ->
+  target_nodes:int ->
+  Spec.Concrete.t list
+(** CI-churn generator: version/variant re-pins of real specs until the
+    pool holds [target_nodes] distinct reusable nodes. *)
+
+val public_scaled :
+  repo:Pkg.Repo.t ->
+  configs:int ->
+  target_nodes:int ->
+  unit ->
+  built * Spec.Concrete.t list
+(** The public cache plus CI-style synthetic configurations (version
+    and variant re-pins of the real entries) until the reusable-node
+    pool reaches [target_nodes]. The synthetic specs have no binaries —
+    they exist to load the concretizer the way Spack's 20k-entry public
+    cache does; concretization experiments use
+    [reusable_specs built @ synthetic]. *)
+
+val reusable_specs : built -> Spec.Concrete.t list
+(** What the concretizer sees: the concrete specs of all entries. *)
+
+val node_count : built -> int

@@ -1,0 +1,199 @@
+open Pkg.Package
+
+(* ---- build-tool tier (build-only dependencies) ------------------- *)
+
+let build_tools =
+  [ make "cmake" |> version "3.27.7" |> version "3.26.3";
+    make "ninja" |> version "1.11.1";
+    make "autoconf" |> version "2.72" |> version "2.69";
+    make "automake" |> version "1.16.5";
+    make "libtool" |> version "2.4.7";
+    make "m4" |> version "1.4.19";
+    make "pkgconf" |> version "1.9.5";
+    make "python" |> version "3.11.6" |> version "3.10.12";
+    make "perl" |> version "5.38.0";
+    make "gmake" |> version "4.4.1" ]
+
+(* ---- common-library tier ----------------------------------------- *)
+
+let common_libs =
+  [ make "zlib" |> version "1.3.1" |> version "1.2.13"
+    |> variant "optimize" ~default:(Spec.Types.Bool true)
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "zstd" |> version "1.5.5"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "bzip2" |> version "1.0.8" |> variant "pic" ~default:(Spec.Types.Bool true);
+    make "lz4" |> version "1.9.4";
+    make "snappy" |> version "1.1.10"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "openssl" |> version "3.1.3" |> depends_on "zlib"
+    |> depends_on "perl" ~deptypes:Spec.Types.dt_build;
+    make "curl" |> version "8.4.0" |> depends_on "openssl" |> depends_on "zlib";
+    make "libxml2" |> version "2.10.3" |> depends_on "zlib"
+    |> variant "python" ~default:(Spec.Types.Bool false);
+    make "openblas" |> version "0.3.24" |> version "0.3.23"
+    |> variant "threads" ~values:[ "none"; "openmp"; "pthreads" ]
+         ~default:(Spec.Types.Str "none")
+    |> depends_on "perl" ~deptypes:Spec.Types.dt_build;
+    make "metis" |> version "5.1.0" |> variant "int64" ~default:(Spec.Types.Bool false)
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "hdf5" |> version "1.14.3" |> version "1.12.2"
+    |> variant "mpi" ~default:(Spec.Types.Bool true)
+    |> variant "cxx" ~default:(Spec.Types.Bool false)
+    |> depends_on "mpi" ~when_:"+mpi"
+    |> depends_on "zlib"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "parmetis" |> version "4.0.3" |> depends_on "metis" |> depends_on "mpi"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "superlu-dist" |> version "8.2.1" |> depends_on "parmetis"
+    |> depends_on "openblas" |> depends_on "mpi";
+    make "fftw" |> version "3.3.10"
+    |> variant "mpi" ~default:(Spec.Types.Bool true)
+    |> depends_on "mpi" ~when_:"+mpi";
+    make "netcdf-c" |> version "4.9.2" |> depends_on "hdf5" |> depends_on "zlib"
+    |> depends_on "m4" ~deptypes:Spec.Types.dt_build;
+    make "conduit" |> version "0.9.1" |> version "0.8.8"
+    |> variant "mpi" ~default:(Spec.Types.Bool true)
+    |> variant "python" ~default:(Spec.Types.Bool false)
+    |> depends_on "hdf5"
+    |> depends_on "mpi" ~when_:"+mpi"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build
+    |> depends_on "python" ~deptypes:Spec.Types.dt_build ~when_:"+python";
+    make "blt" |> version "0.6.2" |> version "0.5.3";
+    make "gotcha" |> version "1.0.5"
+    |> depends_on "cmake" ~deptypes:Spec.Types.dt_build;
+    make "libunwind" |> version "1.7.2";
+    make "papi" |> version "7.0.1";
+    make "elfutils" |> version "0.189" |> depends_on "zlib" |> depends_on "bzip2" ]
+
+(* ---- MPI tier ----------------------------------------------------- *)
+
+let splice_target = "mpich@3.4.3"
+
+let mpi_tier =
+  [ make "mpich" ~abi_family:"mpich-abi"
+    |> version "4.1.2" |> version "3.4.3"
+    |> variant "pmi" ~values:[ "pmix"; "pmi"; "pmi2" ] ~default:(Spec.Types.Str "pmix")
+    |> provides "mpi"
+    |> depends_on "zlib"
+    |> depends_on "autoconf" ~deptypes:Spec.Types.dt_build;
+    (* A different ABI family: reusing an mpich-linked binary against
+       openmpi would be the MPI_Comm catastrophe of 2.1, and no
+       can_splice claims otherwise. *)
+    make "openmpi" ~abi_family:"ompi"
+    |> version "4.1.6" |> version "4.1.5"
+    |> provides "mpi"
+    |> depends_on "zlib"
+    |> depends_on "perl" ~deptypes:Spec.Types.dt_build;
+    (* The paper's mock package: MVAPICH-based, a single version,
+       spliceable into mpich@3.4.3 (6.1.2). *)
+    make "mpiabi" ~abi_family:"mpich-abi"
+    |> version "1.0"
+    |> provides "mpi"
+    |> depends_on "zlib"
+    |> can_splice splice_target ~when_:"@1.0" ]
+
+(* ---- the RADIUSS-like top tier ------------------------------------ *)
+
+(* (name, mpi?, link deps, build deps, extra variants) *)
+let top_table =
+  [ ("ascent", true, [ "conduit"; "raja"; "umpire"; "zlib" ], [ "cmake"; "python" ], [ "shared" ]);
+    ("axom", true, [ "conduit"; "hdf5"; "raja"; "umpire"; "lz4" ], [ "cmake"; "blt" ], [ "shared"; "examples" ]);
+    ("caliper", true, [ "papi"; "gotcha"; "libunwind"; "elfutils" ], [ "cmake"; "python" ], [ "shared" ]);
+    ("camp", false, [ "blt" ], [ "cmake" ], []);
+    ("care", true, [ "chai"; "raja"; "umpire"; "camp" ], [ "cmake"; "blt" ], [ "benchmarks" ]);
+    ("chai", true, [ "umpire"; "raja"; "camp" ], [ "cmake"; "blt" ], [ "shared" ]);
+    ("conduit-top", true, [ "conduit" ], [ "cmake" ], []);
+    ("flux-core", false, [ "zlib"; "lz4"; "libxml2" ], [ "cmake"; "python"; "ninja" ], []);
+    ("flux-sched", false, [ "zlib"; "bzip2" ], [ "cmake"; "python" ], []);
+    ("glvis", true, [ "mfem"; "zlib"; "libxml2"; "openblas"; "fftw"; "netcdf-c" ], [ "cmake" ], [ "fonts" ]);
+    ("hatchet", false, [ "zlib" ], [ "python" ], []);
+    ("hypre", true, [ "openblas" ], [ "autoconf"; "automake" ], [ "int64"; "shared" ]);
+    ("lbann", true, [ "hdf5"; "conduit"; "openblas"; "zstd" ], [ "cmake"; "ninja"; "python" ], [ "half" ]);
+    ("lvarray", true, [ "raja"; "umpire"; "chai"; "camp" ], [ "cmake"; "blt" ], []);
+    ("magma", false, [ "openblas" ], [ "cmake" ], [ "fortran" ]);
+    ("merlin", false, [ "zlib"; "curl" ], [ "python" ], []);
+    ("mfem", true, [ "hypre"; "metis"; "openblas"; "zlib" ], [ "cmake" ], [ "static"; "examples" ]);
+    ("raja", false, [ "camp"; "blt" ], [ "cmake" ], [ "openmp" ]);
+    ("raja-perf", true, [ "raja"; "camp"; "blt" ], [ "cmake" ], []);
+    ("samrai", true, [ "hdf5"; "openblas"; "zlib" ], [ "cmake"; "m4" ], [ "shared" ]);
+    ("scr", true, [ "zlib"; "libxml2" ], [ "cmake"; "pkgconf" ], [ "fortran" ]);
+    ("spot", false, [ "zlib"; "curl" ], [ "cmake" ], []);
+    ("sundials", true, [ "openblas"; "superlu-dist" ], [ "cmake" ], [ "cuda-disabled" ]);
+    ("umap", false, [ "zlib" ], [ "cmake" ], []);
+    ("umpire", true, [ "camp"; "blt" ], [ "cmake" ], [ "openmp"; "shared" ]);
+    ("visit", true, [ "hdf5"; "netcdf-c"; "conduit"; "zlib"; "libxml2"; "curl"; "fftw" ], [ "cmake"; "python"; "ninja" ], [ "gui-disabled" ]);
+    ("xbraid", true, [ "openblas" ], [ "gmake" ], []);
+    ("zfp", false, [ "zlib" ], [ "cmake" ], [ "bsws" ]);
+    ("py-shroud", false, [], [ "python" ], []);
+    ("py-maestro", false, [ "zlib" ], [ "python" ], []);
+    ("wf-tools", true, [ "curl"; "zlib"; "hdf5" ], [ "python"; "cmake" ], []);
+    ("serac", true, [ "mfem"; "axom-lib" ], [ "cmake"; "blt" ], []) ]
+
+(* serac needs an axom-like library target that is itself in the
+   common pool; alias axom's library build. *)
+let axom_lib =
+  make "axom-lib"
+  |> version "0.9.0"
+  |> depends_on "conduit" |> depends_on "raja" |> depends_on "umpire"
+  |> depends_on "cmake" ~deptypes:Spec.Types.dt_build
+
+let versions_for name =
+  (* Deterministic 2-3 versions per top-level package. *)
+  let h = Hashtbl.hash name in
+  let major = 1 + (h mod 5) and minor = h mod 10 in
+  let vs =
+    [ Printf.sprintf "%d.%d.0" major (minor + 1);
+      Printf.sprintf "%d.%d.0" major minor ]
+  in
+  if h mod 3 = 0 then vs @ [ Printf.sprintf "%d.%d.1" major (minor - 1 + 1) ] else vs
+
+let top_package (name, mpi, links, builds, variants) =
+  let p = make name in
+  let p = List.fold_left (fun p v -> version v p) p (versions_for name) in
+  let p = if mpi then depends_on "mpi" p else p in
+  let p = List.fold_left (fun p d -> depends_on d p) p links in
+  let p =
+    List.fold_left (fun p d -> depends_on d ~deptypes:Spec.Types.dt_build p) p builds
+  in
+  List.fold_left
+    (fun p v -> variant v ~default:(Spec.Types.Bool true) p)
+    p variants
+
+let top_level = List.map (fun (n, _, _, _, _) -> n) top_table
+
+let mpi_dependent =
+  (* Direct or transitive virtual-mpi dependents: computed over the
+     table plus the common-lib closure (hdf5, conduit etc. default to
+     +mpi). *)
+  let lib_mpi =
+    [ "hdf5"; "parmetis"; "superlu-dist"; "fftw"; "netcdf-c"; "conduit" ]
+  in
+  List.filter_map
+    (fun (n, mpi, links, _, _) ->
+      if mpi || List.exists (fun l -> List.mem l lib_mpi) links then Some n else None)
+    top_table
+
+let no_mpi_control = "py-shroud"
+
+let repo () =
+  Pkg.Repo.of_packages
+    (build_tools @ common_libs @ mpi_tier @ [ axom_lib ]
+    @ List.map top_package top_table)
+
+let replica_name i = Printf.sprintf "mpiabi%d" i
+
+let with_replicas repo n =
+  let rec go repo i =
+    if i > n then repo
+    else
+      let clone =
+        make (replica_name i) ~abi_family:"mpich-abi"
+        |> version "1.0"
+        |> provides "mpi"
+        |> depends_on "zlib"
+        |> can_splice splice_target ~when_:"@1.0"
+      in
+      go (Pkg.Repo.add repo clone) (i + 1)
+  in
+  go repo 1

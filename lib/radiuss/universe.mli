@@ -1,0 +1,41 @@
+(** The synthetic RADIUSS-like package universe (§6.1.2).
+
+    The paper evaluates on LLNL's RADIUSS stack: 32 top-level specs of
+    varying dependency structure, many with a virtual dependency on
+    MPI, concretized against a local (~200 spec) and a public (~20k
+    spec) buildcache. We do not have the real package definitions, so
+    this module synthesizes a structurally similar universe:
+
+    - a build-tool tier (cmake, ninja, python, ...) used as build-only
+      dependencies;
+    - a common-library tier (zlib, hdf5, conduit, ...) with realistic
+      fan-in;
+    - MPI as a virtual with [mpich] (the splice target, family
+      [mpich-abi]), [openmpi] (a {e binary-incompatible} family, §2.1),
+      and the paper's [mpiabi] mock (MVAPICH-based, single version,
+      [can_splice] into [mpich\@3.4.3]);
+    - 32 top-level packages named after RADIUSS projects, 22 of them
+      MPI-dependent, including [py-shroud] as the no-MPI control.
+
+    [with_replicas] adds N copies of [mpiabi] differing only in name
+    (§6.4's scaling axis). *)
+
+val repo : unit -> Pkg.Repo.t
+
+val top_level : string list
+(** The 32 concretization objectives. *)
+
+val mpi_dependent : string list
+(** The subset with a (possibly transitive) virtual MPI dependency. *)
+
+val no_mpi_control : string
+(** ["py-shroud"]. *)
+
+val splice_target : string
+(** ["mpich\@3.4.3"] — what mpiabi can replace. *)
+
+val replica_name : int -> string
+(** ["mpiabi7"] etc. *)
+
+val with_replicas : Pkg.Repo.t -> int -> Pkg.Repo.t
+(** Add N clones of mpiabi (mpiabi1 .. mpiabiN). *)

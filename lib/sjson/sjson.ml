@@ -1,0 +1,253 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ---- printing ----------------------------------------------------- *)
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(pretty = false) t =
+  let buf = Buffer.create 256 in
+  let indent n = if pretty then Buffer.add_string buf ("\n" ^ String.make (2 * n) ' ') in
+  let rec go depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (string_of_bool b)
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      (* JSON has no NaN/infinity; be strict. *)
+      if Float.is_finite f then Buffer.add_string buf (Printf.sprintf "%.17g" f)
+      else invalid_arg "Sjson.to_string: non-finite float"
+    | String s -> escape buf s
+    | Array [] -> Buffer.add_string buf "[]"
+    | Array items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          indent (depth + 1);
+          go (depth + 1) item)
+        items;
+      indent depth;
+      Buffer.add_char buf ']'
+    | Object [] -> Buffer.add_string buf "{}"
+    | Object fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          indent (depth + 1);
+          escape buf k;
+          Buffer.add_string buf (if pretty then ": " else ":");
+          go (depth + 1) v)
+        fields;
+      indent depth;
+      Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* ---- parsing ------------------------------------------------------ *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') -> true
+    | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> st.pos <- st.pos + 1
+  | Some c' -> fail "offset %d: expected %C, found %C" st.pos c c'
+  | None -> fail "offset %d: expected %C, found end of input" st.pos c
+
+let parse_literal st word value =
+  if
+    st.pos + String.length word <= String.length st.src
+    && String.sub st.src st.pos (String.length word) = word
+  then begin
+    st.pos <- st.pos + String.length word;
+    value
+  end
+  else fail "offset %d: invalid literal" st.pos
+
+let parse_string_body st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string at offset %d" st.pos
+    | Some '"' ->
+      st.pos <- st.pos + 1;
+      Buffer.contents buf
+    | Some '\\' -> (
+      st.pos <- st.pos + 1;
+      match peek st with
+      | None -> fail "unterminated escape at offset %d" st.pos
+      | Some c ->
+        st.pos <- st.pos + 1;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if st.pos + 4 > String.length st.src then
+            fail "truncated \\u escape at offset %d" st.pos;
+          let hex = String.sub st.src st.pos 4 in
+          st.pos <- st.pos + 4;
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape %S at offset %d" hex st.pos
+          in
+          (* Encode the code point as UTF-8 (BMP only). *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else if code < 0x800 then begin
+            Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+          else begin
+            Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+            Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+            Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+          end
+        | c -> fail "bad escape \\%C at offset %d" c st.pos);
+        go ())
+    | Some c ->
+      st.pos <- st.pos + 1;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+  in
+  while (match peek st with Some c -> is_num_char c | None -> false) do
+    st.pos <- st.pos + 1
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  match int_of_string_opt text with
+  | Some n -> Int n
+  | None -> (
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail "offset %d: bad number %S" start text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> parse_literal st "null" Null
+  | Some 't' -> parse_literal st "true" (Bool true)
+  | Some 'f' -> parse_literal st "false" (Bool false)
+  | Some '"' -> String (parse_string_body st)
+  | Some '[' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      st.pos <- st.pos + 1;
+      Array []
+    end
+    else begin
+      let items = ref [ parse_value st ] in
+      skip_ws st;
+      while peek st = Some ',' do
+        st.pos <- st.pos + 1;
+        items := parse_value st :: !items;
+        skip_ws st
+      done;
+      expect st ']';
+      Array (List.rev !items)
+    end
+  | Some '{' ->
+    st.pos <- st.pos + 1;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      st.pos <- st.pos + 1;
+      Object []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string_body st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let fields = ref [ field () ] in
+      skip_ws st;
+      while peek st = Some ',' do
+        st.pos <- st.pos + 1;
+        fields := field () :: !fields;
+        skip_ws st
+      done;
+      expect st '}';
+      Object (List.rev !fields)
+    end
+  | Some c -> if c = '-' || (c >= '0' && c <= '9') then parse_number st
+    else fail "offset %d: unexpected character %C" st.pos c
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail "trailing garbage at offset %d" st.pos;
+  v
+
+(* ---- accessors ---------------------------------------------------- *)
+
+let member key = function
+  | Object fields -> (
+    match List.assoc_opt key fields with
+    | Some v -> v
+    | None -> fail "missing field %S" key)
+  | _ -> fail "expected an object while looking up %S" key
+
+let member_opt key = function
+  | Object fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Array l -> l | _ -> fail "expected an array"
+
+let get_string = function String s -> s | _ -> fail "expected a string"
+
+let get_int = function Int n -> n | _ -> fail "expected an integer"
+
+let get_bool = function Bool b -> b | _ -> fail "expected a boolean"

@@ -1,0 +1,39 @@
+(** A small JSON library (no external dependencies) backing the
+    spec.json analogue, buildcache indexes, and lockfiles.
+
+    Covers the JSON subset those formats need: null, booleans, integer
+    and float numbers, strings with escape handling, arrays, objects.
+    Parsing is strict (trailing garbage is an error); printing offers a
+    compact and a 2-space-indented form. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Array of t list
+  | Object of (string * t) list
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** @raise Parse_error with position information. *)
+
+val to_string : ?pretty:bool -> t -> string
+
+(* Accessors: raise [Parse_error] with a path-ish message on shape
+   mismatches, so decoding errors are debuggable. *)
+
+val member : string -> t -> t
+(** Object field access. @raise Parse_error if absent or not an object. *)
+
+val member_opt : string -> t -> t option
+
+val to_list : t -> t list
+
+val get_string : t -> string
+
+val get_int : t -> int
+
+val get_bool : t -> bool

@@ -1,0 +1,97 @@
+open Types
+
+let variant_to_json = function
+  | Bool b -> Sjson.Bool b
+  | Str s -> Sjson.String s
+
+let variant_of_json = function
+  | Sjson.Bool b -> Bool b
+  | Sjson.String s -> Str s
+  | _ -> raise (Sjson.Parse_error "variant value must be a bool or string")
+
+let deptypes_to_json (dt : deptypes) =
+  Sjson.Array
+    ((if dt.build then [ Sjson.String "build" ] else [])
+    @ if dt.link then [ Sjson.String "link" ] else [])
+
+let deptypes_of_json j =
+  let names = List.map Sjson.get_string (Sjson.to_list j) in
+  { build = List.mem "build" names; link = List.mem "link" names }
+
+let node_to_json spec (n : Concrete.node) =
+  let deps =
+    List.map
+      (fun (c, dt) ->
+        Sjson.Object
+          [ ("name", Sjson.String c);
+            ("hash", Sjson.String (Concrete.node_hash spec c));
+            ("type", deptypes_to_json dt) ])
+      (Concrete.children spec n.Concrete.name)
+  in
+  Sjson.Object
+    ([ ("name", Sjson.String n.Concrete.name);
+       ("version", Sjson.String (Vers.Version.to_string n.Concrete.version));
+       ( "parameters",
+         Sjson.Object
+           (Smap.bindings n.Concrete.variants
+           |> List.map (fun (k, v) -> (k, variant_to_json v))) );
+       ( "arch",
+         Sjson.Object
+           [ ("os", Sjson.String n.Concrete.os);
+             ("target", Sjson.String n.Concrete.target) ] );
+       ("dependencies", Sjson.Array deps);
+       ("hash", Sjson.String (Concrete.node_hash spec n.Concrete.name)) ]
+    @
+    match n.Concrete.build_hash with
+    | Some h -> [ ("build_hash", Sjson.String h) ]
+    | None -> [])
+
+let rec to_json spec =
+  Sjson.Object
+    ([ ("root", Sjson.String (Concrete.root spec));
+       ("nodes", Sjson.Array (List.map (node_to_json spec) (Concrete.nodes spec))) ]
+    @
+    match Concrete.build_spec spec with
+    | Some bs -> [ ("build_spec", to_json bs) ]
+    | None -> [])
+
+let node_of_json j =
+  let name = Sjson.get_string (Sjson.member "name" j) in
+  let version = Vers.Version.of_string (Sjson.get_string (Sjson.member "version" j)) in
+  let variants =
+    match Sjson.member "parameters" j with
+    | Sjson.Object fields ->
+      List.fold_left
+        (fun m (k, v) -> Smap.add k (variant_of_json v) m)
+        Smap.empty fields
+    | _ -> raise (Sjson.Parse_error "parameters must be an object")
+  in
+  let arch = Sjson.member "arch" j in
+  let os = Sjson.get_string (Sjson.member "os" arch) in
+  let target = Sjson.get_string (Sjson.member "target" arch) in
+  let build_hash = Option.map Sjson.get_string (Sjson.member_opt "build_hash" j) in
+  let deps =
+    List.map
+      (fun d ->
+        ( Sjson.get_string (Sjson.member "name" d),
+          deptypes_of_json (Sjson.member "type" d) ))
+      (Sjson.to_list (Sjson.member "dependencies" j))
+  in
+  ({ Concrete.name; version; variants; os; target; build_hash }, deps)
+
+let rec of_json j =
+  let root = Sjson.get_string (Sjson.member "root" j) in
+  let parsed = List.map node_of_json (Sjson.to_list (Sjson.member "nodes" j)) in
+  let nodes = List.map fst parsed in
+  let edges =
+    List.concat_map
+      (fun ((n : Concrete.node), deps) ->
+        List.map (fun (c, dt) -> (n.Concrete.name, c, dt)) deps)
+      parsed
+  in
+  let build_spec = Option.map of_json (Sjson.member_opt "build_spec" j) in
+  Concrete.create ~root ~nodes ~edges ?build_spec ()
+
+let to_string ?pretty spec = Sjson.to_string ?pretty (to_json spec)
+
+let of_string s = of_json (Sjson.of_string s)

@@ -1,0 +1,20 @@
+(** spec.json: JSON serialization of concrete specs.
+
+    The wire format mirrors Spack's spec.json: a [nodes] array (root
+    first) where each node carries name, version, parameters, arch,
+    typed dependency edges referencing children by name and hash, its
+    own hash, and — for spliced nodes — the [build_hash] provenance;
+    a spliced spec nests its full [build_spec].
+
+    Round-trip guarantee: [of_json (to_json s)] reconstructs a spec
+    with the same DAG hash (tested, including provenance). *)
+
+val to_json : Concrete.t -> Sjson.t
+
+val of_json : Sjson.t -> Concrete.t
+(** @raise Sjson.Parse_error on shape errors,
+    [Invalid_argument] on semantic ones (bad DAG). *)
+
+val to_string : ?pretty:bool -> Concrete.t -> string
+
+val of_string : string -> Concrete.t

@@ -1,0 +1,313 @@
+open Types
+
+type node = {
+  name : string;
+  version : Vers.Version.t;
+  variants : variant_value Smap.t;
+  os : string;
+  target : string;
+  build_hash : string option;
+}
+
+type t = {
+  root : string;
+  nodes : node Smap.t;
+  adj : (string * deptypes) list Smap.t;  (* parent -> sorted children *)
+  build_spec : t option;
+  mutable hashes : string Smap.t option;  (* lazy memo of per-node hashes *)
+}
+
+let root t = t.root
+
+let node t name =
+  match Smap.find_opt name t.nodes with
+  | Some n -> n
+  | None -> raise Not_found
+
+let find_node t name = Smap.find_opt name t.nodes
+
+let root_node t = node t t.root
+
+let children t name =
+  match Smap.find_opt name t.adj with Some cs -> cs | None -> []
+
+let edges t =
+  Smap.fold
+    (fun parent cs acc ->
+      List.fold_left (fun acc (child, dt) -> (parent, child, dt) :: acc) acc cs)
+    t.adj []
+  |> List.rev
+
+let build_spec t = t.build_spec
+
+let is_spliced t = t.build_spec <> None
+
+(* Depth-first postorder from the root; raises on cycles. *)
+let check_acyclic_and_reach t =
+  let state = Hashtbl.create 16 in
+  (* state: 1 = on stack, 2 = done *)
+  let rec visit name =
+    match Hashtbl.find_opt state name with
+    | Some 1 -> invalid_arg ("Concrete.create: dependency cycle through " ^ name)
+    | Some _ -> ()
+    | None ->
+      Hashtbl.replace state name 1;
+      List.iter (fun (c, _) -> visit c) (children t name);
+      Hashtbl.replace state name 2
+  in
+  Smap.iter (fun name _ -> visit name) t.nodes
+
+let create ~root ~nodes ~edges ?build_spec () =
+  let node_map =
+    List.fold_left
+      (fun m n ->
+        if Smap.mem n.name m then
+          invalid_arg ("Concrete.create: duplicate node " ^ n.name)
+        else Smap.add n.name n m)
+      Smap.empty nodes
+  in
+  if not (Smap.mem root node_map) then
+    invalid_arg ("Concrete.create: missing root node " ^ root);
+  let adj =
+    List.fold_left
+      (fun m (parent, child, dt) ->
+        if not (Smap.mem parent node_map) then
+          invalid_arg ("Concrete.create: edge from unknown node " ^ parent)
+        else if not (Smap.mem child node_map) then
+          invalid_arg ("Concrete.create: edge to unknown node " ^ child)
+        else
+          let existing = match Smap.find_opt parent m with Some l -> l | None -> [] in
+          let merged =
+            if List.mem_assoc child existing then
+              List.map
+                (fun (c, dt') ->
+                  if String.equal c child then (c, deptypes_union dt dt') else (c, dt'))
+                existing
+            else (child, dt) :: existing
+          in
+          Smap.add parent merged m)
+      Smap.empty edges
+  in
+  let adj =
+    Smap.map (fun cs -> List.sort (fun (a, _) (b, _) -> String.compare a b) cs) adj
+  in
+  let t = { root; nodes = node_map; adj; build_spec; hashes = None } in
+  check_acyclic_and_reach t;
+  t
+
+(* Canonical serialisation of a node given its children's hashes; the
+   hash of a spec is the hash of its root's canonical form, committing
+   recursively to the whole DAG. *)
+let canonical_node n child_hashes =
+  let b = Buffer.create 128 in
+  Buffer.add_string b n.name;
+  Buffer.add_char b '@';
+  Buffer.add_string b (Vers.Version.to_string n.version);
+  Smap.iter
+    (fun k v ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b k;
+      Buffer.add_char b '=';
+      Buffer.add_string b (variant_value_to_string v))
+    n.variants;
+  Buffer.add_string b (" os=" ^ n.os ^ " target=" ^ n.target);
+  (match n.build_hash with
+  | None -> ()
+  | Some h -> Buffer.add_string b (" built-as=" ^ h));
+  List.iter
+    (fun (cname, dt, h) ->
+      Buffer.add_string b
+        ("\n dep " ^ cname ^ " [" ^ deptypes_to_string dt ^ "] " ^ h))
+    child_hashes;
+  Buffer.contents b
+
+let compute_hashes t =
+  let memo = Hashtbl.create 16 in
+  let rec hash_of name =
+    match Hashtbl.find_opt memo name with
+    | Some h -> h
+    | None ->
+      let n = node t name in
+      let child_hashes =
+        List.map (fun (c, dt) -> (c, dt, hash_of c)) (children t name)
+      in
+      let h = Chash.hash_string (canonical_node n child_hashes) in
+      Hashtbl.replace memo name h;
+      h
+  in
+  Smap.iter (fun name _ -> ignore (hash_of name)) t.nodes;
+  Hashtbl.fold Smap.add memo Smap.empty
+
+let hashes t =
+  match t.hashes with
+  | Some h -> h
+  | None ->
+    let h = compute_hashes t in
+    t.hashes <- Some h;
+    h
+
+let node_hash t name =
+  match Smap.find_opt name (hashes t) with
+  | Some h -> h
+  | None -> raise Not_found
+
+let dag_hash t = node_hash t t.root
+
+let reachable t start =
+  let seen = Hashtbl.create 16 in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      List.iter (fun (c, _) -> go c) (children t name)
+    end
+  in
+  go start;
+  seen
+
+let subdag t name =
+  if not (Smap.mem name t.nodes) then raise Not_found;
+  let keep = reachable t name in
+  let nodes = Smap.filter (fun n _ -> Hashtbl.mem keep n) t.nodes in
+  let adj = Smap.filter (fun n _ -> Hashtbl.mem keep n) t.adj in
+  { root = name; nodes; adj; build_spec = None; hashes = None }
+
+let with_build_spec t bs = { t with build_spec = bs; hashes = t.hashes }
+
+let map_nodes f t =
+  { t with nodes = Smap.map f t.nodes; hashes = None }
+
+let prune_build_deps t =
+  let adj =
+    Smap.map (fun cs -> List.filter (fun ((_ : string), dt) -> dt.link) cs) t.adj
+  in
+  let pruned = { t with adj; hashes = None } in
+  let keep = reachable pruned t.root in
+  { pruned with
+    nodes = Smap.filter (fun n _ -> Hashtbl.mem keep n) pruned.nodes;
+    adj = Smap.filter (fun n _ -> Hashtbl.mem keep n) pruned.adj }
+
+let link_closure t start =
+  let seen = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec go name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.replace seen name ();
+      order := name :: !order;
+      List.iter (fun (c, dt) -> if dt.link then go c) (children t name)
+    end
+  in
+  go start;
+  List.rev !order
+
+(* Root first, then remaining nodes in breadth-first order. *)
+let nodes t =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let queue = Queue.create () in
+  Queue.add t.root queue;
+  Hashtbl.replace seen t.root ();
+  while not (Queue.is_empty queue) do
+    let name = Queue.pop queue in
+    out := node t name :: !out;
+    List.iter
+      (fun (c, _) ->
+        if not (Hashtbl.mem seen c) then begin
+          Hashtbl.replace seen c ();
+          Queue.add c queue
+        end)
+      (children t name)
+  done;
+  (* Include any node not reachable from the root (shouldn't happen in
+     well-formed specs, but keep totality). *)
+  Smap.iter
+    (fun name n -> if not (Hashtbl.mem seen name) then out := n :: !out)
+    t.nodes;
+  List.rev !out
+
+let node_satisfies (n : node) (c : Abstract.node) =
+  Abstract.node_satisfies ~name:n.name ~version:n.version ~variants:n.variants
+    ~os:n.os ~target:n.target c
+
+let satisfies t (a : Abstract.t) =
+  node_satisfies (root_node t) a.Abstract.root
+  && List.for_all
+       (fun (d : Abstract.dep) ->
+         match find_node t d.Abstract.node.Abstract.name with
+         | Some n -> node_satisfies n d.Abstract.node
+         | None -> false)
+       a.Abstract.deps
+
+let equal a b = String.equal (dag_hash a) (dag_hash b)
+
+let pp_node_inline fmt (n : node) =
+  Format.fprintf fmt "%s@%s" n.name (Vers.Version.to_string n.version);
+  Smap.iter
+    (fun k v ->
+      match v with
+      | Bool true -> Format.fprintf fmt "+%s" k
+      | Bool false -> Format.fprintf fmt "~%s" k
+      | Str s -> Format.fprintf fmt " %s=%s" k s)
+    n.variants
+
+let pp fmt t =
+  pp_node_inline fmt (root_node t);
+  let rest = List.filter (fun n -> not (String.equal n.name t.root)) (nodes t) in
+  List.iter (fun n -> Format.fprintf fmt " ^%a" pp_node_inline n) rest;
+  if is_spliced t then Format.fprintf fmt " (spliced)"
+
+let pp_tree fmt t =
+  let rec go indent name =
+    let n = node t name in
+    Format.fprintf fmt "%s[%s]  %a  os=%s target=%s" indent
+      (Chash.short (node_hash t name))
+      pp_node_inline n n.os n.target;
+    (match n.build_hash with
+    | Some h -> Format.fprintf fmt "  built-as=%s" (Chash.short h)
+    | None -> ());
+    Format.pp_print_newline fmt ();
+    List.iter
+      (fun (c, dt) ->
+        if dt.link || dt.build then go (indent ^ "    ") c)
+      (children t name)
+  in
+  go "" t.root;
+  match t.build_spec with
+  | None -> ()
+  | Some bs ->
+    Format.fprintf fmt "-- build spec (provenance) --@.";
+    let rec go2 indent name =
+      let n = Smap.find name bs.nodes in
+      Format.fprintf fmt "%s%a@." indent pp_node_inline n;
+      List.iter (fun (c, _) -> go2 (indent ^ "    ") c) (children bs name)
+    in
+    go2 "" bs.root
+
+let to_string t = Format.asprintf "%a" pp t
+
+let pp_dot fmt t =
+  Format.fprintf fmt "digraph spec {@.  rankdir=TB;@.  node [shape=box, fontname=\"monospace\"];@.";
+  List.iter
+    (fun (n : node) ->
+      let label =
+        Format.asprintf "%s@@%s\\n%s" n.name
+          (Vers.Version.to_string n.version)
+          (Chash.short (node_hash t n.name))
+      in
+      let extra =
+        match n.build_hash with
+        | Some h -> Format.asprintf ", style=filled, fillcolor=lightblue, tooltip=\"built as %s\"" (Chash.short h)
+        | None -> ""
+      in
+      Format.fprintf fmt "  \"%s\" [label=\"%s\"%s];@." n.name label extra)
+    (nodes t);
+  List.iter
+    (fun (p, c, dt) ->
+      let style = if dt.Types.link then "solid" else "dashed" in
+      Format.fprintf fmt "  \"%s\" -> \"%s\" [style=%s];@." p c style)
+    (edges t);
+  (match t.build_spec with
+  | Some bs ->
+    Format.fprintf fmt "  labelloc=\"t\"; label=\"spliced (build spec %s)\";@."
+      (Chash.short (dag_hash bs))
+  | None -> ());
+  Format.fprintf fmt "}@."

@@ -1,0 +1,129 @@
+open Types
+
+exception Parse_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '-' || c = '_' || c = '.'
+
+let is_version_char c = is_name_char c || c = ':' || c = ',' || c = '='
+
+type scanner = { src : string; mutable pos : int }
+
+let peek sc = if sc.pos < String.length sc.src then Some sc.src.[sc.pos] else None
+
+let advance sc = sc.pos <- sc.pos + 1
+
+let skip_ws sc =
+  while peek sc = Some ' ' || peek sc = Some '\t' do advance sc done
+
+let take_while sc pred =
+  let start = sc.pos in
+  while (match peek sc with Some c -> pred c | None -> false) do advance sc done;
+  String.sub sc.src start (sc.pos - start)
+
+let take_name sc what =
+  let s = take_while sc is_name_char in
+  if s = "" then
+    fail "expected %s at position %d in %S" what sc.pos sc.src;
+  s
+
+(* One node's worth of sigils: name? then any run of @ + ~ - key=value,
+   stopping at ^, %, or end. Whitespace may separate attributes. *)
+let parse_node_at sc ~allow_anonymous =
+  skip_ws sc;
+  let name =
+    match peek sc with
+    | Some c when is_name_char c ->
+      (* Lookahead: a leading name token may actually be "key=value"
+         for anonymous constraint specs; names never contain '='. *)
+      let start = sc.pos in
+      let word = take_while sc is_name_char in
+      if peek sc = Some '=' && allow_anonymous then begin
+        sc.pos <- start;
+        ""
+      end
+      else word
+    | _ -> if allow_anonymous then "" else fail "expected package name in %S" sc.src
+  in
+  let node = ref (Abstract.node_any name) in
+  let set_variant k v =
+    node := { !node with Abstract.variants = Smap.add k v !node.Abstract.variants }
+  in
+  let continue_node = ref true in
+  while !continue_node do
+    skip_ws sc;
+    match peek sc with
+    | None -> continue_node := false
+    | Some '^' | Some '%' -> continue_node := false
+    | Some '@' ->
+      advance sc;
+      let rtext = take_while sc is_version_char in
+      if rtext = "" then fail "empty version constraint in %S" sc.src;
+      let range =
+        try Vers.Range.of_string rtext
+        with Invalid_argument m -> fail "bad version range %S: %s" rtext m
+      in
+      if not (Vers.Range.is_any !node.Abstract.version) then
+        fail "duplicate version constraint in %S" sc.src;
+      node := { !node with Abstract.version = range }
+    | Some '+' ->
+      advance sc;
+      set_variant (take_name sc "variant name") (Bool true)
+    | Some '~' | Some '-' ->
+      advance sc;
+      set_variant (take_name sc "variant name") (Bool false)
+    | Some c when is_name_char c ->
+      let key = take_name sc "key" in
+      (match peek sc with
+      | Some '=' ->
+        advance sc;
+        let value = take_while sc is_name_char in
+        if value = "" then fail "empty value for key %s in %S" key sc.src;
+        (match key with
+        | "os" -> node := { !node with Abstract.os = Some value }
+        | "target" -> node := { !node with Abstract.target = Some value }
+        | "arch" ->
+          (* platform-os-target *)
+          (match String.split_on_char '-' value with
+          | [ _platform; os; target ] ->
+            node := { !node with Abstract.os = Some os; Abstract.target = Some target }
+          | _ -> fail "arch must be platform-os-target, got %S" value)
+        | _ -> set_variant key (Str value))
+      | _ -> fail "stray token %S in %S (did you mean +%s or %s=value?)" key sc.src key key)
+    | Some c -> fail "unexpected character %C at position %d in %S" c sc.pos sc.src
+  done;
+  !node
+
+let parse src =
+  let sc = { src; pos = 0 } in
+  let root = parse_node_at sc ~allow_anonymous:false in
+  let deps = ref [] in
+  let continue_spec = ref true in
+  while !continue_spec do
+    skip_ws sc;
+    match peek sc with
+    | None -> continue_spec := false
+    | Some '^' ->
+      advance sc;
+      let n = parse_node_at sc ~allow_anonymous:false in
+      deps := { Abstract.dtypes = dt_link; node = n } :: !deps
+    | Some '%' ->
+      advance sc;
+      let n = parse_node_at sc ~allow_anonymous:false in
+      deps := { Abstract.dtypes = dt_build; node = n } :: !deps
+    | Some c -> fail "unexpected character %C at position %d in %S" c sc.pos src
+  done;
+  { Abstract.root; deps = List.rev !deps }
+
+let parse_node src =
+  let sc = { src; pos = 0 } in
+  let n = parse_node_at sc ~allow_anonymous:true in
+  skip_ws sc;
+  match peek sc with
+  | None -> n
+  | Some c -> fail "unexpected character %C after node constraint in %S" c src

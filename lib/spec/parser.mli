@@ -1,0 +1,17 @@
+(** Parser for the spec sigil syntax of Table 1.
+
+    Examples accepted:
+    - ["hdf5@1.14.5"] — version constraint
+    - ["hdf5+cxx~mpi"] — variant on / off
+    - ["hdf5 ^zlib@1.2 %clang"] — link-run and build dependencies
+    - ["hdf5 target=icelake api=default"] — reserved keys [os], [target],
+      [arch] (parsed as platform-os-target) and free-form variant values
+    - ["example@1.0.0 +bzip arch=linux-centos8-skylake"] *)
+
+exception Parse_error of string
+
+val parse : string -> Abstract.t
+(** @raise Parse_error with a human-readable message. *)
+
+val parse_node : string -> Abstract.node
+(** Parse a single node constraint (no [^]/[%] deps allowed). *)

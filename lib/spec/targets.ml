@@ -1,0 +1,54 @@
+(* A small slice of archspec's microarchitecture graph: enough depth on
+   two ISA families to exercise every compatibility shape. *)
+let graph =
+  [ (* x86_64 feature levels *)
+    ("x86_64_v2", [ "x86_64" ]);
+    ("x86_64_v3", [ "x86_64_v2" ]);
+    ("x86_64_v4", [ "x86_64_v3" ]);
+    (* Intel line *)
+    ("nehalem", [ "x86_64_v2" ]);
+    ("sandybridge", [ "nehalem" ]);
+    ("haswell", [ "sandybridge"; "x86_64_v3" ]);
+    ("broadwell", [ "haswell" ]);
+    ("skylake", [ "broadwell" ]);
+    ("skylake_avx512", [ "skylake"; "x86_64_v4" ]);
+    ("cascadelake", [ "skylake_avx512" ]);
+    ("icelake", [ "cascadelake" ]);
+    ("sapphirerapids", [ "icelake" ]);
+    (* AMD line *)
+    ("zen2", [ "x86_64_v3" ]);
+    ("zen3", [ "zen2" ]);
+    ("zen4", [ "zen3"; "x86_64_v4" ]);
+    (* aarch64 *)
+    ("armv8.2a", [ "aarch64" ]);
+    ("neoverse_n1", [ "armv8.2a" ]);
+    ("neoverse_v1", [ "neoverse_n1" ]);
+    (* roots *)
+    ("x86_64", []);
+    ("aarch64", []) ]
+
+let known = List.map fst graph
+
+let parents t = match List.assoc_opt t graph with Some ps -> ps | None -> []
+
+let ancestors t =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  let rec go t =
+    if not (Hashtbl.mem seen t) then begin
+      Hashtbl.replace seen t ();
+      order := t :: !order;
+      List.iter go (parents t)
+    end
+  in
+  go t;
+  List.rev !order
+
+let compatible ~binary ~host =
+  if String.equal binary host then true
+  else List.mem binary (ancestors host)
+
+let generic_of t =
+  match List.filter (fun a -> parents a = []) (ancestors t) with
+  | root :: _ -> root
+  | [] -> t

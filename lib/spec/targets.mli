@@ -1,0 +1,26 @@
+(** Microarchitecture compatibility (archspec-lite).
+
+    Spack models CPU targets as a refinement hierarchy: a binary built
+    for a target runs on any host whose microarchitecture is equal to
+    or a descendant of it ([x86_64] binaries run everywhere x86,
+    [skylake] binaries run on icelake hosts but not haswell ones).
+    The concretizer uses this to decide which reusable binaries are
+    deployable on the host (§5.4: "ensuring compatible
+    microarchitectures among all specs"). *)
+
+val known : string list
+(** All modeled targets. *)
+
+val parents : string -> string list
+(** Immediate generalizations of a target ([skylake] -> [haswell]). *)
+
+val ancestors : string -> string list
+(** Reflexive-transitive generalizations, nearest first. *)
+
+val compatible : binary:string -> host:string -> bool
+(** Can a binary compiled for [binary] execute on a [host]-class
+    machine? True iff [binary] is [host] or one of its ancestors.
+    Unknown targets are only compatible with themselves. *)
+
+val generic_of : string -> string
+(** The ISA root of a target's family ([icelake] -> [x86_64]). *)

@@ -1,0 +1,31 @@
+module Smap = Map.Make (String)
+
+type variant_value = Bool of bool | Str of string
+
+let variant_value_to_string = function
+  | Bool true -> "True"
+  | Bool false -> "False"
+  | Str s -> s
+
+let variant_value_equal a b =
+  match (a, b) with
+  | Bool x, Bool y -> x = y
+  | Str x, Str y -> String.equal x y
+  (* Textual forms are authoritative: "True" written as a string value
+     matches +variant. *)
+  | Bool x, Str y | Str y, Bool x -> String.equal (if x then "True" else "False") y
+
+type deptypes = { build : bool; link : bool }
+
+let dt_build = { build = true; link = false }
+let dt_link = { build = false; link = true }
+let dt_both = { build = true; link = true }
+
+let deptypes_to_string { build; link } =
+  match (build, link) with
+  | true, true -> "build,link-run"
+  | true, false -> "build"
+  | false, true -> "link-run"
+  | false, false -> "none"
+
+let deptypes_union a b = { build = a.build || b.build; link = a.link || b.link }

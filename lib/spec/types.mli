@@ -1,0 +1,26 @@
+(** Shared vocabulary for specs: variant values, dependency types,
+    string maps. *)
+
+module Smap : Map.S with type key = string
+
+type variant_value =
+  | Bool of bool  (** [+foo] / [~foo] *)
+  | Str of string  (** [key=value] *)
+
+val variant_value_to_string : variant_value -> string
+
+val variant_value_equal : variant_value -> variant_value -> bool
+
+(** Dependency edge classification. Spack distinguishes build
+    dependencies (needed to run the build: compilers, cmake, python)
+    from link-run dependencies (needed at link time or runtime). An
+    edge may carry both. *)
+type deptypes = { build : bool; link : bool }
+
+val dt_build : deptypes
+val dt_link : deptypes
+val dt_both : deptypes
+
+val deptypes_to_string : deptypes -> string
+
+val deptypes_union : deptypes -> deptypes -> deptypes

@@ -1,0 +1,148 @@
+(* A constraint is a union of order-intervals over versions. The prefix
+   form [@1.2] is the half-open interval [1.2, succ_prefix 1.2) — every
+   version >= 1.2 and < 1.3 necessarily extends the components 1.2, so
+   prefix membership coincides with an order interval and all the set
+   algebra reduces to bound comparisons. *)
+
+type upper =
+  | Inf
+  | Excl of Version.t  (* strictly below *)
+  | Incl of Version.t  (* at or below: the exact form's closed top *)
+
+type interval = { lo : Version.t option; up : upper }
+
+type t = interval list
+(* Invariant: parsed/constructed values keep intervals in the order
+   given; [subset] is complete when the right-hand side's intervals are
+   disjoint, which all surface syntax produces. *)
+
+let any = [ { lo = None; up = Inf } ]
+
+let exactly v = [ { lo = Some v; up = Incl v } ]
+
+(* Numeric prefixes become half-open order intervals ([1.2, 1.3));
+   versions ending in a name (develop, rc tags) have no meaningful
+   numeric successor and match exactly at the top. *)
+let ends_numeric v =
+  match List.rev (Version.components v) with
+  | Version.Num _ :: _ -> true
+  | _ -> false
+
+let upper_for v =
+  if ends_numeric v then Excl (Version.successor_of_prefix v) else Incl v
+
+let prefix v = [ { lo = Some v; up = upper_for v } ]
+
+let between ?lo ?hi () =
+  let up = match hi with None -> Inf | Some h -> upper_for h in
+  [ { lo; up } ]
+
+let union = ( @ )
+
+let member v { lo; up } =
+  (match lo with None -> true | Some l -> Version.compare v l >= 0)
+  &&
+  match up with
+  | Inf -> true
+  | Excl h -> Version.compare v h < 0
+  | Incl h -> Version.compare v h <= 0
+
+let satisfies v t = List.exists (member v) t
+
+(* Bound orders. Lower bounds are inclusive-or-minus-infinity; upper
+   bounds sort Excl h just below Incl h at the same h. *)
+let compare_lo a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> Version.compare x y
+
+let compare_up a b =
+  match (a, b) with
+  | Inf, Inf -> 0
+  | Inf, _ -> 1
+  | _, Inf -> -1
+  | Excl x, Excl y | Incl x, Incl y -> Version.compare x y
+  | Excl x, Incl y ->
+    let c = Version.compare x y in
+    if c = 0 then -1 else c
+  | Incl x, Excl y ->
+    let c = Version.compare x y in
+    if c = 0 then 1 else c
+
+let interval_nonempty { lo; up } =
+  match (lo, up) with
+  | None, _ | _, Inf -> true
+  | Some l, Excl h -> Version.compare l h < 0
+  | Some l, Incl h -> Version.compare l h <= 0
+
+let interval_meet a b =
+  let lo = if compare_lo a.lo b.lo >= 0 then a.lo else b.lo in
+  let up = if compare_up a.up b.up <= 0 then a.up else b.up in
+  { lo; up }
+
+let intervals_intersect a b = interval_nonempty (interval_meet a b)
+
+let intersects a b =
+  List.exists (fun ia -> List.exists (intervals_intersect ia) b) a
+
+let interval_subset a b = compare_lo b.lo a.lo <= 0 && compare_up a.up b.up <= 0
+
+let subset a b =
+  List.for_all (fun ia -> List.exists (interval_subset ia) b) a
+
+let is_any t = List.exists (fun i -> i.lo = None && i.up = Inf) t
+
+(* Recover the user-facing top of a range from the stored exclusive
+   bound; only exact successors produced by [between] are reversible, so
+   fall back to printing the exclusive bound itself. *)
+let pred_of_successor h =
+  match List.rev (Version.components h) with
+  | Version.Num n :: rest when n > 0 ->
+    Version.of_components (List.rev (Version.Num (n - 1) :: rest))
+  | _ -> h
+
+let interval_to_string { lo; up } =
+  let s = function None -> "" | Some v -> Version.to_string v in
+  match (lo, up) with
+  | Some l, Incl h when Version.equal l h -> "=" ^ Version.to_string l
+  | Some l, Excl h when Version.equal (Version.successor_of_prefix l) h ->
+    Version.to_string l
+  | None, Inf -> ":"
+  | _, Inf -> s lo ^ ":"
+  | None, Excl h -> ":" ^ Version.to_string (pred_of_successor h)
+  | Some l, Excl h -> s (Some l) ^ ":" ^ Version.to_string (pred_of_successor h)
+  | None, Incl h -> ":=" ^ Version.to_string h
+  | Some l, Incl h -> s (Some l) ^ ":=" ^ Version.to_string h
+
+let to_string t = String.concat "," (List.map interval_to_string t)
+
+let parse_one piece =
+  if piece = "" then invalid_arg "Range.of_string: empty constraint";
+  if piece.[0] = '=' then
+    exactly (Version.of_string (String.sub piece 1 (String.length piece - 1)))
+  else
+    match String.index_opt piece ':' with
+    | None -> prefix (Version.of_string piece)
+    | Some i ->
+      let l = String.sub piece 0 i in
+      let h = String.sub piece (i + 1) (String.length piece - i - 1) in
+      let lo = if l = "" then None else Some (Version.of_string l) in
+      let hi = if h = "" then None else Some (Version.of_string h) in
+      (match (lo, hi) with
+      | None, None -> any
+      | _ ->
+        [ { lo;
+            up =
+              (match hi with
+              | None -> Inf
+              | Some v -> upper_for v) } ])
+
+let of_string s =
+  if s = "" then invalid_arg "Range.of_string: empty range";
+  String.split_on_char ',' s |> List.concat_map parse_one
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let equal a b = subset a b && subset b a

@@ -1,0 +1,47 @@
+(** Version constraints: Spack's [@] syntax.
+
+    A {!t} is a union of closed-by-prefix intervals. The surface forms:
+
+    - [@1.2]   — prefix constraint: any version with prefix 1.2
+    - [@=1.2]  — exactly version 1.2
+    - [@1.2:]  — at least 1.2 (prefix-inclusive at the low end)
+    - [@:1.4]  — at most 1.4 (prefix-inclusive at the high end)
+    - [@1.2:1.4] — between, both ends prefix-inclusive
+    - [@1.2,2.0:2.2] — union *)
+
+type t
+
+val any : t
+(** Matches every version. *)
+
+val exactly : Version.t -> t
+
+val prefix : Version.t -> t
+(** The [@1.2] form. *)
+
+val between : ?lo:Version.t -> ?hi:Version.t -> unit -> t
+(** The [@lo:hi] form; omitted ends are unbounded. *)
+
+val union : t -> t -> t
+
+val of_string : string -> t
+(** Parse the text after the [@] sigil, e.g. ["1.2:1.4,2.0"].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val satisfies : Version.t -> t -> bool
+(** Does a concrete version meet the constraint? *)
+
+val intersects : t -> t -> bool
+(** Could some version satisfy both? (Used when merging abstract
+    constraints.) Sound and complete for the interval model. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — every version satisfying [a] satisfies [b]. *)
+
+val is_any : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val equal : t -> t -> bool

@@ -1,0 +1,107 @@
+type component = Num of int | Str of string
+
+(* The raw spelling is kept so printing round-trips (versions like
+   2021.06.14 keep their zero padding); all semantics go through the
+   parsed components. *)
+type t = { comps : component list; raw : string }
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* A component like "3alpha2" splits further into [Num 3; Str "alpha"; Num 2]
+   so that "1.2rc1" < "1.2" works out through the Str < Num rule. *)
+let split_component s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Version.of_string: empty component";
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let digit = is_digit s.[i] in
+      let j = ref i in
+      while !j < n && is_digit s.[!j] = digit do incr j done;
+      let piece = String.sub s i (!j - i) in
+      let comp = if digit then Num (int_of_string piece) else Str piece in
+      go !j (comp :: acc)
+  in
+  go 0 []
+
+let of_string s =
+  if s = "" then invalid_arg "Version.of_string: empty version";
+  { comps = String.split_on_char '.' s |> List.concat_map split_component; raw = s }
+
+let component_to_string = function Num n -> string_of_int n | Str s -> s
+
+let to_string v = v.raw
+
+let components v = v.comps
+
+let raw_of_components cs =
+  let buf = Buffer.create 16 in
+  let rec go prev = function
+    | [] -> ()
+    | c :: rest ->
+      (match (prev, c) with
+      | None, _ -> ()
+      | Some (Num _), Num _ | Some (Str _), Str _ -> Buffer.add_char buf '.'
+      | Some (Num _), Str _ | Some (Str _), Num _ -> ());
+      Buffer.add_string buf (component_to_string c);
+      go (Some c) rest
+  in
+  go None cs;
+  Buffer.contents buf
+
+let of_components = function
+  | [] -> invalid_arg "Version.of_components: empty"
+  | cs -> { comps = cs; raw = raw_of_components cs }
+
+(* Names like develop/main are "infinity versions" in Spack: they sort
+   above every numbered release. Other alphabetic components are
+   prerelease-flavoured and sort below numbers. *)
+let infinity_names = [ "develop"; "main"; "master"; "head"; "trunk"; "stable" ]
+
+let is_infinity s = List.mem s infinity_names
+
+let compare_component a b =
+  match (a, b) with
+  | Num x, Num y -> Int.compare x y
+  | Str x, Str y -> (
+    match (is_infinity x, is_infinity y) with
+    | true, false -> 1
+    | false, true -> -1
+    | _ -> String.compare x y)
+  | Str x, Num _ -> if is_infinity x then 1 else -1
+  | Num _, Str y -> if is_infinity y then -1 else 1
+
+let rec compare_comps a b =
+  match (a, b) with
+  | [], [] -> 0
+  (* An exhausted side compares against the other's next component:
+     1.2 < 1.2.1 (numeric extensions grow), but 1.2rc1 < 1.2
+     (string extensions are prereleases). *)
+  | [], Num _ :: _ -> -1
+  | [], Str y :: _ -> if is_infinity y then -1 else 1
+  | Num _ :: _, [] -> 1
+  | Str x :: _, [] -> if is_infinity x then 1 else -1
+  | x :: xs, y :: ys ->
+    let c = compare_component x y in
+    if c <> 0 then c else compare_comps xs ys
+
+let compare a b = compare_comps a.comps b.comps
+
+let equal a b = compare a b = 0
+
+let is_prefix p v =
+  let rec go p v =
+    match (p, v) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: xs, y :: ys -> compare_component x y = 0 && go xs ys
+  in
+  go p.comps v.comps
+
+let successor_of_prefix v =
+  match List.rev v.comps with
+  | [] -> invalid_arg "Version.successor_of_prefix: empty version"
+  | Num n :: rest -> of_components (List.rev (Num (n + 1) :: rest))
+  | Str s :: rest -> of_components (List.rev (Str (s ^ "~") :: rest))
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

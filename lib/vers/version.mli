@@ -1,0 +1,41 @@
+(** Package versions with Spack semantics.
+
+    A version is a dot-separated sequence of components, each either
+    numeric ([14], [0]) or alphanumeric ([alpha1], [rc2]). Ordering is
+    component-wise: numeric components compare numerically, string
+    components lexicographically, and numeric components order after
+    string components at the same position (so [1.0] > [1.0rc1]-style
+    prereleases expressed as [1.0.rc1] sort before [1.0.0]). A shorter
+    version is a *prefix* of a longer one when all its components match;
+    prefix matching is how the bare constraint [@1.2] accepts [1.2.11]. *)
+
+type t
+
+type component = Num of int | Str of string
+
+val of_string : string -> t
+(** Parse ["1.14.5"], ["3.4.3"], ["2021.06.14"], ["develop"].
+    @raise Invalid_argument on the empty string or empty components. *)
+
+val to_string : t -> string
+
+val components : t -> component list
+
+val of_components : component list -> t
+(** Inverse of {!components}. @raise Invalid_argument on []. *)
+
+val compare : t -> t -> int
+(** Total order described above. *)
+
+val equal : t -> t -> bool
+
+val is_prefix : t -> t -> bool
+(** [is_prefix p v] — every component of [p] equals the corresponding
+    component of [v]. Reflexive. *)
+
+val successor_of_prefix : t -> t
+(** The smallest version strictly greater than everything having this
+    prefix; used to turn the prefix constraint [@1.2] into the
+    half-open range [1.2, 1.3). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,96 @@
+(* The ABI model: family compatibility, opaque layouts (the MPI_Comm
+   story of 2.1), supersets and subsets. *)
+
+let mpich = Abi.synthesize ~family:"mpich-abi" ~interface_version:"1" ()
+let mvapich = Abi.synthesize ~family:"mpich-abi" ~interface_version:"1" ()
+let mvapich_plus =
+  Abi.synthesize ~family:"mpich-abi" ~interface_version:"1" ~extra_symbols:4 ()
+let openmpi = Abi.synthesize ~family:"ompi" ~interface_version:"1" ()
+let mpich_v2 = Abi.synthesize ~family:"mpich-abi" ~interface_version:"2" ()
+
+let test_same_family_compatible () =
+  Alcotest.(check bool) "mvapich replaces mpich" true
+    (Abi.compatible ~provider:mvapich ~required:mpich);
+  Alcotest.(check bool) "mpich replaces mvapich" true
+    (Abi.compatible ~provider:mpich ~required:mvapich)
+
+let test_superset_compatible () =
+  Alcotest.(check bool) "superset serves base consumers" true
+    (Abi.compatible ~provider:mvapich_plus ~required:mpich);
+  Alcotest.(check bool) "base lacks the extras" false
+    (Abi.compatible ~provider:mpich ~required:mvapich_plus)
+
+let test_cross_family_incompatible () =
+  let problems = Abi.check ~provider:openmpi ~required:mpich in
+  Alcotest.(check bool) "openmpi cannot stand in for mpich" true (problems <> []);
+  (* The opaque comm_t layout differs: implementations chose different
+     representations (int vs struct pointer, 2.1). *)
+  Alcotest.(check bool) "opaque layout mismatch reported" true
+    (List.exists
+       (function Abi.Layout_mismatch "comm_t" -> true | _ -> false)
+       problems);
+  (* Signature digests differ too. *)
+  Alcotest.(check bool) "signature mismatch reported" true
+    (List.exists (function Abi.Signature_mismatch _ -> true | _ -> false) problems)
+
+let test_interface_version_breaks () =
+  Alcotest.(check bool) "abi-breaking version bump" false
+    (Abi.compatible ~provider:mpich_v2 ~required:mpich)
+
+let test_required_subset () =
+  let req = Abi.required_of mpich ~fraction:0.5 in
+  Alcotest.(check bool) "nonempty" true (req.Abi.symbols <> []);
+  Alcotest.(check bool) "subset" true
+    (List.for_all (fun s -> List.mem s mpich.Abi.symbols) req.Abi.symbols);
+  Alcotest.(check bool) "provider serves its own subset" true
+    (Abi.compatible ~provider:mpich ~required:req);
+  (* deterministic *)
+  let req2 = Abi.required_of mpich ~fraction:0.5 in
+  Alcotest.(check bool) "deterministic" true (req = req2)
+
+let test_mangle () =
+  let m = Abi.mangle ~family:"zlib" "inflate" in
+  Alcotest.(check bool) "itanium-flavoured" true
+    (String.length m > 2 && String.sub m 0 2 = "_Z");
+  Alcotest.(check bool) "injective-ish" true
+    (m <> Abi.mangle ~family:"zlib" "deflate"
+    && m <> Abi.mangle ~family:"zstd" "inflate")
+
+let test_check_reports_all () =
+  (* An empty provider misses every requirement. *)
+  let empty = { Abi.symbols = []; layouts = [] } in
+  let problems = Abi.check ~provider:empty ~required:mpich in
+  Alcotest.(check int) "one problem per symbol and layout"
+    (List.length mpich.Abi.symbols + List.length mpich.Abi.layouts)
+    (List.length problems)
+
+let prop_synthesis_deterministic =
+  QCheck.Test.make ~name:"synthesize deterministic" ~count:50
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 8)) (int_range 0 5))
+    (fun (family, extras) ->
+      QCheck.assume (family <> "");
+      let a = Abi.synthesize ~family ~interface_version:"1" ~extra_symbols:extras () in
+      let b = Abi.synthesize ~family ~interface_version:"1" ~extra_symbols:extras () in
+      a = b)
+
+let prop_self_compatible =
+  QCheck.Test.make ~name:"every surface serves itself" ~count:50
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 8))
+    (fun family ->
+      QCheck.assume (family <> "");
+      let s = Abi.synthesize ~family ~interface_version:"1" () in
+      Abi.compatible ~provider:s ~required:s)
+
+let () =
+  Alcotest.run "abi"
+    [ ( "compatibility",
+        [ Alcotest.test_case "same family" `Quick test_same_family_compatible;
+          Alcotest.test_case "superset" `Quick test_superset_compatible;
+          Alcotest.test_case "cross family" `Quick test_cross_family_incompatible;
+          Alcotest.test_case "interface version" `Quick test_interface_version_breaks;
+          Alcotest.test_case "required subset" `Quick test_required_subset;
+          Alcotest.test_case "check reports all" `Quick test_check_reports_all;
+          Alcotest.test_case "mangling" `Quick test_mangle ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_synthesis_deterministic; prop_self_compatible ] ) ]

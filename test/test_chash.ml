@@ -1,0 +1,92 @@
+(* SHA-256 against FIPS 180-4 vectors, base32 rendering, and
+   incremental-feeding invariance. *)
+
+let check_hex msg input expected =
+  Alcotest.(check string) msg expected (Chash.Sha256.hex input)
+
+let test_fips_vectors () =
+  check_hex "empty" ""
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855";
+  check_hex "abc" "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad";
+  check_hex "448-bit" "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1";
+  check_hex "million a" (String.make 1_000_000 'a')
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+
+let test_block_boundaries () =
+  (* Lengths around the 64-byte block and 56-byte padding boundary all
+     take different padding paths. *)
+  List.iter
+    (fun n ->
+      let s = String.make n 'x' in
+      Alcotest.(check string)
+        (Printf.sprintf "len %d one-shot = incremental" n)
+        (Chash.Sha256.hex s)
+        (let ctx = Chash.Sha256.init () in
+         String.iter (fun c -> Chash.Sha256.feed ctx (String.make 1 c)) s;
+         let d = Chash.Sha256.finalize ctx in
+         String.concat ""
+           (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+              (List.init (String.length d) (String.get d)))))
+    [ 0; 1; 55; 56; 57; 63; 64; 65; 119; 120; 128; 1000 ]
+
+let test_finalize_twice () =
+  let ctx = Chash.Sha256.init () in
+  Chash.Sha256.feed ctx "x";
+  ignore (Chash.Sha256.finalize ctx);
+  Alcotest.check_raises "finalize twice" (Invalid_argument "Sha256.finalize: finalized context")
+    (fun () -> ignore (Chash.Sha256.finalize ctx))
+
+let test_b32 () =
+  (* 5 bytes -> 8 chars; alphabet is lowercase RFC 4648. *)
+  Alcotest.(check string) "hello" "nbswy3dp" (Chash.b32 "hello");
+  Alcotest.(check int) "digest length" 52 (String.length (Chash.hash_string "x"));
+  String.iter
+    (fun c ->
+      Alcotest.(check bool) "alphabet" true
+        (String.contains "abcdefghijklmnopqrstuvwxyz234567" c))
+    (Chash.hash_string "y")
+
+let test_short () =
+  let h = Chash.hash_string "something" in
+  Alcotest.(check int) "default 7" 7 (String.length (Chash.short h));
+  Alcotest.(check string) "prefix" (String.sub h 0 7) (Chash.short h);
+  Alcotest.(check string) "short of short" "abc" (Chash.short ~len:5 "abc")
+
+let prop_split_invariance =
+  QCheck.Test.make ~name:"digest invariant under chunking" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_range 0 300)) (int_range 1 64))
+    (fun (s, chunk) ->
+      let ctx = Chash.Sha256.init () in
+      let n = String.length s in
+      let rec go i =
+        if i < n then begin
+          let len = min chunk (n - i) in
+          Chash.Sha256.feed ctx (String.sub s i len);
+          go (i + len)
+        end
+      in
+      go 0;
+      String.equal (Chash.Sha256.finalize ctx) (Chash.Sha256.digest s))
+
+let prop_distinct =
+  QCheck.Test.make ~name:"distinct strings hash distinct (no trivial collisions)"
+    ~count:200
+    QCheck.(pair small_string small_string)
+    (fun (a, b) ->
+      QCheck.assume (not (String.equal a b));
+      not (String.equal (Chash.hash_string a) (Chash.hash_string b)))
+
+let () =
+  Alcotest.run "chash"
+    [ ( "sha256",
+        [ Alcotest.test_case "fips vectors" `Quick test_fips_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          Alcotest.test_case "finalize twice" `Quick test_finalize_twice ] );
+      ( "base32",
+        [ Alcotest.test_case "b32" `Quick test_b32;
+          Alcotest.test_case "short" `Quick test_short ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_split_invariance;
+          QCheck_alcotest.to_alcotest prop_distinct ] ) ]

@@ -1,0 +1,161 @@
+(* spec.json codec: schema shape and hash-preserving round-trips,
+   including spliced specs with provenance. *)
+
+open Spec.Types
+module C = Spec.Concrete
+
+let v = Vers.Version.of_string
+
+let node ?(variants = []) ?build_hash name version =
+  { C.name;
+    version = v version;
+    variants = List.fold_left (fun m (k, x) -> Smap.add k x m) Smap.empty variants;
+    os = "linux";
+    target = "skylake";
+    build_hash }
+
+let sample () =
+  C.create ~root:"app"
+    ~nodes:
+      [ node "app" "1.0" ~variants:[ ("opt", Bool true); ("kind", Str "static") ];
+        node "libx" "2.1"; node "zlib" "1.3.1"; node "cmake" "3.27" ]
+    ~edges:
+      [ ("app", "libx", dt_link); ("app", "cmake", dt_build);
+        ("libx", "zlib", dt_link); ("app", "zlib", dt_both) ]
+    ()
+
+let test_roundtrip () =
+  let s = sample () in
+  let s' = Spec.Codec.of_string (Spec.Codec.to_string s) in
+  Alcotest.(check string) "dag hash preserved" (C.dag_hash s) (C.dag_hash s');
+  Alcotest.(check int) "node count" 4 (List.length (C.nodes s'));
+  let app = C.node s' "app" in
+  Alcotest.(check bool) "variants decoded" true
+    (Smap.find "kind" app.C.variants = Str "static");
+  let dt = List.assoc "zlib" (C.children s' "app") in
+  Alcotest.(check bool) "deptypes decoded" true (dt.build && dt.link)
+
+let test_pretty_roundtrip () =
+  let s = sample () in
+  Alcotest.(check string) "pretty round-trip" (C.dag_hash s)
+    (C.dag_hash (Spec.Codec.of_string (Spec.Codec.to_string ~pretty:true s)))
+
+let test_schema_shape () =
+  let j = Spec.Codec.to_json (sample ()) in
+  Alcotest.(check string) "root" "app" (Sjson.get_string (Sjson.member "root" j));
+  let nodes = Sjson.to_list (Sjson.member "nodes" j) in
+  Alcotest.(check int) "nodes array" 4 (List.length nodes);
+  let first = List.hd nodes in
+  Alcotest.(check string) "root node first" "app"
+    (Sjson.get_string (Sjson.member "name" first));
+  (* every node carries its sub-DAG hash *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) "hash present" true
+        (String.length (Sjson.get_string (Sjson.member "hash" n)) > 10))
+    nodes
+
+let test_spliced_provenance () =
+  let target = sample () in
+  let replacement =
+    C.create ~root:"libx" ~nodes:[ node "libx" "2.2"; node "zlib" "1.3.1" ]
+      ~edges:[ ("libx", "zlib", dt_link) ] ()
+  in
+  let spliced = Core.Splice.splice ~target ~replacement ~transitive:true () in
+  let s' = Spec.Codec.of_string (Spec.Codec.to_string spliced) in
+  Alcotest.(check string) "spliced hash preserved" (C.dag_hash spliced) (C.dag_hash s');
+  Alcotest.(check bool) "build_hash survives" true
+    ((C.node s' "app").C.build_hash = (C.node spliced "app").C.build_hash);
+  (match (C.build_spec s', C.build_spec spliced) with
+  | Some a, Some b ->
+    Alcotest.(check string) "build spec preserved" (C.dag_hash b) (C.dag_hash a)
+  | _ -> Alcotest.fail "expected build specs");
+  Alcotest.(check bool) "is_spliced survives" true (C.is_spliced s')
+
+let test_bad_json () =
+  let bad text =
+    match Spec.Codec.of_string text with
+    | exception (Sjson.Parse_error _ | Invalid_argument _) -> ()
+    | _ -> Alcotest.fail ("should not decode: " ^ text)
+  in
+  bad "{}";
+  bad {|{"root": "a", "nodes": []}|};
+  (* dangling dependency *)
+  bad
+    {|{"root": "a", "nodes": [{"name": "a", "version": "1", "parameters": {},
+       "arch": {"os": "l", "target": "t"},
+       "dependencies": [{"name": "ghost", "hash": "x", "type": ["link"]}],
+       "hash": "h"}]}|}
+
+let test_concretizer_output_roundtrips () =
+  let repo =
+    Pkg.Repo.of_packages
+      Pkg.Package.
+        [ make "top" |> version "1.0" |> depends_on "leaf";
+          make "leaf" |> version "2.0" |> variant "fast" ~default:(Bool true) ]
+  in
+  match Core.Concretizer.concretize_spec ~repo "top" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let s = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+    Alcotest.(check string) "solver output round-trips" (C.dag_hash s)
+      (C.dag_hash (Spec.Codec.of_string (Spec.Codec.to_string s)))
+
+(* ---- property: codec round-trips arbitrary DAGs ---- *)
+
+let gen_dag =
+  QCheck.Gen.(
+    let* layers = int_range 2 4 in
+    let* widths = list_repeat layers (int_range 1 3) in
+    let names =
+      List.concat
+        (List.mapi (fun i w -> List.init w (fun j -> Printf.sprintf "p%d_%d" i j)) widths)
+    in
+    let layer_of n = int_of_string (String.sub n 1 (String.index n '_' - 1)) in
+    let pairs =
+      List.concat_map
+        (fun a ->
+          List.filter_map
+            (fun b -> if layer_of b > layer_of a then Some (a, b) else None)
+            names)
+        names
+    in
+    let* keep = list_repeat (List.length pairs) bool in
+    let* build_mask = list_repeat (List.length pairs) bool in
+    let edges =
+      List.concat
+        (List.mapi
+           (fun i (a, b) ->
+             if List.nth keep i then
+               [ (a, b, if List.nth build_mask i then dt_build else dt_link) ]
+             else [])
+           pairs)
+    in
+    let root = List.hd names in
+    let extra =
+      List.filter_map (fun n -> if n <> root then Some (root, n, dt_link) else None) names
+    in
+    let* versions = list_repeat (List.length names) (int_range 0 5) in
+    let nodes = List.map2 (fun n v -> node n (string_of_int v)) names versions in
+    return (Spec.Concrete.create ~root ~nodes ~edges:(edges @ extra) ()))
+
+let arb_dag = QCheck.make ~print:Spec.Concrete.to_string gen_dag
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"codec round-trips arbitrary DAGs hash-exactly" ~count:150
+    arb_dag
+    (fun d ->
+      String.equal (C.dag_hash d)
+        (C.dag_hash (Spec.Codec.of_string (Spec.Codec.to_string d))))
+
+let () =
+  Alcotest.run "codec"
+    [ ( "spec.json",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "pretty roundtrip" `Quick test_pretty_roundtrip;
+          Alcotest.test_case "schema" `Quick test_schema_shape;
+          Alcotest.test_case "spliced provenance" `Quick test_spliced_provenance;
+          Alcotest.test_case "bad json" `Quick test_bad_json;
+          Alcotest.test_case "concretizer output" `Quick
+            test_concretizer_output_roundtrips ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_codec_roundtrip ]) ]

@@ -1,0 +1,104 @@
+(* Automatic ABI discovery (the paper's 8 future work): suggestions
+   derived from installed binaries, never across incompatible families,
+   and usable end-to-end — applying them enables splicing with no
+   hand-written can_splice. *)
+
+
+(* No can_splice anywhere: discovery must find the compatibilities. *)
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "app" |> version "1.0" |> depends_on "mpi";
+        make "zlib" |> version "1.3.1";
+        make "mpich" ~abi_family:"mpich-abi" |> version "3.4.3"
+        |> provides "mpi" |> depends_on "zlib";
+        make "mvapich" ~abi_family:"mpich-abi" |> version "2.3.7"
+        |> provides "mpi" |> depends_on "zlib";
+        make "openmpi" ~abi_family:"ompi" |> version "4.1.5"
+        |> provides "mpi" |> depends_on "zlib" ]
+
+let build text store =
+  match Core.Concretizer.concretize_spec ~repo text with
+  | Ok o ->
+    let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+    ignore (Binary.Builder.build_all store ~repo spec);
+    spec
+  | Error e -> Alcotest.fail e
+
+let setup () =
+  let vfs = Binary.Vfs.create () in
+  let store = Binary.Store.create ~root:"/opt/abi" vfs in
+  let specs =
+    [ build "mpich" store; build "mvapich" store; build "openmpi" store ]
+  in
+  (store, specs)
+
+let test_finds_family_pairs () =
+  let store, specs = setup () in
+  let suggestions = Core.Discovery.scan ~repo ~specs ~store in
+  let has r t =
+    List.exists
+      (fun (s : Core.Discovery.suggestion) ->
+        s.Core.Discovery.replacement = r && s.Core.Discovery.target = t)
+      suggestions
+  in
+  Alcotest.(check bool) "mvapich can replace mpich" true (has "mvapich" "mpich");
+  Alcotest.(check bool) "mpich can replace mvapich" true (has "mpich" "mvapich");
+  Alcotest.(check bool) "openmpi never suggested for mpich" false (has "openmpi" "mpich");
+  Alcotest.(check bool) "mpich never suggested for openmpi" false (has "mpich" "openmpi")
+
+let test_directive_rendering () =
+  let s =
+    { Core.Discovery.replacement = "mvapich";
+      replacement_version = Vers.Version.of_string "2.3.7";
+      target = "mpich";
+      target_version = Vers.Version.of_string "3.4.3";
+      exact = true }
+  in
+  Alcotest.(check string) "rendering"
+    {|can_splice "mpich@=3.4.3" ~when_:"@=2.3.7"|}
+    (Core.Discovery.to_directive s)
+
+let test_apply_enables_splicing () =
+  let store, specs = setup () in
+  (* Build an app stack against mpich (the thing we want to reuse). *)
+  let app_spec = build "app ^mpich" store in
+  let suggestions = Core.Discovery.scan ~repo ~specs ~store in
+  Alcotest.(check bool) "found suggestions" true (suggestions <> []);
+  let repo' = Core.Discovery.apply repo suggestions in
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.reuse = [ app_spec ] @ specs;
+      splicing = true }
+  in
+  match
+    Core.Concretizer.concretize ~repo:repo' ~options
+      [ Core.Encode.request_of_string "app ^mvapich" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let sol = o.Core.Concretizer.solution in
+    Alcotest.(check bool) "spliced via discovered directive" true
+      (Core.Decode.is_spliced_solution sol);
+    Alcotest.(check (list string)) "zero builds" [] sol.Core.Decode.built
+
+let test_apply_idempotent () =
+  let store, specs = setup () in
+  let suggestions = Core.Discovery.scan ~repo ~specs ~store in
+  let repo' = Core.Discovery.apply repo suggestions in
+  let repo'' = Core.Discovery.apply repo' suggestions in
+  let count r =
+    List.fold_left
+      (fun acc (p : Pkg.Package.t) -> acc + List.length p.Pkg.Package.splices)
+      0 (Pkg.Repo.packages r)
+  in
+  Alcotest.(check int) "second apply adds nothing" (count repo') (count repo'')
+
+let () =
+  Alcotest.run "discovery"
+    [ ( "scan",
+        [ Alcotest.test_case "family pairs" `Quick test_finds_family_pairs;
+          Alcotest.test_case "directive rendering" `Quick test_directive_rendering ] );
+      ( "apply",
+        [ Alcotest.test_case "enables splicing" `Quick test_apply_enables_splicing;
+          Alcotest.test_case "idempotent" `Quick test_apply_idempotent ] ) ]

@@ -1,0 +1,179 @@
+(* Encoding of packages, requests, and reusable specs to ASP (5.1-5.3):
+   both encodings, the condition machinery, and compiled can_splice
+   rules (Fig. 4a). *)
+
+open Spec.Types
+
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "example"
+        |> version "1.1.0" |> version "1.0.0"
+        |> variant "bzip" ~default:(Bool true)
+        |> depends_on "bzip2" ~when_:"+bzip"
+        |> depends_on "zlib@1.2" ~when_:"@1.0.0"
+        |> can_splice "example@1.0.0" ~when_:"@1.1.0";
+        make "bzip2" |> version "1.0.8";
+        make "zlib" |> version "1.3.1" |> version "1.2.13" |> version "1.2.11" ]
+
+let fact_strings (e : Core.Encode.t) =
+  List.map (Format.asprintf "%a" Asp.Ast.pp_statement) e.Core.Encode.facts
+
+let rule_strings (e : Core.Encode.t) =
+  List.map (Format.asprintf "%a" Asp.Ast.pp_statement) e.Core.Encode.rules
+
+let has_fact e s = List.mem s (fact_strings e)
+
+let count_pred e pred =
+  List.length
+    (List.filter
+       (fun st ->
+         match st with
+         | Asp.Ast.Rule { head = Asp.Ast.Head_atom a; body = [] } -> a.Asp.Ast.pred = pred
+         | _ -> false)
+       e.Core.Encode.facts)
+
+let encode ?(encoding = Core.Encode.Hash_attr) ?(splicing = false) ?(reuse = []) reqs =
+  Core.Encode.encode ~repo ~encoding ~splicing ~reuse ~host_os:"linux"
+    ~host_target:"x86_64"
+    (List.map Core.Encode.request_of_string reqs)
+
+let test_package_facts () =
+  let e = encode [ "example" ] in
+  Alcotest.(check bool) "version_decl" true
+    (has_fact e {|version_decl("example","1.1.0").|});
+  Alcotest.(check bool) "version_weight order" true
+    (has_fact e {|version_weight("example","1.0.0",1).|});
+  Alcotest.(check bool) "variant default" true
+    (has_fact e {|variant_default("example","bzip","True").|});
+  (* conditional dep compiled through the condition machinery *)
+  Alcotest.(check bool) "condition exists" true (count_pred e "condition" >= 2);
+  Alcotest.(check bool) "variant requirement" true
+    (List.exists
+       (fun s -> s = {|condition_requirement("c1","variant","example","bzip","True").|})
+       (fact_strings e))
+
+let test_version_range_precompiled () =
+  let e = encode [ "example" ] in
+  (* zlib@1.2 in the dep directive: exactly 1.2.13 and 1.2.11 qualify *)
+  let ok =
+    List.filter
+      (fun s ->
+        String.length s >= 14 && String.sub s 0 14 = "dep_version_ok")
+      (fact_strings e)
+  in
+  Alcotest.(check int) "two qualifying versions" 2 (List.length ok)
+
+let test_request_facts () =
+  let e = encode [ "example@1.0.0 +bzip ^zlib@1.2.13" ] in
+  Alcotest.(check bool) "root" true (has_fact e {|attr("root",node("example")).|});
+  Alcotest.(check bool) "user version req" true
+    (has_fact e {|user_version_req("example").|});
+  Alcotest.(check bool) "user variant" true
+    (has_fact e {|user_variant("example","bzip","True").|});
+  Alcotest.(check bool) "user dep" true (has_fact e {|user_dep("example","zlib").|})
+
+let test_forbid () =
+  let e =
+    Core.Encode.encode ~repo ~encoding:Core.Encode.Hash_attr ~splicing:false
+      ~reuse:[] ~host_os:"linux" ~host_target:"x86_64"
+      [ Core.Encode.request_of_string ~forbid:[ "zlib" ] "example" ]
+  in
+  Alcotest.(check bool) "forbid fact" true (has_fact e {|user_forbid("zlib").|})
+
+let concrete_zlib =
+  Spec.Concrete.create ~root:"zlib"
+    ~nodes:
+      [ { Spec.Concrete.name = "zlib";
+          version = Vers.Version.of_string "1.2.13";
+          variants = Smap.empty;
+          os = "linux"; target = "x86_64"; build_hash = None } ]
+    ~edges:[] ()
+
+let test_reusable_encodings () =
+  let h = Spec.Concrete.dag_hash concrete_zlib in
+  let old_e = encode ~encoding:Core.Encode.Old ~reuse:[ concrete_zlib ] [ "example" ] in
+  Alcotest.(check bool) "installed_hash" true
+    (has_fact old_e (Printf.sprintf {|installed_hash("zlib","%s").|} h));
+  Alcotest.(check bool) "old: direct imposed_constraint" true
+    (has_fact old_e (Printf.sprintf {|imposed_constraint("%s","version","zlib","1.2.13").|} h));
+  let new_e = encode ~encoding:Core.Encode.Hash_attr ~reuse:[ concrete_zlib ] [ "example" ] in
+  Alcotest.(check bool) "new: hash_attr indirection" true
+    (has_fact new_e (Printf.sprintf {|hash_attr("%s","version","zlib","1.2.13").|} h));
+  Alcotest.(check bool) "new: no direct imposed_constraint" false
+    (has_fact new_e (Printf.sprintf {|imposed_constraint("%s","version","zlib","1.2.13").|} h))
+
+let test_pool_version_facts () =
+  (* A version present only in the pool becomes selectable with a low
+     preference. *)
+  let odd =
+    Spec.Concrete.create ~root:"zlib"
+      ~nodes:
+        [ { Spec.Concrete.name = "zlib";
+            version = Vers.Version.of_string "0.9.9";
+            variants = Smap.empty;
+            os = "linux"; target = "x86_64"; build_hash = None } ]
+      ~edges:[] ()
+  in
+  let e = encode ~reuse:[ odd ] [ "example" ] in
+  Alcotest.(check bool) "pool version declared" true
+    (has_fact e {|version_decl("zlib","0.9.9").|});
+  Alcotest.(check bool) "ranked last" true
+    (has_fact e {|version_weight("zlib","0.9.9",20).|})
+
+let test_can_splice_rule () =
+  let e = encode ~splicing:true ~reuse:[ concrete_zlib ] [ "example" ] in
+  match rule_strings e with
+  | [ rule ] ->
+    let contains needle =
+      let n = String.length needle and h = String.length rule in
+      let rec go i = i + n <= h && (String.sub rule i n = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "head" true (contains {|can_splice(node("example"),"example",Hash)|});
+    Alcotest.(check bool) "guarded by installed_hash" true
+      (contains {|installed_hash("example",Hash)|});
+    Alcotest.(check bool) "when version over node attrs" true
+      (contains {|attr("version",node("example"),Vw)|});
+    Alcotest.(check bool) "target version over hash_attr" true
+      (contains {|hash_attr(Hash,"version","example",Vt)|})
+  | rules -> Alcotest.failf "expected exactly one can_splice rule, got %d" (List.length rules)
+
+let test_old_plus_splicing_rejected () =
+  Alcotest.(check bool) "old encoding cannot splice" true
+    (match encode ~encoding:Core.Encode.Old ~splicing:true [ "example" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_pool_indexes_subdags () =
+  let spec =
+    Spec.Concrete.create ~root:"a"
+      ~nodes:
+        (List.map
+           (fun n ->
+             { Spec.Concrete.name = n;
+               version = Vers.Version.of_string "1.0";
+               variants = Smap.empty;
+               os = "linux"; target = "x86_64"; build_hash = None })
+           [ "a"; "b"; "c" ])
+      ~edges:[ ("a", "b", dt_link); ("b", "c", dt_link) ]
+      ()
+  in
+  let pool = Core.Encode.pool_of_specs [ spec ] in
+  Alcotest.(check int) "every node reusable" 3 (Core.Encode.pool_size pool)
+
+let () =
+  Alcotest.run "encode"
+    [ ( "packages",
+        [ Alcotest.test_case "facts" `Quick test_package_facts;
+          Alcotest.test_case "ranges precompiled" `Quick test_version_range_precompiled ] );
+      ( "requests",
+        [ Alcotest.test_case "facts" `Quick test_request_facts;
+          Alcotest.test_case "forbid" `Quick test_forbid ] );
+      ( "reusable",
+        [ Alcotest.test_case "old vs hash_attr" `Quick test_reusable_encodings;
+          Alcotest.test_case "pool versions" `Quick test_pool_version_facts;
+          Alcotest.test_case "pool subdags" `Quick test_pool_indexes_subdags ] );
+      ( "splicing",
+        [ Alcotest.test_case "can_splice rule" `Quick test_can_splice_rule;
+          Alcotest.test_case "old+splicing rejected" `Quick test_old_plus_splicing_rejected ] ) ]

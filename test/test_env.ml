@@ -1,0 +1,118 @@
+(* Environments: joint concretization, lockfile round-trips, install. *)
+
+
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "app-a" |> version "1.0" |> depends_on "zlib";
+        make "app-b" |> version "2.0" |> depends_on "zlib@1.2";
+        make "zlib" |> version "1.3.1" |> version "1.2.13";
+        make "mpich" ~abi_family:"mpich-abi" |> version "3.4.3" |> provides "mpi";
+        make "mpiabi" ~abi_family:"mpich-abi" |> version "1.0" |> provides "mpi"
+        |> can_splice "mpich@3.4.3" ~when_:"@1.0";
+        make "app-c" |> version "1.0" |> depends_on "mpi" ]
+
+let test_joint_consistency () =
+  (* app-a alone would take zlib@1.3.1; app-b forces 1.2; jointly they
+     must agree on one zlib. *)
+  let env = Core.Env.(create "dev" |> Fun.flip add "app-a" |> Fun.flip add "app-b") in
+  match Core.Env.concretize ~repo env with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    (match env.Core.Env.concrete with
+    | [ a; b ] ->
+      let za = (Spec.Concrete.node a "zlib").Spec.Concrete.version in
+      let zb = (Spec.Concrete.node b "zlib").Spec.Concrete.version in
+      Alcotest.(check string) "one zlib for the whole environment"
+        (Vers.Version.to_string za) (Vers.Version.to_string zb);
+      Alcotest.(check string) "the constrained one" "1.2.13"
+        (Vers.Version.to_string za)
+    | _ -> Alcotest.fail "expected two concrete roots")
+
+let test_add_remove () =
+  let env = Core.Env.(create "e" |> Fun.flip add "app-a" |> Fun.flip add "app-b") in
+  Alcotest.(check int) "two roots" 2 (List.length env.Core.Env.requests);
+  let env = Core.Env.remove env "app-a" in
+  Alcotest.(check int) "one root" 1 (List.length env.Core.Env.requests);
+  match Core.Env.concretize ~repo env with
+  | Ok e -> Alcotest.(check int) "one spec" 1 (List.length e.Core.Env.concrete)
+  | Error e -> Alcotest.fail e
+
+let test_lockfile_roundtrip () =
+  let env = Core.Env.(create "locked" |> Fun.flip add "app-b") in
+  match Core.Env.concretize ~repo env with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    let json = Core.Env.lockfile env in
+    let env' = Core.Env.of_lockfile (Sjson.of_string (Sjson.to_string ~pretty:true json)) in
+    Alcotest.(check string) "name" "locked" env'.Core.Env.env_name;
+    Alcotest.(check int) "roots" 1 (List.length env'.Core.Env.requests);
+    Alcotest.(check (list string)) "hashes pinned exactly"
+      (List.map Spec.Concrete.dag_hash env.Core.Env.concrete)
+      (List.map Spec.Concrete.dag_hash env'.Core.Env.concrete)
+
+let test_lockfile_preserves_splices () =
+  let cached =
+    match Core.Concretizer.concretize_spec ~repo "app-c ^mpich" with
+    | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
+    | Error e -> Alcotest.fail e
+  in
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.reuse = [ cached ];
+      splicing = true }
+  in
+  let env = Core.Env.(create "spliced" |> Fun.flip add "app-c ^mpiabi") in
+  match Core.Env.concretize ~repo ~options env with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    let spec = List.hd env.Core.Env.concrete in
+    Alcotest.(check bool) "spliced in env" true (Spec.Concrete.is_spliced spec);
+    let env' = Core.Env.of_lockfile (Core.Env.lockfile env) in
+    let spec' = List.hd env'.Core.Env.concrete in
+    Alcotest.(check bool) "provenance survives the lockfile" true
+      (Spec.Concrete.is_spliced spec');
+    Alcotest.(check string) "hash identical" (Spec.Concrete.dag_hash spec)
+      (Spec.Concrete.dag_hash spec')
+
+let test_install_env () =
+  let env = Core.Env.(create "i" |> Fun.flip add "app-a" |> Fun.flip add "app-b") in
+  match Core.Env.concretize ~repo env with
+  | Error e -> Alcotest.fail e
+  | Ok env ->
+    let vfs = Binary.Vfs.create () in
+    let store = Binary.Store.create ~root:"/env" vfs in
+    let reports = Core.Env.install env store ~repo () in
+    Alcotest.(check int) "two reports" 2 (List.length reports);
+    List.iter
+      (fun (root, (r : Binary.Installer.report)) ->
+        match r.Binary.Installer.link_result with
+        | Ok _ -> ()
+        | Error _ -> Alcotest.failf "%s failed to link" root)
+      reports;
+    (* zlib shared: installed once, reused by the second root *)
+    let _, second = List.nth reports 1 in
+    Alcotest.(check bool) "sharing across roots" true
+      (second.Binary.Installer.reused <> [])
+
+let test_status () =
+  let env = Core.Env.(create "s" |> Fun.flip add "app-a") in
+  Alcotest.(check bool) "mentions not concretized" true
+    (let s = Core.Env.status env in
+     String.length s > 0
+     &&
+     let rec contains i =
+       i + 16 <= String.length s
+       && (String.sub s i 16 = "(not concretized" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "env"
+    [ ( "environments",
+        [ Alcotest.test_case "joint consistency" `Quick test_joint_consistency;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "lockfile roundtrip" `Quick test_lockfile_roundtrip;
+          Alcotest.test_case "lockfile splices" `Quick test_lockfile_preserves_splices;
+          Alcotest.test_case "install" `Quick test_install_env;
+          Alcotest.test_case "status" `Quick test_status ] ) ]

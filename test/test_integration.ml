@@ -1,0 +1,158 @@
+(* Full-system integration over the RADIUSS universe: the paper's
+   correctness claims, end to end.
+
+   - RQ1 (bug half): old and hash_attr encodings concretize the stack
+     identically when splicing is off.
+   - RQ2: the concretizer produces spliced solutions whenever a
+     compatible cached binary exists — with zero rebuilds of
+     dependents — and the installer rewires them into binaries the
+     simulated dynamic linker accepts.
+   - 6.4 setup: with mpich forbidden and replicas available, solutions
+     splice in a replica. *)
+
+let repo = Radiuss.Universe.repo ()
+
+let local = lazy (Radiuss.Caches.local ~repo ())
+
+let reuse () = Radiuss.Caches.reusable_specs (Lazy.force local)
+
+(* A fast subset of the MPI-dependent specs for per-test loops. *)
+let mpi_sample = [ "mfem"; "samrai"; "hypre"; "scr"; "conduit-top" ]
+
+let test_encodings_agree () =
+  let pool = reuse () in
+  List.iter
+    (fun name ->
+      let solve encoding =
+        let options =
+          { Core.Concretizer.default_options with
+            Core.Concretizer.reuse = pool;
+            encoding }
+        in
+        match Core.Concretizer.concretize_spec ~repo ~options name with
+        | Ok o ->
+          Spec.Concrete.dag_hash (List.hd o.Core.Concretizer.solution.Core.Decode.specs)
+        | Error e -> Alcotest.failf "%s (%s)" name e
+      in
+      Alcotest.(check string) name (solve Core.Encode.Old) (solve Core.Encode.Hash_attr))
+    (mpi_sample @ [ "py-shroud"; "zfp"; "raja" ])
+
+let splice_options () =
+  { Core.Concretizer.default_options with
+    Core.Concretizer.reuse = reuse ();
+    splicing = true }
+
+let test_spliced_solutions_when_possible () =
+  (* 6.3: request every sampled MPI spec with the mock mpiabi; every
+     solution must reuse the cached stack and splice — zero rebuilds. *)
+  List.iter
+    (fun name ->
+      match
+        Core.Concretizer.concretize ~repo ~options:(splice_options ())
+          [ Core.Encode.request_of_string (name ^ " ^mpiabi") ]
+      with
+      | Error e -> Alcotest.failf "%s: %s" name e
+      | Ok o ->
+        let sol = o.Core.Concretizer.solution in
+        Alcotest.(check bool) (name ^ " spliced") true
+          (Core.Decode.is_spliced_solution sol);
+        Alcotest.(check (list string)) (name ^ " zero builds") []
+          sol.Core.Decode.built;
+        let s = List.hd sol.Core.Decode.specs in
+        Alcotest.(check bool) (name ^ " no mpich left") true
+          (Spec.Concrete.find_node s "mpich" = None))
+    mpi_sample
+
+let test_control_spec_untouched () =
+  (* py-shroud cannot splice; enabling the feature must not change its
+     solution. *)
+  let base =
+    match Core.Concretizer.concretize_spec ~repo ~options:{ (splice_options ()) with Core.Concretizer.splicing = false } "py-shroud" with
+    | Ok o -> Spec.Concrete.dag_hash (List.hd o.Core.Concretizer.solution.Core.Decode.specs)
+    | Error e -> Alcotest.fail e
+  in
+  match Core.Concretizer.concretize_spec ~repo ~options:(splice_options ()) "py-shroud" with
+  | Ok o ->
+    let sol = o.Core.Concretizer.solution in
+    Alcotest.(check bool) "not spliced" false (Core.Decode.is_spliced_solution sol);
+    Alcotest.(check string) "same solution" base
+      (Spec.Concrete.dag_hash (List.hd sol.Core.Decode.specs))
+  | Error e -> Alcotest.fail e
+
+let test_spliced_install_links () =
+  (* Take a spliced solution, install it on a fresh "cluster" from the
+     buildcache, and run the dynamic linker. *)
+  let l = Lazy.force local in
+  match
+    Core.Concretizer.concretize ~repo ~options:(splice_options ())
+      [ Core.Encode.request_of_string "mfem ^mpiabi" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+    let vfs = Binary.Vfs.create () in
+    let cluster = Binary.Store.create ~root:"/cluster" vfs in
+    let report =
+      Binary.Installer.install cluster ~repo ~caches:[ l.Radiuss.Caches.cache ] spec
+    in
+    Alcotest.(check int) "nothing compiled" 0 (Binary.Installer.rebuild_count report);
+    Alcotest.(check bool) "something was rewired" true
+      (report.Binary.Installer.rewired <> []);
+    (match report.Binary.Installer.link_result with
+    | Ok _ -> ()
+    | Error es ->
+      Alcotest.failf "spliced install failed to link: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Binary.Linker.pp_error) es)))
+
+let test_replica_scaling_setup () =
+  (* 6.4: forbid mpich, give the solver replicas; it must splice one
+     of them in. *)
+  let repo10 = Radiuss.Universe.with_replicas repo 10 in
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.reuse = reuse ();
+      splicing = true }
+  in
+  match
+    Core.Concretizer.concretize ~repo:repo10 ~options
+      [ Core.Encode.request_of_string ~forbid:[ "mpich" ] "hypre" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    let sol = o.Core.Concretizer.solution in
+    let s = List.hd sol.Core.Decode.specs in
+    Alcotest.(check bool) "mpich absent" true (Spec.Concrete.find_node s "mpich" = None);
+    Alcotest.(check bool) "a replacement provider is present" true
+      (List.exists
+         (fun (n : Spec.Concrete.node) ->
+           n.Spec.Concrete.name = "mpiabi"
+           || String.length n.Spec.Concrete.name > 6
+              && String.sub n.Spec.Concrete.name 0 6 = "mpiabi")
+         (Spec.Concrete.nodes s));
+    Alcotest.(check bool) "and it was spliced, not rebuilt" true
+      (Core.Decode.is_spliced_solution sol)
+
+let test_whole_stack_concretizes () =
+  (* Every one of the 32 objectives concretizes against the local
+     cache with splicing enabled. *)
+  let options = splice_options () in
+  List.iter
+    (fun name ->
+      match Core.Concretizer.concretize_spec ~repo ~options name with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %s" name e)
+    Radiuss.Universe.top_level
+
+let () =
+  Alcotest.run "integration"
+    [ ( "rq1",
+        [ Alcotest.test_case "encodings agree" `Slow test_encodings_agree ] );
+      ( "rq2",
+        [ Alcotest.test_case "splices when possible" `Slow
+            test_spliced_solutions_when_possible;
+          Alcotest.test_case "control untouched" `Slow test_control_spec_untouched;
+          Alcotest.test_case "spliced install links" `Slow test_spliced_install_links ] );
+      ( "rq4",
+        [ Alcotest.test_case "replica setup" `Slow test_replica_scaling_setup ] );
+      ( "stack",
+        [ Alcotest.test_case "all objectives" `Slow test_whole_stack_concretizes ] ) ]

@@ -1,0 +1,114 @@
+(* The packaging DSL and repository. *)
+
+open Spec.Types
+module P = Pkg.Package
+module R = Pkg.Repo
+
+let example =
+  P.(
+    make "example"
+    |> version "1.1.0"
+    |> version "1.0.0"
+    |> variant "bzip" ~default:(Bool true)
+    |> depends_on "bzip2" ~when_:"+bzip"
+    |> depends_on "zlib@1.2" ~when_:"@1.0.0"
+    |> depends_on "zlib@1.3" ~when_:"@1.1.0"
+    |> depends_on "mpi"
+    |> can_splice "example@1.0.0" ~when_:"@1.1.0"
+    |> can_splice "example-ng@2.3.2+compat" ~when_:"@1.1.0+bzip")
+
+let test_versions () =
+  Alcotest.(check int) "two versions" 2 (List.length example.P.versions);
+  Alcotest.(check bool) "has 1.1.0" true
+    (P.has_version example (Vers.Version.of_string "1.1.0"));
+  Alcotest.(check (option int)) "1.1.0 preferred" (Some 0)
+    (P.version_weight example (Vers.Version.of_string "1.1.0"));
+  Alcotest.(check (option int)) "1.0.0 second" (Some 1)
+    (P.version_weight example (Vers.Version.of_string "1.0.0"));
+  Alcotest.(check (option int)) "unknown" None
+    (P.version_weight example (Vers.Version.of_string "9.9"))
+
+let test_conditional_deps () =
+  Alcotest.(check int) "four dep decls" 4 (List.length example.P.dependencies);
+  let bzip_dep = List.hd example.P.dependencies in
+  (match bzip_dep.P.d_when with
+  | Some w ->
+    Alcotest.(check string) "when names self" "example" w.Spec.Abstract.name;
+    Alcotest.(check bool) "+bzip" true
+      (Smap.find "bzip" w.Spec.Abstract.variants = Bool true)
+  | None -> Alcotest.fail "expected when");
+  let mpi_dep = List.nth example.P.dependencies 3 in
+  Alcotest.(check bool) "unconditional" true (mpi_dep.P.d_when = None)
+
+let test_can_splice_decls () =
+  Alcotest.(check int) "two splice decls" 2 (List.length example.P.splices);
+  let s2 = List.nth example.P.splices 1 in
+  Alcotest.(check string) "target" "example-ng"
+    s2.P.s_target.Spec.Abstract.root.Spec.Abstract.name;
+  Alcotest.(check bool) "when version" true
+    (Vers.Range.satisfies (Vers.Version.of_string "1.1.0")
+       s2.P.s_when.Spec.Abstract.version);
+  Alcotest.(check bool) "when variant" true
+    (Smap.find "bzip" s2.P.s_when.Spec.Abstract.variants = Bool true)
+
+let test_bad_when () =
+  Alcotest.(check bool) "foreign when rejected" true
+    (match P.(make "a" |> depends_on "b" ~when_:"c@1.0") with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_abi_family () =
+  let p = P.make "mpich" ~abi_family:"mpich-abi" in
+  Alcotest.(check string) "explicit" "mpich-abi" p.P.abi_family;
+  Alcotest.(check string) "default" "zlib" (P.make "zlib").P.abi_family
+
+let small_repo () =
+  R.of_packages
+    P.
+      [ example;
+        make "example-ng" |> version "2.3.2" |> variant "compat";
+        make "bzip2" |> version "1.0.8";
+        make "zlib" |> version "1.3.1" |> version "1.2.13";
+        make "mpich" |> version "3.4.3" |> provides "mpi" ]
+
+let test_repo_lookup () =
+  let r = small_repo () in
+  Alcotest.(check bool) "find" true (R.find r "zlib" <> None);
+  Alcotest.(check bool) "missing" true (R.find r "nope" = None);
+  Alcotest.(check int) "packages" 5 (List.length (R.packages r));
+  Alcotest.(check bool) "mpi virtual" true (R.is_virtual r "mpi");
+  Alcotest.(check bool) "zlib not virtual" false (R.is_virtual r "zlib");
+  Alcotest.(check int) "providers" 1 (List.length (R.providers r "mpi"))
+
+let test_repo_duplicate () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (match R.of_packages [ P.make "a" ; P.make "a" ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_repo_validate () =
+  Alcotest.(check bool) "valid" true (R.validate (small_repo ()) = Ok ());
+  let broken =
+    R.of_packages P.[ make "a" |> version "1" |> depends_on "ghost" ]
+  in
+  match R.validate broken with
+  | Error [ e ] -> Alcotest.(check bool) "mentions ghost" true (contains e "ghost")
+  | _ -> Alcotest.fail "expected one error"
+
+let () =
+  Alcotest.run "pkg"
+    [ ( "package",
+        [ Alcotest.test_case "versions" `Quick test_versions;
+          Alcotest.test_case "conditional deps" `Quick test_conditional_deps;
+          Alcotest.test_case "can_splice" `Quick test_can_splice_decls;
+          Alcotest.test_case "bad when" `Quick test_bad_when;
+          Alcotest.test_case "abi family" `Quick test_abi_family ] );
+      ( "repo",
+        [ Alcotest.test_case "lookup" `Quick test_repo_lookup;
+          Alcotest.test_case "duplicate" `Quick test_repo_duplicate;
+          Alcotest.test_case "validate" `Quick test_repo_validate ] ) ]

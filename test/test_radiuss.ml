@@ -1,0 +1,111 @@
+(* The synthetic evaluation universe: repository sanity, cache
+   construction, replica scaling, and config mutation. *)
+
+let repo = Radiuss.Universe.repo ()
+
+let test_repo_valid () =
+  match Pkg.Repo.validate repo with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid universe: %s" (String.concat "; " es)
+
+let test_shape () =
+  Alcotest.(check int) "32 top-level objectives" 32
+    (List.length Radiuss.Universe.top_level);
+  Alcotest.(check bool) "mpi-dependent subset nonempty" true
+    (List.length Radiuss.Universe.mpi_dependent >= 15);
+  Alcotest.(check bool) "subset of top level" true
+    (List.for_all
+       (fun n -> List.mem n Radiuss.Universe.top_level)
+       Radiuss.Universe.mpi_dependent);
+  Alcotest.(check bool) "control has no mpi" false
+    (List.mem Radiuss.Universe.no_mpi_control Radiuss.Universe.mpi_dependent);
+  Alcotest.(check bool) "mpi is virtual" true (Pkg.Repo.is_virtual repo "mpi");
+  Alcotest.(check int) "three mpi providers" 3
+    (List.length (Pkg.Repo.providers repo "mpi"))
+
+let test_mpiabi () =
+  let mpiabi = Pkg.Repo.get repo "mpiabi" in
+  Alcotest.(check int) "single version" 1 (List.length mpiabi.Pkg.Package.versions);
+  (match mpiabi.Pkg.Package.splices with
+  | [ s ] ->
+    Alcotest.(check string) "targets mpich" "mpich"
+      s.Pkg.Package.s_target.Spec.Abstract.root.Spec.Abstract.name
+  | _ -> Alcotest.fail "expected one can_splice");
+  Alcotest.(check string) "shares mpich abi" "mpich-abi" mpiabi.Pkg.Package.abi_family;
+  Alcotest.(check bool) "openmpi does not" true
+    ((Pkg.Repo.get repo "openmpi").Pkg.Package.abi_family <> "mpich-abi")
+
+let test_replicas () =
+  let r = Radiuss.Universe.with_replicas repo 5 in
+  match Pkg.Repo.validate r with
+  | Error es -> Alcotest.failf "replica universe invalid: %s" (String.concat "; " es)
+  | Ok () ->
+    Alcotest.(check int) "5 more packages"
+      (List.length (Pkg.Repo.packages repo) + 5)
+      (List.length (Pkg.Repo.packages r));
+    let c = Pkg.Repo.get r (Radiuss.Universe.replica_name 3) in
+    Alcotest.(check int) "replica can splice" 1 (List.length c.Pkg.Package.splices);
+    Alcotest.(check int) "8 providers now" 8 (List.length (Pkg.Repo.providers r "mpi"))
+
+let local = lazy (Radiuss.Caches.local ~repo ())
+
+let test_local_cache () =
+  let l = Lazy.force local in
+  Alcotest.(check int) "all stacks built" 33 (List.length l.Radiuss.Caches.specs);
+  Alcotest.(check bool) "scores of node entries" true
+    (Radiuss.Caches.node_count l > 50);
+  (* every MPI-dependent stack in the cache was built against the
+     splice target version *)
+  List.iter
+    (fun spec ->
+      if List.mem (Spec.Concrete.root spec) Radiuss.Universe.mpi_dependent then
+        match Spec.Concrete.find_node spec "mpich" with
+        | Some n ->
+          Alcotest.(check string)
+            (Spec.Concrete.root spec ^ " uses mpich 3.4.3")
+            "3.4.3"
+            (Vers.Version.to_string n.Spec.Concrete.version)
+        | None -> Alcotest.failf "%s has no mpich" (Spec.Concrete.root spec))
+    l.Radiuss.Caches.specs
+
+let test_cache_binaries_link () =
+  let l = Lazy.force local in
+  (* spot-check: the first three cached stacks actually load *)
+  List.iteri
+    (fun i spec ->
+      if i < 3 then begin
+        let h = Spec.Concrete.dag_hash spec in
+        let r = Option.get (Binary.Store.installed l.Radiuss.Caches.store ~hash:h) in
+        let path =
+          Binary.Store.lib_path ~prefix:r.Binary.Store.prefix
+            ~soname:(Binary.Store.soname_of (Spec.Concrete.root spec))
+        in
+        match Binary.Linker.load (Binary.Store.vfs l.Radiuss.Caches.store) path with
+        | Ok _ -> ()
+        | Error es ->
+          Alcotest.failf "%s does not link: %s" (Spec.Concrete.root spec)
+            (String.concat "; " (List.map (Format.asprintf "%a" Binary.Linker.pp_error) es))
+      end)
+    l.Radiuss.Caches.specs
+
+let test_synthetic_pool () =
+  let l = Lazy.force local in
+  let synth =
+    Radiuss.Caches.synthesize_pool ~repo ~base_specs:l.Radiuss.Caches.specs
+      ~target_nodes:150
+  in
+  Alcotest.(check bool) "pool grew" true (List.length synth > 0);
+  (* mutants stay structurally valid: hashes computable, acyclic *)
+  List.iter (fun s -> ignore (Spec.Concrete.dag_hash s)) synth
+
+let () =
+  Alcotest.run "radiuss"
+    [ ( "universe",
+        [ Alcotest.test_case "valid" `Quick test_repo_valid;
+          Alcotest.test_case "shape" `Quick test_shape;
+          Alcotest.test_case "mpiabi mock" `Quick test_mpiabi;
+          Alcotest.test_case "replicas" `Quick test_replicas ] );
+      ( "caches",
+        [ Alcotest.test_case "local cache" `Slow test_local_cache;
+          Alcotest.test_case "binaries link" `Slow test_cache_binaries_link;
+          Alcotest.test_case "synthetic pool" `Slow test_synthetic_pool ] ) ]

@@ -1,0 +1,190 @@
+(* The CDCL core: unit cases, assumptions, pseudo-Boolean constraints,
+   and a brute-force equivalence fuzz. *)
+
+module S = Asp.Sat
+
+let test_trivial () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ S.pos a; S.pos b ];
+  S.add_clause s [ S.neg a ];
+  Alcotest.(check bool) "sat" true (S.solve s);
+  Alcotest.(check bool) "a false" false (S.value s a);
+  Alcotest.(check bool) "b true" true (S.value s b)
+
+let test_unsat () =
+  let s = S.create () in
+  let a = S.new_var s in
+  S.add_clause s [ S.pos a ];
+  S.add_clause s [ S.neg a ];
+  Alcotest.(check bool) "unsat" false (S.solve s)
+
+let test_empty_clause () =
+  let s = S.create () in
+  S.add_clause s [];
+  Alcotest.(check bool) "empty clause = unsat" false (S.solve s)
+
+let test_pigeonhole () =
+  (* 4 pigeons, 3 holes: classically UNSAT, needs real search. *)
+  let s = S.create () in
+  let x = Array.init 4 (fun _ -> Array.init 3 (fun _ -> S.new_var s)) in
+  for p = 0 to 3 do
+    S.add_clause s (List.init 3 (fun h -> S.pos x.(p).(h)))
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        S.add_clause s [ S.neg x.(p1).(h); S.neg x.(p2).(h) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php(4,3) unsat" false (S.solve s)
+
+let test_assumptions () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s in
+  S.add_clause s [ S.neg a; S.pos b ];
+  S.add_clause s [ S.neg b; S.neg a ];
+  (* a -> b and a -> not b: a must be false. *)
+  Alcotest.(check bool) "sat without assumptions" true (S.solve s);
+  Alcotest.(check bool) "unsat under a" false (S.solve ~assumptions:[ S.pos a ] s);
+  Alcotest.(check bool) "still sat after" true (S.solve s);
+  Alcotest.(check bool) "sat under not a" true (S.solve ~assumptions:[ S.neg a ] s)
+
+let test_pb_cardinality () =
+  let s = S.create () in
+  let xs = Array.init 5 (fun _ -> S.new_var s) in
+  (* at most 2 of 5 *)
+  S.add_pb_le s (Array.to_list (Array.map (fun v -> (1, S.pos v)) xs)) 2;
+  (* force three of them via clauses -> unsat *)
+  S.add_clause s [ S.pos xs.(0) ];
+  S.add_clause s [ S.pos xs.(1) ];
+  Alcotest.(check bool) "two forced: sat" true (S.solve s);
+  let count = Array.fold_left (fun acc v -> if S.value s v then acc + 1 else acc) 0 xs in
+  Alcotest.(check bool) "bound respected" true (count <= 2);
+  S.add_clause s [ S.pos xs.(2) ];
+  Alcotest.(check bool) "three forced: unsat" false (S.solve s)
+
+let test_pb_weights () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s and c = S.new_var s in
+  (* 3a + 2b + 2c <= 5 *)
+  S.add_pb_le s [ (3, S.pos a); (2, S.pos b); (2, S.pos c) ] 5;
+  S.add_clause s [ S.pos a ];
+  Alcotest.(check bool) "sat" true (S.solve s);
+  (* with a true (3), choosing both b and c would make 7 > 5 *)
+  Alcotest.(check bool) "not both b c" false (S.value s b && S.value s c);
+  S.add_clause s [ S.pos b ];
+  Alcotest.(check bool) "a+b ok" true (S.solve s);
+  Alcotest.(check bool) "c forced false" false (S.value s c);
+  S.add_clause s [ S.pos c ];
+  Alcotest.(check bool) "a+b+c unsat" false (S.solve s)
+
+let test_incremental () =
+  let s = S.create () in
+  let xs = Array.init 10 (fun _ -> S.new_var s) in
+  for i = 0 to 8 do
+    S.add_clause s [ S.neg xs.(i); S.pos xs.(i + 1) ]
+  done;
+  S.add_clause s [ S.pos xs.(0) ];
+  Alcotest.(check bool) "chain sat" true (S.solve s);
+  Alcotest.(check bool) "implied end" true (S.value s xs.(9));
+  (* add a contradiction after a successful solve *)
+  S.add_clause s [ S.neg xs.(9) ];
+  Alcotest.(check bool) "now unsat" false (S.solve s)
+
+(* ---- brute-force equivalence fuzz (CDCL + PB) ---- *)
+
+let brute nvars clauses pbs =
+  let rec go i assign =
+    if i = nvars then
+      if
+        List.for_all
+          (fun c -> List.exists (fun l -> (l land 1 = 0) = assign.(l lsr 1)) c)
+          clauses
+        && List.for_all
+             (fun (wl, b) ->
+               List.fold_left
+                 (fun acc (w, l) ->
+                   if (l land 1 = 0) = assign.(l lsr 1) then acc + w else acc)
+                 0 wl
+               <= b)
+             pbs
+      then true
+      else false
+    else begin
+      assign.(i) <- false;
+      if go (i + 1) assign then true
+      else begin
+        assign.(i) <- true;
+        go (i + 1) assign
+      end
+    end
+  in
+  go 0 (Array.make nvars false)
+
+let check_model clauses pbs value =
+  List.for_all (fun c -> List.exists (fun l -> (l land 1 = 0) = value (l lsr 1)) c) clauses
+  && List.for_all
+       (fun (wl, b) ->
+         List.fold_left
+           (fun acc (w, l) -> if (l land 1 = 0) = value (l lsr 1) then acc + w else acc)
+           0 wl
+         <= b)
+       pbs
+
+let gen_instance =
+  QCheck.Gen.(
+    let* nvars = int_range 3 8 in
+    let lit = map2 (fun v s -> (2 * v) + s) (int_range 0 (nvars - 1)) (int_range 0 1) in
+    let* clauses = list_size (int_range 0 14) (list_size (int_range 1 3) lit) in
+    let* pbs =
+      list_size (int_range 0 3)
+        (let* wl = list_size (int_range 1 4) (pair (int_range 1 3) lit) in
+         let total = List.fold_left (fun a (w, _) -> a + w) 0 wl in
+         let* b = int_range 0 total in
+         return (wl, b))
+    in
+    return (nvars, clauses, pbs))
+
+let arb_instance =
+  QCheck.make
+    ~print:(fun (n, cs, pbs) ->
+      Printf.sprintf "nvars=%d clauses=%s pbs=%s" n
+        (String.concat "|" (List.map (fun c -> String.concat "," (List.map string_of_int c)) cs))
+        (String.concat "|"
+           (List.map
+              (fun (wl, b) ->
+                Printf.sprintf "%s<=%d"
+                  (String.concat ","
+                     (List.map (fun (w, l) -> Printf.sprintf "%d*%d" w l) wl))
+                  b)
+              pbs)))
+    gen_instance
+
+let prop_equiv_brute =
+  QCheck.Test.make ~name:"CDCL+PB agrees with brute force" ~count:500 arb_instance
+    (fun (nvars, clauses, pbs) ->
+      let s = S.create () in
+      for _ = 1 to nvars do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      List.iter (fun (wl, b) -> S.add_pb_le s wl b) pbs;
+      let sat = S.solve s in
+      let expected = brute nvars clauses pbs in
+      if sat then expected && check_model clauses pbs (S.value s) else not expected)
+
+let () =
+  Alcotest.run "sat"
+    [ ( "core",
+        [ Alcotest.test_case "trivial" `Quick test_trivial;
+          Alcotest.test_case "unsat" `Quick test_unsat;
+          Alcotest.test_case "empty clause" `Quick test_empty_clause;
+          Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+          Alcotest.test_case "assumptions" `Quick test_assumptions;
+          Alcotest.test_case "incremental" `Quick test_incremental ] );
+      ( "pseudo-boolean",
+        [ Alcotest.test_case "cardinality" `Quick test_pb_cardinality;
+          Alcotest.test_case "weights" `Quick test_pb_weights ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_equiv_brute ]) ]

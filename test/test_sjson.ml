@@ -1,0 +1,118 @@
+(* The JSON substrate: parsing, printing, escapes, accessors. *)
+
+let parse = Sjson.of_string
+
+let test_scalars () =
+  Alcotest.(check bool) "null" true (parse "null" = Sjson.Null);
+  Alcotest.(check bool) "true" true (parse "true" = Sjson.Bool true);
+  Alcotest.(check bool) "false" true (parse "false" = Sjson.Bool false);
+  Alcotest.(check bool) "int" true (parse "42" = Sjson.Int 42);
+  Alcotest.(check bool) "negative" true (parse "-7" = Sjson.Int (-7));
+  Alcotest.(check bool) "float" true (parse "2.5" = Sjson.Float 2.5);
+  Alcotest.(check bool) "exponent" true (parse "1e3" = Sjson.Float 1000.0);
+  Alcotest.(check bool) "string" true (parse {|"hi"|} = Sjson.String "hi")
+
+let test_structures () =
+  Alcotest.(check bool) "empty array" true (parse "[]" = Sjson.Array []);
+  Alcotest.(check bool) "empty object" true (parse "{}" = Sjson.Object []);
+  Alcotest.(check bool) "nested" true
+    (parse {|{"a": [1, {"b": null}], "c": "d"}|}
+    = Sjson.Object
+        [ ("a", Sjson.Array [ Sjson.Int 1; Sjson.Object [ ("b", Sjson.Null) ] ]);
+          ("c", Sjson.String "d") ])
+
+let test_escapes () =
+  Alcotest.(check bool) "escapes decode" true
+    (parse {|"a\"b\\c\nd\te"|} = Sjson.String "a\"b\\c\nd\te");
+  Alcotest.(check bool) "unicode bmp" true (parse {|"A"|} = Sjson.String "A");
+  (* control chars encode as \u sequences *)
+  let s = Sjson.to_string (Sjson.String "a\x01b") in
+  Alcotest.(check string) "control encoded" {|"a\u0001b"|} s
+
+let test_errors () =
+  let bad text =
+    match parse text with
+    | exception Sjson.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ text)
+  in
+  bad "";
+  bad "[1,";
+  bad "{\"a\" 1}";
+  bad "tru";
+  bad "\"unterminated";
+  bad "1 2" (* trailing garbage *)
+
+let test_accessors () =
+  let j = parse {|{"name": "zlib", "n": 3, "flag": true, "deps": ["a", "b"]}|} in
+  Alcotest.(check string) "member string" "zlib" (Sjson.get_string (Sjson.member "name" j));
+  Alcotest.(check int) "member int" 3 (Sjson.get_int (Sjson.member "n" j));
+  Alcotest.(check bool) "member bool" true (Sjson.get_bool (Sjson.member "flag" j));
+  Alcotest.(check int) "list" 2 (List.length (Sjson.to_list (Sjson.member "deps" j)));
+  Alcotest.(check bool) "member_opt absent" true (Sjson.member_opt "nope" j = None);
+  Alcotest.(check bool) "member absent raises" true
+    (match Sjson.member "nope" j with
+    | exception Sjson.Parse_error _ -> true
+    | _ -> false)
+
+let test_pretty () =
+  let j = parse {|{"a": [1, 2], "b": {}}|} in
+  let pretty = Sjson.to_string ~pretty:true j in
+  Alcotest.(check bool) "newlines present" true (String.contains pretty '\n');
+  Alcotest.(check bool) "round trips" true (parse pretty = j)
+
+(* ---- properties ---- *)
+
+let rec gen_json depth =
+  QCheck.Gen.(
+    if depth = 0 then
+      oneof
+        [ return Sjson.Null;
+          map (fun b -> Sjson.Bool b) bool;
+          map (fun n -> Sjson.Int n) (int_range (-1000) 1000);
+          map (fun s -> Sjson.String s) (string_size ~gen:printable (int_range 0 12)) ]
+    else
+      frequency
+        [ (2, gen_json 0);
+          ( 1,
+            map (fun l -> Sjson.Array l) (list_size (int_range 0 4) (gen_json (depth - 1)))
+          );
+          ( 1,
+            map
+              (fun kvs ->
+                (* object keys must be unique for structural round-trip *)
+                let seen = Hashtbl.create 4 in
+                Sjson.Object
+                  (List.filter
+                     (fun (k, _) ->
+                       if Hashtbl.mem seen k then false
+                       else begin
+                         Hashtbl.replace seen k ();
+                         true
+                       end)
+                     kvs))
+              (list_size (int_range 0 4)
+                 (pair (string_size ~gen:printable (int_range 1 6)) (gen_json (depth - 1))))
+          ) ])
+
+let arb_json = QCheck.make ~print:(fun j -> Sjson.to_string j) (gen_json 3)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:300 arb_json (fun j ->
+      Sjson.of_string (Sjson.to_string j) = j)
+
+let prop_pretty_roundtrip =
+  QCheck.Test.make ~name:"pretty print/parse round-trip" ~count:300 arb_json (fun j ->
+      Sjson.of_string (Sjson.to_string ~pretty:true j) = j)
+
+let () =
+  Alcotest.run "sjson"
+    [ ( "parse/print",
+        [ Alcotest.test_case "scalars" `Quick test_scalars;
+          Alcotest.test_case "structures" `Quick test_structures;
+          Alcotest.test_case "escapes" `Quick test_escapes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "accessors" `Quick test_accessors;
+          Alcotest.test_case "pretty" `Quick test_pretty ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_pretty_roundtrip ] )
+    ]

@@ -1,0 +1,296 @@
+(* Spec model: Table 1 parser, abstract constraint algebra, concrete
+   DAGs, Merkle hashing, satisfaction. *)
+
+open Spec.Types
+module A = Spec.Abstract
+module C = Spec.Concrete
+module P = Spec.Parser
+
+let v = Vers.Version.of_string
+
+(* ---- parser: every sigil of Table 1 ---- *)
+
+let test_parse_sigils () =
+  let s = P.parse "hdf5@1.14.5" in
+  Alcotest.(check string) "name" "hdf5" s.A.root.A.name;
+  Alcotest.(check bool) "@" true
+    (Vers.Range.satisfies (v "1.14.5") s.A.root.A.version);
+  let s = P.parse "hdf5+cxx" in
+  Alcotest.(check bool) "+" true
+    (Smap.find "cxx" s.A.root.A.variants = Bool true);
+  let s = P.parse "hdf5~mpi" in
+  Alcotest.(check bool) "~" true
+    (Smap.find "mpi" s.A.root.A.variants = Bool false);
+  let s = P.parse "hdf5 ^zlib" in
+  (match s.A.deps with
+  | [ d ] ->
+    Alcotest.(check string) "^ name" "zlib" d.A.node.A.name;
+    Alcotest.(check bool) "^ is link" true d.A.dtypes.link
+  | _ -> Alcotest.fail "expected one dep");
+  let s = P.parse "hdf5 %clang" in
+  (match s.A.deps with
+  | [ d ] ->
+    Alcotest.(check string) "% name" "clang" d.A.node.A.name;
+    Alcotest.(check bool) "% is build" true d.A.dtypes.build;
+    Alcotest.(check bool) "% not link" false d.A.dtypes.link
+  | _ -> Alcotest.fail "expected one dep");
+  let s = P.parse "hdf5 target=icelake" in
+  Alcotest.(check (option string)) "target" (Some "icelake") s.A.root.A.target;
+  let s = P.parse "hdf5 api=default" in
+  Alcotest.(check bool) "key=value" true
+    (Smap.find "api" s.A.root.A.variants = Str "default")
+
+let test_parse_complex () =
+  let s =
+    P.parse "example@1.0.0 +bzip arch=linux-centos8-skylake ^bzip2@1.0.8 ~debug+pic ^zlib@1.2.11"
+  in
+  Alcotest.(check (option string)) "os from arch" (Some "centos8") s.A.root.A.os;
+  Alcotest.(check (option string)) "target from arch" (Some "skylake") s.A.root.A.target;
+  Alcotest.(check int) "deps" 2 (List.length s.A.deps);
+  let bz = List.hd s.A.deps in
+  Alcotest.(check bool) "~debug" true (Smap.find "debug" bz.A.node.A.variants = Bool false);
+  Alcotest.(check bool) "+pic" true (Smap.find "pic" bz.A.node.A.variants = Bool true)
+
+let test_parse_versions_ranges () =
+  let s = P.parse "pkg@1.2:1.4,2.0" in
+  let r = s.A.root.A.version in
+  Alcotest.(check bool) "1.3 in" true (Vers.Range.satisfies (v "1.3") r);
+  Alcotest.(check bool) "2.0.1 in" true (Vers.Range.satisfies (v "2.0.1") r);
+  Alcotest.(check bool) "1.5 out" false (Vers.Range.satisfies (v "1.5") r)
+
+let test_parse_errors () =
+  let bad text =
+    match P.parse text with
+    | exception P.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("should not parse: " ^ text)
+  in
+  bad "";
+  bad "pkg@@1.2";
+  bad "pkg stray";
+  bad "pkg +";
+  bad "pkg key=";
+  bad "pkg arch=linux-ubuntu"
+
+let test_parse_node_anonymous () =
+  let n = P.parse_node "@1.1.0+bzip" in
+  Alcotest.(check string) "anonymous" "" n.A.name;
+  Alcotest.(check bool) "+bzip" true (Smap.find "bzip" n.A.variants = Bool true)
+
+(* ---- abstract algebra ---- *)
+
+let test_node_intersect () =
+  let a = P.parse_node "pkg@1.2+x" and b = P.parse_node "pkg+y" in
+  (match A.node_intersect a b with
+  | Some m ->
+    Alcotest.(check bool) "x" true (Smap.find "x" m.A.variants = Bool true);
+    Alcotest.(check bool) "y" true (Smap.find "y" m.A.variants = Bool true)
+  | None -> Alcotest.fail "should intersect");
+  let c = P.parse_node "pkg~x" in
+  Alcotest.(check bool) "conflicting variants" true (A.node_intersect a c = None);
+  let d = P.parse_node "other" in
+  Alcotest.(check bool) "different names" true (A.node_intersect a d = None)
+
+let test_subsumes () =
+  let gen = P.parse "pkg@1.2" and spec = P.parse "pkg@=1.2.5 +opt" in
+  Alcotest.(check bool) "general subsumes specific" true (A.subsumes gen spec);
+  Alcotest.(check bool) "specific does not subsume general" false (A.subsumes spec gen)
+
+(* ---- concrete DAGs ---- *)
+
+let node ?(variants = []) ?build_hash name version =
+  { C.name;
+    version = v version;
+    variants = List.fold_left (fun m (k, value) -> Smap.add k value m) Smap.empty variants;
+    os = "linux";
+    target = "x86_64";
+    build_hash }
+
+let diamond () =
+  C.create ~root:"top"
+    ~nodes:[ node "top" "1.0"; node "left" "1.0"; node "right" "2.0"; node "base" "0.5" ]
+    ~edges:
+      [ ("top", "left", dt_link); ("top", "right", dt_link);
+        ("left", "base", dt_link); ("right", "base", dt_link) ]
+    ()
+
+let test_create_validation () =
+  let n1 = node "a" "1" in
+  Alcotest.check_raises "duplicate node"
+    (Invalid_argument "Concrete.create: duplicate node a") (fun () ->
+      ignore (C.create ~root:"a" ~nodes:[ n1; node "a" "2" ] ~edges:[] ()));
+  Alcotest.check_raises "missing root"
+    (Invalid_argument "Concrete.create: missing root node b") (fun () ->
+      ignore (C.create ~root:"b" ~nodes:[ n1 ] ~edges:[] ()));
+  Alcotest.check_raises "dangling edge"
+    (Invalid_argument "Concrete.create: edge to unknown node z") (fun () ->
+      ignore (C.create ~root:"a" ~nodes:[ n1 ] ~edges:[ ("a", "z", dt_link) ] ()));
+  Alcotest.check_raises "cycle"
+    (Invalid_argument "Concrete.create: dependency cycle through a") (fun () ->
+      ignore
+        (C.create ~root:"a"
+           ~nodes:[ n1; node "b" "1" ]
+           ~edges:[ ("a", "b", dt_link); ("b", "a", dt_link) ]
+           ()))
+
+let test_hash_properties () =
+  let d1 = diamond () and d2 = diamond () in
+  Alcotest.(check string) "deterministic" (C.dag_hash d1) (C.dag_hash d2);
+  (* Changing a leaf variant ripples to every ancestor hash. *)
+  let d3 =
+    C.create ~root:"top"
+      ~nodes:
+        [ node "top" "1.0"; node "left" "1.0"; node "right" "2.0";
+          node "base" "0.5" ~variants:[ ("opt", Bool true) ] ]
+      ~edges:
+        [ ("top", "left", dt_link); ("top", "right", dt_link);
+          ("left", "base", dt_link); ("right", "base", dt_link) ]
+      ()
+  in
+  Alcotest.(check bool) "leaf change changes root hash" false
+    (String.equal (C.dag_hash d1) (C.dag_hash d3));
+  Alcotest.(check bool) "leaf change changes mid hash" false
+    (String.equal (C.node_hash d1 "left") (C.node_hash d3 "left"));
+  (* build provenance is part of identity *)
+  let d4 =
+    C.create ~root:"top"
+      ~nodes:
+        [ node "top" "1.0" ~build_hash:"abcd"; node "left" "1.0"; node "right" "2.0";
+          node "base" "0.5" ]
+      ~edges:
+        [ ("top", "left", dt_link); ("top", "right", dt_link);
+          ("left", "base", dt_link); ("right", "base", dt_link) ]
+      ()
+  in
+  Alcotest.(check bool) "build_hash changes identity" false
+    (String.equal (C.dag_hash d1) (C.dag_hash d4))
+
+let test_order_invariance () =
+  let d1 = diamond () in
+  let d2 =
+    C.create ~root:"top"
+      ~nodes:[ node "base" "0.5"; node "right" "2.0"; node "top" "1.0"; node "left" "1.0" ]
+      ~edges:
+        [ ("right", "base", dt_link); ("left", "base", dt_link);
+          ("top", "right", dt_link); ("top", "left", dt_link) ]
+      ()
+  in
+  Alcotest.(check string) "node/edge order irrelevant" (C.dag_hash d1) (C.dag_hash d2)
+
+let test_subdag () =
+  let d = diamond () in
+  let sub = C.subdag d "left" in
+  Alcotest.(check string) "root" "left" (C.root sub);
+  Alcotest.(check int) "two nodes" 2 (List.length (C.nodes sub));
+  Alcotest.(check string) "hash preserved" (C.node_hash d "left") (C.dag_hash sub)
+
+let test_prune_build_deps () =
+  let d =
+    C.create ~root:"a"
+      ~nodes:[ node "a" "1"; node "b" "1"; node "tool" "1" ]
+      ~edges:[ ("a", "b", dt_link); ("a", "tool", dt_build) ]
+      ()
+  in
+  let p = C.prune_build_deps d in
+  Alcotest.(check int) "tool gone" 2 (List.length (C.nodes p));
+  Alcotest.(check bool) "b stays" true (C.find_node p "b" <> None);
+  Alcotest.(check bool) "tool dropped" true (C.find_node p "tool" = None)
+
+let test_satisfies () =
+  let d = diamond () in
+  Alcotest.(check bool) "basic" true (C.satisfies d (P.parse "top@1.0"));
+  Alcotest.(check bool) "dep constraint" true (C.satisfies d (P.parse "top ^base@0.5"));
+  Alcotest.(check bool) "wrong version" false (C.satisfies d (P.parse "top@2.0"));
+  Alcotest.(check bool) "wrong dep version" false (C.satisfies d (P.parse "top ^base@1.0"));
+  Alcotest.(check bool) "missing dep" false (C.satisfies d (P.parse "top ^zlib"))
+
+let test_link_closure () =
+  let d =
+    C.create ~root:"a"
+      ~nodes:[ node "a" "1"; node "b" "1"; node "tool" "1" ]
+      ~edges:[ ("a", "b", dt_link); ("a", "tool", dt_build) ]
+      ()
+  in
+  Alcotest.(check (list string)) "closure skips build deps" [ "a"; "b" ]
+    (C.link_closure d "a")
+
+(* ---- properties ---- *)
+
+let gen_dag =
+  (* Random layered DAG over a fixed name universe. *)
+  QCheck.Gen.(
+    let* layers = int_range 2 4 in
+    let* widths = list_repeat layers (int_range 1 3) in
+    let names =
+      List.concat
+        (List.mapi (fun i w -> List.init w (fun j -> Printf.sprintf "p%d_%d" i j)) widths)
+    in
+    let* edges =
+      let layer_of n = int_of_string (String.sub n 1 (String.index n '_' - 1)) in
+      let pairs =
+        List.concat_map
+          (fun a -> List.filter_map (fun b -> if layer_of b > layer_of a then Some (a, b) else None) names)
+          names
+      in
+      let* keep = list_repeat (List.length pairs) bool in
+      return
+        (List.filteri (fun i _ -> List.nth keep i) pairs
+        |> List.map (fun (a, b) -> (a, b, dt_link)))
+    in
+    let* versions = list_repeat (List.length names) (int_range 0 3) in
+    let nodes = List.map2 (fun n ver -> node n (string_of_int ver)) names versions in
+    (* Root that reaches at least itself: use first name and connect it
+       to everything in layer order to keep one component. *)
+    let root = List.hd names in
+    let extra =
+      List.filter_map (fun n -> if n <> root then Some (root, n, dt_link) else None) names
+    in
+    return (root, nodes, edges @ extra))
+
+let arb_dag =
+  QCheck.make
+    ~print:(fun (root, nodes, edges) ->
+      Printf.sprintf "root=%s nodes=%d edges=%d" root (List.length nodes)
+        (List.length edges))
+    gen_dag
+
+let prop_hash_deterministic =
+  QCheck.Test.make ~name:"hash deterministic across construction order" ~count:100
+    arb_dag
+    (fun (root, nodes, edges) ->
+      let d1 = C.create ~root ~nodes ~edges () in
+      let d2 = C.create ~root ~nodes:(List.rev nodes) ~edges:(List.rev edges) () in
+      String.equal (C.dag_hash d1) (C.dag_hash d2))
+
+let prop_subdag_hash =
+  QCheck.Test.make ~name:"subdag preserves node hashes" ~count:100 arb_dag
+    (fun (root, nodes, edges) ->
+      let d = C.create ~root ~nodes ~edges () in
+      List.for_all
+        (fun (n : C.node) ->
+          String.equal
+            (C.dag_hash (C.subdag d n.C.name))
+            (C.node_hash d n.C.name))
+        (C.nodes d))
+
+let () =
+  Alcotest.run "spec"
+    [ ( "parser",
+        [ Alcotest.test_case "table 1 sigils" `Quick test_parse_sigils;
+          Alcotest.test_case "complex spec" `Quick test_parse_complex;
+          Alcotest.test_case "version ranges" `Quick test_parse_versions_ranges;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "anonymous node" `Quick test_parse_node_anonymous ] );
+      ( "abstract",
+        [ Alcotest.test_case "node intersect" `Quick test_node_intersect;
+          Alcotest.test_case "subsumes" `Quick test_subsumes ] );
+      ( "concrete",
+        [ Alcotest.test_case "validation" `Quick test_create_validation;
+          Alcotest.test_case "hash properties" `Quick test_hash_properties;
+          Alcotest.test_case "order invariance" `Quick test_order_invariance;
+          Alcotest.test_case "subdag" `Quick test_subdag;
+          Alcotest.test_case "prune build deps" `Quick test_prune_build_deps;
+          Alcotest.test_case "satisfies" `Quick test_satisfies;
+          Alcotest.test_case "link closure" `Quick test_link_closure ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_hash_deterministic; prop_subdag_hash ] ) ]

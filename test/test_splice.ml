@@ -1,0 +1,151 @@
+(* Splice mechanics (4.1, Fig. 2): transitive and intransitive
+   tie-breaking, provenance, build-dep shedding, and error paths. *)
+
+open Spec.Types
+module C = Spec.Concrete
+
+let v = Vers.Version.of_string
+
+let node ?(variants = []) name version =
+  { C.name;
+    version = v version;
+    variants = List.fold_left (fun m (k, x) -> Smap.add k x m) Smap.empty variants;
+    os = "linux"; target = "x86_64"; build_hash = None }
+
+(* Fig. 2: T ^H ^Z@1.0 and H' ^S ^Z@1.1 *)
+let t_spec =
+  C.create ~root:"t"
+    ~nodes:[ node "t" "1.0"; node "h" "1.0"; node "z" "1.0" ]
+    ~edges:[ ("t", "h", dt_link); ("t", "z", dt_link); ("h", "z", dt_link) ]
+    ()
+
+let h'_spec =
+  C.create ~root:"h-prime"
+    ~nodes:[ node "h-prime" "2.0"; node "s" "1.0"; node "z" "1.1" ]
+    ~edges:[ ("h-prime", "s", dt_link); ("h-prime", "z", dt_link) ]
+    ()
+
+let transitive () =
+  Core.Splice.splice ~replace:"h" ~target:t_spec ~replacement:h'_spec
+    ~transitive:true ()
+
+let test_transitive_shape () =
+  let r = transitive () in
+  Alcotest.(check string) "root still t" "t" (C.root r);
+  Alcotest.(check bool) "h gone" true (C.find_node r "h" = None);
+  Alcotest.(check bool) "h-prime in" true (C.find_node r "h-prime" <> None);
+  Alcotest.(check bool) "s came along" true (C.find_node r "s" <> None);
+  (* shared dependency tie-breaks to the spliced-in side *)
+  Alcotest.(check string) "z is 1.1" "1.1" (Vers.Version.to_string (C.node r "z").C.version);
+  (* t's dependency edge now points at h-prime *)
+  Alcotest.(check bool) "edge t->h-prime" true
+    (List.mem_assoc "h-prime" (C.children r "t"))
+
+let test_transitive_provenance () =
+  let r = transitive () in
+  (* t was relinked; h-prime and its subtree were not *)
+  Alcotest.(check (option string)) "t built as its old hash"
+    (Some (C.node_hash t_spec "t"))
+    (C.node r "t").C.build_hash;
+  Alcotest.(check (option string)) "h-prime untouched" None
+    (C.node r "h-prime").C.build_hash;
+  Alcotest.(check (option string)) "z untouched" None (C.node r "z").C.build_hash;
+  Alcotest.(check bool) "spec is spliced" true (C.is_spliced r);
+  (match C.build_spec r with
+  | Some bs -> Alcotest.(check string) "build spec is T" (C.dag_hash t_spec) (C.dag_hash bs)
+  | None -> Alcotest.fail "expected build spec");
+  Alcotest.(check (list string)) "changed nodes" [ "t" ] (Core.Splice.changed_nodes r)
+
+let test_intransitive_restores_shared () =
+  let r =
+    Core.Splice.splice ~replace:"h" ~target:t_spec ~replacement:h'_spec
+      ~transitive:false ()
+  in
+  Alcotest.(check string) "z restored to 1.0" "1.0"
+    (Vers.Version.to_string (C.node r "z").C.version);
+  (* h-prime now deploys against a z it was not built with *)
+  Alcotest.(check (option string)) "h-prime relinked"
+    (Some (C.dag_hash h'_spec))
+    (C.node r "h-prime").C.build_hash;
+  Alcotest.(check bool) "t relinked too" true ((C.node r "t").C.build_hash <> None)
+
+let test_two_step_equals_one_step () =
+  let two =
+    Core.Splice.splice ~replace:"z" ~target:(transitive ())
+      ~replacement:(C.subdag t_spec "z") ~transitive:true ()
+  in
+  let one =
+    Core.Splice.splice ~replace:"h" ~target:t_spec ~replacement:h'_spec
+      ~transitive:false ()
+  in
+  Alcotest.(check string) "same DAG" (C.dag_hash one) (C.dag_hash two)
+
+let test_build_deps_shed () =
+  let target =
+    C.create ~root:"a"
+      ~nodes:[ node "a" "1"; node "b" "1"; node "cmake" "3" ]
+      ~edges:[ ("a", "b", dt_link); ("a", "cmake", dt_build) ]
+      ()
+  in
+  let replacement =
+    C.create ~root:"b2" ~nodes:[ node "b2" "1" ] ~edges:[] ()
+  in
+  let r = Core.Splice.splice ~replace:"b" ~target ~replacement ~transitive:true () in
+  (* a was relinked, so its build-only cmake edge disappears; the build
+     spec still records it. *)
+  Alcotest.(check bool) "cmake gone from runtime spec" true (C.find_node r "cmake" = None);
+  (match C.build_spec r with
+  | Some bs -> Alcotest.(check bool) "cmake in build spec" true (C.find_node bs "cmake" <> None)
+  | None -> Alcotest.fail "build spec")
+
+let test_same_name_splice () =
+  (* Replace z@1.0 with a different build of z (1.1) directly. *)
+  let z11 = C.subdag h'_spec "z" in
+  let r = Core.Splice.splice ~target:t_spec ~replacement:z11 ~transitive:true () in
+  Alcotest.(check string) "z upgraded" "1.1" (Vers.Version.to_string (C.node r "z").C.version);
+  (* both t and h were relinked *)
+  Alcotest.(check (list string)) "both parents changed" [ "h"; "t" ]
+    (List.sort String.compare (Core.Splice.changed_nodes r))
+
+let test_identity_splice_changes_nothing () =
+  (* Splicing in exactly what is already there relinks nothing. *)
+  let z10 = C.subdag t_spec "z" in
+  let r = Core.Splice.splice ~target:t_spec ~replacement:z10 ~transitive:true () in
+  Alcotest.(check (list string)) "no changed nodes" [] (Core.Splice.changed_nodes r)
+
+let test_replace_missing () =
+  Alcotest.(check bool) "missing target node" true
+    (match
+       Core.Splice.splice ~replace:"ghost" ~target:t_spec ~replacement:h'_spec
+         ~transitive:true ()
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_chained_provenance () =
+  (* Splice twice; the earliest build hash must survive. *)
+  let first = transitive () in
+  let z10 = C.subdag t_spec "z" in
+  let second =
+    Core.Splice.splice ~replace:"z" ~target:first ~replacement:z10 ~transitive:true ()
+  in
+  Alcotest.(check (option string)) "t still points at its original build"
+    (Some (C.node_hash t_spec "t"))
+    (C.node second "t").C.build_hash;
+  (match C.build_spec second with
+  | Some bs -> Alcotest.(check string) "chained build spec" (C.dag_hash first) (C.dag_hash bs)
+  | None -> Alcotest.fail "build spec")
+
+let () =
+  Alcotest.run "splice"
+    [ ( "fig2",
+        [ Alcotest.test_case "transitive shape" `Quick test_transitive_shape;
+          Alcotest.test_case "transitive provenance" `Quick test_transitive_provenance;
+          Alcotest.test_case "intransitive" `Quick test_intransitive_restores_shared;
+          Alcotest.test_case "two-step = one-step" `Quick test_two_step_equals_one_step ] );
+      ( "mechanics",
+        [ Alcotest.test_case "build deps shed" `Quick test_build_deps_shed;
+          Alcotest.test_case "same-name splice" `Quick test_same_name_splice;
+          Alcotest.test_case "identity splice" `Quick test_identity_splice_changes_nothing;
+          Alcotest.test_case "missing node" `Quick test_replace_missing;
+          Alcotest.test_case "chained provenance" `Quick test_chained_provenance ] ) ]

@@ -1,0 +1,85 @@
+(* The microarchitecture lattice and its use by the concretizer. *)
+
+open Spec
+
+let test_hierarchy () =
+  Alcotest.(check bool) "skylake on icelake" true
+    (Targets.compatible ~binary:"skylake" ~host:"icelake");
+  Alcotest.(check bool) "icelake not on skylake" false
+    (Targets.compatible ~binary:"icelake" ~host:"skylake");
+  Alcotest.(check bool) "generic runs everywhere x86" true
+    (Targets.compatible ~binary:"x86_64" ~host:"zen4");
+  Alcotest.(check bool) "cross-ISA incompatible" false
+    (Targets.compatible ~binary:"x86_64" ~host:"neoverse_v1");
+  Alcotest.(check bool) "reflexive" true
+    (Targets.compatible ~binary:"haswell" ~host:"haswell");
+  Alcotest.(check bool) "feature level via diamond" true
+    (Targets.compatible ~binary:"x86_64_v3" ~host:"icelake");
+  Alcotest.(check bool) "unknown only self-compatible" true
+    (Targets.compatible ~binary:"riscv" ~host:"riscv"
+    && not (Targets.compatible ~binary:"riscv" ~host:"x86_64"))
+
+let test_ancestors () =
+  let a = Targets.ancestors "skylake" in
+  Alcotest.(check bool) "self first" true (List.hd a = "skylake");
+  Alcotest.(check bool) "reaches generic" true (List.mem "x86_64" a);
+  Alcotest.(check string) "generic_of" "x86_64" (Targets.generic_of "icelake");
+  Alcotest.(check string) "generic_of arm" "aarch64" (Targets.generic_of "neoverse_n1")
+
+let prop_ancestor_compatibility =
+  QCheck.Test.make ~name:"every ancestor's binary runs on the host" ~count:100
+    (QCheck.oneofl Targets.known)
+    (fun host ->
+      List.for_all (fun b -> Targets.compatible ~binary:b ~host) (Targets.ancestors host))
+
+(* The concretizer accepts reusable binaries for ancestor targets and
+   rejects descendants. *)
+let repo =
+  Pkg.Repo.of_packages Pkg.Package.[ make "tool" |> version "1.0" ]
+
+let built_for target =
+  Spec.Concrete.create ~root:"tool"
+    ~nodes:
+      [ { Spec.Concrete.name = "tool";
+          version = Vers.Version.of_string "1.0";
+          variants = Types.Smap.empty;
+          os = "linux";
+          target;
+          build_hash = None } ]
+    ~edges:[] ()
+
+let concretize_on ~host_target ~reuse =
+  let options =
+    { Core.Concretizer.default_options with
+      Core.Concretizer.reuse;
+      host_target }
+  in
+  match Core.Concretizer.concretize_spec ~repo ~options "tool" with
+  | Ok o -> o.Core.Concretizer.solution
+  | Error e -> Alcotest.fail e
+
+let test_reuse_ancestor_binary () =
+  let cached = built_for "skylake" in
+  let sol = concretize_on ~host_target:"icelake" ~reuse:[ cached ] in
+  Alcotest.(check (list string)) "reused, no build" [] sol.Core.Decode.built;
+  Alcotest.(check string) "skylake binary deployed" "skylake"
+    (Spec.Concrete.root_node (List.hd sol.Core.Decode.specs)).Spec.Concrete.target
+
+let test_reject_descendant_binary () =
+  let cached = built_for "icelake" in
+  let sol = concretize_on ~host_target:"skylake" ~reuse:[ cached ] in
+  (* The icelake binary cannot run here: build from source instead. *)
+  Alcotest.(check (list string)) "rebuilt" [ "tool" ] sol.Core.Decode.built;
+  Alcotest.(check string) "built for the host" "skylake"
+    (Spec.Concrete.root_node (List.hd sol.Core.Decode.specs)).Spec.Concrete.target
+
+let () =
+  Alcotest.run "targets"
+    [ ( "lattice",
+        [ Alcotest.test_case "hierarchy" `Quick test_hierarchy;
+          Alcotest.test_case "ancestors" `Quick test_ancestors;
+          QCheck_alcotest.to_alcotest prop_ancestor_compatibility ] );
+      ( "concretizer",
+        [ Alcotest.test_case "ancestor binary reused" `Quick test_reuse_ancestor_binary;
+          Alcotest.test_case "descendant binary rejected" `Quick
+            test_reject_descendant_binary ] ) ]

@@ -1,0 +1,258 @@
+(* The independent solution checker, and differential testing of the
+   concretizer against it: every solver answer over randomly generated
+   package universes must validate. *)
+
+open Spec.Types
+
+let repo =
+  Pkg.Repo.of_packages
+    Pkg.Package.
+      [ make "app" |> version "2.0" |> version "1.0"
+        |> variant "opt" ~default:(Bool true)
+        |> depends_on "libx@1.1" ~when_:"@2.0"
+        |> depends_on "mpi"
+        |> conflicts "+opt" ~when_:"@1.0";
+        make "libx" |> version "1.1" |> version "1.0";
+        make "mpich" |> version "3.4" |> provides "mpi";
+        make "openmpi" |> version "4.1" |> provides "mpi" ]
+
+let node ?(variants = []) ?(target = "x86_64") ?build_hash name version =
+  { Spec.Concrete.name;
+    version = Vers.Version.of_string version;
+    variants = List.fold_left (fun m (k, x) -> Smap.add k x m) Smap.empty variants;
+    os = "linux";
+    target;
+    build_hash }
+
+let rules vs = List.map (fun v -> v.Core.Verify.v_rule) vs
+
+let check ?request spec = Core.Verify.check_solution ~repo ?request spec
+
+let good_spec () =
+  Spec.Concrete.create ~root:"app"
+    ~nodes:
+      [ node "app" "2.0" ~variants:[ ("opt", Bool true) ];
+        node "libx" "1.1"; node "mpich" "3.4" ]
+    ~edges:
+      [ ("app", "libx", dt_link); ("app", "mpich", dt_link) ]
+    ()
+
+let test_valid_passes () =
+  Alcotest.(check (list string)) "no violations" [] (rules (check (good_spec ())))
+
+let test_unknown_package () =
+  let s =
+    Spec.Concrete.create ~root:"ghost" ~nodes:[ node "ghost" "1.0" ] ~edges:[] ()
+  in
+  Alcotest.(check (list string)) "flagged" [ "unknown-package" ] (rules (check s))
+
+let test_missing_dependency () =
+  let s =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:[ node "app" "2.0" ~variants:[ ("opt", Bool true) ]; node "mpich" "3.4" ]
+      ~edges:[ ("app", "mpich", dt_link) ]
+      ()
+  in
+  Alcotest.(check (list string)) "libx directive unsatisfied" [ "missing-dependency" ]
+    (rules (check s))
+
+let test_wrong_dep_version () =
+  let s =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:
+        [ node "app" "2.0" ~variants:[ ("opt", Bool true) ];
+          node "libx" "1.0"; node "mpich" "3.4" ]
+      ~edges:[ ("app", "libx", dt_link); ("app", "mpich", dt_link) ]
+      ()
+  in
+  (* libx@1.0 does not satisfy the libx@1.1 directive *)
+  Alcotest.(check (list string)) "version constraint" [ "missing-dependency" ]
+    (rules (check s))
+
+let test_conflict_detected () =
+  let s =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:[ node "app" "1.0" ~variants:[ ("opt", Bool true) ]; node "mpich" "3.4" ]
+      ~edges:[ ("app", "mpich", dt_link) ]
+      ()
+  in
+  Alcotest.(check bool) "conflict flagged" true (List.mem "conflict" (rules (check s)))
+
+let test_multiple_providers () =
+  let s =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:
+        [ node "app" "2.0" ~variants:[ ("opt", Bool true) ];
+          node "libx" "1.1"; node "mpich" "3.4"; node "openmpi" "4.1" ]
+      ~edges:
+        [ ("app", "libx", dt_link); ("app", "mpich", dt_link);
+          ("app", "openmpi", dt_link) ]
+      ()
+  in
+  Alcotest.(check bool) "flagged" true (List.mem "multiple-providers" (rules (check s)))
+
+let test_target_incompatible () =
+  let s =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:
+        [ node "app" "2.0" ~variants:[ ("opt", Bool true) ] ~target:"icelake";
+          node "libx" "1.1"; node "mpich" "3.4" ]
+      ~edges:[ ("app", "libx", dt_link); ("app", "mpich", dt_link) ]
+      ()
+  in
+  Alcotest.(check bool) "flagged" true
+    (List.mem "target-incompatible" (rules (check s)))
+
+let test_request_unsatisfied () =
+  let r = Spec.Parser.parse "app@1.0" in
+  Alcotest.(check bool) "flagged" true
+    (List.mem "request-unsatisfied" (rules (check ~request:r (good_spec ()))))
+
+let test_undeclared_variant () =
+  let s =
+    Spec.Concrete.create ~root:"libx"
+      ~nodes:[ node "libx" "1.1" ~variants:[ ("nope", Bool true) ] ]
+      ~edges:[] ()
+  in
+  Alcotest.(check (list string)) "flagged" [ "undeclared-variant" ] (rules (check s))
+
+(* ---- differential testing against the concretizer ---- *)
+
+(* Random layered universes: package i may depend (possibly
+   conditionally) on packages j > i; one virtual with two providers at
+   the bottom; random variants. *)
+let gen_universe =
+  QCheck.Gen.(
+    let* n = int_range 3 7 in
+    let* deps =
+      (* for each i, subset of {i+1..n-1} with optional version pin *)
+      let pair_gen i =
+        let* js =
+          List.fold_left
+            (fun acc j ->
+              let* acc = acc in
+              let* keep = bool in
+              return (if keep then j :: acc else acc))
+            (return []) (List.init (n - i - 1) (fun k -> i + 1 + k))
+        in
+        let* conditional = bool in
+        return (js, conditional)
+      in
+      List.fold_left
+        (fun acc i ->
+          let* acc = acc in
+          let* d = pair_gen i in
+          return (d :: acc))
+        (return []) (List.init n Fun.id)
+      >|= List.rev
+    in
+    let* mpi_user = int_range 0 (n - 1) in
+    return (n, deps, mpi_user))
+
+let build_universe (_n, deps, mpi_user) =
+  let name i = Printf.sprintf "pkg%d" i in
+  let base =
+    List.mapi
+      (fun i (js, conditional) ->
+        let p =
+          Pkg.Package.make (name i)
+          |> Pkg.Package.version "2.0"
+          |> Pkg.Package.version "1.0"
+          |> Pkg.Package.variant "fast" ~default:(Bool (i mod 2 = 0))
+        in
+        let p = if i = mpi_user then Pkg.Package.depends_on "mpi" p else p in
+        List.fold_left
+          (fun p j ->
+            if conditional then
+              Pkg.Package.depends_on (name j) ~when_:"@2.0" p
+            else Pkg.Package.depends_on (name j) p)
+          p js)
+      deps
+  in
+  Pkg.Repo.of_packages
+    (base
+    @ Pkg.Package.
+        [ make "mpich" |> version "3.4" |> provides "mpi";
+          make "openmpi" |> version "4.1" |> provides "mpi" ])
+
+let arb_universe =
+  QCheck.make
+    ~print:(fun (n, _, m) -> Printf.sprintf "n=%d mpi_user=%d" n m)
+    gen_universe
+
+let prop_solver_output_validates =
+  QCheck.Test.make ~name:"concretizer output passes independent validation" ~count:60
+    arb_universe
+    (fun ((n, _, _) as u) ->
+      let repo = build_universe u in
+      let ok = ref true in
+      for root = 0 to n - 1 do
+        let request = Printf.sprintf "pkg%d" root in
+        match Core.Concretizer.concretize_spec ~repo request with
+        | Error _ -> () (* UNSAT acceptable for random universes *)
+        | Ok o ->
+          let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+          let vs =
+            Core.Verify.check_solution ~repo
+              ~request:(Spec.Parser.parse request) spec
+          in
+          if vs <> [] then begin
+            ok := false;
+            List.iter
+              (fun v ->
+                Printf.printf "VIOLATION %s: %s\n" request
+                  (Format.asprintf "%a" Core.Verify.pp_violation v))
+              vs
+          end
+      done;
+      !ok)
+
+let prop_spliced_output_validates =
+  QCheck.Test.make ~name:"spliced solutions also validate" ~count:25 arb_universe
+    (fun ((_, _, mpi_user) as u) ->
+      let repo = build_universe u in
+      (* give mpich a spliceable alternative *)
+      let repo =
+        Pkg.Repo.add repo
+          Pkg.Package.(
+            make "mpialt" |> version "1.0" |> provides "mpi"
+            |> can_splice "mpich@3.4" ~when_:"@1.0")
+      in
+      let root = Printf.sprintf "pkg%d" mpi_user in
+      match Core.Concretizer.concretize_spec ~repo (root ^ " ^mpich") with
+      | Error _ -> true
+      | Ok o ->
+        let cached = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+        let options =
+          { Core.Concretizer.default_options with
+            Core.Concretizer.reuse = [ cached ];
+            splicing = true }
+        in
+        (match Core.Concretizer.concretize_spec ~repo ~options (root ^ " ^mpialt") with
+        | Error _ -> true
+        | Ok o2 ->
+          let spec = List.hd o2.Core.Concretizer.solution.Core.Decode.specs in
+          let vs = Core.Verify.check_solution ~repo spec in
+          if vs <> [] then
+            List.iter
+              (fun v ->
+                Printf.printf "SPLICE VIOLATION %s\n"
+                  (Format.asprintf "%a" Core.Verify.pp_violation v))
+              vs;
+          vs = []))
+
+let () =
+  Alcotest.run "verify"
+    [ ( "violations",
+        [ Alcotest.test_case "valid passes" `Quick test_valid_passes;
+          Alcotest.test_case "unknown package" `Quick test_unknown_package;
+          Alcotest.test_case "missing dependency" `Quick test_missing_dependency;
+          Alcotest.test_case "wrong dep version" `Quick test_wrong_dep_version;
+          Alcotest.test_case "conflict" `Quick test_conflict_detected;
+          Alcotest.test_case "multiple providers" `Quick test_multiple_providers;
+          Alcotest.test_case "target" `Quick test_target_incompatible;
+          Alcotest.test_case "request" `Quick test_request_unsatisfied;
+          Alcotest.test_case "undeclared variant" `Quick test_undeclared_variant ] );
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_solver_output_validates; prop_spliced_output_validates ] ) ]

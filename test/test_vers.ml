@@ -1,0 +1,139 @@
+(* Versions and ranges: Spack ordering and constraint semantics. *)
+
+module V = Vers.Version
+module R = Vers.Range
+
+let v = V.of_string
+
+let test_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) s s (V.to_string (v s)))
+    [ "1"; "1.2"; "1.2.11"; "2021.06.14"; "develop"; "1.2rc1"; "3.4.3" ]
+
+let test_ordering () =
+  let lt a b =
+    Alcotest.(check bool) (a ^ " < " ^ b) true (V.compare (v a) (v b) < 0)
+  in
+  lt "1.2" "1.3";
+  lt "1.2" "1.2.1";
+  lt "1.2.9" "1.2.10";
+  lt "1.2rc1" "1.2";   (* prerelease tags sort before the release *)
+  lt "1.2.rc1" "1.2.0";
+  lt "9.0" "10.0";
+  lt "1.0" "develop1.0";
+  Alcotest.(check int) "equal" 0 (V.compare (v "1.2.3") (v "1.2.3"))
+
+let test_prefix () =
+  Alcotest.(check bool) "1.2 prefix of 1.2.11" true (V.is_prefix (v "1.2") (v "1.2.11"));
+  Alcotest.(check bool) "1.2 prefix of itself" true (V.is_prefix (v "1.2") (v "1.2"));
+  Alcotest.(check bool) "1.2 not prefix of 1.20" false (V.is_prefix (v "1.2") (v "1.20"));
+  Alcotest.(check bool) "1.2.11 not prefix of 1.2" false (V.is_prefix (v "1.2.11") (v "1.2"))
+
+let test_successor () =
+  Alcotest.(check string) "succ 1.2" "1.3" (V.to_string (V.successor_of_prefix (v "1.2")));
+  Alcotest.(check string) "succ 1" "2" (V.to_string (V.successor_of_prefix (v "1")))
+
+let sat s_range s_ver expected =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s satisfies @%s = %b" s_ver s_range expected)
+    expected
+    (R.satisfies (v s_ver) (R.of_string s_range))
+
+let test_range_satisfies () =
+  (* prefix form *)
+  sat "1.2" "1.2.11" true;
+  sat "1.2" "1.2" true;
+  sat "1.2" "1.3" false;
+  sat "1.2" "1.20" false;
+  (* exact form *)
+  sat "=1.2" "1.2" true;
+  sat "=1.2" "1.2.11" false;
+  (* open ranges *)
+  sat "1.2:" "1.2" true;
+  sat "1.2:" "9.9" true;
+  sat "1.2:" "1.1" false;
+  sat ":1.4" "1.4.5" true;  (* prefix-inclusive top *)
+  sat ":1.4" "1.5" false;
+  sat ":1.4" "0.1" true;
+  (* closed range *)
+  sat "1.2:1.4" "1.3" true;
+  sat "1.2:1.4" "1.4.9" true;
+  sat "1.2:1.4" "1.5" false;
+  sat "1.2:1.4" "1.1.9" false;
+  (* unions *)
+  sat "1.2,2.0:2.2" "1.2.5" true;
+  sat "1.2,2.0:2.2" "2.1" true;
+  sat "1.2,2.0:2.2" "1.9" false
+
+let test_range_algebra () =
+  let r = R.of_string in
+  Alcotest.(check bool) "1.2 intersects 1.2.11" true (R.intersects (r "1.2") (r "1.2.11"));
+  Alcotest.(check bool) "1.2 disjoint 1.3" false (R.intersects (r "1.2") (r "1.3"));
+  Alcotest.(check bool) "1.2: intersects :1.4" true (R.intersects (r "1.2:") (r ":1.4"));
+  Alcotest.(check bool) "subset exact in prefix" true (R.subset (r "=1.2.5") (r "1.2"));
+  Alcotest.(check bool) "prefix not in exact" false (R.subset (r "1.2") (r "=1.2.5"));
+  Alcotest.(check bool) "everything in any" true (R.subset (r "1.2:1.4") R.any);
+  Alcotest.(check bool) "any is any" true (R.is_any R.any);
+  Alcotest.(check bool) "1.2 not any" false (R.is_any (r "1.2"))
+
+let test_bad_input () =
+  Alcotest.check_raises "empty version" (Invalid_argument "Version.of_string: empty version")
+    (fun () -> ignore (V.of_string ""));
+  Alcotest.check_raises "empty range" (Invalid_argument "Range.of_string: empty range")
+    (fun () -> ignore (R.of_string ""))
+
+(* ---- properties ---- *)
+
+let gen_version =
+  QCheck.Gen.(
+    map
+      (fun parts -> V.of_components (List.map (fun n -> V.Num n) parts))
+      (list_size (int_range 1 4) (int_range 0 20)))
+
+let arb_version = QCheck.make ~print:V.to_string gen_version
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"to_string/of_string round-trip" ~count:300 arb_version
+    (fun x -> V.equal x (v (V.to_string x)))
+
+let prop_order_total =
+  QCheck.Test.make ~name:"compare antisymmetric" ~count:300
+    (QCheck.pair arb_version arb_version)
+    (fun (a, b) -> Int.abs (compare (V.compare a b) (-(V.compare b a))) = 0)
+
+let prop_prefix_range =
+  QCheck.Test.make ~name:"v satisfies prefix(v)" ~count:300 arb_version
+    (fun x -> R.satisfies x (R.prefix x))
+
+let prop_extension_satisfies_prefix =
+  QCheck.Test.make ~name:"v.k satisfies prefix(v)" ~count:300
+    (QCheck.pair arb_version (QCheck.int_range 0 9))
+    (fun (x, k) ->
+      let ext = V.of_components (V.components x @ [ V.Num k ]) in
+      R.satisfies ext (R.prefix x))
+
+let prop_subset_implies_satisfies =
+  QCheck.Test.make ~name:"subset coherent with satisfies" ~count:300
+    (QCheck.triple arb_version arb_version arb_version)
+    (fun (a, b, x) ->
+      let r1 = R.prefix a and r2 = R.between ~lo:b () in
+      (not (R.subset r1 r2)) || (not (R.satisfies x r1)) || R.satisfies x r2)
+
+let () =
+  Alcotest.run "vers"
+    [ ( "version",
+        [ Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "prefix" `Quick test_prefix;
+          Alcotest.test_case "successor" `Quick test_successor;
+          Alcotest.test_case "bad input" `Quick test_bad_input ] );
+      ( "range",
+        [ Alcotest.test_case "satisfies" `Quick test_range_satisfies;
+          Alcotest.test_case "algebra" `Quick test_range_algebra ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip;
+            prop_order_total;
+            prop_prefix_range;
+            prop_extension_satisfies_prefix;
+            prop_subset_implies_satisfies ] ) ]
