@@ -345,6 +345,29 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* A fixed-seed slice of the fuzzing harness, small enough for CI:
+   clean runs must be violation-free with every UNSAT certified, and an
+   injected solver bug must be caught. *)
+let fuzz_smoke () =
+  let rounds = if !quick then 15 else 100 in
+  let clean = Fuzz.Harness.run ~seed:42 ~rounds () in
+  Printf.printf "fuzz-smoke clean: %s\n"
+    (Format.asprintf "%a" Fuzz.Oracle.pp_stats clean.Fuzz.Harness.stats);
+  if clean.Fuzz.Harness.failures <> [] then begin
+    Format.printf "%a" Fuzz.Harness.pp_report clean;
+    failwith "fuzz-smoke: violations on a clean run"
+  end;
+  if clean.Fuzz.Harness.stats.Fuzz.Oracle.unsat_certified = 0 then
+    failwith "fuzz-smoke: no UNSAT answer was certified";
+  let injected =
+    Fuzz.Harness.run ~inject:Fuzz.Harness.Drop_pb ~seed:42 ~rounds:5 ()
+  in
+  (match injected.Fuzz.Harness.failures with
+  | [] -> failwith "fuzz-smoke: injected PB bug was not caught"
+  | f :: _ ->
+    Printf.printf "fuzz-smoke injected: caught, shrunk to %s\n"
+      (Fuzz.Gen.summary f.Fuzz.Harness.shrunk))
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let commands = ref [] in
@@ -372,6 +395,7 @@ let () =
     | "fig7" -> fig7 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
+    | "fuzz-smoke" -> fuzz_smoke ()
     | "all" ->
       table1 ();
       micro ();
@@ -380,7 +404,8 @@ let () =
       fig7 ();
       ablate ()
     | other ->
-      Printf.eprintf "unknown command %s (try table1|fig5|fig6|fig7|ablate|micro|all)\n"
+      Printf.eprintf
+        "unknown command %s (try table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|all)\n"
         other;
       exit 2
   in

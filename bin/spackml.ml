@@ -101,10 +101,14 @@ let install_cmd =
       let caches =
         if reuse then [ (Lazy.force local_cache).Radiuss.Caches.cache ] else []
       in
-      let report = Binary.Installer.install store ~repo ~caches spec in
-      Format.printf "%a@.%a@." Spec.Concrete.pp_tree spec Binary.Installer.pp_report
-        report;
-      (match report.Binary.Installer.link_result with Ok _ -> 0 | Error _ -> 1)
+      (match Binary.Installer.install store ~repo ~caches spec with
+      | Error e ->
+        Format.eprintf "install failed: %a@." Binary.Errors.pp e;
+        1
+      | Ok report ->
+        Format.printf "%a@.%a@." Spec.Concrete.pp_tree spec
+          Binary.Installer.pp_report report;
+        (match report.Binary.Installer.link_result with Ok _ -> 0 | Error _ -> 1))
   in
   Cmd.v
     (Cmd.info "install" ~doc:"Concretize and install a spec into a fresh store.")
@@ -189,7 +193,7 @@ let solve_cmd =
       | exception Asp.Parser.Parse_error e ->
         Format.eprintf "parse error: %s@." e;
         1
-      | Asp.Logic.Unsat ->
+      | Asp.Logic.Unsat _ ->
         Format.printf "UNSATISFIABLE@.";
         1
       | Asp.Logic.Sat m ->
@@ -236,6 +240,52 @@ let discover_cmd =
           (automatic ABI discovery).")
     Term.(const run $ const ())
 
+(* ---- fuzz ---- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.")
+  in
+  let rounds =
+    Arg.(value & opt int 100 & info [ "rounds" ] ~docv:"K"
+        ~doc:"Number of random package universes to test.")
+  in
+  let inject =
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT"
+        ~doc:"Inject a known solver bug ($(b,pb) drops pseudo-boolean \
+              constraints, $(b,unfounded) skips stability checks) to \
+              demonstrate that the oracles catch it.")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Log progress per round.")
+  in
+  let run seed rounds inject verbose =
+    match
+      match inject with
+      | None -> Ok None
+      | Some s -> (
+        match Fuzz.Harness.injection_of_string s with
+        | Some i -> Ok (Some i)
+        | None -> Error s)
+    with
+    | Error s ->
+      Format.eprintf "unknown fault %S (try pb or unfounded)@." s;
+      2
+    | Ok inject ->
+      let log m = if verbose then Format.eprintf "%s@." m in
+      let report = Fuzz.Harness.run ~log ?inject ~seed ~rounds () in
+      Format.printf "%a" Fuzz.Harness.pp_report report;
+      if report.Fuzz.Harness.failures = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Fuzz the whole stack on random package universes: validate every \
+          solution independently, certify every UNSAT with a checked DRUP \
+          proof, cross-check small instances by brute force, and shrink any \
+          failure to a paste-ready reproducer.")
+    Term.(const run $ seed $ rounds $ inject $ verbose)
+
 (* ---- providers ---- *)
 
 let providers_cmd =
@@ -263,4 +313,4 @@ let () =
                "Source and binary package management with ABI-compatible splicing \
                 (OCaml reproduction of the SC'25 Spack splicing paper).")
           [ concretize_cmd; install_cmd; splice_cmd; buildcache_cmd; solve_cmd;
-            discover_cmd; providers_cmd ]))
+            discover_cmd; providers_cmd; fuzz_cmd ]))

@@ -41,9 +41,9 @@ let () =
     | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
     | Error e -> failwith e
   in
-  ignore (Binary.Builder.build_all farm ~repo built);
+  ignore (Binary.Errors.ok_exn (Binary.Builder.build_all farm ~repo built));
   let cache = Binary.Buildcache.create ~name:"public" in
-  ignore (Binary.Buildcache.push cache farm built);
+  ignore (Binary.Errors.ok_exn (Binary.Buildcache.push cache farm built));
   Format.printf "%a" Spec.Concrete.pp_tree built;
   Format.printf "cache entries: %d@." (Binary.Buildcache.size cache);
 
@@ -54,7 +54,7 @@ let () =
     | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
     | Error e -> failwith e
   in
-  ignore (Binary.Builder.build_all cluster ~repo cray);
+  ignore (Binary.Errors.ok_exn (Binary.Builder.build_all cluster ~repo cray));
   Format.printf "%a" Spec.Concrete.pp_tree cray;
 
   section "3. Concretize trilinos ^cray-mpich with splicing, reusing the cache";
@@ -83,7 +83,7 @@ let () =
   assert (sol.Core.Decode.built = []);
 
   section "4. Install on the cluster: rewiring only, zero compiles";
-  let report = Binary.Installer.install cluster ~repo ~caches:[ cache ] spliced in
+  let report = Binary.Installer.install_exn cluster ~repo ~caches:[ cache ] spliced in
   Format.printf "%a@." Binary.Installer.pp_report report;
   assert (Binary.Installer.rebuild_count report = 0);
   (match report.Binary.Installer.link_result with

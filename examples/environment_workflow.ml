@@ -44,7 +44,7 @@ let () =
     (fun (root, r) -> Format.printf "%s: %a@." root Binary.Installer.pp_report r)
     reports;
   let cache = Binary.Buildcache.create ~name:"campaign-cache" in
-  List.iter (fun s -> ignore (Binary.Buildcache.push cache farm s)) env.Core.Env.concrete;
+  List.iter (fun s -> ignore (Binary.Errors.ok_exn (Binary.Buildcache.push cache farm s))) env.Core.Env.concrete;
 
   section "3. Write the lockfile";
   let lock_text = Sjson.to_string ~pretty:true (Core.Env.lockfile env) in

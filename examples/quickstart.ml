@@ -39,7 +39,7 @@ let () =
   (* 2. Install it into a store: everything builds from source here. *)
   let vfs = Binary.Vfs.create () in
   let store = Binary.Store.create ~root:"/opt/spack" vfs in
-  let report = Binary.Installer.install store ~repo spec in
+  let report = Binary.Installer.install_exn store ~repo spec in
   Format.printf "Install: %a@." Binary.Installer.pp_report report;
 
   (* 3. The spec is addressable by hash and satisfies its request. *)
@@ -47,6 +47,6 @@ let () =
   assert (Spec.Concrete.satisfies spec (Spec.Parser.parse "example@1.1.0 ^zlib@1.3"));
 
   (* 4. Reinstalling is pure reuse. *)
-  let again = Binary.Installer.install store ~repo spec in
+  let again = Binary.Installer.install_exn store ~repo spec in
   assert (Binary.Installer.rebuild_count again = 0);
   Format.printf "Reinstall: %a@." Binary.Installer.pp_report again

@@ -34,7 +34,7 @@ let () =
     | Ok o -> List.hd o.Core.Concretizer.solution.Core.Decode.specs
     | Error e -> failwith e
   in
-  let first = Binary.Installer.install store ~repo old_spec in
+  let first = Binary.Installer.install_exn store ~repo old_spec in
   Format.printf "%a@.install: %a@." Spec.Concrete.pp_tree old_spec
     Binary.Installer.pp_report first;
 
@@ -60,7 +60,7 @@ let () =
     (String.concat "; " sol.Core.Decode.built);
   Format.printf "splice points: %d@." (List.length sol.Core.Decode.splices);
 
-  let report = Binary.Installer.install store ~repo new_spec in
+  let report = Binary.Installer.install_exn store ~repo new_spec in
   Format.printf "install: %a@." Binary.Installer.pp_report report;
   (match report.Binary.Installer.link_result with
   | Ok _ -> Format.printf "relinked stack loads cleanly@."

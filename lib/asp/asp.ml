@@ -11,7 +11,7 @@
     {[
       match Asp.solve_text "a :- not b. b :- not a. :- a." with
       | Asp.Logic.Sat m -> List.iter ... m.Asp.Logic.atoms
-      | Asp.Logic.Unsat -> ...
+      | Asp.Logic.Unsat _ -> ...
     ]} *)
 
 module Term = Term
@@ -28,9 +28,9 @@ let parse = Parser.parse_program
     facts appended programmatically (the concretizer compiles specs and
     packages to [Ast.statement] facts and joins them with the logic
     program text). *)
-let solve_text ?(facts = []) text =
+let solve_text ?(facts = []) ?(certify = false) text =
   let prog = parse text @ facts in
-  Logic.solve (Ground.ground prog)
+  Logic.solve ~certify (Ground.ground prog)
 
 (** Render facts as ASP text (used by golden tests and debugging). *)
 let facts_to_string facts =

@@ -6,7 +6,11 @@ type model = {
   loop_clauses : int;
 }
 
-type outcome = Sat of model | Unsat
+type outcome = Sat of model | Unsat of Sat.proof_step list option
+
+(* Fault-injection hook for the fuzz harness: skip the stability
+   check, accepting possibly non-stable SAT models. *)
+let hook_skip_unfounded = ref false
 
 (* Internal record of a rule after translation, for the stable check. *)
 type trule = {
@@ -54,8 +58,9 @@ let make_body_lit ctx cache pos neg =
       Hashtbl.add cache key (Sat.pos v);
       Sat.pos v)
 
-let translate g =
+let translate ?(certify = false) g =
   let sat = Sat.create () in
+  if certify then Sat.enable_proof sat;
   let n = Ground.atom_count g in
   let atom_var = Array.init n (fun _ -> Sat.new_var sat) in
   (* Atoms with no possible derivation are constant false. *)
@@ -295,7 +300,7 @@ let solve_stable ctx ~assumptions =
     if not (Sat.solve ~assumptions ctx.sat) then false
     else begin
       ctx.stable_checks <- ctx.stable_checks + 1;
-      match unfounded_set ctx with
+      match (if !hook_skip_unfounded then [] else unfounded_set ctx) with
       | [] -> true
       | u ->
         add_loop_clauses ctx u;
@@ -312,10 +317,10 @@ let extract_atoms ctx =
   done;
   !out
 
-let solve g =
-  let ctx = translate g in
+let solve ?(certify = false) g =
+  let ctx = translate ~certify g in
   let objectives = build_objectives ctx in
-  if not (solve_stable ctx ~assumptions:[]) then Unsat
+  if not (solve_stable ctx ~assumptions:[]) then Unsat (Sat.proof ctx.sat)
   else begin
     (* Lexicographic descent: fix each priority level at its minimum
        before optimizing the next. *)
@@ -333,8 +338,14 @@ let solve g =
             Sat.add_pb_le ctx.sat
               ((total - bound, Sat.pos a) :: List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms)
               total;
-            if solve_stable ctx ~assumptions:[ Sat.pos a ] then
-              current := objective_cost ctx obj
+            if solve_stable ctx ~assumptions:[ Sat.pos a ] then begin
+              let c = objective_cost ctx obj in
+              (* A model satisfying [sum <= current - 1] has cost
+                 strictly below [current]; anything else means the PB
+                 layer failed to enforce the bound. Stop rather than
+                 descend forever. *)
+              if c >= !current then improved := false else current := c
+            end
             else begin
               Sat.add_clause ctx.sat [ Sat.neg a ];
               improved := false;

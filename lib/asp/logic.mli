@@ -21,9 +21,19 @@ type model = {
   loop_clauses : int;  (** loop clauses added by failed checks *)
 }
 
-type outcome = Sat of model | Unsat
+type outcome = Sat of model | Unsat of Sat.proof_step list option
+(** [Unsat p]: no stable model. When the search was run with
+    [~certify:true], [p] carries the DRUP-style refutation recorded by
+    the SAT core (loop and completion clauses appear as trusted
+    inputs); it can be validated independently with [Fuzz.Drup.check].
+    [None] when certification was off. *)
 
-val solve : Ground.t -> outcome
+val solve : ?certify:bool -> Ground.t -> outcome
+
+val hook_skip_unfounded : bool ref
+(** Fault injection for the fuzz harness: when [true], the unfounded-set
+    check is skipped, so non-stable SAT models are accepted. Always
+    reset after use. *)
 
 val holds : model -> Ast.atom -> bool
 

@@ -37,7 +37,20 @@ type pb = {
   wlits : (int * lit) array;  (* (weight, lit), sorted by weight desc *)
   bound : int;
   mutable sum_true : int;
+  origin : int;          (* index of the P_pb_input step this came from *)
+  prefix : lit list;     (* negations of level-0-true lits folded into [bound] *)
 }
+
+(* DRUP-style proof steps. [P_input]/[P_pb_input] record the trusted
+   problem; [P_pb_lemma (i, c)] claims clause [c] is implied by the
+   [i]-th PB input alone; [P_derived c] claims [c] follows from the
+   database by reverse unit propagation. An UNSAT run ends with
+   [P_derived []]. *)
+type proof_step =
+  | P_input of lit list
+  | P_pb_input of (int * lit) list * int
+  | P_pb_lemma of int * lit list
+  | P_derived of lit list
 
 type reason = No_reason | Decision | Clause_reason of clause | Pb_reason of clause
 (* PB propagations synthesize an explanation clause eagerly. *)
@@ -72,6 +85,9 @@ type t = {
   mutable n_learnts_total : int;
   (* scratch for analysis *)
   mutable seen : Bytes.t;
+  (* proof logging: [None] = off; steps are kept newest-first *)
+  mutable proof : proof_step list option;
+  mutable n_pb_inputs : int;
 }
 
 let create () =
@@ -100,9 +116,22 @@ let create () =
     n_propagations = 0;
     n_restarts = 0;
     n_learnts_total = 0;
-    seen = Bytes.create 0 }
+    seen = Bytes.create 0;
+    proof = None;
+    n_pb_inputs = 0 }
 
 let nvars s = s.nvars
+
+let enable_proof s = s.proof <- Some []
+
+let proof s = Option.map List.rev s.proof
+
+let log_step s step =
+  match s.proof with Some ps -> s.proof <- Some (step :: ps) | None -> ()
+
+(* Fault-injection hook for the fuzz harness: when set, [add_pb_le]
+   silently discards its constraint, so cardinality bounds vanish. *)
+let hook_drop_pb = ref false
 
 (* -- activity heap ------------------------------------------------- *)
 
@@ -243,6 +272,7 @@ let pb_explain_conflict pb s =
   Array.iter
     (fun (_, l) -> if lit_value s l = 1 then lits := lit_not l :: !lits)
     pb.wlits;
+  log_step s (P_pb_lemma (pb.origin, pb.prefix @ !lits));
   { lits = Array.of_list !lits; activity = 0.; learnt = true }
 
 let pb_explain_implication pb s implied =
@@ -252,6 +282,7 @@ let pb_explain_implication pb s implied =
   Array.iter
     (fun (_, l) -> if lit_value s l = 1 then antecedents := lit_not l :: !antecedents)
     pb.wlits;
+  log_step s (P_pb_lemma (pb.origin, pb.prefix @ (implied :: !antecedents)));
   { lits = Array.of_list (implied :: !antecedents); activity = 0.; learnt = true }
 
 let propagate s =
@@ -468,6 +499,7 @@ let attach_clause s c =
 let add_clause s lits =
   if s.ok then begin
     assert (decision_level s = 0);
+    log_step s (P_input lits);
     (* Simplify: dedup, drop false lits, detect tautology/satisfied. *)
     let lits = List.sort_uniq Int.compare lits in
     let tautology =
@@ -482,10 +514,16 @@ let add_clause s lits =
       if not satisfied then begin
         let lits = List.filter (fun l -> lit_value s l <> 2) lits in
         match lits with
-        | [] -> s.ok <- false
+        | [] ->
+          log_step s (P_derived []);
+          s.ok <- false
         | [ l ] ->
           enqueue s l No_reason;
-          (match propagate s with Some _ -> s.ok <- false | None -> ())
+          (match propagate s with
+          | Some _ ->
+            log_step s (P_derived []);
+            s.ok <- false
+          | None -> ())
         | _ ->
           let c = { lits = Array.of_list lits; activity = 0.; learnt = false } in
           s.clauses <- c :: s.clauses;
@@ -495,16 +533,27 @@ let add_clause s lits =
   end
 
 let add_pb_le s wlits bound =
-  if s.ok then begin
+  if s.ok && not !hook_drop_pb then begin
     assert (decision_level s = 0);
     List.iter (fun (w, _) -> if w <= 0 then invalid_arg "add_pb_le: weight <= 0") wlits;
+    let origin = s.n_pb_inputs in
+    s.n_pb_inputs <- origin + 1;
+    log_step s (P_pb_input (wlits, bound));
     (* Account for literals already true at level 0; drop false ones. *)
     let fixed_true, rest =
       List.partition (fun (_, l) -> lit_value s l = 1) wlits
     in
     let rest = List.filter (fun (_, l) -> lit_value s l = 0) rest in
     let base = List.fold_left (fun acc (w, _) -> acc + w) 0 fixed_true in
-    if base > bound then s.ok <- false
+    (* Lemmas derived from the residual constraint are only valid
+       against the *original* PB once the negations of the absorbed
+       level-0-true literals are tacked back on. *)
+    let prefix = List.map (fun (_, l) -> lit_not l) fixed_true in
+    if base > bound then begin
+      log_step s (P_pb_lemma (origin, prefix));
+      log_step s (P_derived []);
+      s.ok <- false
+    end
     else begin
       let slack = bound - base in
       let heavy, light = List.partition (fun (w, _) -> w > slack) rest in
@@ -513,7 +562,7 @@ let add_pb_le s wlits bound =
       if light <> [] then begin
         let arr = Array.of_list light in
         Array.sort (fun (w1, _) (w2, _) -> Int.compare w2 w1) arr;
-        let pb = { wlits = arr; bound = slack; sum_true = 0 } in
+        let pb = { wlits = arr; bound = slack; sum_true = 0; origin; prefix } in
         s.pbs <- pb :: s.pbs;
         Array.iter (fun (w, l) -> s.pb_watch.(l) <- (pb, w) :: s.pb_watch.(l)) arr
       end;
@@ -523,13 +572,26 @@ let add_pb_le s wlits bound =
           if s.ok then
             match lit_value s l with
             | 0 -> (
+              log_step s (P_pb_lemma (origin, prefix @ [ lit_not l ]));
               enqueue s (lit_not l) No_reason;
-              match propagate s with Some _ -> s.ok <- false | None -> ())
-            | 1 -> s.ok <- false (* already true: bound unachievable *)
+              match propagate s with
+              | Some _ ->
+                log_step s (P_derived []);
+                s.ok <- false
+              | None -> ())
+            | 1 ->
+              (* already true: bound unachievable *)
+              log_step s (P_pb_lemma (origin, prefix @ [ lit_not l ]));
+              log_step s (P_derived []);
+              s.ok <- false
             | _ -> ())
         heavy;
       if s.ok then
-        match propagate s with Some _ -> s.ok <- false | None -> ()
+        match propagate s with
+        | Some _ ->
+          log_step s (P_derived []);
+          s.ok <- false
+        | None -> ()
     end
   end
 
@@ -569,7 +631,11 @@ let solve ?(assumptions = []) s =
   if not s.ok then false
   else begin
     cancel_until s 0;
-    (match propagate s with Some _ -> s.ok <- false | None -> ());
+    (match propagate s with
+    | Some _ ->
+      log_step s (P_derived []);
+      s.ok <- false
+    | None -> ());
     if not s.ok then false
     else begin
       let assumptions = Array.of_list assumptions in
@@ -582,6 +648,7 @@ let solve ?(assumptions = []) s =
              s.n_conflicts <- s.n_conflicts + 1;
              conflict_budget := !conflict_budget -. 1.0;
              if decision_level s = 0 then begin
+               log_step s (P_derived []);
                s.ok <- false;
                raise Unsat_exc
              end;
@@ -589,6 +656,7 @@ let solve ?(assumptions = []) s =
                 it like any other; analysis may drive us to level 0. *)
              let learnt, btlevel = analyze s confl in
              cancel_until s btlevel;
+             log_step s (P_derived (Array.to_list learnt));
              (match Array.length learnt with
              | 0 ->
                s.ok <- false;
@@ -597,6 +665,7 @@ let solve ?(assumptions = []) s =
                (* Asserting unit at level btlevel (= 0 normally). *)
                if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) No_reason
                else if lit_value s learnt.(0) = 2 then begin
+                 log_step s (P_derived []);
                  s.ok <- false;
                  raise Unsat_exc
                end

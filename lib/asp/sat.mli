@@ -27,6 +27,36 @@ val neg : int -> lit
 
 val lit_not : lit -> lit
 
+val lit_var : lit -> int
+
+val lit_sign : lit -> bool
+(** [true] for a positive literal. *)
+
+(** DRUP-style proof steps, recorded when {!enable_proof} was called.
+    [P_input]/[P_pb_input] restate the trusted problem as it was added;
+    [P_pb_lemma (i, c)] claims clause [c] is implied by the [i]-th
+    (0-based) PB input on its own — checkable by a weight sum, no
+    search; [P_derived c] claims [c] follows from everything before it
+    by reverse unit propagation. A genuine (assumption-free) UNSAT run
+    logs a final [P_derived []]; an independent checker
+    ({!Fuzz.Drup.check}) replays the steps and certifies the
+    refutation. *)
+type proof_step =
+  | P_input of lit list
+  | P_pb_input of (int * lit) list * int
+  | P_pb_lemma of int * lit list
+  | P_derived of lit list
+
+val enable_proof : t -> unit
+(** Start recording proof steps. Call before adding any clause. *)
+
+val proof : t -> proof_step list option
+(** Recorded steps in emission order; [None] unless {!enable_proof}. *)
+
+val hook_drop_pb : bool ref
+(** Fault injection for the fuzz harness: when [true], {!add_pb_le}
+    silently discards its constraint. Always reset after use. *)
+
 val add_clause : t -> lit list -> unit
 (** Add a clause. May only be called when the solver is at decision
     level 0 (initially, or after any [solve] call returns). If the

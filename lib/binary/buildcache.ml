@@ -27,7 +27,7 @@ let relative ~prefix path =
     String.sub path (plen + 1) (String.length path - plen - 1)
   else path
 
-let push t store spec =
+let push_exn t store spec =
   let vfs = Store.vfs store in
   let created = ref 0 in
   List.iter
@@ -36,9 +36,8 @@ let push t store spec =
       if not (Hashtbl.mem t.entries hash) then begin
         match Store.installed store ~hash with
         | None ->
-          failwith
-            (Printf.sprintf "buildcache push: %s (%s) is not installed"
-               n.Spec.Concrete.name (Chash.short hash))
+          Errors.raise_error
+            (Errors.Not_installed { name = n.Spec.Concrete.name; hash })
         | Some r ->
           let sub = Spec.Concrete.subdag spec n.Spec.Concrete.name in
           let objects =
@@ -58,10 +57,11 @@ let push t store spec =
                 | None ->
                   (* A missing dependency record would poison every
                      future relocation of this entry. *)
-                  failwith
-                    (Printf.sprintf
-                       "buildcache push: dependency %s (%s) of %s is not installed"
-                       d.Spec.Concrete.name (Chash.short dh) n.Spec.Concrete.name))
+                  Errors.raise_error
+                    (Errors.Dependency_not_installed
+                       { node = n.Spec.Concrete.name;
+                         dep = d.Spec.Concrete.name;
+                         hash = dh }))
               (Spec.Concrete.nodes sub)
           in
           Hashtbl.replace t.entries hash
@@ -70,6 +70,8 @@ let push t store spec =
       end)
     (Spec.Concrete.nodes spec);
   !created
+
+let push t store spec = Errors.guard (fun () -> push_exn t store spec)
 
 let install_from t store ~hash =
   match find t ~hash with

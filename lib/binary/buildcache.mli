@@ -20,10 +20,13 @@ val name : t -> string
 
 val size : t -> int
 
-val push : t -> Store.t -> Spec.Concrete.t -> int
+val push : t -> Store.t -> Spec.Concrete.t -> (int, Errors.t) result
 (** Snapshot every node of an installed spec into the cache; returns
     how many new entries were created. The spec must be fully
-    installed in the store. *)
+    installed in the store ([Error (Not_installed _)] otherwise). *)
+
+val push_exn : t -> Store.t -> Spec.Concrete.t -> int
+(** {!push}, raising {!Errors.Binary_error}. *)
 
 val find : t -> hash:string -> entry option
 

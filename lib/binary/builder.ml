@@ -5,7 +5,7 @@ let family_of repo name =
   | Some p -> p.Pkg.Package.abi_family
   | None -> name
 
-let build_node store ~repo ~spec ~node =
+let build_node_exn store ~repo ~spec ~node =
   let n = Spec.Concrete.node spec node in
   let hash = Spec.Concrete.node_hash spec node in
   match Store.installed store ~hash with
@@ -19,7 +19,9 @@ let build_node store ~repo ~spec ~node =
           let ch = Spec.Concrete.node_hash spec c in
           match Store.installed store ~hash:ch with
           | Some r -> (c, r)
-          | None -> failwith (Printf.sprintf "build %s: dependency %s not installed" node c))
+          | None ->
+            Errors.raise_error
+              (Errors.Dependency_not_installed { node; dep = c; hash = ch }))
         link_deps
     in
     let prefix = Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version ~hash in
@@ -27,8 +29,7 @@ let build_node store ~repo ~spec ~node =
       let soname = Store.soname_of c in
       match Vfs.read_object (Store.vfs store) (Store.lib_path ~prefix:r.prefix ~soname) with
       | Some o -> (soname, Abi.required_of o.Object_file.exports ~fraction:import_fraction)
-      | None ->
-        failwith (Printf.sprintf "build %s: %s has no object in its prefix" node c)
+      | None -> Errors.raise_error (Errors.No_object_in_prefix { node; dep = c })
     in
     let exports =
       (* Family-private extras derive from the family, not the package:
@@ -57,15 +58,19 @@ let build_node store ~repo ~spec ~node =
     Store.register store ~hash record;
     record
 
+let build_node store ~repo ~spec ~node =
+  Errors.guard (fun () -> build_node_exn store ~repo ~spec ~node)
+
 let build_all store ~repo spec =
-  let built = ref [] in
-  let rec go node =
-    List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
-    let hash = Spec.Concrete.node_hash spec node in
-    if not (Store.is_installed store ~hash) then begin
-      ignore (build_node store ~repo ~spec ~node);
-      built := hash :: !built
-    end
-  in
-  go (Spec.Concrete.root spec);
-  List.rev !built
+  Errors.guard (fun () ->
+      let built = ref [] in
+      let rec go node =
+        List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
+        let hash = Spec.Concrete.node_hash spec node in
+        if not (Store.is_installed store ~hash) then begin
+          ignore (build_node_exn store ~repo ~spec ~node);
+          built := hash :: !built
+        end
+      in
+      go (Spec.Concrete.root spec);
+      List.rev !built)

@@ -9,12 +9,20 @@
     relocation workload of §3.4). *)
 
 val build_node :
+  Store.t ->
+  repo:Pkg.Repo.t ->
+  spec:Spec.Concrete.t ->
+  node:string ->
+  (Store.record, Errors.t) result
+(** Compile one node; every link dependency must already be installed
+    ([Error (Dependency_not_installed _)] otherwise). *)
+
+val build_node_exn :
   Store.t -> repo:Pkg.Repo.t -> spec:Spec.Concrete.t -> node:string -> Store.record
-(** Compile one node; every link dependency must already be installed.
-    @raise Failure if a dependency is missing from the store. *)
+(** {!build_node}, raising {!Errors.Binary_error}. *)
 
 val build_all :
-  Store.t -> repo:Pkg.Repo.t -> Spec.Concrete.t -> string list
+  Store.t -> repo:Pkg.Repo.t -> Spec.Concrete.t -> (string list, Errors.t) result
 (** Build every node of the spec not yet installed, dependencies first;
     returns the hashes built. *)
 

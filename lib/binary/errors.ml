@@ -1,0 +1,37 @@
+type t =
+  | Dependency_not_installed of { node : string; dep : string; hash : string }
+  | No_object_in_prefix of { node : string; dep : string }
+  | Not_installed of { name : string; hash : string }
+  | Original_binary_missing of { node : string; build_hash : string }
+  | Cache_entry_vanished of { hash : string }
+  | Root_not_installed
+
+exception Binary_error of t
+
+let raise_error e = raise (Binary_error e)
+
+let guard f = match f () with v -> Ok v | exception Binary_error e -> Error e
+
+let ok_exn = function Ok v -> v | Error e -> raise (Binary_error e)
+
+let to_string = function
+  | Dependency_not_installed { node; dep; hash } ->
+    Printf.sprintf "%s: dependency %s (%s) is not installed" node dep
+      (Chash.short hash)
+  | No_object_in_prefix { node; dep } ->
+    Printf.sprintf "build %s: %s has no object in its prefix" node dep
+  | Not_installed { name; hash } ->
+    Printf.sprintf "%s (%s) is not installed" name (Chash.short hash)
+  | Original_binary_missing { node; build_hash } ->
+    Printf.sprintf "rewire %s: original binary %s not found in store or caches"
+      node (Chash.short build_hash)
+  | Cache_entry_vanished { hash } ->
+    Printf.sprintf "buildcache entry %s vanished mid-install" (Chash.short hash)
+  | Root_not_installed -> "install: root not installed after walk"
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Binary_error e -> Some ("Binary_error: " ^ to_string e)
+    | _ -> None)

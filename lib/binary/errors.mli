@@ -1,0 +1,36 @@
+(** Typed failures of the binary substrate (builder, buildcache,
+    installer).
+
+    Every operational error that used to surface as [Failure _] is an
+    inspectable constructor, so callers — the fuzz harness above all —
+    can report structured failures instead of dying on a stringly
+    exception. *)
+
+type t =
+  | Dependency_not_installed of { node : string; dep : string; hash : string }
+      (** building or snapshotting [node] needs [dep] in the store *)
+  | No_object_in_prefix of { node : string; dep : string }
+      (** [dep] is registered but its prefix holds no shared object *)
+  | Not_installed of { name : string; hash : string }
+      (** buildcache push of a spec whose node was never installed *)
+  | Original_binary_missing of { node : string; build_hash : string }
+      (** rewiring [node]: the pre-splice binary is in no store/cache *)
+  | Cache_entry_vanished of { hash : string }
+      (** a cache entry disappeared between lookup and install *)
+  | Root_not_installed
+      (** installer invariant: the walk left the root uninstalled *)
+
+exception Binary_error of t
+
+val raise_error : t -> 'a
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run [f], catching {!Binary_error}. *)
+
+val ok_exn : ('a, t) result -> 'a
+(** Unwrap, re-raising {!Binary_error} on [Error] — for callers that
+    treat binary failures as fatal (tests, examples, the CLI). *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -63,10 +63,7 @@ let rewire_node store ~spec ~node ~build_hash ~caches =
   let source =
     match find_source store caches ~hash:build_hash with
     | Some s -> s
-    | None ->
-      failwith
-        (Printf.sprintf "rewire %s: original binary %s not found in store or caches"
-           node (Chash.short build_hash))
+    | None -> Errors.raise_error (Errors.Original_binary_missing { node; build_hash })
   in
   let old_spec = source_spec source in
   let old_prefix_of = source_prefix_of store source in
@@ -126,7 +123,7 @@ let rewire_node store ~spec ~node ~build_hash ~caches =
   Store.register store ~hash { Store.spec = Spec.Concrete.subdag spec node; prefix };
   !stats
 
-let install store ~repo ?(caches = []) spec =
+let install_exn store ~repo ?(caches = []) spec =
   let built = ref [] and reused = ref [] and from_cache = ref [] and rewired = ref [] in
   let reloc = ref Relocate.empty_stats in
   let visited = Hashtbl.create 16 in
@@ -154,9 +151,9 @@ let install store ~repo ?(caches = []) spec =
             | Some (_, stats) ->
               reloc := Relocate.add_stats !reloc stats;
               from_cache := hash :: !from_cache
-            | None -> assert false)
+            | None -> Errors.raise_error (Errors.Cache_entry_vanished { hash }))
           | None ->
-            ignore (Builder.build_node store ~repo ~spec ~node);
+            ignore (Builder.build_node_exn store ~repo ~spec ~node);
             built := hash :: !built)
     end
   in
@@ -164,7 +161,7 @@ let install store ~repo ?(caches = []) spec =
   let root_record =
     match Store.installed store ~hash:(Spec.Concrete.dag_hash spec) with
     | Some r -> r
-    | None -> failwith "install: root not installed after walk"
+    | None -> Errors.raise_error Errors.Root_not_installed
   in
   let root_obj =
     Store.lib_path ~prefix:root_record.Store.prefix
@@ -176,6 +173,9 @@ let install store ~repo ?(caches = []) spec =
     rewired = List.rev !rewired;
     reloc = !reloc;
     link_result = Linker.load (Store.vfs store) root_obj }
+
+let install store ~repo ?caches spec =
+  Errors.guard (fun () -> install_exn store ~repo ?caches spec)
 
 let rebuild_count r = List.length r.built
 

@@ -28,7 +28,18 @@ val install :
   repo:Pkg.Repo.t ->
   ?caches:Buildcache.t list ->
   Spec.Concrete.t ->
+  (report, Errors.t) result
+(** [Error] carries the typed failure (missing original binary for a
+    rewire, vanished cache entry, builder failure, ...). A failed
+    {e link} is not an error — it is reported in [link_result]. *)
+
+val install_exn :
+  Store.t ->
+  repo:Pkg.Repo.t ->
+  ?caches:Buildcache.t list ->
+  Spec.Concrete.t ->
   report
+(** {!install}, raising {!Errors.Binary_error}. *)
 
 val rebuild_count : report -> int
 

@@ -4,6 +4,7 @@ type options = {
   reuse : Spec.Concrete.t list;
   host_os : string;
   host_target : string;
+  certify : bool;
 }
 
 let default_options =
@@ -11,7 +12,8 @@ let default_options =
     splicing = false;
     reuse = [];
     host_os = "linux";
-    host_target = "x86_64" }
+    host_target = "x86_64";
+    certify = false }
 
 type stats = {
   ground_atoms : int;
@@ -62,9 +64,18 @@ let check_known ~repo requests =
           names)
     requests
 
-let concretize ~repo ?(options = default_options) requests =
+(* A failed concretization, with the refutation certificate when the
+   failure was an UNSAT answer computed under [certify = true]. *)
+type failure = {
+  f_message : string;
+  f_proof : Asp.Sat.proof_step list option;
+}
+
+let fail msg = Error { f_message = msg; f_proof = None }
+
+let concretize_v ~repo ?(options = default_options) requests =
   match check_known ~repo requests with
-  | Some e -> Error e
+  | Some e -> fail e
   | None ->
   let t0 = now () in
   let encoded =
@@ -81,13 +92,14 @@ let concretize ~repo ?(options = default_options) requests =
   let t1 = now () in
   let ground = Asp.Ground.ground statements in
   let t2 = now () in
-  let result = Asp.Logic.solve ground in
+  let result = Asp.Logic.solve ~certify:options.certify ground in
   let t3 = now () in
   match result with
-  | Asp.Logic.Unsat -> Error "UNSAT: no valid concretization exists"
+  | Asp.Logic.Unsat proof ->
+    Error { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
   | Asp.Logic.Sat model -> (
     match Decode.decode ~pool:encoded.Encode.pool ~requests model with
-    | Error e -> Error ("decode: " ^ e)
+    | Error e -> fail ("decode: " ^ e)
     | Ok solution ->
       Ok
         { solution;
@@ -102,6 +114,11 @@ let concretize ~repo ?(options = default_options) requests =
               ground_seconds = t2 -. t1;
               solve_seconds = t3 -. t2;
               total_seconds = t3 -. t0 } })
+
+let concretize ~repo ?options requests =
+  match concretize_v ~repo ?options requests with
+  | Ok o -> Ok o
+  | Error f -> Error f.f_message
 
 let concretize_spec ~repo ?options text =
   match Encode.request_of_string text with

@@ -18,10 +18,14 @@ type options = {
   reuse : Spec.Concrete.t list;
   host_os : string;
   host_target : string;
+  certify : bool;
+      (** record a DRUP-style proof in the SAT core so UNSAT answers
+          carry an independently checkable refutation *)
 }
 
 val default_options : options
-(** hash_attr encoding, splicing off, no reuse, linux/x86_64 host. *)
+(** hash_attr encoding, splicing off, no reuse, linux/x86_64 host,
+    certification off. *)
 
 type stats = {
   ground_atoms : int;
@@ -40,6 +44,21 @@ type outcome = {
   solution : Decode.solution;
   stats : stats;
 }
+
+type failure = {
+  f_message : string;
+  f_proof : Asp.Sat.proof_step list option;
+      (** the refutation certificate, present iff the failure was an
+          UNSAT answer and [options.certify] was set *)
+}
+
+val concretize_v :
+  repo:Pkg.Repo.t ->
+  ?options:options ->
+  Encode.request list ->
+  (outcome, failure) result
+(** Like {!concretize} but with a structured failure that carries the
+    DRUP proof for certified UNSAT answers. *)
 
 val concretize :
   repo:Pkg.Repo.t ->

@@ -59,7 +59,7 @@ let of_lockfile j =
 let install t store ~repo ?(caches = []) () =
   List.map
     (fun spec ->
-      (Spec.Concrete.root spec, Binary.Installer.install store ~repo ~caches spec))
+      (Spec.Concrete.root spec, Binary.Installer.install_exn store ~repo ~caches spec))
     t.concrete
 
 let status t =

@@ -1,0 +1,273 @@
+(* Independent checker for the SAT core's refutation certificates.
+
+   The solver under test ([Asp.Sat]) emits a step list: inputs
+   (trusted), PB-derived lemmas (checked by a weight sum against the
+   recorded constraint — no search), and derived clauses (checked by
+   reverse unit propagation). This module shares no code with the
+   solver: it is a minimal two-watched-literal propagator written from
+   scratch, so a bug in the solver's propagation or conflict analysis
+   cannot also hide here.
+
+   A certificate is accepted iff every step checks AND the empty
+   clause is established — i.e. the UNSAT claim is proved, not just
+   plausible. *)
+
+type lit = int
+
+let lit_not l = l lxor 1
+let lit_var l = l lsr 1
+
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 4 dummy; len = 0; dummy }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.len
+  let shrink v n = v.len <- n
+end
+
+type t = {
+  mutable nvars : int;
+  mutable assign : Bytes.t;  (* per var: 0 unassigned, 1 true, 2 false *)
+  mutable watches : int array Vec.t array;  (* per lit *)
+  trail : int Vec.t;
+  mutable qhead : int;
+  mutable contradiction : bool;
+  pbs : ((int * lit) list * int) Vec.t;
+}
+
+let create () =
+  { nvars = 0;
+    assign = Bytes.create 0;
+    watches = [||];
+    trail = Vec.create 0;
+    qhead = 0;
+    contradiction = false;
+    pbs = Vec.create ([], 0) }
+
+let ensure_var t v =
+  if v >= t.nvars then begin
+    let old = t.nvars in
+    t.nvars <- v + 1;
+    if t.nvars > Bytes.length t.assign then begin
+      let cap = max 16 (max t.nvars (2 * Bytes.length t.assign)) in
+      let assign = Bytes.make cap '\000' in
+      Bytes.blit t.assign 0 assign 0 old;
+      t.assign <- assign;
+      let watches = Array.make (2 * cap) (Vec.create [||]) in
+      Array.blit t.watches 0 watches 0 (2 * old);
+      for i = 2 * old to (2 * cap) - 1 do
+        watches.(i) <- Vec.create [||]
+      done;
+      t.watches <- watches
+    end
+  end
+
+let lit_value t l =
+  match Bytes.get t.assign (lit_var l) with
+  | '\000' -> 0
+  | '\001' -> if l land 1 = 0 then 1 else 2
+  | _ -> if l land 1 = 0 then 2 else 1
+
+let assign_lit t l =
+  Bytes.set t.assign (lit_var l) (if l land 1 = 0 then '\001' else '\002');
+  Vec.push t.trail l
+
+(* Unit propagation from [qhead]; [true] = conflict found. The watch
+   lists stay consistent whether or not a conflict is hit, so checks
+   can resume after an undo. *)
+let propagate t =
+  let conflict = ref false in
+  while (not !conflict) && t.qhead < Vec.size t.trail do
+    let l = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    let falsified = lit_not l in
+    let ws = t.watches.(l) in
+    let i = ref 0 and j = ref 0 in
+    while !i < Vec.size ws do
+      let lits = Vec.get ws !i in
+      incr i;
+      if lits.(0) = falsified then begin
+        lits.(0) <- lits.(1);
+        lits.(1) <- falsified
+      end;
+      if lit_value t lits.(0) = 1 then begin
+        Vec.set ws !j lits;
+        incr j
+      end
+      else begin
+        let found = ref false in
+        let k = ref 2 in
+        let n = Array.length lits in
+        while (not !found) && !k < n do
+          if lit_value t lits.(!k) <> 2 then begin
+            lits.(1) <- lits.(!k);
+            lits.(!k) <- falsified;
+            Vec.push t.watches.(lit_not lits.(1)) lits;
+            found := true
+          end;
+          incr k
+        done;
+        if not !found then begin
+          Vec.set ws !j lits;
+          incr j;
+          if lit_value t lits.(0) = 2 then begin
+            (* Conflict: keep the remaining watchers and stop. *)
+            while !i < Vec.size ws do
+              Vec.set ws !j (Vec.get ws !i);
+              incr i;
+              incr j
+            done;
+            conflict := true
+          end
+          else assign_lit t lits.(0)
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  !conflict
+
+let undo_to t mark =
+  for i = Vec.size t.trail - 1 downto mark do
+    Bytes.set t.assign (lit_var (Vec.get t.trail i)) '\000'
+  done;
+  Vec.shrink t.trail mark;
+  t.qhead <- mark
+
+(* Add a clause to the database under the current top-level
+   assignment. Purely structural — validity was established by the
+   caller (trusted input or a checked derivation). *)
+let add_clause t lits =
+  if not t.contradiction then begin
+    (* Dedupe — a clause like [x; x] is unit, and watching the same
+       literal twice would hide that. Tautologies carry no content. *)
+    let lits = List.sort_uniq compare lits in
+    if List.exists (fun l -> List.mem (lit_not l) lits) lits then ()
+    else begin
+    List.iter (fun l -> ensure_var t (lit_var l)) lits;
+    let arr = Array.of_list lits in
+    (* Put two non-false literals up front to watch. *)
+    let n = Array.length arr in
+    let swap a b =
+      let x = arr.(a) in
+      arr.(a) <- arr.(b);
+      arr.(b) <- x
+    in
+    let placed = ref 0 in
+    (try
+       for i = 0 to n - 1 do
+         if lit_value t arr.(i) <> 2 then begin
+           swap !placed i;
+           incr placed;
+           if !placed = 2 then raise Exit
+         end
+       done
+     with Exit -> ());
+    match !placed with
+    | 0 ->
+      (* every literal already false at top level (or clause empty) *)
+      t.contradiction <- true
+    | 1 ->
+      (* effectively unit: enqueue and propagate at top level *)
+      (if lit_value t arr.(0) = 0 then assign_lit t arr.(0));
+      if propagate t then t.contradiction <- true
+    | _ ->
+      Vec.push t.watches.(lit_not arr.(0)) arr;
+      Vec.push t.watches.(lit_not arr.(1)) arr
+    end
+  end
+
+(* Reverse-unit-propagation check: assume the negation of every
+   literal, propagate, demand a conflict. *)
+let rup t lits =
+  if t.contradiction then true
+  else begin
+    let mark = Vec.size t.trail in
+    let conflict = ref false in
+    List.iter
+      (fun l ->
+        if not !conflict then begin
+          ensure_var t (lit_var l);
+          match lit_value t (lit_not l) with
+          | 2 -> conflict := true (* l already true: clause implied *)
+          | 0 -> assign_lit t (lit_not l)
+          | _ -> ()
+        end)
+      lits;
+    let ok = !conflict || propagate t in
+    undo_to t mark;
+    ok
+  end
+
+(* A clause is implied by [sum w_i l_i <= bound] alone iff the weights
+   of the constraint literals whose negation appears in the clause
+   already overshoot the bound: every assignment falsifying the clause
+   makes all those literals true. *)
+let pb_implies (wlits, bound) clause =
+  let sum =
+    List.fold_left
+      (fun acc (w, l) -> if List.mem (lit_not l) clause then acc + w else acc)
+      0 wlits
+  in
+  sum > bound
+
+let pp_clause fmt lits =
+  Format.fprintf fmt "[%s]"
+    (String.concat " " (List.map string_of_int lits))
+
+let check steps =
+  let t = create () in
+  let err i fmt = Format.kasprintf (fun s -> Error (Printf.sprintf "step %d: %s" i s)) fmt in
+  let rec go i = function
+    | [] ->
+      if t.contradiction then Ok ()
+      else Error "no refutation: the proof never derives the empty clause"
+    | step :: rest -> (
+      match step with
+      | Asp.Sat.P_input lits ->
+        add_clause t lits;
+        go (i + 1) rest
+      | Asp.Sat.P_pb_input (wlits, bound) ->
+        if List.exists (fun (w, _) -> w <= 0) wlits then
+          err i "PB input with non-positive weight"
+        else begin
+          List.iter (fun (_, l) -> ensure_var t (lit_var l)) wlits;
+          Vec.push t.pbs (wlits, bound);
+          go (i + 1) rest
+        end
+      | Asp.Sat.P_pb_lemma (k, lits) ->
+        if k < 0 || k >= Vec.size t.pbs then
+          err i "PB lemma cites unknown constraint %d" k
+        else if not (pb_implies (Vec.get t.pbs k) lits) then
+          err i "PB lemma %a does not follow from constraint %d"
+            pp_clause lits k
+        else begin
+          add_clause t lits;
+          go (i + 1) rest
+        end
+      | Asp.Sat.P_derived lits ->
+        if not (rup t lits) then
+          err i "derived clause %a is not RUP" pp_clause lits
+        else begin
+          add_clause t lits;
+          go (i + 1) rest
+        end)
+  in
+  go 0 steps
+
+let check_outcome = function
+  | Asp.Logic.Sat _ -> Error "outcome is SAT, nothing to certify"
+  | Asp.Logic.Unsat None -> Error "UNSAT carries no proof (certify was off)"
+  | Asp.Logic.Unsat (Some steps) -> check steps

@@ -1,0 +1,19 @@
+(** Independent checker for the SAT core's refutation certificates.
+
+    The solver under test ([Asp.Sat]) emits a step list: inputs
+    (trusted), PB-derived lemmas (checked by a weight sum against the
+    recorded constraint — no search), and derived clauses (checked by
+    reverse unit propagation). This module shares no code with the
+    solver: it is a minimal two-watched-literal propagator written from
+    scratch, so a bug in the solver's propagation or conflict analysis
+    cannot also hide here.
+
+    A certificate is accepted iff every step checks {e and} the empty
+    clause is established — the UNSAT claim is proved, not just
+    plausible. *)
+
+val check : Asp.Sat.proof_step list -> (unit, string) result
+
+val check_outcome : Asp.Logic.outcome -> (unit, string) result
+(** Convenience: certify a solver outcome directly. SAT outcomes and
+    proofless UNSATs are errors. *)

@@ -1,0 +1,82 @@
+(* Top-level fuzzing loop: generate a universe per round, run every
+   oracle over it, and on failure shrink the universe to a minimal
+   reproducer and print it as paste-ready OCaml.
+
+   Deterministic: round [k] of [run ~seed] always sees the same
+   universe, so a one-line report ("seed 42 round 17") reproduces any
+   failure exactly. *)
+
+type injection = Drop_pb | Skip_unfounded
+
+let injection_of_string = function
+  | "pb" | "drop_pb" -> Some Drop_pb
+  | "unfounded" | "skip_unfounded" -> Some Skip_unfounded
+  | _ -> None
+
+type failure = {
+  round : int;
+  violations : string list;  (* from the original universe *)
+  shrunk : Gen.t;  (* minimal universe still violating *)
+  shrunk_violations : string list;
+}
+
+type report = {
+  seed : int;
+  rounds : int;
+  stats : Oracle.stats;
+  failures : failure list;
+}
+
+let with_injection inject f =
+  match inject with
+  | None -> f ()
+  | Some Drop_pb ->
+    Asp.Sat.hook_drop_pb := true;
+    Fun.protect ~finally:(fun () -> Asp.Sat.hook_drop_pb := false) f
+  | Some Skip_unfounded ->
+    Asp.Logic.hook_skip_unfounded := true;
+    Fun.protect ~finally:(fun () -> Asp.Logic.hook_skip_unfounded := false) f
+
+let universe ~seed ~round = Gen.generate (Rng.create ((seed * 1_000_003) + round))
+
+let run ?(log = ignore) ?inject ~seed ~rounds () =
+  let stats = Oracle.fresh_stats () in
+  let failures = ref [] in
+  with_injection inject (fun () ->
+      for round = 0 to rounds - 1 do
+        let u = universe ~seed ~round in
+        match Oracle.check ~stats u with
+        | [] ->
+          if round mod 50 = 0 then
+            log (Printf.sprintf "round %d ok (%s)" round (Gen.summary u))
+        | violations ->
+          log
+            (Printf.sprintf "round %d: %d violation(s); shrinking %s" round
+               (List.length violations) (Gen.summary u));
+          let still_fails u' = Oracle.check u' <> [] in
+          let shrunk = Shrink.shrink ~still_fails u in
+          failures :=
+            { round;
+              violations;
+              shrunk;
+              shrunk_violations = Oracle.check shrunk }
+            :: !failures
+      done);
+  { seed; rounds; stats; failures = List.rev !failures }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "round %d: %d violation(s)@." f.round
+    (List.length f.violations);
+  List.iter (fun v -> Format.fprintf fmt "  - %s@." v) f.violations;
+  Format.fprintf fmt "shrunk to %s:@." (Gen.summary f.shrunk);
+  List.iter (fun v -> Format.fprintf fmt "  - %s@." v) f.shrunk_violations;
+  Format.fprintf fmt "--- paste-ready reproducer ---@.%s" (Gen.to_ocaml f.shrunk)
+
+let pp_report fmt r =
+  Format.fprintf fmt "fuzz: seed %d, %d rounds, %a@." r.seed r.rounds
+    Oracle.pp_stats r.stats;
+  match r.failures with
+  | [] -> Format.fprintf fmt "no violations@."
+  | fs ->
+    Format.fprintf fmt "%d failing round(s)@." (List.length fs);
+    List.iter (fun f -> Format.fprintf fmt "%a" pp_failure f) fs

@@ -1,0 +1,123 @@
+(* Greedy delta-debugging over universe descriptions.
+
+   Given a universe that makes [still_fails] true, repeatedly try
+   structural deletions — whole packages, then individual dependencies,
+   conflicts, splices, versions, cache roots and requests — keeping any
+   deletion that preserves the failure, until a fixpoint. The result is
+   a (locally) minimal reproducer that [Gen.to_ocaml] renders as a
+   paste-ready regression test. *)
+
+let remove_nth n xs =
+  List.filteri (fun i _ -> i <> n) xs
+
+(* Deleting a package must not leave dangling references: drop the
+   deps, splices, cache roots and requests that mention it. A request
+   list must stay non-empty for the universe to test anything. *)
+let mentions name text =
+  (* spec texts look like "p3", "p3@2.0", "p2 ^prov1": the package
+     appears as a whole token, possibly version-suffixed *)
+  String.split_on_char ' ' text
+  |> List.concat_map (String.split_on_char '^')
+  |> List.exists (fun tok ->
+         let tok =
+           match String.index_opt tok '@' with
+           | Some i -> String.sub tok 0 i
+           | None -> tok
+         in
+         tok = name)
+
+let drop_package (u : Gen.t) name =
+  let pkgs =
+    List.filter_map
+      (fun (p : Gen.upkg) ->
+        if p.Gen.up_name = name then None
+        else
+          Some
+            { p with
+              Gen.up_deps =
+                List.filter
+                  (fun (d : Gen.udep) -> not (mentions name d.Gen.ud_target))
+                  p.Gen.up_deps;
+              Gen.up_splices =
+                List.filter (fun (t, _) -> not (mentions name t)) p.Gen.up_splices })
+      u.Gen.u_pkgs
+  in
+  let requests = List.filter (fun r -> not (mentions name r)) u.Gen.u_requests in
+  if requests = [] then None
+  else
+    Some
+      { Gen.u_pkgs = pkgs;
+        u_cache_roots =
+          List.filter (fun r -> not (mentions name r)) u.Gen.u_cache_roots;
+        u_requests = requests }
+
+(* Candidate one-step reductions, coarsest first. *)
+let candidates (u : Gen.t) =
+  let pkg_drops =
+    List.filter_map (fun (p : Gen.upkg) -> drop_package u p.Gen.up_name) u.Gen.u_pkgs
+  in
+  let with_pkgs pkgs = { u with Gen.u_pkgs = pkgs } in
+  let per_pkg f =
+    List.concat
+      (List.mapi
+         (fun i (p : Gen.upkg) ->
+           List.map
+             (fun p' ->
+               with_pkgs (List.mapi (fun j q -> if j = i then p' else q) u.Gen.u_pkgs))
+             (f p))
+         u.Gen.u_pkgs)
+  in
+  let dep_drops =
+    per_pkg (fun p ->
+        List.mapi
+          (fun i _ -> { p with Gen.up_deps = remove_nth i p.Gen.up_deps })
+          p.Gen.up_deps)
+  in
+  let conflict_drops =
+    per_pkg (fun p ->
+        List.mapi
+          (fun i _ -> { p with Gen.up_conflicts = remove_nth i p.Gen.up_conflicts })
+          p.Gen.up_conflicts)
+  in
+  let splice_drops =
+    per_pkg (fun p ->
+        List.mapi
+          (fun i _ -> { p with Gen.up_splices = remove_nth i p.Gen.up_splices })
+          p.Gen.up_splices)
+  in
+  let version_drops =
+    per_pkg (fun p ->
+        if List.length p.Gen.up_versions <= 1 then []
+        else
+          List.mapi
+            (fun i _ -> { p with Gen.up_versions = remove_nth i p.Gen.up_versions })
+            p.Gen.up_versions)
+  in
+  let variant_drops =
+    per_pkg (fun p ->
+        match p.Gen.up_variant with
+        | Some _ -> [ { p with Gen.up_variant = None } ]
+        | None -> [])
+  in
+  let cache_drops =
+    List.mapi
+      (fun i _ -> { u with Gen.u_cache_roots = remove_nth i u.Gen.u_cache_roots })
+      u.Gen.u_cache_roots
+  in
+  let request_drops =
+    if List.length u.Gen.u_requests <= 1 then []
+    else
+      List.mapi
+        (fun i _ -> { u with Gen.u_requests = remove_nth i u.Gen.u_requests })
+        u.Gen.u_requests
+  in
+  pkg_drops @ request_drops @ cache_drops @ dep_drops @ conflict_drops
+  @ splice_drops @ version_drops @ variant_drops
+
+let shrink ~still_fails u =
+  let rec fixpoint u =
+    match List.find_opt still_fails (candidates u) with
+    | Some smaller -> fixpoint smaller
+    | None -> u
+  in
+  if still_fails u then fixpoint u else u

@@ -1,0 +1,10 @@
+(** Greedy delta-debugging over universe descriptions.
+
+    Given a universe on which [still_fails] holds, repeatedly try
+    structural deletions — whole packages, then individual
+    dependencies, conflicts, splices, versions, variants, cache roots
+    and requests — keeping any deletion that preserves the failure,
+    until a fixpoint. Deleting a package also drops everything that
+    referenced it, so candidates are always well-formed. *)
+
+val shrink : still_fails:(Gen.t -> bool) -> Gen.t -> Gen.t

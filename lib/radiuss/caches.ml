@@ -9,8 +9,8 @@ let concretize_build_push ~repo ~store ~cache text =
   | Error _ -> None (* infeasible configuration: skip *)
   | Ok o ->
     let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
-    ignore (Binary.Builder.build_all store ~repo spec);
-    ignore (Binary.Buildcache.push cache store spec);
+    ignore (Binary.Errors.ok_exn (Binary.Builder.build_all store ~repo spec));
+    ignore (Binary.Errors.ok_exn (Binary.Buildcache.push cache store spec));
     Some spec
 
 let request_for name =

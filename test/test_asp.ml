@@ -5,16 +5,16 @@
 let solve = Asp.solve_text
 
 let atoms_of = function
-  | Asp.Logic.Unsat -> Alcotest.fail "expected SAT"
+  | Asp.Logic.Unsat _ -> Alcotest.fail "expected SAT"
   | Asp.Logic.Sat m ->
     List.map (fun a -> Format.asprintf "%a" Asp.Ast.pp_atom a) m.Asp.Logic.atoms
     |> List.sort String.compare
 
 let costs_of = function
-  | Asp.Logic.Unsat -> Alcotest.fail "expected SAT"
+  | Asp.Logic.Unsat _ -> Alcotest.fail "expected SAT"
   | Asp.Logic.Sat m -> m.Asp.Logic.costs
 
-let is_unsat = function Asp.Logic.Unsat -> true | Asp.Logic.Sat _ -> false
+let is_unsat = function Asp.Logic.Unsat _ -> true | Asp.Logic.Sat _ -> false
 
 let check_atoms msg program expected =
   Alcotest.(check (list string)) msg (List.sort String.compare expected)
@@ -250,7 +250,7 @@ let prop_stable_equiv =
     (fun ((nvars, choice_elems, rules, constraints) as p) ->
       let expected = brute_stable nvars choice_elems rules constraints in
       match solve (program_text p) with
-      | Asp.Logic.Unsat -> expected = []
+      | Asp.Logic.Unsat _ -> expected = []
       | Asp.Logic.Sat m ->
         let mask =
           List.fold_left

@@ -79,7 +79,7 @@ let fresh_store root =
 
 let test_build_and_link () =
   let _vfs, store = fresh_store "/opt/store" in
-  let built = B.Builder.build_all store ~repo app_spec in
+  let built = B.Errors.ok_exn (B.Builder.build_all store ~repo app_spec) in
   Alcotest.(check int) "three builds" 3 (List.length built);
   let root_rec =
     Option.get (B.Store.installed store ~hash:(Spec.Concrete.dag_hash app_spec))
@@ -92,13 +92,13 @@ let test_build_and_link () =
       (String.concat "; " (List.map (Format.asprintf "%a" B.Linker.pp_error) es)));
   (* idempotent *)
   Alcotest.(check int) "rebuild is a no-op" 0
-    (List.length (B.Builder.build_all store ~repo app_spec))
+    (List.length (B.Errors.ok_exn (B.Builder.build_all store ~repo app_spec)))
 
 let test_builder_requires_deps () =
   let _vfs, store = fresh_store "/opt/store2" in
   Alcotest.(check bool) "missing dep fails" true
     (match B.Builder.build_node store ~repo ~spec:app_spec ~node:"app" with
-    | exception Failure _ -> true
+    | Error (B.Errors.Dependency_not_installed { node = "app"; _ }) -> true
     | _ -> false)
 
 let test_linker_missing_lib () =
@@ -117,11 +117,11 @@ let test_linker_missing_lib () =
 
 let test_buildcache_roundtrip () =
   let _vfs, farm = fresh_store "/buildfarm" in
-  ignore (B.Builder.build_all farm ~repo app_spec);
+  ignore (B.Errors.ok_exn (B.Builder.build_all farm ~repo app_spec));
   let cache = B.Buildcache.create ~name:"c" in
-  let created = B.Buildcache.push cache farm app_spec in
+  let created = B.Errors.ok_exn (B.Buildcache.push cache farm app_spec) in
   Alcotest.(check int) "one entry per node" 3 created;
-  Alcotest.(check int) "push is idempotent" 0 (B.Buildcache.push cache farm app_spec);
+  Alcotest.(check int) "push is idempotent" 0 (B.Errors.ok_exn (B.Buildcache.push cache farm app_spec));
   (* install into a different store rooted elsewhere: relocation runs *)
   let _vfs2, cluster = fresh_store "/cluster/spack" in
   (* deps first *)
@@ -145,18 +145,18 @@ let test_buildcache_roundtrip () =
 
 let test_installer_counters () =
   let _vfs, farm = fresh_store "/farm" in
-  ignore (B.Builder.build_all farm ~repo app_spec);
+  ignore (B.Errors.ok_exn (B.Builder.build_all farm ~repo app_spec));
   let cache = B.Buildcache.create ~name:"c" in
-  ignore (B.Buildcache.push cache farm app_spec);
+  ignore (B.Errors.ok_exn (B.Buildcache.push cache farm app_spec));
   let _vfs2, cluster = fresh_store "/cluster" in
-  let r1 = B.Installer.install cluster ~repo ~caches:[ cache ] app_spec in
+  let r1 = B.Installer.install_exn cluster ~repo ~caches:[ cache ] app_spec in
   Alcotest.(check int) "from cache" 3 (List.length r1.B.Installer.from_cache);
   Alcotest.(check int) "no builds" 0 (B.Installer.rebuild_count r1);
-  let r2 = B.Installer.install cluster ~repo ~caches:[ cache ] app_spec in
+  let r2 = B.Installer.install_exn cluster ~repo ~caches:[ cache ] app_spec in
   Alcotest.(check int) "reused" 3 (List.length r2.B.Installer.reused);
   (* no cache: source build *)
   let _vfs3, lonely = fresh_store "/lonely" in
-  let r3 = B.Installer.install lonely ~repo app_spec in
+  let r3 = B.Installer.install_exn lonely ~repo app_spec in
   Alcotest.(check int) "built" 3 (B.Installer.rebuild_count r3)
 
 (* ---- a lying splice fails the linker ---- *)
@@ -165,18 +165,18 @@ let test_bad_splice_fails_link () =
   (* Build the stack, then rewire app's zlib to zlib-evil (different
      ABI family): the rewired binary must fail symbol resolution. *)
   let _vfs, store = fresh_store "/opt/abi" in
-  ignore (B.Builder.build_all store ~repo app_spec);
+  ignore (B.Errors.ok_exn (B.Builder.build_all store ~repo app_spec));
   let evil_spec =
     Spec.Concrete.create ~root:"zlib-evil"
       ~nodes:[ node "zlib-evil" "1.3.1" ]
       ~edges:[] ()
   in
-  ignore (B.Builder.build_all store ~repo evil_spec);
+  ignore (B.Errors.ok_exn (B.Builder.build_all store ~repo evil_spec));
   let spliced =
     Core.Splice.splice ~replace:"zlib" ~target:app_spec ~replacement:evil_spec
       ~transitive:true ()
   in
-  let report = B.Installer.install store ~repo spliced in
+  let report = B.Installer.install_exn store ~repo spliced in
   Alcotest.(check int) "rewired, not rebuilt" 0 (B.Installer.rebuild_count report);
   match report.B.Installer.link_result with
   | Error es ->

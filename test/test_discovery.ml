@@ -21,7 +21,7 @@ let build text store =
   match Core.Concretizer.concretize_spec ~repo text with
   | Ok o ->
     let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
-    ignore (Binary.Builder.build_all store ~repo spec);
+    ignore (Binary.Errors.ok_exn (Binary.Builder.build_all store ~repo spec));
     spec
   | Error e -> Alcotest.fail e
 

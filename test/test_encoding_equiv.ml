@@ -1,0 +1,39 @@
+(* The paper's two reuse encodings — [Old] (pre-splicing) and
+   [Hash_attr] (unified, splicing-capable) — must be semantically
+   interchangeable when splicing is off: for every RADIUSS top-level
+   package, concretizing against the populated local buildcache must
+   yield the same optimum costs and the very same root DAG under both.
+   This is the premise behind comparing their solve times (Fig. 5). *)
+
+let repo = Radiuss.Universe.repo ()
+let pool = lazy (Radiuss.Caches.reusable_specs (Radiuss.Caches.local ~repo ()))
+
+let options encoding =
+  { Core.Concretizer.default_options with
+    Core.Concretizer.encoding;
+    reuse = Lazy.force pool;
+    splicing = false }
+
+let check_package name () =
+  let solve encoding =
+    Core.Concretizer.concretize_spec ~repo ~options:(options encoding) name
+  in
+  match (solve Core.Encode.Old, solve Core.Encode.Hash_attr) with
+  | Ok old_o, Ok new_o ->
+    let root o = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+    Alcotest.(check (list (pair int int)))
+      "optimum costs agree" old_o.Core.Concretizer.stats.Core.Concretizer.costs
+      new_o.Core.Concretizer.stats.Core.Concretizer.costs;
+    Alcotest.(check string)
+      "root DAG agrees"
+      (Spec.Concrete.dag_hash (root old_o))
+      (Spec.Concrete.dag_hash (root new_o))
+  | Error e, _ -> Alcotest.failf "old encoding failed: %s" e
+  | _, Error e -> Alcotest.failf "hash_attr encoding failed: %s" e
+
+let () =
+  Alcotest.run "encoding_equiv"
+    [ ( "radiuss",
+        List.map
+          (fun name -> Alcotest.test_case name `Quick (check_package name))
+          Radiuss.Universe.top_level ) ]

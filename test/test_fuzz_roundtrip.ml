@@ -1,0 +1,117 @@
+(* Round-trip properties over randomly generated data.
+
+   - A random concrete DAG survives spec.json serialization with its
+     identity (Merkle DAG hash) intact.
+   - Printing an abstract spec and re-parsing it is a fixpoint: the
+     sigil syntax loses nothing the printer emits. *)
+
+module G = QCheck.Gen
+
+let pkg_name i = Printf.sprintf "pkg%c" (Char.chr (Char.code 'a' + i))
+
+(* ---- random concrete DAGs ---- *)
+
+(* Layered, like the fuzzer's universes: node i may depend only on
+   j > i, so the result is a DAG by construction. *)
+let gen_concrete =
+  G.(
+    let* n = int_range 1 6 in
+    let* versions = list_repeat n (oneofl [ "1.0"; "2.0"; "3.1.4" ]) in
+    let* variants =
+      list_repeat n (oneofl [ None; Some true; Some false ])
+    in
+    let* edge_bits =
+      list_repeat (n * n) (frequencyl [ (3, false); (2, true) ])
+    in
+    let* build_bits = list_repeat (n * n) (frequencyl [ (4, false); (1, true) ]) in
+    let nodes =
+      List.mapi
+        (fun i (v, var) ->
+          { Spec.Concrete.name = pkg_name i;
+            version = Vers.Version.of_string v;
+            variants =
+              (match var with
+              | Some b -> Spec.Types.Smap.singleton "opt" (Spec.Types.Bool b)
+              | None -> Spec.Types.Smap.empty);
+            os = "linux";
+            target = "x86_64";
+            build_hash = None })
+        (List.combine versions variants)
+    in
+    let edge_bits = Array.of_list edge_bits in
+    let build_bits = Array.of_list build_bits in
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        (* keep every DAG connected: node i always depends on i+1 *)
+        if j = i + 1 || edge_bits.((i * n) + j) then
+          edges :=
+            ( pkg_name i,
+              pkg_name j,
+              if build_bits.((i * n) + j) then Spec.Types.dt_build
+              else Spec.Types.dt_both )
+            :: !edges
+      done
+    done;
+    return (Spec.Concrete.create ~root:(pkg_name 0) ~nodes ~edges:!edges ()))
+
+let arb_concrete =
+  QCheck.make ~print:(fun s -> Spec.Codec.to_string ~pretty:true s) gen_concrete
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"concrete DAG -> spec.json -> same DAG hash" ~count:200
+    arb_concrete (fun spec ->
+      let spec' = Spec.Codec.of_string (Spec.Codec.to_string spec) in
+      Spec.Concrete.dag_hash spec' = Spec.Concrete.dag_hash spec
+      && Spec.Concrete.root spec' = Spec.Concrete.root spec
+      && List.length (Spec.Concrete.edges spec')
+         = List.length (Spec.Concrete.edges spec))
+
+(* ---- sigil syntax fixpoint ---- *)
+
+let gen_node_text root =
+  G.(
+    let name = if root then oneofl [ "mfem"; "hypre"; "zlib" ] else oneofl [ "mpich"; "openmpi"; "cuda" ] in
+    let* n = name in
+    let* version = oneofl [ ""; "@2.0"; "@1.2:"; "@:3.0"; "@1.0:2.0" ] in
+    let* variant = oneofl [ ""; "+shared"; "~shared"; "+shared+static" ] in
+    let* arch = oneofl [ ""; " os=linux"; " target=zen2"; " os=linux target=zen2" ] in
+    return (n ^ version ^ variant ^ arch))
+
+let gen_spec_text =
+  G.(
+    let* root = gen_node_text true in
+    let* ndeps = int_range 0 2 in
+    let* deps = list_repeat ndeps (gen_node_text false) in
+    return (String.concat " ^" (root :: deps)))
+
+let arb_spec_text = QCheck.make ~print:(fun s -> s) gen_spec_text
+
+let prop_parser_fixpoint =
+  QCheck.Test.make ~name:"sigil -> parse -> print -> re-parse fixpoint" ~count:200
+    arb_spec_text (fun text ->
+      let once = Spec.Abstract.to_string (Spec.Parser.parse text) in
+      let twice = Spec.Abstract.to_string (Spec.Parser.parse once) in
+      if once <> twice then
+        QCheck.Test.fail_reportf "not a fixpoint: %S -> %S -> %S" text once twice
+      else true)
+
+(* The fuzzer's own universes must always compile to valid repos: the
+   generator may not hand the oracles garbage. *)
+let prop_universes_valid =
+  QCheck.Test.make ~name:"generated universes compile to valid repos" ~count:200
+    (QCheck.make
+       ~print:(fun seed -> Fuzz.Gen.to_ocaml (Fuzz.Gen.generate (Fuzz.Rng.create seed)))
+       QCheck.Gen.(int_range 0 100_000))
+    (fun seed ->
+      let u = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+      match Pkg.Repo.validate (Fuzz.Gen.to_repo u) with
+      | Ok () -> u.Fuzz.Gen.u_requests <> []
+      | Error es -> QCheck.Test.fail_reportf "invalid repo: %s" (String.concat "; " es))
+
+let () =
+  Alcotest.run "fuzz_roundtrip"
+    [ ( "roundtrip",
+        [ QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+          QCheck_alcotest.to_alcotest prop_parser_fixpoint;
+          QCheck_alcotest.to_alcotest prop_universes_valid ] ) ]

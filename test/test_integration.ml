@@ -93,7 +93,7 @@ let test_spliced_install_links () =
     let vfs = Binary.Vfs.create () in
     let cluster = Binary.Store.create ~root:"/cluster" vfs in
     let report =
-      Binary.Installer.install cluster ~repo ~caches:[ l.Radiuss.Caches.cache ] spec
+      Binary.Installer.install_exn cluster ~repo ~caches:[ l.Radiuss.Caches.cache ] spec
     in
     Alcotest.(check int) "nothing compiled" 0 (Binary.Installer.rebuild_count report);
     Alcotest.(check bool) "something was rewired" true

@@ -175,6 +175,70 @@ let prop_equiv_brute =
       let expected = brute nvars clauses pbs in
       if sat then expected && check_model clauses pbs (S.value s) else not expected)
 
+(* PB constraints must keep working when the solver is reused after an
+   UNSAT answer under assumptions: the failed assumptions must not
+   leave stale forced values behind. *)
+let test_pb_after_unsat_assumptions () =
+  let s = S.create () in
+  let a = S.new_var s and b = S.new_var s and c = S.new_var s in
+  (* 2a + 2b + 1c <= 3 *)
+  S.add_pb_le s [ (2, S.pos a); (2, S.pos b); (1, S.pos c) ] 3;
+  Alcotest.(check bool) "unsat under a,b" false
+    (S.solve ~assumptions:[ S.pos a; S.pos b ] s);
+  Alcotest.(check bool) "reusable: sat" true (S.solve s);
+  Alcotest.(check bool) "sat under a,c" true
+    (S.solve ~assumptions:[ S.pos a; S.pos c ] s);
+  Alcotest.(check bool) "a" true (S.value s a);
+  Alcotest.(check bool) "c" true (S.value s c);
+  Alcotest.(check bool) "b squeezed out" false (S.value s b);
+  (* the PB constraint still bites for later permanent clauses *)
+  S.add_clause s [ S.pos a ];
+  S.add_clause s [ S.pos b ];
+  Alcotest.(check bool) "permanent a+b: unsat" false (S.solve s)
+
+(* Same brute-force equivalence, but adding constraints *between*
+   solves: [add_pb_le] must interact correctly with a trail left by a
+   previous solve. *)
+let prop_incremental_pb =
+  QCheck.Test.make ~name:"incremental PB agrees with brute force" ~count:300
+    arb_instance (fun (nvars, clauses, pbs) ->
+      let s = S.create () in
+      for _ = 1 to nvars do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      ignore (S.solve s);
+      List.iter
+        (fun (wl, b) ->
+          S.add_pb_le s wl b;
+          ignore (S.solve s))
+        pbs;
+      let sat = S.solve s in
+      let expected = brute nvars clauses pbs in
+      if sat then expected && check_model clauses pbs (S.value s) else not expected)
+
+(* Every UNSAT answer must come with a refutation the independent DRUP
+   checker accepts. (SAT answers are cross-checked against the model
+   above, so between the two every outcome is certified.) *)
+let prop_drup_certified =
+  QCheck.Test.make ~name:"UNSAT answers carry a checkable DRUP proof" ~count:300
+    arb_instance (fun (nvars, clauses, pbs) ->
+      let s = S.create () in
+      S.enable_proof s;
+      for _ = 1 to nvars do
+        ignore (S.new_var s)
+      done;
+      List.iter (S.add_clause s) clauses;
+      List.iter (fun (wl, b) -> S.add_pb_le s wl b) pbs;
+      if S.solve s then true
+      else
+        match S.proof s with
+        | None -> false
+        | Some steps -> (
+          match Fuzz.Drup.check steps with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "proof rejected: %s" e))
+
 let () =
   Alcotest.run "sat"
     [ ( "core",
@@ -186,5 +250,10 @@ let () =
           Alcotest.test_case "incremental" `Quick test_incremental ] );
       ( "pseudo-boolean",
         [ Alcotest.test_case "cardinality" `Quick test_pb_cardinality;
-          Alcotest.test_case "weights" `Quick test_pb_weights ] );
-      ("properties", [ QCheck_alcotest.to_alcotest prop_equiv_brute ]) ]
+          Alcotest.test_case "weights" `Quick test_pb_weights;
+          Alcotest.test_case "reuse after failed assumptions" `Quick
+            test_pb_after_unsat_assumptions ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_equiv_brute;
+          QCheck_alcotest.to_alcotest prop_incremental_pb;
+          QCheck_alcotest.to_alcotest prop_drup_certified ] ) ]
