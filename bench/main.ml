@@ -7,6 +7,7 @@
      dune exec bench/main.exe -- fig7            RQ4: candidate scaling
      dune exec bench/main.exe -- ablate          design-choice ablations
      dune exec bench/main.exe -- micro           bechamel substrate micro-benches
+     dune exec bench/main.exe -- resil-smoke     mirror-layer fault-injection smoke
      dune exec bench/main.exe -- all             everything (the default)
 
    Knobs (anywhere on the command line):
@@ -368,6 +369,118 @@ let fuzz_smoke () =
     Printf.printf "fuzz-smoke injected: caught, shrunk to %s\n"
       (Fuzz.Gen.summary f.Fuzz.Harness.shrunk))
 
+(* Fixed-seed resilience smoke: the scenarios the mirror layer exists
+   for, each run to completion and checked for convergence —
+
+   - a clean install through a faultless mirror;
+   - a mid-install crash followed by Store.recover and a resumed
+     install;
+   - every mirror hard-down, degrading to source builds;
+
+   plus a multi-seed slice of the Resil fuzz oracle (random universes ×
+   random fault plans). *)
+let resil_smoke () =
+  let open Spec.Types in
+  let node name version =
+    { Spec.Concrete.name; version = Vers.Version.of_string version;
+      variants = Smap.empty; os = "linux"; target = "x86_64"; build_hash = None }
+  in
+  let small_repo =
+    Pkg.Repo.of_packages
+      Pkg.Package.
+        [ make "app" |> version "1.0" |> depends_on "libx" |> depends_on "zlib";
+          make "libx" |> version "2.0" |> depends_on "zlib";
+          make "zlib" |> version "1.3.1" ]
+  in
+  let spec =
+    Spec.Concrete.create ~root:"app"
+      ~nodes:[ node "app" "1.0"; node "libx" "2.0"; node "zlib" "1.3.1" ]
+      ~edges:
+        [ ("app", "libx", dt_link); ("app", "zlib", dt_link);
+          ("libx", "zlib", dt_link) ]
+      ()
+  in
+  let farm = Binary.Store.create ~root:"/farm" (Binary.Vfs.create ()) in
+  ignore (Binary.Errors.ok_exn (Binary.Builder.build_all farm ~repo:small_repo spec));
+  let origin = Binary.Buildcache.create ~name:"origin" in
+  ignore (Binary.Errors.ok_exn (Binary.Buildcache.push origin farm spec));
+  let policy =
+    { Binary.Mirror.default_retry with
+      Binary.Mirror.base_delay_ms = 1.0; max_delay_ms = 8.0 }
+  in
+  let fresh () =
+    let vfs = Binary.Vfs.create () in
+    (vfs, Binary.Store.create ~root:"/ice" vfs)
+  in
+  let install ?mirrors ?caches store =
+    Binary.Errors.ok_exn
+      (Binary.Installer.install store ~repo:small_repo ?caches ?mirrors spec)
+  in
+  (* reference state every scenario must converge to *)
+  let _, ref_store = fresh () in
+  ignore (install ~caches:[ origin ] ref_store);
+  let ref_fp = Binary.Store.fingerprint ref_store in
+  let expect_converged what store =
+    if Binary.Store.fingerprint store <> ref_fp then
+      failwith ("resil-smoke: " ^ what ^ " diverged from the fault-free state")
+  in
+  (* 1. clean run through a mirror *)
+  let _, s1 = fresh () in
+  let g1 =
+    Binary.Mirror.group ~policy [ Binary.Mirror.create ~name:"m0" origin ]
+  in
+  let r1 = install ~mirrors:g1 s1 in
+  expect_converged "clean mirror install" s1;
+  Printf.printf "resil-smoke clean:      %s\n"
+    (Format.asprintf "%a" Binary.Installer.pp_report r1);
+  (* 2. crash mid-install, recover, resume — at several fixed points *)
+  let writes = Binary.Store.write_count s1 in
+  List.iter
+    (fun k ->
+      let crash_at = k mod writes in
+      let vfs, s2 = fresh () in
+      Binary.Store.set_crash_after s2 (Some crash_at);
+      match install ~caches:[ origin ] s2 with
+      | exception Binary.Store.Crashed _ ->
+        let recovered, r = Binary.Store.recover ~root:"/ice" vfs in
+        ignore (install ~caches:[ origin ] recovered);
+        expect_converged
+          (Printf.sprintf "crash at write %d + recover + resume" crash_at)
+          recovered;
+        Printf.printf "resil-smoke crash@%-3d:  recovered (%s), converged\n"
+          crash_at
+          (Format.asprintf "%a" Binary.Store.pp_recovery r)
+      | _ -> expect_converged "uncrashed run" s2)
+    [ 1; 7; 42 ];
+  (* 3. every mirror hard-down: degrade to source builds *)
+  let down name =
+    Binary.Mirror.create
+      ~faults:
+        { Binary.Mirror.no_faults with
+          Binary.Mirror.fp_outage_after = Some 0; fp_outage_len = None }
+      ~name origin
+  in
+  let g3 = Binary.Mirror.group ~policy [ down "m0"; down "m1" ] in
+  let _, s3 = fresh () in
+  let r3 = install ~mirrors:g3 s3 in
+  expect_converged "all-mirrors-down install" s3;
+  if Binary.Installer.degraded_count r3 = 0 then
+    failwith "resil-smoke: expected degradation with every mirror down";
+  Printf.printf "resil-smoke all-down:   %s\n"
+    (Format.asprintf "%a" Binary.Installer.pp_report r3);
+  (* 4. the fuzz oracle across several fixed seeds *)
+  let rounds = if !quick then 5 else 25 in
+  List.iter
+    (fun seed ->
+      let report = Fuzz.Resil.run ~seed ~rounds () in
+      Printf.printf "resil-smoke fuzz s=%-4d: %s\n" seed
+        (Format.asprintf "%a" Fuzz.Resil.pp_stats report.Fuzz.Resil.stats);
+      if report.Fuzz.Resil.failures <> [] then begin
+        Format.printf "%a" Fuzz.Resil.pp_report report;
+        failwith "resil-smoke: resilience oracle violations"
+      end)
+    [ 11; 42; 1337 ]
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let commands = ref [] in
@@ -396,6 +509,7 @@ let () =
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | "fuzz-smoke" -> fuzz_smoke ()
+    | "resil-smoke" -> resil_smoke ()
     | "all" ->
       table1 ();
       micro ();
@@ -405,7 +519,7 @@ let () =
       ablate ()
     | other ->
       Printf.eprintf
-        "unknown command %s (try table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|all)\n"
+        "unknown command %s (try table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|all)\n"
         other;
       exit 2
   in

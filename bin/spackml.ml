@@ -87,32 +87,167 @@ let concretize_cmd =
 
 (* ---- install ---- *)
 
+(* --mirror NAME[:transient=P,corrupt=P,latency=MS,outage=N,outage-len=K,seed=S]
+   a simulated mirror over the bundled local buildcache, with a fault
+   plan parsed from the suffix. *)
+let parse_mirror_spec s =
+  let name, plan_text =
+    match String.index_opt s ':' with
+    | None -> (s, "")
+    | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  in
+  if name = "" then Error "mirror name is empty"
+  else if plan_text = "" then Ok (name, Binary.Mirror.no_faults)
+  else
+    let parse_kv plan kv =
+      match plan with
+      | Error _ -> plan
+      | Ok p -> (
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "expected key=value, got %S" kv)
+        | Some i -> (
+          let k = String.sub kv 0 i in
+          let v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          let int_v f =
+            match int_of_string_opt v with
+            | Some n -> Ok (f n)
+            | None -> Error (Printf.sprintf "%s: expected an integer, got %S" k v)
+          in
+          match k with
+          | "transient" -> int_v (fun n -> { p with Binary.Mirror.fp_transient_pct = n })
+          | "corrupt" -> int_v (fun n -> { p with Binary.Mirror.fp_corrupt_pct = n })
+          | "latency" ->
+            int_v (fun n -> { p with Binary.Mirror.fp_latency_ms = float_of_int n })
+          | "outage" -> int_v (fun n -> { p with Binary.Mirror.fp_outage_after = Some n })
+          | "outage-len" -> int_v (fun n -> { p with Binary.Mirror.fp_outage_len = Some n })
+          | "seed" -> int_v (fun n -> { p with Binary.Mirror.fp_seed = n })
+          | _ -> Error (Printf.sprintf "unknown fault key %S" k)))
+    in
+    Result.map
+      (fun plan -> (name, plan))
+      (List.fold_left parse_kv (Ok Binary.Mirror.no_faults)
+         (String.split_on_char ',' plan_text))
+
+let mirror_flag =
+  Arg.(value & opt_all string []
+      & info [ "mirror" ] ~docv:"NAME[:FAULTS]"
+          ~doc:
+            "Attach a simulated mirror over the bundled local buildcache \
+             (repeatable; consulted in order). FAULTS is a comma-separated \
+             fault plan: $(b,transient=P) and $(b,corrupt=P) (percentages), \
+             $(b,latency=MS), $(b,outage=N) (go hard-down after N fetches), \
+             $(b,outage-len=K), $(b,seed=S).")
+
+let retries_flag =
+  Arg.(value & opt (some int) None & info [ "retries" ] ~docv:"N"
+      ~doc:"Fetch attempts per mirror before failing over (default 4).")
+
+let no_fallback_flag =
+  Arg.(value & flag & info [ "no-fallback" ]
+      ~doc:"Fail with a typed error instead of degrading to a source build \
+            when no mirror can deliver an entry.")
+
+let crash_at_flag =
+  Arg.(value & opt (some int) None & info [ "crash-at" ] ~docv:"K"
+      ~doc:"Simulate a crash (power loss) at the K-th store mutation.")
+
+let recover_flag =
+  Arg.(value & flag & info [ "recover" ]
+      ~doc:"After a simulated crash, replay the write-ahead journal with \
+            Store.recover and resume the install on the recovered store.")
+
 let install_cmd =
-  let run reuse splicing spec_text =
+  let run reuse splicing mirror_specs retries no_fallback crash_at recover spec_text =
     let opts = options ~reuse ~splicing ~old_encoding:false in
-    match concretize_one ~opts spec_text with
+    match
+      List.fold_left
+        (fun acc s ->
+          match (acc, parse_mirror_spec s) with
+          | Error e, _ -> Error e
+          | Ok ms, Ok m -> Ok (m :: ms)
+          | Ok _, Error e -> Error e)
+        (Ok []) mirror_specs
+    with
     | Error e ->
-      Format.eprintf "error: %s@." e;
-      1
-    | Ok o ->
-      let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
-      let vfs = Binary.Vfs.create () in
-      let store = Binary.Store.create ~root:"/opt/spackml" vfs in
-      let caches =
-        if reuse then [ (Lazy.force local_cache).Radiuss.Caches.cache ] else []
+      Format.eprintf "error: --mirror: %s@." e;
+      2
+    | Ok mirror_plans -> (
+      let mirror_plans = List.rev mirror_plans in
+      let mirrors =
+        match mirror_plans with
+        | [] -> None
+        | plans ->
+          let policy =
+            match retries with
+            | None -> Binary.Mirror.default_retry
+            | Some n ->
+              { Binary.Mirror.default_retry with Binary.Mirror.max_attempts = n }
+          in
+          Some
+            (Binary.Mirror.group ~policy
+               (List.map
+                  (fun (name, faults) ->
+                    Binary.Mirror.create ~faults ~name
+                      (Lazy.force local_cache).Radiuss.Caches.cache)
+                  plans))
       in
-      (match Binary.Installer.install store ~repo ~caches spec with
+      (* mirrors also feed the solver's reuse pool — only the reachable
+         ones contribute, so a dead mirror degrades the solve instead of
+         failing it *)
+      let opts = { opts with Core.Concretizer.mirrors } in
+      match concretize_one ~opts spec_text with
       | Error e ->
-        Format.eprintf "install failed: %a@." Binary.Errors.pp e;
+        Format.eprintf "error: %s@." e;
         1
-      | Ok report ->
-        Format.printf "%a@.%a@." Spec.Concrete.pp_tree spec
-          Binary.Installer.pp_report report;
-        (match report.Binary.Installer.link_result with Ok _ -> 0 | Error _ -> 1))
+      | Ok o ->
+        let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+        let root = "/opt/spackml" in
+        let vfs = Binary.Vfs.create () in
+        let store = Binary.Store.create ~root vfs in
+        let caches =
+          if reuse then [ (Lazy.force local_cache).Radiuss.Caches.cache ] else []
+        in
+        Binary.Store.set_crash_after store crash_at;
+        let finish store report =
+          Format.printf "%a@.%a@." Spec.Concrete.pp_tree spec
+            Binary.Installer.pp_report report;
+          ignore store;
+          match report.Binary.Installer.link_result with Ok _ -> 0 | Error _ -> 1
+        in
+        let install store =
+          Binary.Installer.install store ~repo ~caches ?mirrors
+            ~fallback:(not no_fallback) spec
+        in
+        (match install store with
+        | Ok report -> finish store report
+        | Error e ->
+          Format.eprintf "install failed: %a@." Binary.Errors.pp e;
+          1
+        | exception Binary.Store.Crashed what ->
+          Format.printf "crashed at store mutation: %s@." what;
+          if not recover then begin
+            Format.printf
+              "store left as the crash found it (journal intact); rerun with \
+               --recover to replay@.";
+            1
+          end
+          else (
+            let recovered, r = Binary.Store.recover ~root vfs in
+            Format.printf "%a@." Binary.Store.pp_recovery r;
+            match install recovered with
+            | Ok report -> finish recovered report
+            | Error e ->
+              Format.eprintf "resumed install failed: %a@." Binary.Errors.pp e;
+              1)))
   in
   Cmd.v
-    (Cmd.info "install" ~doc:"Concretize and install a spec into a fresh store.")
-    Term.(const run $ reuse_flag $ splice_flag $ spec_arg)
+    (Cmd.info "install"
+       ~doc:
+         "Concretize and install a spec into a fresh store, optionally through \
+          fault-injected mirrors with retry, failover and crash recovery.")
+    Term.(const run $ reuse_flag $ splice_flag $ mirror_flag $ retries_flag
+          $ no_fallback_flag $ crash_at_flag $ recover_flag $ spec_arg)
 
 (* ---- splice (manual, Fig. 2 mechanics) ---- *)
 

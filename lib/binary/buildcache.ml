@@ -22,9 +22,12 @@ let mem t ~hash = Hashtbl.mem t.entries hash
 let specs t = Hashtbl.fold (fun _ e acc -> e.e_spec :: acc) t.entries []
 
 let relative ~prefix path =
-  let plen = String.length prefix in
-  if String.length path > plen && String.sub path 0 plen = prefix then
-    String.sub path (plen + 1) (String.length path - plen - 1)
+  (* Demand the '/' separator: a prefix of "/opt/foo" must not strip
+     paths under "/opt/foobar". *)
+  let p = prefix ^ "/" in
+  let plen = String.length p in
+  if String.length path > plen && String.sub path 0 plen = p then
+    String.sub path plen (String.length path - plen)
   else path
 
 let push_exn t store spec =
@@ -73,37 +76,38 @@ let push_exn t store spec =
 
 let push t store spec = Errors.guard (fun () -> push_exn t store spec)
 
+let install_entry store ~hash entry =
+  let root_node = Spec.Concrete.root_node entry.e_spec in
+  let new_prefix_of h (n : Spec.Concrete.node) =
+    Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version
+      ~hash:h
+  in
+  (* Map every build-time prefix in the entry's sub-DAG to its
+     location in the target store. *)
+  let mapping =
+    List.filter_map
+      (fun (n : Spec.Concrete.node) ->
+        let h = Spec.Concrete.node_hash entry.e_spec n.Spec.Concrete.name in
+        match List.assoc_opt h entry.e_prefixes with
+        | Some old_prefix -> Some (old_prefix, new_prefix_of h n)
+        | None -> None)
+      (Spec.Concrete.nodes entry.e_spec)
+  in
+  let prefix = new_prefix_of hash root_node in
+  let txn = Store.begin_install store ~hash ~prefix in
+  let stats = ref Relocate.empty_stats in
+  List.iter
+    (fun (rel, o) ->
+      let o = Object_file.copy o in
+      stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
+      Store.stage store txn ~rel (Vfs.Object o))
+    entry.e_objects;
+  Store.stage store txn ~rel:".spack/spec.json"
+    (Vfs.Text (Spec.Codec.to_string ~pretty:true entry.e_spec));
+  let record = Store.commit store txn ~spec:entry.e_spec in
+  (record, !stats)
+
 let install_from t store ~hash =
   match find t ~hash with
   | None -> None
-  | Some entry ->
-    let root_node = Spec.Concrete.root_node entry.e_spec in
-    let new_prefix_of h (n : Spec.Concrete.node) =
-      Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version
-        ~hash:h
-    in
-    (* Map every build-time prefix in the entry's sub-DAG to its
-       location in the target store. *)
-    let mapping =
-      List.filter_map
-        (fun (n : Spec.Concrete.node) ->
-          let h = Spec.Concrete.node_hash entry.e_spec n.Spec.Concrete.name in
-          match List.assoc_opt h entry.e_prefixes with
-          | Some old_prefix -> Some (old_prefix, new_prefix_of h n)
-          | None -> None)
-        (Spec.Concrete.nodes entry.e_spec)
-    in
-    let prefix = new_prefix_of hash root_node in
-    let vfs = Store.vfs store in
-    let stats = ref Relocate.empty_stats in
-    List.iter
-      (fun (rel, o) ->
-        let o = Object_file.copy o in
-        stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
-        Vfs.write vfs (prefix ^ "/" ^ rel) (Vfs.Object o))
-      entry.e_objects;
-    Vfs.write vfs (prefix ^ "/.spack/spec.json")
-      (Vfs.Text (Spec.Codec.to_string ~pretty:true entry.e_spec));
-    let record = { Store.spec = entry.e_spec; prefix } in
-    Store.register store ~hash record;
-    Some (record, !stats)
+  | Some entry -> Some (install_entry store ~hash entry)

@@ -36,9 +36,23 @@ val specs : t -> Spec.Concrete.t list
 (** The concrete specs of all entries — what the concretizer sees as
     reusable. *)
 
+val install_entry :
+  Store.t -> hash:string -> entry -> Store.record * Relocate.stats
+(** Install one already-fetched entry into the store (transactionally,
+    via {!Store.begin_install}/{!Store.commit}), relocating every
+    embedded prefix from its build-time location to the target store's
+    layout. The entry's dependencies must already be installed (or
+    concurrently installable — their target prefixes are computed, not
+    read). Taking the entry by value is what lets the installer look a
+    hash up {e once} and pass the result through — no TOCTOU window —
+    and lets the mirror layer hand over fetched (and
+    integrity-verified) entries directly. *)
+
 val install_from :
   t -> Store.t -> hash:string -> (Store.record * Relocate.stats) option
-(** Copy an entry's binaries into the store, relocating every embedded
-    prefix from its build-time location to the target store's layout.
-    The entry's dependencies must already be installed (or concurrently
-    installable — their target prefixes are computed, not read). *)
+(** {!find} then {!install_entry}. *)
+
+val relative : prefix:string -> string -> string
+(** Strip [prefix ^ "/"] from a path when it is a proper directory
+    prefix; the path is returned unchanged otherwise ("/opt/foo" never
+    strips paths under "/opt/foobar"). *)

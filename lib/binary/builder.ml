@@ -49,14 +49,12 @@ let build_node_exn store ~repo ~spec ~node =
         ~embedded:[ prefix ]
         ()
     in
-    let vfs = Store.vfs store in
-    Vfs.write vfs (Store.lib_path ~prefix ~soname:obj.Object_file.soname) (Vfs.Object obj);
-    Vfs.write vfs
-      (prefix ^ "/.spack/spec.json")
-      (Vfs.Text (Spec.Codec.to_string ~pretty:true (Spec.Concrete.subdag spec node)));
-    let record = { Store.spec = Spec.Concrete.subdag spec node; prefix } in
-    Store.register store ~hash record;
-    record
+    let sub = Spec.Concrete.subdag spec node in
+    let txn = Store.begin_install store ~hash ~prefix in
+    Store.stage store txn ~rel:("lib/" ^ obj.Object_file.soname) (Vfs.Object obj);
+    Store.stage store txn ~rel:".spack/spec.json"
+      (Vfs.Text (Spec.Codec.to_string ~pretty:true sub));
+    Store.commit store txn ~spec:sub
 
 let build_node store ~repo ~spec ~node =
   Errors.guard (fun () -> build_node_exn store ~repo ~spec ~node)

@@ -3,8 +3,12 @@ type t =
   | No_object_in_prefix of { node : string; dep : string }
   | Not_installed of { name : string; hash : string }
   | Original_binary_missing of { node : string; build_hash : string }
-  | Cache_entry_vanished of { hash : string }
   | Root_not_installed
+  | Splice_arity_mismatch of
+      { node : string; replaced : string list; replacements : string list }
+  | Fetch_failed of
+      { hash : string; attempts : int; mirrors : (string * string) list }
+  | Recovery_failed of { reason : string }
 
 exception Binary_error of t
 
@@ -23,11 +27,25 @@ let to_string = function
   | Not_installed { name; hash } ->
     Printf.sprintf "%s (%s) is not installed" name (Chash.short hash)
   | Original_binary_missing { node; build_hash } ->
-    Printf.sprintf "rewire %s: original binary %s not found in store or caches"
+    Printf.sprintf "rewire %s: original binary %s not found in store, caches or mirrors"
       node (Chash.short build_hash)
-  | Cache_entry_vanished { hash } ->
-    Printf.sprintf "buildcache entry %s vanished mid-install" (Chash.short hash)
   | Root_not_installed -> "install: root not installed after walk"
+  | Splice_arity_mismatch { node; replaced; replacements } ->
+    Printf.sprintf
+      "rewire %s: splice arity mismatch — replaced [%s] vs replacements [%s]"
+      node
+      (String.concat ", " replaced)
+      (String.concat ", " replacements)
+  | Fetch_failed { hash; attempts; mirrors } ->
+    Printf.sprintf "fetch %s: failed after %d attempt(s)%s" (Chash.short hash)
+      attempts
+      (match mirrors with
+      | [] -> " (no mirrors configured)"
+      | ms ->
+        ": "
+        ^ String.concat "; "
+            (List.map (fun (m, why) -> Printf.sprintf "%s: %s" m why) ms))
+  | Recovery_failed { reason } -> Printf.sprintf "store recovery failed: %s" reason
 
 let pp fmt e = Format.pp_print_string fmt (to_string e)
 

@@ -1,5 +1,5 @@
 (** Typed failures of the binary substrate (builder, buildcache,
-    installer).
+    mirror layer, installer).
 
     Every operational error that used to surface as [Failure _] is an
     inspectable constructor, so callers — the fuzz harness above all —
@@ -14,11 +14,22 @@ type t =
   | Not_installed of { name : string; hash : string }
       (** buildcache push of a spec whose node was never installed *)
   | Original_binary_missing of { node : string; build_hash : string }
-      (** rewiring [node]: the pre-splice binary is in no store/cache *)
-  | Cache_entry_vanished of { hash : string }
-      (** a cache entry disappeared between lookup and install *)
+      (** rewiring [node]: the pre-splice binary is in no store, cache
+          or mirror, and source fallback was disabled or impossible *)
   | Root_not_installed
       (** installer invariant: the walk left the root uninstalled *)
+  | Splice_arity_mismatch of
+      { node : string; replaced : string list; replacements : string list }
+      (** rewiring [node]: the replaced link dependencies and their
+          substitutes cannot be paired one-to-one *)
+  | Fetch_failed of
+      { hash : string; attempts : int; mirrors : (string * string) list }
+      (** every configured mirror failed to deliver [hash] (per-mirror
+          final verdicts attached) and fallback to a source build was
+          disabled *)
+  | Recovery_failed of { reason : string }
+      (** {!Store.recover} met a journal or layout state it cannot
+          resolve *)
 
 exception Binary_error of t
 

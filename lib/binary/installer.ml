@@ -3,12 +3,16 @@ type report = {
   reused : string list;
   from_cache : string list;
   rewired : string list;
+  fallback_built : string list;
+  rewire_fallbacks : string list;
   reloc : Relocate.stats;
+  fetch_telemetry : Mirror.telemetry option;
   link_result : (int, Linker.error list) result;
 }
 
 (* Where an already-built binary and its build-time prefixes can be
-   found: the local store or some buildcache. *)
+   found: the local store, a directly-attached buildcache, or a fetch
+   through the mirror layer (which returns a cache entry). *)
 type source =
   | From_store of Store.record
   | From_cache of Buildcache.entry
@@ -36,9 +40,7 @@ let source_objects store = function
     Vfs.list_prefix vfs r.Store.prefix
     |> List.filter_map (fun path ->
            match Vfs.read vfs path with
-           | Some (Vfs.Object o) ->
-             let plen = String.length r.Store.prefix in
-             Some (String.sub path (plen + 1) (String.length path - plen - 1), o)
+           | Some (Vfs.Object o) -> Some (Buildcache.relative ~prefix:r.Store.prefix path, o)
            | _ -> None)
   | From_cache e -> e.Buildcache.e_objects
 
@@ -46,25 +48,25 @@ let source_objects store = function
    node's: same names pair up; the replaced dependencies are the
    leftovers, paired in name order (a splice replaces like with like —
    one substitute per replaced dependency). Build-only dependencies of
-   the original are irrelevant to the binary and are excluded. *)
-let pair_children ~old_children ~new_children =
+   the original are irrelevant to the binary and are excluded. A
+   replaced/replacement count mismatch cannot be paired meaningfully
+   and is a typed error, not a silent drop. *)
+let pair_children ~node ~old_children ~new_children =
   let link l = List.filter (fun ((_ : string), dt) -> dt.Spec.Types.link) l in
   let old_children = link old_children and new_children = link new_children in
   let olds = List.map fst old_children and news = List.map fst new_children in
   let shared = List.filter (fun c -> List.mem c news) olds in
   let only_old = List.sort String.compare (List.filter (fun c -> not (List.mem c news)) olds) in
   let only_new = List.sort String.compare (List.filter (fun c -> not (List.mem c olds)) news) in
-  let rec zip a b = match (a, b) with x :: xs, y :: ys -> (x, y) :: zip xs ys | _ -> [] in
-  List.map (fun c -> (c, c)) shared @ zip only_old only_new
+  if List.length only_old <> List.length only_new then
+    Errors.raise_error
+      (Errors.Splice_arity_mismatch
+         { node; replaced = only_old; replacements = only_new });
+  List.map (fun c -> (c, c)) shared @ List.combine only_old only_new
 
-let rewire_node store ~spec ~node ~build_hash ~caches =
+let rewire_node store ~spec ~node ~build_hash ~source =
   let n = Spec.Concrete.node spec node in
   let hash = Spec.Concrete.node_hash spec node in
-  let source =
-    match find_source store caches ~hash:build_hash with
-    | Some s -> s
-    | None -> Errors.raise_error (Errors.Original_binary_missing { node; build_hash })
-  in
   let old_spec = source_spec source in
   let old_prefix_of = source_prefix_of store source in
   let old_root = Spec.Concrete.root old_spec in
@@ -79,7 +81,7 @@ let rewire_node store ~spec ~node ~build_hash ~caches =
   let prefix =
     Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version ~hash
   in
-  let pairs = pair_children ~old_children ~new_children in
+  let pairs = pair_children ~node ~old_children ~new_children in
   let mapping =
     (match old_prefix_of build_hash with
     | Some old_self -> [ (old_self, prefix) ]
@@ -105,7 +107,8 @@ let rewire_node store ~spec ~node ~build_hash ~caches =
   let rename soname =
     match List.assoc_opt soname renames with Some s -> s | None -> soname
   in
-  let vfs = Store.vfs store in
+  let sub = Spec.Concrete.subdag spec node in
+  let txn = Store.begin_install store ~hash ~prefix in
   let stats = ref Relocate.empty_stats in
   List.iter
     (fun (rel, o) ->
@@ -116,48 +119,130 @@ let rewire_node store ~spec ~node ~build_hash ~caches =
           Object_file.needed = List.map rename o.Object_file.needed;
           imports = List.map (fun (s, surf) -> (rename s, surf)) o.Object_file.imports }
       in
-      Vfs.write vfs (prefix ^ "/" ^ rel) (Vfs.Object o))
+      Store.stage store txn ~rel (Vfs.Object o))
     (source_objects store source);
-  Vfs.write vfs (prefix ^ "/.spack/spec.json")
-    (Vfs.Text (Spec.Codec.to_string ~pretty:true (Spec.Concrete.subdag spec node)));
-  Store.register store ~hash { Store.spec = Spec.Concrete.subdag spec node; prefix };
+  Store.stage store txn ~rel:".spack/spec.json"
+    (Vfs.Text (Spec.Codec.to_string ~pretty:true sub));
+  ignore (Store.commit store txn ~spec:sub);
   !stats
 
-let install_exn store ~repo ?(caches = []) spec =
+let snapshot_telemetry g =
+  let t = Mirror.telemetry g in
+  let s = Mirror.fresh_telemetry () in
+  Mirror.add_telemetry s t;
+  s
+
+let diff_telemetry ~before ~after =
+  let open Mirror in
+  { fetched = after.fetched - before.fetched;
+    attempts = after.attempts - before.attempts;
+    retries = after.retries - before.retries;
+    failovers = after.failovers - before.failovers;
+    breaker_skips = after.breaker_skips - before.breaker_skips;
+    breaker_trips = after.breaker_trips - before.breaker_trips;
+    quarantines = after.quarantines - before.quarantines;
+    backoff_ms = after.backoff_ms -. before.backoff_ms }
+
+let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
   let built = ref [] and reused = ref [] and from_cache = ref [] and rewired = ref [] in
+  let fallback_built = ref [] and rewire_fallbacks = ref [] in
   let reloc = ref Relocate.empty_stats in
+  let committed = ref [] in
+  let tel_before = Option.map snapshot_telemetry mirrors in
   let visited = Hashtbl.create 16 in
+  let can_build name = Pkg.Repo.mem repo name in
+  let build_from_source ~node ~hash counter =
+    ignore (Builder.build_node_exn store ~repo ~spec ~node);
+    committed := hash :: !committed;
+    counter := hash :: !counter
+  in
   let rec go node =
     if not (Hashtbl.mem visited node) then begin
       Hashtbl.replace visited node ();
       List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
       let n = Spec.Concrete.node spec node in
       let hash = Spec.Concrete.node_hash spec node in
+      let rewire ~build_hash source =
+        let stats = rewire_node store ~spec ~node ~build_hash ~source in
+        committed := hash :: !committed;
+        reloc := Relocate.add_stats !reloc stats;
+        rewired := hash :: !rewired
+      in
       if Store.is_installed store ~hash then reused := hash :: !reused
       else
         match n.Spec.Concrete.build_hash with
-        | Some build_hash ->
-          let stats = rewire_node store ~spec ~node ~build_hash ~caches in
-          reloc := Relocate.add_stats !reloc stats;
-          rewired := hash :: !rewired
+        | Some build_hash -> (
+          (* A spliced node: rewire its original binary if any source
+             can deliver it; degrade to a source rebuild otherwise. *)
+          match find_source store caches ~hash:build_hash with
+          | Some source -> rewire ~build_hash source
+          | None -> (
+            let fetched =
+              match mirrors with
+              | Some g -> (
+                match Mirror.fetch_entry g ~hash:build_hash with
+                | Ok e -> Some e
+                | Error _ -> None)
+              | None -> None
+            in
+            match fetched with
+            | Some e -> rewire ~build_hash (From_cache e)
+            | None ->
+              if fallback && can_build n.Spec.Concrete.name then
+                build_from_source ~node ~hash rewire_fallbacks
+              else
+                Errors.raise_error
+                  (Errors.Original_binary_missing { node; build_hash })))
         | None -> (
-          match
-            List.find_map
-              (fun c -> if Buildcache.mem c ~hash then Some c else None)
-              caches
-          with
-          | Some cache ->
-            (match Buildcache.install_from cache store ~hash with
-            | Some (_, stats) ->
-              reloc := Relocate.add_stats !reloc stats;
-              from_cache := hash :: !from_cache
-            | None -> Errors.raise_error (Errors.Cache_entry_vanished { hash }))
-          | None ->
-            ignore (Builder.build_node_exn store ~repo ~spec ~node);
-            built := hash :: !built)
+          (* Look each cache up exactly once and install the entry we
+             found — probing with [mem] and re-querying opened a
+             vanished-entry window. *)
+          match List.find_map (fun c -> Buildcache.find c ~hash) caches with
+          | Some entry ->
+            let _, stats = Buildcache.install_entry store ~hash entry in
+            committed := hash :: !committed;
+            reloc := Relocate.add_stats !reloc stats;
+            from_cache := hash :: !from_cache
+          | None -> (
+            match mirrors with
+            | None -> build_from_source ~node ~hash built
+            | Some g -> (
+              match Mirror.fetch_entry g ~hash with
+              | Ok entry ->
+                let _, stats = Buildcache.install_entry store ~hash entry in
+                committed := hash :: !committed;
+                reloc := Relocate.add_stats !reloc stats;
+                from_cache := hash :: !from_cache
+              | Error verdicts ->
+                let authoritative_miss =
+                  verdicts <> []
+                  && List.for_all (fun (_, e) -> e = Mirror.Absent) verdicts
+                in
+                if authoritative_miss || verdicts = [] then
+                  (* a plain miss: building was always the plan *)
+                  build_from_source ~node ~hash built
+                else if fallback && can_build n.Spec.Concrete.name then
+                  build_from_source ~node ~hash fallback_built
+                else
+                  Errors.raise_error
+                    (Errors.Fetch_failed
+                       { hash;
+                         attempts = List.length verdicts;
+                         mirrors =
+                           List.map
+                             (fun (m, e) -> (m, Mirror.describe_error e))
+                             verdicts }))))
     end
   in
-  go (Spec.Concrete.root spec);
+  (try go (Spec.Concrete.root spec)
+   with Errors.Binary_error e ->
+     (* A typed failure must leave the store as it found it: drop every
+        node this plan committed and any staging residue. (A simulated
+        crash — Store.Crashed — is NOT caught: power loss cannot clean
+        up after itself; that is Store.recover's job.) *)
+     List.iter (fun h -> Store.uninstall store ~hash:h) !committed;
+     Store.cleanup_pending store;
+     Errors.raise_error e);
   let root_record =
     match Store.installed store ~hash:(Spec.Concrete.dag_hash spec) with
     | Some r -> r
@@ -171,13 +256,21 @@ let install_exn store ~repo ?(caches = []) spec =
     reused = List.rev !reused;
     from_cache = List.rev !from_cache;
     rewired = List.rev !rewired;
+    fallback_built = List.rev !fallback_built;
+    rewire_fallbacks = List.rev !rewire_fallbacks;
     reloc = !reloc;
+    fetch_telemetry =
+      (match (mirrors, tel_before) with
+      | Some g, Some before -> Some (diff_telemetry ~before ~after:(Mirror.telemetry g))
+      | _ -> None);
     link_result = Linker.load (Store.vfs store) root_obj }
 
-let install store ~repo ?caches spec =
-  Errors.guard (fun () -> install_exn store ~repo ?caches spec)
+let install store ~repo ?caches ?mirrors ?fallback spec =
+  Errors.guard (fun () -> install_exn store ~repo ?caches ?mirrors ?fallback spec)
 
 let rebuild_count r = List.length r.built
+
+let degraded_count r = List.length r.fallback_built + List.length r.rewire_fallbacks
 
 let pp_report fmt r =
   Format.fprintf fmt "built=%d reused=%d from-cache=%d rewired=%d reloc(%a) link=%s"
@@ -185,4 +278,11 @@ let pp_report fmt r =
     (List.length r.rewired) Relocate.pp_stats r.reloc
     (match r.link_result with
     | Ok n -> Printf.sprintf "ok(%d objects)" n
-    | Error es -> Printf.sprintf "FAILED(%d errors)" (List.length es))
+    | Error es -> Printf.sprintf "FAILED(%d errors)" (List.length es));
+  if degraded_count r > 0 then
+    Format.fprintf fmt " degraded(fallback-built=%d rewire-fallbacks=%d)"
+      (List.length r.fallback_built)
+      (List.length r.rewire_fallbacks);
+  match r.fetch_telemetry with
+  | Some t -> Format.fprintf fmt " mirrors(%a)" Mirror.pp_telemetry t
+  | None -> ()

@@ -6,20 +6,40 @@
       {e rewire} it (§4.2) — relocate its dependency references from
       the prefixes it was built against to the prefixes of the
       ABI-compatible substitutes — no compilation;
-    - available in a buildcache: install and relocate;
+    - available in a buildcache or fetchable from a mirror: install and
+      relocate;
     - otherwise: build from source.
 
+    With a {!Mirror.group} attached the fetch path is {e fallible} and
+    the installer degrades gracefully: transient failures retry with
+    backoff, corrupt entries are quarantined and refetched elsewhere,
+    and an entry (including a rewiring source) that no mirror can
+    deliver falls back to a source build when the repo has a recipe —
+    recorded in the report, not raised. Every node install is
+    transactional ({!Store.begin_install}/{!Store.commit}), and a typed
+    failure rolls the whole plan back, leaving the store unchanged.
+
     The report's counters are the quantities the paper's scenarios talk
-    about (zero rebuilds of dependents when splicing, etc.), and the
-    final link check runs the simulated dynamic linker over the
-    installed root. *)
+    about (zero rebuilds of dependents when splicing, etc.), plus the
+    resilience telemetry (retries, breaker trips, quarantines,
+    degradations); the final link check runs the simulated dynamic
+    linker over the installed root. *)
 
 type report = {
-  built : string list;  (** node hashes compiled from source *)
+  built : string list;  (** node hashes compiled from source, as planned *)
   reused : string list;
-  from_cache : string list;
+  from_cache : string list;  (** includes mirror-fetched entries *)
   rewired : string list;  (** spliced nodes patched without rebuilding *)
+  fallback_built : string list;
+      (** mirror faults exhausted every retry and failover; degraded to
+          a source build *)
+  rewire_fallbacks : string list;
+      (** spliced nodes whose original binary was unfetchable; rebuilt
+          from source against the new dependencies instead of rewired *)
   reloc : Relocate.stats;
+  fetch_telemetry : Mirror.telemetry option;
+      (** this install's share of the group's counters; [None] when no
+          mirrors were attached *)
   link_result : (int, Linker.error list) result;
 }
 
@@ -27,20 +47,33 @@ val install :
   Store.t ->
   repo:Pkg.Repo.t ->
   ?caches:Buildcache.t list ->
+  ?mirrors:Mirror.group ->
+  ?fallback:bool ->
   Spec.Concrete.t ->
   (report, Errors.t) result
-(** [Error] carries the typed failure (missing original binary for a
-    rewire, vanished cache entry, builder failure, ...). A failed
-    {e link} is not an error — it is reported in [link_result]. *)
+(** [Error] carries the typed failure (unfetchable entry with
+    [~fallback:false], splice arity mismatch, builder failure, ...),
+    and the store is left exactly as it was before the call. A failed
+    {e link} is not an error — it is reported in [link_result].
+    [fallback] (default [true]) controls degradation to source builds
+    when mirrors cannot deliver an entry. *)
 
 val install_exn :
   Store.t ->
   repo:Pkg.Repo.t ->
   ?caches:Buildcache.t list ->
+  ?mirrors:Mirror.group ->
+  ?fallback:bool ->
   Spec.Concrete.t ->
   report
 (** {!install}, raising {!Errors.Binary_error}. *)
 
 val rebuild_count : report -> int
+(** Planned source builds (degradations not included — see
+    {!degraded_count}). *)
+
+val degraded_count : report -> int
+(** Nodes that wanted a binary but got a source build because every
+    mirror failed: [fallback_built + rewire_fallbacks]. *)
 
 val pp_report : Format.formatter -> report -> unit

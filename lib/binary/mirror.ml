@@ -1,0 +1,458 @@
+(* A mirror fronts a buildcache behind a fallible fetch interface.
+   Faults are injected from a seeded plan — transient errors, latency,
+   sticky corruption, hard outage windows — deterministically: the same
+   plan over the same fetch sequence produces the same failures, so any
+   resilience bug reproduces from the plan alone (the fault-plan style
+   of lib/fuzz, without depending on it). *)
+
+(* ---- deterministic fault dice (splitmix64 finalizer) -------------- *)
+
+let mix z =
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let die ~seed ~salt n =
+  if n <= 0 then 0
+  else
+    let z =
+      mix
+        (Int64.add
+           (Int64.mul (Int64.of_int (seed + 1)) 0x9E3779B97F4A7C15L)
+           (Int64.of_int (Hashtbl.hash salt)))
+    in
+    Int64.to_int z land max_int mod n
+
+let hits ~seed ~salt pct = pct > 0 && die ~seed ~salt 100 < pct
+
+(* ---- injectable monotonic clock ----------------------------------- *)
+
+type clock = { mutable now_ms : float }
+
+let clock () = { now_ms = 0.0 }
+
+let now c = c.now_ms
+
+let advance c ms = if ms > 0.0 then c.now_ms <- c.now_ms +. ms
+
+(* ---- retry policy: exponential backoff + bounded jitter ----------- *)
+
+type retry_policy = {
+  max_attempts : int;  (* per mirror, >= 1 *)
+  base_delay_ms : float;
+  multiplier : float;
+  max_delay_ms : float;
+  jitter_pct : int;  (* 0..100 *)
+}
+
+let default_retry =
+  { max_attempts = 4;
+    base_delay_ms = 10.0;
+    multiplier = 2.0;
+    max_delay_ms = 1000.0;
+    jitter_pct = 25 }
+
+let nominal_delay p ~attempt =
+  let attempt = max 1 attempt in
+  min p.max_delay_ms (p.base_delay_ms *. (p.multiplier ** float_of_int (attempt - 1)))
+
+let delay p ~seed ~attempt =
+  let d = nominal_delay p ~attempt in
+  if p.jitter_pct <= 0 then d
+  else
+    (* u in [-1, 1), resolution 1/1000 *)
+    let u = (float_of_int (die ~seed ~salt:("jitter", attempt) 2000) /. 1000.0) -. 1.0 in
+    let d = d *. (1.0 +. (float_of_int p.jitter_pct /. 100.0 *. u)) in
+    max 0.0 d
+
+(* ---- circuit breaker ---------------------------------------------- *)
+
+type breaker_config = {
+  failure_threshold : int;
+  cooldown_ms : float;
+}
+
+let default_breaker = { failure_threshold = 3; cooldown_ms = 30_000.0 }
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker = {
+  b_cfg : breaker_config;
+  mutable b_state : breaker_state;
+  mutable b_failures : int;  (* consecutive, while closed *)
+  mutable b_open_until : float;
+  mutable b_trips : int;
+}
+
+let breaker ?(config = default_breaker) () =
+  { b_cfg = config; b_state = Closed; b_failures = 0; b_open_until = 0.0; b_trips = 0 }
+
+let breaker_state b = b.b_state
+
+let breaker_trips b = b.b_trips
+
+let breaker_would_allow b clk =
+  match b.b_state with
+  | Closed | Half_open -> true
+  | Open -> now clk >= b.b_open_until
+
+let breaker_allows b clk =
+  match b.b_state with
+  | Closed | Half_open -> true
+  | Open ->
+    if now clk >= b.b_open_until then begin
+      (* cooldown elapsed: let exactly one probe through *)
+      b.b_state <- Half_open;
+      true
+    end
+    else false
+
+let trip b clk =
+  b.b_state <- Open;
+  b.b_failures <- 0;
+  b.b_open_until <- now clk +. b.b_cfg.cooldown_ms;
+  b.b_trips <- b.b_trips + 1
+
+let breaker_record b clk ~ok =
+  if ok then begin
+    b.b_failures <- 0;
+    b.b_state <- Closed;
+    false
+  end
+  else
+    match b.b_state with
+    | Half_open ->
+      (* failed probe: straight back to open *)
+      trip b clk;
+      true
+    | Closed ->
+      b.b_failures <- b.b_failures + 1;
+      if b.b_failures >= b.b_cfg.failure_threshold then begin
+        trip b clk;
+        true
+      end
+      else false
+    | Open -> false
+
+(* ---- fault plans --------------------------------------------------- *)
+
+type fault_plan = {
+  fp_seed : int;
+  fp_transient_pct : int;  (* per fetch attempt *)
+  fp_corrupt_pct : int;  (* per (mirror, hash); sticky *)
+  fp_latency_ms : float;  (* added to the clock per attempt *)
+  fp_outage_after : int option;  (* hard outage from this fetch index on *)
+  fp_outage_len : int option;  (* None = forever *)
+}
+
+let no_faults =
+  { fp_seed = 0;
+    fp_transient_pct = 0;
+    fp_corrupt_pct = 0;
+    fp_latency_ms = 0.0;
+    fp_outage_after = None;
+    fp_outage_len = None }
+
+let pp_fault_plan fmt p =
+  Format.fprintf fmt "seed=%d transient=%d%% corrupt=%d%% latency=%.0fms outage=%s"
+    p.fp_seed p.fp_transient_pct p.fp_corrupt_pct p.fp_latency_ms
+    (match (p.fp_outage_after, p.fp_outage_len) with
+    | None, _ -> "none"
+    | Some a, None -> Printf.sprintf "[%d,∞)" a
+    | Some a, Some l -> Printf.sprintf "[%d,%d)" a (a + l))
+
+(* ---- fetch errors -------------------------------------------------- *)
+
+type fetch_error =
+  | Absent
+  | Transient of { attempt : int }
+  | Offline
+  | Breaker_open
+  | Corrupt of { expected : string; got : string }
+  | Quarantined
+
+let describe_error = function
+  | Absent -> "entry absent"
+  | Transient { attempt } -> Printf.sprintf "transient failure (fetch #%d)" attempt
+  | Offline -> "mirror offline"
+  | Breaker_open -> "circuit breaker open"
+  | Corrupt { expected; got } ->
+    Printf.sprintf "integrity failure (expected %s, got %s)" (Chash.short expected)
+      (Chash.short got)
+  | Quarantined -> "entry quarantined on this mirror"
+
+let pp_fetch_error fmt e = Format.pp_print_string fmt (describe_error e)
+
+(* ---- entry integrity ----------------------------------------------- *)
+
+(* Content digest over everything install-relevant in an entry: the
+   sub-DAG (spec.json text), every object's canonical rendering, and
+   the recorded build-time prefixes. Computed from the mirror's pristine
+   copy at serve time — the stand-in for the checksum in a signed cache
+   index — and recomputed on the delivered payload by the client. *)
+let entry_digest (e : Buildcache.entry) =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b (Spec.Codec.to_string e.Buildcache.e_spec);
+  List.iter
+    (fun (rel, o) ->
+      Buffer.add_string b "\nobj ";
+      Buffer.add_string b rel;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (Object_file.canonical o))
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) e.Buildcache.e_objects);
+  List.iter
+    (fun (h, p) ->
+      Buffer.add_string b (Printf.sprintf "\nprefix %s %s" h p))
+    (List.sort compare e.Buildcache.e_prefixes);
+  Chash.hash_string (Buffer.contents b)
+
+(* ---- a single mirror ----------------------------------------------- *)
+
+type t = {
+  m_name : string;
+  m_cache : Buildcache.t;
+  m_faults : fault_plan;
+  m_breaker : breaker;
+  m_quarantine : (string, unit) Hashtbl.t;
+  m_digests : (string, string) Hashtbl.t;  (* memoized trusted index *)
+  mutable m_fetches : int;
+}
+
+let create ?(faults = no_faults) ?breaker_config ~name cache =
+  { m_name = name;
+    m_cache = cache;
+    m_faults = faults;
+    m_breaker = breaker ?config:breaker_config ();
+    m_quarantine = Hashtbl.create 8;
+    m_digests = Hashtbl.create 32;
+    m_fetches = 0 }
+
+let name m = m.m_name
+
+let breaker_of m = m.m_breaker
+
+let fetch_count m = m.m_fetches
+
+let quarantined m = Hashtbl.fold (fun h () acc -> h :: acc) m.m_quarantine []
+
+let in_outage m n =
+  match m.m_faults.fp_outage_after with
+  | None -> false
+  | Some after -> (
+    n > after
+    && match m.m_faults.fp_outage_len with None -> true | Some l -> n <= after + l)
+
+let trusted_digest m ~hash entry =
+  match Hashtbl.find_opt m.m_digests hash with
+  | Some d -> d
+  | None ->
+    let d = entry_digest entry in
+    Hashtbl.replace m.m_digests hash d;
+    d
+
+(* Deterministic payload damage: which way an entry is corrupted is a
+   function of (seed, mirror, hash), so a corrupted mirror serves the
+   same bad bytes every time — exactly why quarantining beats retrying
+   the same mirror. *)
+let corrupt_copy m ~hash (e : Buildcache.entry) =
+  let objects =
+    List.map (fun (r, o) -> (r, Object_file.copy o)) e.Buildcache.e_objects
+  in
+  let drop_last l = match List.rev l with [] -> [] | _ :: tl -> List.rev tl in
+  match die ~seed:m.m_faults.fp_seed ~salt:("cmode", m.m_name, hash) 3 with
+  | 0 ->
+    (* truncated payload *)
+    { e with Buildcache.e_objects = drop_last objects }
+  | 1 -> (
+    (* flipped bits in an embedded path *)
+    match objects with
+    | (r, o) :: rest ->
+      (match (o.Object_file.embedded, o.Object_file.rpaths) with
+      | s :: _, _ | [], s :: _ ->
+        s.Object_file.path <- s.Object_file.path ^ "\x00corrupt";
+        { e with Buildcache.e_objects = (r, o) :: rest }
+      | [], [] -> { e with Buildcache.e_objects = drop_last objects })
+    | [] -> e)
+  | _ ->
+    (* tampered relocation metadata *)
+    { e with
+      Buildcache.e_objects = objects;
+      e_prefixes =
+        List.map (fun (h, p) -> (h, p ^ "/tampered")) e.Buildcache.e_prefixes }
+
+let fetch m clk ~hash =
+  m.m_fetches <- m.m_fetches + 1;
+  let n = m.m_fetches in
+  advance clk m.m_faults.fp_latency_ms;
+  if in_outage m n then Error Offline
+  else if Hashtbl.mem m.m_quarantine hash then Error Quarantined
+  else if
+    hits ~seed:m.m_faults.fp_seed ~salt:("transient", m.m_name, n)
+      m.m_faults.fp_transient_pct
+  then Error (Transient { attempt = n })
+  else
+    match Buildcache.find m.m_cache ~hash with
+    | None -> Error Absent
+    | Some entry ->
+      let expected = trusted_digest m ~hash entry in
+      let delivered =
+        if
+          hits ~seed:m.m_faults.fp_seed ~salt:("corrupt", m.m_name, hash)
+            m.m_faults.fp_corrupt_pct
+        then corrupt_copy m ~hash entry
+        else entry
+      in
+      let got = entry_digest delivered in
+      if
+        String.equal got expected
+        && String.equal (Spec.Concrete.dag_hash delivered.Buildcache.e_spec) hash
+      then Ok delivered
+      else begin
+        Hashtbl.replace m.m_quarantine hash ();
+        Error (Corrupt { expected; got })
+      end
+
+(* ---- mirror groups: retry, failover, telemetry --------------------- *)
+
+type telemetry = {
+  mutable fetched : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable breaker_skips : int;
+  mutable breaker_trips : int;
+  mutable quarantines : int;
+  mutable backoff_ms : float;
+}
+
+let fresh_telemetry () =
+  { fetched = 0;
+    attempts = 0;
+    retries = 0;
+    failovers = 0;
+    breaker_skips = 0;
+    breaker_trips = 0;
+    quarantines = 0;
+    backoff_ms = 0.0 }
+
+let add_telemetry a b =
+  a.fetched <- a.fetched + b.fetched;
+  a.attempts <- a.attempts + b.attempts;
+  a.retries <- a.retries + b.retries;
+  a.failovers <- a.failovers + b.failovers;
+  a.breaker_skips <- a.breaker_skips + b.breaker_skips;
+  a.breaker_trips <- a.breaker_trips + b.breaker_trips;
+  a.quarantines <- a.quarantines + b.quarantines;
+  a.backoff_ms <- a.backoff_ms +. b.backoff_ms
+
+let pp_telemetry fmt t =
+  Format.fprintf fmt
+    "fetched=%d attempts=%d retries=%d failovers=%d breaker(skips=%d trips=%d) quarantined=%d backoff=%.0fms"
+    t.fetched t.attempts t.retries t.failovers t.breaker_skips t.breaker_trips
+    t.quarantines t.backoff_ms
+
+type group = {
+  g_mirrors : t list;
+  g_policy : retry_policy;
+  g_clock : clock;
+  g_tel : telemetry;
+}
+
+let group ?(policy = default_retry) ?clock:(clk = clock ()) mirrors =
+  { g_mirrors = mirrors; g_policy = policy; g_clock = clk; g_tel = fresh_telemetry () }
+
+let mirrors g = g.g_mirrors
+
+let telemetry g = g.g_tel
+
+let group_clock g = g.g_clock
+
+(* Fetch [hash] with per-mirror retry/backoff and ordered failover.
+   Absent is a healthy answer (resets the breaker); transient failures
+   retry with backoff on the same mirror until the policy or the
+   breaker says stop; corruption quarantines and fails over; outages
+   and open breakers fail over immediately. *)
+let fetch_entry g ~hash =
+  let tel = g.g_tel in
+  let verdicts = ref [] in
+  let record_verdict m err = verdicts := (m.m_name, err) :: !verdicts in
+  let rec try_mirrors = function
+    | [] -> Error (List.rev !verdicts)
+    | m :: rest ->
+      let next_after err =
+        record_verdict m err;
+        (match err with Absent -> () | _ -> if rest <> [] then tel.failovers <- tel.failovers + 1);
+        try_mirrors rest
+      in
+      if not (breaker_allows m.m_breaker g.g_clock) then begin
+        tel.breaker_skips <- tel.breaker_skips + 1;
+        next_after Breaker_open
+      end
+      else
+        let rec attempt a =
+          tel.attempts <- tel.attempts + 1;
+          match fetch m g.g_clock ~hash with
+          | Ok e ->
+            ignore (breaker_record m.m_breaker g.g_clock ~ok:true);
+            tel.fetched <- tel.fetched + 1;
+            Ok e
+          | Error Absent ->
+            (* the mirror answered authoritatively: not a fault *)
+            ignore (breaker_record m.m_breaker g.g_clock ~ok:true);
+            next_after Absent
+          | Error Quarantined -> next_after Quarantined
+          | Error (Transient _ as err) ->
+            if breaker_record m.m_breaker g.g_clock ~ok:false then
+              tel.breaker_trips <- tel.breaker_trips + 1;
+            if a < g.g_policy.max_attempts && breaker_would_allow m.m_breaker g.g_clock
+            then begin
+              let d =
+                delay g.g_policy ~seed:(m.m_faults.fp_seed + Hashtbl.hash hash)
+                  ~attempt:a
+              in
+              advance g.g_clock d;
+              tel.retries <- tel.retries + 1;
+              tel.backoff_ms <- tel.backoff_ms +. d;
+              attempt (a + 1)
+            end
+            else next_after err
+          | Error (Corrupt _ as err) ->
+            (* sticky: the same mirror would serve the same bad bytes *)
+            tel.quarantines <- tel.quarantines + 1;
+            if breaker_record m.m_breaker g.g_clock ~ok:false then
+              tel.breaker_trips <- tel.breaker_trips + 1;
+            next_after err
+          | Error (Offline as err) ->
+            if breaker_record m.m_breaker g.g_clock ~ok:false then
+              tel.breaker_trips <- tel.breaker_trips + 1;
+            next_after err
+          | Error Breaker_open -> next_after Breaker_open
+        in
+        attempt 1
+  in
+  try_mirrors g.g_mirrors
+
+(* What the concretizer may treat as reusable right now: the entries of
+   every mirror that is currently reachable — breaker not open, not in
+   an outage window. Degraded solves see degraded metadata. *)
+let reachable_specs g =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun m ->
+      if breaker_would_allow m.m_breaker g.g_clock && not (in_outage m (m.m_fetches + 1))
+      then
+        List.filter
+          (fun s ->
+            let h = Spec.Concrete.dag_hash s in
+            if Hashtbl.mem seen h then false
+            else begin
+              Hashtbl.replace seen h ();
+              true
+            end)
+          (Buildcache.specs m.m_cache)
+      else [])
+    g.g_mirrors

@@ -1,0 +1,182 @@
+(** Mirrors: fallible, fault-injected fronts over buildcaches.
+
+    Production package managers treat mirror failure as the common
+    case: fetches time out, payloads arrive truncated or corrupted,
+    whole mirrors disappear for minutes. This module fronts one or more
+    {!Buildcache}s behind a fetch interface that can fail in all those
+    ways — deterministically, from a seeded {!fault_plan} — and layers
+    the client-side machinery that makes the install path survive them:
+
+    - a configurable {!retry_policy} (exponential backoff + bounded
+      jitter) over an injectable monotonic {!clock};
+    - a per-mirror circuit {!breaker} (closed → open after N
+      consecutive failures → half-open probe);
+    - ordered failover across the mirrors of a {!group};
+    - end-to-end integrity: every delivered entry is re-hashed with
+      {!Chash} against the trusted index digest {e and} its sub-DAG's
+      Merkle hash; corrupted entries are quarantined per-mirror and
+      refetched elsewhere. *)
+
+(** {1 Injectable clock} *)
+
+type clock
+
+val clock : unit -> clock
+(** A fresh simulated monotonic clock at 0 ms. *)
+
+val now : clock -> float
+
+val advance : clock -> float -> unit
+(** Sleeping is advancing: backoff delays move this clock, never the
+    wall clock, so tests and fuzzing run at full speed. *)
+
+(** {1 Retry policy} *)
+
+type retry_policy = {
+  max_attempts : int;  (** attempts per mirror before failing over, >= 1 *)
+  base_delay_ms : float;
+  multiplier : float;
+  max_delay_ms : float;
+  jitter_pct : int;  (** each delay is nominal ± this percentage *)
+}
+
+val default_retry : retry_policy
+(** 4 attempts, 10ms base, ×2, 1s cap, ±25% jitter. *)
+
+val nominal_delay : retry_policy -> attempt:int -> float
+(** [min max_delay (base * multiplier^(attempt-1))] — monotone
+    nondecreasing in [attempt], capped. *)
+
+val delay : retry_policy -> seed:int -> attempt:int -> float
+(** {!nominal_delay} with deterministic jitter: within
+    [±jitter_pct/100] of nominal, never negative, and a pure function
+    of [(seed, attempt)]. *)
+
+(** {1 Circuit breaker} *)
+
+type breaker_config = {
+  failure_threshold : int;  (** consecutive failures that trip it *)
+  cooldown_ms : float;  (** open duration before a half-open probe *)
+}
+
+val default_breaker : breaker_config
+(** 3 failures, 30s cooldown. *)
+
+type breaker_state = Closed | Open | Half_open
+
+type breaker
+
+val breaker : ?config:breaker_config -> unit -> breaker
+
+val breaker_state : breaker -> breaker_state
+
+val breaker_trips : breaker -> int
+
+val breaker_allows : breaker -> clock -> bool
+(** May a request go through now? An [Open] breaker whose cooldown has
+    elapsed transitions to [Half_open] and admits exactly the probe. *)
+
+val breaker_would_allow : breaker -> clock -> bool
+(** {!breaker_allows} without the state transition (pure query). *)
+
+val breaker_record : breaker -> clock -> ok:bool -> bool
+(** Feed an outcome. Success closes the breaker and clears the failure
+    count; failure increments it, tripping to [Open] at the threshold —
+    and a failed [Half_open] probe re-opens immediately. Returns [true]
+    iff this call tripped the breaker. *)
+
+(** {1 Fault plans} *)
+
+type fault_plan = {
+  fp_seed : int;
+  fp_transient_pct : int;  (** chance each fetch attempt fails transiently *)
+  fp_corrupt_pct : int;  (** chance a given (mirror, hash) serves corrupted
+                             bytes — sticky, the realistic bad-blob case *)
+  fp_latency_ms : float;  (** clock advance per fetch attempt *)
+  fp_outage_after : int option;  (** hard outage starting after this many fetches *)
+  fp_outage_len : int option;  (** outage length in fetches; [None] = forever *)
+}
+
+val no_faults : fault_plan
+
+val pp_fault_plan : Format.formatter -> fault_plan -> unit
+
+(** {1 Fetching} *)
+
+type fetch_error =
+  | Absent  (** authoritative miss — not a fault *)
+  | Transient of { attempt : int }
+  | Offline
+  | Breaker_open
+  | Corrupt of { expected : string; got : string }
+  | Quarantined
+
+val describe_error : fetch_error -> string
+
+val pp_fetch_error : Format.formatter -> fetch_error -> unit
+
+type t
+
+val create : ?faults:fault_plan -> ?breaker_config:breaker_config -> name:string -> Buildcache.t -> t
+
+val name : t -> string
+
+val breaker_of : t -> breaker
+
+val fetch_count : t -> int
+
+val quarantined : t -> string list
+(** Hashes this mirror has served corrupt and will no longer be asked
+    for. *)
+
+val entry_digest : Buildcache.entry -> string
+(** Canonical content digest of an entry (spec text, objects via
+    {!Object_file.canonical}, build-time prefixes) — what the trusted
+    index records and the client recomputes on delivery. *)
+
+val fetch : t -> clock -> hash:string -> (Buildcache.entry, fetch_error) result
+(** One fetch attempt against one mirror, faults and integrity check
+    included. A delivered entry failing verification is quarantined
+    here and reported as [Corrupt]. *)
+
+(** {1 Mirror groups} *)
+
+type telemetry = {
+  mutable fetched : int;
+  mutable attempts : int;
+  mutable retries : int;
+  mutable failovers : int;
+  mutable breaker_skips : int;
+  mutable breaker_trips : int;
+  mutable quarantines : int;
+  mutable backoff_ms : float;
+}
+
+val fresh_telemetry : unit -> telemetry
+
+val add_telemetry : telemetry -> telemetry -> unit
+
+val pp_telemetry : Format.formatter -> telemetry -> unit
+
+type group
+
+val group : ?policy:retry_policy -> ?clock:clock -> t list -> group
+(** Ordered failover across [t list]; all fetches share the policy,
+    the clock and a telemetry accumulator. *)
+
+val mirrors : group -> t list
+
+val telemetry : group -> telemetry
+
+val group_clock : group -> clock
+
+val fetch_entry :
+  group -> hash:string -> (Buildcache.entry, (string * fetch_error) list) result
+(** Fetch with retry, backoff, breaker gating and ordered failover.
+    [Error] carries each mirror's final verdict, in consultation
+    order. *)
+
+val reachable_specs : group -> Spec.Concrete.t list
+(** The deduplicated concrete specs of every {e currently reachable}
+    mirror (breaker not open, not in an outage window) — what a
+    degraded concretization may treat as reusable. *)

@@ -29,6 +29,35 @@ let copy t =
 
 let rpath_dirs t = List.map (fun s -> s.path) t.rpaths
 
+(* Canonical semantic rendering: everything that affects load-time
+   behaviour, excluding slot capacities (an in-place patch and a
+   patchelf-style grow of the same path are the same binary to the
+   linker). Used for integrity digests and store fingerprints. *)
+let canonical t =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let surface (s : Abi.surface) =
+    List.iter
+      (fun (sym : Abi.symbol) -> add "s %s %s\n" sym.Abi.mangled sym.Abi.sig_digest)
+      s.Abi.symbols;
+    List.iter
+      (fun (l : Abi.layout) ->
+        add "l %s %b %d %s\n" l.Abi.type_name l.Abi.opaque l.Abi.size l.Abi.repr)
+      s.Abi.layouts
+  in
+  add "soname %s\n" t.soname;
+  add "exports\n";
+  surface t.exports;
+  List.iter
+    (fun (n, s) ->
+      add "import %s\n" n;
+      surface s)
+    t.imports;
+  List.iter (fun n -> add "needed %s\n" n) t.needed;
+  List.iter (fun s -> add "rpath %s\n" s.path) t.rpaths;
+  List.iter (fun s -> add "embedded %s\n" s.path) t.embedded;
+  Buffer.contents b
+
 let pp fmt t =
   Format.fprintf fmt "SONAME %s@." t.soname;
   List.iter (fun n -> Format.fprintf fmt "NEEDED %s@." n) t.needed;

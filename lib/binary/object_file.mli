@@ -40,4 +40,10 @@ val copy : t -> t
 
 val rpath_dirs : t -> string list
 
+val canonical : t -> string
+(** Canonical semantic rendering — soname, surfaces, NEEDED, and path
+    {e strings} but not slot capacities (an in-place patch and a grown
+    slot holding the same path are the same binary to the linker).
+    The basis for mirror integrity digests and store fingerprints. *)
+
 val pp : Format.formatter -> t -> unit

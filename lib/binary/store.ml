@@ -7,13 +7,32 @@ type t = {
   root : string;
   vfs : Vfs.t;
   by_hash : (string, record) Hashtbl.t;
+  mutable write_count : int;
+  mutable crash_after : int option;
 }
 
-let create ~root vfs = { root; vfs; by_hash = Hashtbl.create 64 }
+exception Crashed of string
+
+let create ~root vfs =
+  { root; vfs; by_hash = Hashtbl.create 64; write_count = 0; crash_after = None }
 
 let root t = t.root
 
 let vfs t = t.vfs
+
+let write_count t = t.write_count
+
+let set_crash_after t n = t.crash_after <- n
+
+(* Every store-mediated mutation passes through here. A configured
+   crash point fires BEFORE the write it would have been, so the states
+   between every pair of consecutive mutations are all reachable by
+   sweeping [crash_after]. *)
+let tick t what =
+  (match t.crash_after with
+  | Some n when t.write_count >= n -> raise (Crashed what)
+  | _ -> ());
+  t.write_count <- t.write_count + 1
 
 let prefix_for t ~name ~version ~hash =
   Printf.sprintf "%s/%s-%s-%s" t.root name (Vers.Version.to_string version)
@@ -39,3 +58,197 @@ let uninstall t ~hash =
 let soname_of name = "lib" ^ name ^ ".so"
 
 let lib_path ~prefix ~soname = prefix ^ "/lib/" ^ soname
+
+(* ---- transactional installs ---------------------------------------
+
+   Each node's files are staged under <root>/.staging/<hash>/ with a
+   write-ahead journal entry at <root>/.journal/<hash>; commit copies
+   the staged files to their final prefix one by one (idempotent
+   replays) and only then drops the journal entry. A crash at any
+   mutation leaves a journal that {!recover} can resolve: entries still
+   [staged] roll back, entries that reached [committing] roll
+   forward. *)
+
+let journal_dir root = root ^ "/.journal"
+
+let staging_dir root = root ^ "/.staging"
+
+let journal_path root hash = journal_dir root ^ "/" ^ hash
+
+type txn = {
+  tx_hash : string;
+  tx_prefix : string;
+  tx_staging : string;
+  mutable tx_files : string list;  (* rel paths, newest first *)
+}
+
+let txn_prefix tx = tx.tx_prefix
+
+let journal_text state ~prefix ~staging =
+  Printf.sprintf "%s\n%s\n%s\n" state prefix staging
+
+let parse_journal text =
+  match String.split_on_char '\n' text with
+  | state :: prefix :: staging :: _ -> Some (state, prefix, staging)
+  | _ -> None
+
+let begin_install t ~hash ~prefix =
+  let staging = staging_dir t.root ^ "/" ^ hash in
+  tick t ("journal begin " ^ Chash.short hash);
+  Vfs.write t.vfs (journal_path t.root hash)
+    (Vfs.Text (journal_text "staged" ~prefix ~staging));
+  { tx_hash = hash; tx_prefix = prefix; tx_staging = staging; tx_files = [] }
+
+let stage t tx ~rel file =
+  tick t ("stage " ^ rel);
+  Vfs.write t.vfs (tx.tx_staging ^ "/" ^ rel) file;
+  tx.tx_files <- rel :: tx.tx_files
+
+let commit t tx ~spec =
+  tick t ("journal committing " ^ Chash.short tx.tx_hash);
+  Vfs.write t.vfs (journal_path t.root tx.tx_hash)
+    (Vfs.Text (journal_text "committing" ~prefix:tx.tx_prefix ~staging:tx.tx_staging));
+  List.iter
+    (fun rel ->
+      match Vfs.read t.vfs (tx.tx_staging ^ "/" ^ rel) with
+      | None -> ()
+      | Some file ->
+        tick t ("publish " ^ rel);
+        Vfs.write t.vfs (tx.tx_prefix ^ "/" ^ rel) file;
+        tick t ("unstage " ^ rel);
+        Vfs.remove t.vfs (tx.tx_staging ^ "/" ^ rel))
+    (List.rev tx.tx_files);
+  tick t ("journal commit " ^ Chash.short tx.tx_hash);
+  Vfs.remove t.vfs (journal_path t.root tx.tx_hash);
+  let record = { spec; prefix = tx.tx_prefix } in
+  register t ~hash:tx.tx_hash record;
+  record
+
+let abort t tx =
+  ignore (Vfs.remove_prefix t.vfs tx.tx_staging);
+  Vfs.remove t.vfs (journal_path t.root tx.tx_hash)
+
+(* Resolve every outstanding journal entry against the VFS. Pure
+   repair: no crash ticks (this is the post-reboot path). Returns
+   (rolled_back, rolled_forward) hashes. *)
+let resolve_journal vfs ~root =
+  let entries = Vfs.list_prefix vfs (journal_dir root) in
+  let rolled_back = ref [] and rolled_forward = ref [] in
+  List.iter
+    (fun jpath ->
+      let hash =
+        let dir = journal_dir root ^ "/" in
+        String.sub jpath (String.length dir) (String.length jpath - String.length dir)
+      in
+      match Vfs.read vfs jpath with
+      | Some (Vfs.Text text) -> (
+        match parse_journal text with
+        | Some ("staged", _prefix, staging) ->
+          (* Never reached commit: the final prefix is untouched. *)
+          ignore (Vfs.remove_prefix vfs staging);
+          Vfs.remove vfs jpath;
+          rolled_back := hash :: !rolled_back
+        | Some ("committing", prefix, staging) ->
+          (* Replay the interrupted publish: every file still in
+             staging is copied over (idempotent) and dropped. *)
+          List.iter
+            (fun spath ->
+              let rel =
+                let sdir = staging ^ "/" in
+                String.sub spath (String.length sdir)
+                  (String.length spath - String.length sdir)
+              in
+              (match Vfs.read vfs spath with
+              | Some file -> Vfs.write vfs (prefix ^ "/" ^ rel) file
+              | None -> ());
+              Vfs.remove vfs spath)
+            (Vfs.list_prefix vfs staging);
+          Vfs.remove vfs jpath;
+          rolled_forward := hash :: !rolled_forward
+        | Some (state, _, _) ->
+          Errors.raise_error
+            (Errors.Recovery_failed
+               { reason = Printf.sprintf "journal %s: unknown state %S" hash state })
+        | None ->
+          Errors.raise_error
+            (Errors.Recovery_failed
+               { reason = Printf.sprintf "journal %s: unparseable entry" hash }))
+      | Some (Vfs.Object _) | None ->
+        Errors.raise_error
+          (Errors.Recovery_failed
+             { reason = Printf.sprintf "journal %s: entry is not text" hash }))
+    entries;
+  (List.sort String.compare !rolled_back, List.sort String.compare !rolled_forward)
+
+let cleanup_pending t = ignore (resolve_journal t.vfs ~root:t.root)
+
+type recovery = {
+  rolled_back : string list;
+  rolled_forward : string list;
+  reregistered : int;
+}
+
+let spec_json_suffix = "/.spack/spec.json"
+
+let recover ~root vfs =
+  let rolled_back, rolled_forward = resolve_journal vfs ~root in
+  let t = create ~root vfs in
+  let suffix_len = String.length spec_json_suffix in
+  let staging = staging_dir root ^ "/" in
+  List.iter
+    (fun path ->
+      let plen = String.length path in
+      if
+        plen > suffix_len
+        && String.sub path (plen - suffix_len) suffix_len = spec_json_suffix
+        && not (String.length path >= String.length staging
+                && String.sub path 0 (String.length staging) = staging)
+      then
+        match Vfs.read vfs path with
+        | Some (Vfs.Text text) -> (
+          match Spec.Codec.of_string text with
+          | exception _ ->
+            Errors.raise_error
+              (Errors.Recovery_failed
+                 { reason = Printf.sprintf "unreadable spec.json at %s" path })
+          | spec ->
+            let prefix = String.sub path 0 (plen - suffix_len) in
+            register t ~hash:(Spec.Concrete.dag_hash spec) { spec; prefix })
+        | _ -> ())
+    (Vfs.list_prefix vfs root);
+  ( t,
+    { rolled_back; rolled_forward; reregistered = Hashtbl.length t.by_hash } )
+
+let pp_recovery fmt r =
+  Format.fprintf fmt "recovered: %d record(s), %d rolled back, %d rolled forward"
+    r.reregistered
+    (List.length r.rolled_back)
+    (List.length r.rolled_forward)
+
+(* ---- fingerprint --------------------------------------------------- *)
+
+let fingerprint t =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun path ->
+      let skip prefix =
+        String.length path >= String.length prefix
+        && String.sub path 0 (String.length prefix) = prefix
+      in
+      if not (skip (journal_dir t.root ^ "/") || skip (staging_dir t.root ^ "/"))
+      then begin
+        Buffer.add_string b path;
+        Buffer.add_char b '\n';
+        match Vfs.read t.vfs path with
+        | Some (Vfs.Text s) ->
+          Buffer.add_string b "text\n";
+          Buffer.add_string b s;
+          Buffer.add_char b '\n'
+        | Some (Vfs.Object o) ->
+          Buffer.add_string b "object\n";
+          Buffer.add_string b (Object_file.canonical o);
+          Buffer.add_char b '\n'
+        | None -> ()
+      end)
+    (Vfs.list_prefix t.vfs t.root);
+  Chash.hash_string (Buffer.contents b)

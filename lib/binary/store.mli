@@ -1,8 +1,18 @@
-(** Content-addressed install store.
+(** Content-addressed install store with transactional installs.
 
     Every installed spec node gets a prefix
     [<root>/<name>-<version>-<hash7>] derived from its sub-DAG hash, so
-    ABI-distinct builds never collide and reuse is a hash lookup. *)
+    ABI-distinct builds never collide and reuse is a hash lookup.
+
+    Writers never touch a final prefix directly: files are staged under
+    [<root>/.staging/<hash>/] with a write-ahead journal entry at
+    [<root>/.journal/<hash>], and {!commit} publishes them with
+    idempotent copy-then-drop steps. A crash at any point (simulated by
+    {!set_crash_after}) leaves a journal that {!recover} resolves —
+    entries that never reached commit roll back, interrupted commits
+    roll forward — and the registry itself is rebuilt from the
+    [.spack/spec.json] files on disk, so the store survives losing all
+    in-memory state. *)
 
 type record = {
   spec : Spec.Concrete.t;  (** the sub-DAG rooted at the installed node *)
@@ -10,6 +20,12 @@ type record = {
 }
 
 type t
+
+exception Crashed of string
+(** Simulated power loss: raised by a store-mediated mutation when the
+    configured crash point is reached. Deliberately NOT an
+    {!Errors.Binary_error} — a crashed process cannot return a typed
+    result; the caller's only recourse is {!recover}. *)
 
 val create : root:string -> Vfs.t -> t
 
@@ -20,6 +36,8 @@ val vfs : t -> Vfs.t
 val prefix_for : t -> name:string -> version:Vers.Version.t -> hash:string -> string
 
 val register : t -> hash:string -> record -> unit
+(** In-memory registration only; durable state comes from the staged
+    [.spack/spec.json] files. Exposed for {!recover} and tests. *)
 
 val installed : t -> hash:string -> record option
 
@@ -36,3 +54,65 @@ val lib_path : prefix:string -> soname:string -> string
 
 val soname_of : string -> string
 (** [soname_of "zlib"] = ["libzlib.so"]. *)
+
+(** {1 Transactions} *)
+
+type txn
+
+val begin_install : t -> hash:string -> prefix:string -> txn
+(** Open a staged install of [hash] destined for [prefix]: appends a
+    [staged] journal entry and returns the transaction handle. *)
+
+val txn_prefix : txn -> string
+(** The {e final} prefix — writers compute embedded paths against it,
+    while the bytes land in staging until {!commit}. *)
+
+val stage : t -> txn -> rel:string -> Vfs.file -> unit
+(** Write one file (path relative to the final prefix) into the
+    transaction's staging area. *)
+
+val commit : t -> txn -> spec:Spec.Concrete.t -> record
+(** Mark the journal [committing], publish every staged file to the
+    final prefix (idempotent copy-then-drop per file), clear the
+    journal entry and register the record. *)
+
+val abort : t -> txn -> unit
+(** Drop the staging area and journal entry; the final prefix is
+    untouched. *)
+
+val cleanup_pending : t -> unit
+(** Resolve any outstanding journal entries on a {e live} store (used
+    when an install fails typed mid-plan and must leave no staging
+    residue). Crash injection does not fire here. *)
+
+(** {1 Crash injection and recovery} *)
+
+val write_count : t -> int
+(** Store-mediated mutations so far — the coordinate system for crash
+    points. *)
+
+val set_crash_after : t -> int option -> unit
+(** [set_crash_after t (Some n)] makes the mutation that would be
+    number [n+1] raise {!Crashed} instead (so [Some 0] crashes before
+    any write). [None] disables. *)
+
+type recovery = {
+  rolled_back : string list;  (** staged-only hashes whose residue was dropped *)
+  rolled_forward : string list;  (** interrupted commits replayed to completion *)
+  reregistered : int;  (** records rebuilt from on-disk spec.json files *)
+}
+
+val recover : root:string -> Vfs.t -> t * recovery
+(** Rebuild a store from what survived on the VFS: resolve the journal
+    (roll back / roll forward), then re-register every prefix carrying
+    a parseable [.spack/spec.json].
+    @raise Errors.Binary_error ([Recovery_failed _]) on an unreadable
+    journal or spec file. *)
+
+val pp_recovery : Format.formatter -> recovery -> unit
+
+val fingerprint : t -> string
+(** Digest of the store's semantic content: every path under the root
+    (journal and staging excluded) with text files verbatim and objects
+    via {!Object_file.canonical}. Two stores converge iff their
+    fingerprints match — the fuzz oracle's equality. *)

@@ -2,6 +2,7 @@ type options = {
   encoding : Encode.encoding;
   splicing : bool;
   reuse : Spec.Concrete.t list;
+  mirrors : Binary.Mirror.group option;
   host_os : string;
   host_target : string;
   certify : bool;
@@ -11,9 +12,27 @@ let default_options =
   { encoding = Encode.Hash_attr;
     splicing = false;
     reuse = [];
+    mirrors = None;
     host_os = "linux";
     host_target = "x86_64";
     certify = false }
+
+(* The reusable pool a degraded solve actually sees: the explicit specs
+   plus whatever the reachable mirrors index right now (deduplicated by
+   DAG hash, explicit specs winning). An unreachable mirror simply
+   contributes nothing — the solve proceeds over partial metadata. *)
+let effective_reuse options =
+  match options.mirrors with
+  | None -> options.reuse
+  | Some g ->
+    let seen = Hashtbl.create 64 in
+    List.iter
+      (fun s -> Hashtbl.replace seen (Spec.Concrete.dag_hash s) ())
+      options.reuse;
+    options.reuse
+    @ List.filter
+        (fun s -> not (Hashtbl.mem seen (Spec.Concrete.dag_hash s)))
+        (Binary.Mirror.reachable_specs g)
 
 type stats = {
   ground_atoms : int;
@@ -80,8 +99,8 @@ let concretize_v ~repo ?(options = default_options) requests =
   let t0 = now () in
   let encoded =
     Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
-      ~reuse:options.reuse ~host_os:options.host_os ~host_target:options.host_target
-      requests
+      ~reuse:(effective_reuse options) ~host_os:options.host_os
+      ~host_target:options.host_target requests
   in
   let program_text =
     Program.assemble ~encoding:options.encoding ~splicing:options.splicing

@@ -16,6 +16,10 @@ type options = {
   encoding : Encode.encoding;
   splicing : bool;
   reuse : Spec.Concrete.t list;
+  mirrors : Binary.Mirror.group option;
+      (** mirror layer to pull additional reusable specs from: only the
+          {e currently reachable} mirrors contribute (degraded solves
+          run over whatever metadata is reachable) *)
   host_os : string;
   host_target : string;
   certify : bool;
@@ -24,8 +28,8 @@ type options = {
 }
 
 val default_options : options
-(** hash_attr encoding, splicing off, no reuse, linux/x86_64 host,
-    certification off. *)
+(** hash_attr encoding, splicing off, no reuse, no mirrors,
+    linux/x86_64 host, certification off. *)
 
 type stats = {
   ground_atoms : int;

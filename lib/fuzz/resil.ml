@@ -1,0 +1,293 @@
+(* Resilience oracle: install through the fault-injected mirror layer
+   and demand that nothing semantic ever depends on the weather.
+
+   For every generated universe and seeded fault plan:
+
+   - with fallback enabled, [Installer.install] over faulty mirrors
+     must succeed and produce a store whose {!Binary.Store.fingerprint}
+     is byte-identical to the fault-free run's (degrading to source
+     builds is allowed; diverging is not), with the root still linking
+     whenever the fault-free root linked;
+   - with fallback disabled, it must either converge identically or
+     fail with a typed {!Binary.Errors.t} leaving the store with the
+     empty fingerprint (untouched);
+   - with a crash injected at an arbitrary store mutation,
+     {!Binary.Store.recover} must resolve the journal completely
+     (no staging or journal residue), and resuming the install on the
+     recovered store must converge to the fault-free fingerprint. *)
+
+type plan = {
+  pl_mirrors : (string * Binary.Mirror.fault_plan) list;
+  pl_crash_at : int;  (* reduced mod the run's write count at use *)
+}
+
+let pp_plan fmt p =
+  List.iter
+    (fun (name, fp) ->
+      Format.fprintf fmt "%s: %a@." name Binary.Mirror.pp_fault_plan fp)
+    p.pl_mirrors;
+  Format.fprintf fmt "crash-at: %d@." p.pl_crash_at
+
+let gen_fault_plan rng =
+  { Binary.Mirror.fp_seed = Rng.int rng 1_000_000;
+    fp_transient_pct = Rng.pick rng [ 0; 10; 30; 60 ];
+    fp_corrupt_pct = Rng.pick rng [ 0; 0; 15; 40 ];
+    fp_latency_ms = float_of_int (Rng.int rng 20);
+    fp_outage_after = (if Rng.chance rng 30 then Some (Rng.int rng 20) else None);
+    fp_outage_len = (if Rng.chance rng 50 then Some (Rng.range rng 1 10) else None) }
+
+let gen_plan rng =
+  let mirror_count = Rng.range rng 1 3 in
+  { pl_mirrors =
+      List.init mirror_count (fun i ->
+          (Printf.sprintf "m%d" i, gen_fault_plan rng));
+    pl_crash_at = Rng.int rng 10_000 }
+
+type stats = {
+  mutable installs_converged : int;
+  mutable degraded_converged : int;  (* converged despite taking a fallback *)
+  mutable typed_failures_clean : int;  (* no-fallback error, store untouched *)
+  mutable crashes_recovered : int;
+  mutable entries_quarantined : int;
+}
+
+let fresh_stats () =
+  { installs_converged = 0;
+    degraded_converged = 0;
+    typed_failures_clean = 0;
+    crashes_recovered = 0;
+    entries_quarantined = 0 }
+
+let add_stats a b =
+  a.installs_converged <- a.installs_converged + b.installs_converged;
+  a.degraded_converged <- a.degraded_converged + b.degraded_converged;
+  a.typed_failures_clean <- a.typed_failures_clean + b.typed_failures_clean;
+  a.crashes_recovered <- a.crashes_recovered + b.crashes_recovered;
+  a.entries_quarantined <- a.entries_quarantined + b.entries_quarantined
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "converged=%d degraded-converged=%d typed-clean=%d crashes-recovered=%d quarantined=%d"
+    s.installs_converged s.degraded_converged s.typed_failures_clean
+    s.crashes_recovered s.entries_quarantined
+
+let store_root = "/ice"
+
+let empty_fingerprint =
+  lazy (Binary.Store.fingerprint (Binary.Store.create ~root:store_root (Binary.Vfs.create ())))
+
+let link_ok (r : Binary.Installer.report) =
+  match r.Binary.Installer.link_result with Ok _ -> true | Error _ -> false
+
+let check ?(stats = fresh_stats ()) (u : Gen.t) plan =
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (try
+     let repo = Gen.to_repo u in
+     (* Populate one buildcache from the cache roots, exactly as the
+        base oracle does; it is the truth every mirror fronts. *)
+     let farm = Binary.Store.create ~root:"/farm" (Binary.Vfs.create ()) in
+     let cache = Binary.Buildcache.create ~name:"origin" in
+     List.iter
+       (fun r ->
+         match Core.Concretizer.concretize_spec ~repo r with
+         | Error _ -> ()
+         | Ok o -> (
+           let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+           match Binary.Builder.build_all farm ~repo spec with
+           | Error e -> fail "cache build %s: %s" r (Binary.Errors.to_string e)
+           | Ok _ -> (
+             match Binary.Buildcache.push cache farm spec with
+             | Error e -> fail "cache push %s: %s" r (Binary.Errors.to_string e)
+             | Ok _ -> ())))
+       u.Gen.u_cache_roots;
+     let pool = Binary.Buildcache.specs cache in
+     let options =
+       { Core.Concretizer.default_options with
+         Core.Concretizer.reuse = pool;
+         splicing = pool <> [] }
+     in
+     let fresh_mirrors ?(faultless = false) () =
+       Binary.Mirror.group
+         (List.map
+            (fun (name, fp) ->
+              Binary.Mirror.create
+                ~faults:(if faultless then Binary.Mirror.no_faults else fp)
+                ~name cache)
+            plan.pl_mirrors)
+     in
+     let quarantined g =
+       List.fold_left
+         (fun acc m -> acc + List.length (Binary.Mirror.quarantined m))
+         0 (Binary.Mirror.mirrors g)
+     in
+     List.iter
+       (fun r ->
+         match Core.Concretizer.concretize_spec ~repo ~options r with
+         | Error _ -> ()  (* random universes may be UNSAT *)
+         | Ok o -> (
+           let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+           (* fault-free reference *)
+           let ref_store =
+             Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+           in
+           match
+             Binary.Installer.install ref_store ~repo ~caches:[ cache ] spec
+           with
+           | Error e ->
+             fail "request %s: fault-free install failed: %s" r
+               (Binary.Errors.to_string e)
+           | Ok ref_report -> (
+             let ref_fp = Binary.Store.fingerprint ref_store in
+             (* 1. faulty mirrors, degradation allowed: must converge *)
+             let store =
+               Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+             in
+             let g = fresh_mirrors () in
+             let writes_observed = ref 0 in
+             (match Binary.Installer.install store ~repo ~mirrors:g spec with
+             | Error e ->
+               fail "request %s: faulty install failed despite fallback: %s" r
+                 (Binary.Errors.to_string e)
+             | Ok rep ->
+               writes_observed := Binary.Store.write_count store;
+               stats.entries_quarantined <-
+                 stats.entries_quarantined + quarantined g;
+               if Binary.Store.fingerprint store <> ref_fp then
+                 fail "request %s: faulty install diverged from fault-free state" r
+               else begin
+                 stats.installs_converged <- stats.installs_converged + 1;
+                 if Binary.Installer.degraded_count rep > 0 then
+                   stats.degraded_converged <- stats.degraded_converged + 1
+               end;
+               if link_ok ref_report && not (link_ok rep) then
+                 fail "request %s: faulty install broke the root link" r);
+             (* 2. no fallback: converge or fail typed with store untouched *)
+             let store2 =
+               Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+             in
+             (match
+                Binary.Installer.install store2 ~repo
+                  ~mirrors:(fresh_mirrors ()) ~fallback:false spec
+              with
+             | Ok _ ->
+               if Binary.Store.fingerprint store2 <> ref_fp then
+                 fail "request %s: no-fallback install diverged" r
+             | Error _ ->
+               if Binary.Store.fingerprint store2 <> Lazy.force empty_fingerprint
+               then
+                 fail "request %s: typed failure left the store modified" r
+               else
+                 stats.typed_failures_clean <- stats.typed_failures_clean + 1);
+             (* 3. crash mid-install, recover, resume: must converge *)
+             if !writes_observed > 0 then begin
+               let crash_at = plan.pl_crash_at mod !writes_observed in
+               let vfs = Binary.Vfs.create () in
+               let store3 = Binary.Store.create ~root:store_root vfs in
+               Binary.Store.set_crash_after store3 (Some crash_at);
+               match
+                 Binary.Installer.install store3 ~repo ~mirrors:(fresh_mirrors ())
+                   spec
+               with
+               | exception Binary.Store.Crashed _ -> (
+                 match Binary.Store.recover ~root:store_root vfs with
+                 | exception Binary.Errors.Binary_error e ->
+                   fail "request %s: recovery failed: %s" r
+                     (Binary.Errors.to_string e)
+                 | recovered, _report -> (
+                   if
+                     Binary.Vfs.list_prefix vfs (store_root ^ "/.journal") <> []
+                     || Binary.Vfs.list_prefix vfs (store_root ^ "/.staging") <> []
+                   then
+                     fail "request %s: recovery left journal/staging residue" r;
+                   match
+                     Binary.Installer.install recovered ~repo
+                       ~mirrors:(fresh_mirrors ~faultless:true ()) spec
+                   with
+                   | Error e ->
+                     fail "request %s: resumed install after crash failed: %s" r
+                       (Binary.Errors.to_string e)
+                   | Ok _ ->
+                     if Binary.Store.fingerprint recovered <> ref_fp then
+                       fail
+                         "request %s: crash at write %d + recover + resume diverged"
+                         r crash_at
+                     else stats.crashes_recovered <- stats.crashes_recovered + 1))
+               | Ok _ ->
+                 (* the fault dice rolled differently and the crash point
+                    was never reached: still must have converged *)
+                 if Binary.Store.fingerprint store3 <> ref_fp then
+                   fail "request %s: uncrashed run diverged" r
+               | Error e ->
+                 fail "request %s: crash-run install failed typed: %s" r
+                   (Binary.Errors.to_string e)
+             end)))
+       (u.Gen.u_cache_roots @ u.Gen.u_requests)
+   with
+  | Binary.Store.Crashed w ->
+    violations := Printf.sprintf "unexpected crash escaped: %s" w :: !violations
+  | e ->
+    violations := Printf.sprintf "exception: %s" (Printexc.to_string e) :: !violations);
+  List.rev !violations
+
+(* ---- harness ------------------------------------------------------- *)
+
+type failure = {
+  round : int;
+  violations : string list;
+  plan : plan;
+  shrunk : Gen.t;
+  shrunk_violations : string list;
+}
+
+type report = {
+  seed : int;
+  rounds : int;
+  stats : stats;
+  failures : failure list;
+}
+
+let plan_for ~seed ~round =
+  gen_plan (Rng.create ((seed * 2_000_003) + round))
+
+let run ?(log = ignore) ~seed ~rounds () =
+  let stats = fresh_stats () in
+  let failures = ref [] in
+  for round = 0 to rounds - 1 do
+    let u = Harness.universe ~seed ~round in
+    let plan = plan_for ~seed ~round in
+    match check ~stats u plan with
+    | [] ->
+      if round mod 10 = 0 then
+        log (Printf.sprintf "resil round %d ok (%s)" round (Gen.summary u))
+    | violations ->
+      log
+        (Printf.sprintf "resil round %d: %d violation(s); shrinking %s" round
+           (List.length violations) (Gen.summary u));
+      let still_fails u' = check u' plan <> [] in
+      let shrunk = Shrink.shrink ~still_fails u in
+      failures :=
+        { round; violations; plan; shrunk; shrunk_violations = check shrunk plan }
+        :: !failures
+  done;
+  { seed; rounds; stats; failures = List.rev !failures }
+
+let pp_failure fmt f =
+  Format.fprintf fmt "round %d: %d violation(s)@." f.round
+    (List.length f.violations);
+  List.iter (fun v -> Format.fprintf fmt "  - %s@." v) f.violations;
+  Format.fprintf fmt "fault plan:@.%a" pp_plan f.plan;
+  Format.fprintf fmt "shrunk to %s:@." (Gen.summary f.shrunk);
+  List.iter (fun v -> Format.fprintf fmt "  - %s@." v) f.shrunk_violations;
+  Format.fprintf fmt "--- paste-ready reproducer ---@.%s" (Gen.to_ocaml f.shrunk)
+
+let pp_report fmt r =
+  Format.fprintf fmt "resil: seed %d, %d rounds, %a@." r.seed r.rounds pp_stats
+    r.stats;
+  match r.failures with
+  | [] -> Format.fprintf fmt "no violations@."
+  | fs ->
+    Format.fprintf fmt "%d failing round(s)@." (List.length fs);
+    List.iter (fun f -> Format.fprintf fmt "%a" pp_failure f) fs
