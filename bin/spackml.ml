@@ -51,9 +51,86 @@ let json_flag =
 let dot_flag =
   Arg.(value & flag & info [ "dot" ] ~doc:"Emit the concrete spec as a Graphviz digraph.")
 
+let batch_flag =
+  Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+      ~doc:"Concretize every spec in FILE (one per line, $(b,#) comments) \
+            instead of a single positional SPEC. Results print in file \
+            order and are identical for any $(b,--jobs) value.")
+
+let jobs_flag =
+  Arg.(value & opt int 1 & info [ "jobs" ] ~docv:"N"
+      ~doc:"Solve a $(b,--batch) over N parallel domains (default 1).")
+
+let session_flag =
+  Arg.(value & flag & info [ "session" ]
+      ~doc:"Serve the $(b,--batch) from one incremental solve session per \
+            domain (ground once, solve each request under assumptions) \
+            instead of solving each request from scratch.")
+
+let read_batch_file file =
+  let ic = open_in file in
+  let rec go acc =
+    match input_line ic with
+    | line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then go acc else go (line :: acc)
+    | exception End_of_file ->
+      close_in ic;
+      List.rev acc
+  in
+  go []
+
+let run_batch ~opts ~jobs ~session ~stats file =
+  let texts = read_batch_file file in
+  match
+    List.map
+      (fun t ->
+        match Core.Encode.request_of_string t with
+        | r -> (t, r)
+        | exception Spec.Parser.Parse_error e ->
+          failwith (Printf.sprintf "%s: parse error: %s" t e))
+      texts
+  with
+  | exception Failure e ->
+    Format.eprintf "error: %s@." e;
+    2
+  | pairs ->
+    let t0 = Unix.gettimeofday () in
+    let results =
+      Core.Concretizer.concretize_batch ~repo ~options:opts ~jobs ~session
+        (List.map snd pairs)
+    in
+    let failures = ref 0 in
+    List.iter2
+      (fun (text, _) result ->
+        match result with
+        | Ok (o : Core.Concretizer.outcome) ->
+          let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+          Format.printf "%s: %s@." text (Spec.Concrete.to_string spec)
+        | Error (f : Core.Concretizer.failure) ->
+          incr failures;
+          Format.printf "%s: error: %s@." text f.Core.Concretizer.f_message)
+      pairs results;
+    if stats then
+      Format.printf "batch: %d specs, %d failures, jobs=%d%s, %.3fs@."
+        (List.length pairs) !failures jobs
+        (if session then " (session mode)" else "")
+        (Unix.gettimeofday () -. t0);
+    if !failures = 0 then 0 else 1
+
 let concretize_cmd =
-  let run reuse splicing old_encoding stats json dot spec_text =
+  let spec_opt_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC") in
+  let run reuse splicing old_encoding stats json dot batch jobs session spec_text =
     let opts = options ~reuse ~splicing ~old_encoding in
+    match (batch, spec_text) with
+    | Some file, None -> run_batch ~opts ~jobs ~session ~stats file
+    | Some _, Some _ ->
+      Format.eprintf "error: give either a SPEC or --batch FILE, not both@.";
+      2
+    | None, None ->
+      Format.eprintf "error: give a SPEC or --batch FILE@.";
+      2
+    | None, Some spec_text -> (
     match concretize_one ~opts spec_text with
     | Error e ->
       Format.eprintf "error: %s@." e;
@@ -79,11 +156,15 @@ let concretize_cmd =
             s.Core.Decode.sp_old s.Core.Decode.sp_new)
         sol.Core.Decode.splices;
       if stats then Format.printf "%a@." Core.Concretizer.pp_stats o.Core.Concretizer.stats;
-      0
+      0)
   in
   Cmd.v
-    (Cmd.info "concretize" ~doc:"Resolve an abstract spec to a concrete spec DAG.")
-    Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag $ dot_flag $ spec_arg)
+    (Cmd.info "concretize"
+       ~doc:
+         "Resolve an abstract spec to a concrete spec DAG, or a whole file of \
+          specs with $(b,--batch) (optionally in parallel with $(b,--jobs)).")
+    Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag
+          $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ spec_opt_arg)
 
 (* ---- install ---- *)
 

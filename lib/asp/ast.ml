@@ -31,6 +31,26 @@ let atom pred args = { pred; args }
 
 let fact a = Rule { head = Head_atom a; body = [] }
 
+let atom_equal a b =
+  a == b
+  || ((a.pred == b.pred || String.equal a.pred b.pred)
+     && List.equal Term.equal a.args b.args)
+
+let atom_hash a =
+  List.fold_left
+    (fun acc t -> ((acc * 131) + Term.hash t) land max_int)
+    (Hashtbl.hash a.pred) a.args
+
+(* Hashtable keyed by atoms: interned-constant-aware equality plus a
+   sampled hash, replacing polymorphic hashing on the grounder's
+   hottest table. *)
+module Atom_tbl = Hashtbl.Make (struct
+  type t = atom
+
+  let equal = atom_equal
+  let hash = atom_hash
+end)
+
 let dedup xs =
   List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs
   |> List.rev

@@ -43,6 +43,16 @@ val fact : atom -> statement
 
 val atom : string -> Term.t list -> atom
 
+val atom_equal : atom -> atom -> bool
+
+val atom_hash : atom -> int
+
+module Atom_tbl : Hashtbl.S with type key = atom
+(** Hashtable keyed by atoms, using {!atom_equal}/{!atom_hash}: the
+    physical-equality fast path of interned constants ({!Term.str})
+    makes it much cheaper than polymorphic hashing on the grounder's
+    atom store. *)
+
 val atom_vars : atom -> string list
 
 val body_lit_vars : body_lit -> string list

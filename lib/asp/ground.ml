@@ -15,27 +15,41 @@ type gmin = {
   gcond_neg : atom_id list;
 }
 
+(* Index keyed by (pred, arity, argument position, ground argument).
+   Interned constants make the term component a pointer comparison in
+   the common case. *)
+module Arg_tbl = Hashtbl.Make (struct
+  type t = string * int * int * Term.t
+
+  let equal (p1, a1, i1, t1) (p2, a2, i2, t2) =
+    a1 = a2 && i1 = i2 && (p1 == p2 || String.equal p1 p2) && Term.equal t1 t2
+
+  let hash (p, a, i, t) =
+    ((Hashtbl.hash p * 131) + (a * 8191) + (i * 524287) + Term.hash t) land max_int
+end)
+
 (* Interned atom store. Atoms interned through [intern_possible] can be
    true in some model; atoms interned only through [intern_referenced]
    (negative literals whose subject is never derivable) are constant
-   false. Indexes: by predicate, and by predicate plus first argument
-   for selective joins. *)
+   false. Indexes: by predicate, and by predicate plus each argument
+   position, so joins can seed from whichever argument the pattern has
+   ground — not just the first. *)
 type store = {
-  tbl : (Ast.atom, atom_id) Hashtbl.t;
+  tbl : atom_id Ast.Atom_tbl.t;
   mutable arr : Ast.atom array;
   mutable possible : Bytes.t;
   mutable count : int;
   by_pred : (string * int, atom_id list ref) Hashtbl.t;
-  by_pred_arg0 : (string * int * Term.t, atom_id list ref) Hashtbl.t;
+  by_pred_arg : atom_id list ref Arg_tbl.t;
 }
 
 let store_create () =
-  { tbl = Hashtbl.create 4096;
+  { tbl = Ast.Atom_tbl.create 4096;
     arr = Array.make 4096 { Ast.pred = ""; args = [] };
     possible = Bytes.make 4096 '\000';
     count = 0;
     by_pred = Hashtbl.create 64;
-    by_pred_arg0 = Hashtbl.create 4096 }
+    by_pred_arg = Arg_tbl.create 4096 }
 
 let store_grow st =
   if st.count >= Array.length st.arr then begin
@@ -52,9 +66,14 @@ let push_index tbl key id =
   | Some l -> l := id :: !l
   | None -> Hashtbl.add tbl key (ref [ id ])
 
+let push_arg_index tbl key id =
+  match Arg_tbl.find_opt tbl key with
+  | Some l -> l := id :: !l
+  | None -> Arg_tbl.add tbl key (ref [ id ])
+
 (* Returns (id, freshly_marked_possible). *)
 let intern st (a : Ast.atom) ~possible =
-  match Hashtbl.find_opt st.tbl a with
+  match Ast.Atom_tbl.find_opt st.tbl a with
   | Some id ->
     if possible && Bytes.get st.possible id = '\000' then begin
       Bytes.set st.possible id '\001';
@@ -65,25 +84,37 @@ let intern st (a : Ast.atom) ~possible =
     store_grow st;
     let id = st.count in
     st.count <- id + 1;
-    Hashtbl.add st.tbl a id;
+    Ast.Atom_tbl.add st.tbl a id;
     st.arr.(id) <- a;
     if possible then Bytes.set st.possible id '\001';
     let arity = List.length a.Ast.args in
     push_index st.by_pred (a.Ast.pred, arity) id;
-    (match a.Ast.args with
-    | arg0 :: _ -> push_index st.by_pred_arg0 (a.Ast.pred, arity, arg0) id
-    | [] -> ());
+    List.iteri
+      (fun i arg -> push_arg_index st.by_pred_arg (a.Ast.pred, arity, i, arg) id)
+      a.Ast.args;
     (id, possible)
 
 (* Candidate atoms possibly matching a (partially instantiated) pattern
-   atom. *)
+   atom: seed from the first {e ground} argument at any position —
+   patterns like [hash_attr(H, "version", P, V)] select on their second
+   argument, where the old first-argument-only index degenerated to a
+   full per-predicate scan. *)
 let candidates st (pattern : Ast.atom) =
   let arity = List.length pattern.Ast.args in
-  let from_index tbl key = match Hashtbl.find_opt tbl key with Some l -> !l | None -> [] in
-  match pattern.Ast.args with
-  | arg0 :: _ when Term.is_ground arg0 ->
-    from_index st.by_pred_arg0 (pattern.Ast.pred, arity, arg0)
-  | _ -> from_index st.by_pred (pattern.Ast.pred, arity)
+  let rec first_ground i = function
+    | [] -> None
+    | arg :: rest ->
+      if Term.is_ground arg then Some (i, arg) else first_ground (i + 1) rest
+  in
+  match first_ground 0 pattern.Ast.args with
+  | Some (i, arg) -> (
+    match Arg_tbl.find_opt st.by_pred_arg (pattern.Ast.pred, arity, i, arg) with
+    | Some l -> !l
+    | None -> [])
+  | None -> (
+    match Hashtbl.find_opt st.by_pred (pattern.Ast.pred, arity) with
+    | Some l -> !l
+    | None -> [])
 
 let match_atom ~(pattern : Ast.atom) subst (subject : Ast.atom) =
   if
@@ -181,6 +212,11 @@ type t = {
   st : store;
   grules : grule list;
   gmins : gmin list;
+  gmin_priorities : int list;
+      (* every priority declared by a program #minimize, even when it
+         grounds to no instances: an empty objective has cost 0, and
+         keeping it makes reported cost vectors structurally stable
+         across encodings that prune its candidate atoms away *)
 }
 
 (* Phase 1: possible-atom fixpoint over derivation pseudo-rules
@@ -465,11 +501,22 @@ let ground prog =
   phase1 st prog;
   let grules, gmins = phase2 st prog in
   let grules, gmins = simplify st grules gmins in
-  { st; grules; gmins }
+  let gmin_priorities =
+    List.concat_map
+      (function
+        | Ast.Minimize elems ->
+          List.map (fun (e : Ast.min_elem) -> e.Ast.priority) elems
+        | _ -> [])
+      prog
+    |> List.sort_uniq Int.compare
+  in
+  { st; grules; gmins; gmin_priorities }
 
 let rules t = t.grules
 
 let minimizes t = t.gmins
+
+let minimize_priorities t = t.gmin_priorities
 
 let atom_count t = t.st.count
 
@@ -477,7 +524,7 @@ let possible t id = Bytes.get t.st.possible id = '\001'
 
 let atom_of_id t id = t.st.arr.(id)
 
-let find_atom t a = Hashtbl.find_opt t.st.tbl a
+let find_atom t a = Ast.Atom_tbl.find_opt t.st.tbl a
 
 let pp_atom_id t fmt id = Ast.pp_atom fmt (atom_of_id t id)
 

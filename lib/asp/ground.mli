@@ -34,6 +34,12 @@ val rules : t -> grule list
 
 val minimizes : t -> gmin list
 
+val minimize_priorities : t -> int list
+(** Every priority declared by a program [#minimize], ascending, even
+    when it grounded to no instances — an empty objective is still an
+    objective with cost 0, so reported cost vectors keep the same shape
+    regardless of how aggressively the instance was pruned. *)
+
 val atom_count : t -> int
 (** Total interned atoms (possible or merely referenced under
     negation); valid ids are [0 .. atom_count - 1]. *)

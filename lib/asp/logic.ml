@@ -200,6 +200,13 @@ let build_objectives ctx =
         | None -> Hashtbl.add by_priority p (ref [ (w, t) ])
       end)
     groups;
+  (* Priorities whose instances all pruned or simplified away still
+     count as (trivially 0-cost) objectives, so cost vectors compare
+     structurally across differently-pruned groundings. *)
+  List.iter
+    (fun p ->
+      if not (Hashtbl.mem by_priority p) then Hashtbl.add by_priority p (ref []))
+    (Ground.minimize_priorities ctx.g);
   Hashtbl.fold (fun p r acc -> { priority = p; terms = !r } :: acc) by_priority []
   |> List.sort (fun a b -> Int.compare b.priority a.priority)
 
@@ -317,15 +324,25 @@ let extract_atoms ctx =
   done;
   !out
 
-let solve ?(certify = false) g =
-  let ctx = translate ~certify g in
-  let objectives = build_objectives ctx in
-  if not (solve_stable ctx ~assumptions:[]) then Unsat (Sat.proof ctx.sat)
+(* Lexicographic descent: fix each priority level at its minimum before
+   optimizing the next. Shared by the one-shot [solve] and incremental
+   sessions, so every constraint it adds must stay valid for later
+   solves under *different* assumptions: bound probes and level freezes
+   are pseudo-Boolean constraints gated by a fresh activation literal —
+   inactive (hence trivially satisfied) unless assumed — and only the
+   activation literals of the current request are assumed. Permanently
+   clausing an activation literal false merely retires its constraint.
+   Returns the per-priority costs of the optimal model (left loaded in
+   the SAT core), or [None] when UNSAT under [assumptions]. *)
+let optimize ctx objectives ~assumptions =
+  if not (solve_stable ctx ~assumptions) then None
   else begin
-    (* Lexicographic descent: fix each priority level at its minimum
-       before optimizing the next. *)
+    (* Activation literals of the freezes accumulated this request. *)
+    let frozen = ref [] in
+    let assume extra = extra @ !frozen @ assumptions in
     List.iter
       (fun obj ->
+        let terms = List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms in
         let total = List.fold_left (fun acc (w, _) -> acc + w) 0 obj.terms in
         let current = ref (objective_cost ctx obj) in
         let improved = ref true in
@@ -335,10 +352,8 @@ let solve ?(certify = false) g =
           else begin
             let a = Sat.new_var ctx.sat in
             (* sum + (total - bound) * a <= total: active iff a. *)
-            Sat.add_pb_le ctx.sat
-              ((total - bound, Sat.pos a) :: List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms)
-              total;
-            if solve_stable ctx ~assumptions:[ Sat.pos a ] then begin
+            Sat.add_pb_le ctx.sat ((total - bound, Sat.pos a) :: terms) total;
+            if solve_stable ctx ~assumptions:(assume [ Sat.pos a ]) then begin
               let c = objective_cost ctx obj in
               (* A model satisfying [sum <= current - 1] has cost
                  strictly below [current]; anything else means the PB
@@ -349,28 +364,86 @@ let solve ?(certify = false) g =
             else begin
               Sat.add_clause ctx.sat [ Sat.neg a ];
               improved := false;
-              (* Re-establish a model consistent with all permanent
+              (* Re-establish a model consistent with this request's
                  constraints for cost extraction at lower levels. *)
-              let ok = solve_stable ctx ~assumptions:[] in
+              let ok = solve_stable ctx ~assumptions:(assume []) in
               assert ok
             end
           end
         done;
-        (* Freeze this level. *)
-        Sat.add_pb_le ctx.sat
-          (List.map (fun (w, t) -> (w, Sat.pos t)) obj.terms)
-          !current;
-        let ok = solve_stable ctx ~assumptions:[] in
-        assert ok)
+        (* Freeze this level at its minimum for the rest of the
+           request. *)
+        if !current < total then begin
+          let f = Sat.new_var ctx.sat in
+          Sat.add_pb_le ctx.sat ((total - !current, Sat.pos f) :: terms) total;
+          frozen := Sat.pos f :: !frozen;
+          let ok = solve_stable ctx ~assumptions:(assume []) in
+          assert ok
+        end)
       objectives;
-    let costs = List.map (fun o -> (o.priority, objective_cost ctx o)) objectives in
+    Some (List.map (fun o -> (o.priority, objective_cost ctx o)) objectives)
+  end
+
+let solve ?(certify = false) g =
+  let ctx = translate ~certify g in
+  let objectives = build_objectives ctx in
+  match optimize ctx objectives ~assumptions:[] with
+  | None -> Unsat (Sat.proof ctx.sat)
+  | Some costs ->
     Sat
       { atoms = extract_atoms ctx;
         costs;
         sat_stats = Sat.stats ctx.sat;
         stable_checks = ctx.stable_checks;
         loop_clauses = ctx.loop_clauses }
-  end
+
+(* ----- incremental sessions --------------------------------------- *)
+
+type session = {
+  s_ctx : ctx;
+  s_objectives : objective list;
+  mutable s_solves : int;
+}
+
+let session_create ?(certify = false) g =
+  let ctx = translate ~certify g in
+  { s_ctx = ctx; s_objectives = build_objectives ctx; s_solves = 0 }
+
+let session_ground s = s.s_ctx.g
+
+let session_sat_stats s = Sat.stats s.s_ctx.sat
+
+let session_solves s = s.s_solves
+
+exception Unknown_true_assumption
+
+let session_solve s ~assume =
+  let ctx = s.s_ctx in
+  s.s_solves <- s.s_solves + 1;
+  match
+    List.filter_map
+      (fun (a, b) ->
+        match Ground.find_atom ctx.g a with
+        | Some id -> Some ((if b then Sat.pos else Sat.neg) ctx.atom_var.(id))
+        | None ->
+          (* An atom outside the Herbrand base is constant false:
+             assuming it false is vacuous, assuming it true is
+             unsatisfiable. *)
+          if b then raise Unknown_true_assumption else None)
+      assume
+  with
+  | exception Unknown_true_assumption -> Unsat None
+  | assumptions -> (
+    let before = Sat.stats ctx.sat in
+    match optimize ctx s.s_objectives ~assumptions with
+    | None -> Unsat (Sat.proof ctx.sat)
+    | Some costs ->
+      Sat
+        { atoms = extract_atoms ctx;
+          costs;
+          sat_stats = Sat.stats_delta ~before ctx.sat;
+          stable_checks = ctx.stable_checks;
+          loop_clauses = ctx.loop_clauses })
 
 let holds m a = List.exists (fun a' -> a' = a) m.atoms
 

@@ -30,6 +30,36 @@ type outcome = Sat of model | Unsat of Sat.proof_step list option
 
 val solve : ?certify:bool -> Ground.t -> outcome
 
+(** {2 Incremental sessions}
+
+    A session translates a ground program to SAT once and then serves
+    many solve requests against it, each under its own assumptions over
+    ground atoms. Learned clauses, loop clauses, variable activities,
+    and saved phases persist across requests — they are consequences of
+    the (request-independent) program, so retaining them is sound; the
+    optimization descent only ever adds constraints gated by activation
+    literals assumed for a single request. *)
+
+type session
+
+val session_create : ?certify:bool -> Ground.t -> session
+
+val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
+(** Solve for the optimal stable model consistent with the assumed atom
+    truth values. Atoms absent from the ground program are constant
+    false: assuming one [false] is vacuous, assuming one [true] yields
+    [Unsat None] immediately. [sat_stats] in the returned model are
+    this request's deltas ({!Sat.stats_delta}); [stable_checks] and
+    [loop_clauses] are session-cumulative. *)
+
+val session_ground : session -> Ground.t
+
+val session_sat_stats : session -> (string * int) list
+(** Session-cumulative solver counters. *)
+
+val session_solves : session -> int
+(** Requests served so far. *)
+
 val hook_skip_unfounded : bool ref
 (** Fault injection for the fuzz harness: when [true], the unfounded-set
     check is skipped, so non-stable SAT models are accepted. Always

@@ -20,7 +20,7 @@ let expect st tok what =
 let rec parse_term st =
   match peek st with
   | INT n -> advance st; Term.Int n
-  | STRING s -> advance st; Term.Str s
+  | STRING s -> advance st; Term.str s
   | VAR v -> advance st; Term.Var v
   | IDENT f ->
     advance st;
@@ -28,9 +28,9 @@ let rec parse_term st =
       advance st;
       let args = parse_term_list st in
       expect st RPAREN ")";
-      Term.App (f, args)
+      Term.App (Term.intern f, args)
     end
-    else Term.Sym f
+    else Term.sym f
   | t -> fail "expected term, found %a" Lexer.pp_token t
 
 and parse_term_list st =

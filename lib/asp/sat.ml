@@ -735,3 +735,14 @@ let stats s =
     ("clauses", List.length s.clauses);
     ("pbs", List.length s.pbs);
     ("vars", s.nvars) ]
+
+(* Counters that only ever grow; the rest are gauges. *)
+let monotonic = [ "conflicts"; "decisions"; "propagations"; "learnts"; "restarts" ]
+
+let stats_delta ~before s =
+  List.map
+    (fun (k, v) ->
+      if List.mem k monotonic then
+        (k, v - (match List.assoc_opt k before with Some v0 -> v0 | None -> 0))
+      else (k, v))
+    (stats s)

@@ -80,4 +80,9 @@ val lit_value_in_model : t -> lit -> bool
 
 val stats : t -> (string * int) list
 (** Counters: conflicts, decisions, propagations, learned clauses,
-    restarts. *)
+    restarts; plus gauges: clauses, pbs, vars. *)
+
+val stats_delta : before:(string * int) list -> t -> (string * int) list
+(** {!stats} relative to an earlier snapshot: monotonic counters are
+    differenced, gauges reported absolute. Lets a long-lived session
+    attribute solver work to individual requests. *)

@@ -9,31 +9,110 @@ type t =
 
 type subst = t Smap.t
 
+(* ---- constant-string interning ----------------------------------- *)
+
+(* Package names and DAG hashes recur in thousands of facts; interning
+   them makes equal constants physically equal, so the equality checks
+   saturating the grounder's join loops usually reduce to a pointer
+   comparison. Tables are domain-local: no locks on the hot path, and
+   each solver domain of a batch concretization owns its own pool. *)
+let intern_key : (string, string) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4096)
+
+let intern s =
+  let tbl = Domain.DLS.get intern_key in
+  match Hashtbl.find_opt tbl s with
+  | Some c -> c
+  | None ->
+    Hashtbl.add tbl s s;
+    s
+
+let sym s = Sym (intern s)
+let str s = Str (intern s)
+
 let rec is_ground = function
   | Int _ | Sym _ | Str _ -> true
   | Var _ -> false
   | App (_, args) -> List.for_all is_ground args
 
-let compare = Stdlib.compare
+(* Physical equality first: interned constants mostly hit it. The
+   structural order matches [Stdlib.compare] on this type (constructor
+   declaration order, then contents), which the grounder's term
+   comparisons rely on. *)
+let str_cmp a b = if a == b then 0 else String.compare a b
+
+let rec compare a b =
+  if a == b then 0
+  else
+    match (a, b) with
+    | Int x, Int y -> Stdlib.Int.compare x y
+    | Sym x, Sym y | Str x, Str y | Var x, Var y -> str_cmp x y
+    | App (f, xs), App (g, ys) ->
+      let c = str_cmp f g in
+      if c <> 0 then c else compare_list xs ys
+    | Int _, _ -> -1
+    | _, Int _ -> 1
+    | Sym _, _ -> -1
+    | _, Sym _ -> 1
+    | Str _, _ -> -1
+    | _, Str _ -> 1
+    | Var _, _ -> -1
+    | _, Var _ -> 1
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list xs ys
 
 let equal a b = compare a b = 0
+
+(* A cheap content hash: long constants (64-char DAG hashes) are
+   sampled rather than walked byte-for-byte — their identifying entropy
+   sits in the first few characters — and equality keeps us honest. *)
+let hash_string s =
+  let n = String.length s in
+  let h = ref (n * 0x9e3779b1) in
+  let mix c = h := (!h * 31) + Char.code c in
+  if n <= 12 then String.iter mix s
+  else begin
+    for i = 0 to 7 do
+      mix (String.unsafe_get s i)
+    done;
+    mix (String.unsafe_get s (n - 2));
+    mix (String.unsafe_get s (n - 1))
+  end;
+  !h land max_int
+
+let rec hash = function
+  | Int n -> n land max_int
+  | Sym s -> (2 * hash_string s) land max_int
+  | Str s -> ((2 * hash_string s) + 1) land max_int
+  | Var v -> (3 * hash_string v) land max_int
+  | App (f, args) ->
+    List.fold_left (fun acc t -> ((acc * 131) + hash t) land max_int) (hash_string f) args
 
 let rec subst_term s = function
   | (Int _ | Sym _ | Str _) as t -> t
   | Var v as t -> (match Smap.find_opt v s with Some t' -> t' | None -> t)
   | App (f, args) -> App (f, List.map (subst_term s) args)
 
+let str_eq a b = a == b || String.equal a b
+
 let rec match_term ~pattern s subject =
   match (pattern, subject) with
   | Int a, Int b when a = b -> Some s
-  | Sym a, Sym b when String.equal a b -> Some s
-  | Str a, Str b when String.equal a b -> Some s
+  | Sym a, Sym b when str_eq a b -> Some s
+  | Str a, Str b when str_eq a b -> Some s
   | Var v, t -> (
     match Smap.find_opt v s with
     | Some bound -> if equal bound t then Some s else None
     | None -> Some (Smap.add v t s))
   | App (f, pargs), App (g, sargs)
-    when String.equal f g && List.length pargs = List.length sargs ->
+    when str_eq f g && List.length pargs = List.length sargs ->
     let rec go s = function
       | [], [] -> Some s
       | p :: ps, t :: ts -> (

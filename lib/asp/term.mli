@@ -15,11 +15,29 @@ type t =
 
 type subst = t Smap.t
 
+val intern : string -> string
+(** The canonical (physically shared) instance of a constant string.
+    Interning is domain-local: each OCaml domain owns its own pool, so
+    parallel batch solves never contend on it. *)
+
+val sym : string -> t
+(** [Sym] over the interned string. *)
+
+val str : string -> t
+(** [Str] over the interned string. Constant names and hashes recur in
+    thousands of facts; interned constants make the grounder's equality
+    checks a pointer comparison in the common case. *)
+
 val is_ground : t -> bool
 
 val compare : t -> t -> int
 
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Content hash for atom tables. Long constants (DAG hashes) are
+    sampled, not walked byte-for-byte; {!equal}'s physical-equality
+    fast path keeps collisions cheap. *)
 
 val subst_term : subst -> t -> t
 (** Apply a substitution; unbound variables stay. *)

@@ -6,6 +6,7 @@ type options = {
   host_os : string;
   host_target : string;
   certify : bool;
+  prune : bool;
 }
 
 let default_options =
@@ -15,7 +16,8 @@ let default_options =
     mirrors = None;
     host_os = "linux";
     host_target = "x86_64";
-    certify = false }
+    certify = false;
+    prune = true }
 
 (* The reusable pool a degraded solve actually sees: the explicit specs
    plus whatever the reachable mirrors index right now (deduplicated by
@@ -38,6 +40,8 @@ type stats = {
   ground_atoms : int;
   ground_rules : int;
   fact_count : int;
+  pool_total : int;
+  pool_used : int;
   sat_stats : (string * int) list;
   stable_checks : int;
   costs : (int * int) list;
@@ -99,11 +103,11 @@ let concretize_v ~repo ?(options = default_options) requests =
   let t0 = now () in
   let encoded =
     Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
-      ~reuse:(effective_reuse options) ~host_os:options.host_os
-      ~host_target:options.host_target requests
+      ~reuse:(effective_reuse options) ~prune:options.prune
+      ~host_os:options.host_os ~host_target:options.host_target requests
   in
   let program_text =
-    Program.assemble ~encoding:options.encoding ~splicing:options.splicing
+    Program.assemble ~encoding:options.encoding ~splicing:options.splicing ()
   in
   let statements =
     Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts
@@ -126,6 +130,8 @@ let concretize_v ~repo ?(options = default_options) requests =
             { ground_atoms = Asp.Ground.atom_count ground;
               ground_rules = List.length (Asp.Ground.rules ground);
               fact_count = List.length encoded.Encode.facts;
+              pool_total = encoded.Encode.pool_total;
+              pool_used = Encode.pool_size encoded.Encode.pool;
               sat_stats = model.Asp.Logic.sat_stats;
               stable_checks = model.Asp.Logic.stable_checks;
               costs = model.Asp.Logic.costs;
@@ -145,7 +151,168 @@ let concretize_spec ~repo ?options text =
   | exception Spec.Parser.Parse_error e -> Error ("parse error: " ^ e)
 
 let pp_stats fmt s =
+  let sat k = match List.assoc_opt k s.sat_stats with Some v -> v | None -> 0 in
   Format.fprintf fmt
-    "atoms=%d rules=%d facts=%d stable_checks=%d encode=%.3fs ground=%.3fs solve=%.3fs total=%.3fs"
-    s.ground_atoms s.ground_rules s.fact_count s.stable_checks s.encode_seconds
-    s.ground_seconds s.solve_seconds s.total_seconds
+    "atoms=%d rules=%d facts=%d pool=%d/%d clauses=%d conflicts=%d props=%d \
+     restarts=%d learnts=%d stable_checks=%d encode=%.3fs ground=%.3fs \
+     solve=%.3fs total=%.3fs"
+    s.ground_atoms s.ground_rules s.fact_count s.pool_used s.pool_total
+    (sat "clauses") (sat "conflicts") (sat "propagations") (sat "restarts")
+    (sat "learnts") s.stable_checks s.encode_seconds s.ground_seconds
+    s.solve_seconds s.total_seconds
+
+(* ----- incremental sessions ---------------------------------------- *)
+
+module Session = struct
+  type conc_options = options
+
+  type t = {
+    repo : Pkg.Repo.t;
+    options : conc_options;
+    env : Encode.session_env;
+    pool : Encode.reuse_pool;
+    session : Asp.Logic.session;
+    ground_atoms : int;
+    ground_rules : int;
+    fact_count : int;
+    pool_total : int;
+    pool_used : int;
+    setup_seconds : float;
+  }
+
+  let check_roots ~repo roots =
+    List.find_map
+      (fun n ->
+        if Pkg.Repo.is_virtual repo n then
+          Some (Printf.sprintf "virtual packages cannot be session roots: %s" n)
+        else if not (Pkg.Repo.mem repo n) then
+          Some (Printf.sprintf "unknown package: %s" n)
+        else None)
+      roots
+
+  let create ~repo ?(options = default_options) ~roots () =
+    match check_roots ~repo roots with
+    | Some e -> Error e
+    | None ->
+      let t0 = now () in
+      let encoded, env =
+        Encode.encode_session ~repo ~encoding:options.encoding
+          ~splicing:options.splicing ~reuse:(effective_reuse options)
+          ~prune:options.prune ~host_os:options.host_os
+          ~host_target:options.host_target ~roots ()
+      in
+      let program_text =
+        Program.assemble ~session:true ~encoding:options.encoding
+          ~splicing:options.splicing ()
+      in
+      let statements =
+        Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts
+      in
+      let ground = Asp.Ground.ground statements in
+      let session = Asp.Logic.session_create ~certify:options.certify ground in
+      Ok
+        { repo;
+          options;
+          env;
+          pool = encoded.Encode.pool;
+          session;
+          ground_atoms = Asp.Ground.atom_count ground;
+          ground_rules = List.length (Asp.Ground.rules ground);
+          fact_count = List.length encoded.Encode.facts;
+          pool_total = encoded.Encode.pool_total;
+          pool_used = Encode.pool_size encoded.Encode.pool;
+          setup_seconds = now () -. t0 }
+
+  let setup_seconds s = s.setup_seconds
+
+  let sat_stats s = Asp.Logic.session_sat_stats s.session
+
+  let solves s = Asp.Logic.session_solves s.session
+
+  let solve s (request : Encode.request) =
+    match check_known ~repo:s.repo [ request ] with
+    | Some e -> fail e
+    | None -> (
+      match Encode.assumptions_for s.env request with
+      | Error e -> fail e
+      | Ok assume -> (
+        let t0 = now () in
+        match Asp.Logic.session_solve s.session ~assume with
+        | Asp.Logic.Unsat proof ->
+          Error
+            { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
+        | Asp.Logic.Sat model -> (
+          let t1 = now () in
+          match Decode.decode ~pool:s.pool ~requests:[ request ] model with
+          | Error e -> fail ("decode: " ^ e)
+          | Ok solution ->
+            Ok
+              { solution;
+                stats =
+                  { ground_atoms = s.ground_atoms;
+                    ground_rules = s.ground_rules;
+                    fact_count = s.fact_count;
+                    pool_total = s.pool_total;
+                    pool_used = s.pool_used;
+                    sat_stats = model.Asp.Logic.sat_stats;
+                    stable_checks = model.Asp.Logic.stable_checks;
+                    costs = model.Asp.Logic.costs;
+                    encode_seconds = 0.;
+                    ground_seconds = 0.;
+                    solve_seconds = t1 -. t0;
+                    total_seconds = t1 -. t0 } })))
+end
+
+(* ----- multicore batch concretization ------------------------------ *)
+
+let concretize_batch ~repo ?(options = default_options) ?(jobs = 1)
+    ?(session = false) requests =
+  (* Resolve the mirror layer once, before any domain spawns: mirror
+     probing mutates breaker state and must not race (and every domain
+     must see the same pool for determinism). *)
+  let options = { options with reuse = effective_reuse options; mirrors = None } in
+  let arr = Array.of_list requests in
+  let n = Array.length arr in
+  let results : (outcome, failure) result option array = Array.make n None in
+  let jobs = if n = 0 then 1 else max 1 (min jobs n) in
+  (* Static round-robin partition: request [i] is solved by domain
+     [i mod jobs] and written to slot [i], so the result list does not
+     depend on the number of domains. In the default per-request-fresh
+     mode the solves are fully independent, making batch output
+     byte-identical for any [jobs]; in [session] mode each domain
+     builds one session over all batch roots and results are
+     cost-deterministic (learned-clause carryover may break ties
+     differently between partitions). *)
+  let worker j =
+    let each f =
+      let i = ref j in
+      while !i < n do
+        results.(!i) <- Some (f !i);
+        i := !i + jobs
+      done
+    in
+    if session then begin
+      let roots =
+        List.map
+          (fun (r : Encode.request) ->
+            r.Encode.req.Spec.Abstract.root.Spec.Abstract.name)
+          requests
+        |> List.filter (fun r -> Pkg.Repo.mem repo r && not (Pkg.Repo.is_virtual repo r))
+        |> List.sort_uniq String.compare
+      in
+      match Session.create ~repo ~options ~roots () with
+      | Error e -> each (fun _ -> fail e)
+      | Ok s -> each (fun i -> Session.solve s arr.(i))
+    end
+    else each (fun i -> concretize_v ~repo ~options [ arr.(i) ])
+  in
+  if jobs <= 1 then worker 0
+  else begin
+    let domains =
+      List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker (k + 1)))
+    in
+    worker 0;
+    List.iter Domain.join domains
+  end;
+  Array.to_list
+    (Array.map (function Some r -> r | None -> assert false) results)

@@ -25,16 +25,24 @@ type options = {
   certify : bool;
       (** record a DRUP-style proof in the SAT core so UNSAT answers
           carry an independently checkable refutation *)
+  prune : bool;
+      (** restrict package facts and the reusable pool to the
+          dependency closure of the requested roots
+          ({!Encode.closure}) before grounding — sound, and the
+          difference between grounding a 5000-spec buildcache and the
+          few dozen specs a request can actually reach *)
 }
 
 val default_options : options
 (** hash_attr encoding, splicing off, no reuse, no mirrors,
-    linux/x86_64 host, certification off. *)
+    linux/x86_64 host, certification off, pruning on. *)
 
 type stats = {
   ground_atoms : int;
   ground_rules : int;
   fact_count : int;
+  pool_total : int;  (** reusable specs before pruning *)
+  pool_used : int;  (** reusable specs actually encoded *)
   sat_stats : (string * int) list;
   stable_checks : int;
   costs : (int * int) list;
@@ -77,3 +85,57 @@ val concretize_spec :
 (** Convenience: single request from spec syntax. *)
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** Incremental solve sessions: encode and ground the universe once,
+    then serve many single-root requests against it by solving under
+    assumptions ({!Asp.Logic.session_solve}). Learned clauses, variable
+    activities, and saved phases carry over between requests, so a
+    session amortizes both the ground cost and the solver's warm-up.
+    Sessions return the same optimal costs as fresh solves; on cost
+    ties the specific model may differ (both are optimal). *)
+module Session : sig
+  type t
+
+  val create :
+    repo:Pkg.Repo.t ->
+    ?options:options ->
+    roots:string list ->
+    unit ->
+    (t, string) result
+  (** Ground the universe for requests rooted at any of [roots]
+      (deduplicated; must be known non-virtual packages). With
+      [options.prune], the universe is the closure of all [roots]
+      jointly. *)
+
+  val solve : t -> Encode.request -> (outcome, failure) result
+  (** Serve one single-root request. [stats] report the session's
+      (amortized) ground numbers, zero encode/ground seconds, and
+      per-request deltas for the solver counters. *)
+
+  val setup_seconds : t -> float
+  (** One-time encode + ground + translate cost paid by [create]. *)
+
+  val sat_stats : t -> (string * int) list
+  (** Session-cumulative solver counters. *)
+
+  val solves : t -> int
+end
+
+val concretize_batch :
+  repo:Pkg.Repo.t ->
+  ?options:options ->
+  ?jobs:int ->
+  ?session:bool ->
+  Encode.request list ->
+  (outcome, failure) result list
+(** Concretize independent requests in parallel over [jobs] OCaml
+    domains (default 1), one result per request in request order.
+    Requests are partitioned statically (request [i] on domain
+    [i mod jobs]), so results are order-stable for any [jobs]; the
+    default mode solves each request fresh (with pruning per
+    [options]) and is byte-deterministic regardless of [jobs].
+    [session] instead builds one {!Session} per domain over all batch
+    roots and reuses it for that domain's requests — faster for many
+    requests over one big universe, deterministic in costs but not
+    necessarily in cost-tied model choice. The mirror layer is
+    consulted once, before any domain spawns. *)

@@ -31,11 +31,14 @@ type t = {
   facts : statement list;
   rules : statement list;
   pool : reuse_pool;
+  pool_total : int;
 }
 
-(* Term shorthands. *)
-let str s = T.Str s
-let node_t p = T.App ("node", [ T.Str p ])
+(* Term shorthands. Constants go through the interner: package names
+   and hashes recur across thousands of facts, and interned terms make
+   the grounder's joins pointer comparisons. *)
+let str s = T.str s
+let node_t p = T.App ("node", [ T.str p ])
 let f name args = fact (atom name args)
 
 let vstr v = Vers.Version.to_string v
@@ -89,12 +92,12 @@ let encode_variant_decl pname (v : Pkg.Package.variant_decl) =
 
 (* Conditions: every directive with a [when] becomes a condition id
    with requirements; unconditional directives get a condition whose
-   only requirement is the node's presence (§5.1.1). *)
-let cond_counter = ref 0
-
-let fresh_cond () =
-  incr cond_counter;
-  Printf.sprintf "c%d" !cond_counter
+   only requirement is the node's presence (§5.1.1). Condition ids are
+   drawn from a per-encode counter, not a global: batch concretization
+   encodes in parallel domains. *)
+let fresh_cond counter =
+  incr counter;
+  Printf.sprintf "c%d" !counter
 
 let encode_when universe pname (w : Spec.Abstract.node option) cid =
   let base = [ f "condition_requirement" [ str cid; str "node"; str pname ] ] in
@@ -124,8 +127,8 @@ let deptype_atoms (dt : Spec.Types.deptypes) =
   (if dt.Spec.Types.link then [ "link" ] else [])
   @ if dt.Spec.Types.build then [ "build" ] else []
 
-let encode_dependency universe pname (d : Pkg.Package.dep_decl) =
-  let cid = fresh_cond () in
+let encode_dependency cond universe pname (d : Pkg.Package.dep_decl) =
+  let cid = fresh_cond cond in
   let dname = d.Pkg.Package.d_spec.Spec.Abstract.root.Spec.Abstract.name in
   let droot = d.Pkg.Package.d_spec.Spec.Abstract.root in
   let base =
@@ -153,8 +156,8 @@ let encode_dependency universe pname (d : Pkg.Package.dep_decl) =
   in
   base @ version_constraint @ variant_constraints
 
-let encode_conflict universe pname (c : Pkg.Package.conflict_decl) =
-  let cid = fresh_cond () in
+let encode_conflict cond universe pname (c : Pkg.Package.conflict_decl) =
+  let cid = fresh_cond cond in
   (* The conflict fires when both the when-condition and the conflicting
      configuration hold: merge both into the requirements. *)
   let merged =
@@ -168,7 +171,7 @@ let encode_conflict universe pname (c : Pkg.Package.conflict_decl) =
     (f "condition" [ str cid ] :: encode_when universe pname (Some m) cid)
     @ [ f "imposed_conflict" [ str cid ] ]
 
-let encode_package universe (pkg : Pkg.Package.t) =
+let encode_package cond universe (pkg : Pkg.Package.t) =
   let pname = pkg.Pkg.Package.name in
   let versions =
     List.concat
@@ -180,13 +183,13 @@ let encode_package universe (pkg : Pkg.Package.t) =
   in
   versions
   @ List.concat_map (encode_variant_decl pname) pkg.Pkg.Package.variants
-  @ List.concat_map (encode_dependency universe pname) pkg.Pkg.Package.dependencies
+  @ List.concat_map (encode_dependency cond universe pname) pkg.Pkg.Package.dependencies
   @ List.concat_map
       (fun (p : Pkg.Package.provide_decl) ->
         [ f "provides" [ str pname; str p.Pkg.Package.p_virtual ];
           f "virtual" [ str p.Pkg.Package.p_virtual ] ])
       pkg.Pkg.Package.provides
-  @ List.concat_map (encode_conflict universe pname) pkg.Pkg.Package.conflicts
+  @ List.concat_map (encode_conflict cond universe pname) pkg.Pkg.Package.conflicts
 
 (* Versions present only in the reuse pool still need version_decl /
    version_weight facts so the choice rule can select them; they rank
@@ -286,15 +289,13 @@ let encode_reusable ~encoding pool =
 
 (* ---- can_splice rules (Fig. 4a) ---------------------------------- *)
 
-let splice_counter = ref 0
-
 (* One rule per directive:
    can_splice(node(S), T, Hash) :-
      installed_hash(T, Hash), attr("node", node(S)),
      <when-conditions over node(S)>, <target conditions over hash_attr>. *)
-let encode_can_splice universe (pkg : Pkg.Package.t) (s : Pkg.Package.splice_decl) =
-  incr splice_counter;
-  let sid = Printf.sprintf "s%d" !splice_counter in
+let encode_can_splice scounter universe (pkg : Pkg.Package.t) (s : Pkg.Package.splice_decl) =
+  incr scounter;
+  let sid = Printf.sprintf "s%d" !scounter in
   let sname = pkg.Pkg.Package.name in
   let target = s.Pkg.Package.s_target.Spec.Abstract.root in
   let tname = target.Spec.Abstract.name in
@@ -361,16 +362,110 @@ let encode_can_splice universe (pkg : Pkg.Package.t) (s : Pkg.Package.splice_dec
   in
   (rule, !facts)
 
+(* ---- reuse-pool pruning ------------------------------------------- *)
+
+(* The dependency closure of a set of root package names: every package
+   whose [attr("node", node(P))] atom the grounder could possibly
+   derive for a request rooted there. Expansion follows
+   - every dependency directive, unconditionally (phase 1 of the
+     grounder ignores when-conditions the same way),
+   - virtual names to all their providers (the provider choice rule),
+   - [can_splice] directives of a closure package S to their target T
+     (a can_splice rule only fires when node(S) is already possible,
+     and then makes T's installed specs selectable), and
+   - reusable sub-DAGs rooted at a closure package to every node they
+     impose (a chosen hash imposes its children even if the current
+     repo no longer reaches them). *)
+let closure ~repo ~splicing ~pool roots =
+  let pool_by_name : (string, Spec.Concrete.t list ref) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ spec ->
+      let n = (Spec.Concrete.root_node spec).Spec.Concrete.name in
+      match Hashtbl.find_opt pool_by_name n with
+      | Some l -> l := spec :: !l
+      | None -> Hashtbl.add pool_by_name n (ref [ spec ]))
+    pool.by_hash;
+  let seen = Hashtbl.create 256 in
+  let queue = Queue.create () in
+  let add n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.replace seen n ();
+      Queue.add n queue
+    end
+  in
+  List.iter add roots;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter (fun (q : Pkg.Package.t) -> add q.Pkg.Package.name) (Pkg.Repo.providers repo n);
+    (match Pkg.Repo.find repo n with
+    | None -> ()
+    | Some pkg ->
+      List.iter
+        (fun (d : Pkg.Package.dep_decl) ->
+          add d.Pkg.Package.d_spec.Spec.Abstract.root.Spec.Abstract.name)
+        pkg.Pkg.Package.dependencies;
+      if splicing then
+        List.iter
+          (fun (s : Pkg.Package.splice_decl) ->
+            add s.Pkg.Package.s_target.Spec.Abstract.root.Spec.Abstract.name)
+          pkg.Pkg.Package.splices);
+    match Hashtbl.find_opt pool_by_name n with
+    | None -> ()
+    | Some specs ->
+      List.iter
+        (fun spec ->
+          List.iter
+            (fun (node : Spec.Concrete.node) -> add node.Spec.Concrete.name)
+            (Spec.Concrete.nodes spec))
+        !specs
+  done;
+  seen
+
 (* ---- top level ---------------------------------------------------- *)
 
-let encode ~repo ~encoding ~splicing ~reuse ~host_os ~host_target requests =
-  cond_counter := 0;
-  splice_counter := 0;
-  let pool = pool_of_specs reuse in
-  let universe = version_universe ~repo ~pool in
-  let package_facts =
-    List.concat_map (encode_package universe) (Pkg.Repo.packages repo)
+(* Everything request-independent: package facts (closure-filtered when
+   pruning), the reusable pool, splice rules, provider weights, host
+   facts. *)
+type base = {
+  b_facts : statement list;
+  b_rules : statement list;
+  b_pool : reuse_pool;
+  b_pool_total : int;
+  b_universe : (string, Vers.Version.t list ref) Hashtbl.t;
+  b_packages : Pkg.Package.t list;  (* closure packages, sorted *)
+  b_closure : (string, unit) Hashtbl.t option;  (* None when not pruning *)
+}
+
+let encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots =
+  let cond = ref 0 in
+  let scounter = ref 0 in
+  let full_pool = pool_of_specs reuse in
+  let pool_total = pool_size full_pool in
+  let keep =
+    if prune then Some (closure ~repo ~splicing ~pool:full_pool roots) else None
   in
+  let in_closure name =
+    match keep with None -> true | Some cl -> Hashtbl.mem cl name
+  in
+  let pool =
+    match keep with
+    | None -> full_pool
+    | Some cl ->
+      let by_hash = Hashtbl.create 256 in
+      Hashtbl.iter
+        (fun h spec ->
+          if Hashtbl.mem cl (Spec.Concrete.root_node spec).Spec.Concrete.name then
+            Hashtbl.replace by_hash h spec)
+        full_pool.by_hash;
+      { by_hash }
+  in
+  let universe = version_universe ~repo ~pool in
+  let packages =
+    List.filter
+      (fun (p : Pkg.Package.t) -> in_closure p.Pkg.Package.name)
+      (Pkg.Repo.packages repo)
+  in
+  let package_facts = List.concat_map (encode_package cond universe) packages in
   let splice_rules, splice_facts =
     if splicing then begin
       if encoding = Old then
@@ -379,20 +474,24 @@ let encode ~repo ~encoding ~splicing ~reuse ~host_os ~host_target requests =
         (fun (rules, facts) (pkg : Pkg.Package.t) ->
           List.fold_left
             (fun (rules, facts) decl ->
-              let r, fs = encode_can_splice universe pkg decl in
+              let r, fs = encode_can_splice scounter universe pkg decl in
               (r :: rules, fs @ facts))
             (rules, facts) pkg.Pkg.Package.splices)
-        ([], []) (Pkg.Repo.packages repo)
+        ([], []) packages
     end
     else ([], [])
   in
+  (* Provider weights rank a virtual's full provider list, so pruning
+     must keep the list (and hence the indices) intact: it only drops
+     virtuals no closure package provides — all providers of a virtual
+     that is actually requirable lie in the closure by construction. *)
   let provider_weights =
     let virtuals =
       List.concat_map
         (fun (p : Pkg.Package.t) ->
           List.map (fun (pr : Pkg.Package.provide_decl) -> pr.Pkg.Package.p_virtual)
             p.Pkg.Package.provides)
-        (Pkg.Repo.packages repo)
+        packages
       |> List.sort_uniq String.compare
     in
     List.concat_map
@@ -413,8 +512,217 @@ let encode ~repo ~encoding ~splicing ~reuse ~host_os ~host_target requests =
     @ target_facts
     @ provider_weights
     @ encode_pool_versions ~repo universe
-    @ List.concat_map (encode_request universe) requests
     @ encode_reusable ~encoding pool
     @ splice_facts
   in
-  { facts; rules = splice_rules; pool }
+  { b_facts = facts;
+    b_rules = splice_rules;
+    b_pool = pool;
+    b_pool_total = pool_total;
+    b_universe = universe;
+    b_packages = packages;
+    b_closure = keep }
+
+let encode ~repo ~encoding ~splicing ~reuse ?(prune = false) ~host_os ~host_target
+    requests =
+  let roots =
+    List.map
+      (fun (r : request) -> r.req.Spec.Abstract.root.Spec.Abstract.name)
+      requests
+  in
+  let b =
+    encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots
+  in
+  { facts = b.b_facts @ List.concat_map (encode_request b.b_universe) requests;
+    rules = b.b_rules;
+    pool = b.b_pool;
+    pool_total = b.b_pool_total }
+
+(* ---- incremental sessions ----------------------------------------- *)
+
+type session_env = {
+  se_roots : string list;
+  se_names : string list;
+  se_versions : (string * Vers.Version.t list) list;
+  se_variants : ((string * string) * string list) list;
+}
+
+let session_unsat_atom = atom "session_unsat" []
+
+let encode_session ~repo ~encoding ~splicing ~reuse ?(prune = true) ~host_os
+    ~host_target ~roots () =
+  let roots = List.sort_uniq String.compare roots in
+  let b =
+    encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots
+  in
+  let names =
+    (* Every package name whose facts were emitted, plus every name the
+       closure touched (virtuals, pool-only packages): the domain of
+       [req_dep]/[forbid_pkg]. *)
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Pkg.Package.t) -> Hashtbl.replace tbl p.Pkg.Package.name ())
+      b.b_packages;
+    (match b.b_closure with
+    | Some cl -> Hashtbl.iter (fun n () -> Hashtbl.replace tbl n ()) cl
+    | None ->
+      List.iter
+        (fun (p : Pkg.Package.t) ->
+          List.iter
+            (fun (pr : Pkg.Package.provide_decl) ->
+              Hashtbl.replace tbl pr.Pkg.Package.p_virtual ())
+            p.Pkg.Package.provides)
+        b.b_packages);
+    Hashtbl.fold (fun n () acc -> n :: acc) tbl [] |> List.sort String.compare
+  in
+  let versions =
+    (* The [version_decl] domain per package: declared versions plus
+       pool-only ones — exactly what the emitted facts cover. *)
+    List.map
+      (fun (p : Pkg.Package.t) ->
+        (p.Pkg.Package.name, versions_of b.b_universe p.Pkg.Package.name))
+      b.b_packages
+  in
+  let variants =
+    List.concat_map
+      (fun (p : Pkg.Package.t) ->
+        List.map
+          (fun (v : Pkg.Package.variant_decl) ->
+            let values =
+              match v.Pkg.Package.v_values with Some vs -> vs | None -> bool_values
+            in
+            ((p.Pkg.Package.name, v.Pkg.Package.v_name), values))
+          p.Pkg.Package.variants)
+      b.b_packages
+  in
+  let env =
+    { se_roots = roots; se_names = names; se_versions = versions;
+      se_variants = variants }
+  in
+  let session_facts =
+    List.map (fun p -> f "possible_root" [ str p ]) roots
+    @ List.map (fun n -> f "known_name" [ str n ]) names
+  in
+  ( { facts = b.b_facts @ session_facts;
+      rules = b.b_rules;
+      pool = b.b_pool;
+      pool_total = b.b_pool_total },
+    env )
+
+let assumptions_for env (r : request) =
+  let root = r.req.Spec.Abstract.root in
+  let rname = root.Spec.Abstract.name in
+  if not (List.mem rname env.se_roots) then
+    Error
+      (Printf.sprintf
+         "session does not cover root %s (declared roots: %s)" rname
+         (String.concat ", " env.se_roots))
+  else begin
+    (* Per-package constraints of this request: the root's own, plus
+       each named dependency's. *)
+    let constraints =
+      (rname, root)
+      :: List.map
+           (fun (d : Spec.Abstract.dep) ->
+             (d.Spec.Abstract.node.Spec.Abstract.name, d.Spec.Abstract.node))
+           r.req.Spec.Abstract.deps
+    in
+    let dep_names = List.map fst (List.tl constraints) in
+    let impossible = ref false in
+    let root_assumes =
+      List.map
+        (fun p -> (atom "root_on" [ str p ], String.equal p rname))
+        env.se_roots
+    in
+    let req_assumes =
+      List.map
+        (fun d -> (atom "req_dep" [ str d ], List.mem d dep_names))
+        env.se_names
+      (* A requested dependency outside the session universe: the atom
+         does not exist, and assuming a nonexistent atom true is how a
+         session expresses honest UNSAT. *)
+      @ List.filter_map
+          (fun d ->
+            if List.mem d env.se_names then None
+            else Some (atom "req_dep" [ str d ], true))
+          dep_names
+    in
+    let forbid_assumes =
+      (* Forbidding a name the universe cannot even produce is vacuous,
+         so names outside [se_names] are simply dropped. *)
+      List.map
+        (fun p -> (atom "forbid_pkg" [ str p ], List.mem p r.forbid))
+        env.se_names
+    in
+    let version_assumes =
+      List.concat_map
+        (fun (p, vs) ->
+          let range =
+            match List.assoc_opt p constraints with
+            | Some (n : Spec.Abstract.node) when not (Vers.Range.is_any n.Spec.Abstract.version) ->
+              Some n.Spec.Abstract.version
+            | _ -> None
+          in
+          List.map
+            (fun v ->
+              let forbidden =
+                match range with
+                | None -> false
+                | Some rg -> not (Vers.Range.satisfies v rg)
+              in
+              (atom "forbid_version" [ str p; str (vstr v) ], forbidden))
+            vs)
+        env.se_versions
+    in
+    let variant_assumes =
+      List.concat_map
+        (fun ((p, var), values) ->
+          let want =
+            match List.assoc_opt p constraints with
+            | Some (n : Spec.Abstract.node) ->
+              Spec.Types.Smap.find_opt var n.Spec.Abstract.variants
+            | None -> None
+          in
+          match want with
+          | None ->
+            List.map
+              (fun v -> (atom "forbid_variant" [ str p; str var; str v ], false))
+              values
+          | Some value ->
+            let vs = Spec.Types.variant_value_to_string value in
+            if not (List.mem vs values) then begin
+              (* Requested value is not a possible value: the fresh
+                 path's user_variant constraint makes this UNSAT. *)
+              impossible := true;
+              []
+            end
+            else
+              List.map
+                (fun v ->
+                  (atom "forbid_variant" [ str p; str var; str v ],
+                   not (String.equal v vs)))
+                values)
+        env.se_variants
+    in
+    (* A variant constraint on a package that does not declare the
+       variant at all is UNSAT on the fresh path too (the node must
+       exist — it is the root or a required dep — and can never carry
+       the value). *)
+    List.iter
+      (fun (p, (n : Spec.Abstract.node)) ->
+        Spec.Types.Smap.iter
+          (fun var _ ->
+            if
+              not
+                (List.exists
+                   (fun ((p', var'), _) -> String.equal p p' && String.equal var var')
+                   env.se_variants)
+            then impossible := true)
+          n.Spec.Abstract.variants)
+      constraints;
+    if !impossible then Ok [ (session_unsat_atom, true) ]
+    else
+      Ok
+        (root_assumes @ req_assumes @ forbid_assumes @ version_assumes
+       @ variant_assumes)
+  end
