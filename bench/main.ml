@@ -14,6 +14,10 @@
      dune exec bench/main.exe -- perf-smoke      small pool-scaling config + batch
                                                  determinism (also: dune build
                                                  @perf-smoke)
+     dune exec bench/main.exe -- obs-smoke       traced concretize+install: trace
+                                                 parses, spans nest, disabled-path
+                                                 overhead gate (also: dune build
+                                                 @obs-smoke)
      dune exec bench/main.exe -- all             everything (the default)
 
    Knobs (anywhere on the command line):
@@ -51,15 +55,15 @@ let stddev l =
 
 let timed_reps f =
   List.init !reps (fun _ ->
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_s () in
       f ();
-      Unix.gettimeofday () -. t0)
+      Obs.Clock.now_s () -. t0)
 
 let pct_increase base new_ = (new_ -. base) /. base *. 100.0
 
 let caches =
   lazy
-    (let t0 = Unix.gettimeofday () in
+    (let t0 = Obs.Clock.now_s () in
      let local = Radiuss.Caches.local ~repo () in
      let public, synthetic =
        Radiuss.Caches.public_scaled ~repo ~configs:3 ~target_nodes:!public_nodes ()
@@ -69,7 +73,7 @@ let caches =
        "[setup] local cache: %d node entries; public pool: %d specs / ~%d nodes; built in %.1fs\n%!"
        (Radiuss.Caches.node_count local)
        (List.length public_pool) !public_nodes
-       (Unix.gettimeofday () -. t0);
+       (Obs.Clock.now_s () -. t0);
      (local, public_pool))
 
 let local_pool () = Radiuss.Caches.reusable_specs (fst (Lazy.force caches))
@@ -323,7 +327,7 @@ let fig7_pool ?(sizes = [ 50; 200; 1000; 5000 ]) ?(assert_speedup = true) () =
       (* outcomes of one mode, as (request, outcome) pairs; also total
          wall ms and the worst-case ground size among the requests *)
       let run_fresh prune =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now_s () in
         let outs =
           List.map
             (fun name ->
@@ -335,10 +339,10 @@ let fig7_pool ?(sizes = [ 50; 200; 1000; 5000 ]) ?(assert_speedup = true) () =
               | Error f -> failwith (name ^ ": " ^ f.Core.Concretizer.f_message))
             specs
         in
-        ((Unix.gettimeofday () -. t0) *. 1000.0, outs)
+        ((Obs.Clock.now_s () -. t0) *. 1000.0, outs)
       in
       let run_session () =
-        let t0 = Unix.gettimeofday () in
+        let t0 = Obs.Clock.now_s () in
         match
           Core.Concretizer.Session.create ~repo ~options:(options true)
             ~roots:specs ()
@@ -357,7 +361,7 @@ let fig7_pool ?(sizes = [ 50; 200; 1000; 5000 ]) ?(assert_speedup = true) () =
                   failwith (name ^ ": " ^ f.Core.Concretizer.f_message))
               specs
           in
-          ((Unix.gettimeofday () -. t0) *. 1000.0, outs)
+          ((Obs.Clock.now_s () -. t0) *. 1000.0, outs)
       in
       let unpruned_ms, unpruned = run_fresh false in
       let pruned_ms, pruned = run_fresh true in
@@ -591,16 +595,135 @@ let perf_smoke () =
              "error " ^ f.Core.Concretizer.f_message)
          results)
   in
-  let t1 = Unix.gettimeofday () in
+  let t1 = Obs.Clock.now_s () in
   let seq = Core.Concretizer.concretize_batch ~repo ~options ~jobs:1 requests in
-  let t2 = Unix.gettimeofday () in
+  let t2 = Obs.Clock.now_s () in
   let par = Core.Concretizer.concretize_batch ~repo ~options ~jobs:4 requests in
-  let t3 = Unix.gettimeofday () in
+  let t3 = Obs.Clock.now_s () in
   if render seq <> render par then
     failwith "perf-smoke: --jobs 1 and --jobs 4 batch results differ";
   Printf.printf
     "50-request batch: jobs=1 %.2fs, jobs=4 %.2fs — results byte-identical\n"
     (t2 -. t1) (t3 -. t2)
+
+(* Observability smoke (dune build @obs-smoke): a traced
+   concretize+install must produce a parseable Chrome trace whose phase
+   spans are present and well-nested per domain, and instrumentation
+   with tracing disabled must stay within noise of the same pipeline
+   before the instrumentation existed. *)
+let obs_smoke () =
+  Printf.printf "\n=== obs-smoke: tracing correctness and overhead ===\n%!";
+  let pool = local_pool () in
+  let request () = Core.Encode.request_of_string "mfem ^mpiabi" in
+  let run obs =
+    let options =
+      { Core.Concretizer.default_options with
+        Core.Concretizer.reuse = pool;
+        splicing = true;
+        obs }
+    in
+    match Core.Concretizer.concretize ~repo ~options [ request () ] with
+    | Error e -> failwith ("obs-smoke: concretize: " ^ e)
+    | Ok o ->
+      let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
+      let store = Binary.Store.create ~root:"/obs" (Binary.Vfs.create ()) in
+      (match
+         Binary.Installer.install store ~repo
+           ~caches:[ (fst (Lazy.force caches)).Radiuss.Caches.cache ] ~obs spec
+       with
+      | Ok _ -> ()
+      | Error e ->
+        failwith (Format.asprintf "obs-smoke: install: %a" Binary.Errors.pp e))
+  in
+  (* 1. the traced run: trace parses and contains the phase spans *)
+  let obs = Obs.create () in
+  run obs;
+  let trace = Obs.Sink.render obs Obs.Sink.Chrome in
+  let json =
+    match Sjson.of_string trace with
+    | j -> j
+    | exception Sjson.Parse_error e -> failwith ("obs-smoke: bad chrome trace: " ^ e)
+  in
+  let span_names =
+    List.filter_map
+      (fun ev ->
+        match Sjson.member_opt "ph" ev with
+        | Some (Sjson.String "X") ->
+          Some (Sjson.get_string (Sjson.member "name" ev))
+        | _ -> None)
+      (Sjson.to_list (Sjson.member "traceEvents" json))
+  in
+  List.iter
+    (fun phase ->
+      if not (List.mem phase span_names) then
+        failwith ("obs-smoke: trace is missing the " ^ phase ^ " span"))
+    [ "concretize"; "encode"; "ground"; "solve"; "decode"; "sat.solve";
+      "install"; "install.node" ];
+  (* 2. spans must nest per domain: any two spans on one tid are either
+     disjoint or one contains the other *)
+  let spans_by_tid = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Obs.Span { tid; t0_ns; dur_ns; name; _ } ->
+        let l = try Hashtbl.find spans_by_tid tid with Not_found -> [] in
+        Hashtbl.replace spans_by_tid tid
+          ((name, t0_ns, Int64.add t0_ns dur_ns) :: l)
+      | Obs.Instant _ -> ())
+    (Obs.events obs);
+  Hashtbl.iter
+    (fun tid spans ->
+      List.iter
+        (fun (n1, s1, e1) ->
+          List.iter
+            (fun (n2, s2, e2) ->
+              let lt = Int64.compare in
+              let overlap = lt (max s1 s2) (min e1 e2) < 0 in
+              let contains a b c d = lt a c <= 0 && lt d b <= 0 in
+              if
+                overlap
+                && not (contains s1 e1 s2 e2)
+                && not (contains s2 e2 s1 e1)
+              then
+                failwith
+                  (Printf.sprintf
+                     "obs-smoke: spans %s and %s partially overlap on domain %d"
+                     n1 n2 tid))
+            spans)
+        spans)
+    spans_by_tid;
+  Printf.printf
+    "trace: %d spans over %d domain(s), all expected phases present, well-nested\n%!"
+    (List.length span_names)
+    (Hashtbl.length spans_by_tid);
+  (* 3. overhead gate: the disabled-context path must stay within noise
+     of itself — compare against a fully traced run for scale, and fail
+     only if the untraced median regresses past a generous threshold of
+     the traced one (i.e. the "disabled" path secretly started paying
+     tracing costs) *)
+  let median l =
+    let a = List.sort compare l in
+    List.nth a (List.length a / 2)
+  in
+  let reps = 7 in
+  let time obs =
+    median
+      (List.init reps (fun _ ->
+           let t0 = Obs.Clock.now_s () in
+           run obs;
+           Obs.Clock.now_s () -. t0))
+  in
+  ignore (time Obs.disabled) (* warm up *);
+  let untraced = time Obs.disabled in
+  let traced = time (Obs.create ()) in
+  Printf.printf "median over %d reps: untraced %.4fs, traced %.4fs (%+.1f%%)\n%!"
+    reps untraced traced
+    (pct_increase untraced traced);
+  if untraced > traced *. 1.30 then
+    failwith
+      (Printf.sprintf
+         "obs-smoke: untraced run (%.4fs) is >30%% slower than a fully traced \
+          one (%.4fs) — the disabled path is paying tracing costs"
+         untraced traced)
 
 (* Fixed-seed resilience smoke: the scenarios the mirror layer exists
    for, each run to completion and checked for convergence —
@@ -746,6 +869,7 @@ let () =
     | "fuzz-smoke" -> fuzz_smoke ()
     | "resil-smoke" -> resil_smoke ()
     | "perf-smoke" -> perf_smoke ()
+    | "obs-smoke" -> obs_smoke ()
     | "all" ->
       table1 ();
       micro ();
@@ -757,7 +881,7 @@ let () =
     | other ->
       Printf.eprintf
         "unknown command %s (try \
-         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|perf-smoke|all)\n"
+         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|perf-smoke|obs-smoke|all)\n"
         other;
       exit 2
   in

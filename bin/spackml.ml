@@ -43,6 +43,38 @@ let stats_flag =
 
 let spec_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC")
 
+(* ---- tracing (shared by concretize / install / fuzz) ---- *)
+
+let trace_flag =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+      ~doc:"Record a trace of the run (spans over a monotonic clock plus \
+            solver/mirror metrics) and write it to FILE.")
+
+let trace_format_flag =
+  Arg.(value & opt string "chrome" & info [ "trace-format" ] ~docv:"FORMAT"
+      ~doc:"Trace rendering: $(b,chrome) (Perfetto-loadable trace_event \
+            JSON, the default), $(b,jsonl) (one event per line, input to \
+            $(b,spackml trace-report)), or $(b,summary) (human-readable \
+            aggregate table).")
+
+(* Run [f] under a tracing context when [--trace] was given: [f]
+   receives the context (or [Obs.disabled]) and returns an exit code;
+   the trace is rendered afterwards even if [f]'s work failed. *)
+let with_trace ~trace ~trace_format f =
+  match trace with
+  | None -> f Obs.disabled
+  | Some file -> (
+    match Obs.Sink.of_string trace_format with
+    | Error e ->
+      Format.eprintf "error: --trace-format: %s@." e;
+      2
+    | Ok sink ->
+      let obs = Obs.create () in
+      let code = f obs in
+      Obs.Sink.write_file obs sink file;
+      Format.eprintf "trace written to %s (%s)@." file trace_format;
+      code)
+
 (* ---- concretize ---- *)
 
 let json_flag =
@@ -95,7 +127,7 @@ let run_batch ~opts ~jobs ~session ~stats file =
     Format.eprintf "error: %s@." e;
     2
   | pairs ->
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs.Clock.now_s () in
     let results =
       Core.Concretizer.concretize_batch ~repo ~options:opts ~jobs ~session
         (List.map snd pairs)
@@ -106,7 +138,13 @@ let run_batch ~opts ~jobs ~session ~stats file =
         match result with
         | Ok (o : Core.Concretizer.outcome) ->
           let spec = List.hd o.Core.Concretizer.solution.Core.Decode.specs in
-          Format.printf "%s: %s@." text (Spec.Concrete.to_string spec)
+          Format.printf "%s: %s@." text (Spec.Concrete.to_string spec);
+          (* per-request statistics: in [session] mode the solver
+             counters are per-request deltas, not the session's
+             cumulative totals *)
+          if stats then
+            Format.printf "  %a@." Core.Concretizer.pp_stats
+              o.Core.Concretizer.stats
         | Error (f : Core.Concretizer.failure) ->
           incr failures;
           Format.printf "%s: error: %s@." text f.Core.Concretizer.f_message)
@@ -115,13 +153,20 @@ let run_batch ~opts ~jobs ~session ~stats file =
       Format.printf "batch: %d specs, %d failures, jobs=%d%s, %.3fs@."
         (List.length pairs) !failures jobs
         (if session then " (session mode)" else "")
-        (Unix.gettimeofday () -. t0);
+        (Obs.Clock.now_s () -. t0);
     if !failures = 0 then 0 else 1
 
 let concretize_cmd =
   let spec_opt_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC") in
-  let run reuse splicing old_encoding stats json dot batch jobs session spec_text =
+  let run reuse splicing old_encoding stats json dot batch jobs session trace
+      trace_format spec_text =
+    with_trace ~trace ~trace_format @@ fun obs ->
     let opts = options ~reuse ~splicing ~old_encoding in
+    (* A traced concretize also re-validates its solutions: the verify
+       span is part of the pipeline picture. *)
+    let opts =
+      { opts with Core.Concretizer.obs; verify = Obs.enabled obs }
+    in
     match (batch, spec_text) with
     | Some file, None -> run_batch ~opts ~jobs ~session ~stats file
     | Some _, Some _ ->
@@ -164,7 +209,8 @@ let concretize_cmd =
          "Resolve an abstract spec to a concrete spec DAG, or a whole file of \
           specs with $(b,--batch) (optionally in parallel with $(b,--jobs)).")
     Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag
-          $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ spec_opt_arg)
+          $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ trace_flag
+          $ trace_format_flag $ spec_opt_arg)
 
 (* ---- install ---- *)
 
@@ -239,8 +285,13 @@ let recover_flag =
             Store.recover and resume the install on the recovered store.")
 
 let install_cmd =
-  let run reuse splicing mirror_specs retries no_fallback crash_at recover spec_text =
+  let run reuse splicing mirror_specs retries no_fallback crash_at recover trace
+      trace_format spec_text =
+    with_trace ~trace ~trace_format @@ fun obs ->
     let opts = options ~reuse ~splicing ~old_encoding:false in
+    let opts =
+      { opts with Core.Concretizer.obs; verify = Obs.enabled obs }
+    in
     match
       List.fold_left
         (fun acc s ->
@@ -266,7 +317,7 @@ let install_cmd =
               { Binary.Mirror.default_retry with Binary.Mirror.max_attempts = n }
           in
           Some
-            (Binary.Mirror.group ~policy
+            (Binary.Mirror.group ~policy ~obs
                (List.map
                   (fun (name, faults) ->
                     Binary.Mirror.create ~faults ~name
@@ -298,7 +349,7 @@ let install_cmd =
         in
         let install store =
           Binary.Installer.install store ~repo ~caches ?mirrors
-            ~fallback:(not no_fallback) spec
+            ~fallback:(not no_fallback) ~obs spec
         in
         (match install store with
         | Ok report -> finish store report
@@ -328,7 +379,8 @@ let install_cmd =
          "Concretize and install a spec into a fresh store, optionally through \
           fault-injected mirrors with retry, failover and crash recovery.")
     Term.(const run $ reuse_flag $ splice_flag $ mirror_flag $ retries_flag
-          $ no_fallback_flag $ crash_at_flag $ recover_flag $ spec_arg)
+          $ no_fallback_flag $ crash_at_flag $ recover_flag $ trace_flag
+          $ trace_format_flag $ spec_arg)
 
 (* ---- splice (manual, Fig. 2 mechanics) ---- *)
 
@@ -475,7 +527,7 @@ let fuzz_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Log progress per round.")
   in
-  let run seed rounds inject verbose =
+  let run seed rounds inject verbose trace trace_format =
     match
       match inject with
       | None -> Ok None
@@ -488,8 +540,9 @@ let fuzz_cmd =
       Format.eprintf "unknown fault %S (try pb or unfounded)@." s;
       2
     | Ok inject ->
+      with_trace ~trace ~trace_format @@ fun obs ->
       let log m = if verbose then Format.eprintf "%s@." m in
-      let report = Fuzz.Harness.run ~log ?inject ~seed ~rounds () in
+      let report = Fuzz.Harness.run ~log ?inject ~obs ~seed ~rounds () in
       Format.printf "%a" Fuzz.Harness.pp_report report;
       if report.Fuzz.Harness.failures = [] then 0 else 1
   in
@@ -500,7 +553,140 @@ let fuzz_cmd =
           solution independently, certify every UNSAT with a checked DRUP \
           proof, cross-check small instances by brute force, and shrink any \
           failure to a paste-ready reproducer.")
-    Term.(const run $ seed $ rounds $ inject $ verbose)
+    Term.(const run $ seed $ rounds $ inject $ verbose $ trace_flag
+          $ trace_format_flag)
+
+(* ---- trace-report ---- *)
+
+(* Aggregate a recorded trace (jsonl, or a chrome trace_event object)
+   into per-phase totals and duration histograms — the offline
+   counterpart of --trace-format summary. *)
+let trace_report_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let run file =
+    let text =
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let num = function
+      | Sjson.Float f -> f
+      | Sjson.Int n -> float_of_int n
+      | _ -> 0.
+    in
+    (* span name -> duration histogram (ms), in first-seen order *)
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    let add_span name ms =
+      let h =
+        match Hashtbl.find_opt tbl name with
+        | Some h -> h
+        | None ->
+          let h = Obs.Hist.create () in
+          Hashtbl.replace tbl name h;
+          order := name :: !order;
+          h
+      in
+      Obs.Hist.observe h ms
+    in
+    let metric_lines = ref [] in
+    let metric name v = metric_lines := (name, v) :: !metric_lines in
+    let chrome_events evs =
+      List.iter
+        (fun ev ->
+          match Sjson.member_opt "ph" ev with
+          | Some (Sjson.String "X") ->
+            add_span (Sjson.get_string (Sjson.member "name" ev))
+              (num (Sjson.member "dur" ev) /. 1e3)
+          | Some (Sjson.String "C") ->
+            metric
+              (Sjson.get_string (Sjson.member "name" ev))
+              (string_of_int
+                 (Sjson.get_int (Sjson.member "value" (Sjson.member "args" ev))))
+          | _ -> ())
+        (Sjson.to_list evs)
+    in
+    let jsonl_line j =
+      match Sjson.member_opt "kind" j with
+      | Some (Sjson.String "span") ->
+        add_span (Sjson.get_string (Sjson.member "name" j))
+          (num (Sjson.member "dur_ns" j) /. 1e6)
+      | Some (Sjson.String ("counter" | "gauge")) ->
+        metric (Sjson.get_string (Sjson.member "name" j))
+          (string_of_int (Sjson.get_int (Sjson.member "value" j)))
+      | Some (Sjson.String "histogram") ->
+        let v = Sjson.member "value" j in
+        metric (Sjson.get_string (Sjson.member "name" j))
+          (Printf.sprintf "n=%d sum=%.3f p50=%.3f p99=%.3f"
+             (Sjson.get_int (Sjson.member "count" v))
+             (num (Sjson.member "sum" v))
+             (num (Sjson.member "p50" v))
+             (num (Sjson.member "p99" v)))
+      | _ -> ()
+    in
+    match
+      let trimmed = String.trim text in
+      if trimmed = "" then Error "empty trace file"
+      else
+        match Sjson.of_string trimmed with
+        | j -> (
+          (* a single JSON document: a chrome trace (or one jsonl line) *)
+          match Sjson.member_opt "traceEvents" j with
+          | Some evs -> Ok (chrome_events evs)
+          | None -> Ok (jsonl_line j))
+        | exception Sjson.Parse_error _ ->
+          (* one JSON object per line *)
+          Ok
+            (String.split_on_char '\n' text
+            |> List.iter (fun line ->
+                   let line = String.trim line in
+                   if line <> "" then
+                     match Sjson.of_string line with
+                     | j -> jsonl_line j
+                     | exception Sjson.Parse_error e ->
+                       failwith (Printf.sprintf "bad trace line: %s" e)))
+    with
+    | exception Failure e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok () ->
+      let names = List.rev !order in
+      if names = [] && !metric_lines = [] then begin
+        Format.eprintf "error: no events in %s@." file;
+        1
+      end
+      else begin
+        if names <> [] then begin
+          Format.printf "%-32s %8s %12s %12s %12s %12s@." "phase" "count"
+            "total_ms" "p50_ms" "p99_ms" "max_ms";
+          List.iter
+            (fun name ->
+              let h = Hashtbl.find tbl name in
+              Format.printf "%-32s %8d %12.3f %12.3f %12.3f %12.3f@." name
+                (Obs.Hist.count h) (Obs.Hist.sum h) (Obs.Hist.quantile h 0.5)
+                (Obs.Hist.quantile h 0.99) (Obs.Hist.max_value h))
+            names
+        end;
+        if !metric_lines <> [] then begin
+          Format.printf "%-44s %s@." "metric" "value";
+          List.iter
+            (fun (n, v) -> Format.printf "%-44s %s@." n v)
+            (List.rev !metric_lines)
+        end;
+        0
+      end
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Aggregate a trace recorded with $(b,--trace) (jsonl or chrome \
+          format) into per-phase totals and duration histograms.")
+    Term.(const run $ file)
 
 (* ---- providers ---- *)
 
@@ -529,4 +715,4 @@ let () =
                "Source and binary package management with ABI-compatible splicing \
                 (OCaml reproduction of the SC'25 Spack splicing paper).")
           [ concretize_cmd; install_cmd; splice_cmd; buildcache_cmd; solve_cmd;
-            discover_cmd; providers_cmd; fuzz_cmd ]))
+            discover_cmd; providers_cmd; fuzz_cmd; trace_report_cmd ]))

@@ -41,6 +41,10 @@ type store = {
   mutable count : int;
   by_pred : (string * int, atom_id list ref) Hashtbl.t;
   by_pred_arg : atom_id list ref Arg_tbl.t;
+  mutable idx_hits : int;
+      (* joins seeded through the argument index ... *)
+  mutable idx_misses : int;
+      (* ... vs. falling back to the per-predicate scan *)
 }
 
 let store_create () =
@@ -49,7 +53,9 @@ let store_create () =
     possible = Bytes.make 4096 '\000';
     count = 0;
     by_pred = Hashtbl.create 64;
-    by_pred_arg = Arg_tbl.create 4096 }
+    by_pred_arg = Arg_tbl.create 4096;
+    idx_hits = 0;
+    idx_misses = 0 }
 
 let store_grow st =
   if st.count >= Array.length st.arr then begin
@@ -108,10 +114,12 @@ let candidates st (pattern : Ast.atom) =
   in
   match first_ground 0 pattern.Ast.args with
   | Some (i, arg) -> (
+    st.idx_hits <- st.idx_hits + 1;
     match Arg_tbl.find_opt st.by_pred_arg (pattern.Ast.pred, arity, i, arg) with
     | Some l -> !l
     | None -> [])
   | None -> (
+    st.idx_misses <- st.idx_misses + 1;
     match Hashtbl.find_opt st.by_pred (pattern.Ast.pred, arity) with
     | Some l -> !l
     | None -> [])
@@ -270,7 +278,9 @@ let phase1 st prog =
     pseudos;
   (* Delta loop: for each new atom, re-evaluate rules triggered through
      the matching body position, seeding the join there. *)
+  let iters = ref 0 in
   while not (Queue.is_empty queue) do
+    incr iters;
     let id = Queue.pop queue in
     let atom = st.arr.(id) in
     let triggers =
@@ -300,7 +310,8 @@ let phase1 st prog =
               invalid_arg "grounder: comparison with unbound variables (unsafe rule)"))
         | _ -> assert false)
       triggers
-  done
+  done;
+  !iters
 
 (* Phase 2: emit ground statements over the fixed atom set. *)
 let phase2 st prog =
@@ -493,14 +504,37 @@ let simplify st grules gmins =
   in
   (List.rev !out, gmins)
 
-let ground prog =
+let ground ?(obs = Obs.disabled) prog =
   (match Ast.check_safety prog with
   | Ok () -> ()
   | Error e -> invalid_arg ("grounder: " ^ e));
   let st = store_create () in
-  phase1 st prog;
-  let grules, gmins = phase2 st prog in
-  let grules, gmins = simplify st grules gmins in
+  let iters =
+    Obs.with_span obs ~cat:"ground" "ground.phase1" (fun sp ->
+        let iters = phase1 st prog in
+        Obs.set_attr sp "fixpoint_iters" (Obs.I iters);
+        Obs.set_attr sp "possible_atoms" (Obs.I st.count);
+        iters)
+  in
+  let grules, gmins =
+    Obs.with_span obs ~cat:"ground" "ground.phase2" (fun sp ->
+        let grules, gmins = phase2 st prog in
+        Obs.set_attr sp "rules" (Obs.I (List.length grules));
+        (grules, gmins))
+  in
+  let pre_simplify = List.length grules in
+  let grules, gmins =
+    Obs.with_span obs ~cat:"ground" "ground.simplify" (fun sp ->
+        let grules, gmins = simplify st grules gmins in
+        Obs.set_attr sp "rules_in" (Obs.I pre_simplify);
+        Obs.set_attr sp "rules_out" (Obs.I (List.length grules));
+        (grules, gmins))
+  in
+  Obs.incr obs ~by:(List.length grules) "ground.rules";
+  Obs.incr obs ~by:iters "ground.fixpoint_iters";
+  Obs.incr obs ~by:st.idx_hits "ground.index_hits";
+  Obs.incr obs ~by:st.idx_misses "ground.index_misses";
+  Obs.gauge obs "ground.atoms" st.count;
   let gmin_priorities =
     List.concat_map
       (function
@@ -519,6 +553,10 @@ let minimizes t = t.gmins
 let minimize_priorities t = t.gmin_priorities
 
 let atom_count t = t.st.count
+
+let index_hits t = t.st.idx_hits
+
+let index_misses t = t.st.idx_misses
 
 let possible t id = Bytes.get t.st.possible id = '\001'
 

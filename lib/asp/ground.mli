@@ -28,7 +28,10 @@ type gmin = {
 
 type t
 
-val ground : Ast.program -> t
+val ground : ?obs:Obs.ctx -> Ast.program -> t
+(** [?obs] records phase spans (phase1/phase2/simplify), the
+    possible-atom fixpoint iteration count, join-index hit/miss
+    counters, and ground-rule totals. *)
 
 val rules : t -> grule list
 
@@ -43,6 +46,12 @@ val minimize_priorities : t -> int list
 val atom_count : t -> int
 (** Total interned atoms (possible or merely referenced under
     negation); valid ids are [0 .. atom_count - 1]. *)
+
+val index_hits : t -> int
+(** Joins seeded through the per-argument index. *)
+
+val index_misses : t -> int
+(** Joins that fell back to the full per-predicate scan. *)
 
 val possible : t -> atom_id -> bool
 (** Atoms with no possible derivation are constant-false. *)

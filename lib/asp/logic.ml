@@ -31,6 +31,7 @@ type ctx = {
   (* supports per atom id: body vars of rules that can derive it *)
   mutable stable_checks : int;
   mutable loop_clauses : int;
+  obs : Obs.ctx;
 }
 
 let body_lits ctx pos neg =
@@ -58,8 +59,10 @@ let make_body_lit ctx cache pos neg =
       Hashtbl.add cache key (Sat.pos v);
       Sat.pos v)
 
-let translate ?(certify = false) g =
+let translate ?(certify = false) ?(obs = Obs.disabled) g =
+  Obs.with_span obs ~cat:"solve" "logic.translate" @@ fun span ->
   let sat = Sat.create () in
+  Sat.set_obs sat obs;
   if certify then Sat.enable_proof sat;
   let n = Ground.atom_count g in
   let atom_var = Array.init n (fun _ -> Sat.new_var sat) in
@@ -68,8 +71,9 @@ let translate ?(certify = false) g =
     if not (Ground.possible g id) then Sat.add_clause sat [ Sat.neg atom_var.(id) ]
   done;
   let ctx =
-    { g; sat; atom_var; trules = []; stable_checks = 0; loop_clauses = 0 }
+    { g; sat; atom_var; trules = []; stable_checks = 0; loop_clauses = 0; obs }
   in
+  Obs.set_attr span "atoms" (Obs.I n);
   let body_cache = Hashtbl.create 1024 in
   let supports : (int, Sat.lit list ref) Hashtbl.t = Hashtbl.create 1024 in
   let facts : (int, unit) Hashtbl.t = Hashtbl.create 256 in
@@ -302,15 +306,28 @@ let add_loop_clauses ctx unfounded =
     unfounded
 
 (* Solve and keep refining until the SAT model is a stable model. *)
+let sat_solve_traced ctx ~assumptions =
+  Obs.with_span ctx.obs ~cat:"solve" "sat.solve" (fun sp ->
+      let before = if Obs.enabled ctx.obs then Sat.stats ctx.sat else [] in
+      let r = Sat.solve ~assumptions ctx.sat in
+      if Obs.enabled ctx.obs then
+        List.iter
+          (fun (k, v) -> Obs.set_attr sp k (Obs.I v))
+          (Sat.stats_delta ~before ctx.sat);
+      Obs.set_attr sp "sat" (Obs.B r);
+      r)
+
 let solve_stable ctx ~assumptions =
   let rec go () =
-    if not (Sat.solve ~assumptions ctx.sat) then false
+    if not (sat_solve_traced ctx ~assumptions) then false
     else begin
       ctx.stable_checks <- ctx.stable_checks + 1;
+      Obs.incr ctx.obs "logic.stable_checks";
       match (if !hook_skip_unfounded then [] else unfounded_set ctx) with
       | [] -> true
       | u ->
         add_loop_clauses ctx u;
+        Obs.incr ctx.obs ~by:(List.length u) "logic.unfounded_atoms";
         go ()
     end
   in
@@ -353,7 +370,17 @@ let optimize ctx objectives ~assumptions =
             let a = Sat.new_var ctx.sat in
             (* sum + (total - bound) * a <= total: active iff a. *)
             Sat.add_pb_le ctx.sat ((total - bound, Sat.pos a) :: terms) total;
-            if solve_stable ctx ~assumptions:(assume [ Sat.pos a ]) then begin
+            let probe_sat =
+              Obs.with_span ctx.obs ~cat:"solve" "opt.probe"
+                ~attrs:
+                  [ ("priority", Obs.I obj.priority); ("bound", Obs.I bound) ]
+                (fun sp ->
+                  let r = solve_stable ctx ~assumptions:(assume [ Sat.pos a ]) in
+                  Obs.set_attr sp "sat" (Obs.B r);
+                  r)
+            in
+            Obs.incr ctx.obs "opt.bound_probes";
+            if probe_sat then begin
               let c = objective_cost ctx obj in
               (* A model satisfying [sum <= current - 1] has cost
                  strictly below [current]; anything else means the PB
@@ -384,8 +411,8 @@ let optimize ctx objectives ~assumptions =
     Some (List.map (fun o -> (o.priority, objective_cost ctx o)) objectives)
   end
 
-let solve ?(certify = false) g =
-  let ctx = translate ~certify g in
+let solve ?(certify = false) ?(obs = Obs.disabled) g =
+  let ctx = translate ~certify ~obs g in
   let objectives = build_objectives ctx in
   match optimize ctx objectives ~assumptions:[] with
   | None -> Unsat (Sat.proof ctx.sat)
@@ -405,8 +432,8 @@ type session = {
   mutable s_solves : int;
 }
 
-let session_create ?(certify = false) g =
-  let ctx = translate ~certify g in
+let session_create ?(certify = false) ?(obs = Obs.disabled) g =
+  let ctx = translate ~certify ~obs g in
   { s_ctx = ctx; s_objectives = build_objectives ctx; s_solves = 0 }
 
 let session_ground s = s.s_ctx.g
@@ -420,6 +447,9 @@ exception Unknown_true_assumption
 let session_solve s ~assume =
   let ctx = s.s_ctx in
   s.s_solves <- s.s_solves + 1;
+  Obs.with_span ctx.obs ~cat:"solve" "session.solve"
+    ~attrs:[ ("solve_index", Obs.I s.s_solves) ]
+  @@ fun span ->
   match
     List.filter_map
       (fun (a, b) ->
@@ -438,10 +468,13 @@ let session_solve s ~assume =
     match optimize ctx s.s_objectives ~assumptions with
     | None -> Unsat (Sat.proof ctx.sat)
     | Some costs ->
+      let delta = Sat.stats_delta ~before ctx.sat in
+      if Obs.enabled ctx.obs then
+        List.iter (fun (k, v) -> Obs.set_attr span k (Obs.I v)) delta;
       Sat
         { atoms = extract_atoms ctx;
           costs;
-          sat_stats = Sat.stats_delta ~before ctx.sat;
+          sat_stats = delta;
           stable_checks = ctx.stable_checks;
           loop_clauses = ctx.loop_clauses })
 

@@ -28,7 +28,11 @@ type outcome = Sat of model | Unsat of Sat.proof_step list option
     inputs); it can be validated independently with [Fuzz.Drup.check].
     [None] when certification was off. *)
 
-val solve : ?certify:bool -> Ground.t -> outcome
+val solve : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> outcome
+(** [?obs] records a translate span, per-SAT-call [sat.solve] spans
+    with stats deltas, per-optimization [opt.probe] spans (priority,
+    bound, outcome), stable-check counters, and the SAT core's
+    per-restart histograms. *)
 
 (** {2 Incremental sessions}
 
@@ -42,7 +46,10 @@ val solve : ?certify:bool -> Ground.t -> outcome
 
 type session
 
-val session_create : ?certify:bool -> Ground.t -> session
+val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
+(** [?obs] traces the one-time translation and then every
+    {!session_solve} as a [session.solve] span carrying that request's
+    solver-stat deltas. *)
 
 val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
 (** Solve for the optimal stable model consistent with the assumed atom

@@ -77,12 +77,17 @@ type t = {
   mutable heap : int array;
   mutable heap_len : int;
   mutable heap_pos : int array;      (* var -> index in heap, -1 if absent *)
-  (* stats *)
-  mutable n_conflicts : int;
-  mutable n_decisions : int;
-  mutable n_propagations : int;
-  mutable n_restarts : int;
-  mutable n_learnts_total : int;
+  (* stats: one Obs.Stats set holds the monotonic counters; the old
+     [stats]/[stats_delta] accessors are shims over its snapshot *)
+  stat_set : Obs.Stats.t;
+  c_conflicts : Obs.Stats.counter;
+  c_decisions : Obs.Stats.counter;
+  c_propagations : Obs.Stats.counter;
+  c_learnts : Obs.Stats.counter;
+  c_restarts : Obs.Stats.counter;
+  (* tracing: per-restart delta histograms and learnt-DB gauge *)
+  mutable obs : Obs.ctx;
+  mutable at_restart : int * int * int; (* conflicts, decisions, props *)
   (* scratch for analysis *)
   mutable seen : Bytes.t;
   (* proof logging: [None] = off; steps are kept newest-first *)
@@ -91,6 +96,13 @@ type t = {
 }
 
 let create () =
+  let stat_set = Obs.Stats.create () in
+  (* Registration order fixes the [stats] output order. *)
+  let c_conflicts = Obs.Stats.counter stat_set "conflicts" in
+  let c_decisions = Obs.Stats.counter stat_set "decisions" in
+  let c_propagations = Obs.Stats.counter stat_set "propagations" in
+  let c_learnts = Obs.Stats.counter stat_set "learnts" in
+  let c_restarts = Obs.Stats.counter stat_set "restarts" in
   { nvars = 0;
     assign = Bytes.create 0;
     level = [||];
@@ -111,11 +123,14 @@ let create () =
     heap = [||];
     heap_len = 0;
     heap_pos = [||];
-    n_conflicts = 0;
-    n_decisions = 0;
-    n_propagations = 0;
-    n_restarts = 0;
-    n_learnts_total = 0;
+    stat_set;
+    c_conflicts;
+    c_decisions;
+    c_propagations;
+    c_learnts;
+    c_restarts;
+    obs = Obs.disabled;
+    at_restart = (0, 0, 0);
     seen = Bytes.create 0;
     proof = None;
     n_pb_inputs = 0 }
@@ -290,7 +305,7 @@ let propagate s =
     while s.qhead < Vec.size s.trail do
       let l = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
-      s.n_propagations <- s.n_propagations + 1;
+      Obs.Stats.incr s.c_propagations;
       (* PB checks for l being true (sums were updated at enqueue). *)
       List.iter
         (fun (pb, _w) ->
@@ -627,6 +642,23 @@ let record_model s =
 exception Unsat_exc
 exception Sat_exc
 
+let set_obs s obs = s.obs <- obs
+
+(* Restarts are rare (Luby budgets of 100+ conflicts), so per-restart
+   tracing can afford histogram updates and a learnt-DB walk. *)
+let note_restart s =
+  if Obs.enabled s.obs then begin
+    let c = Obs.Stats.value s.c_conflicts
+    and d = Obs.Stats.value s.c_decisions
+    and p = Obs.Stats.value s.c_propagations in
+    let c0, d0, p0 = s.at_restart in
+    Obs.observe s.obs "sat.conflicts_per_restart" (float_of_int (c - c0));
+    Obs.observe s.obs "sat.decisions_per_restart" (float_of_int (d - d0));
+    Obs.observe s.obs "sat.propagations_per_restart" (float_of_int (p - p0));
+    Obs.gauge s.obs "sat.learnt_db" (List.length s.learnts);
+    s.at_restart <- (c, d, p)
+  end
+
 let solve ?(assumptions = []) s =
   if not s.ok then false
   else begin
@@ -639,13 +671,13 @@ let solve ?(assumptions = []) s =
     if not s.ok then false
     else begin
       let assumptions = Array.of_list assumptions in
-      let conflict_budget = ref (luby 2.0 s.n_restarts *. 100.0) in
+      let conflict_budget = ref (luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0) in
       let result = ref None in
       (try
          while true do
            match propagate s with
            | Some confl ->
-             s.n_conflicts <- s.n_conflicts + 1;
+             Obs.Stats.incr s.c_conflicts;
              conflict_budget := !conflict_budget -. 1.0;
              if decision_level s = 0 then begin
                log_step s (P_derived []);
@@ -672,7 +704,7 @@ let solve ?(assumptions = []) s =
              | _ ->
                let c = { lits = learnt; activity = 0.; learnt = true } in
                s.learnts <- c :: s.learnts;
-               s.n_learnts_total <- s.n_learnts_total + 1;
+               Obs.Stats.incr s.c_learnts;
                attach_clause s c;
                if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) (Clause_reason c));
              s.var_inc <- s.var_inc /. 0.95
@@ -680,8 +712,9 @@ let solve ?(assumptions = []) s =
              if !conflict_budget < 0.0 && decision_level s > Array.length assumptions
              then begin
                (* Restart, keeping assumptions. *)
-               s.n_restarts <- s.n_restarts + 1;
-               conflict_budget := luby 2.0 s.n_restarts *. 100.0;
+               Obs.Stats.incr s.c_restarts;
+               note_restart s;
+               conflict_budget := luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0;
                cancel_until s (min (decision_level s) (Array.length assumptions))
              end
              else begin
@@ -706,7 +739,7 @@ let solve ?(assumptions = []) s =
                    raise Sat_exc
                  end
                  else begin
-                   s.n_decisions <- s.n_decisions + 1;
+                   Obs.Stats.incr s.c_decisions;
                    Vec.push s.trail_lim (Vec.size s.trail);
                    let l = if Bytes.get s.phase v = '\001' then pos v else neg v in
                    enqueue s l Decision
@@ -726,23 +759,13 @@ let value s v = Bytes.get s.model v = '\001'
 
 let lit_value_in_model s l = if lit_sign l then value s (lit_var l) else not (value s (lit_var l))
 
+(* Shims over the Obs.Stats set: same keys, same order as always. *)
 let stats s =
-  [ ("conflicts", s.n_conflicts);
-    ("decisions", s.n_decisions);
-    ("propagations", s.n_propagations);
-    ("learnts", s.n_learnts_total);
-    ("restarts", s.n_restarts);
-    ("clauses", List.length s.clauses);
-    ("pbs", List.length s.pbs);
-    ("vars", s.nvars) ]
-
-(* Counters that only ever grow; the rest are gauges. *)
-let monotonic = [ "conflicts"; "decisions"; "propagations"; "learnts"; "restarts" ]
+  Obs.Stats.snapshot s.stat_set
+    ~extra:
+      [ ("clauses", List.length s.clauses);
+        ("pbs", List.length s.pbs);
+        ("vars", s.nvars) ]
 
 let stats_delta ~before s =
-  List.map
-    (fun (k, v) ->
-      if List.mem k monotonic then
-        (k, v - (match List.assoc_opt k before with Some v0 -> v0 | None -> 0))
-      else (k, v))
-    (stats s)
+  Obs.Stats.delta ~monotonic:(Obs.Stats.names s.stat_set) ~before (stats s)

@@ -78,9 +78,16 @@ val value : t -> int -> bool
 
 val lit_value_in_model : t -> lit -> bool
 
+val set_obs : t -> Obs.ctx -> unit
+(** Attach a tracing context: each restart records the
+    conflicts/decisions/propagations since the previous restart into
+    [sat.*_per_restart] histograms and updates the [sat.learnt_db]
+    gauge. No effect (and no cost) with {!Obs.disabled}. *)
+
 val stats : t -> (string * int) list
 (** Counters: conflicts, decisions, propagations, learned clauses,
-    restarts; plus gauges: clauses, pbs, vars. *)
+    restarts; plus gauges: clauses, pbs, vars. Stored in an
+    {!Obs.Stats} set; this accessor is a snapshot shim. *)
 
 val stats_delta : before:(string * int) list -> t -> (string * int) list
 (** {!stats} relative to an earlier snapshot: monotonic counters are

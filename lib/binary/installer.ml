@@ -143,7 +143,12 @@ let diff_telemetry ~before ~after =
     quarantines = after.quarantines - before.quarantines;
     backoff_ms = after.backoff_ms -. before.backoff_ms }
 
-let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
+let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true)
+    ?(obs = Obs.disabled) spec =
+  if Obs.enabled obs then Store.set_obs store obs;
+  Obs.with_span obs ~cat:"install" "install"
+    ~attrs:[ ("root", Obs.S (Spec.Concrete.root spec)) ]
+  @@ fun _root_span ->
   let built = ref [] and reused = ref [] and from_cache = ref [] and rewired = ref [] in
   let fallback_built = ref [] and rewire_fallbacks = ref [] in
   let reloc = ref Relocate.empty_stats in
@@ -159,16 +164,27 @@ let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
   let rec go node =
     if not (Hashtbl.mem visited node) then begin
       Hashtbl.replace visited node ();
+      (* Spans nest along the DAG walk: a node's span contains the
+         spans of the dependencies it triggered. *)
+      Obs.with_span obs ~cat:"install" "install.node"
+        ~attrs:[ ("node", Obs.S node) ]
+      @@ fun nspan ->
+      let action a = Obs.set_attr nspan "action" (Obs.S a) in
       List.iter (fun (c, _) -> go c) (Spec.Concrete.children spec node);
       let n = Spec.Concrete.node spec node in
       let hash = Spec.Concrete.node_hash spec node in
+      Obs.set_attr nspan "hash" (Obs.S (Chash.short hash));
       let rewire ~build_hash source =
+        action "rewired";
         let stats = rewire_node store ~spec ~node ~build_hash ~source in
         committed := hash :: !committed;
         reloc := Relocate.add_stats !reloc stats;
         rewired := hash :: !rewired
       in
-      if Store.is_installed store ~hash then reused := hash :: !reused
+      if Store.is_installed store ~hash then begin
+        action "reused";
+        reused := hash :: !reused
+      end
       else
         match n.Spec.Concrete.build_hash with
         | Some build_hash -> (
@@ -188,8 +204,10 @@ let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
             match fetched with
             | Some e -> rewire ~build_hash (From_cache e)
             | None ->
-              if fallback && can_build n.Spec.Concrete.name then
+              if fallback && can_build n.Spec.Concrete.name then begin
+                action "rewire_fallback";
                 build_from_source ~node ~hash rewire_fallbacks
+              end
               else
                 Errors.raise_error
                   (Errors.Original_binary_missing { node; build_hash })))
@@ -199,16 +217,20 @@ let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
              vanished-entry window. *)
           match List.find_map (fun c -> Buildcache.find c ~hash) caches with
           | Some entry ->
+            action "from_cache";
             let _, stats = Buildcache.install_entry store ~hash entry in
             committed := hash :: !committed;
             reloc := Relocate.add_stats !reloc stats;
             from_cache := hash :: !from_cache
           | None -> (
             match mirrors with
-            | None -> build_from_source ~node ~hash built
+            | None ->
+              action "built";
+              build_from_source ~node ~hash built
             | Some g -> (
               match Mirror.fetch_entry g ~hash with
               | Ok entry ->
+                action "from_cache";
                 let _, stats = Buildcache.install_entry store ~hash entry in
                 committed := hash :: !committed;
                 reloc := Relocate.add_stats !reloc stats;
@@ -218,11 +240,15 @@ let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
                   verdicts <> []
                   && List.for_all (fun (_, e) -> e = Mirror.Absent) verdicts
                 in
-                if authoritative_miss || verdicts = [] then
+                if authoritative_miss || verdicts = [] then begin
                   (* a plain miss: building was always the plan *)
+                  action "built";
                   build_from_source ~node ~hash built
-                else if fallback && can_build n.Spec.Concrete.name then
+                end
+                else if fallback && can_build n.Spec.Concrete.name then begin
+                  action "fallback_built";
                   build_from_source ~node ~hash fallback_built
+                end
                 else
                   Errors.raise_error
                     (Errors.Fetch_failed
@@ -265,8 +291,9 @@ let install_exn store ~repo ?(caches = []) ?mirrors ?(fallback = true) spec =
       | _ -> None);
     link_result = Linker.load (Store.vfs store) root_obj }
 
-let install store ~repo ?caches ?mirrors ?fallback spec =
-  Errors.guard (fun () -> install_exn store ~repo ?caches ?mirrors ?fallback spec)
+let install store ~repo ?caches ?mirrors ?fallback ?obs spec =
+  Errors.guard (fun () ->
+      install_exn store ~repo ?caches ?mirrors ?fallback ?obs spec)
 
 let rebuild_count r = List.length r.built
 

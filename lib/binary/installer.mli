@@ -49,6 +49,7 @@ val install :
   ?caches:Buildcache.t list ->
   ?mirrors:Mirror.group ->
   ?fallback:bool ->
+  ?obs:Obs.ctx ->
   Spec.Concrete.t ->
   (report, Errors.t) result
 (** [Error] carries the typed failure (unfetchable entry with
@@ -64,9 +65,13 @@ val install_exn :
   ?caches:Buildcache.t list ->
   ?mirrors:Mirror.group ->
   ?fallback:bool ->
+  ?obs:Obs.ctx ->
   Spec.Concrete.t ->
   report
-(** {!install}, raising {!Errors.Binary_error}. *)
+(** {!install}, raising {!Errors.Binary_error}. With [?obs] the walk
+    is one [install] root span with a nested [install.node] span per
+    DAG node (attributes: node, hash, action), plus the {!Store} and
+    {!Mirror} instrumentation. *)
 
 val rebuild_count : report -> int
 (** Planned source builds (degradations not included — see

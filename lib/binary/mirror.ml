@@ -194,7 +194,7 @@ let pp_fetch_error fmt e = Format.pp_print_string fmt (describe_error e)
    the recorded build-time prefixes. Computed from the mirror's pristine
    copy at serve time — the stand-in for the checksum in a signed cache
    index — and recomputed on the delivered payload by the client. *)
-let entry_digest (e : Buildcache.entry) =
+let entry_payload (e : Buildcache.entry) =
   let b = Buffer.create 1024 in
   Buffer.add_string b (Spec.Codec.to_string e.Buildcache.e_spec);
   List.iter
@@ -208,7 +208,9 @@ let entry_digest (e : Buildcache.entry) =
     (fun (h, p) ->
       Buffer.add_string b (Printf.sprintf "\nprefix %s %s" h p))
     (List.sort compare e.Buildcache.e_prefixes);
-  Chash.hash_string (Buffer.contents b)
+  Buffer.contents b
+
+let entry_digest e = Chash.hash_string (entry_payload e)
 
 (* ---- a single mirror ----------------------------------------------- *)
 
@@ -360,10 +362,16 @@ type group = {
   g_policy : retry_policy;
   g_clock : clock;
   g_tel : telemetry;
+  g_obs : Obs.ctx;
 }
 
-let group ?(policy = default_retry) ?clock:(clk = clock ()) mirrors =
-  { g_mirrors = mirrors; g_policy = policy; g_clock = clk; g_tel = fresh_telemetry () }
+let group ?(policy = default_retry) ?clock:(clk = clock ()) ?(obs = Obs.disabled)
+    mirrors =
+  { g_mirrors = mirrors;
+    g_policy = policy;
+    g_clock = clk;
+    g_tel = fresh_telemetry ();
+    g_obs = obs }
 
 let mirrors g = g.g_mirrors
 
@@ -376,38 +384,86 @@ let group_clock g = g.g_clock
    retry with backoff on the same mirror until the policy or the
    breaker says stop; corruption quarantines and fails over; outages
    and open breakers fail over immediately. *)
+let breaker_state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half_open"
+
 let fetch_entry g ~hash =
+  Obs.with_span g.g_obs ~cat:"mirror" "mirror.fetch"
+    ~attrs:[ ("hash", Obs.S (Chash.short hash)) ]
+  @@ fun span ->
   let tel = g.g_tel in
+  let obs = g.g_obs in
+  (* Each telemetry bump also lands in the Obs metric of the same
+     name, so the legacy record and the trace agree by construction. *)
+  let count n bump = bump (); Obs.incr obs ("mirror." ^ n) in
+  (* Breaker state transitions show up as instants in the trace. *)
+  let watching_breaker m f =
+    let s0 = m.m_breaker.b_state in
+    let r = f () in
+    let s1 = m.m_breaker.b_state in
+    if s1 <> s0 then
+      Obs.instant obs "mirror.breaker"
+        ~attrs:
+          [ ("mirror", Obs.S m.m_name);
+            ("from", Obs.S (breaker_state_name s0));
+            ("to", Obs.S (breaker_state_name s1)) ];
+    r
+  in
   let verdicts = ref [] in
   let record_verdict m err = verdicts := (m.m_name, err) :: !verdicts in
   let rec try_mirrors = function
-    | [] -> Error (List.rev !verdicts)
+    | [] ->
+      Obs.set_attr span "outcome" (Obs.S "failed");
+      Error (List.rev !verdicts)
     | m :: rest ->
       let next_after err =
         record_verdict m err;
-        (match err with Absent -> () | _ -> if rest <> [] then tel.failovers <- tel.failovers + 1);
+        (match err with
+        | Absent -> ()
+        | _ ->
+          if rest <> [] then
+            count "failovers" (fun () -> tel.failovers <- tel.failovers + 1));
         try_mirrors rest
       in
-      if not (breaker_allows m.m_breaker g.g_clock) then begin
-        tel.breaker_skips <- tel.breaker_skips + 1;
+      if not (watching_breaker m (fun () -> breaker_allows m.m_breaker g.g_clock))
+      then begin
+        count "breaker_skips" (fun () ->
+            tel.breaker_skips <- tel.breaker_skips + 1);
         next_after Breaker_open
       end
       else
         let rec attempt a =
-          tel.attempts <- tel.attempts + 1;
+          count "attempts" (fun () -> tel.attempts <- tel.attempts + 1);
           match fetch m g.g_clock ~hash with
           | Ok e ->
-            ignore (breaker_record m.m_breaker g.g_clock ~ok:true);
-            tel.fetched <- tel.fetched + 1;
+            ignore
+              (watching_breaker m (fun () ->
+                   breaker_record m.m_breaker g.g_clock ~ok:true));
+            count "fetched" (fun () -> tel.fetched <- tel.fetched + 1);
+            if Obs.enabled obs then begin
+              Obs.incr obs ~by:(String.length (entry_payload e))
+                "mirror.bytes_verified";
+              Obs.set_attr span "outcome" (Obs.S "fetched");
+              Obs.set_attr span "mirror" (Obs.S m.m_name);
+              Obs.set_attr span "attempts" (Obs.I a)
+            end;
             Ok e
           | Error Absent ->
             (* the mirror answered authoritatively: not a fault *)
-            ignore (breaker_record m.m_breaker g.g_clock ~ok:true);
+            ignore
+              (watching_breaker m (fun () ->
+                   breaker_record m.m_breaker g.g_clock ~ok:true));
             next_after Absent
           | Error Quarantined -> next_after Quarantined
           | Error (Transient _ as err) ->
-            if breaker_record m.m_breaker g.g_clock ~ok:false then
-              tel.breaker_trips <- tel.breaker_trips + 1;
+            if
+              watching_breaker m (fun () ->
+                  breaker_record m.m_breaker g.g_clock ~ok:false)
+            then
+              count "breaker_trips" (fun () ->
+                  tel.breaker_trips <- tel.breaker_trips + 1);
             if a < g.g_policy.max_attempts && breaker_would_allow m.m_breaker g.g_clock
             then begin
               let d =
@@ -415,20 +471,30 @@ let fetch_entry g ~hash =
                   ~attempt:a
               in
               advance g.g_clock d;
-              tel.retries <- tel.retries + 1;
+              count "retries" (fun () -> tel.retries <- tel.retries + 1);
               tel.backoff_ms <- tel.backoff_ms +. d;
+              Obs.observe obs "mirror.backoff_ms" d;
               attempt (a + 1)
             end
             else next_after err
           | Error (Corrupt _ as err) ->
             (* sticky: the same mirror would serve the same bad bytes *)
-            tel.quarantines <- tel.quarantines + 1;
-            if breaker_record m.m_breaker g.g_clock ~ok:false then
-              tel.breaker_trips <- tel.breaker_trips + 1;
+            count "quarantines" (fun () ->
+                tel.quarantines <- tel.quarantines + 1);
+            if
+              watching_breaker m (fun () ->
+                  breaker_record m.m_breaker g.g_clock ~ok:false)
+            then
+              count "breaker_trips" (fun () ->
+                  tel.breaker_trips <- tel.breaker_trips + 1);
             next_after err
           | Error (Offline as err) ->
-            if breaker_record m.m_breaker g.g_clock ~ok:false then
-              tel.breaker_trips <- tel.breaker_trips + 1;
+            if
+              watching_breaker m (fun () ->
+                  breaker_record m.m_breaker g.g_clock ~ok:false)
+            then
+              count "breaker_trips" (fun () ->
+                  tel.breaker_trips <- tel.breaker_trips + 1);
             next_after err
           | Error Breaker_open -> next_after Breaker_open
         in

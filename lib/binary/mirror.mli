@@ -129,10 +129,14 @@ val quarantined : t -> string list
 (** Hashes this mirror has served corrupt and will no longer be asked
     for. *)
 
+val entry_payload : Buildcache.entry -> string
+(** The canonical byte rendering of an entry (spec text, objects via
+    {!Object_file.canonical}, build-time prefixes) — the bytes the
+    integrity check covers. *)
+
 val entry_digest : Buildcache.entry -> string
-(** Canonical content digest of an entry (spec text, objects via
-    {!Object_file.canonical}, build-time prefixes) — what the trusted
-    index records and the client recomputes on delivery. *)
+(** {!Chash} digest of {!entry_payload} — what the trusted index
+    records and the client recomputes on delivery. *)
 
 val fetch : t -> clock -> hash:string -> (Buildcache.entry, fetch_error) result
 (** One fetch attempt against one mirror, faults and integrity check
@@ -160,9 +164,14 @@ val pp_telemetry : Format.formatter -> telemetry -> unit
 
 type group
 
-val group : ?policy:retry_policy -> ?clock:clock -> t list -> group
+val group : ?policy:retry_policy -> ?clock:clock -> ?obs:Obs.ctx -> t list -> group
 (** Ordered failover across [t list]; all fetches share the policy,
-    the clock and a telemetry accumulator. *)
+    the clock and a telemetry accumulator. With [?obs], every
+    {!fetch_entry} is a [mirror.fetch] span, each telemetry bump also
+    lands in the matching [mirror.*] counter, backoff waits feed the
+    [mirror.backoff_ms] histogram, verified payload bytes accumulate
+    in [mirror.bytes_verified], and circuit-breaker state transitions
+    appear as [mirror.breaker] instants. *)
 
 val mirrors : group -> t list
 

@@ -9,12 +9,20 @@ type t = {
   by_hash : (string, record) Hashtbl.t;
   mutable write_count : int;
   mutable crash_after : int option;
+  mutable obs : Obs.ctx;
 }
 
 exception Crashed of string
 
 let create ~root vfs =
-  { root; vfs; by_hash = Hashtbl.create 64; write_count = 0; crash_after = None }
+  { root;
+    vfs;
+    by_hash = Hashtbl.create 64;
+    write_count = 0;
+    crash_after = None;
+    obs = Obs.disabled }
+
+let set_obs t obs = t.obs <- obs
 
 let root t = t.root
 
@@ -30,9 +38,12 @@ let set_crash_after t n = t.crash_after <- n
    sweeping [crash_after]. *)
 let tick t what =
   (match t.crash_after with
-  | Some n when t.write_count >= n -> raise (Crashed what)
+  | Some n when t.write_count >= n ->
+    Obs.instant t.obs ~attrs:[ ("at", Obs.S what) ] "store.crash";
+    raise (Crashed what)
   | _ -> ());
-  t.write_count <- t.write_count + 1
+  t.write_count <- t.write_count + 1;
+  Obs.incr t.obs "store.writes"
 
 let prefix_for t ~name ~version ~hash =
   Printf.sprintf "%s/%s-%s-%s" t.root name (Vers.Version.to_string version)
@@ -105,6 +116,12 @@ let stage t tx ~rel file =
   tx.tx_files <- rel :: tx.tx_files
 
 let commit t tx ~spec =
+  Obs.with_span t.obs ~cat:"store" "store.commit"
+    ~attrs:
+      [ ("hash", Obs.S (Chash.short tx.tx_hash));
+        ("files", Obs.I (List.length tx.tx_files)) ]
+  @@ fun _span ->
+  Obs.incr t.obs "store.journal_commits";
   tick t ("journal committing " ^ Chash.short tx.tx_hash);
   Vfs.write t.vfs (journal_path t.root tx.tx_hash)
     (Vfs.Text (journal_text "committing" ~prefix:tx.tx_prefix ~staging:tx.tx_staging));

@@ -85,6 +85,12 @@ val cleanup_pending : t -> unit
     when an install fails typed mid-plan and must leave no staging
     residue). Crash injection does not fire here. *)
 
+val set_obs : t -> Obs.ctx -> unit
+(** Attach a tracing context: store-mediated writes count into
+    [store.writes], each transaction commit is a [store.commit] span
+    and bumps [store.journal_commits], and injected crashes appear as
+    [store.crash] instants. *)
+
 (** {1 Crash injection and recovery} *)
 
 val write_count : t -> int

@@ -7,6 +7,8 @@ type options = {
   host_target : string;
   certify : bool;
   prune : bool;
+  verify : bool;
+  obs : Obs.ctx;
 }
 
 let default_options =
@@ -17,7 +19,9 @@ let default_options =
     host_os = "linux";
     host_target = "x86_64";
     certify = false;
-    prune = true }
+    prune = true;
+    verify = false;
+    obs = Obs.disabled }
 
 (* The reusable pool a degraded solve actually sees: the explicit specs
    plus whatever the reachable mirrors index right now (deduplicated by
@@ -45,6 +49,7 @@ type stats = {
   sat_stats : (string * int) list;
   stable_checks : int;
   costs : (int * int) list;
+  verify_violations : int option;  (* None = verification not run *)
   encode_seconds : float;
   ground_seconds : float;
   solve_seconds : float;
@@ -56,7 +61,7 @@ type outcome = {
   stats : stats;
 }
 
-let now () = Unix.gettimeofday ()
+let now () = Obs.Clock.now_s ()
 
 (* Requests must name known packages (or virtuals): an unknown name
    would otherwise surface as a baffling UNSAT. *)
@@ -96,49 +101,117 @@ type failure = {
 
 let fail msg = Error { f_message = msg; f_proof = None }
 
+(* Independent re-validation of the solution ([options.verify]): each
+   returned spec is checked against the repo and its request without
+   the solver. Returns the total violation count. *)
+let run_verify ~repo ~options ~requests (solution : Decode.solution) =
+  let obs = options.obs in
+  Obs.with_span obs ~cat:"concretize" "verify" @@ fun span ->
+  let pairs =
+    try List.combine requests solution.Decode.specs
+    with Invalid_argument _ ->
+      List.map (fun s -> (List.hd requests, s)) solution.Decode.specs
+  in
+  let total =
+    List.fold_left
+      (fun acc ((r : Encode.request), spec) ->
+        let violations =
+          Verify.check_solution ~repo ~request:r.Encode.req
+            ~host_os:options.host_os ~host_target:options.host_target spec
+        in
+        acc + List.length violations)
+      0 pairs
+  in
+  Obs.set_attr span "specs" (Obs.I (List.length solution.Decode.specs));
+  Obs.set_attr span "violations" (Obs.I total);
+  Obs.incr obs ~by:total "concretize.verify_violations";
+  total
+
+(* Publish a finished request's flat stats into the Obs metric
+   registry, so traces carry the same numbers as [pp_stats]. *)
+let publish_stats obs (s : stats) =
+  if Obs.enabled obs then begin
+    Obs.publish obs ~prefix:"sat" s.sat_stats;
+    Obs.gauge obs "concretize.ground_atoms" s.ground_atoms;
+    Obs.gauge obs "concretize.ground_rules" s.ground_rules;
+    Obs.gauge obs "concretize.fact_count" s.fact_count;
+    Obs.gauge obs "concretize.pool_total" s.pool_total;
+    Obs.gauge obs "concretize.pool_used" s.pool_used;
+    Obs.observe obs "concretize.solve_seconds" s.solve_seconds
+  end
+
 let concretize_v ~repo ?(options = default_options) requests =
   match check_known ~repo requests with
   | Some e -> fail e
   | None ->
+  let obs = options.obs in
+  Obs.with_span obs ~cat:"concretize" "concretize"
+    ~attrs:
+      [ ( "roots",
+          Obs.S
+            (String.concat ","
+               (List.map
+                  (fun (r : Encode.request) ->
+                    r.Encode.req.Spec.Abstract.root.Spec.Abstract.name)
+                  requests)) ) ]
+  @@ fun _span ->
   let t0 = now () in
   let encoded =
-    Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
-      ~reuse:(effective_reuse options) ~prune:options.prune
-      ~host_os:options.host_os ~host_target:options.host_target requests
-  in
-  let program_text =
-    Program.assemble ~encoding:options.encoding ~splicing:options.splicing ()
+    Obs.with_span obs ~cat:"concretize" "encode" (fun _ ->
+        Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
+          ~reuse:(effective_reuse options) ~prune:options.prune ~obs
+          ~host_os:options.host_os ~host_target:options.host_target requests)
   in
   let statements =
-    Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts
+    Obs.with_span obs ~cat:"concretize" "assemble" (fun _ ->
+        let program_text =
+          Program.assemble ~encoding:options.encoding ~splicing:options.splicing ()
+        in
+        Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts)
   in
   let t1 = now () in
-  let ground = Asp.Ground.ground statements in
+  let ground =
+    Obs.with_span obs ~cat:"concretize" "ground" (fun _ ->
+        Asp.Ground.ground ~obs statements)
+  in
   let t2 = now () in
-  let result = Asp.Logic.solve ~certify:options.certify ground in
+  let result =
+    Obs.with_span obs ~cat:"concretize" "solve" (fun _ ->
+        Asp.Logic.solve ~certify:options.certify ~obs ground)
+  in
   let t3 = now () in
   match result with
   | Asp.Logic.Unsat proof ->
     Error { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
   | Asp.Logic.Sat model -> (
-    match Decode.decode ~pool:encoded.Encode.pool ~requests model with
+    let decoded =
+      Obs.with_span obs ~cat:"concretize" "decode" (fun _ ->
+          Decode.decode ~pool:encoded.Encode.pool ~requests model)
+    in
+    match decoded with
     | Error e -> fail ("decode: " ^ e)
     | Ok solution ->
-      Ok
-        { solution;
-          stats =
-            { ground_atoms = Asp.Ground.atom_count ground;
-              ground_rules = List.length (Asp.Ground.rules ground);
-              fact_count = List.length encoded.Encode.facts;
-              pool_total = encoded.Encode.pool_total;
-              pool_used = Encode.pool_size encoded.Encode.pool;
-              sat_stats = model.Asp.Logic.sat_stats;
-              stable_checks = model.Asp.Logic.stable_checks;
-              costs = model.Asp.Logic.costs;
-              encode_seconds = t1 -. t0;
-              ground_seconds = t2 -. t1;
-              solve_seconds = t3 -. t2;
-              total_seconds = t3 -. t0 } })
+      let verify_violations =
+        if options.verify then Some (run_verify ~repo ~options ~requests solution)
+        else None
+      in
+      let stats =
+        { ground_atoms = Asp.Ground.atom_count ground;
+          ground_rules = List.length (Asp.Ground.rules ground);
+          fact_count = List.length encoded.Encode.facts;
+          pool_total = encoded.Encode.pool_total;
+          pool_used = Encode.pool_size encoded.Encode.pool;
+          sat_stats = model.Asp.Logic.sat_stats;
+          stable_checks = model.Asp.Logic.stable_checks;
+          costs = model.Asp.Logic.costs;
+          verify_violations;
+          encode_seconds = t1 -. t0;
+          ground_seconds = t2 -. t1;
+          solve_seconds = t3 -. t2;
+          total_seconds = now () -. t0 }
+      in
+      publish_stats obs stats;
+      Ok { solution; stats })
 
 let concretize ~repo ?options requests =
   match concretize_v ~repo ?options requests with
@@ -159,7 +232,11 @@ let pp_stats fmt s =
     s.ground_atoms s.ground_rules s.fact_count s.pool_used s.pool_total
     (sat "clauses") (sat "conflicts") (sat "propagations") (sat "restarts")
     (sat "learnts") s.stable_checks s.encode_seconds s.ground_seconds
-    s.solve_seconds s.total_seconds
+    s.solve_seconds s.total_seconds;
+  match s.verify_violations with
+  | None -> ()
+  | Some 0 -> Format.fprintf fmt " verify=ok"
+  | Some n -> Format.fprintf fmt " verify=%d-violation(s)" n
 
 (* ----- incremental sessions ---------------------------------------- *)
 
@@ -194,22 +271,31 @@ module Session = struct
     match check_roots ~repo roots with
     | Some e -> Error e
     | None ->
+      let obs = options.obs in
+      Obs.with_span obs ~cat:"concretize" "session.create"
+        ~attrs:[ ("roots", Obs.I (List.length roots)) ]
+      @@ fun _span ->
       let t0 = now () in
       let encoded, env =
-        Encode.encode_session ~repo ~encoding:options.encoding
-          ~splicing:options.splicing ~reuse:(effective_reuse options)
-          ~prune:options.prune ~host_os:options.host_os
-          ~host_target:options.host_target ~roots ()
-      in
-      let program_text =
-        Program.assemble ~session:true ~encoding:options.encoding
-          ~splicing:options.splicing ()
+        Obs.with_span obs ~cat:"concretize" "encode" (fun _ ->
+            Encode.encode_session ~repo ~encoding:options.encoding
+              ~splicing:options.splicing ~reuse:(effective_reuse options)
+              ~prune:options.prune ~obs ~host_os:options.host_os
+              ~host_target:options.host_target ~roots ())
       in
       let statements =
-        Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts
+        Obs.with_span obs ~cat:"concretize" "assemble" (fun _ ->
+            let program_text =
+              Program.assemble ~session:true ~encoding:options.encoding
+                ~splicing:options.splicing ()
+            in
+            Asp.parse program_text @ encoded.Encode.rules @ encoded.Encode.facts)
       in
-      let ground = Asp.Ground.ground statements in
-      let session = Asp.Logic.session_create ~certify:options.certify ground in
+      let ground =
+        Obs.with_span obs ~cat:"concretize" "ground" (fun _ ->
+            Asp.Ground.ground ~obs statements)
+      in
+      let session = Asp.Logic.session_create ~certify:options.certify ~obs ground in
       Ok
         { repo;
           options;
@@ -236,6 +322,13 @@ module Session = struct
       match Encode.assumptions_for s.env request with
       | Error e -> fail e
       | Ok assume -> (
+        let obs = s.options.obs in
+        Obs.with_span obs ~cat:"concretize" "session.request"
+          ~attrs:
+            [ ( "root",
+                Obs.S request.Encode.req.Spec.Abstract.root.Spec.Abstract.name )
+            ]
+        @@ fun _span ->
         let t0 = now () in
         match Asp.Logic.session_solve s.session ~assume with
         | Asp.Logic.Unsat proof ->
@@ -243,24 +336,37 @@ module Session = struct
             { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
         | Asp.Logic.Sat model -> (
           let t1 = now () in
-          match Decode.decode ~pool:s.pool ~requests:[ request ] model with
+          let decoded =
+            Obs.with_span obs ~cat:"concretize" "decode" (fun _ ->
+                Decode.decode ~pool:s.pool ~requests:[ request ] model)
+          in
+          match decoded with
           | Error e -> fail ("decode: " ^ e)
           | Ok solution ->
-            Ok
-              { solution;
-                stats =
-                  { ground_atoms = s.ground_atoms;
-                    ground_rules = s.ground_rules;
-                    fact_count = s.fact_count;
-                    pool_total = s.pool_total;
-                    pool_used = s.pool_used;
-                    sat_stats = model.Asp.Logic.sat_stats;
-                    stable_checks = model.Asp.Logic.stable_checks;
-                    costs = model.Asp.Logic.costs;
-                    encode_seconds = 0.;
-                    ground_seconds = 0.;
-                    solve_seconds = t1 -. t0;
-                    total_seconds = t1 -. t0 } })))
+            let verify_violations =
+              if s.options.verify then
+                Some
+                  (run_verify ~repo:s.repo ~options:s.options
+                     ~requests:[ request ] solution)
+              else None
+            in
+            let stats =
+              { ground_atoms = s.ground_atoms;
+                ground_rules = s.ground_rules;
+                fact_count = s.fact_count;
+                pool_total = s.pool_total;
+                pool_used = s.pool_used;
+                sat_stats = model.Asp.Logic.sat_stats;
+                stable_checks = model.Asp.Logic.stable_checks;
+                costs = model.Asp.Logic.costs;
+                verify_violations;
+                encode_seconds = 0.;
+                ground_seconds = 0.;
+                solve_seconds = t1 -. t0;
+                total_seconds = now () -. t0 }
+            in
+            publish_stats obs stats;
+            Ok { solution; stats })))
 end
 
 (* ----- multicore batch concretization ------------------------------ *)
@@ -271,6 +377,10 @@ let concretize_batch ~repo ?(options = default_options) ?(jobs = 1)
      probing mutates breaker state and must not race (and every domain
      must see the same pool for determinism). *)
   let options = { options with reuse = effective_reuse options; mirrors = None } in
+  let obs = options.obs in
+  Obs.with_span obs ~cat:"concretize" "batch"
+    ~attrs:[ ("requests", Obs.I (List.length requests)); ("jobs", Obs.I jobs) ]
+  @@ fun _span ->
   let arr = Array.of_list requests in
   let n = Array.length arr in
   let results : (outcome, failure) result option array = Array.make n None in
@@ -282,7 +392,9 @@ let concretize_batch ~repo ?(options = default_options) ?(jobs = 1)
      byte-identical for any [jobs]; in [session] mode each domain
      builds one session over all batch roots and results are
      cost-deterministic (learned-clause carryover may break ties
-     differently between partitions). *)
+     differently between partitions). The shared [obs] context is
+     domain-safe; each domain's spans carry its own [tid], which is
+     what renders the batch as per-domain timelines. *)
   let worker j =
     let each f =
       let i = ref j in

@@ -31,11 +31,26 @@ type options = {
           ({!Encode.closure}) before grounding — sound, and the
           difference between grounding a 5000-spec buildcache and the
           few dozen specs a request can actually reach *)
+  verify : bool;
+      (** independently re-validate every returned spec against the
+          repo and its request with {!Verify.check_solution} (no solver
+          involved); the violation count lands in
+          [stats.verify_violations]. Off by default — it is an explicit
+          option (not keyed off tracing being enabled) so overhead
+          comparisons of the tracing layer are not polluted by
+          verification cost. *)
+  obs : Obs.ctx;
+      (** tracing context ({!Obs.disabled} by default): when enabled,
+          every request emits a [concretize] span with child
+          [encode]/[assemble]/[ground]/[solve]/[decode] (and [verify])
+          phase spans, and the flat counters below are mirrored into
+          the [Obs] metric registry *)
 }
 
 val default_options : options
 (** hash_attr encoding, splicing off, no reuse, no mirrors,
-    linux/x86_64 host, certification off, pruning on. *)
+    linux/x86_64 host, certification off, pruning on, verification
+    off, tracing disabled. *)
 
 type stats = {
   ground_atoms : int;
@@ -46,6 +61,10 @@ type stats = {
   sat_stats : (string * int) list;
   stable_checks : int;
   costs : (int * int) list;
+  verify_violations : int option;
+      (** [None] when [options.verify] was off; [Some n] = total
+          violations {!Verify.check_solution} found across all
+          returned specs (0 = clean) *)
   encode_seconds : float;
   ground_seconds : float;
   solve_seconds : float;

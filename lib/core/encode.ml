@@ -436,13 +436,21 @@ type base = {
   b_closure : (string, unit) Hashtbl.t option;  (* None when not pruning *)
 }
 
-let encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots =
+let encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
+    ~roots =
   let cond = ref 0 in
   let scounter = ref 0 in
   let full_pool = pool_of_specs reuse in
   let pool_total = pool_size full_pool in
   let keep =
-    if prune then Some (closure ~repo ~splicing ~pool:full_pool roots) else None
+    if prune then
+      Some
+        (Obs.with_span obs ~cat:"encode" "encode.closure" (fun sp ->
+             let cl = closure ~repo ~splicing ~pool:full_pool roots in
+             Obs.set_attr sp "pool_total" (Obs.I pool_total);
+             Obs.set_attr sp "closure_packages" (Obs.I (Hashtbl.length cl));
+             cl))
+    else None
   in
   let in_closure name =
     match keep with None -> true | Some cl -> Hashtbl.mem cl name
@@ -515,6 +523,8 @@ let encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~r
     @ encode_reusable ~encoding pool
     @ splice_facts
   in
+  Obs.gauge obs "encode.pool_total" pool_total;
+  Obs.gauge obs "encode.pool_kept" (pool_size pool);
   { b_facts = facts;
     b_rules = splice_rules;
     b_pool = pool;
@@ -523,15 +533,16 @@ let encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~r
     b_packages = packages;
     b_closure = keep }
 
-let encode ~repo ~encoding ~splicing ~reuse ?(prune = false) ~host_os ~host_target
-    requests =
+let encode ~repo ~encoding ~splicing ~reuse ?(prune = false) ?(obs = Obs.disabled)
+    ~host_os ~host_target requests =
   let roots =
     List.map
       (fun (r : request) -> r.req.Spec.Abstract.root.Spec.Abstract.name)
       requests
   in
   let b =
-    encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots
+    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
+      ~roots
   in
   { facts = b.b_facts @ List.concat_map (encode_request b.b_universe) requests;
     rules = b.b_rules;
@@ -549,11 +560,12 @@ type session_env = {
 
 let session_unsat_atom = atom "session_unsat" []
 
-let encode_session ~repo ~encoding ~splicing ~reuse ?(prune = true) ~host_os
-    ~host_target ~roots () =
+let encode_session ~repo ~encoding ~splicing ~reuse ?(prune = true)
+    ?(obs = Obs.disabled) ~host_os ~host_target ~roots () =
   let roots = List.sort_uniq String.compare roots in
   let b =
-    encode_base ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target ~roots
+    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
+      ~roots
   in
   let names =
     (* Every package name whose facts were emitted, plus every name the

@@ -63,6 +63,7 @@ val encode :
   splicing:bool ->
   reuse:Spec.Concrete.t list ->
   ?prune:bool ->
+  ?obs:Obs.ctx ->
   host_os:string ->
   host_target:string ->
   request list ->
@@ -70,7 +71,9 @@ val encode :
 (** [prune] (default [false]) restricts package facts and the reusable
     pool to the {!closure} of the requested roots: a buildcache of
     thousands of specs grounds like one holding only the specs a
-    request could actually use. *)
+    request could actually use. [?obs] records the closure computation
+    as an [encode.closure] span and the pool sizes as
+    [encode.pool_total]/[encode.pool_kept] gauges. *)
 
 (** {2 Incremental sessions} *)
 
@@ -89,6 +92,7 @@ val encode_session :
   splicing:bool ->
   reuse:Spec.Concrete.t list ->
   ?prune:bool ->
+  ?obs:Obs.ctx ->
   host_os:string ->
   host_target:string ->
   roots:string list ->

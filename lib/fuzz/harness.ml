@@ -39,22 +39,35 @@ let with_injection inject f =
 
 let universe ~seed ~round = Gen.generate (Rng.create ((seed * 1_000_003) + round))
 
-let run ?(log = ignore) ?inject ~seed ~rounds () =
+let run ?(log = ignore) ?inject ?(obs = Obs.disabled) ~seed ~rounds () =
   let stats = Oracle.fresh_stats () in
   let failures = ref [] in
+  Obs.with_span obs ~cat:"fuzz" "fuzz"
+    ~attrs:[ ("seed", Obs.I seed); ("rounds", Obs.I rounds) ]
+  @@ fun _span ->
   with_injection inject (fun () ->
       for round = 0 to rounds - 1 do
         let u = universe ~seed ~round in
+        Obs.with_span obs ~cat:"fuzz" "fuzz.round"
+          ~attrs:[ ("round", Obs.I round) ]
+        @@ fun rspan ->
+        Obs.incr obs "fuzz.rounds";
         match Oracle.check ~stats u with
         | [] ->
+          Obs.set_attr rspan "violations" (Obs.I 0);
           if round mod 50 = 0 then
             log (Printf.sprintf "round %d ok (%s)" round (Gen.summary u))
         | violations ->
+          Obs.set_attr rspan "violations" (Obs.I (List.length violations));
+          Obs.incr obs ~by:(List.length violations) "fuzz.violations";
           log
             (Printf.sprintf "round %d: %d violation(s); shrinking %s" round
                (List.length violations) (Gen.summary u));
           let still_fails u' = Oracle.check u' <> [] in
-          let shrunk = Shrink.shrink ~still_fails u in
+          let shrunk =
+            Obs.with_span obs ~cat:"fuzz" "fuzz.shrink" (fun _ ->
+                Shrink.shrink ~still_fails u)
+          in
           failures :=
             { round;
               violations;

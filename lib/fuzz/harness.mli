@@ -32,12 +32,15 @@ val universe : seed:int -> round:int -> Gen.t
 val run :
   ?log:(string -> unit) ->
   ?inject:injection ->
+  ?obs:Obs.ctx ->
   seed:int ->
   rounds:int ->
   unit ->
   report
 (** Fault injection is scoped to the call: the hooks are reset even on
-    exceptions. *)
+    exceptions. With a tracing context, the whole run is a [fuzz] span
+    with one [fuzz.round] child per round (violation counts attached)
+    and [fuzz.shrink] spans around minimization. *)
 
 val pp_failure : Format.formatter -> failure -> unit
 

@@ -1,0 +1,561 @@
+(* Unified tracing and metrics. See obs.mli for the model. *)
+
+module Clock = struct
+  (* bechamel's CLOCK_MONOTONIC stub: nanoseconds as int64. *)
+  let now_ns () = Monotonic_clock.now ()
+
+  let now_s () = Int64.to_float (now_ns ()) *. 1e-9
+end
+
+type value = I of int | F of float | S of string | B of bool
+
+(* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+module Hist = struct
+  (* Geometric buckets at quarter powers of two: bucket index of a
+     positive v is [ceil (4 * log2 v)], clamped to a fixed range wide
+     enough for nanosecond-to-hours durations and byte counts alike.
+     Bucket i covers (2^((i-1)/4), 2^(i/4)]. Index 0 is the underflow
+     bucket for v <= lowest bound (including non-positive values). *)
+  let min_exp = -128 (* 2^(-32) *)
+
+  let max_exp = 255 (* 2^(63.75) *)
+
+  let n_buckets = max_exp - min_exp + 2 (* + underflow slot *)
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable vmin : float;
+    mutable vmax : float;
+  }
+
+  let create () =
+    {
+      counts = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.;
+      vmin = infinity;
+      vmax = neg_infinity;
+    }
+
+  let index_of v =
+    if v <= 0. then 0
+    else
+      let e = int_of_float (Float.ceil (4. *. (Float.log v /. Float.log 2.))) in
+      if e < min_exp then 0
+      else if e > max_exp then n_buckets - 1
+      else e - min_exp + 1
+
+  (* Upper bound of bucket i (quantile estimates report this). *)
+  let upper_of i =
+    if i = 0 then Float.pow 2. (float_of_int min_exp /. 4.)
+    else Float.pow 2. (float_of_int (i - 1 + min_exp) /. 4.)
+
+  let lower_of i = if i = 0 then 0. else upper_of (i - 1)
+
+  let observe h v =
+    h.counts.(index_of v) <- h.counts.(index_of v) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.vmin then h.vmin <- v;
+    if v > h.vmax then h.vmax <- v
+
+  let count h = h.count
+
+  let sum h = h.sum
+
+  let min_value h = if h.count = 0 then 0. else h.vmin
+
+  let max_value h = if h.count = 0 then 0. else h.vmax
+
+  let merge a b =
+    {
+      counts = Array.init n_buckets (fun i -> a.counts.(i) + b.counts.(i));
+      count = a.count + b.count;
+      sum = a.sum +. b.sum;
+      vmin = Float.min a.vmin b.vmin;
+      vmax = Float.max a.vmax b.vmax;
+    }
+
+  let quantile h q =
+    if h.count = 0 then 0.
+    else begin
+      let q = Float.max 0. (Float.min 1. q) in
+      let rank = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+      let rank = if rank < 1 then 1 else rank in
+      let acc = ref 0 and i = ref 0 and found = ref (n_buckets - 1) in
+      (try
+         while !i < n_buckets do
+           acc := !acc + h.counts.(!i);
+           if !acc >= rank then begin
+             found := !i;
+             raise Exit
+           end;
+           incr i
+         done
+       with Exit -> ());
+      (* Never report beyond the observed extremes: tightens the
+         estimate and keeps quantile h 1.0 <= max_value h. *)
+      Float.min (upper_of !found) h.vmax
+    end
+
+  let buckets h =
+    let out = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.counts.(i) > 0 then out := (lower_of i, upper_of i, h.counts.(i)) :: !out
+    done;
+    !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Contexts *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      tid : int;
+      t0_ns : int64;
+      dur_ns : int64;
+      attrs : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      tid : int;
+      t_ns : int64;
+      attrs : (string * value) list;
+    }
+
+type metric_value = Counter of int | Gauge of int | Histogram of Hist.t
+
+type metric_cell = MCounter of int ref | MGauge of int ref | MHist of Hist.t
+
+type impl = {
+  epoch_ns : int64;
+  lock : Mutex.t;
+  mutable evs : event list; (* newest first *)
+  mets : (string, metric_cell) Hashtbl.t;
+}
+
+type ctx = impl option
+
+let disabled : ctx = None
+
+let create () : ctx =
+  Some
+    {
+      epoch_ns = Clock.now_ns ();
+      lock = Mutex.create ();
+      evs = [];
+      mets = Hashtbl.create 64;
+    }
+
+let enabled = function None -> false | Some _ -> true
+
+let locked c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) f
+
+let rel c t = Int64.sub t c.epoch_ns
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+type span_impl = {
+  sp_ctx : impl;
+  sp_name : string;
+  sp_cat : string;
+  sp_tid : int;
+  sp_t0 : int64;
+  mutable sp_attrs : (string * value) list;
+}
+
+type span = span_impl option
+
+let dummy_span : span = None
+
+let set_attr sp k v =
+  match sp with
+  | None -> ()
+  | Some s -> locked s.sp_ctx (fun () -> s.sp_attrs <- (k, v) :: s.sp_attrs)
+
+let finish_span s =
+  let t1 = Clock.now_ns () in
+  let c = s.sp_ctx in
+  locked c (fun () ->
+      c.evs <-
+        Span
+          {
+            name = s.sp_name;
+            cat = s.sp_cat;
+            tid = s.sp_tid;
+            t0_ns = rel c s.sp_t0;
+            dur_ns = Int64.sub t1 s.sp_t0;
+            attrs = List.rev s.sp_attrs;
+          }
+        :: c.evs)
+
+let with_span (ctx : ctx) ?(cat = "") ?(attrs = []) name f =
+  match ctx with
+  | None -> f dummy_span
+  | Some c ->
+      let s =
+        {
+          sp_ctx = c;
+          sp_name = name;
+          sp_cat = cat;
+          sp_tid = (Domain.self () :> int);
+          sp_t0 = Clock.now_ns ();
+          sp_attrs = List.rev attrs;
+        }
+      in
+      Fun.protect ~finally:(fun () -> finish_span s) (fun () -> f (Some s))
+
+let instant (ctx : ctx) ?(attrs = []) name =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      let t = Clock.now_ns () in
+      locked c (fun () ->
+          c.evs <-
+            Instant
+              { name; tid = (Domain.self () :> int); t_ns = rel c t; attrs }
+            :: c.evs)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metric c name mk =
+  match Hashtbl.find_opt c.mets name with
+  | Some cell -> cell
+  | None ->
+      let cell = mk () in
+      Hashtbl.replace c.mets name cell;
+      cell
+
+let incr (ctx : ctx) ?(by = 1) name =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      locked c (fun () ->
+          match metric c name (fun () -> MCounter (ref 0)) with
+          | MCounter r -> r := !r + by
+          | MGauge _ | MHist _ -> ())
+
+let gauge (ctx : ctx) name v =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      locked c (fun () ->
+          match metric c name (fun () -> MGauge (ref 0)) with
+          | MGauge r -> r := v
+          | MCounter _ | MHist _ -> ())
+
+let observe (ctx : ctx) name v =
+  match ctx with
+  | None -> ()
+  | Some c ->
+      locked c (fun () ->
+          match metric c name (fun () -> MHist (Hist.create ())) with
+          | MHist h -> Hist.observe h v
+          | MCounter _ | MGauge _ -> ())
+
+let publish (ctx : ctx) ~prefix kvs =
+  match ctx with
+  | None -> ()
+  | Some _ ->
+      List.iter (fun (k, v) -> incr ctx ~by:v (prefix ^ "." ^ k)) kvs
+
+(* ------------------------------------------------------------------ *)
+(* Introspection *)
+
+let events (ctx : ctx) =
+  match ctx with None -> [] | Some c -> locked c (fun () -> List.rev c.evs)
+
+let metrics (ctx : ctx) =
+  match ctx with
+  | None -> []
+  | Some c ->
+      locked c (fun () ->
+          Hashtbl.fold
+            (fun name cell acc ->
+              let v =
+                match cell with
+                | MCounter r -> Counter !r
+                | MGauge r -> Gauge !r
+                | MHist h -> Histogram h
+              in
+              (name, v) :: acc)
+            c.mets [])
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+module Sink = struct
+  type t = Null | Jsonl | Chrome | Summary
+
+  let of_string = function
+    | "null" -> Ok Null
+    | "jsonl" -> Ok Jsonl
+    | "chrome" -> Ok Chrome
+    | "summary" -> Ok Summary
+    | s -> Error (Printf.sprintf "unknown trace format %S (expected chrome|jsonl|summary|null)" s)
+
+  let jvalue = function
+    | I n -> Sjson.Int n
+    | F x -> Sjson.Float x
+    | S s -> Sjson.String s
+    | B b -> Sjson.Bool b
+
+  let jattrs attrs = Sjson.Object (List.map (fun (k, v) -> (k, jvalue v)) attrs)
+
+  let us ns = Int64.to_float ns /. 1e3
+
+  (* Chrome trace_event "JSON object format": Perfetto and
+     chrome://tracing both load {"traceEvents": [...]}. Spans are "X"
+     complete events with microsecond timestamps. *)
+  let chrome ctx =
+    let tids = Hashtbl.create 8 in
+    let ev_json = function
+      | Span { name; cat; tid; t0_ns; dur_ns; attrs } ->
+          Hashtbl.replace tids tid ();
+          Sjson.Object
+            [
+              ("name", Sjson.String name);
+              ("cat", Sjson.String (if cat = "" then "spackml" else cat));
+              ("ph", Sjson.String "X");
+              ("ts", Sjson.Float (us t0_ns));
+              ("dur", Sjson.Float (us dur_ns));
+              ("pid", Sjson.Int 1);
+              ("tid", Sjson.Int tid);
+              ("args", jattrs attrs);
+            ]
+      | Instant { name; tid; t_ns; attrs } ->
+          Hashtbl.replace tids tid ();
+          Sjson.Object
+            [
+              ("name", Sjson.String name);
+              ("cat", Sjson.String "spackml");
+              ("ph", Sjson.String "i");
+              ("ts", Sjson.Float (us t_ns));
+              ("pid", Sjson.Int 1);
+              ("tid", Sjson.Int tid);
+              ("s", Sjson.String "t");
+              ("args", jattrs attrs);
+            ]
+    in
+    let evs = List.map ev_json (events ctx) in
+    let meta =
+      Hashtbl.fold
+        (fun tid () acc ->
+          Sjson.Object
+            [
+              ("name", Sjson.String "thread_name");
+              ("ph", Sjson.String "M");
+              ("pid", Sjson.Int 1);
+              ("tid", Sjson.Int tid);
+              ( "args",
+                Sjson.Object
+                  [ ("name", Sjson.String (Printf.sprintf "domain %d" tid)) ] );
+            ]
+          :: acc)
+        tids []
+    in
+    (* Final metric values as counter events at the end of the trace. *)
+    let t_end =
+      List.fold_left
+        (fun acc ev ->
+          let t =
+            match ev with
+            | Span { t0_ns; dur_ns; _ } -> Int64.add t0_ns dur_ns
+            | Instant { t_ns; _ } -> t_ns
+          in
+          if Int64.compare t acc > 0 then t else acc)
+        0L (events ctx)
+    in
+    let counters =
+      List.filter_map
+        (fun (name, mv) ->
+          match mv with
+          | Counter n | Gauge n ->
+              Some
+                (Sjson.Object
+                   [
+                     ("name", Sjson.String name);
+                     ("ph", Sjson.String "C");
+                     ("ts", Sjson.Float (us t_end));
+                     ("pid", Sjson.Int 1);
+                     ("args", Sjson.Object [ ("value", Sjson.Int n) ]);
+                   ])
+          | Histogram _ -> None)
+        (metrics ctx)
+    in
+    Sjson.to_string
+      (Sjson.Object [ ("traceEvents", Sjson.Array (meta @ evs @ counters)) ])
+
+  let hist_json h =
+    Sjson.Object
+      [
+        ("count", Sjson.Int (Hist.count h));
+        ("sum", Sjson.Float (Hist.sum h));
+        ("min", Sjson.Float (Hist.min_value h));
+        ("max", Sjson.Float (Hist.max_value h));
+        ("p50", Sjson.Float (Hist.quantile h 0.5));
+        ("p90", Sjson.Float (Hist.quantile h 0.9));
+        ("p99", Sjson.Float (Hist.quantile h 0.99));
+      ]
+
+  let jsonl ctx =
+    let b = Buffer.create 4096 in
+    let line j = Buffer.add_string b (Sjson.to_string j ^ "\n") in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Span { name; cat; tid; t0_ns; dur_ns; attrs } ->
+            line
+              (Sjson.Object
+                 [
+                   ("kind", Sjson.String "span");
+                   ("name", Sjson.String name);
+                   ("cat", Sjson.String cat);
+                   ("tid", Sjson.Int tid);
+                   ("t0_ns", Sjson.Float (Int64.to_float t0_ns));
+                   ("dur_ns", Sjson.Float (Int64.to_float dur_ns));
+                   ("attrs", jattrs attrs);
+                 ])
+        | Instant { name; tid; t_ns; attrs } ->
+            line
+              (Sjson.Object
+                 [
+                   ("kind", Sjson.String "instant");
+                   ("name", Sjson.String name);
+                   ("tid", Sjson.Int tid);
+                   ("t_ns", Sjson.Float (Int64.to_float t_ns));
+                   ("attrs", jattrs attrs);
+                 ]))
+      (events ctx);
+    List.iter
+      (fun (name, mv) ->
+        let kind, payload =
+          match mv with
+          | Counter n -> ("counter", Sjson.Int n)
+          | Gauge n -> ("gauge", Sjson.Int n)
+          | Histogram h -> ("histogram", hist_json h)
+        in
+        line
+          (Sjson.Object
+             [
+               ("kind", Sjson.String kind);
+               ("name", Sjson.String name);
+               ("value", payload);
+             ]))
+      (metrics ctx);
+    Buffer.contents b
+
+  let summary ctx =
+    let b = Buffer.create 2048 in
+    (* Aggregate spans by name. *)
+    let tbl = Hashtbl.create 32 in
+    let order = ref [] in
+    List.iter
+      (fun ev ->
+        match ev with
+        | Span { name; dur_ns; _ } ->
+            let h =
+              match Hashtbl.find_opt tbl name with
+              | Some h -> h
+              | None ->
+                  let h = Hist.create () in
+                  Hashtbl.replace tbl name h;
+                  order := name :: !order;
+                  h
+            in
+            Hist.observe h (Int64.to_float dur_ns /. 1e6)
+        | Instant _ -> ())
+      (events ctx);
+    let names = List.rev !order in
+    if names <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-32s %8s %12s %12s %12s\n" "span" "count" "total_ms"
+           "p50_ms" "max_ms");
+      List.iter
+        (fun name ->
+          let h = Hashtbl.find tbl name in
+          Buffer.add_string b
+            (Printf.sprintf "%-32s %8d %12.3f %12.3f %12.3f\n" name
+               (Hist.count h) (Hist.sum h) (Hist.quantile h 0.5)
+               (Hist.max_value h)))
+        names
+    end;
+    let ms = metrics ctx in
+    if ms <> [] then begin
+      Buffer.add_string b
+        (Printf.sprintf "%-44s %s\n" "metric" "value");
+      List.iter
+        (fun (name, mv) ->
+          let v =
+            match mv with
+            | Counter n -> string_of_int n
+            | Gauge n -> Printf.sprintf "%d (gauge)" n
+            | Histogram h ->
+                Printf.sprintf "n=%d sum=%.3f p50=%.3f p99=%.3f" (Hist.count h)
+                  (Hist.sum h) (Hist.quantile h 0.5) (Hist.quantile h 0.99)
+          in
+          Buffer.add_string b (Printf.sprintf "%-44s %s\n" name v))
+        ms
+    end;
+    Buffer.contents b
+
+  let render ctx = function
+    | Null -> ""
+    | Jsonl -> jsonl ctx
+    | Chrome -> chrome ctx
+    | Summary -> summary ctx
+
+  let write_file ctx sink path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (render ctx sink))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flat stat sets *)
+
+module Stats = struct
+  type counter = { c_name : string; mutable c_val : int }
+
+  type t = { mutable cs : counter list (* reverse registration order *) }
+
+  let create () = { cs = [] }
+
+  let counter t name =
+    let c = { c_name = name; c_val = 0 } in
+    t.cs <- c :: t.cs;
+    c
+
+  let incr c = c.c_val <- c.c_val + 1
+
+  let add c n = c.c_val <- c.c_val + n
+
+  let value c = c.c_val
+
+  let names t = List.rev_map (fun c -> c.c_name) t.cs
+
+  let snapshot t ~extra =
+    List.rev_map (fun c -> (c.c_name, c.c_val)) t.cs @ extra
+
+  let delta ~monotonic ~before after =
+    List.map
+      (fun (k, v) ->
+        if List.mem k monotonic then
+          match List.assoc_opt k before with
+          | Some v0 -> (k, v - v0)
+          | None -> (k, v)
+        else (k, v))
+      after
+end

@@ -1,0 +1,194 @@
+(** Unified tracing and metrics.
+
+    One event model for the whole pipeline — grounder, solver,
+    concretizer, installer — instead of per-layer counter schemes:
+
+    - {e spans}: named, hierarchical wall-time intervals over a
+      monotonic clock, tagged with the domain that ran them (so a
+      multicore batch renders as one timeline per domain);
+    - {e metrics}: named counters, gauges, and log-bucketed histograms
+      with quantile estimates;
+    - {e sinks}: renderings of a finished context — a JSONL event log,
+      a Chrome/Perfetto [trace_event] JSON (loadable in
+      [ui.perfetto.dev]), and a human-readable summary table. The
+      no-op sink is simply never rendering.
+
+    Everything takes a {!ctx}. The {!disabled} context is a constant
+    [None]-like value: every operation on it is a single branch and no
+    allocation, so instrumented code costs nothing when unobserved.
+    Enabled contexts are domain-safe (a mutex guards the event log and
+    metric registry); timestamps come from one global monotonic clock,
+    so events from different domains order consistently. *)
+
+(** Monotonic time (CLOCK_MONOTONIC, via bechamel's stub). Immune to
+    wall-clock steps from NTP — the right base for benchmark deltas. *)
+module Clock : sig
+  val now_ns : unit -> int64
+
+  val now_s : unit -> float
+  (** Seconds since an arbitrary epoch. Only differences mean
+      anything. *)
+end
+
+(** Log-bucketed histograms: geometric buckets at quarter powers of
+    two, so any positive value is bucketed within ~19% relative error.
+    Merging is pointwise (associative, count-preserving); quantile
+    estimates return bucket upper bounds (monotone in the quantile). *)
+module Hist : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Values [<= 0] land in the dedicated underflow bucket. *)
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** Smallest observed value; [0.] when empty. *)
+
+  val max_value : t -> float
+
+  val merge : t -> t -> t
+  (** Pointwise bucket sum; inputs unchanged. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0, 1]: an upper estimate of the
+      [q]-quantile (the upper bound of the bucket holding the rank).
+      [0.] when empty. Monotone in [q]. *)
+
+  val buckets : t -> (float * float * int) list
+  (** Non-empty buckets as [(lo, hi, count)], ascending. *)
+end
+
+(** {1 Contexts} *)
+
+type ctx
+
+val disabled : ctx
+(** The no-op context: every operation returns immediately. *)
+
+val create : unit -> ctx
+(** A fresh enabled context collecting events and metrics in memory.
+    Render with {!Sink.render} (or never — the no-op sink). *)
+
+val enabled : ctx -> bool
+
+(** {1 Spans} *)
+
+type span
+(** A handle to an open span, for attaching attributes discovered
+    while it runs (solver deltas, result sizes, ...). *)
+
+type value = I of int | F of float | S of string | B of bool
+
+val with_span :
+  ctx -> ?cat:string -> ?attrs:(string * value) list -> string -> (span -> 'a) -> 'a
+(** [with_span ctx ~cat ~attrs name f] runs [f] inside a span; the
+    span closes when [f] returns or raises. Nesting is by dynamic
+    extent per domain, which is what the Chrome rendering shows. *)
+
+val set_attr : span -> string -> value -> unit
+(** Attach an attribute to an open span. No-op on a disabled span. *)
+
+val instant : ctx -> ?attrs:(string * value) list -> string -> unit
+(** A point event (breaker flips, crash marks, ...). *)
+
+(** {1 Metrics} *)
+
+val incr : ctx -> ?by:int -> string -> unit
+(** Bump a counter (created on first use). *)
+
+val gauge : ctx -> string -> int -> unit
+(** Set a gauge to its latest value. *)
+
+val observe : ctx -> string -> float -> unit
+(** Record a value into a histogram. *)
+
+val publish : ctx -> prefix:string -> (string * int) list -> unit
+(** Bulk-add a stat snapshot as counters named [prefix ^ "." ^ key]
+    (the bridge from the flat [Sat.stats]-style lists). *)
+
+(** {1 Introspection} (tests, smoke benches, trace-report) *)
+
+type event =
+  | Span of {
+      name : string;
+      cat : string;
+      tid : int;  (** domain id *)
+      t0_ns : int64;  (** relative to the ctx epoch *)
+      dur_ns : int64;
+      attrs : (string * value) list;
+    }
+  | Instant of {
+      name : string;
+      tid : int;
+      t_ns : int64;
+      attrs : (string * value) list;
+    }
+
+val events : ctx -> event list
+(** Chronological by completion time. Empty on {!disabled}. *)
+
+type metric_value = Counter of int | Gauge of int | Histogram of Hist.t
+
+val metrics : ctx -> (string * metric_value) list
+(** Sorted by name. Empty on {!disabled}. *)
+
+(** {1 Sinks} *)
+
+module Sink : sig
+  type t = Null | Jsonl | Chrome | Summary
+
+  val of_string : string -> (t, string) result
+  (** ["null" | "jsonl" | "chrome" | "summary"]. *)
+
+  val render : ctx -> t -> string
+  (** [Null] renders [""]. [Chrome] is a [{"traceEvents": [...]}]
+      object (Perfetto-loadable); [Jsonl] one JSON object per line
+      (span/instant events, then metric records); [Summary] a
+      per-span-name aggregate table plus metrics. *)
+
+  val write_file : ctx -> t -> string -> unit
+end
+
+(** {1 Flat stat sets}
+
+    The uniform storage behind the legacy [(string * int) list] stat
+    APIs ({!Asp.Sat.stats} and friends): named monotonic counters in
+    registration order, snapshotted together with computed gauges. The
+    old accessors become thin shims over this. *)
+module Stats : sig
+  type t
+
+  type counter
+
+  val create : unit -> t
+
+  val counter : t -> string -> counter
+  (** Register a monotonic counter. Snapshot order = registration
+      order. *)
+
+  val incr : counter -> unit
+
+  val add : counter -> int -> unit
+
+  val value : counter -> int
+
+  val names : t -> string list
+  (** Registered counter names, in order. *)
+
+  val snapshot : t -> extra:(string * int) list -> (string * int) list
+  (** Counters in registration order, then [extra] (gauges computed by
+      the caller). *)
+
+  val delta :
+    monotonic:string list ->
+    before:(string * int) list ->
+    (string * int) list ->
+    (string * int) list
+  (** Difference the [monotonic] keys against [before]; report the
+      rest absolute. *)
+end

@@ -1,0 +1,229 @@
+(* The observability substrate: histogram algebra, quantile estimates,
+   span nesting under concurrency, stat sets, and the Chrome trace a
+   real concretization produces. *)
+
+module G = QCheck.Gen
+
+(* Floats spanning many bucket magnitudes, including zero and negatives
+   (which land in the underflow bucket). *)
+let gen_value = G.map (fun n -> float_of_int n /. 7.0) (G.int_range (-100) 10_000_000)
+
+let gen_values = G.list_size (G.int_range 0 60) gen_value
+
+let hist_of values =
+  let h = Obs.Hist.create () in
+  List.iter (Obs.Hist.observe h) values;
+  h
+
+let arb_values3 =
+  QCheck.make
+    ~print:(fun (a, b, c) ->
+      let p l = "[" ^ String.concat ";" (List.map string_of_float l) ^ "]" in
+      p a ^ " " ^ p b ^ " " ^ p c)
+    (G.triple gen_values gen_values gen_values)
+
+(* Associativity must hold exactly on the integer bucket counts (float
+   sums are not bit-associative, so the property is over buckets). *)
+let prop_merge_associative =
+  QCheck.Test.make ~name:"histogram merge is associative on buckets" ~count:300
+    arb_values3 (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      let left = Obs.Hist.merge (Obs.Hist.merge ha hb) hc in
+      let right = Obs.Hist.merge ha (Obs.Hist.merge hb hc) in
+      Obs.Hist.buckets left = Obs.Hist.buckets right)
+
+let prop_merge_counts =
+  QCheck.Test.make ~name:"histogram merge preserves counts" ~count:300
+    arb_values3 (fun (a, b, c) ->
+      let m = Obs.Hist.merge (hist_of a) (Obs.Hist.merge (hist_of b) (hist_of c)) in
+      Obs.Hist.count m = List.length a + List.length b + List.length c)
+
+let prop_quantiles_monotone =
+  QCheck.Test.make ~name:"quantile estimates are monotone in q" ~count:300
+    (QCheck.make
+       ~print:(fun (l, _) -> String.concat ";" (List.map string_of_float l))
+       (G.pair gen_values (G.list_size (G.return 10) (G.float_bound_inclusive 1.0))))
+    (fun (values, qs) ->
+      let h = hist_of values in
+      let qs = List.sort compare (0.0 :: 1.0 :: qs) in
+      let est = List.map (Obs.Hist.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono est
+      && (values = [] || Obs.Hist.quantile h 1.0 <= Obs.Hist.max_value h))
+
+(* Concurrent domains tracing into one ctx: each domain's spans must be
+   well-nested in its own timeline (that is the invariant the Chrome
+   rendering relies on). *)
+let well_nested_per_domain ctx =
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Obs.Span { tid; t0_ns; dur_ns; _ } ->
+        let l = try Hashtbl.find by_tid tid with Not_found -> [] in
+        Hashtbl.replace by_tid tid ((t0_ns, Int64.add t0_ns dur_ns) :: l)
+      | Obs.Instant _ -> ())
+    (Obs.events ctx);
+  Hashtbl.fold
+    (fun _tid spans ok ->
+      ok
+      && List.for_all
+           (fun (s1, e1) ->
+             List.for_all
+               (fun (s2, e2) ->
+                 let overlap = compare (max s1 s2) (min e1 e2) < 0 in
+                 let contains a b c d = a <= c && d <= b in
+                 (not overlap) || contains s1 e1 s2 e2 || contains s2 e2 s1 e1)
+               spans)
+           spans)
+    by_tid true
+
+let prop_concurrent_spans_nest =
+  QCheck.Test.make ~name:"concurrent domains produce well-nested span trees"
+    ~count:25
+    (QCheck.make ~print:string_of_int (G.int_range 1 4))
+    (fun domains ->
+      let ctx = Obs.create () in
+      let work d =
+        for i = 0 to 9 do
+          Obs.with_span ctx ~cat:"t" (Printf.sprintf "outer-%d-%d" d i)
+            (fun _ ->
+              Obs.with_span ctx ~cat:"t" "mid" (fun _ ->
+                  Obs.with_span ctx ~cat:"t" "inner" (fun _ ->
+                      Obs.incr ctx "work")))
+        done
+      in
+      let spawned =
+        List.init (domains - 1) (fun d -> Domain.spawn (fun () -> work (d + 1)))
+      in
+      work 0;
+      List.iter Domain.join spawned;
+      List.length (Obs.events ctx) = domains * 30 && well_nested_per_domain ctx)
+
+(* ---- unit tests ---- *)
+
+let test_disabled_is_empty () =
+  let ctx = Obs.disabled in
+  Obs.with_span ctx "x" (fun sp ->
+      Obs.set_attr sp "a" (Obs.I 1);
+      Obs.incr ctx "c";
+      Obs.gauge ctx "g" 7;
+      Obs.observe ctx "h" 3.0);
+  Alcotest.(check bool) "not enabled" false (Obs.enabled ctx);
+  Alcotest.(check int) "no events" 0 (List.length (Obs.events ctx));
+  Alcotest.(check int) "no metrics" 0 (List.length (Obs.metrics ctx));
+  Alcotest.(check string) "null sink" "" (Obs.Sink.render ctx Obs.Sink.Null)
+
+let test_metrics () =
+  let ctx = Obs.create () in
+  Obs.incr ctx "c";
+  Obs.incr ctx ~by:4 "c";
+  Obs.gauge ctx "g" 3;
+  Obs.gauge ctx "g" 9;
+  Obs.observe ctx "h" 2.0;
+  Obs.observe ctx "h" 8.0;
+  Obs.publish ctx ~prefix:"sat" [ ("conflicts", 5) ];
+  let find n = List.assoc n (Obs.metrics ctx) in
+  (match find "c" with
+  | Obs.Counter 5 -> ()
+  | _ -> Alcotest.fail "counter value");
+  (match find "g" with
+  | Obs.Gauge 9 -> ()
+  | _ -> Alcotest.fail "gauge keeps latest");
+  (match find "h" with
+  | Obs.Histogram h ->
+    Alcotest.(check int) "hist count" 2 (Obs.Hist.count h);
+    Alcotest.(check (float 1e-9)) "hist sum" 10.0 (Obs.Hist.sum h)
+  | _ -> Alcotest.fail "histogram");
+  match find "sat.conflicts" with
+  | Obs.Counter 5 -> ()
+  | _ -> Alcotest.fail "published stat"
+
+let test_stats_shim () =
+  let s = Obs.Stats.create () in
+  let a = Obs.Stats.counter s "a" in
+  let b = Obs.Stats.counter s "b" in
+  Obs.Stats.incr a;
+  Obs.Stats.add b 10;
+  let snap0 = Obs.Stats.snapshot s ~extra:[ ("gauge", 100) ] in
+  Alcotest.(check bool) "registration order" true
+    (snap0 = [ ("a", 1); ("b", 10); ("gauge", 100) ]);
+  Obs.Stats.add a 4;
+  let snap1 = Obs.Stats.snapshot s ~extra:[ ("gauge", 50) ] in
+  let d = Obs.Stats.delta ~monotonic:(Obs.Stats.names s) ~before:snap0 snap1 in
+  Alcotest.(check bool) "delta diffs monotonic, reports gauges absolute" true
+    (d = [ ("a", 4); ("b", 0); ("gauge", 50) ])
+
+(* Golden test: a real (small) concretization's Chrome trace must parse
+   with Sjson, survive a re-serialize/re-parse round trip, and contain
+   the pipeline's phase spans. *)
+let test_chrome_roundtrip () =
+  let repo =
+    Pkg.Repo.of_packages
+      Pkg.Package.
+        [ make "a" |> version "1.0" |> depends_on "b" |> depends_on "c";
+          make "b" |> version "1.0" |> depends_on "c";
+          make "c" |> version "1.0" ]
+  in
+  let obs = Obs.create () in
+  let options =
+    { Core.Concretizer.default_options with Core.Concretizer.obs; verify = true }
+  in
+  (match Core.Concretizer.concretize_spec ~repo ~options "a" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("concretize: " ^ e));
+  let text = Obs.Sink.render obs Obs.Sink.Chrome in
+  let json = Sjson.of_string text in
+  Alcotest.(check bool) "round-trips through Sjson" true
+    (Sjson.of_string (Sjson.to_string json) = json);
+  let names =
+    List.filter_map
+      (fun ev ->
+        match Sjson.member_opt "ph" ev with
+        | Some (Sjson.String "X") ->
+          Some (Sjson.get_string (Sjson.member "name" ev))
+        | _ -> None)
+      (Sjson.to_list (Sjson.member "traceEvents" json))
+  in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) ("has " ^ phase ^ " span") true (List.mem phase names))
+    [ "concretize"; "encode"; "assemble"; "ground"; "solve"; "decode"; "verify" ];
+  (* the jsonl rendering of the same ctx parses line by line *)
+  let lines =
+    String.split_on_char '\n' (Obs.Sink.render obs Obs.Sink.Jsonl)
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  Alcotest.(check bool) "jsonl has lines" true (List.length lines > 0);
+  List.iter (fun l -> ignore (Sjson.of_string l)) lines
+
+let test_sink_of_string () =
+  Alcotest.(check bool) "chrome" true (Obs.Sink.of_string "chrome" = Ok Obs.Sink.Chrome);
+  Alcotest.(check bool) "jsonl" true (Obs.Sink.of_string "jsonl" = Ok Obs.Sink.Jsonl);
+  Alcotest.(check bool) "summary" true
+    (Obs.Sink.of_string "summary" = Ok Obs.Sink.Summary);
+  Alcotest.(check bool) "null" true (Obs.Sink.of_string "null" = Ok Obs.Sink.Null);
+  match Obs.Sink.of_string "xml" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "xml should be rejected"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "histograms",
+        [ QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_merge_counts;
+          QCheck_alcotest.to_alcotest prop_quantiles_monotone ] );
+      ("spans", [ QCheck_alcotest.to_alcotest prop_concurrent_spans_nest ]);
+      ( "units",
+        [ Alcotest.test_case "disabled ctx is free and empty" `Quick
+            test_disabled_is_empty;
+          Alcotest.test_case "counters, gauges, histograms, publish" `Quick
+            test_metrics;
+          Alcotest.test_case "stat sets: snapshot order and delta" `Quick
+            test_stats_shim;
+          Alcotest.test_case "sink names parse" `Quick test_sink_of_string ] );
+      ( "golden",
+        [ Alcotest.test_case "chrome trace of a concretization round-trips"
+            `Quick test_chrome_roundtrip ] ) ]
