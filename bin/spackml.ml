@@ -432,7 +432,107 @@ let buildcache_cmd =
     (Cmd.info "buildcache" ~doc:"Build and list the bundled local buildcache.")
     Term.(const run $ const ())
 
-(* ---- solve (raw ASP) ---- *)
+(* ---- solve (raw ASP, or raw DIMACS CNF on the bare SAT core) ---- *)
+
+(* DIMACS CNF: "c" comment lines, a "p cnf VARS CLAUSES" header, then
+   clauses as whitespace-separated nonzero literals each terminated by
+   0. DIMACS variable v (1-based) maps to internal variable v-1. *)
+let parse_dimacs sat path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let ensure_var v =
+    while Asp.Sat.nvars sat < v do ignore (Asp.Sat.new_var sat) done
+  in
+  let clause = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       let line = String.trim line in
+       if line = "" || line.[0] = 'c' || line.[0] = 'p' then ()
+       else
+         String.split_on_char ' ' line
+         |> List.concat_map (String.split_on_char '\t')
+         |> List.iter (fun tok ->
+                if tok <> "" then
+                  let d = int_of_string tok in
+                  if d = 0 then begin
+                    Asp.Sat.add_clause sat (List.rev !clause);
+                    clause := []
+                  end
+                  else begin
+                    let v = abs d in
+                    ensure_var v;
+                    clause :=
+                      (if d > 0 then Asp.Sat.pos (v - 1) else Asp.Sat.neg (v - 1))
+                      :: !clause
+                  end)
+     done
+   with End_of_file -> ());
+  if !clause <> [] then Asp.Sat.add_clause sat (List.rev !clause)
+
+let dimacs_lit l =
+  let v = Asp.Sat.lit_var l + 1 in
+  if Asp.Sat.lit_sign l then v else -v
+
+(* DRUP text: one derived clause per line, deletions as "d" lines;
+   input restatements are omitted (the checker reads them from the
+   formula). PB steps cannot arise from a pure CNF input. *)
+let emit_drup path steps =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let line lits =
+    List.iter (fun l -> Printf.fprintf oc "%d " (dimacs_lit l)) lits;
+    output_string oc "0\n"
+  in
+  List.iter
+    (fun (step : Asp.Sat.proof_step) ->
+      match step with
+      | Asp.Sat.P_input _ | Asp.Sat.P_pb_input _ -> ()
+      | Asp.Sat.P_pb_lemma (_, lits) | Asp.Sat.P_derived lits -> line lits
+      | Asp.Sat.P_delete lits ->
+        output_string oc "d ";
+        line lits)
+    steps
+
+let solve_dimacs dimacs proof_file =
+  let sat = Asp.Sat.create () in
+  if proof_file <> None then Asp.Sat.enable_proof sat;
+  parse_dimacs sat dimacs;
+  let t0 = Unix.gettimeofday () in
+  let res = Asp.Sat.solve sat in
+  let dt = Unix.gettimeofday () -. t0 in
+  List.iter
+    (fun (k, v) -> Printf.printf "c %-13s %d\n" k v)
+    (Asp.Sat.stats sat);
+  Printf.printf "c solve-seconds %.3f\n" dt;
+  if res then begin
+    print_endline "s SATISFIABLE";
+    let n = Asp.Sat.nvars sat in
+    print_string "v";
+    for v = 0 to n - 1 do
+      Printf.printf " %d" (if Asp.Sat.value sat v then v + 1 else -(v + 1))
+    done;
+    print_endline " 0";
+    10
+  end
+  else begin
+    print_endline "s UNSATISFIABLE";
+    let certified =
+      match (proof_file, Asp.Sat.proof sat) with
+      | None, _ | _, None -> true
+      | Some path, Some steps -> (
+        emit_drup path steps;
+        Printf.printf "c proof written to %s\n" path;
+        match Fuzz.Drup.check steps with
+        | Ok () ->
+          print_endline "c proof certified: ok";
+          true
+        | Error e ->
+          Printf.printf "c proof certification FAILED: %s\n" e;
+          false)
+    in
+    if certified then 20 else 1
+  end
 
 let solve_cmd =
   let expr =
@@ -440,7 +540,22 @@ let solve_cmd =
         ~doc:"Program text (otherwise read the FILE argument).")
   in
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let run expr file =
+  let dimacs =
+    Arg.(value & opt (some file) None & info [ "dimacs" ] ~docv:"FILE"
+        ~doc:"Solve a DIMACS CNF file on the bare SAT core instead of \
+              an ASP program. Prints an s-line (and a v-line model) in \
+              the usual solver format; exits 10 for SAT, 20 for UNSAT.")
+  in
+  let proof =
+    Arg.(value & opt (some string) None & info [ "proof" ] ~docv:"FILE"
+        ~doc:"With --dimacs: record a DRUP proof, write it to FILE \
+              (derived clauses plus d-lines for learnt-DB deletions), \
+              and certify UNSAT answers with the independent checker.")
+  in
+  let run expr file dimacs proof =
+    match dimacs with
+    | Some d -> solve_dimacs d proof
+    | None ->
     let text =
       match (expr, file) with
       | Some t, _ -> Some t
@@ -475,8 +590,11 @@ let solve_cmd =
         0)
   in
   Cmd.v
-    (Cmd.info "solve" ~doc:"Run the built-in ASP solver on a logic program.")
-    Term.(const run $ expr $ file)
+    (Cmd.info "solve"
+       ~doc:
+         "Run the built-in ASP solver on a logic program, or (with \
+          --dimacs) the bare CDCL core on a DIMACS CNF file.")
+    Term.(const run $ expr $ file $ dimacs $ proof)
 
 (* ---- discover (automatic ABI discovery, the paper's future work) ---- *)
 

@@ -11,7 +11,12 @@
 
     [#minimize] objectives are optimized lexicographically (higher
     priority first) by branch-and-bound descent with activation
-    literals. *)
+    literals.
+
+    The layer is a functor over the CDCL core ({!Solver_intf.S}); the
+    toplevel values run on the production glucose-class {!Sat} core,
+    while {!Baseline} runs the same translation on {!Sat_baseline}
+    (the pre-arena solver) for differential testing and benches. *)
 
 type model = {
   atoms : Ast.atom list;  (** true atoms of the optimal stable model *)
@@ -26,56 +31,77 @@ type outcome = Sat of model | Unsat of Sat.proof_step list option
     [~certify:true], [p] carries the DRUP-style refutation recorded by
     the SAT core (loop and completion clauses appear as trusted
     inputs); it can be validated independently with [Fuzz.Drup.check].
-    [None] when certification was off. *)
-
-val solve : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> outcome
-(** [?obs] records a translate span, per-SAT-call [sat.solve] spans
-    with stats deltas, per-optimization [opt.probe] spans (priority,
-    bound, outcome), stable-check counters, and the SAT core's
-    per-restart histograms. *)
-
-(** {2 Incremental sessions}
-
-    A session translates a ground program to SAT once and then serves
-    many solve requests against it, each under its own assumptions over
-    ground atoms. Learned clauses, loop clauses, variable activities,
-    and saved phases persist across requests — they are consequences of
-    the (request-independent) program, so retaining them is sound; the
-    optimization descent only ever adds constraints gated by activation
-    literals assumed for a single request. *)
-
-type session
-
-val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
-(** [?obs] traces the one-time translation and then every
-    {!session_solve} as a [session.solve] span carrying that request's
-    solver-stat deltas. *)
-
-val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
-(** Solve for the optimal stable model consistent with the assumed atom
-    truth values. Atoms absent from the ground program are constant
-    false: assuming one [false] is vacuous, assuming one [true] yields
-    [Unsat None] immediately. [sat_stats] in the returned model are
-    this request's deltas ({!Sat.stats_delta}); [stable_checks] and
-    [loop_clauses] are session-cumulative. *)
-
-val session_ground : session -> Ground.t
-
-val session_sat_stats : session -> (string * int) list
-(** Session-cumulative solver counters. *)
-
-val session_solves : session -> int
-(** Requests served so far. *)
+    [None] when certification was off. The proof-step type is shared
+    between both cores through {!Solver_intf}, so certificates from
+    either instance check with the same tooling. *)
 
 val hook_skip_unfounded : bool ref
 (** Fault injection for the fuzz harness: when [true], the unfounded-set
     check is skipped, so non-stable SAT models are accepted. Always
-    reset after use. *)
+    reset after use. Shared by all solver instances. *)
 
-val holds : model -> Ast.atom -> bool
+(** Operations provided by every solver instantiation. *)
+module type S = sig
+  val solve : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> outcome
+  (** [?obs] records a translate span, per-SAT-call [sat.solve] spans
+      with stats deltas, per-optimization [opt.probe] spans (priority,
+      bound, outcome), stable-check counters, and the SAT core's
+      per-restart histograms. *)
 
-val enumerate : ?limit:int -> Ground.t -> model list
-(** Enumerate stable models (up to [limit], default 64) by adding
-    blocking clauses over full assignments. [#minimize] statements are
-    ignored — enumeration explores the unoptimized model space (used
-    by tests and the CLI's solver front end). *)
+  (** {2 Incremental sessions}
+
+      A session translates a ground program to SAT once and then serves
+      many solve requests against it, each under its own assumptions
+      over ground atoms. Learned clauses, loop clauses, variable
+      activities, and saved phases persist across requests — they are
+      consequences of the (request-independent) program, so retaining
+      them is sound; the optimization descent only ever adds
+      constraints gated by activation literals assumed for a single
+      request. Under the glucose-class core, retained learnt clauses
+      are additionally subject to LBD-driven reduction between
+      requests, which deletes only redundant (derived) clauses and so
+      preserves soundness and completeness. *)
+
+  type session
+
+  val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
+  (** [?obs] traces the one-time translation and then every
+      {!session_solve} as a [session.solve] span carrying that
+      request's solver-stat deltas. *)
+
+  val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
+  (** Solve for the optimal stable model consistent with the assumed
+      atom truth values. Atoms absent from the ground program are
+      constant false: assuming one [false] is vacuous, assuming one
+      [true] yields [Unsat None] immediately. [sat_stats] in the
+      returned model are this request's deltas ({!Sat.stats_delta});
+      [stable_checks] and [loop_clauses] are session-cumulative. *)
+
+  val session_ground : session -> Ground.t
+
+  val session_sat_stats : session -> (string * int) list
+  (** Session-cumulative solver counters. *)
+
+  val session_solves : session -> int
+  (** Requests served so far. *)
+
+  val holds : model -> Ast.atom -> bool
+
+  val enumerate : ?limit:int -> Ground.t -> model list
+  (** Enumerate stable models (up to [limit], default 64) by adding
+      blocking clauses over full assignments. [#minimize] statements
+      are ignored — enumeration explores the unoptimized model space
+      (used by tests and the CLI's solver front end). *)
+end
+
+module Make (Solver : Solver_intf.S) : S
+
+include S
+(** The production instance, over the glucose-class {!Sat} core. *)
+
+module Baseline : S
+(** The same stable-model layer over {!Sat_baseline} — the pre-arena,
+    Luby-restart MiniSat-style core. Used by [test/test_sat_core.ml]
+    as the differential reference and by the [sat-smoke] bench as the
+    speedup baseline (reachable through
+    [Core.Concretizer.options.baseline_solver]). *)

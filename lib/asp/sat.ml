@@ -1,3 +1,40 @@
+(* Glucose-class CDCL core.
+
+   The solver keeps the same external API as the MiniSat-style core it
+   replaced ([Sat_baseline] preserves that one for differential
+   testing) but reworks every hot loop:
+
+   - clauses of size >= 3 live in a flat growable int array (the
+     arena); a clause reference ([cref]) is the index of its header.
+     Header layout (3 words, literals follow):
+       word0 = (size lsl 3) lor flags   flags: bit0 learnt,
+                                               bit1 deleted,
+                                               bit2 relocated (GC)
+       word1 = LBD (learnt) / 0         or forward cref during GC
+       word2 = touch stamp              conflict count at last use;
+                                        an integer recency score, so
+                                        "clause activity" never needs
+                                        a rescale walk
+   - watch lists are flat int vectors of (blocker, payload) pairs.
+     A satisfied blocker skips the clause without touching the arena.
+     payload = cref lsl 1 for arena clauses, or
+               (otherlit lsl 1) lor 1 for an inline binary clause
+     (2-clauses never enter the arena at all).
+   - reasons are ints: -2 none, -1 decision, -3 PB (explanation in
+     [pb_reason]), even = arena cref * 2, odd = binary other-lit * 2+1.
+   - learnt-clause quality is literal block distance (LBD), computed
+     at learn time and refreshed when a learnt clause is reused in
+     conflict analysis. LBD drives glucose-style EMA restarts (Luby
+     kept behind [restart_mode]) and tiered DB reduction: glue
+     (lbd <= 2) is kept forever, the rest ranked (lbd desc, stamp asc)
+     and the worst half deleted, with [P_delete] proof steps.
+   - first-UIP clauses are shrunk by recursive (self-subsuming)
+     minimization before being logged/attached.
+
+   Deletion leaves dead words behind; a compacting GC pass rewrites
+   the arena and patches watcher payloads and reason references when
+   more than a third of it is garbage. *)
+
 type lit = int
 
 let pos v = 2 * v
@@ -6,7 +43,7 @@ let lit_not l = l lxor 1
 let lit_var l = l lsr 1
 let lit_sign l = l land 1 = 0 (* true = positive *)
 
-(* Dynamic int arrays (clauses are int arrays; watch lists are vecs). *)
+(* Dynamic arrays (watch lists and cref lists are int vecs). *)
 module Vec = struct
   type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 
@@ -24,14 +61,21 @@ module Vec = struct
   let get v i = v.data.(i)
   let set v i x = v.data.(i) <- x
   let size v = v.len
-  let shrink v n = v.len <- n
+
+  (* Clear the abandoned slots: for boxed payloads a popped pointer
+     would otherwise keep its object reachable forever. *)
+  let shrink v n =
+    for i = n to v.len - 1 do
+      v.data.(i) <- v.dummy
+    done;
+    v.len <- n
 end
 
-type clause = {
-  lits : int array;
-  mutable activity : float;
-  learnt : bool;
-}
+type restart_mode = Luby | Glucose
+
+(* Read once at [create]; lets benches and tests pit the two policies
+   against each other without threading an argument through [Logic]. *)
+let default_restart_mode = ref Glucose
 
 type pb = {
   wlits : (int * lit) array;  (* (weight, lit), sorted by weight desc *)
@@ -41,35 +85,51 @@ type pb = {
   prefix : lit list;     (* negations of level-0-true lits folded into [bound] *)
 }
 
-(* DRUP-style proof steps. [P_input]/[P_pb_input] record the trusted
-   problem; [P_pb_lemma (i, c)] claims clause [c] is implied by the
-   [i]-th PB input alone; [P_derived c] claims [c] follows from the
-   database by reverse unit propagation. An UNSAT run ends with
-   [P_derived []]. *)
-type proof_step =
+type proof_step = Solver_intf.proof_step =
   | P_input of lit list
   | P_pb_input of (int * lit) list * int
   | P_pb_lemma of int * lit list
   | P_derived of lit list
+  | P_delete of lit list
 
-type reason = No_reason | Decision | Clause_reason of clause | Pb_reason of clause
-(* PB propagations synthesize an explanation clause eagerly. *)
+(* Reason encoding (per assigned variable):
+   -2 no reason (level-0 enqueue), -1 decision,
+   -3 PB propagation (explanation clause in [pb_reason], implied lit
+      first), even r = arena cref r/2, odd r = inline binary clause
+      whose other literal is r/2. *)
+let r_none = -2
+let r_decision = -1
+let r_pb = -3
+
+type confl =
+  | C_cref of int           (* conflict clause in the arena *)
+  | C_lits of int array     (* binary or PB-explanation conflict *)
 
 type t = {
   mutable nvars : int;
   mutable assign : Bytes.t;          (* per var: 0 unassigned, 1 true, 2 false *)
   mutable level : int array;
-  mutable reason : reason array;
+  mutable reason : int array;
+  mutable pb_reason : int array array; (* PB explanations, implied lit first *)
   mutable activity : float array;
+  mutable act_gen : int array;       (* rescale generation per var *)
+  mutable gen : int;                 (* current rescale generation *)
   mutable phase : Bytes.t;           (* saved phase: 1 true, 0 false *)
-  mutable watches : clause Vec.t array;  (* per literal *)
+  mutable watches : int Vec.t array; (* per literal: (blocker, payload) pairs *)
   mutable pb_watch : (pb * int) list array; (* per literal: PBs containing it *)
   mutable model : Bytes.t;
   trail : int Vec.t;
   trail_lim : int Vec.t;
   mutable qhead : int;
-  mutable clauses : clause list;
-  mutable learnts : clause list;
+  (* clause arena *)
+  mutable arena : int array;
+  mutable arena_top : int;
+  mutable wasted : int;              (* words owned by deleted clauses *)
+  clauses : int Vec.t;               (* crefs of problem clauses (size >= 3) *)
+  mutable learnts : int Vec.t;       (* crefs of learnt clauses (size >= 3) *)
+  mutable n_clauses : int;           (* live problem clauses incl. binaries *)
+  mutable n_learnts : int;           (* live learnt clauses incl. binaries *)
+  mutable n_arena_learnts : int;     (* live learnt clauses in the arena *)
   mutable pbs : pb list;
   mutable var_inc : float;
   mutable ok : bool;
@@ -77,19 +137,30 @@ type t = {
   mutable heap : int array;
   mutable heap_len : int;
   mutable heap_pos : int array;      (* var -> index in heap, -1 if absent *)
-  (* stats: one Obs.Stats set holds the monotonic counters; the old
-     [stats]/[stats_delta] accessors are shims over its snapshot *)
   stat_set : Obs.Stats.t;
   c_conflicts : Obs.Stats.counter;
   c_decisions : Obs.Stats.counter;
   c_propagations : Obs.Stats.counter;
   c_learnts : Obs.Stats.counter;
   c_restarts : Obs.Stats.counter;
-  (* tracing: per-restart delta histograms and learnt-DB gauge *)
+  c_reduces : Obs.Stats.counter;
+  c_removed : Obs.Stats.counter;
+  c_minimized : Obs.Stats.counter;
   mutable obs : Obs.ctx;
   mutable at_restart : int * int * int; (* conflicts, decisions, props *)
   (* scratch for analysis *)
   mutable seen : Bytes.t;
+  to_clear : int Vec.t;              (* vars whose seen bit must be reset *)
+  min_stack : int Vec.t;             (* lit_redundant worklist *)
+  mutable lbd_mark : int array;      (* per decision level, stamped *)
+  mutable lbd_stamp : int;
+  (* restart state *)
+  mutable restart_mode : restart_mode;
+  mutable ema_fast : float;          (* recent LBD average  (alpha 1/32) *)
+  mutable ema_slow : float;          (* long-term LBD average (alpha 1/8192) *)
+  mutable conflict_count : int;      (* int mirror of c_conflicts *)
+  (* learnt-DB reduction *)
+  mutable max_learnts : int;         (* arena-learnt count triggering reduce *)
   (* proof logging: [None] = off; steps are kept newest-first *)
   mutable proof : proof_step list option;
   mutable n_pb_inputs : int;
@@ -97,17 +168,24 @@ type t = {
 
 let create () =
   let stat_set = Obs.Stats.create () in
-  (* Registration order fixes the [stats] output order. *)
+  (* Registration order fixes the [stats] output order; the pre-arena
+     counters keep their slots, new ones are appended. *)
   let c_conflicts = Obs.Stats.counter stat_set "conflicts" in
   let c_decisions = Obs.Stats.counter stat_set "decisions" in
   let c_propagations = Obs.Stats.counter stat_set "propagations" in
   let c_learnts = Obs.Stats.counter stat_set "learnts" in
   let c_restarts = Obs.Stats.counter stat_set "restarts" in
+  let c_reduces = Obs.Stats.counter stat_set "reduces" in
+  let c_removed = Obs.Stats.counter stat_set "removed" in
+  let c_minimized = Obs.Stats.counter stat_set "minimized" in
   { nvars = 0;
     assign = Bytes.create 0;
     level = [||];
     reason = [||];
+    pb_reason = [||];
     activity = [||];
+    act_gen = [||];
+    gen = 0;
     phase = Bytes.create 0;
     watches = [||];
     pb_watch = [||];
@@ -115,8 +193,14 @@ let create () =
     trail = Vec.create 0;
     trail_lim = Vec.create 0;
     qhead = 0;
-    clauses = [];
-    learnts = [];
+    arena = Array.make 1024 0;
+    arena_top = 0;
+    wasted = 0;
+    clauses = Vec.create 0;
+    learnts = Vec.create 0;
+    n_clauses = 0;
+    n_learnts = 0;
+    n_arena_learnts = 0;
     pbs = [];
     var_inc = 1.0;
     ok = true;
@@ -129,9 +213,21 @@ let create () =
     c_propagations;
     c_learnts;
     c_restarts;
+    c_reduces;
+    c_removed;
+    c_minimized;
     obs = Obs.disabled;
     at_restart = (0, 0, 0);
     seen = Bytes.create 0;
+    to_clear = Vec.create 0;
+    min_stack = Vec.create 0;
+    lbd_mark = [||];
+    lbd_stamp = 0;
+    restart_mode = !default_restart_mode;
+    ema_fast = 0.0;
+    ema_slow = 0.0;
+    conflict_count = 0;
+    max_learnts = 2000;
     proof = None;
     n_pb_inputs = 0 }
 
@@ -148,7 +244,67 @@ let log_step s step =
    silently discards its constraint, so cardinality bounds vanish. *)
 let hook_drop_pb = ref false
 
+let set_restart_mode s m = s.restart_mode <- m
+
+(* Arena-learnt count that triggers [reduce_db]; tests lower it to
+   force reductions on small instances. *)
+let set_reduce_interval s n = s.max_learnts <- max 1 n
+
+(* -- arena --------------------------------------------------------- *)
+
+let f_learnt = 1
+let f_deleted = 2
+let f_reloc = 4
+
+let cl_size s cref = s.arena.(cref) lsr 3
+let cl_learnt s cref = s.arena.(cref) land f_learnt <> 0
+let cl_deleted s cref = s.arena.(cref) land f_deleted <> 0
+let cl_lbd s cref = s.arena.(cref + 1)
+let cl_set_lbd s cref lbd = s.arena.(cref + 1) <- lbd
+let cl_stamp s cref = s.arena.(cref + 2)
+let cl_touch s cref = s.arena.(cref + 2) <- s.conflict_count
+let cl_lit s cref i = s.arena.(cref + 3 + i)
+
+let cl_delete s cref =
+  s.arena.(cref) <- s.arena.(cref) lor f_deleted;
+  s.wasted <- s.wasted + cl_size s cref + 3
+
+let arena_ensure s need =
+  let cap = Array.length s.arena in
+  if s.arena_top + need > cap then begin
+    let cap' = ref (2 * cap) in
+    while s.arena_top + need > !cap' do
+      cap' := 2 * !cap'
+    done;
+    let arena = Array.make !cap' 0 in
+    Array.blit s.arena 0 arena 0 s.arena_top;
+    s.arena <- arena
+  end
+
+let alloc_clause s lits ~learnt ~lbd =
+  let size = Array.length lits in
+  arena_ensure s (size + 3);
+  let cref = s.arena_top in
+  s.arena.(cref) <- (size lsl 3) lor (if learnt then f_learnt else 0);
+  s.arena.(cref + 1) <- lbd;
+  s.arena.(cref + 2) <- s.conflict_count;
+  Array.blit lits 0 s.arena (cref + 3) size;
+  s.arena_top <- cref + size + 3;
+  cref
+
 (* -- activity heap ------------------------------------------------- *)
+
+(* Effective activity under lazy rescale: a variable [gen - act_gen]
+   generations stale is smaller by that many factors of 1e-100.
+   [var_bump] normalizes on touch, so staleness only matters when
+   ordering untouched variables, where "vanishingly small" is all the
+   heap needs to know. *)
+let eff_act s v =
+  let d = s.gen - s.act_gen.(v) in
+  if d = 0 then s.activity.(v)
+  else if d = 1 then s.activity.(v) *. 1e-100
+  else if d = 2 then s.activity.(v) *. 1e-200
+  else 0.0
 
 let heap_swap s i j =
   let a = s.heap.(i) and b = s.heap.(j) in
@@ -160,7 +316,7 @@ let heap_swap s i j =
 let rec heap_up s i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(parent)) then begin
+    if eff_act s s.heap.(i) > eff_act s s.heap.(parent) then begin
       heap_swap s i parent;
       heap_up s parent
     end
@@ -169,9 +325,9 @@ let rec heap_up s i =
 let rec heap_down s i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let best = ref i in
-  if l < s.heap_len && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best)) then
+  if l < s.heap_len && eff_act s s.heap.(l) > eff_act s s.heap.(!best) then
     best := l;
-  if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best)) then
+  if r < s.heap_len && eff_act s s.heap.(r) > eff_act s s.heap.(!best) then
     best := r;
   if !best <> i then begin
     heap_swap s i !best;
@@ -223,16 +379,26 @@ let grow_arrays s =
     let level = Array.make cap (-1) in
     Array.blit s.level 0 level 0 old;
     s.level <- level;
-    let reason = Array.make cap No_reason in
+    let reason = Array.make cap r_none in
     Array.blit s.reason 0 reason 0 old;
     s.reason <- reason;
+    let pb_reason = Array.make cap [||] in
+    Array.blit s.pb_reason 0 pb_reason 0 old;
+    s.pb_reason <- pb_reason;
     let activity = Array.make cap 0.0 in
     Array.blit s.activity 0 activity 0 old;
     s.activity <- activity;
-    let watches = Array.make (2 * cap) (Vec.create { lits = [||]; activity = 0.; learnt = false }) in
+    let act_gen = Array.make cap s.gen in
+    Array.blit s.act_gen 0 act_gen 0 old;
+    s.act_gen <- act_gen;
+    (* Decision levels never exceed nvars, so cap+1 marks suffice. *)
+    let lbd_mark = Array.make (cap + 1) 0 in
+    Array.blit s.lbd_mark 0 lbd_mark 0 (Array.length s.lbd_mark);
+    s.lbd_mark <- lbd_mark;
+    let watches = Array.make (2 * cap) (Vec.create 0) in
     Array.blit s.watches 0 watches 0 (2 * old);
     for i = 2 * old to (2 * cap) - 1 do
-      watches.(i) <- Vec.create { lits = [||]; activity = 0.; learnt = false }
+      watches.(i) <- Vec.create 0
     done;
     s.watches <- watches;
     let pb_watch = Array.make (2 * cap) [] in
@@ -278,7 +444,7 @@ let enqueue s l reason =
 
 (* -- propagation --------------------------------------------------- *)
 
-exception Conflict of clause
+exception Conflict of confl
 
 let pb_explain_conflict pb s =
   (* All currently-true literals of the PB jointly overflow the bound:
@@ -288,7 +454,7 @@ let pb_explain_conflict pb s =
     (fun (_, l) -> if lit_value s l = 1 then lits := lit_not l :: !lits)
     pb.wlits;
   log_step s (P_pb_lemma (pb.origin, pb.prefix @ !lits));
-  { lits = Array.of_list !lits; activity = 0.; learnt = true }
+  Array.of_list !lits
 
 let pb_explain_implication pb s implied =
   (* true-lits -> implied: clause (not l1 \/ ... \/ implied), with the
@@ -298,7 +464,11 @@ let pb_explain_implication pb s implied =
     (fun (_, l) -> if lit_value s l = 1 then antecedents := lit_not l :: !antecedents)
     pb.wlits;
   log_step s (P_pb_lemma (pb.origin, pb.prefix @ (implied :: !antecedents)));
-  { lits = Array.of_list (implied :: !antecedents); activity = 0.; learnt = true }
+  Array.of_list (implied :: !antecedents)
+
+let enqueue_pb s l expl =
+  s.pb_reason.(lit_var l) <- expl;
+  enqueue s l r_pb
 
 let propagate s =
   try
@@ -309,7 +479,8 @@ let propagate s =
       (* PB checks for l being true (sums were updated at enqueue). *)
       List.iter
         (fun (pb, _w) ->
-          if pb.sum_true > pb.bound then raise (Conflict (pb_explain_conflict pb s))
+          if pb.sum_true > pb.bound then
+            raise (Conflict (C_lits (pb_explain_conflict pb s)))
           else begin
             let slack = pb.bound - pb.sum_true in
             (* Any unassigned literal heavier than the slack is forced
@@ -319,67 +490,106 @@ let propagate s =
                  (fun (w', l') ->
                    if w' <= slack then raise Exit
                    else if lit_value s l' = 0 then
-                     enqueue s (lit_not l')
-                       (Pb_reason (pb_explain_implication pb s (lit_not l'))))
+                     enqueue_pb s (lit_not l')
+                       (pb_explain_implication pb s (lit_not l')))
                  pb.wlits
              with Exit -> ())
           end)
         s.pb_watch.(l);
-      (* Clause propagation: literal [not l] just became false; clauses
-         watching it are filed under [watches.(lit_not (not l))] = [l]. *)
+      (* Clause propagation: literal [not l] just became false; watch
+         pairs are filed under the literal that became true. *)
       let falsified = lit_not l in
       let ws = s.watches.(l) in
       let j = ref 0 in
       let i = ref 0 in
-      (try
-         while !i < Vec.size ws do
-           let c = Vec.get ws !i in
-           incr i;
-           let lits = c.lits in
-           (* Ensure falsified watch is at position 1. *)
-           if lits.(0) = falsified then begin
-             lits.(0) <- lits.(1);
-             lits.(1) <- falsified
-           end;
-           if lit_value s lits.(0) = 1 then begin
-             (* Clause already satisfied; keep watching. *)
-             Vec.set ws !j c;
-             incr j
-           end
-           else begin
-             (* Look for a new literal to watch. *)
-             let found = ref false in
-             let k = ref 2 in
-             let n = Array.length lits in
-             while (not !found) && !k < n do
-               if lit_value s lits.(!k) <> 2 then begin
-                 lits.(1) <- lits.(!k);
-                 lits.(!k) <- falsified;
-                 Vec.push s.watches.(lit_not lits.(1)) c;
-                 found := true
-               end;
-               incr k
-             done;
-             if not !found then begin
-               (* Unit or conflict. *)
-               Vec.set ws !j c;
-               incr j;
-               if lit_value s lits.(0) = 2 then begin
-                 (* Conflict: copy remaining watchers and raise. *)
-                 while !i < Vec.size ws do
-                   Vec.set ws !j (Vec.get ws !i);
-                   incr i;
-                   incr j
-                 done;
-                 Vec.shrink ws !j;
-                 raise (Conflict c)
-               end
-               else enqueue s lits.(0) (Clause_reason c)
-             end
-           end
-         done;
-         Vec.shrink ws !j
-       with Conflict c -> raise (Conflict c))
+      while !i < Vec.size ws do
+        let blocker = Vec.get ws !i in
+        let payload = Vec.get ws (!i + 1) in
+        i := !i + 2;
+        if lit_value s blocker = 1 then begin
+          (* Blocking literal satisfied: skip without touching the
+             arena. *)
+          Vec.set ws !j blocker;
+          Vec.set ws (!j + 1) payload;
+          j := !j + 2
+        end
+        else if payload land 1 = 1 then begin
+          (* Inline binary clause (blocker \/ falsified). *)
+          Vec.set ws !j blocker;
+          Vec.set ws (!j + 1) payload;
+          j := !j + 2;
+          match lit_value s blocker with
+          | 2 ->
+            (* Conflict: copy remaining pairs and raise. *)
+            while !i < Vec.size ws do
+              Vec.set ws !j (Vec.get ws !i);
+              incr i;
+              incr j
+            done;
+            Vec.shrink ws !j;
+            raise (Conflict (C_lits [| blocker; falsified |]))
+          | 0 -> enqueue s blocker ((falsified lsl 1) lor 1)
+          | _ -> ()
+        end
+        else begin
+          let cref = payload lsr 1 in
+          if cl_deleted s cref then
+            (* Lazily drop watchers of clauses retired by reduce_db:
+               the pair is simply not copied down. *)
+            ()
+          else begin
+            let base = cref + 3 in
+            let lits = s.arena in
+            (* Ensure falsified watch is at position 1. *)
+            if lits.(base) = falsified then begin
+              lits.(base) <- lits.(base + 1);
+              lits.(base + 1) <- falsified
+            end;
+            let first = lits.(base) in
+            if first <> blocker && lit_value s first = 1 then begin
+              (* Satisfied by the other watch: keep, with a better
+                 blocker for next time. *)
+              Vec.set ws !j first;
+              Vec.set ws (!j + 1) payload;
+              j := !j + 2
+            end
+            else begin
+              (* Look for a new literal to watch. *)
+              let size = cl_size s cref in
+              let found = ref false in
+              let k = ref 2 in
+              while (not !found) && !k < size do
+                if lit_value s lits.(base + !k) <> 2 then begin
+                  lits.(base + 1) <- lits.(base + !k);
+                  lits.(base + !k) <- falsified;
+                  let wl = s.watches.(lit_not lits.(base + 1)) in
+                  Vec.push wl first;
+                  Vec.push wl payload;
+                  found := true
+                end;
+                incr k
+              done;
+              if not !found then begin
+                (* Unit or conflict. *)
+                Vec.set ws !j first;
+                Vec.set ws (!j + 1) payload;
+                j := !j + 2;
+                if lit_value s first = 2 then begin
+                  while !i < Vec.size ws do
+                    Vec.set ws !j (Vec.get ws !i);
+                    incr i;
+                    incr j
+                  done;
+                  Vec.shrink ws !j;
+                  raise (Conflict (C_cref cref))
+                end
+                else enqueue s first (cref lsl 1)
+              end
+            end
+          end
+        end
+      done;
+      Vec.shrink ws !j
     done;
     None
   with Conflict c -> Some c
@@ -394,7 +604,8 @@ let cancel_until s lvl =
       let v = lit_var l in
       List.iter (fun (pb, w) -> pb.sum_true <- pb.sum_true - w) s.pb_watch.(l);
       Bytes.set s.assign v '\000';
-      s.reason.(v) <- No_reason;
+      s.reason.(v) <- r_none;
+      s.pb_reason.(v) <- [||];
       heap_insert s v
     done;
     Vec.shrink s.trail bound;
@@ -405,16 +616,124 @@ let cancel_until s lvl =
 (* -- conflict analysis (first UIP) --------------------------------- *)
 
 let var_bump s v =
+  (* Lazy rescale: normalize the variable to the current generation,
+     bump, and on overflow open a new generation instead of walking
+     all activities (the pre-arena core scanned O(nvars) here). *)
+  let d = s.gen - s.act_gen.(v) in
+  if d > 0 then begin
+    s.activity.(v) <- eff_act s v;
+    s.act_gen.(v) <- s.gen
+  end;
   s.activity.(v) <- s.activity.(v) +. s.var_inc;
   if s.activity.(v) > 1e100 then begin
-    for i = 0 to s.nvars - 1 do
-      s.activity.(i) <- s.activity.(i) *. 1e-100
-    done;
-    s.var_inc <- s.var_inc *. 1e-100
+    s.gen <- s.gen + 1;
+    s.var_inc <- s.var_inc *. 1e-100;
+    s.activity.(v) <- s.activity.(v) *. 1e-100;
+    s.act_gen.(v) <- s.gen
   end;
   heap_bump s v
 
-let debug_enabled = Sys.getenv_opt "SAT_DEBUG" <> None
+(* Literal block distance: number of distinct decision levels among
+   the literals, via a stamped per-level mark array. *)
+let lbd_of_array s arr n =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let st = s.lbd_stamp in
+  let cnt = ref 0 in
+  for i = 0 to n - 1 do
+    let lv = s.level.(lit_var arr.(i)) in
+    if lv > 0 && s.lbd_mark.(lv) <> st then begin
+      s.lbd_mark.(lv) <- st;
+      incr cnt
+    end
+  done;
+  !cnt
+
+let lbd_of_cref s cref =
+  s.lbd_stamp <- s.lbd_stamp + 1;
+  let st = s.lbd_stamp in
+  let cnt = ref 0 in
+  let size = cl_size s cref in
+  for i = 0 to size - 1 do
+    let lv = s.level.(lit_var (cl_lit s cref i)) in
+    if lv > 0 && s.lbd_mark.(lv) <> st then begin
+      s.lbd_mark.(lv) <- st;
+      incr cnt
+    end
+  done;
+  !cnt
+
+(* Touch a clause used in conflict analysis: refresh its recency stamp
+   and tighten its stored LBD if the current assignment gives a better
+   one (glucose's "LBD on re-use"). *)
+let cl_on_use s cref =
+  cl_touch s cref;
+  if cl_learnt s cref then begin
+    let lbd = lbd_of_cref s cref in
+    if lbd > 0 && lbd < cl_lbd s cref then cl_set_lbd s cref lbd
+  end
+
+(* Iterate the non-implied literals of the reason for assigned var
+   [v]; [f] may raise (Exit is used as an early abort). *)
+let reason_iter_other s v f =
+  let r = s.reason.(v) in
+  if r >= 0 then begin
+    if r land 1 = 1 then f (r lsr 1)
+    else begin
+      let cref = r lsr 1 in
+      cl_on_use s cref;
+      let size = cl_size s cref in
+      for i = 1 to size - 1 do
+        f (cl_lit s cref i)
+      done
+    end
+  end
+  else if r = r_pb then begin
+    let expl = s.pb_reason.(v) in
+    for i = 1 to Array.length expl - 1 do
+      f expl.(i)
+    done
+  end
+  else assert false
+
+let abstract_level s v = 1 lsl (s.level.(v) land 31)
+
+(* Self-subsuming minimization: a clause literal is redundant if its
+   reason chain bottoms out in other clause literals (seen) without
+   crossing a decision or leaving the clause's level set. *)
+let lit_redundant s abstract_levels l =
+  let stack = s.min_stack in
+  Vec.shrink stack 0;
+  Vec.push stack l;
+  let top = Vec.size s.to_clear in
+  let ok = ref true in
+  (try
+     while Vec.size stack > 0 do
+       let q = Vec.get stack (Vec.size stack - 1) in
+       Vec.shrink stack (Vec.size stack - 1);
+       reason_iter_other s (lit_var q) (fun t ->
+           let vt = lit_var t in
+           if Bytes.get s.seen vt = '\000' && s.level.(vt) > 0 then begin
+             let rt = s.reason.(vt) in
+             if
+               rt <> r_decision && rt <> r_none
+               && abstract_level s vt land abstract_levels <> 0
+             then begin
+               Bytes.set s.seen vt '\001';
+               Vec.push stack t;
+               Vec.push s.to_clear vt
+             end
+             else raise Exit
+           end)
+     done
+   with Exit -> ok := false);
+  if not !ok then begin
+    (* Roll back the marks made during this (failed) probe. *)
+    for j = top to Vec.size s.to_clear - 1 do
+      Bytes.set s.seen (Vec.get s.to_clear j) '\000'
+    done;
+    Vec.shrink s.to_clear top
+  end;
+  !ok
 
 let analyze s confl =
   let learnt = ref [] in
@@ -422,39 +741,28 @@ let analyze s confl =
   let p = ref (-1) in
   let confl = ref (Some confl) in
   let idx = ref (Vec.size s.trail - 1) in
-  let btlevel = ref 0 in
+  Vec.shrink s.to_clear 0;
+  let mark q =
+    let v = lit_var q in
+    if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
+      Bytes.set s.seen v '\001';
+      Vec.push s.to_clear v;
+      var_bump s v;
+      if s.level.(v) >= decision_level s then incr path
+      else learnt := q :: !learnt
+    end
+  in
   let continue_loop = ref true in
   while !continue_loop do
-    let c =
-      match !confl with
-      | Some c -> c
-      | None -> assert false
-    in
-    let start = if !p = -1 then 0 else 1 in
-    if debug_enabled then begin
-      Printf.eprintf "expand clause [%s] start=%d p=%d\n%!"
-        (String.concat ";"
-           (Array.to_list
-              (Array.map
-                 (fun l ->
-                   Printf.sprintf "%d(v%d,l%d,a%d)" l (lit_var l) s.level.(lit_var l)
-                     (lit_value s l))
-                 c.lits)))
-        start !p
-    end;
-    for i = start to Array.length c.lits - 1 do
-      let q = c.lits.(i) in
-      let v = lit_var q in
-      if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
-        Bytes.set s.seen v '\001';
-        var_bump s v;
-        if s.level.(v) >= decision_level s then incr path
-        else begin
-          learnt := q :: !learnt;
-          if s.level.(v) > !btlevel then btlevel := s.level.(v)
-        end
-      end
-    done;
+    (match !confl with
+    | Some (C_cref cref) ->
+      cl_on_use s cref;
+      let size = cl_size s cref in
+      for i = 0 to size - 1 do
+        mark (cl_lit s cref i)
+      done
+    | Some (C_lits arr) -> Array.iter mark arr
+    | None -> reason_iter_other s (lit_var !p) mark);
     (* Walk the trail back to the next marked literal. *)
     while Bytes.get s.seen (lit_var (Vec.get s.trail !idx)) = '\000' do
       decr idx
@@ -465,51 +773,68 @@ let analyze s confl =
     Bytes.set s.seen v '\000';
     decr path;
     p := q;
-    if !path <= 0 then continue_loop := false
-    else
-      confl :=
-        (match s.reason.(v) with
-        | Clause_reason c | Pb_reason c -> Some c
-        | Decision | No_reason ->
-          Printf.eprintf "ANALYZE BUG: path=%d v=%d level(v)=%d dlevel=%d reason=%s\n"
-            !path v s.level.(v) (decision_level s)
-            (match s.reason.(v) with Decision -> "dec" | No_reason -> "none" | _ -> "?");
-          Printf.eprintf "trail:";
-          for i = 0 to Vec.size s.trail - 1 do
-            let l = Vec.get s.trail i in
-            Printf.eprintf " %d(v%d l%d%s)" l (lit_var l) s.level.(lit_var l)
-              (if Bytes.get s.seen (lit_var l) = '\001' then "*" else "")
-          done;
-          Printf.eprintf "\ntrail_lim:";
-          for i = 0 to Vec.size s.trail_lim - 1 do
-            Printf.eprintf " %d" (Vec.get s.trail_lim i)
-          done;
-          Printf.eprintf "\n%!";
-          assert false)
+    if !path <= 0 then continue_loop := false else confl := None
   done;
   let learnt_lits = Array.of_list (lit_not !p :: !learnt) in
-  (* Clear seen flags for the literals we kept. *)
-  Array.iter (fun l -> Bytes.set s.seen (lit_var l) '\000') learnt_lits;
+  (* Recursive minimization of everything but the asserting literal. *)
+  let n = Array.length learnt_lits in
+  let abstract_levels = ref 0 in
+  for i = 1 to n - 1 do
+    abstract_levels :=
+      !abstract_levels lor abstract_level s (lit_var learnt_lits.(i))
+  done;
+  let kept = ref [] in
+  let removed = ref 0 in
+  for i = n - 1 downto 1 do
+    let l = learnt_lits.(i) in
+    let r = s.reason.(lit_var l) in
+    if r = r_decision || r = r_none || not (lit_redundant s !abstract_levels l)
+    then kept := l :: !kept
+    else incr removed
+  done;
+  if !removed > 0 then Obs.Stats.add s.c_minimized !removed;
+  let learnt_lits = Array.of_list (learnt_lits.(0) :: !kept) in
+  (* Clear all seen marks (analysis + minimization probes). *)
+  for j = 0 to Vec.size s.to_clear - 1 do
+    Bytes.set s.seen (Vec.get s.to_clear j) '\000'
+  done;
+  Vec.shrink s.to_clear 0;
   (* Watch invariant: position 1 must hold a literal of the backtrack
      level so the clause is inspected when that level's assignment is
      undone. *)
-  if Array.length learnt_lits > 2 then begin
+  let btlevel = ref 0 in
+  if Array.length learnt_lits > 1 then begin
     let best = ref 1 in
     for i = 2 to Array.length learnt_lits - 1 do
-      if s.level.(lit_var learnt_lits.(i)) > s.level.(lit_var learnt_lits.(!best))
+      if
+        s.level.(lit_var learnt_lits.(i))
+        > s.level.(lit_var learnt_lits.(!best))
       then best := i
     done;
     let tmp = learnt_lits.(1) in
     learnt_lits.(1) <- learnt_lits.(!best);
-    learnt_lits.(!best) <- tmp
+    learnt_lits.(!best) <- tmp;
+    btlevel := s.level.(lit_var learnt_lits.(1))
   end;
-  (learnt_lits, !btlevel)
+  let lbd = lbd_of_array s learnt_lits (Array.length learnt_lits) in
+  (learnt_lits, !btlevel, lbd)
 
 (* -- clause management --------------------------------------------- *)
 
-let attach_clause s c =
-  Vec.push s.watches.(lit_not c.lits.(0)) c;
-  Vec.push s.watches.(lit_not c.lits.(1)) c
+let watch_pair s l blocker payload =
+  let ws = s.watches.(l) in
+  Vec.push ws blocker;
+  Vec.push ws payload
+
+let attach_binary s a b =
+  (* Clause (a \/ b), stored only in the two watch lists. *)
+  watch_pair s (lit_not a) b ((b lsl 1) lor 1);
+  watch_pair s (lit_not b) a ((a lsl 1) lor 1)
+
+let attach_cref s cref =
+  let l0 = cl_lit s cref 0 and l1 = cl_lit s cref 1 in
+  watch_pair s (lit_not l0) l1 (cref lsl 1);
+  watch_pair s (lit_not l1) l0 (cref lsl 1)
 
 let add_clause s lits =
   if s.ok then begin
@@ -533,16 +858,20 @@ let add_clause s lits =
           log_step s (P_derived []);
           s.ok <- false
         | [ l ] ->
-          enqueue s l No_reason;
+          enqueue s l r_none;
           (match propagate s with
           | Some _ ->
             log_step s (P_derived []);
             s.ok <- false
           | None -> ())
+        | [ a; b ] ->
+          attach_binary s a b;
+          s.n_clauses <- s.n_clauses + 1
         | _ ->
-          let c = { lits = Array.of_list lits; activity = 0.; learnt = false } in
-          s.clauses <- c :: s.clauses;
-          attach_clause s c
+          let cref = alloc_clause s (Array.of_list lits) ~learnt:false ~lbd:0 in
+          Vec.push s.clauses cref;
+          attach_cref s cref;
+          s.n_clauses <- s.n_clauses + 1
       end
     end
   end
@@ -588,7 +917,7 @@ let add_pb_le s wlits bound =
             match lit_value s l with
             | 0 -> (
               log_step s (P_pb_lemma (origin, prefix @ [ lit_not l ]));
-              enqueue s (lit_not l) No_reason;
+              enqueue s (lit_not l) r_none;
               match propagate s with
               | Some _ ->
                 log_step s (P_derived []);
@@ -609,6 +938,141 @@ let add_pb_le s wlits bound =
         | None -> ()
     end
   end
+
+(* -- learnt-DB reduction and arena GC ------------------------------ *)
+
+(* A clause is locked while it is the reason of its first literal's
+   assignment; locked clauses must survive reduction. *)
+let cl_locked s cref =
+  let l0 = cl_lit s cref 0 in
+  lit_value s l0 = 1 && s.reason.(lit_var l0) = cref lsl 1
+
+let cl_lits_list s cref =
+  let size = cl_size s cref in
+  let rec go i acc = if i < 0 then acc else go (i - 1) (cl_lit s cref i :: acc) in
+  go (size - 1) []
+
+(* Compacting GC: copy live clauses into a fresh arena, leave forward
+   pointers behind, then patch crefs in the clause lists, watch lists
+   and reason slots. Deleted clauses simply vanish (their watcher
+   pairs are dropped here rather than lazily). *)
+let compact_arena s =
+  let live = s.arena_top - s.wasted in
+  let cap = ref 1024 in
+  while !cap < live do
+    cap := 2 * !cap
+  done;
+  let old = s.arena in
+  let fresh = Array.make !cap 0 in
+  let top = ref 0 in
+  let relocate vec =
+    let out = Vec.create 0 in
+    for i = 0 to Vec.size vec - 1 do
+      let cref = Vec.get vec i in
+      let w0 = old.(cref) in
+      if w0 land f_deleted = 0 then begin
+        let size = w0 lsr 3 in
+        Array.blit old cref fresh !top (size + 3);
+        old.(cref) <- w0 lor f_reloc;
+        old.(cref + 1) <- !top;
+        Vec.push out !top;
+        top := !top + size + 3
+      end
+    done;
+    out
+  in
+  let clauses' = relocate s.clauses in
+  Vec.shrink s.clauses 0;
+  for i = 0 to Vec.size clauses' - 1 do
+    Vec.push s.clauses (Vec.get clauses' i)
+  done;
+  s.learnts <- relocate s.learnts;
+  (* Patch watch lists: binary pairs pass through, relocated crefs are
+     rewritten, dead crefs dropped. *)
+  for l = 0 to (2 * s.nvars) - 1 do
+    let ws = s.watches.(l) in
+    let j = ref 0 in
+    let i = ref 0 in
+    while !i < Vec.size ws do
+      let blocker = Vec.get ws !i in
+      let payload = Vec.get ws (!i + 1) in
+      i := !i + 2;
+      if payload land 1 = 1 then begin
+        Vec.set ws !j blocker;
+        Vec.set ws (!j + 1) payload;
+        j := !j + 2
+      end
+      else begin
+        let cref = payload lsr 1 in
+        let w0 = old.(cref) in
+        if w0 land f_reloc <> 0 then begin
+          Vec.set ws !j blocker;
+          Vec.set ws (!j + 1) (old.(cref + 1) lsl 1);
+          j := !j + 2
+        end
+      end
+    done;
+    Vec.shrink ws !j
+  done;
+  (* Patch reasons of assigned variables. *)
+  for i = 0 to Vec.size s.trail - 1 do
+    let v = lit_var (Vec.get s.trail i) in
+    let r = s.reason.(v) in
+    if r >= 0 && r land 1 = 0 then begin
+      let cref = r lsr 1 in
+      (* Locked clauses are never deleted, so the slot must forward. *)
+      assert (old.(cref) land f_reloc <> 0);
+      s.reason.(v) <- old.(cref + 1) lsl 1
+    end
+  done;
+  s.arena <- fresh;
+  s.arena_top <- !top;
+  s.wasted <- 0
+
+let reduce_db s =
+  Obs.Stats.incr s.c_reduces;
+  (* Rank non-glue, non-locked learnts: worst = high LBD, then least
+     recently touched. Glue (lbd <= 2) is kept forever. *)
+  let cands = ref [] in
+  let ncands = ref 0 in
+  for i = 0 to Vec.size s.learnts - 1 do
+    let cref = Vec.get s.learnts i in
+    if not (cl_deleted s cref) && cl_lbd s cref > 2 && not (cl_locked s cref)
+    then begin
+      cands := cref :: !cands;
+      incr ncands
+    end
+  done;
+  let arr = Array.of_list !cands in
+  Array.sort
+    (fun a b ->
+      let c = Int.compare (cl_lbd s b) (cl_lbd s a) in
+      if c <> 0 then c else Int.compare (cl_stamp s a) (cl_stamp s b))
+    arr;
+  let to_remove = !ncands / 2 in
+  for i = 0 to to_remove - 1 do
+    let cref = arr.(i) in
+    log_step s (P_delete (cl_lits_list s cref));
+    cl_delete s cref;
+    s.n_learnts <- s.n_learnts - 1;
+    s.n_arena_learnts <- s.n_arena_learnts - 1
+  done;
+  if to_remove > 0 then Obs.Stats.add s.c_removed to_remove;
+  (* Drop dead crefs from the learnt list eagerly. *)
+  let live = Vec.create 0 in
+  for i = 0 to Vec.size s.learnts - 1 do
+    let cref = Vec.get s.learnts i in
+    if not (cl_deleted s cref) then Vec.push live cref
+  done;
+  s.learnts <- live;
+  (* Invariant check: no assigned variable may point at a deleted
+     reason clause (the locked test above must have protected it). *)
+  for i = 0 to Vec.size s.trail - 1 do
+    let v = lit_var (Vec.get s.trail i) in
+    let r = s.reason.(v) in
+    if r >= 0 && r land 1 = 0 then assert (not (cl_deleted s (r lsr 1)))
+  done;
+  if s.wasted * 3 > s.arena_top then compact_arena s
 
 (* -- search -------------------------------------------------------- *)
 
@@ -644,8 +1108,8 @@ exception Sat_exc
 
 let set_obs s obs = s.obs <- obs
 
-(* Restarts are rare (Luby budgets of 100+ conflicts), so per-restart
-   tracing can afford histogram updates and a learnt-DB walk. *)
+(* Restarts are rare, so per-restart tracing can afford histogram
+   updates. *)
 let note_restart s =
   if Obs.enabled s.obs then begin
     let c = Obs.Stats.value s.c_conflicts
@@ -655,9 +1119,22 @@ let note_restart s =
     Obs.observe s.obs "sat.conflicts_per_restart" (float_of_int (c - c0));
     Obs.observe s.obs "sat.decisions_per_restart" (float_of_int (d - d0));
     Obs.observe s.obs "sat.propagations_per_restart" (float_of_int (p - p0));
-    Obs.gauge s.obs "sat.learnt_db" (List.length s.learnts);
+    Obs.gauge s.obs "sat.learnt_db" s.n_learnts;
     s.at_restart <- (c, d, p)
   end
+
+(* Glucose EMA parameters: restart when the recent conflict-LBD
+   average runs hot against the long-term one. *)
+let ema_fast_alpha = 1.0 /. 32.0
+let ema_slow_alpha = 1.0 /. 8192.0
+let restart_ratio = 1.25
+let restart_min_conflicts = 50
+
+let learn_lbd s lbd =
+  let f = float_of_int lbd in
+  s.ema_fast <- s.ema_fast +. ((f -. s.ema_fast) *. ema_fast_alpha);
+  s.ema_slow <- s.ema_slow +. ((f -. s.ema_slow) *. ema_slow_alpha);
+  if Obs.enabled s.obs then Obs.observe s.obs "sat.lbd" f
 
 let solve ?(assumptions = []) s =
   if not s.ok then false
@@ -671,13 +1148,17 @@ let solve ?(assumptions = []) s =
     if not s.ok then false
     else begin
       let assumptions = Array.of_list assumptions in
+      let nassum = Array.length assumptions in
       let conflict_budget = ref (luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0) in
+      let since_restart = ref 0 in
       let result = ref None in
       (try
          while true do
            match propagate s with
            | Some confl ->
              Obs.Stats.incr s.c_conflicts;
+             s.conflict_count <- s.conflict_count + 1;
+             incr since_restart;
              conflict_budget := !conflict_budget -. 1.0;
              if decision_level s = 0 then begin
                log_step s (P_derived []);
@@ -686,40 +1167,62 @@ let solve ?(assumptions = []) s =
              end;
              (* If the conflict is below the assumption levels we treat
                 it like any other; analysis may drive us to level 0. *)
-             let learnt, btlevel = analyze s confl in
+             let learnt, btlevel, lbd = analyze s confl in
              cancel_until s btlevel;
              log_step s (P_derived (Array.to_list learnt));
+             learn_lbd s lbd;
              (match Array.length learnt with
              | 0 ->
                s.ok <- false;
                raise Unsat_exc
              | 1 ->
                (* Asserting unit at level btlevel (= 0 normally). *)
-               if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) No_reason
+               if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) r_none
                else if lit_value s learnt.(0) = 2 then begin
                  log_step s (P_derived []);
                  s.ok <- false;
                  raise Unsat_exc
                end
-             | _ ->
-               let c = { lits = learnt; activity = 0.; learnt = true } in
-               s.learnts <- c :: s.learnts;
+             | 2 ->
+               attach_binary s learnt.(0) learnt.(1);
+               s.n_learnts <- s.n_learnts + 1;
                Obs.Stats.incr s.c_learnts;
-               attach_clause s c;
-               if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) (Clause_reason c));
-             s.var_inc <- s.var_inc /. 0.95
+               if lit_value s learnt.(0) = 0 then
+                 enqueue s learnt.(0) ((learnt.(1) lsl 1) lor 1)
+             | _ ->
+               let cref = alloc_clause s learnt ~learnt:true ~lbd in
+               Vec.push s.learnts cref;
+               s.n_learnts <- s.n_learnts + 1;
+               s.n_arena_learnts <- s.n_arena_learnts + 1;
+               Obs.Stats.incr s.c_learnts;
+               attach_cref s cref;
+               if lit_value s learnt.(0) = 0 then
+                 enqueue s learnt.(0) (cref lsl 1));
+             s.var_inc <- s.var_inc /. 0.95;
+             if s.n_arena_learnts > s.max_learnts then begin
+               reduce_db s;
+               s.max_learnts <- s.max_learnts + 300
+             end
            | None ->
-             if !conflict_budget < 0.0 && decision_level s > Array.length assumptions
-             then begin
+             let want_restart =
+               match s.restart_mode with
+               | Luby -> !conflict_budget < 0.0
+               | Glucose ->
+                 !since_restart >= restart_min_conflicts
+                 && s.conflict_count >= 100
+                 && s.ema_fast > restart_ratio *. s.ema_slow
+             in
+             if want_restart && decision_level s > nassum then begin
                (* Restart, keeping assumptions. *)
                Obs.Stats.incr s.c_restarts;
                note_restart s;
+               since_restart := 0;
                conflict_budget := luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0;
-               cancel_until s (min (decision_level s) (Array.length assumptions))
+               cancel_until s (min (decision_level s) nassum)
              end
              else begin
                let dl = decision_level s in
-               if dl < Array.length assumptions then begin
+               if dl < nassum then begin
                  (* Place the next assumption. *)
                  let a = assumptions.(dl) in
                  match lit_value s a with
@@ -730,7 +1233,7 @@ let solve ?(assumptions = []) s =
                  | 2 -> raise Unsat_exc (* conflicting assumption *)
                  | _ ->
                    Vec.push s.trail_lim (Vec.size s.trail);
-                   enqueue s a Decision
+                   enqueue s a r_decision
                end
                else begin
                  let v = pick_branch_var s in
@@ -742,7 +1245,7 @@ let solve ?(assumptions = []) s =
                    Obs.Stats.incr s.c_decisions;
                    Vec.push s.trail_lim (Vec.size s.trail);
                    let l = if Bytes.get s.phase v = '\001' then pos v else neg v in
-                   enqueue s l Decision
+                   enqueue s l r_decision
                  end
                end
              end
@@ -759,13 +1262,16 @@ let value s v = Bytes.get s.model v = '\001'
 
 let lit_value_in_model s l = if lit_sign l then value s (lit_var l) else not (value s (lit_var l))
 
-(* Shims over the Obs.Stats set: same keys, same order as always. *)
+(* Shims over the Obs.Stats set: the pre-arena keys keep their order,
+   new counters and the learnt-DB size are appended. *)
 let stats s =
   Obs.Stats.snapshot s.stat_set
     ~extra:
-      [ ("clauses", List.length s.clauses);
+      [ ("clauses", s.n_clauses);
         ("pbs", List.length s.pbs);
-        ("vars", s.nvars) ]
+        ("vars", s.nvars);
+        ("learnt_db", s.n_learnts);
+        ("arena_words", s.arena_top) ]
 
 let stats_delta ~before s =
   Obs.Stats.delta ~monotonic:(Obs.Stats.names s.stat_set) ~before (stats s)

@@ -1,11 +1,18 @@
-(** CDCL SAT core with pseudo-Boolean constraints.
+(** Glucose-class CDCL SAT core with pseudo-Boolean constraints.
 
-    The propositional engine under the ASP solver: two-watched-literal
-    clause propagation, first-UIP conflict analysis with clause
-    learning, VSIDS-style activities, phase saving, Luby restarts, and
-    a counter-based propagator for linear pseudo-Boolean constraints
-    [sum of w_i over true literals <= bound] (used for choice-rule
-    cardinality bounds and optimization descent).
+    The propositional engine under the ASP solver: clauses stored in a
+    flat int-array arena with inline headers, blocking-literal watch
+    lists with inline binary clauses, first-UIP conflict analysis with
+    recursive clause minimization, LBD-driven learnt-DB reduction,
+    glucose-style EMA restarts (Luby available as a fallback mode),
+    VSIDS-style activities with lazy generation-based rescaling, phase
+    saving, and a counter-based propagator for linear pseudo-Boolean
+    constraints [sum of w_i over true literals <= bound] (used for
+    choice-rule cardinality bounds and optimization descent).
+
+    The pre-arena MiniSat-style core survives as {!Sat_baseline} with
+    an identical interface ({!Solver_intf.S}); differential tests and
+    the [sat-smoke] bench run both.
 
     Literal encoding: variable [v]'s positive literal is [2 * v],
     its negation [2 * v + 1]. *)
@@ -14,7 +21,24 @@ type t
 
 type lit = int
 
+(** Restart policy. [Glucose] restarts when the fast EMA of learnt
+    LBDs runs 1.25x above the slow EMA (search is stuck in a
+    low-quality region); [Luby] keeps the classic conflict budgets of
+    the pre-arena core. *)
+type restart_mode = Luby | Glucose
+
+val default_restart_mode : restart_mode ref
+(** Mode picked up by {!create}. Defaults to [Glucose]; flipped by
+    tests and benches that compare the two policies. *)
+
 val create : unit -> t
+
+val set_restart_mode : t -> restart_mode -> unit
+
+val set_reduce_interval : t -> int -> unit
+(** Arena-learnt count that triggers the next [reduce_db] (default
+    2000, +300 after every reduction). Tests lower it to force
+    reductions on small instances. *)
 
 val new_var : t -> int
 (** Returns the fresh variable's index. *)
@@ -37,15 +61,18 @@ val lit_sign : lit -> bool
     [P_pb_lemma (i, c)] claims clause [c] is implied by the [i]-th
     (0-based) PB input on its own — checkable by a weight sum, no
     search; [P_derived c] claims [c] follows from everything before it
-    by reverse unit propagation. A genuine (assumption-free) UNSAT run
-    logs a final [P_derived []]; an independent checker
-    ({!Fuzz.Drup.check}) replays the steps and certifies the
-    refutation. *)
-type proof_step =
+    by reverse unit propagation; [P_delete c] retires a learnt clause
+    dropped by [reduce_db], keeping the checker's database in step
+    with the solver's. A genuine (assumption-free) UNSAT run logs a
+    final [P_derived []]; an independent checker ({!Fuzz.Drup.check})
+    replays the steps and certifies the refutation. The type is shared
+    with {!Sat_baseline} through {!Solver_intf}. *)
+type proof_step = Solver_intf.proof_step =
   | P_input of lit list
   | P_pb_input of (int * lit) list * int
   | P_pb_lemma of int * lit list
   | P_derived of lit list
+  | P_delete of lit list
 
 val enable_proof : t -> unit
 (** Start recording proof steps. Call before adding any clause. *)
@@ -70,7 +97,9 @@ val add_pb_le : t -> (int * lit) list -> int -> unit
 val solve : ?assumptions:lit list -> t -> bool
 (** Search for a model extending the assumptions. [true] = SAT: query
     values with {!value}. [false] = UNSAT under these assumptions
-    (permanently UNSAT if there were none). *)
+    (permanently UNSAT if there were none). Learnt clauses, LBD scores
+    and activities persist across calls, which is what makes
+    {!Logic.session_solve} cheap. *)
 
 val value : t -> int -> bool
 (** Value of a variable in the most recent model. Only meaningful after
@@ -79,15 +108,19 @@ val value : t -> int -> bool
 val lit_value_in_model : t -> lit -> bool
 
 val set_obs : t -> Obs.ctx -> unit
-(** Attach a tracing context: each restart records the
+(** Attach a tracing context: each learnt clause's LBD feeds the
+    [sat.lbd] histogram, and each restart records the
     conflicts/decisions/propagations since the previous restart into
     [sat.*_per_restart] histograms and updates the [sat.learnt_db]
     gauge. No effect (and no cost) with {!Obs.disabled}. *)
 
 val stats : t -> (string * int) list
 (** Counters: conflicts, decisions, propagations, learned clauses,
-    restarts; plus gauges: clauses, pbs, vars. Stored in an
-    {!Obs.Stats} set; this accessor is a snapshot shim. *)
+    restarts, reduces (learnt-DB reductions), removed (clauses deleted
+    by reduction), minimized (literals stripped by clause
+    minimization); plus gauges: clauses, pbs, vars, learnt_db,
+    arena_words. Stored in an {!Obs.Stats} set; this accessor is a
+    snapshot shim. *)
 
 val stats_delta : before:(string * int) list -> t -> (string * int) list
 (** {!stats} relative to an earlier snapshot: monotonic counters are

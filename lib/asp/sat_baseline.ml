@@ -1,0 +1,757 @@
+(* The original MiniSat-2005-style CDCL core, kept verbatim (modulo
+   two bug fixes) when [Sat] was rewritten around a clause arena:
+
+   - boxed clause records, watcher lists of clause pointers, Luby
+     restarts, an ever-growing learnt database;
+   - serves as the differential-testing reference for the new core
+     ([test/test_sat_core.ml]) and as the baseline mode of the
+     [sat-smoke] bench gate ([Logic.Baseline], reachable through
+     [Core.Concretizer.options.baseline_solver]).
+
+   Fixes applied relative to the historical file: [Vec.shrink] clears
+   the slots above the new length (popped clause pointers used to keep
+   whole clauses alive), and the no-op
+   [try ... with Conflict c -> raise (Conflict c)] wrapper inside
+   [propagate] is gone. *)
+
+type lit = int
+
+let pos v = 2 * v
+let neg v = (2 * v) + 1
+let lit_not l = l lxor 1
+let lit_var l = l lsr 1
+let lit_sign l = l land 1 = 0 (* true = positive *)
+
+(* Dynamic arrays (clauses are int arrays; watch lists are vecs). *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 4 dummy; len = 0; dummy }
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1
+
+  let get v i = v.data.(i)
+  let set v i x = v.data.(i) <- x
+  let size v = v.len
+
+  (* Clear the abandoned slots: for boxed payloads a popped pointer
+     would otherwise keep its object reachable forever. *)
+  let shrink v n =
+    for i = n to v.len - 1 do
+      v.data.(i) <- v.dummy
+    done;
+    v.len <- n
+end
+
+type clause = {
+  lits : int array;
+  mutable activity : float;
+  learnt : bool;
+}
+
+type pb = {
+  wlits : (int * lit) array;  (* (weight, lit), sorted by weight desc *)
+  bound : int;
+  mutable sum_true : int;
+  origin : int;          (* index of the P_pb_input step this came from *)
+  prefix : lit list;     (* negations of level-0-true lits folded into [bound] *)
+}
+
+type proof_step = Solver_intf.proof_step =
+  | P_input of lit list
+  | P_pb_input of (int * lit) list * int
+  | P_pb_lemma of int * lit list
+  | P_derived of lit list
+  | P_delete of lit list
+
+type reason = No_reason | Decision | Clause_reason of clause | Pb_reason of clause
+(* PB propagations synthesize an explanation clause eagerly. *)
+
+type t = {
+  mutable nvars : int;
+  mutable assign : Bytes.t;          (* per var: 0 unassigned, 1 true, 2 false *)
+  mutable level : int array;
+  mutable reason : reason array;
+  mutable activity : float array;
+  mutable phase : Bytes.t;           (* saved phase: 1 true, 0 false *)
+  mutable watches : clause Vec.t array;  (* per literal *)
+  mutable pb_watch : (pb * int) list array; (* per literal: PBs containing it *)
+  mutable model : Bytes.t;
+  trail : int Vec.t;
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable pbs : pb list;
+  mutable var_inc : float;
+  mutable ok : bool;
+  (* heap of variables ordered by activity *)
+  mutable heap : int array;
+  mutable heap_len : int;
+  mutable heap_pos : int array;      (* var -> index in heap, -1 if absent *)
+  stat_set : Obs.Stats.t;
+  c_conflicts : Obs.Stats.counter;
+  c_decisions : Obs.Stats.counter;
+  c_propagations : Obs.Stats.counter;
+  c_learnts : Obs.Stats.counter;
+  c_restarts : Obs.Stats.counter;
+  mutable obs : Obs.ctx;
+  mutable at_restart : int * int * int; (* conflicts, decisions, props *)
+  (* scratch for analysis *)
+  mutable seen : Bytes.t;
+  (* proof logging: [None] = off; steps are kept newest-first *)
+  mutable proof : proof_step list option;
+  mutable n_pb_inputs : int;
+}
+
+let create () =
+  let stat_set = Obs.Stats.create () in
+  (* Registration order fixes the [stats] output order. *)
+  let c_conflicts = Obs.Stats.counter stat_set "conflicts" in
+  let c_decisions = Obs.Stats.counter stat_set "decisions" in
+  let c_propagations = Obs.Stats.counter stat_set "propagations" in
+  let c_learnts = Obs.Stats.counter stat_set "learnts" in
+  let c_restarts = Obs.Stats.counter stat_set "restarts" in
+  { nvars = 0;
+    assign = Bytes.create 0;
+    level = [||];
+    reason = [||];
+    activity = [||];
+    phase = Bytes.create 0;
+    watches = [||];
+    pb_watch = [||];
+    model = Bytes.create 0;
+    trail = Vec.create 0;
+    trail_lim = Vec.create 0;
+    qhead = 0;
+    clauses = [];
+    learnts = [];
+    pbs = [];
+    var_inc = 1.0;
+    ok = true;
+    heap = [||];
+    heap_len = 0;
+    heap_pos = [||];
+    stat_set;
+    c_conflicts;
+    c_decisions;
+    c_propagations;
+    c_learnts;
+    c_restarts;
+    obs = Obs.disabled;
+    at_restart = (0, 0, 0);
+    seen = Bytes.create 0;
+    proof = None;
+    n_pb_inputs = 0 }
+
+let nvars s = s.nvars
+
+let enable_proof s = s.proof <- Some []
+
+let proof s = Option.map List.rev s.proof
+
+let log_step s step =
+  match s.proof with Some ps -> s.proof <- Some (step :: ps) | None -> ()
+
+(* Fault-injection hook for the fuzz harness: when set, [add_pb_le]
+   silently discards its constraint, so cardinality bounds vanish. *)
+let hook_drop_pb = ref false
+
+(* -- activity heap ------------------------------------------------- *)
+
+let heap_swap s i j =
+  let a = s.heap.(i) and b = s.heap.(j) in
+  s.heap.(i) <- b;
+  s.heap.(j) <- a;
+  s.heap_pos.(b) <- i;
+  s.heap_pos.(a) <- j
+
+let rec heap_up s i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if s.activity.(s.heap.(i)) > s.activity.(s.heap.(parent)) then begin
+      heap_swap s i parent;
+      heap_up s parent
+    end
+  end
+
+let rec heap_down s i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < s.heap_len && s.activity.(s.heap.(l)) > s.activity.(s.heap.(!best)) then
+    best := l;
+  if r < s.heap_len && s.activity.(s.heap.(r)) > s.activity.(s.heap.(!best)) then
+    best := r;
+  if !best <> i then begin
+    heap_swap s i !best;
+    heap_down s !best
+  end
+
+let heap_insert s v =
+  if s.heap_pos.(v) < 0 then begin
+    let i = s.heap_len in
+    s.heap_len <- i + 1;
+    s.heap.(i) <- v;
+    s.heap_pos.(v) <- i;
+    heap_up s i
+  end
+
+let heap_pop s =
+  let top = s.heap.(0) in
+  s.heap_len <- s.heap_len - 1;
+  s.heap_pos.(top) <- -1;
+  if s.heap_len > 0 then begin
+    s.heap.(0) <- s.heap.(s.heap_len);
+    s.heap_pos.(s.heap.(0)) <- 0;
+    heap_down s 0
+  end;
+  top
+
+let heap_bump s v =
+  let i = s.heap_pos.(v) in
+  if i >= 0 then heap_up s i
+
+(* -- variables ----------------------------------------------------- *)
+
+let grow_arrays s =
+  let old = Bytes.length s.assign in
+  if s.nvars > old then begin
+    let cap = max 16 (max s.nvars (2 * old)) in
+    let assign = Bytes.make cap '\000' in
+    Bytes.blit s.assign 0 assign 0 old;
+    s.assign <- assign;
+    let phase = Bytes.make cap '\000' in
+    Bytes.blit s.phase 0 phase 0 old;
+    s.phase <- phase;
+    let model = Bytes.make cap '\000' in
+    Bytes.blit s.model 0 model 0 old;
+    s.model <- model;
+    let seen = Bytes.make cap '\000' in
+    Bytes.blit s.seen 0 seen 0 old;
+    s.seen <- seen;
+    let level = Array.make cap (-1) in
+    Array.blit s.level 0 level 0 old;
+    s.level <- level;
+    let reason = Array.make cap No_reason in
+    Array.blit s.reason 0 reason 0 old;
+    s.reason <- reason;
+    let activity = Array.make cap 0.0 in
+    Array.blit s.activity 0 activity 0 old;
+    s.activity <- activity;
+    let watches = Array.make (2 * cap) (Vec.create { lits = [||]; activity = 0.; learnt = false }) in
+    Array.blit s.watches 0 watches 0 (2 * old);
+    for i = 2 * old to (2 * cap) - 1 do
+      watches.(i) <- Vec.create { lits = [||]; activity = 0.; learnt = false }
+    done;
+    s.watches <- watches;
+    let pb_watch = Array.make (2 * cap) [] in
+    Array.blit s.pb_watch 0 pb_watch 0 (2 * old);
+    s.pb_watch <- pb_watch;
+    let heap = Array.make cap 0 in
+    Array.blit s.heap 0 heap 0 s.heap_len;
+    s.heap <- heap;
+    let heap_pos = Array.make cap (-1) in
+    Array.blit s.heap_pos 0 heap_pos 0 old;
+    s.heap_pos <- heap_pos
+  end
+
+let new_var s =
+  let v = s.nvars in
+  s.nvars <- v + 1;
+  grow_arrays s;
+  heap_insert s v;
+  v
+
+(* -- assignment ---------------------------------------------------- *)
+
+let lit_value s l =
+  (* 0 = unassigned, 1 = true, 2 = false for the literal *)
+  match Bytes.get s.assign (lit_var l) with
+  | '\000' -> 0
+  | '\001' -> if lit_sign l then 1 else 2
+  | _ -> if lit_sign l then 2 else 1
+
+let decision_level s = Vec.size s.trail_lim
+
+let enqueue s l reason =
+  (* precondition: l unassigned *)
+  let v = lit_var l in
+  Bytes.set s.assign v (if lit_sign l then '\001' else '\002');
+  s.level.(v) <- decision_level s;
+  s.reason.(v) <- reason;
+  Bytes.set s.phase v (if lit_sign l then '\001' else '\000');
+  (* PB sums track assignment (mirrored exactly by [cancel_until]);
+     bound checks happen when the literal is dequeued in [propagate]. *)
+  List.iter (fun (pb, w) -> pb.sum_true <- pb.sum_true + w) s.pb_watch.(l);
+  Vec.push s.trail l
+
+(* -- propagation --------------------------------------------------- *)
+
+exception Conflict of clause
+
+let pb_explain_conflict pb s =
+  (* All currently-true literals of the PB jointly overflow the bound:
+     learn that they can't all be true. *)
+  let lits = ref [] in
+  Array.iter
+    (fun (_, l) -> if lit_value s l = 1 then lits := lit_not l :: !lits)
+    pb.wlits;
+  log_step s (P_pb_lemma (pb.origin, pb.prefix @ !lits));
+  { lits = Array.of_list !lits; activity = 0.; learnt = true }
+
+let pb_explain_implication pb s implied =
+  (* true-lits -> implied: clause (not l1 \/ ... \/ implied), with the
+     implied literal first, as conflict analysis expects of reasons. *)
+  let antecedents = ref [] in
+  Array.iter
+    (fun (_, l) -> if lit_value s l = 1 then antecedents := lit_not l :: !antecedents)
+    pb.wlits;
+  log_step s (P_pb_lemma (pb.origin, pb.prefix @ (implied :: !antecedents)));
+  { lits = Array.of_list (implied :: !antecedents); activity = 0.; learnt = true }
+
+let propagate s =
+  try
+    while s.qhead < Vec.size s.trail do
+      let l = Vec.get s.trail s.qhead in
+      s.qhead <- s.qhead + 1;
+      Obs.Stats.incr s.c_propagations;
+      (* PB checks for l being true (sums were updated at enqueue). *)
+      List.iter
+        (fun (pb, _w) ->
+          if pb.sum_true > pb.bound then raise (Conflict (pb_explain_conflict pb s))
+          else begin
+            let slack = pb.bound - pb.sum_true in
+            (* Any unassigned literal heavier than the slack is forced
+               false. wlits is sorted by weight descending. *)
+            (try
+               Array.iter
+                 (fun (w', l') ->
+                   if w' <= slack then raise Exit
+                   else if lit_value s l' = 0 then
+                     enqueue s (lit_not l')
+                       (Pb_reason (pb_explain_implication pb s (lit_not l'))))
+                 pb.wlits
+             with Exit -> ())
+          end)
+        s.pb_watch.(l);
+      (* Clause propagation: literal [not l] just became false; clauses
+         watching it are filed under [watches.(lit_not (not l))] = [l]. *)
+      let falsified = lit_not l in
+      let ws = s.watches.(l) in
+      let j = ref 0 in
+      let i = ref 0 in
+      while !i < Vec.size ws do
+        let c = Vec.get ws !i in
+        incr i;
+        let lits = c.lits in
+        (* Ensure falsified watch is at position 1. *)
+        if lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if lit_value s lits.(0) = 1 then begin
+          (* Clause already satisfied; keep watching. *)
+          Vec.set ws !j c;
+          incr j
+        end
+        else begin
+          (* Look for a new literal to watch. *)
+          let found = ref false in
+          let k = ref 2 in
+          let n = Array.length lits in
+          while (not !found) && !k < n do
+            if lit_value s lits.(!k) <> 2 then begin
+              lits.(1) <- lits.(!k);
+              lits.(!k) <- falsified;
+              Vec.push s.watches.(lit_not lits.(1)) c;
+              found := true
+            end;
+            incr k
+          done;
+          if not !found then begin
+            (* Unit or conflict. *)
+            Vec.set ws !j c;
+            incr j;
+            if lit_value s lits.(0) = 2 then begin
+              (* Conflict: copy remaining watchers and raise. *)
+              while !i < Vec.size ws do
+                Vec.set ws !j (Vec.get ws !i);
+                incr i;
+                incr j
+              done;
+              Vec.shrink ws !j;
+              raise (Conflict c)
+            end
+            else enqueue s lits.(0) (Clause_reason c)
+          end
+        end
+      done;
+      Vec.shrink ws !j
+    done;
+    None
+  with Conflict c -> Some c
+
+(* -- backtracking -------------------------------------------------- *)
+
+let cancel_until s lvl =
+  if decision_level s > lvl then begin
+    let bound = Vec.get s.trail_lim lvl in
+    for i = Vec.size s.trail - 1 downto bound do
+      let l = Vec.get s.trail i in
+      let v = lit_var l in
+      List.iter (fun (pb, w) -> pb.sum_true <- pb.sum_true - w) s.pb_watch.(l);
+      Bytes.set s.assign v '\000';
+      s.reason.(v) <- No_reason;
+      heap_insert s v
+    done;
+    Vec.shrink s.trail bound;
+    Vec.shrink s.trail_lim lvl;
+    s.qhead <- Vec.size s.trail
+  end
+
+(* -- conflict analysis (first UIP) --------------------------------- *)
+
+let var_bump s v =
+  s.activity.(v) <- s.activity.(v) +. s.var_inc;
+  if s.activity.(v) > 1e100 then begin
+    for i = 0 to s.nvars - 1 do
+      s.activity.(i) <- s.activity.(i) *. 1e-100
+    done;
+    s.var_inc <- s.var_inc *. 1e-100
+  end;
+  heap_bump s v
+
+let analyze s confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let idx = ref (Vec.size s.trail - 1) in
+  let btlevel = ref 0 in
+  let continue_loop = ref true in
+  while !continue_loop do
+    let c =
+      match !confl with
+      | Some c -> c
+      | None -> assert false
+    in
+    let start = if !p = -1 then 0 else 1 in
+    for i = start to Array.length c.lits - 1 do
+      let q = c.lits.(i) in
+      let v = lit_var q in
+      if Bytes.get s.seen v = '\000' && s.level.(v) > 0 then begin
+        Bytes.set s.seen v '\001';
+        var_bump s v;
+        if s.level.(v) >= decision_level s then incr path
+        else begin
+          learnt := q :: !learnt;
+          if s.level.(v) > !btlevel then btlevel := s.level.(v)
+        end
+      end
+    done;
+    (* Walk the trail back to the next marked literal. *)
+    while Bytes.get s.seen (lit_var (Vec.get s.trail !idx)) = '\000' do
+      decr idx
+    done;
+    let q = Vec.get s.trail !idx in
+    decr idx;
+    let v = lit_var q in
+    Bytes.set s.seen v '\000';
+    decr path;
+    p := q;
+    if !path <= 0 then continue_loop := false
+    else
+      confl :=
+        (match s.reason.(v) with
+        | Clause_reason c | Pb_reason c -> Some c
+        | Decision | No_reason -> assert false)
+  done;
+  let learnt_lits = Array.of_list (lit_not !p :: !learnt) in
+  (* Clear seen flags for the literals we kept. *)
+  Array.iter (fun l -> Bytes.set s.seen (lit_var l) '\000') learnt_lits;
+  (* Watch invariant: position 1 must hold a literal of the backtrack
+     level so the clause is inspected when that level's assignment is
+     undone. *)
+  if Array.length learnt_lits > 2 then begin
+    let best = ref 1 in
+    for i = 2 to Array.length learnt_lits - 1 do
+      if s.level.(lit_var learnt_lits.(i)) > s.level.(lit_var learnt_lits.(!best))
+      then best := i
+    done;
+    let tmp = learnt_lits.(1) in
+    learnt_lits.(1) <- learnt_lits.(!best);
+    learnt_lits.(!best) <- tmp
+  end;
+  (learnt_lits, !btlevel)
+
+(* -- clause management --------------------------------------------- *)
+
+let attach_clause s c =
+  Vec.push s.watches.(lit_not c.lits.(0)) c;
+  Vec.push s.watches.(lit_not c.lits.(1)) c
+
+let add_clause s lits =
+  if s.ok then begin
+    assert (decision_level s = 0);
+    log_step s (P_input lits);
+    (* Simplify: dedup, drop false lits, detect tautology/satisfied. *)
+    let lits = List.sort_uniq Int.compare lits in
+    let tautology =
+      let rec tst = function
+        | a :: (b :: _ as rest) -> (a lxor b) = 1 || tst rest
+        | _ -> false
+      in
+      tst lits
+    in
+    if not tautology then begin
+      let satisfied = List.exists (fun l -> lit_value s l = 1) lits in
+      if not satisfied then begin
+        let lits = List.filter (fun l -> lit_value s l <> 2) lits in
+        match lits with
+        | [] ->
+          log_step s (P_derived []);
+          s.ok <- false
+        | [ l ] ->
+          enqueue s l No_reason;
+          (match propagate s with
+          | Some _ ->
+            log_step s (P_derived []);
+            s.ok <- false
+          | None -> ())
+        | _ ->
+          let c = { lits = Array.of_list lits; activity = 0.; learnt = false } in
+          s.clauses <- c :: s.clauses;
+          attach_clause s c
+      end
+    end
+  end
+
+let add_pb_le s wlits bound =
+  if s.ok && not !hook_drop_pb then begin
+    assert (decision_level s = 0);
+    List.iter (fun (w, _) -> if w <= 0 then invalid_arg "add_pb_le: weight <= 0") wlits;
+    let origin = s.n_pb_inputs in
+    s.n_pb_inputs <- origin + 1;
+    log_step s (P_pb_input (wlits, bound));
+    (* Account for literals already true at level 0; drop false ones. *)
+    let fixed_true, rest =
+      List.partition (fun (_, l) -> lit_value s l = 1) wlits
+    in
+    let rest = List.filter (fun (_, l) -> lit_value s l = 0) rest in
+    let base = List.fold_left (fun acc (w, _) -> acc + w) 0 fixed_true in
+    (* Lemmas derived from the residual constraint are only valid
+       against the *original* PB once the negations of the absorbed
+       level-0-true literals are tacked back on. *)
+    let prefix = List.map (fun (_, l) -> lit_not l) fixed_true in
+    if base > bound then begin
+      log_step s (P_pb_lemma (origin, prefix));
+      log_step s (P_derived []);
+      s.ok <- false
+    end
+    else begin
+      let slack = bound - base in
+      let heavy, light = List.partition (fun (w, _) -> w > slack) rest in
+      (* Attach the constraint over the light literals first, so any
+         propagation triggered below keeps its sum in step. *)
+      if light <> [] then begin
+        let arr = Array.of_list light in
+        Array.sort (fun (w1, _) (w2, _) -> Int.compare w2 w1) arr;
+        let pb = { wlits = arr; bound = slack; sum_true = 0; origin; prefix } in
+        s.pbs <- pb :: s.pbs;
+        Array.iter (fun (w, l) -> s.pb_watch.(l) <- (pb, w) :: s.pb_watch.(l)) arr
+      end;
+      (* Literals heavier than the remaining slack are forced false. *)
+      List.iter
+        (fun (_, l) ->
+          if s.ok then
+            match lit_value s l with
+            | 0 -> (
+              log_step s (P_pb_lemma (origin, prefix @ [ lit_not l ]));
+              enqueue s (lit_not l) No_reason;
+              match propagate s with
+              | Some _ ->
+                log_step s (P_derived []);
+                s.ok <- false
+              | None -> ())
+            | 1 ->
+              (* already true: bound unachievable *)
+              log_step s (P_pb_lemma (origin, prefix @ [ lit_not l ]));
+              log_step s (P_derived []);
+              s.ok <- false
+            | _ -> ())
+        heavy;
+      if s.ok then
+        match propagate s with
+        | Some _ ->
+          log_step s (P_derived []);
+          s.ok <- false
+        | None -> ()
+    end
+  end
+
+(* -- search -------------------------------------------------------- *)
+
+let luby y x =
+  (* Luby restart sequence (MiniSat's formulation). *)
+  let size = ref 1 and seq = ref 0 in
+  while !size < x + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref x in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  y ** float_of_int !seq
+
+let pick_branch_var s =
+  let rec go () =
+    if s.heap_len = 0 then -1
+    else
+      let v = heap_pop s in
+      if Bytes.get s.assign v = '\000' then v else go ()
+  in
+  go ()
+
+let record_model s =
+  Bytes.blit s.assign 0 s.model 0 s.nvars
+
+exception Unsat_exc
+exception Sat_exc
+
+let set_obs s obs = s.obs <- obs
+
+(* Restarts are rare (Luby budgets of 100+ conflicts), so per-restart
+   tracing can afford histogram updates and a learnt-DB walk. *)
+let note_restart s =
+  if Obs.enabled s.obs then begin
+    let c = Obs.Stats.value s.c_conflicts
+    and d = Obs.Stats.value s.c_decisions
+    and p = Obs.Stats.value s.c_propagations in
+    let c0, d0, p0 = s.at_restart in
+    Obs.observe s.obs "sat.conflicts_per_restart" (float_of_int (c - c0));
+    Obs.observe s.obs "sat.decisions_per_restart" (float_of_int (d - d0));
+    Obs.observe s.obs "sat.propagations_per_restart" (float_of_int (p - p0));
+    Obs.gauge s.obs "sat.learnt_db" (List.length s.learnts);
+    s.at_restart <- (c, d, p)
+  end
+
+let solve ?(assumptions = []) s =
+  if not s.ok then false
+  else begin
+    cancel_until s 0;
+    (match propagate s with
+    | Some _ ->
+      log_step s (P_derived []);
+      s.ok <- false
+    | None -> ());
+    if not s.ok then false
+    else begin
+      let assumptions = Array.of_list assumptions in
+      let conflict_budget = ref (luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0) in
+      let result = ref None in
+      (try
+         while true do
+           match propagate s with
+           | Some confl ->
+             Obs.Stats.incr s.c_conflicts;
+             conflict_budget := !conflict_budget -. 1.0;
+             if decision_level s = 0 then begin
+               log_step s (P_derived []);
+               s.ok <- false;
+               raise Unsat_exc
+             end;
+             (* If the conflict is below the assumption levels we treat
+                it like any other; analysis may drive us to level 0. *)
+             let learnt, btlevel = analyze s confl in
+             cancel_until s btlevel;
+             log_step s (P_derived (Array.to_list learnt));
+             (match Array.length learnt with
+             | 0 ->
+               s.ok <- false;
+               raise Unsat_exc
+             | 1 ->
+               (* Asserting unit at level btlevel (= 0 normally). *)
+               if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) No_reason
+               else if lit_value s learnt.(0) = 2 then begin
+                 log_step s (P_derived []);
+                 s.ok <- false;
+                 raise Unsat_exc
+               end
+             | _ ->
+               let c = { lits = learnt; activity = 0.; learnt = true } in
+               s.learnts <- c :: s.learnts;
+               Obs.Stats.incr s.c_learnts;
+               attach_clause s c;
+               if lit_value s learnt.(0) = 0 then enqueue s learnt.(0) (Clause_reason c));
+             s.var_inc <- s.var_inc /. 0.95
+           | None ->
+             if !conflict_budget < 0.0 && decision_level s > Array.length assumptions
+             then begin
+               (* Restart, keeping assumptions. *)
+               Obs.Stats.incr s.c_restarts;
+               note_restart s;
+               conflict_budget := luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0;
+               cancel_until s (min (decision_level s) (Array.length assumptions))
+             end
+             else begin
+               let dl = decision_level s in
+               if dl < Array.length assumptions then begin
+                 (* Place the next assumption. *)
+                 let a = assumptions.(dl) in
+                 match lit_value s a with
+                 | 1 ->
+                   (* Already satisfied; open an empty level to keep the
+                      level/assumption indexing aligned. *)
+                   Vec.push s.trail_lim (Vec.size s.trail)
+                 | 2 -> raise Unsat_exc (* conflicting assumption *)
+                 | _ ->
+                   Vec.push s.trail_lim (Vec.size s.trail);
+                   enqueue s a Decision
+               end
+               else begin
+                 let v = pick_branch_var s in
+                 if v < 0 then begin
+                   record_model s;
+                   raise Sat_exc
+                 end
+                 else begin
+                   Obs.Stats.incr s.c_decisions;
+                   Vec.push s.trail_lim (Vec.size s.trail);
+                   let l = if Bytes.get s.phase v = '\001' then pos v else neg v in
+                   enqueue s l Decision
+                 end
+               end
+             end
+         done
+       with
+      | Sat_exc -> result := Some true
+      | Unsat_exc -> result := Some false);
+      cancel_until s 0;
+      match !result with Some r -> r | None -> assert false
+    end
+  end
+
+let value s v = Bytes.get s.model v = '\001'
+
+let lit_value_in_model s l = if lit_sign l then value s (lit_var l) else not (value s (lit_var l))
+
+(* Shims over the Obs.Stats set: same keys, same order as always. *)
+let stats s =
+  Obs.Stats.snapshot s.stat_set
+    ~extra:
+      [ ("clauses", List.length s.clauses);
+        ("pbs", List.length s.pbs);
+        ("vars", s.nvars) ]
+
+let stats_delta ~before s =
+  Obs.Stats.delta ~monotonic:(Obs.Stats.names s.stat_set) ~before (stats s)

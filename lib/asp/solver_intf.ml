@@ -1,0 +1,66 @@
+(* The contract between the stable-model layer ([Logic]) and a CDCL
+   core. Two implementations satisfy it:
+
+   - [Sat]: the glucose-class production core (clause arena,
+     blocking-literal watchers, LBD-driven learnt-DB reduction);
+   - [Sat_baseline]: the original MiniSat-2005-style solver, kept as
+     the differential-testing reference and the bench baseline.
+
+   The proof-step type lives here so certificates from either core are
+   interchangeable: [Fuzz.Drup] checks both against one checker. *)
+
+type lit = int
+
+(* DRUP-style proof steps. [P_input]/[P_pb_input] record the trusted
+   problem; [P_pb_lemma (i, c)] claims clause [c] is implied by the
+   [i]-th PB input alone; [P_derived c] claims [c] follows from the
+   database by reverse unit propagation; [P_delete c] retires a learnt
+   clause (the checker drops it, keeping later RUP checks honest
+   against the solver's actual database). An UNSAT run ends with
+   [P_derived []]. *)
+type proof_step =
+  | P_input of lit list
+  | P_pb_input of (int * lit) list * int
+  | P_pb_lemma of int * lit list
+  | P_derived of lit list
+  | P_delete of lit list
+
+module type S = sig
+  type t
+
+  val create : unit -> t
+
+  val new_var : t -> int
+
+  val nvars : t -> int
+
+  val pos : int -> lit
+
+  val neg : int -> lit
+
+  val lit_not : lit -> lit
+
+  val lit_var : lit -> int
+
+  val lit_sign : lit -> bool
+
+  val enable_proof : t -> unit
+
+  val proof : t -> proof_step list option
+
+  val add_clause : t -> lit list -> unit
+
+  val add_pb_le : t -> (int * lit) list -> int -> unit
+
+  val solve : ?assumptions:lit list -> t -> bool
+
+  val value : t -> int -> bool
+
+  val lit_value_in_model : t -> lit -> bool
+
+  val set_obs : t -> Obs.ctx -> unit
+
+  val stats : t -> (string * int) list
+
+  val stats_delta : before:(string * int) list -> t -> (string * int) list
+end

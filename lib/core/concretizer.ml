@@ -8,6 +8,7 @@ type options = {
   certify : bool;
   prune : bool;
   verify : bool;
+  baseline_solver : bool;
   obs : Obs.ctx;
 }
 
@@ -21,6 +22,7 @@ let default_options =
     certify = false;
     prune = true;
     verify = false;
+    baseline_solver = false;
     obs = Obs.disabled }
 
 (* The reusable pool a degraded solve actually sees: the explicit specs
@@ -177,7 +179,11 @@ let concretize_v ~repo ?(options = default_options) requests =
   let t2 = now () in
   let result =
     Obs.with_span obs ~cat:"concretize" "solve" (fun _ ->
-        Asp.Logic.solve ~certify:options.certify ~obs ground)
+        (* The two Logic instances share model/outcome types, so the
+           baseline dispatch is invisible downstream. *)
+        if options.baseline_solver then
+          Asp.Logic.Baseline.solve ~certify:options.certify ~obs ground
+        else Asp.Logic.solve ~certify:options.certify ~obs ground)
   in
   let t3 = now () in
   match result with
@@ -233,6 +239,11 @@ let pp_stats fmt s =
     (sat "clauses") (sat "conflicts") (sat "propagations") (sat "restarts")
     (sat "learnts") s.stable_checks s.encode_seconds s.ground_seconds
     s.solve_seconds s.total_seconds;
+  (* Glucose-core DB-management counters; zero (and omitted) on solves
+     too small to trigger a reduction or minimization. *)
+  if sat "reduces" > 0 then
+    Format.fprintf fmt " reduces=%d removed=%d" (sat "reduces") (sat "removed");
+  if sat "minimized" > 0 then Format.fprintf fmt " min_lits=%d" (sat "minimized");
   match s.verify_violations with
   | None -> ()
   | Some 0 -> Format.fprintf fmt " verify=ok"

@@ -39,6 +39,12 @@ type options = {
           option (not keyed off tracing being enabled) so overhead
           comparisons of the tracing layer are not polluted by
           verification cost. *)
+  baseline_solver : bool;
+      (** solve on {!Asp.Logic.Baseline} (the pre-arena MiniSat-style
+          CDCL core) instead of the glucose-class default. Outcomes are
+          interchangeable; used by the [sat-smoke] bench and
+          differential tests to compare the two cores on identical
+          encodings. Sessions always run the default core. *)
   obs : Obs.ctx;
       (** tracing context ({!Obs.disabled} by default): when enabled,
           every request emits a [concretize] span with child

@@ -37,14 +37,25 @@ module Vec = struct
   let shrink v n = v.len <- n
 end
 
+(* Clauses carry a tombstone so [P_delete] steps can retire them: the
+   solver's reduce_db really removes clauses, and the checker must not
+   keep using them for later RUP checks (that would certify proofs the
+   solver's own database can no longer support). Dead clauses are
+   dropped lazily as propagation walks the watch lists. *)
+type clause = { lits : int array; mutable dead : bool }
+
+let dummy_clause = { lits = [||]; dead = false }
+
 type t = {
   mutable nvars : int;
   mutable assign : Bytes.t;  (* per var: 0 unassigned, 1 true, 2 false *)
-  mutable watches : int array Vec.t array;  (* per lit *)
+  mutable watches : clause Vec.t array;  (* per lit *)
   trail : int Vec.t;
   mutable qhead : int;
   mutable contradiction : bool;
   pbs : ((int * lit) list * int) Vec.t;
+  (* sorted-literals -> live watched clauses, for deletion lookup *)
+  db : (int list, clause list ref) Hashtbl.t;
 }
 
 let create () =
@@ -54,7 +65,8 @@ let create () =
     trail = Vec.create 0;
     qhead = 0;
     contradiction = false;
-    pbs = Vec.create ([], 0) }
+    pbs = Vec.create ([], 0);
+    db = Hashtbl.create 64 }
 
 let ensure_var t v =
   if v >= t.nvars then begin
@@ -65,10 +77,10 @@ let ensure_var t v =
       let assign = Bytes.make cap '\000' in
       Bytes.blit t.assign 0 assign 0 old;
       t.assign <- assign;
-      let watches = Array.make (2 * cap) (Vec.create [||]) in
+      let watches = Array.make (2 * cap) (Vec.create dummy_clause) in
       Array.blit t.watches 0 watches 0 (2 * old);
       for i = 2 * old to (2 * cap) - 1 do
-        watches.(i) <- Vec.create [||]
+        watches.(i) <- Vec.create dummy_clause
       done;
       t.watches <- watches
     end
@@ -96,14 +108,19 @@ let propagate t =
     let ws = t.watches.(l) in
     let i = ref 0 and j = ref 0 in
     while !i < Vec.size ws do
-      let lits = Vec.get ws !i in
+      let c = Vec.get ws !i in
       incr i;
+      if c.dead then
+        (* Deleted by a P_delete step: drop the watcher. *)
+        ()
+      else begin
+      let lits = c.lits in
       if lits.(0) = falsified then begin
         lits.(0) <- lits.(1);
         lits.(1) <- falsified
       end;
       if lit_value t lits.(0) = 1 then begin
-        Vec.set ws !j lits;
+        Vec.set ws !j c;
         incr j
       end
       else begin
@@ -114,13 +131,13 @@ let propagate t =
           if lit_value t lits.(!k) <> 2 then begin
             lits.(1) <- lits.(!k);
             lits.(!k) <- falsified;
-            Vec.push t.watches.(lit_not lits.(1)) lits;
+            Vec.push t.watches.(lit_not lits.(1)) c;
             found := true
           end;
           incr k
         done;
         if not !found then begin
-          Vec.set ws !j lits;
+          Vec.set ws !j c;
           incr j;
           if lit_value t lits.(0) = 2 then begin
             (* Conflict: keep the remaining watchers and stop. *)
@@ -133,6 +150,7 @@ let propagate t =
           end
           else assign_lit t lits.(0)
         end
+      end
       end
     done;
     Vec.shrink ws !j
@@ -184,10 +202,37 @@ let add_clause t lits =
       (if lit_value t arr.(0) = 0 then assign_lit t arr.(0));
       if propagate t then t.contradiction <- true
     | _ ->
-      Vec.push t.watches.(lit_not arr.(0)) arr;
-      Vec.push t.watches.(lit_not arr.(1)) arr
+      let c = { lits = arr; dead = false } in
+      Vec.push t.watches.(lit_not arr.(0)) c;
+      Vec.push t.watches.(lit_not arr.(1)) c;
+      let key = lits in
+      let bucket =
+        match Hashtbl.find_opt t.db key with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add t.db key b;
+          b
+      in
+      bucket := c :: !bucket
     end
   end
+
+(* Honor a deletion: find a live watched clause with these literals
+   and tombstone it. Deletions of clauses the checker never watched
+   (units absorbed at add time, tautologies, duplicates) are ignored —
+   like classic drup-trim, dropping a deletion only ever makes later
+   RUP checks easier for the prover being audited, never unsound. *)
+let delete_clause t lits =
+  let key = List.sort_uniq compare lits in
+  match Hashtbl.find_opt t.db key with
+  | None -> ()
+  | Some bucket -> (
+    match List.find_opt (fun c -> not c.dead) !bucket with
+    | None -> ()
+    | Some c ->
+      c.dead <- true;
+      bucket := List.filter (fun c' -> not c'.dead) !bucket)
 
 (* Reverse-unit-propagation check: assume the negation of every
    literal, propagate, demand a conflict. *)
@@ -263,7 +308,10 @@ let check steps =
         else begin
           add_clause t lits;
           go (i + 1) rest
-        end)
+        end
+      | Asp.Sat.P_delete lits ->
+        delete_clause t lits;
+        go (i + 1) rest)
   in
   go 0 steps
 

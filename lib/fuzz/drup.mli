@@ -2,8 +2,12 @@
 
     The solver under test ([Asp.Sat]) emits a step list: inputs
     (trusted), PB-derived lemmas (checked by a weight sum against the
-    recorded constraint — no search), and derived clauses (checked by
-    reverse unit propagation). This module shares no code with the
+    recorded constraint — no search), derived clauses (checked by
+    reverse unit propagation), and deletions ([P_delete], emitted when
+    the solver's learnt-DB reduction retires a clause — the checker
+    tombstones its copy so its database propagates exactly what the
+    solver's still can, in drup-trim style: deletions of clauses it
+    never saw are ignored). This module shares no code with the
     solver: it is a minimal two-watched-literal propagator written from
     scratch, so a bug in the solver's propagation or conflict analysis
     cannot also hide here.

@@ -13,6 +13,15 @@
 
 module CC = Core.Concretizer
 
+(* every property runs under both of the SAT core's restart policies:
+   the performance fast paths must be mode-independent *)
+let with_mode mode f =
+  let old = !Asp.Sat.default_restart_mode in
+  Asp.Sat.default_restart_mode := mode;
+  Fun.protect ~finally:(fun () -> Asp.Sat.default_restart_mode := old) f
+
+let mode_name = function Asp.Sat.Glucose -> "glucose" | Asp.Sat.Luby -> "luby"
+
 let options ?(splicing = false) ?(reuse = []) ~prune () =
   { CC.default_options with CC.splicing; reuse; prune }
 
@@ -48,9 +57,11 @@ let arb_universe =
 
 (* ---- 1. pruned vs unpruned fresh solves ---- *)
 
-let prop_prune_parity =
-  QCheck.Test.make ~name:"pruned solves agree with unpruned solves" ~count:40
-    arb_universe (fun seed ->
+let prop_prune_parity mode =
+  QCheck.Test.make
+    ~name:("pruned solves agree with unpruned solves (" ^ mode_name mode ^ ")")
+    ~count:20 arb_universe (fun seed ->
+      with_mode mode @@ fun () ->
       let u = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
       let repo = Fuzz.Gen.to_repo u in
       let reuse = pool_of ~repo u in
@@ -88,9 +99,11 @@ let prop_prune_parity =
 
 (* ---- 2. session vs fresh solves ---- *)
 
-let prop_session_parity =
-  QCheck.Test.make ~name:"session solves match fresh solves" ~count:30
-    arb_universe (fun seed ->
+let prop_session_parity mode =
+  QCheck.Test.make
+    ~name:("session solves match fresh solves (" ^ mode_name mode ^ ")")
+    ~count:15 arb_universe (fun seed ->
+      with_mode mode @@ fun () ->
       let u = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
       let repo = Fuzz.Gen.to_repo u in
       let reuse = pool_of ~repo u in
@@ -151,7 +164,8 @@ let render_batch results =
          | Error (f : CC.failure) -> "error " ^ f.CC.f_message)
        results)
 
-let test_batch_determinism () =
+let test_batch_determinism mode () =
+  with_mode mode @@ fun () ->
   let u = Fuzz.Gen.generate (Fuzz.Rng.create 42) in
   let repo = Fuzz.Gen.to_repo u in
   let reuse = pool_of ~repo u in
@@ -168,7 +182,12 @@ let test_batch_determinism () =
 
 let () =
   Alcotest.run "perf_equiv"
-    [ ( "equivalence",
-        [ QCheck_alcotest.to_alcotest prop_prune_parity;
-          QCheck_alcotest.to_alcotest prop_session_parity;
-          Alcotest.test_case "batch determinism" `Quick test_batch_determinism ] ) ]
+    (List.map
+       (fun mode ->
+         ( "equivalence-" ^ mode_name mode,
+           [ QCheck_alcotest.to_alcotest (prop_prune_parity mode);
+             QCheck_alcotest.to_alcotest (prop_session_parity mode);
+             Alcotest.test_case
+               ("batch determinism (" ^ mode_name mode ^ ")")
+               `Quick (test_batch_determinism mode) ] ))
+       [ Asp.Sat.Glucose; Asp.Sat.Luby ])

@@ -1,0 +1,251 @@
+(* Differential properties for the glucose-class CDCL core ([Asp.Sat]:
+   clause arena, blocking-literal watchers, LBD-driven learnt-DB
+   reduction, EMA restarts) against the pre-arena baseline
+   ([Asp.Sat_baseline]) and against brute force:
+
+   - both cores agree on satisfiability for random CNF+PB instances,
+     and every model each returns actually satisfies the instance;
+   - an incrementally reused instance of the new core (learnt clauses
+     retained across assumption sets, reductions forced between
+     solves) agrees with a fresh baseline solver per query;
+   - every UNSAT answer certifies with the independent DRUP checker,
+     under both restart modes and with reductions forced so the proofs
+     carry P_delete steps;
+   - reduce_db keeps locked (reason) clauses: conflict-heavy UNSAT
+     searches under a 1-clause reduction interval run to completion
+     with the reduce/GC invariant asserts live, and still certify. *)
+
+module S = Asp.Sat
+module B = Asp.Sat_baseline
+
+(* ---- random CNF+PB instances (as in test_sat.ml, a size up) ---- *)
+
+let brute nvars clauses pbs =
+  let rec go i assign =
+    if i = nvars then
+      List.for_all
+        (fun c -> List.exists (fun l -> (l land 1 = 0) = assign.(l lsr 1)) c)
+        clauses
+      && List.for_all
+           (fun (wl, b) ->
+             List.fold_left
+               (fun acc (w, l) ->
+                 if (l land 1 = 0) = assign.(l lsr 1) then acc + w else acc)
+               0 wl
+             <= b)
+           pbs
+    else begin
+      assign.(i) <- false;
+      if go (i + 1) assign then true
+      else begin
+        assign.(i) <- true;
+        go (i + 1) assign
+      end
+    end
+  in
+  go 0 (Array.make nvars false)
+
+let check_model clauses pbs value =
+  List.for_all (fun c -> List.exists (fun l -> (l land 1 = 0) = value (l lsr 1)) c) clauses
+  && List.for_all
+       (fun (wl, b) ->
+         List.fold_left
+           (fun acc (w, l) -> if (l land 1 = 0) = value (l lsr 1) then acc + w else acc)
+           0 wl
+         <= b)
+       pbs
+
+let gen_instance =
+  QCheck.Gen.(
+    let* nvars = int_range 3 10 in
+    let lit = map2 (fun v s -> (2 * v) + s) (int_range 0 (nvars - 1)) (int_range 0 1) in
+    let* clauses = list_size (int_range 0 24) (list_size (int_range 1 4) lit) in
+    let* pbs =
+      list_size (int_range 0 3)
+        (let* wl = list_size (int_range 1 4) (pair (int_range 1 3) lit) in
+         let total = List.fold_left (fun a (w, _) -> a + w) 0 wl in
+         let* b = int_range 0 total in
+         return (wl, b))
+    in
+    return (nvars, clauses, pbs))
+
+let print_instance (n, cs, pbs) =
+  Printf.sprintf "nvars=%d clauses=%s pbs=%s" n
+    (String.concat "|" (List.map (fun c -> String.concat "," (List.map string_of_int c)) cs))
+    (String.concat "|"
+       (List.map
+          (fun (wl, b) ->
+            Printf.sprintf "%s<=%d"
+              (String.concat ","
+                 (List.map (fun (w, l) -> Printf.sprintf "%d*%d" w l) wl))
+              b)
+          pbs))
+
+let arb_instance = QCheck.make ~print:print_instance gen_instance
+
+(* assumption sets alongside an instance, for the incremental prop *)
+let arb_instance_assumps =
+  QCheck.make
+    ~print:(fun (inst, sets) ->
+      print_instance inst ^ " assumps="
+      ^ String.concat ";"
+          (List.map (fun s -> String.concat "," (List.map string_of_int s)) sets))
+    QCheck.Gen.(
+      let* ((nvars, _, _) as inst) = gen_instance in
+      let lit =
+        map2 (fun v s -> (2 * v) + s) (int_range 0 (nvars - 1)) (int_range 0 1)
+      in
+      let* sets = list_size (int_range 1 6) (list_size (int_range 0 3) lit) in
+      return (inst, sets))
+
+let build_baseline (nvars, clauses, pbs) =
+  let s = B.create () in
+  for _ = 1 to nvars do
+    ignore (B.new_var s)
+  done;
+  List.iter (B.add_clause s) clauses;
+  List.iter (fun (wl, b) -> B.add_pb_le s wl b) pbs;
+  s
+
+let build_new ?proof ?reduce ?mode ((nvars, clauses, pbs) : int * int list list * ((int * int) list * int) list) =
+  let s = S.create () in
+  (match mode with Some m -> S.set_restart_mode s m | None -> ());
+  (match proof with Some true -> S.enable_proof s | _ -> ());
+  (match reduce with Some n -> S.set_reduce_interval s n | None -> ());
+  for _ = 1 to nvars do
+    ignore (S.new_var s)
+  done;
+  List.iter (S.add_clause s) clauses;
+  List.iter (fun (wl, b) -> S.add_pb_le s wl b) pbs;
+  s
+
+(* ---- 1. both cores agree (and with brute force) ---- *)
+
+let prop_cores_agree =
+  QCheck.Test.make ~name:"glucose core agrees with baseline core and brute force"
+    ~count:600 arb_instance (fun ((nvars, clauses, pbs) as inst) ->
+      let s = build_new inst in
+      let b = build_baseline inst in
+      let sat_s = S.solve s in
+      let sat_b = B.solve b in
+      if sat_s <> sat_b then
+        QCheck.Test.fail_reportf "cores disagree: glucose=%b baseline=%b" sat_s sat_b
+      else begin
+        let expected = brute nvars clauses pbs in
+        if sat_s <> expected then
+          QCheck.Test.fail_reportf "both cores wrong vs brute force (%b)" sat_s
+        else
+          (not sat_s)
+          || (check_model clauses pbs (S.value s)
+             && check_model clauses pbs (B.value b))
+      end)
+
+(* ---- 2. incremental reuse with forced reductions ---- *)
+
+let prop_incremental_agrees =
+  QCheck.Test.make
+    ~name:"reused solver (reductions forced) agrees with fresh baseline solves"
+    ~count:300 arb_instance_assumps (fun (((_, clauses, pbs) as inst), sets) ->
+      let s = build_new ~reduce:1 inst in
+      List.for_all
+        (fun assumptions ->
+          let sat_s = S.solve ~assumptions s in
+          let b = build_baseline inst in
+          let sat_b = B.solve ~assumptions b in
+          if sat_s <> sat_b then
+            QCheck.Test.fail_reportf
+              "assumptions [%s]: reused glucose=%b fresh baseline=%b"
+              (String.concat "," (List.map string_of_int assumptions))
+              sat_s sat_b
+          else
+            (not sat_s)
+            || check_model
+                 (List.map (fun l -> [ l ]) assumptions @ clauses)
+                 pbs (S.value s))
+        sets)
+
+(* ---- 3. every UNSAT certifies, both restart modes, with deletions ---- *)
+
+let prop_unsat_certifies mode name =
+  QCheck.Test.make ~name ~count:300 arb_instance (fun inst ->
+      let s = build_new ~proof:true ~reduce:1 ~mode inst in
+      if S.solve s then true
+      else
+        match S.proof s with
+        | None -> false
+        | Some steps -> (
+          match Fuzz.Drup.check steps with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "proof rejected: %s" e))
+
+(* ---- 4. restart modes agree ---- *)
+
+let prop_restart_modes_agree =
+  QCheck.Test.make ~name:"Luby and Glucose restart modes agree" ~count:400
+    arb_instance (fun inst ->
+      let g = build_new ~mode:S.Glucose inst in
+      let l = build_new ~mode:S.Luby inst in
+      S.solve g = S.solve l)
+
+(* ---- 5. reductions under a conflict-heavy search ---- *)
+
+(* PHP(n+1, n): forces thousands of conflicts, so a 1-clause reduction
+   interval exercises reduce_db (and the arena GC behind it) hundreds
+   of times while reason clauses are pinned on the trail — the
+   solver's internal asserts are live in the dev profile. The
+   deletion-bearing proof must still certify. *)
+let test_php_under_reduction () =
+  let pigeons = 7 and holes = 6 in
+  let s = S.create () in
+  S.enable_proof s;
+  S.set_reduce_interval s 1;
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s))
+  in
+  for i = 0 to pigeons - 1 do
+    S.add_clause s (Array.to_list (Array.map S.pos v.(i)))
+  done;
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        S.add_clause s [ S.neg v.(i).(j); S.neg v.(k).(j) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" false (S.solve s);
+  let stats = S.stats s in
+  let g k = match List.assoc_opt k stats with Some x -> x | None -> 0 in
+  Alcotest.(check bool) "reductions happened" true (g "reduces" > 0);
+  Alcotest.(check bool) "clauses were removed" true (g "removed" > 0);
+  Alcotest.(check bool) "live learnt DB stays below total learnt" true
+    (g "learnt_db" < g "learnts");
+  Alcotest.(check bool) "recursive minimization stripped literals" true
+    (g "minimized" > 0);
+  match S.proof s with
+  | None -> Alcotest.fail "no proof recorded"
+  | Some steps ->
+    let deletes =
+      List.length
+        (List.filter (function S.P_delete _ -> true | _ -> false) steps)
+    in
+    Alcotest.(check bool) "proof carries deletions" true (deletes > 0);
+    (match Fuzz.Drup.check steps with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("deletion-bearing proof rejected: " ^ e))
+
+let () =
+  Alcotest.run "sat_core"
+    [ ( "differential",
+        [ QCheck_alcotest.to_alcotest prop_cores_agree;
+          QCheck_alcotest.to_alcotest prop_incremental_agrees;
+          QCheck_alcotest.to_alcotest prop_restart_modes_agree ] );
+      ( "proofs",
+        [ QCheck_alcotest.to_alcotest
+            (prop_unsat_certifies S.Glucose
+               "UNSAT certifies under Glucose restarts with reductions");
+          QCheck_alcotest.to_alcotest
+            (prop_unsat_certifies S.Luby
+               "UNSAT certifies under Luby restarts with reductions") ] );
+      ( "reduction",
+        [ Alcotest.test_case "PHP under 1-clause reduce interval" `Quick
+            test_php_under_reduction ] ) ]
