@@ -23,6 +23,13 @@
                                                  parses, spans nest, disabled-path
                                                  overhead gate (also: dune build
                                                  @obs-smoke)
+     dune exec bench/main.exe -- serve-smoke     resident solve server: 2000-request
+                                                 replay over 4 worker domains,
+                                                 byte-equivalence vs one-shot
+                                                 solves, p50/p99 latency and
+                                                 warm-vs-cold gates (also: dune
+                                                 build @serve-smoke; writes
+                                                 BENCH_serve.json)
      dune exec bench/main.exe -- all             everything (the default)
 
    Knobs (anywhere on the command line):
@@ -1058,6 +1065,256 @@ let resil_smoke () =
       end)
     [ 11; 42; 1337 ]
 
+(* Resident-server smoke (dune build @serve-smoke): replay >= 2000
+   mixed requests (warm-session solves, fresh solves, pings) over
+   >= 4 worker domains from 4 concurrent client connections, and gate
+
+     - byte-equivalence: every solve response's canonical result is
+       byte-identical to a one-shot [concretize_v] run on the same
+       repo, pool, and options;
+     - latency: p50/p99 of the server-side serve.latency_ms histogram
+       (receipt to response, queueing included);
+     - warm-vs-cold: the first session solve pays the session build
+       (encode + ground + translate of the whole universe); the warm
+       p50 must sit far below it — that gap is the reason the server
+       exists.
+
+   The numbers land in BENCH_serve.json. *)
+let serve_smoke () =
+  Printf.printf "\n=== serve-smoke: resident multi-tenant solve server ===\n%!";
+  let pool = local_pool () in
+  let workers = 4 and clients = 4 and total = 2000 in
+  let obs = Obs.create () in
+  let options =
+    { Core.Concretizer.default_options with Core.Concretizer.reuse = pool; obs }
+  in
+  (* Fresh is the default serving mode: per-root pruning keeps each
+     ground program a fraction of the joint universe, the resident
+     closure cache strips the per-request closure walk, and responses
+     are byte-deterministic. The warm sessions (scoped to the
+     objective roots) serve a quarter of the trace — they answer from
+     one shared ground program, which costs more per solve here but is
+     what amortizes when requests outnumber the universe. *)
+  let config =
+    { Core.Serve.default_config with
+      Core.Serve.workers;
+      default_mode = Core.Serve.Fresh;
+      session_roots = quick_specs;
+      options }
+  in
+  let socket = Printf.sprintf "/tmp/spackml-bench-%d.sock" (Unix.getpid ()) in
+  let t =
+    match Core.Serve.start ~repo ~config ~socket () with
+    | Ok t -> t
+    | Error e -> failwith ("serve-smoke: start: " ^ e)
+  in
+  Fun.protect ~finally:(fun () -> Core.Serve.stop t) @@ fun () ->
+  let specs = Array.of_list quick_specs in
+  let nspecs = Array.length specs in
+  (* expected canonical results: one one-shot solve per distinct spec,
+     run without the server's obs ctx so the histograms below are the
+     server's alone *)
+  let one_shot_opts = { options with Core.Concretizer.obs = Obs.disabled } in
+  let expected = Hashtbl.create 16 in
+  let t0 = Obs.Clock.now_s () in
+  Array.iter
+    (fun s ->
+      let r =
+        Core.Concretizer.concretize_v ~repo ~options:one_shot_opts
+          [ Core.Encode.request_of_string s ]
+      in
+      Hashtbl.replace expected s
+        (Sjson.to_string (Core.Serve.canonical_of_result r)))
+    specs;
+  let one_shot_ms =
+    (Obs.Clock.now_s () -. t0) *. 1000.0 /. float_of_int nspecs
+  in
+  Printf.printf "one-shot solve (encode+ground+solve, pruned): %.1f ms mean\n%!"
+    one_shot_ms;
+  (* the stateless baseline the server replaces: every client running
+     its own from-scratch concretizer, grounding the whole buildcache
+     per request (the same baseline fig7b gates sessions against).
+     Measured at the replay's client concurrency so both sides pay the
+     same core-contention and domain-GC tax. *)
+  let unpruned_opts = { one_shot_opts with Core.Concretizer.prune = false } in
+  let unpruned_ms =
+    let per_client () =
+      let acc = ref 0.0 in
+      Array.iter
+        (fun s ->
+          let t0 = Obs.Clock.now_s () in
+          (match
+             Core.Concretizer.concretize_v ~repo ~options:unpruned_opts
+               [ Core.Encode.request_of_string s ]
+           with
+          | Ok _ -> ()
+          | Error f ->
+            failwith
+              ("serve-smoke: unpruned " ^ s ^ ": "
+             ^ f.Core.Concretizer.f_message));
+          acc := !acc +. ((Obs.Clock.now_s () -. t0) *. 1000.0))
+        specs;
+      !acc
+    in
+    let totals =
+      List.map Domain.join
+        (List.init clients (fun _ -> Domain.spawn per_client))
+    in
+    List.fold_left ( +. ) 0.0 totals /. float_of_int (clients * nspecs)
+  in
+  Printf.printf
+    "stateless baseline: unpruned full-pool solve at %d-way concurrency: \
+     %.1f ms mean\n%!"
+    clients unpruned_ms;
+  let connect () =
+    match Core.Serve.Client.connect socket with
+    | Ok c -> c
+    | Error e -> failwith ("serve-smoke: connect: " ^ e)
+  in
+  (* cold: the first request on a fresh worker builds its session *)
+  let cold_ms =
+    let c = connect () in
+    let t0 = Obs.Clock.now_s () in
+    (match Core.Serve.Client.solve c specs.(0) with
+    | Ok resp ->
+      let got = Sjson.to_string (Sjson.member "result" resp) in
+      if got <> Hashtbl.find expected specs.(0) then
+        failwith "serve-smoke: cold response diverges from one-shot"
+    | Error e -> failwith ("serve-smoke: cold solve: " ^ e));
+    let ms = (Obs.Clock.now_s () -. t0) *. 1000.0 in
+    Core.Serve.Client.close c;
+    ms
+  in
+  Printf.printf "cold first request (includes session build): %.1f ms\n%!"
+    cold_ms;
+  (* replay: [total] mixed requests round-robin over [clients] client
+     domains; every 4th request is a warm-session solve, every 100th a
+     ping, the rest fresh-mode solves *)
+  let run_client cid =
+    let c = connect () in
+    let mismatches = ref 0 and pings = ref 0 and not_ok = ref 0 in
+    let i = ref cid in
+    while !i < total do
+      let idx = !i in
+      (if idx mod 100 = 0 then begin
+         incr pings;
+         match Core.Serve.Client.ping c with
+         | Ok resp ->
+           if Sjson.get_string (Sjson.member "status" resp) <> "ok" then
+             incr not_ok
+         | Error e -> failwith ("serve-smoke: ping: " ^ e)
+       end
+       else begin
+         let spec = specs.(idx mod nspecs) in
+         let mode =
+           if idx mod 4 = 1 then Some Core.Serve.Session else None
+         in
+         match Core.Serve.Client.solve ?mode c spec with
+         | Ok resp ->
+           if Sjson.get_string (Sjson.member "status" resp) <> "ok" then
+             incr not_ok;
+           let got = Sjson.to_string (Sjson.member "result" resp) in
+           if got <> Hashtbl.find expected spec then incr mismatches
+         | Error e -> failwith ("serve-smoke: solve: " ^ e)
+       end);
+      i := !i + clients
+    done;
+    Core.Serve.Client.close c;
+    (!mismatches, !pings, !not_ok)
+  in
+  let t0 = Obs.Clock.now_s () in
+  let results =
+    List.map Domain.join
+      (List.init clients (fun cid -> Domain.spawn (fun () -> run_client cid)))
+  in
+  let replay_s = Obs.Clock.now_s () -. t0 in
+  let mismatches = List.fold_left (fun a (m, _, _) -> a + m) 0 results in
+  let pings = List.fold_left (fun a (_, p, _) -> a + p) 0 results in
+  let not_ok = List.fold_left (fun a (_, _, n) -> a + n) 0 results in
+  (* server-side histograms and counters *)
+  let metrics = Obs.metrics obs in
+  let counter name =
+    match List.assoc_opt name metrics with
+    | Some (Obs.Counter n) -> n
+    | _ -> 0
+  in
+  let lat =
+    match List.assoc_opt "serve.latency_ms" metrics with
+    | Some (Obs.Histogram h) -> h
+    | _ -> failwith "serve-smoke: no serve.latency_ms histogram"
+  in
+  let p50 = Obs.Hist.quantile lat 0.5 in
+  let p99 = Obs.Hist.quantile lat 0.99 in
+  (* what a request costs against the resident state vs the stateless
+     full-pool grounding it replaces, at equal concurrency *)
+  let warm_speedup = unpruned_ms /. p50 in
+  Printf.printf
+    "replayed %d requests (%d pings) over %d clients x %d workers in %.1fs \
+     (%.0f req/s)\n%!"
+    total pings clients workers replay_s
+    (float_of_int total /. replay_s);
+  Printf.printf
+    "latency p50 %.2f ms, p99 %.2f ms (%d samples); vs stateless %.1fx; \
+     steals %d, session builds %d (%d recycles), closure hits/misses %d/%d\n%!"
+    p50 p99 (Obs.Hist.count lat) warm_speedup (counter "serve.steals")
+    (counter "serve.session_builds")
+    (counter "serve.session_recycles")
+    (counter "serve.closure_hits")
+    (counter "serve.closure_misses");
+  let json =
+    Sjson.Object
+      [ ("requests", Sjson.Int total);
+        ("workers", Sjson.Int workers);
+        ("clients", Sjson.Int clients);
+        ("pool_size", Sjson.Int (List.length pool));
+        ("replay_seconds", Sjson.Float replay_s);
+        ("throughput_rps", Sjson.Float (float_of_int total /. replay_s));
+        ("cold_first_request_ms", Sjson.Float cold_ms);
+        ("one_shot_pruned_ms", Sjson.Float one_shot_ms);
+        ("stateless_baseline_ms", Sjson.Float unpruned_ms);
+        ("latency_p50_ms", Sjson.Float p50);
+        ("latency_p99_ms", Sjson.Float p99);
+        ("warm_speedup", Sjson.Float warm_speedup);
+        ("byte_mismatches", Sjson.Int mismatches);
+        ("pings", Sjson.Int pings);
+        ("statuses_not_ok", Sjson.Int not_ok);
+        ("steals", Sjson.Int (counter "serve.steals"));
+        ("session_builds", Sjson.Int (counter "serve.session_builds"));
+        ("session_recycles", Sjson.Int (counter "serve.session_recycles"));
+        ("closure_hits", Sjson.Int (counter "serve.closure_hits"));
+        ("closure_misses", Sjson.Int (counter "serve.closure_misses")) ]
+  in
+  let oc = open_out "BENCH_serve.json" in
+  output_string oc (Sjson.to_string ~pretty:true json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[serve-smoke] wrote BENCH_serve.json\n%!";
+  (* gates *)
+  if mismatches > 0 then
+    failwith
+      (Printf.sprintf
+         "serve-smoke: %d responses diverge byte-wise from one-shot solves"
+         mismatches);
+  if not_ok > 0 then
+    failwith (Printf.sprintf "serve-smoke: %d requests did not answer ok" not_ok);
+  if counter "serve.session_builds" < workers then
+    failwith
+      (Printf.sprintf
+         "serve-smoke: expected at least %d session builds (one per worker), \
+          got %d"
+         workers
+         (counter "serve.session_builds"));
+  if p50 > 250.0 then
+    failwith (Printf.sprintf "serve-smoke: warm p50 %.1f ms > 250 ms" p50);
+  if p99 > 2500.0 then
+    failwith (Printf.sprintf "serve-smoke: p99 %.1f ms > 2500 ms" p99);
+  if warm_speedup < 2.0 then
+    failwith
+      (Printf.sprintf
+         "serve-smoke: warm p50 only %.2fx faster than stateless full-pool \
+          grounding — the resident state is not paying for itself"
+         warm_speedup)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let commands = ref [] in
@@ -1092,6 +1349,7 @@ let () =
     | "perf-smoke" -> perf_smoke ()
     | "sat-smoke" -> sat_smoke ()
     | "obs-smoke" -> obs_smoke ()
+    | "serve-smoke" -> serve_smoke ()
     | "all" ->
       table1 ();
       micro ();

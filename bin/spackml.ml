@@ -806,6 +806,185 @@ let trace_report_cmd =
           format) into per-phase totals and duration histograms.")
     Term.(const run $ file)
 
+(* ---- serve / client (resident solve server) ---- *)
+
+let socket_flag =
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+      ~doc:"Unix socket path the server listens on (or the client \
+            connects to).")
+
+let serve_cmd =
+  let workers_flag =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N"
+        ~doc:"Solver worker domains (default 4).")
+  in
+  let queue_flag =
+    Arg.(value & opt int 256 & info [ "queue" ] ~docv:"N"
+        ~doc:"Admission bound: requests beyond N enqueued jobs are \
+              rejected with a typed $(b,overloaded) status (default 256).")
+  in
+  let deadline_flag =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Default per-request deadline, enforced inside the SAT core; \
+              preempted requests answer $(b,timeout).")
+  in
+  let mode_flag =
+    Arg.(value & opt string "session" & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Default solve mode: $(b,session) (warm incremental sessions) \
+              or $(b,fresh) (byte-deterministic from-scratch solves).")
+  in
+  let socket_opt =
+    Arg.(value & opt string "/tmp/spackml.sock"
+        & info [ "socket" ] ~docv:"PATH"
+            ~doc:"Unix socket path (default /tmp/spackml.sock).")
+  in
+  let recycle_flag =
+    Arg.(value & opt int 32 & info [ "recycle" ] ~docv:"N"
+        ~doc:"Rebuild a worker's warm session after N solves to bound \
+              solver-state growth; 0 never recycles (default 32).")
+  in
+  let run reuse splicing workers queue deadline_ms mode socket recycle trace
+      trace_format =
+    with_trace ~trace ~trace_format @@ fun obs ->
+    match
+      match mode with
+      | "session" -> Ok Core.Serve.Session
+      | "fresh" -> Ok Core.Serve.Fresh
+      | m -> Error m
+    with
+    | Error m ->
+      Format.eprintf "error: --mode: unknown mode %S (try session or fresh)@." m;
+      2
+    | Ok default_mode ->
+      let opts = options ~reuse ~splicing ~old_encoding:false in
+      let opts = { opts with Core.Concretizer.obs } in
+      let config =
+        { Core.Serve.default_config with
+          Core.Serve.workers;
+          max_queue = queue;
+          default_deadline_ms = deadline_ms;
+          default_mode;
+          session_recycle = (if recycle <= 0 then None else Some recycle);
+          reuse_source =
+            (if reuse then
+               Some (fun () -> Radiuss.Caches.reusable_specs (Lazy.force local_cache))
+             else None);
+          options = opts }
+      in
+      (match Core.Serve.start ~repo ~config ~socket () with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok t ->
+        Format.printf "serving on %s (%d workers, %s mode, pool %s)@."
+          socket workers mode
+          (Chash.short (Core.Serve.pool_digest_of t));
+        Core.Serve.wait t;
+        Format.printf "server stopped@.";
+        0)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a resident concretization server: warm solve sessions per \
+          worker domain, bounded admission, per-request deadlines, and a \
+          length-prefixed JSON protocol over a Unix socket. Stop it with \
+          $(b,spackml client --shutdown).")
+    Term.(const run $ reuse_flag $ splice_flag $ workers_flag $ queue_flag
+          $ deadline_flag $ mode_flag $ socket_opt $ recycle_flag $ trace_flag
+          $ trace_format_flag)
+
+let client_cmd =
+  let mode_flag =
+    Arg.(value & opt (some string) None & info [ "mode" ] ~docv:"MODE"
+        ~doc:"Solve mode for this request: $(b,session) or $(b,fresh) \
+              (default: the server's).")
+  in
+  let deadline_flag =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-request deadline.")
+  in
+  let conflicts_flag =
+    Arg.(value & opt (some int) None & info [ "conflicts" ] ~docv:"N"
+        ~doc:"Per-request conflict cap.")
+  in
+  let ping_flag = Arg.(value & flag & info [ "ping" ] ~doc:"Send a ping.") in
+  let stats_flag' =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Fetch server statistics.")
+  in
+  let reload_flag =
+    Arg.(value & flag & info [ "reload" ]
+        ~doc:"Ask the server to re-read its buildcache (evicting cached \
+              state if the digest changed).")
+  in
+  let shutdown_flag =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the server.")
+  in
+  let specs_arg = Arg.(value & pos_all string [] & info [] ~docv:"SPEC") in
+  let run socket mode deadline_ms conflicts ping stats reload shutdown specs =
+    match
+      match mode with
+      | None -> Ok None
+      | Some "session" -> Ok (Some Core.Serve.Session)
+      | Some "fresh" -> Ok (Some Core.Serve.Fresh)
+      | Some m -> Error m
+    with
+    | Error m ->
+      Format.eprintf "error: --mode: unknown mode %S@." m;
+      2
+    | Ok mode -> (
+      match Core.Serve.Client.connect socket with
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        1
+      | Ok c ->
+        Fun.protect ~finally:(fun () -> Core.Serve.Client.close c) @@ fun () ->
+        let failures = ref 0 in
+        let show label = function
+          | Ok resp -> Format.printf "%s%s@." label (Sjson.to_string ~pretty:true resp)
+          | Error e ->
+            incr failures;
+            Format.eprintf "%serror: %s@." label e
+        in
+        if ping then show "" (Core.Serve.Client.ping c);
+        if stats then show "" (Core.Serve.Client.stats c);
+        if reload then show "" (Core.Serve.Client.reload c);
+        List.iter
+          (fun spec ->
+            let label = spec ^ ": " in
+            match Core.Serve.Client.solve ?mode ?deadline_ms ?conflicts c spec with
+            | Error e ->
+              incr failures;
+              Format.eprintf "%serror: %s@." label e
+            | Ok resp ->
+              let status =
+                match Sjson.member_opt "status" resp with
+                | Some (Sjson.String s) -> s
+                | _ -> "?"
+              in
+              if status <> "ok" then incr failures;
+              Format.printf "%s%s %s@." label status
+                (Sjson.to_string (Sjson.member "result" resp)))
+          specs;
+        if shutdown then show "" (Core.Serve.Client.shutdown c);
+        if (not ping) && (not stats) && (not reload) && (not shutdown)
+           && specs = []
+        then begin
+          Format.eprintf "error: give SPECs or one of --ping/--stats/--reload/--shutdown@.";
+          2
+        end
+        else if !failures = 0 then 0
+        else 1)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Drive a running $(b,spackml serve): solve specs (optionally with \
+          per-request deadlines and modes), ping, fetch stats, trigger a \
+          buildcache reload, or shut the server down.")
+    Term.(const run $ socket_flag $ mode_flag $ deadline_flag $ conflicts_flag
+          $ ping_flag $ stats_flag' $ reload_flag $ shutdown_flag $ specs_arg)
+
 (* ---- providers ---- *)
 
 let providers_cmd =
@@ -833,4 +1012,5 @@ let () =
                "Source and binary package management with ABI-compatible splicing \
                 (OCaml reproduction of the SC'25 Spack splicing paper).")
           [ concretize_cmd; install_cmd; splice_cmd; buildcache_cmd; solve_cmd;
-            discover_cmd; providers_cmd; fuzz_cmd; trace_report_cmd ]))
+            discover_cmd; providers_cmd; serve_cmd; client_cmd; fuzz_cmd;
+            trace_report_cmd ]))

@@ -15,12 +15,15 @@ let hook_skip_unfounded = ref false
 (* Operations every solver instantiation provides (see logic.mli for
    the documented copy). *)
 module type S = sig
-  val solve : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> outcome
+  val solve :
+    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget -> Ground.t ->
+    outcome
 
   type session
 
   val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
   val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
+  val session_set_budget : session -> Solver_intf.budget option -> unit
   val session_ground : session -> Ground.t
   val session_sat_stats : session -> (string * int) list
   val session_solves : session -> int
@@ -434,8 +437,9 @@ let optimize ctx objectives ~assumptions =
     Some (List.map (fun o -> (o.priority, objective_cost ctx o)) objectives)
   end
 
-let solve ?(certify = false) ?(obs = Obs.disabled) g =
+let solve ?(certify = false) ?(obs = Obs.disabled) ?budget g =
   let ctx = translate ~certify ~obs g in
+  S.set_budget ctx.sat budget;
   let objectives = build_objectives ctx in
   match optimize ctx objectives ~assumptions:[] with
   | None -> Unsat (S.proof ctx.sat)
@@ -460,6 +464,12 @@ let session_create ?(certify = false) ?(obs = Obs.disabled) g =
   { s_ctx = ctx; s_objectives = build_objectives ctx; s_solves = 0 }
 
 let session_ground s = s.s_ctx.g
+
+(* Budgets only ever raise out of [solve] with the solver unwound to
+   level 0, and everything the optimization descent adds is gated by
+   activation literals, so a preempted request leaves the session
+   consistent for the next one. *)
+let session_set_budget s b = S.set_budget s.s_ctx.sat b
 
 let session_sat_stats s = S.stats s.s_ctx.sat
 

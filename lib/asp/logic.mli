@@ -42,11 +42,15 @@ val hook_skip_unfounded : bool ref
 
 (** Operations provided by every solver instantiation. *)
 module type S = sig
-  val solve : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> outcome
+  val solve :
+    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget -> Ground.t ->
+    outcome
   (** [?obs] records a translate span, per-SAT-call [sat.solve] spans
       with stats deltas, per-optimization [opt.probe] spans (priority,
       bound, outcome), stable-check counters, and the SAT core's
-      per-restart histograms. *)
+      per-restart histograms. [?budget] installs a preemption budget on
+      the underlying solver ({!Solver_intf.budget}); exhaustion raises
+      {!Solver_intf.Timeout}. *)
 
   (** {2 Incremental sessions}
 
@@ -76,6 +80,15 @@ module type S = sig
       [true] yields [Unsat None] immediately. [sat_stats] in the
       returned model are this request's deltas ({!Sat.stats_delta});
       [stable_checks] and [loop_clauses] are session-cumulative. *)
+
+  val session_set_budget : session -> Solver_intf.budget option -> unit
+  (** Install (or clear) a preemption budget on the session's solver,
+      honored by every SAT call of subsequent {!session_solve}s. A
+      request preempted by {!Solver_intf.Timeout} leaves the session
+      fully reusable: the solver is unwound to level 0 and all
+      optimization constraints are activation-literal-gated, so the
+      next request is unaffected (this is the solve server's deadline
+      mechanism). *)
 
   val session_ground : session -> Ground.t
 

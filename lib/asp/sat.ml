@@ -164,6 +164,8 @@ type t = {
   (* proof logging: [None] = off; steps are kept newest-first *)
   mutable proof : proof_step list option;
   mutable n_pb_inputs : int;
+  (* preemption budget, applied per [solve] call *)
+  mutable budget : Solver_intf.budget option;
 }
 
 let create () =
@@ -229,7 +231,8 @@ let create () =
     conflict_count = 0;
     max_learnts = 2000;
     proof = None;
-    n_pb_inputs = 0 }
+    n_pb_inputs = 0;
+    budget = None }
 
 let nvars s = s.nvars
 
@@ -245,6 +248,8 @@ let log_step s step =
 let hook_drop_pb = ref false
 
 let set_restart_mode s m = s.restart_mode <- m
+
+let set_budget s b = s.budget <- b
 
 (* Arena-learnt count that triggers [reduce_db]; tests lower it to
    force reductions on small instances. *)
@@ -1106,6 +1111,25 @@ let record_model s =
 exception Unsat_exc
 exception Sat_exc
 
+(* Internal marker for budget exhaustion: translated to
+   [Solver_intf.Timeout] after the trail is unwound to level 0. *)
+exception Budget_exc
+
+(* Called once per conflict with the number of conflicts this [solve]
+   call has spent. The conflict cap is checked every time; the external
+   stop probe only every [stop_poll_interval] conflicts. *)
+let check_budget s spent =
+  match s.budget with
+  | None -> ()
+  | Some b ->
+    (match b.Solver_intf.b_conflicts with
+    | Some cap when spent >= cap -> raise Budget_exc
+    | _ -> ());
+    (match b.Solver_intf.b_stop with
+    | Some stop when spent mod Solver_intf.stop_poll_interval = 0 && stop () ->
+      raise Budget_exc
+    | _ -> ())
+
 let set_obs s obs = s.obs <- obs
 
 (* Restarts are rare, so per-restart tracing can afford histogram
@@ -1151,6 +1175,7 @@ let solve ?(assumptions = []) s =
       let nassum = Array.length assumptions in
       let conflict_budget = ref (luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0) in
       let since_restart = ref 0 in
+      let spent = ref 0 in
       let result = ref None in
       (try
          while true do
@@ -1159,6 +1184,8 @@ let solve ?(assumptions = []) s =
              Obs.Stats.incr s.c_conflicts;
              s.conflict_count <- s.conflict_count + 1;
              incr since_restart;
+             incr spent;
+             check_budget s !spent;
              conflict_budget := !conflict_budget -. 1.0;
              if decision_level s = 0 then begin
                log_step s (P_derived []);
@@ -1252,7 +1279,14 @@ let solve ?(assumptions = []) s =
          done
        with
       | Sat_exc -> result := Some true
-      | Unsat_exc -> result := Some false);
+      | Unsat_exc -> result := Some false
+      | Budget_exc ->
+        (* Preempted: unwind to level 0 (keeping every learnt clause,
+           activity and phase — they are all consequences of the
+           database) and surface the typed timeout. The solver stays
+           reusable. *)
+        cancel_until s 0;
+        raise Solver_intf.Timeout);
       cancel_until s 0;
       match !result with Some r -> r | None -> assert false
     end

@@ -40,6 +40,16 @@ val set_reduce_interval : t -> int -> unit
     2000, +300 after every reduction). Tests lower it to force
     reductions on small instances. *)
 
+val set_budget : t -> Solver_intf.budget option -> unit
+(** Install (or clear, with [None]) a preemption budget honored by
+    every subsequent {!solve} call: [b_conflicts] caps the conflicts a
+    single call may spend, and [b_stop] is polled every
+    {!Solver_intf.stop_poll_interval} conflicts (the deadline hook the
+    solve server uses). Exhaustion raises {!Solver_intf.Timeout} with
+    the solver unwound to level 0 — learnt clauses, activities and
+    phases survive, so the solver and any session on top of it remain
+    fully reusable. *)
+
 val new_var : t -> int
 (** Returns the fresh variable's index. *)
 

@@ -109,6 +109,8 @@ type t = {
   (* proof logging: [None] = off; steps are kept newest-first *)
   mutable proof : proof_step list option;
   mutable n_pb_inputs : int;
+  (* preemption budget, applied per [solve] call *)
+  mutable budget : Solver_intf.budget option;
 }
 
 let create () =
@@ -149,7 +151,8 @@ let create () =
     at_restart = (0, 0, 0);
     seen = Bytes.create 0;
     proof = None;
-    n_pb_inputs = 0 }
+    n_pb_inputs = 0;
+    budget = None }
 
 let nvars s = s.nvars
 
@@ -628,6 +631,26 @@ let record_model s =
 exception Unsat_exc
 exception Sat_exc
 
+(* Internal marker for budget exhaustion: translated to
+   [Solver_intf.Timeout] after the trail is unwound to level 0. *)
+exception Budget_exc
+
+let set_budget s b = s.budget <- b
+
+(* Called once per conflict with the number of conflicts this [solve]
+   call has spent (same contract as the arena core's). *)
+let check_budget s spent =
+  match s.budget with
+  | None -> ()
+  | Some b ->
+    (match b.Solver_intf.b_conflicts with
+    | Some cap when spent >= cap -> raise Budget_exc
+    | _ -> ());
+    (match b.Solver_intf.b_stop with
+    | Some stop when spent mod Solver_intf.stop_poll_interval = 0 && stop () ->
+      raise Budget_exc
+    | _ -> ())
+
 let set_obs s obs = s.obs <- obs
 
 (* Restarts are rare (Luby budgets of 100+ conflicts), so per-restart
@@ -658,12 +681,15 @@ let solve ?(assumptions = []) s =
     else begin
       let assumptions = Array.of_list assumptions in
       let conflict_budget = ref (luby 2.0 (Obs.Stats.value s.c_restarts) *. 100.0) in
+      let spent = ref 0 in
       let result = ref None in
       (try
          while true do
            match propagate s with
            | Some confl ->
              Obs.Stats.incr s.c_conflicts;
+             incr spent;
+             check_budget s !spent;
              conflict_budget := !conflict_budget -. 1.0;
              if decision_level s = 0 then begin
                log_step s (P_derived []);
@@ -735,7 +761,12 @@ let solve ?(assumptions = []) s =
          done
        with
       | Sat_exc -> result := Some true
-      | Unsat_exc -> result := Some false);
+      | Unsat_exc -> result := Some false
+      | Budget_exc ->
+        (* Preempted: unwind to level 0, keep the learnt database, and
+           surface the typed timeout; the solver stays reusable. *)
+        cancel_until s 0;
+        raise Solver_intf.Timeout);
       cancel_until s 0;
       match !result with Some r -> r | None -> assert false
     end

@@ -11,6 +11,30 @@
 
 type lit = int
 
+(* A per-solve resource budget, set once on a solver and honored by
+   every subsequent [solve] call until replaced. [b_conflicts] caps the
+   conflicts a single [solve] call may spend; [b_stop] is an external
+   preemption probe (typically "has this request's deadline passed?")
+   polled every [stop_poll_interval] conflicts, so a wedged search is
+   interrupted within a bounded amount of work. Exceeding either raises
+   {!Timeout} with the solver backtracked to decision level 0: learnt
+   clauses, activities and phases survive, so the solver (and any
+   session built on it) remains fully reusable — a preempted request
+   costs nothing but its own time. *)
+type budget = {
+  b_conflicts : int option;
+  b_stop : (unit -> bool) option;
+}
+
+(* Conflicts between two [b_stop] polls. Small enough that a deadline
+   overrun is noticed promptly, large enough that polling (a closure
+   call, possibly a clock read) stays off the hot path. *)
+let stop_poll_interval = 32
+
+(* Raised by [solve] when the active budget is exhausted. The solver is
+   left at decision level 0 and remains usable. *)
+exception Timeout
+
 (* DRUP-style proof steps. [P_input]/[P_pb_input] record the trusted
    problem; [P_pb_lemma (i, c)] claims clause [c] is implied by the
    [i]-th PB input alone; [P_derived c] claims [c] follows from the
@@ -51,6 +75,8 @@ module type S = sig
   val add_clause : t -> lit list -> unit
 
   val add_pb_le : t -> (int * lit) list -> int -> unit
+
+  val set_budget : t -> budget option -> unit
 
   val solve : ?assumptions:lit list -> t -> bool
 

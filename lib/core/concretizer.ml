@@ -99,9 +99,16 @@ let check_known ~repo requests =
 type failure = {
   f_message : string;
   f_proof : Asp.Sat.proof_step list option;
+  f_timeout : bool;
 }
 
-let fail msg = Error { f_message = msg; f_proof = None }
+let fail msg = Error { f_message = msg; f_proof = None; f_timeout = false }
+
+let fail_timeout () =
+  Error
+    { f_message = "timeout: solve budget exhausted";
+      f_proof = None;
+      f_timeout = true }
 
 (* Independent re-validation of the solution ([options.verify]): each
    returned spec is checked against the repo and its request without
@@ -142,7 +149,7 @@ let publish_stats obs (s : stats) =
     Obs.observe obs "concretize.solve_seconds" s.solve_seconds
   end
 
-let concretize_v ~repo ?(options = default_options) requests =
+let concretize_v ~repo ?(options = default_options) ?budget ?closure requests =
   match check_known ~repo requests with
   | Some e -> fail e
   | None ->
@@ -161,7 +168,7 @@ let concretize_v ~repo ?(options = default_options) requests =
   let encoded =
     Obs.with_span obs ~cat:"concretize" "encode" (fun _ ->
         Encode.encode ~repo ~encoding:options.encoding ~splicing:options.splicing
-          ~reuse:(effective_reuse options) ~prune:options.prune ~obs
+          ~reuse:(effective_reuse options) ~prune:options.prune ?closure ~obs
           ~host_os:options.host_os ~host_target:options.host_target requests)
   in
   let statements =
@@ -178,18 +185,26 @@ let concretize_v ~repo ?(options = default_options) requests =
   in
   let t2 = now () in
   let result =
-    Obs.with_span obs ~cat:"concretize" "solve" (fun _ ->
-        (* The two Logic instances share model/outcome types, so the
-           baseline dispatch is invisible downstream. *)
-        if options.baseline_solver then
-          Asp.Logic.Baseline.solve ~certify:options.certify ~obs ground
-        else Asp.Logic.solve ~certify:options.certify ~obs ground)
+    match
+      Obs.with_span obs ~cat:"concretize" "solve" (fun _ ->
+          (* The two Logic instances share model/outcome types, so the
+             baseline dispatch is invisible downstream. *)
+          if options.baseline_solver then
+            Asp.Logic.Baseline.solve ~certify:options.certify ~obs ?budget ground
+          else Asp.Logic.solve ~certify:options.certify ~obs ?budget ground)
+    with
+    | r -> Some r
+    | exception Asp.Solver_intf.Timeout -> None
   in
   let t3 = now () in
   match result with
-  | Asp.Logic.Unsat proof ->
-    Error { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
-  | Asp.Logic.Sat model -> (
+  | None -> fail_timeout ()
+  | Some (Asp.Logic.Unsat proof) ->
+    Error
+      { f_message = "UNSAT: no valid concretization exists";
+        f_proof = proof;
+        f_timeout = false }
+  | Some (Asp.Logic.Sat model) -> (
     let decoded =
       Obs.with_span obs ~cat:"concretize" "decode" (fun _ ->
           Decode.decode ~pool:encoded.Encode.pool ~requests model)
@@ -278,7 +293,7 @@ module Session = struct
         else None)
       roots
 
-  let create ~repo ?(options = default_options) ~roots () =
+  let create ~repo ?(options = default_options) ?closure ~roots () =
     match check_roots ~repo roots with
     | Some e -> Error e
     | None ->
@@ -291,7 +306,7 @@ module Session = struct
         Obs.with_span obs ~cat:"concretize" "encode" (fun _ ->
             Encode.encode_session ~repo ~encoding:options.encoding
               ~splicing:options.splicing ~reuse:(effective_reuse options)
-              ~prune:options.prune ~obs ~host_os:options.host_os
+              ~prune:options.prune ?closure ~obs ~host_os:options.host_os
               ~host_target:options.host_target ~roots ())
       in
       let statements =
@@ -326,7 +341,7 @@ module Session = struct
 
   let solves s = Asp.Logic.session_solves s.session
 
-  let solve s (request : Encode.request) =
+  let solve ?budget s (request : Encode.request) =
     match check_known ~repo:s.repo [ request ] with
     | Some e -> fail e
     | None -> (
@@ -340,11 +355,19 @@ module Session = struct
                 Obs.S request.Encode.req.Spec.Abstract.root.Spec.Abstract.name )
             ]
         @@ fun _span ->
+        (* The budget is installed per call (and cleared when absent):
+           a preempted request unwinds the solver to level 0 and all
+           descent constraints are activation-gated, so the session
+           stays valid for the next request. *)
+        Asp.Logic.session_set_budget s.session budget;
         let t0 = now () in
         match Asp.Logic.session_solve s.session ~assume with
+        | exception Asp.Solver_intf.Timeout -> fail_timeout ()
         | Asp.Logic.Unsat proof ->
           Error
-            { f_message = "UNSAT: no valid concretization exists"; f_proof = proof }
+            { f_message = "UNSAT: no valid concretization exists";
+              f_proof = proof;
+              f_timeout = false }
         | Asp.Logic.Sat model -> (
           let t1 = now () in
           let decoded =

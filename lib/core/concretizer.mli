@@ -87,15 +87,26 @@ type failure = {
   f_proof : Asp.Sat.proof_step list option;
       (** the refutation certificate, present iff the failure was an
           UNSAT answer and [options.certify] was set *)
+  f_timeout : bool;
+      (** the solve was preempted by an exhausted
+          {!Asp.Solver_intf.budget} (deadline or conflict cap) rather
+          than answered; the underlying solver/session remains
+          reusable *)
 }
 
 val concretize_v :
   repo:Pkg.Repo.t ->
   ?options:options ->
+  ?budget:Asp.Solver_intf.budget ->
+  ?closure:(string, unit) Hashtbl.t ->
   Encode.request list ->
   (outcome, failure) result
 (** Like {!concretize} but with a structured failure that carries the
-    DRUP proof for certified UNSAT answers. *)
+    DRUP proof for certified UNSAT answers. [?budget] bounds the solve
+    (conflict cap and/or external stop probe); exhaustion yields a
+    failure with [f_timeout = true]. [?closure] supplies a precomputed
+    dependency closure for pruning (see {!Encode.encode}), letting a
+    resident server skip the closure walk on repeat roots. *)
 
 val concretize :
   repo:Pkg.Repo.t ->
@@ -124,18 +135,25 @@ module Session : sig
   val create :
     repo:Pkg.Repo.t ->
     ?options:options ->
+    ?closure:(string, unit) Hashtbl.t ->
     roots:string list ->
     unit ->
     (t, string) result
   (** Ground the universe for requests rooted at any of [roots]
       (deduplicated; must be known non-virtual packages). With
       [options.prune], the universe is the closure of all [roots]
-      jointly. *)
+      jointly; [?closure] supplies it precomputed (see
+      {!Encode.encode}). *)
 
-  val solve : t -> Encode.request -> (outcome, failure) result
+  val solve :
+    ?budget:Asp.Solver_intf.budget -> t -> Encode.request ->
+    (outcome, failure) result
   (** Serve one single-root request. [stats] report the session's
       (amortized) ground numbers, zero encode/ground seconds, and
-      per-request deltas for the solver counters. *)
+      per-request deltas for the solver counters. [?budget] bounds this
+      request's solver work; a preempted request fails with
+      [f_timeout = true] and leaves the session fully reusable (the
+      solve server's deadline mechanism). *)
 
   val setup_seconds : t -> float
   (** One-time encode + ground + translate cost paid by [create]. *)

@@ -436,20 +436,28 @@ type base = {
   b_closure : (string, unit) Hashtbl.t option;  (* None when not pruning *)
 }
 
-let encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
-    ~roots =
+let encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~closure_hint
+    ~host_os ~host_target ~roots =
   let cond = ref 0 in
   let scounter = ref 0 in
   let full_pool = pool_of_specs reuse in
   let pool_total = pool_size full_pool in
   let keep =
     if prune then
-      Some
-        (Obs.with_span obs ~cat:"encode" "encode.closure" (fun sp ->
-             let cl = closure ~repo ~splicing ~pool:full_pool roots in
-             Obs.set_attr sp "pool_total" (Obs.I pool_total);
-             Obs.set_attr sp "closure_packages" (Obs.I (Hashtbl.length cl));
-             cl))
+      match closure_hint with
+      | Some cl ->
+        (* Precomputed (typically cached by the solve server, keyed on
+           roots + pool digest). The caller owns its correctness; a
+           stale hint would silently unprune or overprune. *)
+        Obs.incr obs "encode.closure_cache_hits";
+        Some cl
+      | None ->
+        Some
+          (Obs.with_span obs ~cat:"encode" "encode.closure" (fun sp ->
+               let cl = closure ~repo ~splicing ~pool:full_pool roots in
+               Obs.set_attr sp "pool_total" (Obs.I pool_total);
+               Obs.set_attr sp "closure_packages" (Obs.I (Hashtbl.length cl));
+               cl))
     else None
   in
   let in_closure name =
@@ -533,16 +541,16 @@ let encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_targ
     b_packages = packages;
     b_closure = keep }
 
-let encode ~repo ~encoding ~splicing ~reuse ?(prune = false) ?(obs = Obs.disabled)
-    ~host_os ~host_target requests =
+let encode ~repo ~encoding ~splicing ~reuse ?(prune = false) ?closure
+    ?(obs = Obs.disabled) ~host_os ~host_target requests =
   let roots =
     List.map
       (fun (r : request) -> r.req.Spec.Abstract.root.Spec.Abstract.name)
       requests
   in
   let b =
-    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
-      ~roots
+    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~closure_hint:closure
+      ~host_os ~host_target ~roots
   in
   { facts = b.b_facts @ List.concat_map (encode_request b.b_universe) requests;
     rules = b.b_rules;
@@ -560,12 +568,12 @@ type session_env = {
 
 let session_unsat_atom = atom "session_unsat" []
 
-let encode_session ~repo ~encoding ~splicing ~reuse ?(prune = true)
+let encode_session ~repo ~encoding ~splicing ~reuse ?(prune = true) ?closure
     ?(obs = Obs.disabled) ~host_os ~host_target ~roots () =
   let roots = List.sort_uniq String.compare roots in
   let b =
-    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~host_os ~host_target
-      ~roots
+    encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~closure_hint:closure
+      ~host_os ~host_target ~roots
   in
   let names =
     (* Every package name whose facts were emitted, plus every name the

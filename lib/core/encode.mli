@@ -63,6 +63,7 @@ val encode :
   splicing:bool ->
   reuse:Spec.Concrete.t list ->
   ?prune:bool ->
+  ?closure:(string, unit) Hashtbl.t ->
   ?obs:Obs.ctx ->
   host_os:string ->
   host_target:string ->
@@ -71,9 +72,13 @@ val encode :
 (** [prune] (default [false]) restricts package facts and the reusable
     pool to the {!closure} of the requested roots: a buildcache of
     thousands of specs grounds like one holding only the specs a
-    request could actually use. [?obs] records the closure computation
-    as an [encode.closure] span and the pool sizes as
-    [encode.pool_total]/[encode.pool_kept] gauges. *)
+    request could actually use. [?closure] supplies that closure
+    precomputed (the solve server caches it keyed by roots + pool
+    digest); it is trusted as-is and only consulted when [prune] is
+    set, counting an [encode.closure_cache_hits] metric. [?obs]
+    records the closure computation as an [encode.closure] span and
+    the pool sizes as [encode.pool_total]/[encode.pool_kept]
+    gauges. *)
 
 (** {2 Incremental sessions} *)
 
@@ -92,6 +97,7 @@ val encode_session :
   splicing:bool ->
   reuse:Spec.Concrete.t list ->
   ?prune:bool ->
+  ?closure:(string, unit) Hashtbl.t ->
   ?obs:Obs.ctx ->
   host_os:string ->
   host_target:string ->

@@ -1,0 +1,860 @@
+(* spackml serve: a resident multi-tenant concretization server.
+
+   The one-shot CLI pays encode + ground + solver warm-up on every
+   request; the server keeps that state alive and serves requests over
+   a Unix socket instead:
+
+   - a pool of OCaml 5 domain workers, each owning a warm
+     [Concretizer.Session] (ground program translated once, solved
+     under per-request assumptions);
+   - a work-distributing request queue with stealing: submission is
+     round-robin over per-worker queues, an idle worker drains its own
+     queue first and then steals from its neighbours; admission is
+     bounded ([max_queue] enqueued jobs) with a typed [overloaded]
+     rejection instead of unbounded latency;
+   - per-request deadlines and conflict caps enforced inside the SAT
+     core by the [Asp.Solver_intf.budget] hook — a preempted request
+     answers [timeout] and leaves the worker's session reusable;
+   - dependency closures cached by (roots, pool digest) and evicted
+     whenever the buildcache digest changes ([set_reuse] bumps a
+     generation; stale sessions rebuild lazily);
+   - length-prefixed JSON frames ([Sjson.Frame]) as the wire protocol,
+     with [Client] as the in-process driver.
+
+   Threading model: solver work runs on domains (true parallelism);
+   socket I/O runs on lightweight systhreads (one acceptor, one reader
+   per connection) that spend their life blocked in [Unix.read].
+   Workers write responses directly to the originating connection
+   under its write mutex, so responses to pipelined requests may
+   arrive out of order — they carry the request [id] for matching. *)
+
+type mode = Session | Fresh
+
+type config = {
+  workers : int;  (* solver domains *)
+  max_queue : int;  (* admission bound: max enqueued-not-yet-running jobs *)
+  default_deadline_ms : float option;
+  default_conflicts : int option;
+  default_mode : mode;
+  session_roots : string list;
+      (* universe of the warm sessions; [] = every non-virtual package *)
+  session_recycle : int option;
+      (* rebuild a worker's session after this many solves: repeated
+         optimization descents leave deactivated constraints behind,
+         so a long-lived session slows down; recycling bounds that
+         growth at the cost of an amortized rebuild *)
+  fault_injection : bool;  (* honor the "boom" request flag *)
+  reuse_source : (unit -> Spec.Concrete.t list) option;
+      (* backing of the wire "reload" op *)
+  options : Concretizer.options;
+}
+
+let default_config =
+  { workers = 4;
+    max_queue = 256;
+    default_deadline_ms = None;
+    default_conflicts = None;
+    default_mode = Session;
+    session_roots = [];
+    session_recycle = Some 32;
+    fault_injection = false;
+    reuse_source = None;
+    options = Concretizer.default_options }
+
+(* The buildcache identity: a content hash over the sorted DAG hashes
+   of the reusable specs. Cached closures and warm sessions are valid
+   exactly as long as this digest is. *)
+let pool_digest specs =
+  List.map Spec.Concrete.dag_hash specs
+  |> List.sort String.compare
+  |> String.concat "\n"
+  |> Chash.hash_string
+
+(* ---- connections --------------------------------------------------- *)
+
+(* A connection outlives its reader thread while jobs for it are still
+   in flight (workers write responses directly); the fd closes when
+   the reader is done AND the last pending job has answered. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wmu : Mutex.t;  (* serializes response frames *)
+  c_mu : Mutex.t;  (* guards the three fields below *)
+  mutable c_jobs : int;  (* jobs in flight for this connection *)
+  mutable c_eof : bool;  (* reader finished *)
+  mutable c_closed : bool;  (* fd actually closed *)
+}
+
+let conn_create fd =
+  { c_fd = fd;
+    c_wmu = Mutex.create ();
+    c_mu = Mutex.create ();
+    c_jobs = 0;
+    c_eof = false;
+    c_closed = false }
+
+let conn_close_if_done c =
+  if c.c_eof && c.c_jobs = 0 && not c.c_closed then begin
+    c.c_closed <- true;
+    try Unix.close c.c_fd with Unix.Unix_error _ -> ()
+  end
+
+let conn_job_begin c =
+  Mutex.lock c.c_mu;
+  c.c_jobs <- c.c_jobs + 1;
+  Mutex.unlock c.c_mu
+
+let conn_job_end c =
+  Mutex.lock c.c_mu;
+  c.c_jobs <- c.c_jobs - 1;
+  conn_close_if_done c;
+  Mutex.unlock c.c_mu
+
+let conn_reader_done c =
+  Mutex.lock c.c_mu;
+  c.c_eof <- true;
+  conn_close_if_done c;
+  Mutex.unlock c.c_mu
+
+let rec write_all fd s off len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s off len in
+    write_all fd s (off + n) (len - n)
+  end
+
+(* ---- jobs and server state ----------------------------------------- *)
+
+type job = {
+  j_conn : conn;
+  j_id : Sjson.t;  (* echoed verbatim in the response *)
+  j_payload : Sjson.t;
+  j_received : float;  (* monotonic, at frame decode *)
+  j_deadline : float option;  (* absolute monotonic deadline *)
+}
+
+type t = {
+  repo : Pkg.Repo.t;
+  config : config;
+  sock_path : string;
+  listen_fd : Unix.file_descr;
+  roots : string list;  (* session universe, sorted *)
+  roots_set : (string, unit) Hashtbl.t;  (* read-only after start *)
+  (* queueing (guarded by [mu]) *)
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  queues : job Queue.t array;  (* one per worker; stealing crosses them *)
+  mutable submit_rr : int;
+  mutable pending : int;
+  mutable running : bool;
+  mutable served : int;
+  mutable rejected : int;
+  (* buildcache state (guarded by [pool_mu]) *)
+  pool_mu : Mutex.t;
+  mutable reuse : Spec.Concrete.t list;
+  mutable pool : Encode.reuse_pool;
+  mutable digest : string;
+  mutable generation : int;
+  closures : (string, (string, unit) Hashtbl.t) Hashtbl.t;
+      (* roots key -> closure; valid for the current generation only *)
+  (* lifecycle *)
+  mutable accept_thread : Thread.t option;
+  mutable domains : unit Domain.t list;
+}
+
+let obs t = t.config.options.Concretizer.obs
+
+let generation t =
+  Mutex.lock t.pool_mu;
+  let g = t.generation in
+  Mutex.unlock t.pool_mu;
+  g
+
+let pool_digest_of t =
+  Mutex.lock t.pool_mu;
+  let d = t.digest in
+  Mutex.unlock t.pool_mu;
+  d
+
+(* Swap the reusable pool. A digest change bumps the generation:
+   cached closures are dropped eagerly, warm sessions are invalidated
+   lazily (each worker compares generations before reusing its
+   session). Same digest = no-op, so callers can re-feed the same
+   buildcache freely. *)
+let set_reuse t specs =
+  Mutex.lock t.pool_mu;
+  let d = pool_digest specs in
+  let changed = d <> t.digest in
+  if changed then begin
+    t.reuse <- specs;
+    t.pool <- Encode.pool_of_specs specs;
+    t.digest <- d;
+    t.generation <- t.generation + 1;
+    Hashtbl.reset t.closures;
+    Obs.incr (obs t) "serve.evictions"
+  end;
+  Mutex.unlock t.pool_mu;
+  changed
+
+(* A consistent snapshot of the buildcache state plus the cached (or
+   freshly computed and cached) closure for [roots]. Taken under
+   [pool_mu] so a concurrent [set_reuse] can never pair an old closure
+   with a new pool. *)
+let pool_snapshot t roots =
+  let key = String.concat "\x00" roots in
+  Mutex.lock t.pool_mu;
+  let closure =
+    if not t.config.options.Concretizer.prune then None
+    else
+      match Hashtbl.find_opt t.closures key with
+      | Some cl ->
+        Obs.incr (obs t) "serve.closure_hits";
+        Some cl
+      | None ->
+        let cl =
+          Encode.closure ~repo:t.repo
+            ~splicing:t.config.options.Concretizer.splicing ~pool:t.pool roots
+        in
+        Hashtbl.replace t.closures key cl;
+        Obs.incr (obs t) "serve.closure_misses";
+        Some cl
+  in
+  let snap = (t.reuse, t.generation, closure) in
+  Mutex.unlock t.pool_mu;
+  snap
+
+(* ---- queue --------------------------------------------------------- *)
+
+type admission = Admitted | Overloaded
+
+let submit t job =
+  Mutex.lock t.mu;
+  let r =
+    if (not t.running) || t.pending >= t.config.max_queue then begin
+      t.rejected <- t.rejected + 1;
+      Overloaded
+    end
+    else begin
+      t.pending <- t.pending + 1;
+      let i = t.submit_rr in
+      t.submit_rr <- (i + 1) mod Array.length t.queues;
+      Queue.push job t.queues.(i);
+      Condition.signal t.nonempty;
+      Admitted
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+(* Own queue first, then steal round-robin from the neighbours. *)
+let pop_any t i =
+  let n = Array.length t.queues in
+  let rec go k =
+    if k = n then None
+    else
+      let q = t.queues.((i + k) mod n) in
+      if Queue.is_empty q then go (k + 1)
+      else begin
+        if k > 0 then Obs.incr (obs t) "serve.steals";
+        Some (Queue.pop q)
+      end
+  in
+  go 0
+
+(* Blocks for work; [None] = shutdown and every queue drained, so a
+   stopping server still answers everything it admitted. *)
+let take_job t i =
+  Mutex.lock t.mu;
+  let rec go () =
+    match pop_any t i with
+    | Some j ->
+      t.pending <- t.pending - 1;
+      Mutex.unlock t.mu;
+      Some j
+    | None ->
+      if not t.running then begin
+        Mutex.unlock t.mu;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.mu;
+        go ()
+      end
+  in
+  go ()
+
+(* ---- responses ----------------------------------------------------- *)
+
+let respond t conn v =
+  let s = Sjson.Frame.encode v in
+  Mutex.lock conn.c_wmu;
+  (try write_all conn.c_fd s 0 (String.length s)
+   with Unix.Unix_error _ ->
+     (* Peer went away mid-request: drop the response, keep serving. *)
+     Obs.incr (obs t) "serve.dropped_responses");
+  Mutex.unlock conn.c_wmu
+
+let status_of_result = function
+  | Ok _ -> "ok"
+  | Error (f : Concretizer.failure) ->
+    if f.Concretizer.f_timeout then "timeout"
+    else if
+      String.length f.Concretizer.f_message >= 5
+      && String.sub f.Concretizer.f_message 0 5 = "UNSAT"
+    then "unsat"
+    else "error"
+
+(* The canonical solve answer: everything a response and a one-shot
+   [Concretizer] run must agree on byte-for-byte, and nothing
+   timing-dependent. Tests and the bench compare
+   [Sjson.to_string (canonical_of_result r)] across transports. *)
+let canonical_of_result (r : (Concretizer.outcome, Concretizer.failure) result) =
+  match r with
+  | Ok o ->
+    let spec = List.hd o.Concretizer.solution.Decode.specs in
+    Sjson.Object
+      [ ("status", Sjson.String "ok");
+        ("hash", Sjson.String (Spec.Concrete.dag_hash spec));
+        ("spec", Sjson.String (Spec.Concrete.to_string spec));
+        ( "costs",
+          Sjson.Array
+            (List.map
+               (fun (p, c) -> Sjson.Array [ Sjson.Int p; Sjson.Int c ])
+               o.Concretizer.stats.Concretizer.costs) ) ]
+  | Error f when f.Concretizer.f_timeout ->
+    Sjson.Object [ ("status", Sjson.String "timeout") ]
+  | Error f ->
+    Sjson.Object
+      [ ("status", Sjson.String (status_of_result r));
+        ("message", Sjson.String f.Concretizer.f_message) ]
+
+let canonical_error msg =
+  Sjson.Object
+    [ ("status", Sjson.String "error"); ("message", Sjson.String msg) ]
+
+let canonical_timeout = Sjson.Object [ ("status", Sjson.String "timeout") ]
+
+(* ---- request handling ---------------------------------------------- *)
+
+let field_string k j =
+  match Sjson.member_opt k j with Some (Sjson.String s) -> Some s | _ -> None
+
+let field_number k j =
+  match Sjson.member_opt k j with
+  | Some (Sjson.Int n) -> Some (float_of_int n)
+  | Some (Sjson.Float f) -> Some f
+  | _ -> None
+
+let field_int k j =
+  match Sjson.member_opt k j with Some (Sjson.Int n) -> Some n | _ -> None
+
+let field_bool k j =
+  match Sjson.member_opt k j with
+  | Some (Sjson.Bool b) -> b
+  | _ -> false
+
+type worker_session =
+  | No_session
+  | Warm of Concretizer.Session.t * int  (* session, generation *)
+  | Broken of string * int  (* create failed; don't retry this generation *)
+
+type worker = {
+  w_index : int;
+  mutable w_session : worker_session;
+}
+
+let budget_of ~conflicts ~deadline : Asp.Solver_intf.budget option =
+  match (conflicts, deadline) with
+  | None, None -> None
+  | _ ->
+    Some
+      { Asp.Solver_intf.b_conflicts = conflicts;
+        b_stop =
+          Option.map (fun d () -> Obs.Clock.now_s () > d) deadline }
+
+let solve_options t reuse =
+  { t.config.options with Concretizer.reuse; mirrors = None }
+
+(* The worker's warm session for the current generation, rebuilding
+   after an eviction. [None] = session creation failed (served fresh
+   instead). *)
+let ensure_session t w =
+  let reuse, gen, closure = pool_snapshot t t.roots in
+  let worn_out s =
+    match t.config.session_recycle with
+    | Some cap when Concretizer.Session.solves s >= cap ->
+      Obs.incr (obs t) "serve.session_recycles";
+      true
+    | _ -> false
+  in
+  (match w.w_session with
+  | Warm (s, g) when g = gen && not (worn_out s) -> ()
+  | Broken (_, g) when g = gen -> ()
+  | _ ->
+    Obs.incr (obs t) "serve.session_builds";
+    w.w_session <-
+      (match
+         Concretizer.Session.create ~repo:t.repo ~options:(solve_options t reuse)
+           ?closure ~roots:t.roots ()
+       with
+      | Ok s -> Warm (s, gen)
+      | Error e -> Broken (e, gen)));
+  match w.w_session with
+  | Warm (s, _) -> Some s
+  | Broken _ | No_session -> None
+
+(* Serve one solve request; returns (status, canonical result, extra
+   response fields). Raises on internal faults (caught by the caller
+   and answered as a typed error). *)
+let run_solve t w job =
+  let payload = job.j_payload in
+  if t.config.fault_injection && field_bool "boom" payload then
+    failwith "injected worker fault";
+  match field_string "spec" payload with
+  | None -> ("error", canonical_error "solve: missing \"spec\" field", [])
+  | Some text -> (
+    match Encode.request_of_string text with
+    | exception Spec.Parser.Parse_error e ->
+      ("error", canonical_error ("parse error: " ^ e), [])
+    | request ->
+      let now = Obs.Clock.now_s () in
+      let expired =
+        match job.j_deadline with Some d -> now > d | None -> false
+      in
+      if expired then
+        (* Died waiting in the queue: answer without touching a solver,
+           so an overload burst drains in bounded time. *)
+        ("timeout", canonical_timeout, [ ("expired_in_queue", Sjson.Bool true) ])
+      else begin
+        let conflicts =
+          match field_int "conflicts" payload with
+          | Some n -> Some n
+          | None -> t.config.default_conflicts
+        in
+        let budget = budget_of ~conflicts ~deadline:job.j_deadline in
+        let mode =
+          match field_string "mode" payload with
+          | Some "fresh" -> Fresh
+          | Some "session" -> Session
+          | _ -> t.config.default_mode
+        in
+        let root =
+          request.Encode.req.Spec.Abstract.root.Spec.Abstract.name
+        in
+        let fresh () =
+          let reuse, gen, closure = pool_snapshot t [ root ] in
+          let r =
+            Concretizer.concretize_v ~repo:t.repo
+              ~options:(solve_options t reuse) ?budget ?closure [ request ]
+          in
+          (r, "fresh", gen)
+        in
+        let result, mode_used, gen =
+          match mode with
+          | Fresh -> fresh ()
+          | Session -> (
+            (* Roots outside the warm universe can't be served under
+               assumptions; fall back to a fresh solve. *)
+            if not (Hashtbl.mem t.roots_set root) then fresh ()
+            else
+              match ensure_session t w with
+              | None -> fresh ()
+              | Some s ->
+                let gen =
+                  match w.w_session with Warm (_, g) -> g | _ -> assert false
+                in
+                (Concretizer.Session.solve ?budget s request, "session", gen))
+        in
+        ( status_of_result result,
+          canonical_of_result result,
+          [ ("mode", Sjson.String mode_used); ("generation", Sjson.Int gen) ] )
+      end)
+
+let run_stats t =
+  Mutex.lock t.mu;
+  let pending = t.pending and served = t.served and rejected = t.rejected in
+  Mutex.unlock t.mu;
+  Sjson.Object
+    [ ("status", Sjson.String "ok");
+      ("workers", Sjson.Int (Array.length t.queues));
+      ("pending", Sjson.Int pending);
+      ("served", Sjson.Int served);
+      ("rejected", Sjson.Int rejected);
+      ("generation", Sjson.Int (generation t));
+      ("digest", Sjson.String (pool_digest_of t));
+      ("roots", Sjson.Int (List.length t.roots)) ]
+
+let handle_job t w job =
+  Fun.protect ~finally:(fun () -> conn_job_end job.j_conn) @@ fun () ->
+  let queue_ms = (Obs.Clock.now_s () -. job.j_received) *. 1000. in
+  Obs.observe (obs t) "serve.queue_ms" queue_ms;
+  let op =
+    match field_string "op" job.j_payload with Some o -> o | None -> "solve"
+  in
+  Obs.with_span (obs t) ~cat:"serve" "serve.request"
+    ~attrs:[ ("worker", Obs.I w.w_index); ("op", Obs.S op) ]
+  @@ fun span ->
+  let status, result, extra =
+    match
+      match op with
+      | "solve" -> run_solve t w job
+      | "ping" ->
+        ("ok", Sjson.Object [ ("status", Sjson.String "pong") ], [])
+      | "stats" -> ("ok", run_stats t, [])
+      | op -> ("error", canonical_error ("unknown op: " ^ op), [])
+    with
+    | r -> r
+    | exception e ->
+      (* A worker fault answers the request instead of wedging the
+         queue; the domain lives on. *)
+      Obs.incr (obs t) "serve.worker_faults";
+      ("error", canonical_error (Printexc.to_string e), [])
+  in
+  Obs.set_attr span "status" (Obs.S status);
+  Obs.incr (obs t) ("serve.status." ^ status);
+  let latency_ms = (Obs.Clock.now_s () -. job.j_received) *. 1000. in
+  Obs.observe (obs t) "serve.latency_ms" latency_ms;
+  Mutex.lock t.mu;
+  t.served <- t.served + 1;
+  Mutex.unlock t.mu;
+  respond t job.j_conn
+    (Sjson.Object
+       [ ("id", job.j_id);
+         ("status", Sjson.String status);
+         ("result", result);
+         ( "server",
+           Sjson.Object
+             (("worker", Sjson.Int w.w_index)
+             :: ("queue_ms", Sjson.Float queue_ms)
+             :: ("latency_ms", Sjson.Float latency_ms)
+             :: extra) ) ])
+
+let worker_loop t i =
+  let w = { w_index = i; w_session = No_session } in
+  let rec go () =
+    match take_job t i with
+    | None -> ()
+    | Some job ->
+      handle_job t w job;
+      go ()
+  in
+  go ()
+
+(* ---- connection I/O ------------------------------------------------ *)
+
+let overloaded_response id =
+  Sjson.Object
+    [ ("id", id);
+      ("status", Sjson.String "overloaded");
+      ( "result",
+        Sjson.Object
+          [ ("status", Sjson.String "overloaded");
+            ("message", Sjson.String "queue full, retry later") ] ) ]
+
+let frame_error_response msg =
+  Sjson.Object
+    [ ("id", Sjson.Null);
+      ("status", Sjson.String "error");
+      ("result", canonical_error msg) ]
+
+(* Immediate (reader-thread) ops that must work even when the solve
+   queue is saturated: admin and lifecycle. *)
+let dispatch_inline t conn id op =
+  match op with
+  | "reload" ->
+    let result =
+      match t.config.reuse_source with
+      | None -> canonical_error "reload: no reuse source configured"
+      | Some f ->
+        let changed = set_reuse t (f ()) in
+        Sjson.Object
+          [ ("status", Sjson.String "ok");
+            ("changed", Sjson.Bool changed);
+            ("generation", Sjson.Int (generation t));
+            ("digest", Sjson.String (pool_digest_of t)) ]
+    in
+    respond t conn
+      (Sjson.Object
+         [ ("id", id); ("status", Sjson.String "ok"); ("result", result) ]);
+    `Continue
+  | "shutdown" ->
+    respond t conn
+      (Sjson.Object
+         [ ("id", id);
+           ("status", Sjson.String "ok");
+           ("result", Sjson.Object [ ("status", Sjson.String "stopping") ]) ]);
+    `Shutdown
+  | _ -> `Not_inline
+
+let request_stop t =
+  Mutex.lock t.mu;
+  let was_running = t.running in
+  if was_running then begin
+    t.running <- false;
+    Condition.broadcast t.nonempty
+  end;
+  Mutex.unlock t.mu;
+  if was_running then begin
+    (* Wake the acceptor with a throwaway connection. *)
+    try
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX t.sock_path)
+       with Unix.Unix_error _ -> ());
+      Unix.close fd
+    with Unix.Unix_error _ -> ()
+  end
+
+let dispatch t conn payload =
+  let id =
+    match Sjson.member_opt "id" payload with Some v -> v | None -> Sjson.Null
+  in
+  let op = match field_string "op" payload with Some o -> o | None -> "solve" in
+  match dispatch_inline t conn id op with
+  | `Shutdown -> request_stop t
+  | `Continue -> ()
+  | `Not_inline ->
+    let now = Obs.Clock.now_s () in
+    let deadline_ms =
+      match field_number "deadline_ms" payload with
+      | Some ms -> Some ms
+      | None -> t.config.default_deadline_ms
+    in
+    let job =
+      { j_conn = conn;
+        j_id = id;
+        j_payload = payload;
+        j_received = now;
+        j_deadline = Option.map (fun ms -> now +. (ms /. 1000.)) deadline_ms }
+    in
+    conn_job_begin conn;
+    (match submit t job with
+    | Admitted -> ()
+    | Overloaded ->
+      Obs.incr (obs t) "serve.status.overloaded";
+      respond t conn (overloaded_response id);
+      conn_job_end conn)
+
+let reader t conn =
+  let dec = Sjson.Frame.create () in
+  let buf = Bytes.create 65536 in
+  let stop = ref false in
+  let rec drain () =
+    match Sjson.Frame.next dec with
+    | Some payload ->
+      dispatch t conn payload;
+      drain ()
+    | None -> ()
+    | exception Sjson.Frame.Error e ->
+      Obs.incr (obs t) "serve.bad_frames";
+      respond t conn (frame_error_response (Sjson.Frame.error_to_string e));
+      (match e with
+      | Sjson.Frame.Bad_payload _ ->
+        (* The bad payload was consumed whole; framing is still
+           aligned, keep serving this connection. *)
+        drain ()
+      | Sjson.Frame.Oversized _ | Sjson.Frame.Truncated ->
+        (* Can't resync without buffering the oversized body: answer
+           and drop the connection. *)
+        stop := true)
+  in
+  while not !stop do
+    match Unix.read conn.c_fd buf 0 (Bytes.length buf) with
+    | 0 ->
+      stop := true;
+      (* A partial trailing frame is a peer that died mid-send. *)
+      (try Sjson.Frame.finish dec
+       with Sjson.Frame.Error _ -> Obs.incr (obs t) "serve.truncated_frames")
+    | n ->
+      Sjson.Frame.feed dec (Bytes.sub_string buf 0 n) 0 n;
+      drain ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+      stop := true
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  conn_reader_done conn
+
+let accept_loop t =
+  let running () =
+    Mutex.lock t.mu;
+    let r = t.running in
+    Mutex.unlock t.mu;
+    r
+  in
+  let rec go () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+      if running () then begin
+        let conn = conn_create fd in
+        ignore (Thread.create (fun () -> reader t conn) ());
+        go ()
+      end
+      else Unix.close fd
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ();
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* ---- lifecycle ----------------------------------------------------- *)
+
+let start ~repo ?(config = default_config) ~socket () =
+  (* Workers write to peers that may vanish: surface EPIPE as the
+     (handled) Unix_error, not a process kill. *)
+  if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (try Unix.unlink socket with Unix.Unix_error _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.bind listen_fd (Unix.ADDR_UNIX socket) with
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    Error (Printf.sprintf "bind %s: %s" socket (Unix.error_message e))
+  | () ->
+    Unix.listen listen_fd 64;
+    let workers = max 1 config.workers in
+    let roots =
+      (match config.session_roots with
+      | [] ->
+        List.filter_map
+          (fun (p : Pkg.Package.t) ->
+            if Pkg.Repo.is_virtual repo p.Pkg.Package.name then None
+            else Some p.Pkg.Package.name)
+          (Pkg.Repo.packages repo)
+      | rs -> rs)
+      |> List.sort_uniq String.compare
+    in
+    let roots_set = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace roots_set r ()) roots;
+    let reuse = config.options.Concretizer.reuse in
+    let t =
+      { repo;
+        config;
+        sock_path = socket;
+        listen_fd;
+        roots;
+        roots_set;
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        queues = Array.init workers (fun _ -> Queue.create ());
+        submit_rr = 0;
+        pending = 0;
+        running = true;
+        served = 0;
+        rejected = 0;
+        pool_mu = Mutex.create ();
+        reuse;
+        pool = Encode.pool_of_specs reuse;
+        digest = pool_digest reuse;
+        generation = 0;
+        closures = Hashtbl.create 64;
+        accept_thread = None;
+        domains = [] }
+    in
+    t.domains <-
+      List.init workers (fun i -> Domain.spawn (fun () -> worker_loop t i));
+    t.accept_thread <- Some (Thread.create (fun () -> accept_loop t) ());
+    Ok t
+
+let socket_path t = t.sock_path
+
+(* Block until the server has stopped (a client sent "shutdown", or
+   [stop] was called from another thread) and every admitted request
+   was answered. *)
+let wait t =
+  (match t.accept_thread with Some th -> Thread.join th | None -> ());
+  List.iter Domain.join t.domains;
+  t.domains <- [];
+  t.accept_thread <- None;
+  try Unix.unlink t.sock_path with Unix.Unix_error _ -> ()
+
+let stop t =
+  request_stop t;
+  wait t
+
+(* ---- client -------------------------------------------------------- *)
+
+module Client = struct
+  type t = {
+    fd : Unix.file_descr;
+    dec : Sjson.Frame.decoder;
+    buf : Bytes.t;
+    mutable next_id : int;
+  }
+
+  let connect path =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () ->
+      Ok
+        { fd;
+          dec = Sjson.Frame.create ();
+          buf = Bytes.create 65536;
+          next_id = 0 }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+
+  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+  let send c v =
+    let s = Sjson.Frame.encode v in
+    match write_all c.fd s 0 (String.length s) with
+    | () -> Ok ()
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+  let recv c =
+    let rec go () =
+      match Sjson.Frame.next c.dec with
+      | Some v -> Ok v
+      | None -> (
+        match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+        | 0 -> Error "server closed the connection"
+        | n ->
+          Sjson.Frame.feed c.dec (Bytes.sub_string c.buf 0 n) 0 n;
+          go ()
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+      | exception Sjson.Frame.Error e -> Error (Sjson.Frame.error_to_string e)
+    in
+    go ()
+
+  (* One request, one matching response. Responses to other (pipelined)
+     ids are discarded — callers doing their own pipelining should use
+     [send]/[recv] directly. *)
+  let rpc c fields =
+    let id = c.next_id in
+    c.next_id <- id + 1;
+    match send c (Sjson.Object (("id", Sjson.Int id) :: fields)) with
+    | Error _ as e -> e
+    | Ok () ->
+      let rec await () =
+        match recv c with
+        | Error _ as e -> e
+        | Ok resp -> (
+          match Sjson.member_opt "id" resp with
+          | Some (Sjson.Int i) when i = id -> Ok resp
+          | _ -> await ())
+      in
+      await ()
+
+  let mode_field = function Session -> "session" | Fresh -> "fresh"
+
+  let solve ?mode ?deadline_ms ?conflicts ?(boom = false) c spec =
+    let fields =
+      [ ("op", Sjson.String "solve"); ("spec", Sjson.String spec) ]
+      @ (match mode with
+        | Some m -> [ ("mode", Sjson.String (mode_field m)) ]
+        | None -> [])
+      @ (match deadline_ms with
+        | Some ms -> [ ("deadline_ms", Sjson.Float ms) ]
+        | None -> [])
+      @ (match conflicts with
+        | Some n -> [ ("conflicts", Sjson.Int n) ]
+        | None -> [])
+      @ if boom then [ ("boom", Sjson.Bool true) ] else []
+    in
+    rpc c fields
+
+  let ping c = rpc c [ ("op", Sjson.String "ping") ]
+
+  let stats c = rpc c [ ("op", Sjson.String "stats") ]
+
+  let reload c = rpc c [ ("op", Sjson.String "reload") ]
+
+  let shutdown c = rpc c [ ("op", Sjson.String "shutdown") ]
+end

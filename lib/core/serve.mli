@@ -1,0 +1,144 @@
+(** [spackml serve]: a resident multi-tenant concretization server.
+
+    Keeps the expensive request-independent state — ground program,
+    interned terms, warm {!Concretizer.Session}s, dependency closures —
+    alive across requests, turning the per-request cost from
+    encode+ground+warm-up into a solve under assumptions:
+
+    - a pool of OCaml 5 domain workers, each owning a warm session over
+      the configured root universe;
+    - per-worker request queues with stealing, bounded admission
+      ([max_queue]) answering a typed [overloaded] status instead of
+      queueing without bound;
+    - per-request deadlines and conflict caps enforced {e inside} the
+      SAT core via {!Asp.Solver_intf.budget}: a preempted request
+      answers [timeout] and the worker's session stays reusable;
+    - dependency closures cached by (roots, buildcache digest);
+      {!set_reuse} bumps a generation when the digest changes, dropping
+      cached closures eagerly and warm sessions lazily;
+    - length-prefixed JSON frames ({!Sjson.Frame}) over a Unix socket.
+
+    {2 Wire protocol}
+
+    Requests are JSON objects: [{"id": any, "op": "solve" | "ping" |
+    "stats" | "reload" | "shutdown", ...}]. A [solve] carries ["spec"]
+    (spec syntax), optional ["mode"] ("session"/"fresh"),
+    ["deadline_ms"], ["conflicts"], and (with fault injection) ["boom"].
+    Responses echo ["id"] and carry ["status"] ("ok" | "unsat" |
+    "timeout" | "error" | "overloaded"), a canonical ["result"] object
+    (byte-comparable against {!canonical_of_result} of a one-shot
+    {!Concretizer} run), and a ["server"] object with timing and
+    routing detail. Responses to pipelined requests may arrive out of
+    request order. *)
+
+(** Solve mode: [Session] serves from the worker's warm session (cost
+    parity with fresh solves; model ties may break differently),
+    [Fresh] solves from scratch (byte-deterministic). Requests whose
+    root lies outside the session universe fall back to [Fresh]. *)
+type mode = Session | Fresh
+
+type config = {
+  workers : int;  (** solver domains (default 4) *)
+  max_queue : int;
+      (** admission bound on enqueued-not-yet-running jobs (default
+          256); beyond it requests answer [overloaded] immediately *)
+  default_deadline_ms : float option;
+      (** deadline applied to requests that don't carry one *)
+  default_conflicts : int option;  (** likewise for the conflict cap *)
+  default_mode : mode;
+  session_roots : string list;
+      (** root universe of the warm sessions; [[]] = every non-virtual
+          package of the repo *)
+  session_recycle : int option;
+      (** rebuild a worker's warm session after this many solves
+          (default [Some 32]). Each optimization descent leaves
+          deactivated constraints in the solver, so a long-lived
+          session degrades; recycling bounds per-request latency at
+          the cost of an amortized session rebuild. [None] = never. *)
+  fault_injection : bool;
+      (** honor the ["boom"] request flag (tests only): the worker
+          raises mid-request and must answer a typed error *)
+  reuse_source : (unit -> Spec.Concrete.t list) option;
+      (** backing of the wire ["reload"] op: re-read the buildcache
+          and {!set_reuse} it *)
+  options : Concretizer.options;
+      (** solver options shared by all requests; [options.obs] is the
+          server's tracing context ([serve.request] spans,
+          [serve.latency_ms]/[serve.queue_ms] histograms,
+          [serve.status.*] counters) *)
+}
+
+val default_config : config
+
+val pool_digest : Spec.Concrete.t list -> string
+(** Content digest of a reusable pool: {!Chash.hash_string} over the
+    sorted DAG hashes. The validity key of closures and sessions. *)
+
+type t
+
+val start :
+  repo:Pkg.Repo.t -> ?config:config -> socket:string -> unit ->
+  (t, string) result
+(** Bind the Unix socket, spawn the worker domains and the acceptor,
+    and return immediately. *)
+
+val wait : t -> unit
+(** Block until the server stops — a client sent ["shutdown"], or
+    {!stop} ran on another thread — and every admitted request has
+    been answered (shutdown drains the queue). *)
+
+val stop : t -> unit
+(** Request shutdown and {!wait}. *)
+
+val socket_path : t -> string
+
+val set_reuse : t -> Spec.Concrete.t list -> bool
+(** Replace the reusable pool. If the {!pool_digest} changed: bump the
+    generation, drop every cached closure, and invalidate the warm
+    sessions (each worker rebuilds lazily before its next session
+    solve). Returns whether anything changed. Safe to call while
+    requests are in flight — in-flight solves finish against the pool
+    snapshot they started with. *)
+
+val generation : t -> int
+
+val pool_digest_of : t -> string
+
+val canonical_of_result :
+  (Concretizer.outcome, Concretizer.failure) result -> Sjson.t
+(** The canonical solve answer (status, root DAG hash, rendered spec,
+    cost vector — nothing timing-dependent). A response's ["result"]
+    field for a solve is byte-identical to [canonical_of_result] of
+    the equivalent direct {!Concretizer} call; tests and the bench
+    compare [Sjson.to_string] of the two. *)
+
+(** In-process driver for the wire protocol (the [spackml client]
+    subcommand and the test/bench load generators). Synchronous: one
+    outstanding request per connection unless [send]/[recv] are used
+    directly. *)
+module Client : sig
+  type t
+
+  val connect : string -> (t, string) result
+
+  val close : t -> unit
+
+  val send : t -> Sjson.t -> (unit, string) result
+  (** Frame and write one request object (pipelining allowed). *)
+
+  val recv : t -> (Sjson.t, string) result
+  (** Read the next response frame. *)
+
+  val solve :
+    ?mode:mode -> ?deadline_ms:float -> ?conflicts:int -> ?boom:bool ->
+    t -> string -> (Sjson.t, string) result
+  (** Solve one spec and await its response. *)
+
+  val ping : t -> (Sjson.t, string) result
+
+  val stats : t -> (Sjson.t, string) result
+
+  val reload : t -> (Sjson.t, string) result
+
+  val shutdown : t -> (Sjson.t, string) result
+end

@@ -231,6 +231,93 @@ let of_string s =
   if st.pos <> String.length s then fail "trailing garbage at offset %d" st.pos;
   v
 
+(* ---- wire framing ------------------------------------------------- *)
+
+module Frame = struct
+  type error =
+    | Oversized of int
+    | Truncated
+    | Bad_payload of string
+
+  exception Error of error
+
+  let error_to_string = function
+    | Oversized n -> Printf.sprintf "frame length %d exceeds limit" n
+    | Truncated -> "truncated frame at end of stream"
+    | Bad_payload msg -> "bad frame payload: " ^ msg
+
+  (* Generous enough for any spec DAG the concretizer emits; small
+     enough that a corrupt header can't make a reader allocate the
+     moon. *)
+  let default_max_frame = 1 lsl 26
+
+  let encode v =
+    let payload = to_string v in
+    let n = String.length payload in
+    let b = Bytes.create (4 + n) in
+    Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+    Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+    Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+    Bytes.set b 3 (Char.chr (n land 0xff));
+    Bytes.blit_string payload 0 b 4 n;
+    Bytes.unsafe_to_string b
+
+  (* The decoder accumulates fed chunks in a growable byte buffer and
+     peels complete frames off the front; partial frames simply wait
+     for more input, so callers can feed reads of any size (including
+     1-byte) without livelock. *)
+  type decoder = {
+    mutable pending : Bytes.t;  (* valid prefix: [0, len) *)
+    mutable len : int;
+    max_frame : int;
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { pending = Bytes.create 256; len = 0; max_frame }
+
+  let feed d s off n =
+    if off < 0 || n < 0 || off + n > String.length s then
+      invalid_arg "Sjson.Frame.feed";
+    let cap = Bytes.length d.pending in
+    if d.len + n > cap then begin
+      let cap' = max (d.len + n) (2 * cap) in
+      let b = Bytes.create cap' in
+      Bytes.blit d.pending 0 b 0 d.len;
+      d.pending <- b
+    end;
+    Bytes.blit_string s off d.pending d.len n;
+    d.len <- d.len + n
+
+  let feed_string d s = feed d s 0 (String.length s)
+
+  let header d =
+    let b i = Char.code (Bytes.get d.pending i) in
+    (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3
+
+  let next d =
+    if d.len < 4 then None
+    else begin
+      let n = header d in
+      (* Checked before waiting for the body: an absurd declared length
+         is rejected immediately, not after max_frame bytes arrive. *)
+      if n > d.max_frame then raise (Error (Oversized n));
+      if d.len < 4 + n then None
+      else begin
+        let payload = Bytes.sub_string d.pending 4 n in
+        let rest = d.len - 4 - n in
+        Bytes.blit d.pending (4 + n) d.pending 0 rest;
+        d.len <- rest;
+        match of_string payload with
+        | v -> Some v
+        | exception Parse_error msg -> raise (Error (Bad_payload msg))
+      end
+    end
+
+  let pending_bytes d = d.len
+
+  let finish d = if d.len > 0 then raise (Error Truncated)
+end
+
 (* ---- accessors ---------------------------------------------------- *)
 
 let member key = function

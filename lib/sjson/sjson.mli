@@ -22,6 +22,59 @@ val of_string : string -> t
 
 val to_string : ?pretty:bool -> t -> string
 
+(** Length-prefixed wire framing for JSON over a byte stream (the
+    [spackml serve] protocol): each frame is a 4-byte big-endian
+    payload length followed by the compact JSON text. The decoder is
+    incremental — feed it chunks of any size, in any split, and pull
+    complete frames as they materialize; a partial frame just waits
+    for more input, so slow or 1-byte-at-a-time reads cannot
+    livelock. *)
+module Frame : sig
+  type error =
+    | Oversized of int
+        (** Declared payload length exceeds the decoder's limit.
+            Raised as soon as the 4-byte header is readable, before
+            any body bytes arrive. *)
+    | Truncated
+        (** {!finish} found buffered bytes that never completed a
+            frame (peer died mid-frame). *)
+    | Bad_payload of string
+        (** The frame body is not valid JSON; carries the parse
+            error. *)
+
+  exception Error of error
+
+  val error_to_string : error -> string
+
+  val default_max_frame : int
+  (** 64 MiB. *)
+
+  val encode : t -> string
+  (** Header + compact JSON payload, ready to write. *)
+
+  type decoder
+
+  val create : ?max_frame:int -> unit -> decoder
+
+  val feed : decoder -> string -> int -> int -> unit
+  (** [feed d s off len] appends [len] bytes of [s] at [off]. *)
+
+  val feed_string : decoder -> string -> unit
+
+  val next : decoder -> t option
+  (** Pop the next complete frame, or [None] if more input is needed.
+      @raise Error on an oversized header or unparseable payload; the
+      decoder should be discarded afterwards. *)
+
+  val pending_bytes : decoder -> int
+  (** Bytes buffered toward an incomplete frame (0 at a frame
+      boundary). *)
+
+  val finish : decoder -> unit
+  (** Declare end-of-stream. @raise Error [Truncated] if a partial
+      frame is pending. *)
+end
+
 (* Accessors: raise [Parse_error] with a path-ish message on shape
    mismatches, so decoding errors are debuggable. *)
 

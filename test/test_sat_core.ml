@@ -233,6 +233,80 @@ let test_php_under_reduction () =
     | Ok () -> ()
     | Error e -> Alcotest.fail ("deletion-bearing proof rejected: " ^ e))
 
+(* ---- 6. budget preemption ---- *)
+
+(* PHP(7,6) needs thousands of conflicts, so a small conflict cap must
+   preempt the search mid-flight. Preemption unwinds the trail to
+   level 0 and leaves the solver reusable: clearing the budget and
+   re-solving the same instance runs to the real UNSAT answer.
+   Generic over [Solver_intf.S] so the baseline core honors the same
+   contract as the arena core. *)
+let add_php (type a) (module M : Asp.Solver_intf.S with type t = a) (s : a) =
+  let pigeons = 7 and holes = 6 in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> M.new_var s))
+  in
+  for i = 0 to pigeons - 1 do
+    M.add_clause s (Array.to_list (Array.map M.pos v.(i)))
+  done;
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        M.add_clause s [ M.neg v.(i).(j); M.neg v.(k).(j) ]
+      done
+    done
+  done
+
+let conflicts_of stats =
+  match List.assoc_opt "conflicts" stats with Some n -> n | None -> 0
+
+let check_budget_preempt (type a) (module M : Asp.Solver_intf.S with type t = a)
+    () =
+  (* conflict cap: preempted at (not after) the cap *)
+  let s = M.create () in
+  add_php (module M) s;
+  M.set_budget s
+    (Some { Asp.Solver_intf.b_conflicts = Some 100; b_stop = None });
+  (match M.solve s with
+  | _ -> Alcotest.fail "a 100-conflict budget did not preempt PHP(7,6)"
+  | exception Asp.Solver_intf.Timeout -> ());
+  Alcotest.(check bool) "preempted promptly (within the conflict cap)" true
+    (conflicts_of (M.stats s) <= 100);
+  (* reusable after preemption: clear the budget, run to completion *)
+  M.set_budget s None;
+  Alcotest.(check bool) "solver reusable after preemption: PHP still UNSAT"
+    false (M.solve s);
+  (* external stop probe (the server's deadline mechanism): polled
+     every [stop_poll_interval] conflicts, so an immediately-true
+     probe preempts within one interval *)
+  let s2 = M.create () in
+  add_php (module M) s2;
+  let polls = ref 0 in
+  M.set_budget s2
+    (Some
+       { Asp.Solver_intf.b_conflicts = None;
+         b_stop =
+           Some
+             (fun () ->
+               incr polls;
+               true) });
+  (match M.solve s2 with
+  | _ -> Alcotest.fail "an always-true stop probe did not preempt"
+  | exception Asp.Solver_intf.Timeout -> ());
+  Alcotest.(check bool) "stop probe was consulted" true (!polls >= 1);
+  Alcotest.(check bool) "stop preemption within one poll interval" true
+    (conflicts_of (M.stats s2) <= Asp.Solver_intf.stop_poll_interval);
+  M.set_budget s2 None;
+  Alcotest.(check bool) "reusable after stop preemption" false (M.solve s2)
+
+let test_budget_mode mode () =
+  let old = !S.default_restart_mode in
+  S.default_restart_mode := mode;
+  Fun.protect ~finally:(fun () -> S.default_restart_mode := old) @@ fun () ->
+  check_budget_preempt (module S) ()
+
+let test_budget_baseline () = check_budget_preempt (module B) ()
+
 let () =
   Alcotest.run "sat_core"
     [ ( "differential",
@@ -248,4 +322,11 @@ let () =
                "UNSAT certifies under Luby restarts with reductions") ] );
       ( "reduction",
         [ Alcotest.test_case "PHP under 1-clause reduce interval" `Quick
-            test_php_under_reduction ] ) ]
+            test_php_under_reduction ] );
+      ( "budget",
+        [ Alcotest.test_case "PHP preempted under Glucose restarts" `Quick
+            (test_budget_mode S.Glucose);
+          Alcotest.test_case "PHP preempted under Luby restarts" `Quick
+            (test_budget_mode S.Luby);
+          Alcotest.test_case "PHP preempted on the baseline core" `Quick
+            test_budget_baseline ] ) ]

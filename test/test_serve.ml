@@ -1,0 +1,618 @@
+(* spackml serve, end to end over real Unix sockets: replay
+   equivalence and fault injection.
+
+   - fresh-mode replay: a trace of mixed requests hammered over
+     concurrent client domains gets canonical result objects
+     byte-identical to one-shot [concretize_v] runs on the same fuzz
+     universe, under both restart modes;
+   - session-mode replay: warm-session responses agree with fresh
+     solves on status and optimal costs, and the server-side Verify
+     pass is clean (zero violations recorded in the Obs registry);
+   - faults: malformed/oversized/truncated frames, client disconnect
+     mid-request, injected worker exceptions, buildcache digest change
+     mid-stream, queue overload, queue-expired deadlines, shutdown
+     with a full queue — the server answers everything it admits,
+     evicts stale state, and never wedges. *)
+
+module CC = Core.Concretizer
+module Serve = Core.Serve
+module Client = Core.Serve.Client
+
+let with_mode mode f =
+  let old = !Asp.Sat.default_restart_mode in
+  Asp.Sat.default_restart_mode := mode;
+  Fun.protect ~finally:(fun () -> Asp.Sat.default_restart_mode := old) f
+
+let mode_name = function Asp.Sat.Glucose -> "glucose" | Asp.Sat.Luby -> "luby"
+
+(* Short unique socket paths: sun_path caps out around 104 bytes. *)
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Printf.sprintf "/tmp/spackml-test-%d-%d.sock" (Unix.getpid ()) !sock_counter
+
+let with_server ~repo ~config f =
+  let socket = fresh_sock () in
+  match Serve.start ~repo ~config ~socket () with
+  | Error e -> Alcotest.fail ("server start: " ^ e)
+  | Ok t -> Fun.protect ~finally:(fun () -> Serve.stop t) (fun () -> f t)
+
+let with_client t f =
+  match Client.connect (Serve.socket_path t) with
+  | Error e -> Alcotest.fail ("connect: " ^ e)
+  | Ok c -> Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+let status_of resp = Sjson.get_string (Sjson.member "status" resp)
+
+let result_of resp = Sjson.member "result" resp
+
+let counter obs name =
+  match List.assoc_opt name (Obs.metrics obs) with
+  | Some (Obs.Counter n) -> n
+  | _ -> 0
+
+(* Counters bumped on reader/worker threads land shortly after the
+   wire response; poll instead of assuming an ordering. *)
+let await_counter obs name v =
+  let rec go tries =
+    if counter obs name >= v then ()
+    else if tries = 0 then
+      Alcotest.failf "counter %s stuck at %d, wanted >= %d" name
+        (counter obs name) v
+    else begin
+      Unix.sleepf 0.01;
+      go (tries - 1)
+    end
+  in
+  go 300
+
+(* ---- fuzz universes (same generators as test_perf_equiv) ---- *)
+
+let universe seed =
+  let u = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+  (u, Fuzz.Gen.to_repo u)
+
+let options ?(reuse = []) () = { CC.default_options with CC.reuse; prune = true }
+
+let pool_of ~repo (u : Fuzz.Gen.t) =
+  List.filter_map
+    (fun r ->
+      match
+        CC.concretize_v ~repo ~options:(options ())
+          [ Core.Encode.request_of_string r ]
+      with
+      | Ok o -> Some (List.hd o.CC.solution.Core.Decode.specs)
+      | Error _ -> None)
+    u.Fuzz.Gen.u_cache_roots
+
+(* The replayed trace: every request and cache root, three times. *)
+let trace (u : Fuzz.Gen.t) =
+  List.concat
+    (List.init 3 (fun _ -> u.Fuzz.Gen.u_requests @ u.Fuzz.Gen.u_cache_roots))
+
+(* What the server must answer for [r], computed without the server:
+   the canonical result of a one-shot solve, or the same parse error
+   the server's solve path reports. *)
+let one_shot ~repo ~opts r =
+  match Core.Encode.request_of_string r with
+  | exception Spec.Parser.Parse_error e ->
+    Sjson.Object
+      [ ("status", Sjson.String "error");
+        ("message", Sjson.String ("parse error: " ^ e)) ]
+  | req -> Serve.canonical_of_result (CC.concretize_v ~repo ~options:opts [ req ])
+
+let costs_of_result result =
+  match Sjson.member_opt "costs" result with
+  | Some (Sjson.Array l) ->
+    List.map
+      (function
+        | Sjson.Array [ Sjson.Int p; Sjson.Int c ] -> (p, c)
+        | _ -> Alcotest.fail "malformed cost pair")
+      l
+  | _ -> Alcotest.fail "ok result without costs"
+
+let pp_costs cs =
+  String.concat "," (List.map (fun (p, c) -> Printf.sprintf "%d@%d" c p) cs)
+
+(* Replay [requests] over [clients] concurrent client domains, one
+   connection per domain, collecting the response for each index. *)
+let replay t requests clients =
+  let n = Array.length requests in
+  let got = Array.make n Sjson.Null in
+  let doms =
+    List.init clients (fun c ->
+        Domain.spawn (fun () ->
+            with_client t @@ fun cl ->
+            let i = ref c in
+            while !i < n do
+              got.(!i) <- ok (Client.solve cl requests.(!i));
+              i := !i + clients
+            done))
+  in
+  List.iter Domain.join doms;
+  got
+
+(* ---- 1. fresh-mode replay: byte-identity with one-shot solves ---- *)
+
+let test_fresh_replay mode () =
+  with_mode mode @@ fun () ->
+  let u, repo = universe 42 in
+  let reuse = pool_of ~repo u in
+  let opts = options ~reuse () in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 4;
+      default_mode = Serve.Fresh;
+      options = opts }
+  in
+  let requests = Array.of_list (trace u) in
+  let expected =
+    Array.map (fun r -> Sjson.to_string (one_shot ~repo ~opts r)) requests
+  in
+  with_server ~repo ~config @@ fun t ->
+  let got = replay t requests 4 in
+  Array.iteri
+    (fun i exp ->
+      Alcotest.(check string)
+        (Printf.sprintf "request %d (%s) byte-identical to one-shot" i
+           requests.(i))
+        exp
+        (Sjson.to_string (result_of got.(i))))
+    expected
+
+(* ---- 2. session-mode replay: cost parity + Verify-clean ---- *)
+
+let test_session_replay mode () =
+  with_mode mode @@ fun () ->
+  let u, repo = universe 1234 in
+  let reuse = pool_of ~repo u in
+  let obs = Obs.create () in
+  (* Verify runs inside the server on every decoded solution; a single
+     violation anywhere in the replay trips the counter below. *)
+  let opts = { (options ~reuse ()) with CC.verify = true; obs } in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 2;
+      default_mode = Serve.Session;
+      options = opts }
+  in
+  let local_opts = options ~reuse () in
+  let requests = Array.of_list (trace u) in
+  with_server ~repo ~config @@ fun t ->
+  let got = replay t requests 2 in
+  Array.iteri
+    (fun i r ->
+      let resp = got.(i) in
+      match one_shot ~repo ~opts:local_opts r with
+      | Sjson.Object (("status", Sjson.String "ok") :: _) as fresh ->
+        Alcotest.(check string)
+          (Printf.sprintf "request %d (%s) solved" i r)
+          "ok" (status_of resp);
+        let sc = costs_of_result (result_of resp) in
+        let fc = costs_of_result fresh in
+        if sc <> fc then
+          Alcotest.failf "request %d (%s): session costs %s, fresh costs %s" i
+            r (pp_costs sc) (pp_costs fc)
+      | fresh ->
+        (* fresh failed: the server must report the same status *)
+        Alcotest.(check string)
+          (Printf.sprintf "request %d (%s) failure status" i r)
+          (Sjson.get_string (Sjson.member "status" fresh))
+          (status_of resp))
+    requests;
+  Alcotest.(check int) "server-side Verify clean across the whole replay" 0
+    (counter obs "concretize.verify_violations");
+  Alcotest.(check bool) "warm sessions actually served" true
+    (counter obs "serve.session_builds" >= 1)
+
+(* ---- 3. frame-level faults ---- *)
+
+let frame_header len =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.to_string b
+
+let raw_frame payload = frame_header (String.length payload) ^ payload
+
+let raw_connect t =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX (Serve.socket_path t));
+  fd
+
+let write_raw fd s =
+  let rec go off len =
+    if len > 0 then begin
+      let n = Unix.write_substring fd s off len in
+      go (off + n) (len - n)
+    end
+  in
+  go 0 (String.length s)
+
+let read_frame fd dec =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Sjson.Frame.next dec with
+    | Some v -> v
+    | None -> (
+      match Unix.read fd buf 0 (Bytes.length buf) with
+      | 0 -> Alcotest.fail "server closed the connection before responding"
+      | n ->
+        Sjson.Frame.feed dec (Bytes.sub_string buf 0 n) 0 n;
+        go ())
+  in
+  go ()
+
+let read_eof fd =
+  let buf = Bytes.create 16 in
+  let rec go tries =
+    if tries = 0 then Alcotest.fail "server kept the connection open"
+    else
+      match Unix.read fd buf 0 16 with
+      | 0 -> ()
+      | _ -> go (tries - 1)
+  in
+  go 100
+
+let test_bad_frames () =
+  let _, repo = universe 42 in
+  let obs = Obs.create () in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      options = { CC.default_options with CC.obs } }
+  in
+  with_server ~repo ~config @@ fun t ->
+  (* Unparseable payload: answered with a typed error, and the
+     connection keeps serving (the frame was consumed whole, so the
+     stream is still aligned). *)
+  let fd = raw_connect t in
+  let dec = Sjson.Frame.create () in
+  write_raw fd (raw_frame "{nope");
+  let resp = read_frame fd dec in
+  Alcotest.(check string) "bad payload answered as error" "error"
+    (status_of resp);
+  write_raw fd
+    (Sjson.Frame.encode
+       (Sjson.Object [ ("id", Sjson.Int 7); ("op", Sjson.String "ping") ]));
+  let resp = read_frame fd dec in
+  Alcotest.(check string) "same connection still serves after bad payload"
+    "ok" (status_of resp);
+  Alcotest.(check bool) "response id echoed" true
+    (Sjson.member_opt "id" resp = Some (Sjson.Int 7));
+  Unix.close fd;
+  await_counter obs "serve.bad_frames" 1;
+  (* Oversized header: answered, then the connection is dropped (the
+     body can't be skipped without buffering it). *)
+  let fd = raw_connect t in
+  let dec = Sjson.Frame.create () in
+  write_raw fd (frame_header (Sjson.Frame.default_max_frame + 1));
+  let resp = read_frame fd dec in
+  Alcotest.(check string) "oversized header answered as error" "error"
+    (status_of resp);
+  read_eof fd;
+  Unix.close fd;
+  await_counter obs "serve.bad_frames" 2;
+  (* Peer dying mid-frame: counted, nothing wedges. *)
+  let fd = raw_connect t in
+  write_raw fd (frame_header 100 ^ "only ten b");
+  Unix.close fd;
+  await_counter obs "serve.truncated_frames" 1;
+  (* The server is still healthy for ordinary clients. *)
+  with_client t @@ fun c ->
+  Alcotest.(check string) "server healthy after frame faults" "ok"
+    (status_of (ok (Client.ping c)))
+
+(* ---- 4. client disconnect mid-request ---- *)
+
+let test_disconnect_mid_request () =
+  let u, repo = universe 42 in
+  let opts = options () in
+  let config =
+    { Serve.default_config with Serve.workers = 1; options = opts }
+  in
+  let r =
+    match u.Fuzz.Gen.u_requests with
+    | r :: _ -> r
+    | [] -> Alcotest.fail "universe has no requests"
+  in
+  with_server ~repo ~config @@ fun t ->
+  (* Fire a request and hang up before the answer: the worker's write
+     fails (or lands in a dead socket) and must not take the server
+     down or wedge the queue. *)
+  for _ = 1 to 5 do
+    let c = ok (Client.connect (Serve.socket_path t)) in
+    ok
+      (Client.send c
+         (Sjson.Object
+            [ ("id", Sjson.Int 0);
+              ("op", Sjson.String "solve");
+              ("spec", Sjson.String r) ]));
+    Client.close c
+  done;
+  (* Every later request is still answered, with correct results. *)
+  with_client t @@ fun c ->
+  let expected = Sjson.to_string (one_shot ~repo ~opts r) in
+  for _ = 1 to 3 do
+    let resp = ok (Client.solve ~mode:Serve.Fresh c r) in
+    Alcotest.(check string) "served correctly after disconnects" expected
+      (Sjson.to_string (result_of resp))
+  done
+
+(* ---- 5. worker exception mid-solve ---- *)
+
+let test_worker_fault () =
+  let u, repo = universe 42 in
+  let obs = Obs.create () in
+  let opts = { (options ()) with CC.obs } in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      fault_injection = true;
+      options = opts }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  let resp = ok (Client.solve ~boom:true c r) in
+  Alcotest.(check string) "injected fault answered as error" "error"
+    (status_of resp);
+  let msg = Sjson.get_string (Sjson.member "message" (result_of resp)) in
+  Alcotest.(check bool) "fault message surfaced" true
+    (String.length msg > 0
+    &&
+    let has_sub s sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    has_sub msg "injected worker fault");
+  Alcotest.(check int) "fault counted" 1 (counter obs "serve.worker_faults");
+  (* The domain survived: the very same worker keeps solving. *)
+  let expected = Sjson.to_string (one_shot ~repo ~opts:(options ()) r) in
+  let resp = ok (Client.solve ~mode:Serve.Fresh c r) in
+  Alcotest.(check string) "worker alive after fault" expected
+    (Sjson.to_string (result_of resp))
+
+(* ---- 6. buildcache digest change mid-stream ---- *)
+
+let known_request ~repo (u : Fuzz.Gen.t) =
+  match
+    List.find_opt
+      (fun r ->
+        match Core.Encode.request_of_string r with
+        | exception _ -> false
+        | req ->
+          let n = req.Core.Encode.req.Spec.Abstract.root.Spec.Abstract.name in
+          Pkg.Repo.mem repo n && not (Pkg.Repo.is_virtual repo n))
+      u.Fuzz.Gen.u_requests
+  with
+  | Some r -> r
+  | None -> Alcotest.fail "universe has no request with a known root"
+
+let test_reuse_eviction () =
+  let u, repo = universe 42 in
+  let pool = pool_of ~repo u in
+  Alcotest.(check bool) "universe provides a reuse pool" true (pool <> []);
+  let obs = Obs.create () in
+  let opts = { (options ~reuse:[] ()) with CC.obs } in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      default_mode = Serve.Session;
+      options = opts }
+  in
+  let r = known_request ~repo u in
+  let server_gen resp =
+    Sjson.get_int (Sjson.member "generation" (Sjson.member "server" resp))
+  in
+  let check_against reuse resp label =
+    match one_shot ~repo ~opts:(options ~reuse ()) r with
+    | Sjson.Object (("status", Sjson.String "ok") :: _) as fresh ->
+      Alcotest.(check string) (label ^ ": status") "ok" (status_of resp);
+      Alcotest.(check string) (label ^ ": optimal costs")
+        (pp_costs (costs_of_result fresh))
+        (pp_costs (costs_of_result (result_of resp)))
+    | fresh ->
+      Alcotest.(check string) (label ^ ": failure status")
+        (Sjson.get_string (Sjson.member "status" fresh))
+        (status_of resp)
+  in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  (* generation 0: solve against the empty pool *)
+  let resp = ok (Client.solve c r) in
+  Alcotest.(check int) "first solve at generation 0" 0 (server_gen resp);
+  check_against [] resp "generation 0";
+  (* swap the buildcache under the running server *)
+  Alcotest.(check bool) "digest change detected" true (Serve.set_reuse t pool);
+  Alcotest.(check int) "generation bumped" 1 (Serve.generation t);
+  Alcotest.(check int) "eviction counted" 1 (counter obs "serve.evictions");
+  (* the next request sees the new pool through a rebuilt session *)
+  let resp = ok (Client.solve c r) in
+  Alcotest.(check int) "served at generation 1" 1 (server_gen resp);
+  check_against pool resp "generation 1";
+  Alcotest.(check bool) "session rebuilt after eviction" true
+    (counter obs "serve.session_builds" >= 2);
+  (* same digest again: a no-op, nothing evicted *)
+  Alcotest.(check bool) "same digest is a no-op" false (Serve.set_reuse t pool);
+  Alcotest.(check int) "generation unchanged" 1 (Serve.generation t)
+
+(* ---- 7. reload op ---- *)
+
+let test_reload () =
+  let u, repo = universe 42 in
+  let pool = pool_of ~repo u in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      reuse_source = Some (fun () -> pool) }
+  in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  let resp = ok (Client.reload c) in
+  let result = result_of resp in
+  Alcotest.(check bool) "first reload changes the pool" true
+    (Sjson.get_bool (Sjson.member "changed" result));
+  Alcotest.(check int) "reload bumped the generation" 1
+    (Sjson.get_int (Sjson.member "generation" result));
+  let resp = ok (Client.reload c) in
+  Alcotest.(check bool) "second reload is a no-op" false
+    (Sjson.get_bool (Sjson.member "changed" (result_of resp)))
+
+(* ---- 8. overload admission ---- *)
+
+let test_overload () =
+  let u, repo = universe 42 in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      max_queue = 2;
+      default_mode = Serve.Fresh;
+      options = options () }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  let n = 200 in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  (* Pipeline far more requests than the queue admits, then drain:
+     every id must come back exactly once, rejections as a typed
+     "overloaded" status rather than unbounded queueing. *)
+  for i = 0 to n - 1 do
+    ok
+      (Client.send c
+         (Sjson.Object
+            [ ("id", Sjson.Int i);
+              ("op", Sjson.String "solve");
+              ("spec", Sjson.String r) ]))
+  done;
+  let seen = Hashtbl.create n in
+  let overloaded = ref 0 in
+  for _ = 1 to n do
+    let resp = ok (Client.recv c) in
+    (match Sjson.member_opt "id" resp with
+    | Some (Sjson.Int i) ->
+      if Hashtbl.mem seen i then Alcotest.failf "id %d answered twice" i;
+      Hashtbl.replace seen i ()
+    | _ -> Alcotest.fail "response without an integer id");
+    match status_of resp with
+    | "overloaded" -> incr overloaded
+    | "ok" | "unsat" | "error" | "timeout" -> ()
+    | s -> Alcotest.failf "unexpected status %s" s
+  done;
+  Alcotest.(check int) "every pipelined request answered exactly once" n
+    (Hashtbl.length seen);
+  Alcotest.(check bool) "admission control rejected part of the burst" true
+    (!overloaded > 0);
+  Alcotest.(check bool) "but served the rest" true (!overloaded < n);
+  Alcotest.(check string) "server healthy after the burst" "ok"
+    (status_of (ok (Client.ping c)))
+
+(* ---- 9. deadlines ---- *)
+
+let test_deadline () =
+  let u, repo = universe 42 in
+  let config =
+    { Serve.default_config with Serve.workers = 1; options = options () }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  (* An already-expired deadline: answered as a typed timeout without
+     touching a solver. *)
+  let resp = ok (Client.solve ~deadline_ms:0.0 c r) in
+  Alcotest.(check string) "expired deadline answers timeout" "timeout"
+    (status_of resp);
+  Alcotest.(check string) "canonical timeout result"
+    {|{"status":"timeout"}|}
+    (Sjson.to_string (result_of resp));
+  (* The session/worker is untouched: the same request without a
+     deadline solves normally. *)
+  let expected = Sjson.to_string (one_shot ~repo ~opts:(options ()) r) in
+  let resp = ok (Client.solve ~mode:Serve.Fresh c r) in
+  Alcotest.(check string) "worker reusable after timeout" expected
+    (Sjson.to_string (result_of resp))
+
+(* ---- 10. shutdown drains the queue ---- *)
+
+let test_shutdown_drains () =
+  let u, repo = universe 42 in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 2;
+      default_mode = Serve.Fresh;
+      options = options () }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  let n = 20 in
+  let socket = fresh_sock () in
+  match Serve.start ~repo ~config ~socket () with
+  | Error e -> Alcotest.fail ("server start: " ^ e)
+  | Ok t ->
+    let c = ok (Client.connect socket) in
+    (* Pipeline a bundle of solves and then shutdown on the same
+       connection: everything admitted before the shutdown frame must
+       still be answered. *)
+    for i = 0 to n - 1 do
+      ok
+        (Client.send c
+           (Sjson.Object
+              [ ("id", Sjson.Int i);
+                ("op", Sjson.String "solve");
+                ("spec", Sjson.String r) ]))
+    done;
+    ok
+      (Client.send c
+         (Sjson.Object
+            [ ("id", Sjson.Int n); ("op", Sjson.String "shutdown") ]));
+    let seen = Hashtbl.create n in
+    let stopping = ref false in
+    for _ = 0 to n do
+      let resp = ok (Client.recv c) in
+      match Sjson.member_opt "id" resp with
+      | Some (Sjson.Int i) when i = n ->
+        stopping :=
+          Sjson.member_opt "status" (result_of resp)
+          = Some (Sjson.String "stopping")
+      | Some (Sjson.Int i) -> Hashtbl.replace seen i ()
+      | _ -> Alcotest.fail "response without an integer id"
+    done;
+    Client.close c;
+    Alcotest.(check bool) "shutdown acknowledged" true !stopping;
+    Alcotest.(check int) "every admitted solve answered before exit" n
+      (Hashtbl.length seen);
+    (* returns only once the workers drained and exited *)
+    Serve.wait t
+
+let () =
+  Alcotest.run "serve"
+    (List.map
+       (fun mode ->
+         ( "replay-" ^ mode_name mode,
+           [ Alcotest.test_case
+               ("fresh-mode byte replay (" ^ mode_name mode ^ ")")
+               `Quick (test_fresh_replay mode);
+             Alcotest.test_case
+               ("session-mode cost replay (" ^ mode_name mode ^ ")")
+               `Quick (test_session_replay mode) ] ))
+       [ Asp.Sat.Glucose; Asp.Sat.Luby ]
+    @ [ ( "faults",
+          [ Alcotest.test_case "frame faults" `Quick test_bad_frames;
+            Alcotest.test_case "disconnect mid-request" `Quick
+              test_disconnect_mid_request;
+            Alcotest.test_case "worker exception mid-solve" `Quick
+              test_worker_fault;
+            Alcotest.test_case "buildcache change mid-stream" `Quick
+              test_reuse_eviction;
+            Alcotest.test_case "reload op" `Quick test_reload;
+            Alcotest.test_case "overload admission" `Quick test_overload;
+            Alcotest.test_case "queue-expired deadline" `Quick test_deadline;
+            Alcotest.test_case "shutdown drains the queue" `Quick
+              test_shutdown_drains ] ) ])

@@ -104,6 +104,105 @@ let prop_pretty_roundtrip =
   QCheck.Test.make ~name:"pretty print/parse round-trip" ~count:300 arb_json (fun j ->
       Sjson.of_string (Sjson.to_string ~pretty:true j) = j)
 
+(* ---- length-prefixed wire framing ---- *)
+
+let frame_header len =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (len land 0xff));
+  Bytes.to_string b
+
+let raw_frame payload = frame_header (String.length payload) ^ payload
+
+let test_frame_basics () =
+  let d = Sjson.Frame.create () in
+  Alcotest.(check bool) "empty decoder yields nothing" true
+    (Sjson.Frame.next d = None);
+  let v = parse {|{"op":"solve","spec":"hdf5 @1.14"}|} in
+  let s = Sjson.Frame.encode v in
+  Alcotest.(check int) "4-byte header + compact payload"
+    (4 + String.length (Sjson.to_string v))
+    (String.length s);
+  Alcotest.(check string) "header is the big-endian payload length"
+    (frame_header (String.length s - 4))
+    (String.sub s 0 4);
+  Sjson.Frame.feed_string d s;
+  Alcotest.(check bool) "frame decoded" true (Sjson.Frame.next d = Some v);
+  Alcotest.(check bool) "then drained" true (Sjson.Frame.next d = None);
+  Alcotest.(check int) "no pending bytes at a frame boundary" 0
+    (Sjson.Frame.pending_bytes d);
+  Sjson.Frame.finish d
+
+let test_frame_truncated () =
+  let d = Sjson.Frame.create () in
+  let s = Sjson.Frame.encode (Sjson.String "abcdef") in
+  Sjson.Frame.feed d s 0 (String.length s - 1);
+  Alcotest.(check bool) "incomplete frame yields nothing" true
+    (Sjson.Frame.next d = None);
+  Alcotest.(check bool) "and again: no livelock, no phantom frame" true
+    (Sjson.Frame.next d = None);
+  Alcotest.(check bool) "pending bytes are visible" true
+    (Sjson.Frame.pending_bytes d > 0);
+  match Sjson.Frame.finish d with
+  | () -> Alcotest.fail "finish accepted a truncated stream"
+  | exception Sjson.Frame.Error Sjson.Frame.Truncated -> ()
+
+let test_frame_oversized () =
+  let d = Sjson.Frame.create ~max_frame:16 () in
+  (* the header alone is enough: rejected before any body arrives *)
+  Sjson.Frame.feed_string d (frame_header 17);
+  match Sjson.Frame.next d with
+  | _ -> Alcotest.fail "oversized header accepted"
+  | exception Sjson.Frame.Error (Sjson.Frame.Oversized n) ->
+    Alcotest.(check int) "declared length reported" 17 n
+
+let test_frame_bad_payload () =
+  let d = Sjson.Frame.create () in
+  Sjson.Frame.feed_string d (raw_frame "{nope");
+  Sjson.Frame.feed_string d (Sjson.Frame.encode (Sjson.String "ok"));
+  (match Sjson.Frame.next d with
+  | _ -> Alcotest.fail "unparseable payload accepted"
+  | exception Sjson.Frame.Error (Sjson.Frame.Bad_payload _) -> ());
+  (* the bad frame was consumed whole: framing stays aligned *)
+  Alcotest.(check bool) "next frame still decodes" true
+    (Sjson.Frame.next d = Some (Sjson.String "ok"));
+  Sjson.Frame.finish d
+
+(* Any frame sequence survives any split into read chunks: the decoder
+   reassembles exactly the encoded values no matter where the reads
+   land, with clean buffers at end-of-stream. *)
+let prop_frame_chunked_roundtrip =
+  QCheck.Test.make ~name:"frame round-trip over arbitrary chunk splits"
+    ~count:300
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 8) arb_json)
+       (QCheck.list_of_size (QCheck.Gen.int_range 1 10) (QCheck.int_range 1 7)))
+    (fun (vals, sizes) ->
+      let sizes = Array.of_list (if sizes = [] then [ 1 ] else sizes) in
+      let stream = String.concat "" (List.map Sjson.Frame.encode vals) in
+      let d = Sjson.Frame.create () in
+      let out = ref [] in
+      let rec drain () =
+        match Sjson.Frame.next d with
+        | Some v ->
+          out := v :: !out;
+          drain ()
+        | None -> ()
+      in
+      let n = String.length stream in
+      let pos = ref 0 and k = ref 0 in
+      while !pos < n do
+        let len = min sizes.(!k mod Array.length sizes) (n - !pos) in
+        Sjson.Frame.feed d stream !pos len;
+        pos := !pos + len;
+        incr k;
+        drain ()
+      done;
+      Sjson.Frame.finish d;
+      List.rev !out = vals && Sjson.Frame.pending_bytes d = 0)
+
 let () =
   Alcotest.run "sjson"
     [ ( "parse/print",
@@ -114,5 +213,12 @@ let () =
           Alcotest.test_case "accessors" `Quick test_accessors;
           Alcotest.test_case "pretty" `Quick test_pretty ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_pretty_roundtrip ] )
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_pretty_roundtrip ] );
+      ( "frames",
+        [ Alcotest.test_case "basics" `Quick test_frame_basics;
+          Alcotest.test_case "truncated" `Quick test_frame_truncated;
+          Alcotest.test_case "oversized" `Quick test_frame_oversized;
+          Alcotest.test_case "bad payload keeps alignment" `Quick
+            test_frame_bad_payload;
+          QCheck_alcotest.to_alcotest prop_frame_chunked_roundtrip ] )
     ]
