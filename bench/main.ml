@@ -1315,6 +1315,307 @@ let serve_smoke () =
           grounding — the resident state is not paying for itself"
          warm_speedup)
 
+(* Parallel-installer storm (dune build @install-storm): a synthetic
+   universe of wide DAGs with fattened per-node payloads, installed
+   from a local buildcache and through a faulty mirror fleet.
+
+     - Phase A, speedup: one wide plan at --jobs 1/2/4; reports must
+       be byte-identical across schedules, and jobs-4 must clear 2x
+       over serial — the ready-set scheduler gate;
+     - Phase B, storm: hundreds of overlapping installs race from 4
+       client domains onto ONE shared store through a 24-mirror
+       adaptive fleet with per-mirror fault/latency profiles; every
+       install must succeed, the store must converge byte-for-byte to
+       the serial union and hold no leftover claim, and p50/p99
+       per-node latency comes from the install.node_ms histogram;
+     - Phase C, crash: the same storm is crashed mid-flight, the store
+       recovered (timed), and a faultless re-run must converge.
+
+   The numbers land in BENCH_install.json. *)
+let install_storm () =
+  let open Spec.Types in
+  Printf.printf "\n=== install-storm: parallel crash-safe installer ===\n%!";
+  (* -- synthetic universe; fat payload variants give each node real
+     CPU weight (digests, codec, relocation scans) -- *)
+  let blob seed =
+    let b = Bytes.create 4096 in
+    let s = ref ((seed * 2654435761) land 0x3fffffff) in
+    for i = 0 to Bytes.length b - 1 do
+      s := ((!s * 1103515245) + 12345) land 0x3fffffff;
+      Bytes.set b i (Char.chr (32 + (!s mod 94)))
+    done;
+    Bytes.to_string b
+  in
+  let leaves = 12 and mids = 48 and apps = 24 in
+  let leaf i = Printf.sprintf "lib%02d" i in
+  let mid i = Printf.sprintf "mid%02d" i in
+  let app i = Printf.sprintf "app%02d" i in
+  let mid_deps i = List.init 5 (fun k -> leaf ((i + k) mod leaves)) in
+  let app_deps i = List.init 6 (fun k -> mid (((2 * i) + k) mod mids)) in
+  let pkg name deps =
+    List.fold_left
+      (fun p d -> Pkg.Package.depends_on d p)
+      Pkg.Package.(make name |> version "1.0")
+      deps
+  in
+  let repo =
+    Pkg.Repo.of_packages
+      (List.init leaves (fun i -> pkg (leaf i) [])
+      @ List.init mids (fun i -> pkg (mid i) (mid_deps i))
+      @ List.init apps (fun i -> pkg (app i) (app_deps i))
+      @ [ pkg "wide" (List.init mids mid) ])
+  in
+  let node name =
+    { Spec.Concrete.name; version = Vers.Version.of_string "1.0";
+      variants = Smap.singleton "payload" (Str (blob (Hashtbl.hash name)));
+      os = "linux"; target = "x86_64"; build_hash = None }
+  in
+  let dedup l = List.sort_uniq String.compare l in
+  let spec_of root deps_of =
+    (* nodes = the closure of [root]; edges all dt_link *)
+    let rec closure acc n =
+      if List.mem n acc then acc
+      else List.fold_left closure (n :: acc) (deps_of n)
+    in
+    let names = dedup (closure [] root) in
+    Spec.Concrete.create ~root ~nodes:(List.map node names)
+      ~edges:
+        (List.concat_map
+           (fun n -> List.map (fun d -> (n, d, dt_link)) (deps_of n))
+           names)
+      ()
+  in
+  let deps_of n =
+    if n = "wide" then List.init mids mid
+    else
+      match int_of_string_opt (String.sub n 3 2) with
+      | Some i when String.length n = 5 && String.sub n 0 3 = "mid" ->
+        mid_deps i
+      | Some i when String.length n = 5 && String.sub n 0 3 = "app" ->
+        app_deps i
+      | _ -> []
+  in
+  let wide = spec_of "wide" deps_of in
+  let app_specs = List.init apps (fun i -> spec_of (app i) deps_of) in
+  (* -- populate the origin cache once; push dedups shared nodes -- *)
+  let farm = Binary.Store.create ~root:"/farm" (Binary.Vfs.create ()) in
+  ignore (Binary.Errors.ok_exn (Binary.Builder.build_all farm ~repo wide));
+  List.iter
+    (fun s -> ignore (Binary.Errors.ok_exn (Binary.Builder.build_all farm ~repo s)))
+    app_specs;
+  let origin = Binary.Buildcache.create ~name:"origin" in
+  List.iter
+    (fun s -> ignore (Binary.Buildcache.push_exn origin farm s))
+    (wide :: app_specs);
+  let fresh () =
+    let vfs = Binary.Vfs.create () in
+    (vfs, Binary.Store.create ~root:"/ice" vfs)
+  in
+  let fast_policy =
+    { Binary.Mirror.default_retry with
+      Binary.Mirror.base_delay_ms = 1.0; max_delay_ms = 8.0 }
+  in
+  (* -- Phase A: scheduler speedup on the wide plan. Delivery is
+     latency-bound (each fetch really sleeps fp_latency_ms, as network
+     fetches are in production): the win to measure is the scheduler
+     overlapping per-node delivery waits, not CPU parallelism, so the
+     gate holds on any core count. -- *)
+  let delivery () =
+    Binary.Mirror.group ~policy:fast_policy
+      (List.init 4 (fun i ->
+           Binary.Mirror.create
+             ~name:(Printf.sprintf "d%d" i)
+             ~faults:
+               { Binary.Mirror.no_faults with
+                 Binary.Mirror.fp_latency_ms = 10.0; fp_wall = true }
+             origin))
+  in
+  let timed_install jobs =
+    let reps = 3 in
+    let best = ref infinity and report = ref None in
+    for _ = 1 to reps do
+      let _, store = fresh () in
+      let mirrors = delivery () in
+      let t0 = Obs.Clock.now_s () in
+      let r =
+        Binary.Errors.ok_exn
+          (Binary.Installer.install store ~repo ~mirrors ~jobs wide)
+      in
+      let dt = (Obs.Clock.now_s () -. t0) *. 1000.0 in
+      if dt < !best then best := dt;
+      report := Some r
+    done;
+    (!best, Option.get !report)
+  in
+  let serial_ms, serial_rep = timed_install 1 in
+  let jobs2_ms, jobs2_rep = timed_install 2 in
+  let jobs4_ms, jobs4_rep = timed_install 4 in
+  let canon = Binary.Installer.canonical_report serial_rep in
+  List.iter
+    (fun (jobs, rep) ->
+      if Binary.Installer.canonical_report rep <> canon then
+        failwith
+          (Printf.sprintf
+             "install-storm: jobs-%d report diverges byte-wise from serial"
+             jobs))
+    [ (2, jobs2_rep); (4, jobs4_rep) ];
+  let speedup4 = serial_ms /. jobs4_ms in
+  Printf.printf
+    "install-storm wide plan (%d nodes): serial %.1f ms, jobs-2 %.1f ms, \
+     jobs-4 %.1f ms (%.2fx)\n%!"
+    (List.length (Spec.Concrete.nodes wide))
+    serial_ms jobs2_ms jobs4_ms speedup4;
+  (* -- Phase B: overlapping installs onto one store via a faulty
+     adaptive fleet -- *)
+  let union_fp =
+    let _, store = fresh () in
+    List.iter
+      (fun s ->
+        ignore
+          (Binary.Errors.ok_exn
+             (Binary.Installer.install store ~repo ~caches:[ origin ] s)))
+      app_specs;
+    Binary.Store.fingerprint store
+  in
+  let obs = Obs.create () in
+  let fleet_size = 24 and storm_domains = 4 and storm_installs = 240 in
+  let fleet =
+    Binary.Mirror.fleet ~seed:7 ~policy:fast_policy ~obs
+      ~selection:Binary.Mirror.Adaptive ~size:fleet_size origin
+  in
+  let _, storm_store = fresh () in
+  let specs = Array.of_list app_specs in
+  let t0 = Obs.Clock.now_s () in
+  let failures =
+    List.init storm_domains (fun d ->
+        Domain.spawn (fun () ->
+            let bad = ref 0 in
+            let i = ref d in
+            while !i < storm_installs do
+              (match
+                 Binary.Installer.install storm_store ~repo ~mirrors:fleet ~obs
+                   specs.(!i mod Array.length specs)
+               with
+              | Ok _ -> ()
+              | Error _ -> incr bad);
+              i := !i + storm_domains
+            done;
+            !bad))
+    |> List.map Domain.join |> List.fold_left ( + ) 0
+  in
+  let storm_wall_ms = (Obs.Clock.now_s () -. t0) *. 1000.0 in
+  if failures > 0 then
+    failwith
+      (Printf.sprintf "install-storm: %d of %d storm installs failed" failures
+         storm_installs);
+  if Binary.Store.in_flight storm_store <> [] then
+    failwith "install-storm: storm left claims in flight";
+  if Binary.Store.fingerprint storm_store <> union_fp then
+    failwith "install-storm: storm store diverged from the serial union";
+  let node_hist =
+    match List.assoc_opt "install.node_ms" (Obs.metrics obs) with
+    | Some (Obs.Histogram h) -> h
+    | _ -> failwith "install-storm: no install.node_ms histogram"
+  in
+  let node_p50 = Obs.Hist.quantile node_hist 0.5 in
+  let node_p99 = Obs.Hist.quantile node_hist 0.99 in
+  let throughput = float_of_int storm_installs /. (storm_wall_ms /. 1000.0) in
+  Printf.printf
+    "install-storm storm: %d installs over %d domains via %d mirrors in %.0f \
+     ms (%.1f installs/s), node p50 %.2f ms p99 %.2f ms\n%!"
+    storm_installs storm_domains fleet_size storm_wall_ms throughput node_p50
+    node_p99;
+  (* -- Phase C: crash mid-storm, timed recovery, converging re-run -- *)
+  let vfs, crash_store = fresh () in
+  let crash_at =
+    (* roughly half of one plan's mutations: always mid-flight *)
+    let _, probe = fresh () in
+    ignore
+      (Binary.Errors.ok_exn
+         (Binary.Installer.install probe ~repo ~caches:[ origin ]
+            (List.hd app_specs)));
+    Binary.Store.write_count probe / 2
+  in
+  Binary.Store.set_crash_after crash_store (Some crash_at);
+  let crashed =
+    List.init storm_domains (fun d ->
+        Domain.spawn (fun () ->
+            match
+              Binary.Installer.install crash_store ~repo ~caches:[ origin ]
+                specs.(d)
+            with
+            | exception Binary.Store.Crashed _ -> 1
+            | Ok _ | Error _ -> 0))
+    |> List.map Domain.join |> List.fold_left ( + ) 0
+  in
+  if crashed = 0 then
+    failwith "install-storm: crash plan fired no Crashed on any domain";
+  let t0 = Obs.Clock.now_s () in
+  let recovered, recovery = Binary.Store.recover ~root:"/ice" vfs in
+  let recover_ms = (Obs.Clock.now_s () -. t0) *. 1000.0 in
+  List.init storm_domains (fun d ->
+      Domain.spawn (fun () ->
+          Binary.Installer.install recovered ~repo ~caches:[ origin ] specs.(d)))
+  |> List.iter (fun dom ->
+         match Domain.join dom with
+         | Ok _ -> ()
+         | Error e ->
+           failwith ("install-storm: post-recovery re-run failed: "
+                     ^ Binary.Errors.to_string e));
+  let partial_fp =
+    let _, store = fresh () in
+    List.iter
+      (fun d ->
+        ignore
+          (Binary.Errors.ok_exn
+             (Binary.Installer.install store ~repo ~caches:[ origin ] specs.(d))))
+      (List.init storm_domains Fun.id);
+    Binary.Store.fingerprint store
+  in
+  if Binary.Store.fingerprint recovered <> partial_fp then
+    failwith "install-storm: post-crash recovery diverged";
+  Printf.printf
+    "install-storm crash: %d/%d domains crashed at write %d; recovery %.2f ms \
+     (%s), re-run converged\n%!"
+    crashed storm_domains crash_at recover_ms
+    (Format.asprintf "%a" Binary.Store.pp_recovery recovery);
+  (* -- report + gates -- *)
+  let json =
+    Sjson.Object
+      [ ("wide_nodes", Sjson.Int (List.length (Spec.Concrete.nodes wide)));
+        ("serial_ms", Sjson.Float serial_ms);
+        ("jobs2_ms", Sjson.Float jobs2_ms);
+        ("jobs4_ms", Sjson.Float jobs4_ms);
+        ("speedup_jobs4", Sjson.Float speedup4);
+        ("storm_installs", Sjson.Int storm_installs);
+        ("storm_domains", Sjson.Int storm_domains);
+        ("fleet_size", Sjson.Int fleet_size);
+        ("storm_wall_ms", Sjson.Float storm_wall_ms);
+        ("storm_installs_per_s", Sjson.Float throughput);
+        ("node_p50_ms", Sjson.Float node_p50);
+        ("node_p99_ms", Sjson.Float node_p99);
+        ("crash_write", Sjson.Int crash_at);
+        ("recover_ms", Sjson.Float recover_ms) ]
+  in
+  let oc = open_out "BENCH_install.json" in
+  output_string oc (Sjson.to_string json);
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[install-storm] wrote BENCH_install.json\n%!";
+  if speedup4 < 2.0 then
+    failwith
+      (Printf.sprintf
+         "install-storm: jobs-4 speedup %.2fx < 2x — the scheduler is not \
+          paying for itself"
+         speedup4);
+  if node_p99 > 250.0 then
+    failwith
+      (Printf.sprintf "install-storm: node p99 %.2f ms > 250 ms" node_p99);
+  if recover_ms > 1000.0 then
+    failwith
+      (Printf.sprintf "install-storm: recovery took %.0f ms > 1000 ms"
+         recover_ms)
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let commands = ref [] in
@@ -1350,6 +1651,7 @@ let () =
     | "sat-smoke" -> sat_smoke ()
     | "obs-smoke" -> obs_smoke ()
     | "serve-smoke" -> serve_smoke ()
+    | "install-storm" -> install_storm ()
     | "all" ->
       table1 ();
       micro ();
@@ -1361,7 +1663,7 @@ let () =
     | other ->
       Printf.eprintf
         "unknown command %s (try \
-         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|perf-smoke|sat-smoke|obs-smoke|all)\n"
+         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|perf-smoke|sat-smoke|obs-smoke|serve-smoke|install-storm|all)\n"
         other;
       exit 2
   in

@@ -284,9 +284,31 @@ let recover_flag =
       ~doc:"After a simulated crash, replay the write-ahead journal with \
             Store.recover and resume the install on the recovered store.")
 
+let install_jobs_flag =
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N"
+      ~doc:"Install the spec DAG on N domains with ready-set scheduling (a \
+            node starts as soon as all its dependencies commit). The report \
+            is byte-identical to the serial one.")
+
+let fleet_flag =
+  Arg.(value & opt (some int) None & info [ "fleet" ] ~docv:"N"
+      ~doc:"Replace explicit $(b,--mirror)s with a simulated fleet of N \
+            mirrors over the bundled buildcache, each with its own \
+            deterministic fault/latency profile (every fifth one is clean \
+            and fast).")
+
+let fleet_seed_flag =
+  Arg.(value & opt int 0 & info [ "fleet-seed" ] ~docv:"S"
+      ~doc:"Seed for the fleet's fault/latency profiles (with $(b,--fleet)).")
+
+let adaptive_flag =
+  Arg.(value & flag & info [ "adaptive" ]
+      ~doc:"Order mirrors adaptively — breaker state, consecutive failures, \
+            then measured latency — instead of the configured order.")
+
 let install_cmd =
-  let run reuse splicing mirror_specs retries no_fallback crash_at recover trace
-      trace_format spec_text =
+  let run reuse splicing mirror_specs retries no_fallback crash_at recover jobs
+      fleet fleet_seed adaptive trace trace_format spec_text =
     with_trace ~trace ~trace_format @@ fun obs ->
     let opts = options ~reuse ~splicing ~old_encoding:false in
     let opts =
@@ -306,18 +328,25 @@ let install_cmd =
       2
     | Ok mirror_plans -> (
       let mirror_plans = List.rev mirror_plans in
+      let policy =
+        match retries with
+        | None -> Binary.Mirror.default_retry
+        | Some n ->
+          { Binary.Mirror.default_retry with Binary.Mirror.max_attempts = n }
+      in
+      let selection =
+        if adaptive then Binary.Mirror.Adaptive else Binary.Mirror.Static
+      in
       let mirrors =
-        match mirror_plans with
-        | [] -> None
-        | plans ->
-          let policy =
-            match retries with
-            | None -> Binary.Mirror.default_retry
-            | Some n ->
-              { Binary.Mirror.default_retry with Binary.Mirror.max_attempts = n }
-          in
+        match (fleet, mirror_plans) with
+        | Some size, _ ->
           Some
-            (Binary.Mirror.group ~policy ~obs
+            (Binary.Mirror.fleet ~seed:fleet_seed ~policy ~obs ~selection ~size
+               (Lazy.force local_cache).Radiuss.Caches.cache)
+        | None, [] -> None
+        | None, plans ->
+          Some
+            (Binary.Mirror.group ~policy ~obs ~selection
                (List.map
                   (fun (name, faults) ->
                     Binary.Mirror.create ~faults ~name
@@ -349,7 +378,7 @@ let install_cmd =
         in
         let install store =
           Binary.Installer.install store ~repo ~caches ?mirrors
-            ~fallback:(not no_fallback) ~obs spec
+            ~fallback:(not no_fallback) ~obs ~jobs spec
         in
         (match install store with
         | Ok report -> finish store report
@@ -379,7 +408,8 @@ let install_cmd =
          "Concretize and install a spec into a fresh store, optionally through \
           fault-injected mirrors with retry, failover and crash recovery.")
     Term.(const run $ reuse_flag $ splice_flag $ mirror_flag $ retries_flag
-          $ no_fallback_flag $ crash_at_flag $ recover_flag $ trace_flag
+          $ no_fallback_flag $ crash_at_flag $ recover_flag $ install_jobs_flag
+          $ fleet_flag $ fleet_seed_flag $ adaptive_flag $ trace_flag
           $ trace_format_flag $ spec_arg)
 
 (* ---- splice (manual, Fig. 2 mechanics) ---- *)
@@ -920,8 +950,19 @@ let client_cmd =
   let shutdown_flag =
     Arg.(value & flag & info [ "shutdown" ] ~doc:"Stop the server.")
   in
+  let client_retries_flag =
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N"
+        ~doc:"Retry each request up to N extra times, reconnecting with \
+              backoff on mid-request disconnects and backing off on typed \
+              $(b,overloaded) responses (default 0: fail fast).")
+  in
+  let backoff_flag =
+    Arg.(value & opt float 5.0 & info [ "retry-backoff-ms" ] ~docv:"MS"
+        ~doc:"Base retry delay, doubling per retry (with $(b,--retries)).")
+  in
   let specs_arg = Arg.(value & pos_all string [] & info [] ~docv:"SPEC") in
-  let run socket mode deadline_ms conflicts ping stats reload shutdown specs =
+  let run socket mode deadline_ms conflicts retries backoff_ms ping stats reload
+      shutdown specs =
     match
       match mode with
       | None -> Ok None
@@ -933,7 +974,7 @@ let client_cmd =
       Format.eprintf "error: --mode: unknown mode %S@." m;
       2
     | Ok mode -> (
-      match Core.Serve.Client.connect socket with
+      match Core.Serve.Client.connect ~retries ~backoff_ms socket with
       | Error e ->
         Format.eprintf "error: %s@." e;
         1
@@ -983,7 +1024,8 @@ let client_cmd =
           per-request deadlines and modes), ping, fetch stats, trigger a \
           buildcache reload, or shut the server down.")
     Term.(const run $ socket_flag $ mode_flag $ deadline_flag $ conflicts_flag
-          $ ping_flag $ stats_flag' $ reload_flag $ shutdown_flag $ specs_arg)
+          $ client_retries_flag $ backoff_flag $ ping_flag $ stats_flag'
+          $ reload_flag $ shutdown_flag $ specs_arg)
 
 (* ---- providers ---- *)
 

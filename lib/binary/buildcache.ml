@@ -94,18 +94,30 @@ let install_entry store ~hash entry =
       (Spec.Concrete.nodes entry.e_spec)
   in
   let prefix = new_prefix_of hash root_node in
-  let txn = Store.begin_install store ~hash ~prefix in
-  let stats = ref Relocate.empty_stats in
-  List.iter
-    (fun (rel, o) ->
-      let o = Object_file.copy o in
-      stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
-      Store.stage store txn ~rel (Vfs.Object o))
-    entry.e_objects;
-  Store.stage store txn ~rel:".spack/spec.json"
-    (Vfs.Text (Spec.Codec.to_string ~pretty:true entry.e_spec));
-  let record = Store.commit store txn ~spec:entry.e_spec in
-  (record, !stats)
+  match Store.claim store ~hash ~prefix with
+  | Store.Present r ->
+    (* A concurrent installer won the race (or it was already there):
+       no bytes moved on our behalf, so no relocation stats. *)
+    (r, Relocate.empty_stats)
+  | Store.Claimed txn -> (
+    let finish () =
+      let stats = ref Relocate.empty_stats in
+      List.iter
+        (fun (rel, o) ->
+          let o = Object_file.copy o in
+          stats := Relocate.add_stats !stats (Relocate.relocate_object o ~mapping);
+          Store.stage store txn ~rel (Vfs.Object o))
+        entry.e_objects;
+      Store.stage store txn ~rel:".spack/spec.json"
+        (Vfs.Text (Spec.Codec.to_string ~pretty:true entry.e_spec));
+      let record = Store.commit store txn ~spec:entry.e_spec in
+      (record, !stats)
+    in
+    try finish () with
+    | Store.Crashed _ as e -> raise e
+    | e ->
+      Store.abort store txn;
+      raise e)
 
 let install_from t store ~hash =
   match find t ~hash with

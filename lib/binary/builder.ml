@@ -5,12 +5,28 @@ let family_of repo name =
   | Some p -> p.Pkg.Package.abi_family
   | None -> name
 
+(* Abort the transaction on a typed error so a failed build leaves no
+   journal residue for other in-flight installs to trip over; Crashed
+   must propagate untouched — a dead store cannot be cleaned, only
+   recovered. *)
+let abort_on_typed store txn f =
+  try f () with
+  | Store.Crashed _ as e -> raise e
+  | e ->
+    Store.abort store txn;
+    raise e
+
 let build_node_exn store ~repo ~spec ~node =
   let n = Spec.Concrete.node spec node in
   let hash = Spec.Concrete.node_hash spec node in
-  match Store.installed store ~hash with
-  | Some r -> r
-  | None ->
+  let prefix =
+    Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version
+      ~hash
+  in
+  match Store.claim store ~hash ~prefix with
+  | Store.Present r -> r
+  | Store.Claimed txn ->
+    abort_on_typed store txn @@ fun () ->
     let deps = Spec.Concrete.children spec node in
     let link_deps = List.filter (fun ((_ : string), dt) -> dt.Spec.Types.link) deps in
     let dep_records =
@@ -24,7 +40,6 @@ let build_node_exn store ~repo ~spec ~node =
               (Errors.Dependency_not_installed { node; dep = c; hash = ch }))
         link_deps
     in
-    let prefix = Store.prefix_for store ~name:n.Spec.Concrete.name ~version:n.Spec.Concrete.version ~hash in
     let dep_surface (c, (r : Store.record)) =
       let soname = Store.soname_of c in
       match Vfs.read_object (Store.vfs store) (Store.lib_path ~prefix:r.prefix ~soname) with
@@ -50,7 +65,6 @@ let build_node_exn store ~repo ~spec ~node =
         ()
     in
     let sub = Spec.Concrete.subdag spec node in
-    let txn = Store.begin_install store ~hash ~prefix in
     Store.stage store txn ~rel:("lib/" ^ obj.Object_file.soname) (Vfs.Object obj);
     Store.stage store txn ~rel:".spack/spec.json"
       (Vfs.Text (Spec.Codec.to_string ~pretty:true sub));

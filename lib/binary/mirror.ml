@@ -31,13 +31,24 @@ let hits ~seed ~salt pct = pct > 0 && die ~seed ~salt 100 < pct
 
 (* ---- injectable monotonic clock ----------------------------------- *)
 
-type clock = { mutable now_ms : float }
+(* Mutexed: a parallel install's fetches all advance the one simulated
+   clock, and timestamps feed breaker cooldowns on every domain. *)
+type clock = { mutable now_ms : float; c_mu : Mutex.t }
 
-let clock () = { now_ms = 0.0 }
+let clock () = { now_ms = 0.0; c_mu = Mutex.create () }
 
-let now c = c.now_ms
+let now c =
+  Mutex.lock c.c_mu;
+  let v = c.now_ms in
+  Mutex.unlock c.c_mu;
+  v
 
-let advance c ms = if ms > 0.0 then c.now_ms <- c.now_ms +. ms
+let advance c ms =
+  if ms > 0.0 then begin
+    Mutex.lock c.c_mu;
+    c.now_ms <- c.now_ms +. ms;
+    Mutex.unlock c.c_mu
+  end
 
 (* ---- retry policy: exponential backoff + bounded jitter ----------- *)
 
@@ -82,6 +93,7 @@ type breaker_state = Closed | Open | Half_open
 
 type breaker = {
   b_cfg : breaker_config;
+  b_mu : Mutex.t;  (* one breaker is poked from every fetching domain *)
   mutable b_state : breaker_state;
   mutable b_failures : int;  (* consecutive, while closed *)
   mutable b_open_until : float;
@@ -89,54 +101,73 @@ type breaker = {
 }
 
 let breaker ?(config = default_breaker) () =
-  { b_cfg = config; b_state = Closed; b_failures = 0; b_open_until = 0.0; b_trips = 0 }
+  { b_cfg = config;
+    b_mu = Mutex.create ();
+    b_state = Closed;
+    b_failures = 0;
+    b_open_until = 0.0;
+    b_trips = 0 }
 
-let breaker_state b = b.b_state
+let b_locked b f =
+  Mutex.lock b.b_mu;
+  let v = f () in
+  Mutex.unlock b.b_mu;
+  v
 
-let breaker_trips b = b.b_trips
+let breaker_state b = b_locked b (fun () -> b.b_state)
+
+let breaker_trips b = b_locked b (fun () -> b.b_trips)
+
+let breaker_failures b = b_locked b (fun () -> b.b_failures)
 
 let breaker_would_allow b clk =
-  match b.b_state with
-  | Closed | Half_open -> true
-  | Open -> now clk >= b.b_open_until
+  let t = now clk in
+  b_locked b (fun () ->
+      match b.b_state with
+      | Closed | Half_open -> true
+      | Open -> t >= b.b_open_until)
 
 let breaker_allows b clk =
-  match b.b_state with
-  | Closed | Half_open -> true
-  | Open ->
-    if now clk >= b.b_open_until then begin
-      (* cooldown elapsed: let exactly one probe through *)
-      b.b_state <- Half_open;
-      true
-    end
-    else false
+  let t = now clk in
+  b_locked b (fun () ->
+      match b.b_state with
+      | Closed | Half_open -> true
+      | Open ->
+        if t >= b.b_open_until then begin
+          (* cooldown elapsed: let exactly one probe through *)
+          b.b_state <- Half_open;
+          true
+        end
+        else false)
 
-let trip b clk =
+let trip b t =
   b.b_state <- Open;
   b.b_failures <- 0;
-  b.b_open_until <- now clk +. b.b_cfg.cooldown_ms;
+  b.b_open_until <- t +. b.b_cfg.cooldown_ms;
   b.b_trips <- b.b_trips + 1
 
 let breaker_record b clk ~ok =
-  if ok then begin
-    b.b_failures <- 0;
-    b.b_state <- Closed;
-    false
-  end
-  else
-    match b.b_state with
-    | Half_open ->
-      (* failed probe: straight back to open *)
-      trip b clk;
-      true
-    | Closed ->
-      b.b_failures <- b.b_failures + 1;
-      if b.b_failures >= b.b_cfg.failure_threshold then begin
-        trip b clk;
-        true
+  let t = now clk in
+  b_locked b (fun () ->
+      if ok then begin
+        b.b_failures <- 0;
+        b.b_state <- Closed;
+        false
       end
-      else false
-    | Open -> false
+      else
+        match b.b_state with
+        | Half_open ->
+          (* failed probe: straight back to open *)
+          trip b t;
+          true
+        | Closed ->
+          b.b_failures <- b.b_failures + 1;
+          if b.b_failures >= b.b_cfg.failure_threshold then begin
+            trip b t;
+            true
+          end
+          else false
+        | Open -> false)
 
 (* ---- fault plans --------------------------------------------------- *)
 
@@ -145,6 +176,7 @@ type fault_plan = {
   fp_transient_pct : int;  (* per fetch attempt *)
   fp_corrupt_pct : int;  (* per (mirror, hash); sticky *)
   fp_latency_ms : float;  (* added to the clock per attempt *)
+  fp_wall : bool;  (* realize fp_latency_ms as a real sleep too *)
   fp_outage_after : int option;  (* hard outage from this fetch index on *)
   fp_outage_len : int option;  (* None = forever *)
 }
@@ -154,6 +186,7 @@ let no_faults =
     fp_transient_pct = 0;
     fp_corrupt_pct = 0;
     fp_latency_ms = 0.0;
+    fp_wall = false;
     fp_outage_after = None;
     fp_outage_len = None }
 
@@ -219,9 +252,12 @@ type t = {
   m_cache : Buildcache.t;
   m_faults : fault_plan;
   m_breaker : breaker;
+  m_mu : Mutex.t;  (* guards counters, quarantine, digests, latency *)
   m_quarantine : (string, unit) Hashtbl.t;
   m_digests : (string, string) Hashtbl.t;  (* memoized trusted index *)
   mutable m_fetches : int;
+  mutable m_lat_ewma : float;  (* measured ms per attempt, smoothed *)
+  mutable m_lat_samples : int;
 }
 
 let create ?(faults = no_faults) ?breaker_config ~name cache =
@@ -229,17 +265,41 @@ let create ?(faults = no_faults) ?breaker_config ~name cache =
     m_cache = cache;
     m_faults = faults;
     m_breaker = breaker ?config:breaker_config ();
+    m_mu = Mutex.create ();
     m_quarantine = Hashtbl.create 8;
     m_digests = Hashtbl.create 32;
-    m_fetches = 0 }
+    m_fetches = 0;
+    m_lat_ewma = 0.0;
+    m_lat_samples = 0 }
+
+let m_locked m f =
+  Mutex.lock m.m_mu;
+  let v = f () in
+  Mutex.unlock m.m_mu;
+  v
 
 let name m = m.m_name
 
 let breaker_of m = m.m_breaker
 
-let fetch_count m = m.m_fetches
+let fetch_count m = m_locked m (fun () -> m.m_fetches)
 
-let quarantined m = Hashtbl.fold (fun h () acc -> h :: acc) m.m_quarantine []
+let quarantined m =
+  m_locked m (fun () -> Hashtbl.fold (fun h () acc -> h :: acc) m.m_quarantine [])
+
+(* Client-side latency measurement: the smoothed per-attempt request
+   time. In the simulation a request's duration is exactly the clock
+   advance the mirror imposes, so the EWMA is fed that — mixing in
+   other domains' concurrent clock advances would measure the storm,
+   not the mirror. Weight 1/4 on the new sample: a few slow answers
+   sink a mirror, a few fast ones float it back. *)
+let observe_latency m ms =
+  m_locked m (fun () ->
+      if m.m_lat_samples = 0 then m.m_lat_ewma <- ms
+      else m.m_lat_ewma <- (0.75 *. m.m_lat_ewma) +. (0.25 *. ms);
+      m.m_lat_samples <- m.m_lat_samples + 1)
+
+let measured_latency m = m_locked m (fun () -> m.m_lat_ewma)
 
 let in_outage m n =
   match m.m_faults.fp_outage_after with
@@ -249,11 +309,13 @@ let in_outage m n =
     && match m.m_faults.fp_outage_len with None -> true | Some l -> n <= after + l)
 
 let trusted_digest m ~hash entry =
-  match Hashtbl.find_opt m.m_digests hash with
+  match m_locked m (fun () -> Hashtbl.find_opt m.m_digests hash) with
   | Some d -> d
   | None ->
+    (* Digest outside the lock — it walks every object. Two domains may
+       race to compute it; both arrive at the same value. *)
     let d = entry_digest entry in
-    Hashtbl.replace m.m_digests hash d;
+    m_locked m (fun () -> Hashtbl.replace m.m_digests hash d);
     d
 
 (* Deterministic payload damage: which way an entry is corrupted is a
@@ -287,11 +349,19 @@ let corrupt_copy m ~hash (e : Buildcache.entry) =
         List.map (fun (h, p) -> (h, p ^ "/tampered")) e.Buildcache.e_prefixes }
 
 let fetch m clk ~hash =
-  m.m_fetches <- m.m_fetches + 1;
-  let n = m.m_fetches in
+  let n, quarantined =
+    m_locked m (fun () ->
+        m.m_fetches <- m.m_fetches + 1;
+        (m.m_fetches, Hashtbl.mem m.m_quarantine hash))
+  in
   advance clk m.m_faults.fp_latency_ms;
+  (* No lock is held here: concurrent wall-latency fetches overlap,
+     which is exactly what the parallel installer schedules for. *)
+  if m.m_faults.fp_wall && m.m_faults.fp_latency_ms > 0.0 then
+    Unix.sleepf (m.m_faults.fp_latency_ms /. 1000.0);
+  observe_latency m m.m_faults.fp_latency_ms;
   if in_outage m n then Error Offline
-  else if Hashtbl.mem m.m_quarantine hash then Error Quarantined
+  else if quarantined then Error Quarantined
   else if
     hits ~seed:m.m_faults.fp_seed ~salt:("transient", m.m_name, n)
       m.m_faults.fp_transient_pct
@@ -314,7 +384,7 @@ let fetch m clk ~hash =
         && String.equal (Spec.Concrete.dag_hash delivered.Buildcache.e_spec) hash
       then Ok delivered
       else begin
-        Hashtbl.replace m.m_quarantine hash ();
+        m_locked m (fun () -> Hashtbl.replace m.m_quarantine hash ());
         Error (Corrupt { expected; got })
       end
 
@@ -357,20 +427,35 @@ let pp_telemetry fmt t =
     t.fetched t.attempts t.retries t.failovers t.breaker_skips t.breaker_trips
     t.quarantines t.backoff_ms
 
+(* How a group orders mirrors for failover. [Static] is the configured
+   list — predictable, and what a client without history must do.
+   [Adaptive] feeds measurements back into the order: mirrors behind a
+   cooling-down breaker sink to the back, then ties break by consecutive
+   failure count, then by measured latency EWMA, then by configured
+   index (so the order is total and deterministic given the same
+   statistics). A tripped mirror that survives its half-open probe has
+   its failure count cleared — a few cooldown successes float it back
+   toward the front. *)
+type selection = Static | Adaptive
+
 type group = {
   g_mirrors : t list;
   g_policy : retry_policy;
   g_clock : clock;
   g_tel : telemetry;
+  g_mu : Mutex.t;  (* guards the shared telemetry record *)
+  g_selection : selection;
   g_obs : Obs.ctx;
 }
 
 let group ?(policy = default_retry) ?clock:(clk = clock ()) ?(obs = Obs.disabled)
-    mirrors =
+    ?(selection = Static) mirrors =
   { g_mirrors = mirrors;
     g_policy = policy;
     g_clock = clk;
     g_tel = fresh_telemetry ();
+    g_mu = Mutex.create ();
+    g_selection = selection;
     g_obs = obs }
 
 let mirrors g = g.g_mirrors
@@ -378,6 +463,55 @@ let mirrors g = g.g_mirrors
 let telemetry g = g.g_tel
 
 let group_clock g = g.g_clock
+
+let selection g = g.g_selection
+
+let rank g =
+  match g.g_selection with
+  | Static -> g.g_mirrors
+  | Adaptive ->
+    g.g_mirrors
+    |> List.mapi (fun i m ->
+           let blocked =
+             if breaker_would_allow m.m_breaker g.g_clock then 0 else 1
+           in
+           ((blocked, breaker_failures m.m_breaker, measured_latency m, i), m))
+    |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+    |> List.map snd
+
+(* A simulated fleet: [size] mirrors over one cache, each with its own
+   deterministic fault/latency profile drawn from [seed]. Every fifth
+   mirror is near-clean and fast — the healthy minority an adaptive
+   client should discover and prefer; the rest mix transient failure
+   rates, latencies up to ~80ms, sticky corruption on some, and
+   bounded outage windows on a few. *)
+let fleet ?(seed = 0) ?policy ?clock ?obs ?selection ?(name_prefix = "m") ~size
+    cache =
+  let mirror i =
+    let mseed = (seed * 1021) + i in
+    let faults =
+      if i mod 5 = 0 then
+        { no_faults with
+          fp_seed = mseed;
+          fp_latency_ms = 2.0 +. float_of_int (die ~seed:mseed ~salt:"lat0" 6) }
+      else
+        { fp_seed = mseed;
+          fp_transient_pct = 5 + die ~seed:mseed ~salt:"transient_pct" 30;
+          fp_corrupt_pct =
+            (if die ~seed:mseed ~salt:"corrupt?" 4 = 0 then
+               5 + die ~seed:mseed ~salt:"corrupt_pct" 15
+             else 0);
+          fp_latency_ms = 5.0 +. float_of_int (die ~seed:mseed ~salt:"lat" 76);
+          fp_outage_after =
+            (if die ~seed:mseed ~salt:"outage?" 6 = 0 then
+               Some (5 + die ~seed:mseed ~salt:"outage_at" 40)
+             else None);
+          fp_wall = false;
+          fp_outage_len = Some (10 + die ~seed:mseed ~salt:"outage_len" 30) }
+    in
+    create ~faults ~name:(Printf.sprintf "%s%02d" name_prefix i) cache
+  in
+  group ?policy ?clock ?obs ?selection (List.init size mirror)
 
 (* Fetch [hash] with per-mirror retry/backoff and ordered failover.
    Absent is a healthy answer (resets the breaker); transient failures
@@ -396,13 +530,20 @@ let fetch_entry g ~hash =
   let tel = g.g_tel in
   let obs = g.g_obs in
   (* Each telemetry bump also lands in the Obs metric of the same
-     name, so the legacy record and the trace agree by construction. *)
-  let count n bump = bump (); Obs.incr obs ("mirror." ^ n) in
+     name, so the legacy record and the trace agree by construction.
+     The bump runs under the group mutex: the record is shared by every
+     fetching domain. *)
+  let count n bump =
+    Mutex.lock g.g_mu;
+    bump ();
+    Mutex.unlock g.g_mu;
+    Obs.incr obs ("mirror." ^ n)
+  in
   (* Breaker state transitions show up as instants in the trace. *)
   let watching_breaker m f =
-    let s0 = m.m_breaker.b_state in
+    let s0 = breaker_state m.m_breaker in
     let r = f () in
-    let s1 = m.m_breaker.b_state in
+    let s1 = breaker_state m.m_breaker in
     if s1 <> s0 then
       Obs.instant obs "mirror.breaker"
         ~attrs:
@@ -471,8 +612,9 @@ let fetch_entry g ~hash =
                   ~attempt:a
               in
               advance g.g_clock d;
-              count "retries" (fun () -> tel.retries <- tel.retries + 1);
-              tel.backoff_ms <- tel.backoff_ms +. d;
+              count "retries" (fun () ->
+                  tel.retries <- tel.retries + 1;
+                  tel.backoff_ms <- tel.backoff_ms +. d);
               Obs.observe obs "mirror.backoff_ms" d;
               attempt (a + 1)
             end
@@ -500,7 +642,7 @@ let fetch_entry g ~hash =
         in
         attempt 1
   in
-  try_mirrors g.g_mirrors
+  try_mirrors (rank g)
 
 (* What the concretizer may treat as reusable right now: the entries of
    every mirror that is currently reachable — breaker not open, not in
@@ -509,7 +651,7 @@ let reachable_specs g =
   let seen = Hashtbl.create 64 in
   List.concat_map
     (fun m ->
-      if breaker_would_allow m.m_breaker g.g_clock && not (in_outage m (m.m_fetches + 1))
+      if breaker_would_allow m.m_breaker g.g_clock && not (in_outage m (fetch_count m + 1))
       then
         List.filter
           (fun s ->

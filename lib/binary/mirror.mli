@@ -72,6 +72,10 @@ val breaker_state : breaker -> breaker_state
 
 val breaker_trips : breaker -> int
 
+val breaker_failures : breaker -> int
+(** Consecutive failures recorded while closed — one of the adaptive
+    selection's ranking keys. *)
+
 val breaker_allows : breaker -> clock -> bool
 (** May a request go through now? An [Open] breaker whose cooldown has
     elapsed transitions to [Half_open] and admits exactly the probe. *)
@@ -93,6 +97,11 @@ type fault_plan = {
   fp_corrupt_pct : int;  (** chance a given (mirror, hash) serves corrupted
                              bytes — sticky, the realistic bad-blob case *)
   fp_latency_ms : float;  (** clock advance per fetch attempt *)
+  fp_wall : bool;
+      (** also realize [fp_latency_ms] as a real [sleep] per attempt
+          (no lock held), making fetches genuinely latency-bound —
+          how the install-storm bench models network-bound delivery
+          so parallel schedules can overlap the waits *)
   fp_outage_after : int option;  (** hard outage starting after this many fetches *)
   fp_outage_len : int option;  (** outage length in fetches; [None] = forever *)
 }
@@ -124,6 +133,11 @@ val name : t -> string
 val breaker_of : t -> breaker
 
 val fetch_count : t -> int
+
+val measured_latency : t -> float
+(** Client-side smoothed per-attempt request time in simulated ms
+    (EWMA, weight 1/4 on the newest sample; [0.] before any attempt).
+    What the adaptive selection ranks by after breaker state. *)
 
 val quarantined : t -> string list
 (** Hashes this mirror has served corrupt and will no longer be asked
@@ -162,22 +176,63 @@ val add_telemetry : telemetry -> telemetry -> unit
 
 val pp_telemetry : Format.formatter -> telemetry -> unit
 
+type selection =
+  | Static  (** consult mirrors in configured order — the old behavior *)
+  | Adaptive
+      (** feedback loop: order by (breaker cooling?, consecutive
+          failures, latency EWMA, configured index) at every fetch, so
+          tripped and slow mirrors sink and recovered ones float back *)
+
 type group
 
-val group : ?policy:retry_policy -> ?clock:clock -> ?obs:Obs.ctx -> t list -> group
+val group :
+  ?policy:retry_policy ->
+  ?clock:clock ->
+  ?obs:Obs.ctx ->
+  ?selection:selection ->
+  t list ->
+  group
 (** Ordered failover across [t list]; all fetches share the policy,
-    the clock and a telemetry accumulator. With [?obs], every
-    {!fetch_entry} is a [mirror.fetch] span, each telemetry bump also
-    lands in the matching [mirror.*] counter, backoff waits feed the
-    [mirror.backoff_ms] histogram, verified payload bytes accumulate
-    in [mirror.bytes_verified], and circuit-breaker state transitions
-    appear as [mirror.breaker] instants. *)
+    the clock and a telemetry accumulator. [selection] defaults to
+    {!Static}. With [?obs], every {!fetch_entry} is a [mirror.fetch]
+    span, each telemetry bump also lands in the matching [mirror.*]
+    counter, backoff waits feed the [mirror.backoff_ms] histogram,
+    verified payload bytes accumulate in [mirror.bytes_verified], and
+    circuit-breaker state transitions appear as [mirror.breaker]
+    instants. Groups are domain-safe: concurrent {!fetch_entry} calls
+    from parallel installs share breakers, telemetry and the clock. *)
+
+val fleet :
+  ?seed:int ->
+  ?policy:retry_policy ->
+  ?clock:clock ->
+  ?obs:Obs.ctx ->
+  ?selection:selection ->
+  ?name_prefix:string ->
+  size:int ->
+  Buildcache.t ->
+  group
+(** A simulated fleet of [size] mirrors over one cache, each with a
+    deterministic fault/latency profile drawn from [seed]: every fifth
+    mirror is near-clean and fast, the rest mix transient failures
+    (5–34%), latency (5–80ms), sticky corruption on roughly a quarter,
+    and bounded outage windows on roughly a sixth. The profile set is a
+    pure function of [(seed, size)]. *)
 
 val mirrors : group -> t list
 
 val telemetry : group -> telemetry
 
 val group_clock : group -> clock
+
+val selection : group -> selection
+
+val rank : group -> t list
+(** The order {!fetch_entry} would consult mirrors in right now.
+    {!Static} groups return the configured list; {!Adaptive} groups
+    sort by (breaker cooling-down, consecutive failures, measured
+    latency, configured index) — deterministic given the same
+    statistics. *)
 
 val fetch_entry :
   group -> hash:string -> (Buildcache.entry, (string * fetch_error) list) result

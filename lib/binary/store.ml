@@ -7,8 +7,12 @@ type t = {
   root : string;
   vfs : Vfs.t;
   by_hash : (string, record) Hashtbl.t;
+  claims : (string, unit) Hashtbl.t;  (* hashes with an in-flight writer *)
+  mu : Mutex.t;
+  cond : Condition.t;  (* signalled on every claim release and on crash *)
   mutable write_count : int;
   mutable crash_after : int option;
+  mutable crashed : bool;
   mutable obs : Obs.ctx;
 }
 
@@ -18,8 +22,12 @@ let create ~root vfs =
   { root;
     vfs;
     by_hash = Hashtbl.create 64;
+    claims = Hashtbl.create 16;
+    mu = Mutex.create ();
+    cond = Condition.create ();
     write_count = 0;
     crash_after = None;
+    crashed = false;
     obs = Obs.disabled }
 
 let set_obs t obs = t.obs <- obs
@@ -30,33 +38,61 @@ let vfs t = t.vfs
 
 let write_count t = t.write_count
 
-let set_crash_after t n = t.crash_after <- n
+let set_crash_after t n =
+  Mutex.lock t.mu;
+  t.crash_after <- n;
+  t.crashed <- false;
+  Mutex.unlock t.mu
 
 (* Every store-mediated mutation passes through here. A configured
    crash point fires BEFORE the write it would have been, so the states
    between every pair of consecutive mutations are all reachable by
-   sweeping [crash_after]. *)
+   sweeping [crash_after]. Under concurrency the trigger models power
+   loss: once one domain hits the crash point, the [crashed] flag makes
+   every later mutation — on any domain — raise before writing, so the
+   store's mutation stream stops exactly at write N regardless of the
+   interleaving; claim waiters are woken to raise too. *)
 let tick t what =
-  (match t.crash_after with
-  | Some n when t.write_count >= n ->
+  Mutex.lock t.mu;
+  let fire =
+    t.crashed
+    || match t.crash_after with Some n -> t.write_count >= n | None -> false
+  in
+  if fire then begin
+    t.crashed <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mu;
     Obs.instant t.obs ~attrs:[ ("at", Obs.S what) ] "store.crash";
     raise (Crashed what)
-  | _ -> ());
-  t.write_count <- t.write_count + 1;
-  Obs.incr t.obs "store.writes"
+  end
+  else begin
+    t.write_count <- t.write_count + 1;
+    Mutex.unlock t.mu;
+    Obs.incr t.obs "store.writes"
+  end
 
 let prefix_for t ~name ~version ~hash =
   Printf.sprintf "%s/%s-%s-%s" t.root name (Vers.Version.to_string version)
     (Chash.short hash)
 
-let register t ~hash record = Hashtbl.replace t.by_hash hash record
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
-let installed t ~hash = Hashtbl.find_opt t.by_hash hash
+let register t ~hash record = locked t (fun () -> Hashtbl.replace t.by_hash hash record)
 
-let is_installed t ~hash = Hashtbl.mem t.by_hash hash
+let installed t ~hash = locked t (fun () -> Hashtbl.find_opt t.by_hash hash)
+
+let is_installed t ~hash = locked t (fun () -> Hashtbl.mem t.by_hash hash)
 
 let records t =
-  Hashtbl.fold (fun _ r acc -> r :: acc) t.by_hash []
+  locked t (fun () -> Hashtbl.fold (fun _ r acc -> r :: acc) t.by_hash [])
   |> List.sort (fun a b -> String.compare a.prefix b.prefix)
 
 let uninstall t ~hash =
@@ -64,7 +100,11 @@ let uninstall t ~hash =
   | None -> ()
   | Some r ->
     ignore (Vfs.remove_prefix t.vfs r.prefix);
-    Hashtbl.remove t.by_hash hash
+    locked t (fun () -> Hashtbl.remove t.by_hash hash)
+
+let in_flight t =
+  locked t (fun () -> Hashtbl.fold (fun h () acc -> h :: acc) t.claims [])
+  |> List.sort String.compare
 
 let soname_of name = "lib" ^ name ^ ".so"
 
@@ -77,8 +117,15 @@ let lib_path ~prefix ~soname = prefix ^ "/lib/" ^ soname
    the staged files to their final prefix one by one (idempotent
    replays) and only then drops the journal entry. A crash at any
    mutation leaves a journal that {!recover} can resolve: entries still
-   [staged] roll back, entries that reached [committing] roll
-   forward. *)
+   [claimed] or [staged] roll back, entries that reached [committing]
+   roll forward.
+
+   Concurrency: the journal is per-hash, so transactions from parallel
+   plan nodes and from independent installs interleave freely — each
+   hash's entry walks claimed -> staged -> committing -> gone on its
+   own. Mutual exclusion per hash is the lease: {!claim} admits exactly
+   one writer for a hash; everyone else blocks until the holder commits
+   (then sees the record) or aborts (then takes the lease over). *)
 
 let journal_dir root = root ^ "/.journal"
 
@@ -91,6 +138,7 @@ type txn = {
   tx_prefix : string;
   tx_staging : string;
   mutable tx_files : string list;  (* rel paths, newest first *)
+  mutable tx_staged : bool;  (* journal upgraded claimed -> staged *)
 }
 
 let txn_prefix tx = tx.tx_prefix
@@ -103,14 +151,79 @@ let parse_journal text =
   | state :: prefix :: staging :: _ -> Some (state, prefix, staging)
   | _ -> None
 
+let release_claim t hash =
+  Mutex.lock t.mu;
+  Hashtbl.remove t.claims hash;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mu
+
+type claim_outcome =
+  | Claimed of txn
+  | Present of record
+
+let claim t ~hash ~prefix =
+  Mutex.lock t.mu;
+  let waited = ref false in
+  let rec loop () =
+    if t.crashed then begin
+      Mutex.unlock t.mu;
+      raise (Crashed ("claim " ^ Chash.short hash))
+    end
+    else
+      match Hashtbl.find_opt t.by_hash hash with
+      | Some r ->
+        Mutex.unlock t.mu;
+        Present r
+      | None ->
+        if Hashtbl.mem t.claims hash then begin
+          waited := true;
+          Condition.wait t.cond t.mu;
+          loop ()
+        end
+        else begin
+          Hashtbl.replace t.claims hash ();
+          Mutex.unlock t.mu;
+          Obs.incr t.obs "store.claims";
+          if !waited then Obs.incr t.obs "store.claim_waits";
+          let staging = staging_dir t.root ^ "/" ^ hash in
+          (* The claim itself is journalled before any staging, so a
+             crash mid-claim leaves a [claimed] entry recovery rolls
+             back. The crash tick fires before the journal write; a
+             dangling in-memory claim is irrelevant then — the store is
+             dead and every other domain raises too. *)
+          tick t ("journal claim " ^ Chash.short hash);
+          Vfs.write t.vfs (journal_path t.root hash)
+            (Vfs.Text (journal_text "claimed" ~prefix ~staging));
+          Claimed
+            { tx_hash = hash;
+              tx_prefix = prefix;
+              tx_staging = staging;
+              tx_files = [];
+              tx_staged = false }
+        end
+  in
+  let r = loop () in
+  (match r with
+  | Present _ ->
+    if !waited then Obs.incr t.obs "store.claim_dedups"
+  | Claimed _ -> ());
+  r
+
 let begin_install t ~hash ~prefix =
-  let staging = staging_dir t.root ^ "/" ^ hash in
-  tick t ("journal begin " ^ Chash.short hash);
-  Vfs.write t.vfs (journal_path t.root hash)
-    (Vfs.Text (journal_text "staged" ~prefix ~staging));
-  { tx_hash = hash; tx_prefix = prefix; tx_staging = staging; tx_files = [] }
+  match claim t ~hash ~prefix with
+  | Claimed txn -> txn
+  | Present _ ->
+    invalid_arg
+      (Printf.sprintf "Store.begin_install: %s is already installed"
+         (Chash.short hash))
 
 let stage t tx ~rel file =
+  if not tx.tx_staged then begin
+    tick t ("journal staged " ^ Chash.short tx.tx_hash);
+    Vfs.write t.vfs (journal_path t.root tx.tx_hash)
+      (Vfs.Text (journal_text "staged" ~prefix:tx.tx_prefix ~staging:tx.tx_staging));
+    tx.tx_staged <- true
+  end;
   tick t ("stage " ^ rel);
   Vfs.write t.vfs (tx.tx_staging ^ "/" ^ rel) file;
   tx.tx_files <- rel :: tx.tx_files
@@ -139,11 +252,13 @@ let commit t tx ~spec =
   Vfs.remove t.vfs (journal_path t.root tx.tx_hash);
   let record = { spec; prefix = tx.tx_prefix } in
   register t ~hash:tx.tx_hash record;
+  release_claim t tx.tx_hash;
   record
 
 let abort t tx =
   ignore (Vfs.remove_prefix t.vfs tx.tx_staging);
-  Vfs.remove t.vfs (journal_path t.root tx.tx_hash)
+  Vfs.remove t.vfs (journal_path t.root tx.tx_hash);
+  release_claim t tx.tx_hash
 
 (* Resolve every outstanding journal entry against the VFS. Pure
    repair: no crash ticks (this is the post-reboot path). Returns
@@ -160,8 +275,10 @@ let resolve_journal vfs ~root =
       match Vfs.read vfs jpath with
       | Some (Vfs.Text text) -> (
         match parse_journal text with
-        | Some ("staged", _prefix, staging) ->
-          (* Never reached commit: the final prefix is untouched. *)
+        | Some (("claimed" | "staged"), _prefix, staging) ->
+          (* Never reached commit: the final prefix is untouched. A
+             [claimed] entry may have no staging at all — removal is a
+             no-op then, which keeps recovery idempotent. *)
           ignore (Vfs.remove_prefix vfs staging);
           Vfs.remove vfs jpath;
           rolled_back := hash :: !rolled_back

@@ -1,4 +1,5 @@
-(** Content-addressed install store with transactional installs.
+(** Content-addressed install store with transactional installs,
+    shared safely between concurrent writers.
 
     Every installed spec node gets a prefix
     [<root>/<name>-<version>-<hash7>] derived from its sub-DAG hash, so
@@ -12,7 +13,17 @@
     entries that never reached commit roll back, interrupted commits
     roll forward — and the registry itself is rebuilt from the
     [.spack/spec.json] files on disk, so the store survives losing all
-    in-memory state. *)
+    in-memory state.
+
+    Concurrency: many writers — parallel nodes of one install plan, or
+    independent installs on different domains — may share one store.
+    The registry and claim table are guarded by a store mutex, and the
+    per-hash {!claim} lease admits exactly one writer per hash: a
+    second claimant blocks until the holder commits (and then receives
+    the finished {!record} — in-flight dedup, not an error) or aborts
+    (and then takes the lease over). Journal entries for distinct
+    hashes interleave freely; each walks
+    [claimed -> staged -> committing -> gone] independently. *)
 
 type record = {
   spec : Spec.Concrete.t;  (** the sub-DAG rooted at the installed node *)
@@ -23,8 +34,10 @@ type t
 
 exception Crashed of string
 (** Simulated power loss: raised by a store-mediated mutation when the
-    configured crash point is reached. Deliberately NOT an
-    {!Errors.Binary_error} — a crashed process cannot return a typed
+    configured crash point is reached. Once one domain hits it, every
+    later mutation on any domain raises too (power loss stops all
+    writes), and blocked claimants are woken to raise. Deliberately NOT
+    an {!Errors.Binary_error} — a crashed process cannot return a typed
     result; the caller's only recourse is {!recover}. *)
 
 val create : root:string -> Vfs.t -> t
@@ -59,9 +72,27 @@ val soname_of : string -> string
 
 type txn
 
+type claim_outcome =
+  | Claimed of txn
+      (** This caller holds the lease: it must {!stage}+{!commit} or
+          {!abort} the transaction, or every later claimant of the hash
+          blocks forever. *)
+  | Present of record
+      (** The hash was already installed — possibly committed by a
+          concurrent holder this call waited out. Nothing to do. *)
+
+val claim : t -> hash:string -> prefix:string -> claim_outcome
+(** Acquire the per-hash install lease. If the hash is installed,
+    returns [Present] immediately. If another writer holds the lease,
+    blocks until that writer commits ([Present]) or aborts (this caller
+    takes over, [Claimed]). Otherwise journals a [claimed] entry and
+    returns [Claimed]. Raises {!Crashed} if the store has crashed or
+    crashes at the journal write. *)
+
 val begin_install : t -> hash:string -> prefix:string -> txn
-(** Open a staged install of [hash] destined for [prefix]: appends a
-    [staged] journal entry and returns the transaction handle. *)
+(** {!claim} specialised for callers that know the hash is absent and
+    uncontended (single-writer paths, tests).
+    @raise Invalid_argument if the hash is already installed. *)
 
 val txn_prefix : txn -> string
 (** The {e final} prefix — writers compute embedded paths against it,
@@ -69,49 +100,66 @@ val txn_prefix : txn -> string
 
 val stage : t -> txn -> rel:string -> Vfs.file -> unit
 (** Write one file (path relative to the final prefix) into the
-    transaction's staging area. *)
+    transaction's staging area. The first stage of a transaction
+    upgrades its journal entry from [claimed] to [staged]. *)
 
 val commit : t -> txn -> spec:Spec.Concrete.t -> record
 (** Mark the journal [committing], publish every staged file to the
     final prefix (idempotent copy-then-drop per file), clear the
-    journal entry and register the record. *)
+    journal entry, register the record and release the lease (waking
+    blocked claimants, who then see [Present]). *)
 
 val abort : t -> txn -> unit
-(** Drop the staging area and journal entry; the final prefix is
-    untouched. *)
+(** Drop the staging area and journal entry and release the lease; the
+    final prefix is untouched. Crash injection does not fire here, so
+    typed-failure cleanup always succeeds on a live store. *)
+
+val in_flight : t -> string list
+(** Hashes currently holding a claim lease, sorted. Empty on a
+    quiescent store — asserted by tests after every install wave. *)
 
 val cleanup_pending : t -> unit
 (** Resolve any outstanding journal entries on a {e live} store (used
     when an install fails typed mid-plan and must leave no staging
-    residue). Crash injection does not fire here. *)
+    residue). Crash injection does not fire here. Only safe when no
+    claim is in flight — concurrent installers use per-transaction
+    {!abort} instead. *)
 
 val set_obs : t -> Obs.ctx -> unit
 (** Attach a tracing context: store-mediated writes count into
     [store.writes], each transaction commit is a [store.commit] span
-    and bumps [store.journal_commits], and injected crashes appear as
-    [store.crash] instants. *)
+    and bumps [store.journal_commits], claims count into [store.claims]
+    (with [store.claim_waits] / [store.claim_dedups] for contended
+    ones), and injected crashes appear as [store.crash] instants. *)
 
 (** {1 Crash injection and recovery} *)
 
 val write_count : t -> int
 (** Store-mediated mutations so far — the coordinate system for crash
-    points. *)
+    points. Under a parallel install the count is interleaving-
+    dependent, but sweeping it still reaches every journal write
+    point. *)
 
 val set_crash_after : t -> int option -> unit
 (** [set_crash_after t (Some n)] makes the mutation that would be
     number [n+1] raise {!Crashed} instead (so [Some 0] crashes before
-    any write). [None] disables. *)
+    any write). [None] disables. Also clears the latched crashed flag,
+    so a store can be re-armed between fuzz rounds. *)
 
 type recovery = {
-  rolled_back : string list;  (** staged-only hashes whose residue was dropped *)
+  rolled_back : string list;
+      (** claimed- or staged-only hashes whose residue was dropped *)
   rolled_forward : string list;  (** interrupted commits replayed to completion *)
   reregistered : int;  (** records rebuilt from on-disk spec.json files *)
 }
 
 val recover : root:string -> Vfs.t -> t * recovery
 (** Rebuild a store from what survived on the VFS: resolve the journal
-    (roll back / roll forward), then re-register every prefix carrying
-    a parseable [.spack/spec.json].
+    (roll back [claimed]/[staged] entries — including a bare [claimed]
+    with no staging at all — and roll [committing] entries forward),
+    then re-register every prefix carrying a parseable
+    [.spack/spec.json]. Idempotent: recovering an already-consistent
+    store, or recovering twice, changes nothing.
     @raise Errors.Binary_error ([Recovery_failed _]) on an unreadable
     journal or spec file. *)
 

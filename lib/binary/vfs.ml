@@ -2,34 +2,51 @@ type file =
   | Object of Object_file.t
   | Text of string
 
-type t = { files : (string, file) Hashtbl.t }
+(* One mutex per filesystem: concurrent installs (parallel DAG nodes,
+   independent installs sharing a store) all mutate the same path
+   table. Operations are short — hashtable updates — so a single lock
+   never becomes the scaling bottleneck; the expensive work (hashing,
+   relocation) happens on private copies outside it. *)
+type t = { files : (string, file) Hashtbl.t; mu : Mutex.t }
 
-let create () = { files = Hashtbl.create 256 }
+let create () = { files = Hashtbl.create 256; mu = Mutex.create () }
 
-let write t path file = Hashtbl.replace t.files path file
+let locked t f =
+  Mutex.lock t.mu;
+  match f () with
+  | v ->
+    Mutex.unlock t.mu;
+    v
+  | exception e ->
+    Mutex.unlock t.mu;
+    raise e
 
-let read t path = Hashtbl.find_opt t.files path
+let write t path file = locked t (fun () -> Hashtbl.replace t.files path file)
+
+let read t path = locked t (fun () -> Hashtbl.find_opt t.files path)
 
 let read_object t path =
   match read t path with Some (Object o) -> Some o | _ -> None
 
-let exists t path = Hashtbl.mem t.files path
+let exists t path = locked t (fun () -> Hashtbl.mem t.files path)
 
-let remove t path = Hashtbl.remove t.files path
+let remove t path = locked t (fun () -> Hashtbl.remove t.files path)
 
 let under prefix path =
   let p = if String.length prefix > 0 && prefix.[String.length prefix - 1] = '/' then prefix else prefix ^ "/" in
   String.length path >= String.length p && String.sub path 0 (String.length p) = p
 
 let remove_prefix t prefix =
-  let doomed =
-    Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files []
-  in
-  List.iter (Hashtbl.remove t.files) doomed;
-  List.length doomed
+  locked t (fun () ->
+      let doomed =
+        Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files []
+      in
+      List.iter (Hashtbl.remove t.files) doomed;
+      List.length doomed)
 
 let list_prefix t prefix =
-  Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files []
+  locked t (fun () ->
+      Hashtbl.fold (fun path _ acc -> if under prefix path then path :: acc else acc) t.files [])
   |> List.sort String.compare
 
-let file_count t = Hashtbl.length t.files
+let file_count t = locked t (fun () -> Hashtbl.length t.files)

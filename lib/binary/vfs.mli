@@ -2,7 +2,11 @@
 
     Paths are ['/']-separated absolute strings; directories are
     implicit. Keeps the whole substrate hermetic — builds, caches and
-    relocations never touch the real disk. *)
+    relocations never touch the real disk.
+
+    Domain-safe: every operation holds the filesystem's mutex, so
+    concurrent installs over one store may interleave writes at file
+    granularity. *)
 
 type file =
   | Object of Object_file.t

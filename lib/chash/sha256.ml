@@ -1,87 +1,87 @@
-(* SHA-256 per FIPS 180-4. Message schedule and compression operate on
-   int32 words; the message is buffered in 64-byte blocks. *)
+(* SHA-256 per FIPS 180-4. Words live in untagged native [int]s masked
+   to 32 bits (a 63-bit int holds every intermediate sum), so the
+   schedule and compression loops allocate nothing: boxed [Int32]
+   arithmetic here used to dominate the whole pipeline's allocation
+   rate, and on OCaml 5 the resulting minor-GC pressure stalls every
+   domain — hashing is the installer's per-node hot path, and it must
+   scale across parallel workers. *)
+
+let mask = 0xffffffff
 
 let k =
-  [| 0x428a2f98l; 0x71374491l; 0xb5c0fbcfl; 0xe9b5dba5l; 0x3956c25bl;
-     0x59f111f1l; 0x923f82a4l; 0xab1c5ed5l; 0xd807aa98l; 0x12835b01l;
-     0x243185bel; 0x550c7dc3l; 0x72be5d74l; 0x80deb1fel; 0x9bdc06a7l;
-     0xc19bf174l; 0xe49b69c1l; 0xefbe4786l; 0x0fc19dc6l; 0x240ca1ccl;
-     0x2de92c6fl; 0x4a7484aal; 0x5cb0a9dcl; 0x76f988dal; 0x983e5152l;
-     0xa831c66dl; 0xb00327c8l; 0xbf597fc7l; 0xc6e00bf3l; 0xd5a79147l;
-     0x06ca6351l; 0x14292967l; 0x27b70a85l; 0x2e1b2138l; 0x4d2c6dfcl;
-     0x53380d13l; 0x650a7354l; 0x766a0abbl; 0x81c2c92el; 0x92722c85l;
-     0xa2bfe8a1l; 0xa81a664bl; 0xc24b8b70l; 0xc76c51a3l; 0xd192e819l;
-     0xd6990624l; 0xf40e3585l; 0x106aa070l; 0x19a4c116l; 0x1e376c08l;
-     0x2748774cl; 0x34b0bcb5l; 0x391c0cb3l; 0x4ed8aa4al; 0x5b9cca4fl;
-     0x682e6ff3l; 0x748f82eel; 0x78a5636fl; 0x84c87814l; 0x8cc70208l;
-     0x90befffal; 0xa4506cebl; 0xbef9a3f7l; 0xc67178f2l |]
+  [| 0x428a2f98; 0x71374491; 0xb5c0fbcf; 0xe9b5dba5; 0x3956c25b;
+     0x59f111f1; 0x923f82a4; 0xab1c5ed5; 0xd807aa98; 0x12835b01;
+     0x243185be; 0x550c7dc3; 0x72be5d74; 0x80deb1fe; 0x9bdc06a7;
+     0xc19bf174; 0xe49b69c1; 0xefbe4786; 0x0fc19dc6; 0x240ca1cc;
+     0x2de92c6f; 0x4a7484aa; 0x5cb0a9dc; 0x76f988da; 0x983e5152;
+     0xa831c66d; 0xb00327c8; 0xbf597fc7; 0xc6e00bf3; 0xd5a79147;
+     0x06ca6351; 0x14292967; 0x27b70a85; 0x2e1b2138; 0x4d2c6dfc;
+     0x53380d13; 0x650a7354; 0x766a0abb; 0x81c2c92e; 0x92722c85;
+     0xa2bfe8a1; 0xa81a664b; 0xc24b8b70; 0xc76c51a3; 0xd192e819;
+     0xd6990624; 0xf40e3585; 0x106aa070; 0x19a4c116; 0x1e376c08;
+     0x2748774c; 0x34b0bcb5; 0x391c0cb3; 0x4ed8aa4a; 0x5b9cca4f;
+     0x682e6ff3; 0x748f82ee; 0x78a5636f; 0x84c87814; 0x8cc70208;
+     0x90befffa; 0xa4506ceb; 0xbef9a3f7; 0xc67178f2 |]
 
 type ctx = {
-  h : int32 array;          (* 8 chaining words *)
+  h : int array;            (* 8 chaining words *)
   buf : Bytes.t;            (* 64-byte block buffer *)
   mutable buf_len : int;    (* bytes pending in [buf] *)
-  mutable total : int64;    (* total message bytes absorbed *)
+  mutable total : int;      (* total message bytes absorbed *)
   mutable finished : bool;
-  w : int32 array;          (* message schedule scratch *)
+  w : int array;            (* message schedule scratch *)
 }
 
 let init () =
   { h =
-      [| 0x6a09e667l; 0xbb67ae85l; 0x3c6ef372l; 0xa54ff53al;
-         0x510e527fl; 0x9b05688cl; 0x1f83d9abl; 0x5be0cd19l |];
+      [| 0x6a09e667; 0xbb67ae85; 0x3c6ef372; 0xa54ff53a;
+         0x510e527f; 0x9b05688c; 0x1f83d9ab; 0x5be0cd19 |];
     buf = Bytes.create 64;
     buf_len = 0;
-    total = 0L;
+    total = 0;
     finished = false;
-    w = Array.make 64 0l }
+    w = Array.make 64 0 }
 
-let ( +% ) = Int32.add
-
-let rotr x n = Int32.logor (Int32.shift_right_logical x n) (Int32.shift_left x (32 - n))
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask
 
 let compress ctx block off =
   let w = ctx.w in
   for i = 0 to 15 do
-    w.(i) <- Bytes.get_int32_be block (off + (4 * i))
+    let j = off + (4 * i) in
+    w.(i) <-
+      (Char.code (Bytes.unsafe_get block j) lsl 24)
+      lor (Char.code (Bytes.unsafe_get block (j + 1)) lsl 16)
+      lor (Char.code (Bytes.unsafe_get block (j + 2)) lsl 8)
+      lor Char.code (Bytes.unsafe_get block (j + 3))
   done;
   for i = 16 to 63 do
-    let s0 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 15) 7) (rotr w.(i - 15) 18))
-        (Int32.shift_right_logical w.(i - 15) 3)
-    and s1 =
-      Int32.logxor
-        (Int32.logxor (rotr w.(i - 2) 17) (rotr w.(i - 2) 19))
-        (Int32.shift_right_logical w.(i - 2) 10)
-    in
-    w.(i) <- w.(i - 16) +% s0 +% w.(i - 7) +% s1
+    let x15 = w.(i - 15) and x2 = w.(i - 2) in
+    let s0 = rotr x15 7 lxor rotr x15 18 lxor (x15 lsr 3)
+    and s1 = rotr x2 17 lxor rotr x2 19 lxor (x2 lsr 10) in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask
   done;
   let h = ctx.h in
   let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) and d = ref h.(3) in
   let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
   for i = 0 to 63 do
-    let s1 = Int32.logxor (Int32.logxor (rotr !e 6) (rotr !e 11)) (rotr !e 25) in
-    let ch = Int32.logxor (Int32.logand !e !f) (Int32.logand (Int32.lognot !e) !g) in
-    let t1 = !hh +% s1 +% ch +% k.(i) +% w.(i) in
-    let s0 = Int32.logxor (Int32.logxor (rotr !a 2) (rotr !a 13)) (rotr !a 22) in
-    let maj =
-      Int32.logxor
-        (Int32.logxor (Int32.logand !a !b) (Int32.logand !a !c))
-        (Int32.logand !b !c)
-    in
-    let t2 = s0 +% maj in
-    hh := !g; g := !f; f := !e; e := !d +% t1;
-    d := !c; c := !b; b := !a; a := t1 +% t2
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g) in
+    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b) lxor (!a land !c) lxor (!b land !c) in
+    let t2 = s0 + maj in
+    hh := !g; g := !f; f := !e; e := (!d + t1) land mask;
+    d := !c; c := !b; b := !a; a := (t1 + t2) land mask
   done;
-  h.(0) <- h.(0) +% !a; h.(1) <- h.(1) +% !b;
-  h.(2) <- h.(2) +% !c; h.(3) <- h.(3) +% !d;
-  h.(4) <- h.(4) +% !e; h.(5) <- h.(5) +% !f;
-  h.(6) <- h.(6) +% !g; h.(7) <- h.(7) +% !hh
+  h.(0) <- (h.(0) + !a) land mask; h.(1) <- (h.(1) + !b) land mask;
+  h.(2) <- (h.(2) + !c) land mask; h.(3) <- (h.(3) + !d) land mask;
+  h.(4) <- (h.(4) + !e) land mask; h.(5) <- (h.(5) + !f) land mask;
+  h.(6) <- (h.(6) + !g) land mask; h.(7) <- (h.(7) + !hh) land mask
 
 let feed ctx s =
   if ctx.finished then invalid_arg "Sha256.feed: finalized context";
   let len = String.length s in
-  ctx.total <- Int64.add ctx.total (Int64.of_int len);
+  ctx.total <- ctx.total + len;
   let pos = ref 0 in
   (* Top up a partially filled block first. *)
   if ctx.buf_len > 0 then begin
@@ -107,7 +107,7 @@ let feed ctx s =
 let finalize ctx =
   if ctx.finished then invalid_arg "Sha256.finalize: finalized context";
   ctx.finished <- true;
-  let bitlen = Int64.mul ctx.total 8L in
+  let bitlen = ctx.total * 8 in
   (* Padding: 0x80, zeros, 8-byte big-endian bit length. *)
   let pad_start = ctx.buf_len in
   Bytes.set ctx.buf pad_start '\x80';
@@ -117,11 +117,11 @@ let finalize ctx =
     Bytes.fill ctx.buf 0 56 '\x00'
   end else
     Bytes.fill ctx.buf (pad_start + 1) (56 - pad_start - 1) '\x00';
-  Bytes.set_int64_be ctx.buf 56 bitlen;
+  Bytes.set_int64_be ctx.buf 56 (Int64.of_int bitlen);
   compress ctx ctx.buf 0;
   let out = Bytes.create 32 in
   for i = 0 to 7 do
-    Bytes.set_int32_be out (4 * i) ctx.h.(i)
+    Bytes.set_int32_be out (4 * i) (Int32.of_int ctx.h.(i))
   done;
   Bytes.unsafe_to_string out
 

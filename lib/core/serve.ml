@@ -771,52 +771,93 @@ let stop t =
 
 module Client = struct
   type t = {
-    fd : Unix.file_descr;
-    dec : Sjson.Frame.decoder;
+    path : string;
+    retries : int;  (* extra attempts per rpc beyond the first *)
+    backoff_ms : float;  (* base delay, doubling per retry *)
+    mutable fd : Unix.file_descr option;
+    mutable dec : Sjson.Frame.decoder;
     buf : Bytes.t;
     mutable next_id : int;
   }
 
-  let connect path =
+  let dial path =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_UNIX path) with
-    | () ->
-      Ok
-        { fd;
-          dec = Sjson.Frame.create ();
-          buf = Bytes.create 65536;
-          next_id = 0 }
+    | () -> Ok fd
     | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
 
-  let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+  let connect ?(retries = 0) ?(backoff_ms = 5.0) path =
+    match dial path with
+    | Error _ as e -> e
+    | Ok fd ->
+      Ok
+        { path;
+          retries;
+          backoff_ms;
+          fd = Some fd;
+          dec = Sjson.Frame.create ();
+          buf = Bytes.create 65536;
+          next_id = 0 }
+
+  let drop c =
+    (match c.fd with
+    | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    c.fd <- None
+
+  let close c = drop c
+
+  (* Re-dial and — critically — reset the frame decoder: bytes from a
+     connection that died mid-frame must not prefix the new stream. *)
+  let reconnect c =
+    drop c;
+    match dial c.path with
+    | Error _ as e -> e
+    | Ok fd ->
+      c.fd <- Some fd;
+      c.dec <- Sjson.Frame.create ();
+      Ok ()
+
+  let current_fd c =
+    match c.fd with
+    | Some fd -> Ok fd
+    | None -> Error "connection closed"
 
   let send c v =
-    let s = Sjson.Frame.encode v in
-    match write_all c.fd s 0 (String.length s) with
-    | () -> Ok ()
-    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    match current_fd c with
+    | Error _ as e -> e
+    | Ok fd -> (
+      let s = Sjson.Frame.encode v in
+      match write_all fd s 0 (String.length s) with
+      | () -> Ok ()
+      | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
 
   let recv c =
-    let rec go () =
+    let rec go fd =
       match Sjson.Frame.next c.dec with
       | Some v -> Ok v
       | None -> (
-        match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+        match Unix.read fd c.buf 0 (Bytes.length c.buf) with
         | 0 -> Error "server closed the connection"
         | n ->
           Sjson.Frame.feed c.dec (Bytes.sub_string c.buf 0 n) 0 n;
-          go ()
+          go fd
         | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
       | exception Sjson.Frame.Error e -> Error (Sjson.Frame.error_to_string e)
     in
-    go ()
+    match current_fd c with Error _ as e -> e | Ok fd -> go fd
+
+  let is_overloaded resp =
+    match Sjson.member_opt "status" resp with
+    | Some (Sjson.String "overloaded") -> true
+    | _ -> false
 
   (* One request, one matching response. Responses to other (pipelined)
      ids are discarded — callers doing their own pipelining should use
      [send]/[recv] directly. *)
-  let rpc c fields =
+  let rpc_once c fields =
     let id = c.next_id in
     c.next_id <- id + 1;
     match send c (Sjson.Object (("id", Sjson.Int id) :: fields)) with
@@ -831,6 +872,40 @@ module Client = struct
           | _ -> await ())
       in
       await ()
+
+  (* Bounded retry around [rpc_once]: a transport error (disconnect
+     mid-request) reconnects and resends; a typed [overloaded] response
+     backs off and resends on the same connection. With [retries = 0]
+     (the default) behavior is exactly the old single-shot rpc — a
+     caller that wants to see overloads (admission tests, load probes)
+     still sees them. A request is retried wholesale, which assumes the
+     operations are idempotent — true of this protocol (solves are
+     pure, reload/shutdown are convergent). *)
+  let rpc c fields =
+    let sleep_for k =
+      let d = c.backoff_ms *. (2.0 ** float_of_int k) /. 1000.0 in
+      if d > 0.0 then Unix.sleepf d
+    in
+    let rec go k last =
+      if k > c.retries then last
+      else begin
+        if k > 0 then sleep_for (k - 1);
+        let attempt =
+          if c.fd = None then
+            match reconnect c with Error _ as e -> e | Ok () -> rpc_once c fields
+          else rpc_once c fields
+        in
+        match attempt with
+        | Ok resp when is_overloaded resp -> go (k + 1) (Ok resp)
+        | Ok _ as ok -> ok
+        | Error _ as err -> (
+          (* transport failure: the old connection is poison *)
+          match reconnect c with
+          | Error _ as e -> go (k + 1) e
+          | Ok () -> go (k + 1) err)
+      end
+    in
+    go 0 (Error "no attempt made")
 
   let mode_field = function Session -> "session" | Fresh -> "fresh"
 

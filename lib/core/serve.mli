@@ -119,7 +119,16 @@ val canonical_of_result :
 module Client : sig
   type t
 
-  val connect : string -> (t, string) result
+  val connect : ?retries:int -> ?backoff_ms:float -> string -> (t, string) result
+  (** [retries] (default [0]) bounds the extra attempts each
+      {!solve}/{!ping}/... makes beyond the first: a mid-request
+      disconnect reconnects (with a fresh frame decoder) and resends;
+      a typed [overloaded] response backs off and resends. Delays start
+      at [backoff_ms] (default 5ms) and double per retry. With the
+      default [retries:0] every failure and overload is returned to the
+      caller on first occurrence — the old behavior. When retries are
+      exhausted the {e last} outcome is returned, so an overloaded
+      server still yields its typed response, not a synthetic error. *)
 
   val close : t -> unit
 

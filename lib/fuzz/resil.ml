@@ -19,6 +19,7 @@
 type plan = {
   pl_mirrors : (string * Binary.Mirror.fault_plan) list;
   pl_crash_at : int;  (* reduced mod the run's write count at use *)
+  pl_jobs : int;  (* domains for the parallel-schedule scenarios *)
 }
 
 let pp_plan fmt p =
@@ -26,13 +27,14 @@ let pp_plan fmt p =
     (fun (name, fp) ->
       Format.fprintf fmt "%s: %a@." name Binary.Mirror.pp_fault_plan fp)
     p.pl_mirrors;
-  Format.fprintf fmt "crash-at: %d@." p.pl_crash_at
+  Format.fprintf fmt "crash-at: %d jobs: %d@." p.pl_crash_at p.pl_jobs
 
 let gen_fault_plan rng =
   { Binary.Mirror.fp_seed = Rng.int rng 1_000_000;
     fp_transient_pct = Rng.pick rng [ 0; 10; 30; 60 ];
     fp_corrupt_pct = Rng.pick rng [ 0; 0; 15; 40 ];
     fp_latency_ms = float_of_int (Rng.int rng 20);
+    fp_wall = false;
     fp_outage_after = (if Rng.chance rng 30 then Some (Rng.int rng 20) else None);
     fp_outage_len = (if Rng.chance rng 50 then Some (Rng.range rng 1 10) else None) }
 
@@ -41,13 +43,17 @@ let gen_plan rng =
   { pl_mirrors =
       List.init mirror_count (fun i ->
           (Printf.sprintf "m%d" i, gen_fault_plan rng));
-    pl_crash_at = Rng.int rng 10_000 }
+    pl_crash_at = Rng.int rng 10_000;
+    pl_jobs = Rng.pick rng [ 2; 2; 3; 4 ] }
 
 type stats = {
   mutable installs_converged : int;
   mutable degraded_converged : int;  (* converged despite taking a fallback *)
   mutable typed_failures_clean : int;  (* no-fallback error, store untouched *)
   mutable crashes_recovered : int;
+  mutable parallel_converged : int;  (* jobs-N runs byte-equal to serial *)
+  mutable parallel_crashes_recovered : int;
+  mutable storms_converged : int;  (* concurrent multi-install unions *)
   mutable entries_quarantined : int;
 }
 
@@ -56,6 +62,9 @@ let fresh_stats () =
     degraded_converged = 0;
     typed_failures_clean = 0;
     crashes_recovered = 0;
+    parallel_converged = 0;
+    parallel_crashes_recovered = 0;
+    storms_converged = 0;
     entries_quarantined = 0 }
 
 let add_stats a b =
@@ -63,13 +72,19 @@ let add_stats a b =
   a.degraded_converged <- a.degraded_converged + b.degraded_converged;
   a.typed_failures_clean <- a.typed_failures_clean + b.typed_failures_clean;
   a.crashes_recovered <- a.crashes_recovered + b.crashes_recovered;
+  a.parallel_converged <- a.parallel_converged + b.parallel_converged;
+  a.parallel_crashes_recovered <-
+    a.parallel_crashes_recovered + b.parallel_crashes_recovered;
+  a.storms_converged <- a.storms_converged + b.storms_converged;
   a.entries_quarantined <- a.entries_quarantined + b.entries_quarantined
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "converged=%d degraded-converged=%d typed-clean=%d crashes-recovered=%d quarantined=%d"
+    "converged=%d degraded-converged=%d typed-clean=%d crashes-recovered=%d \
+     parallel=%d parallel-crashes=%d storms=%d quarantined=%d"
     s.installs_converged s.degraded_converged s.typed_failures_clean
-    s.crashes_recovered s.entries_quarantined
+    s.crashes_recovered s.parallel_converged s.parallel_crashes_recovered
+    s.storms_converged s.entries_quarantined
 
 let store_root = "/ice"
 
@@ -123,6 +138,7 @@ let check ?(stats = fresh_stats ()) (u : Gen.t) plan =
          (fun acc m -> acc + List.length (Binary.Mirror.quarantined m))
          0 (Binary.Mirror.mirrors g)
      in
+     let storm_specs = ref [] in
      List.iter
        (fun r ->
          match Core.Concretizer.concretize_spec ~repo ~options r with
@@ -141,6 +157,7 @@ let check ?(stats = fresh_stats ()) (u : Gen.t) plan =
                (Binary.Errors.to_string e)
            | Ok ref_report -> (
              let ref_fp = Binary.Store.fingerprint ref_store in
+             storm_specs := spec :: !storm_specs;
              (* 1. faulty mirrors, degradation allowed: must converge *)
              let store =
                Binary.Store.create ~root:store_root (Binary.Vfs.create ())
@@ -223,8 +240,144 @@ let check ?(stats = fresh_stats ()) (u : Gen.t) plan =
                | Error e ->
                  fail "request %s: crash-run install failed typed: %s" r
                    (Binary.Errors.to_string e)
+             end;
+             (* 4. parallel schedule, faultless: the report must be
+                byte-identical to the serial one, not just the store *)
+             let store4 =
+               Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+             in
+             (match
+                Binary.Installer.install store4 ~repo ~caches:[ cache ]
+                  ~jobs:plan.pl_jobs spec
+              with
+             | Error e ->
+               fail "request %s: jobs-%d install failed: %s" r plan.pl_jobs
+                 (Binary.Errors.to_string e)
+             | Ok rep4 ->
+               if Binary.Store.fingerprint store4 <> ref_fp then
+                 fail "request %s: jobs-%d install diverged from serial state" r
+                   plan.pl_jobs
+               else if
+                 Binary.Installer.canonical_report rep4
+                 <> Binary.Installer.canonical_report ref_report
+               then
+                 fail "request %s: jobs-%d report differs from serial report" r
+                   plan.pl_jobs
+               else stats.parallel_converged <- stats.parallel_converged + 1);
+             (* 5. crash a parallel faulty run, recover, resume serially:
+                the write count under contention depends on the
+                interleaving, so the crash point is sampled, not swept —
+                the exhaustive per-write sweep lives in the unit tests *)
+             if !writes_observed > 0 then begin
+               let crash_at =
+                 ((plan.pl_crash_at * 7) + 3) mod !writes_observed
+               in
+               let vfs5 = Binary.Vfs.create () in
+               let store5 = Binary.Store.create ~root:store_root vfs5 in
+               Binary.Store.set_crash_after store5 (Some crash_at);
+               match
+                 Binary.Installer.install store5 ~repo
+                   ~mirrors:(fresh_mirrors ()) ~jobs:plan.pl_jobs spec
+               with
+               | exception Binary.Store.Crashed _ -> (
+                 match Binary.Store.recover ~root:store_root vfs5 with
+                 | exception Binary.Errors.Binary_error e ->
+                   fail "request %s: parallel-crash recovery failed: %s" r
+                     (Binary.Errors.to_string e)
+                 | recovered, _report -> (
+                   if
+                     Binary.Vfs.list_prefix vfs5 (store_root ^ "/.journal") <> []
+                     || Binary.Vfs.list_prefix vfs5 (store_root ^ "/.staging")
+                        <> []
+                   then
+                     fail
+                       "request %s: parallel-crash recovery left journal/staging \
+                        residue"
+                       r;
+                   match
+                     Binary.Installer.install recovered ~repo
+                       ~mirrors:(fresh_mirrors ~faultless:true ()) spec
+                   with
+                   | Error e ->
+                     fail "request %s: resume after parallel crash failed: %s" r
+                       (Binary.Errors.to_string e)
+                   | Ok _ ->
+                     if Binary.Store.fingerprint recovered <> ref_fp then
+                       fail
+                         "request %s: jobs-%d crash at write %d + recover + \
+                          resume diverged"
+                         r plan.pl_jobs crash_at
+                     else
+                       stats.parallel_crashes_recovered <-
+                         stats.parallel_crashes_recovered + 1))
+               | Ok _ ->
+                 if Binary.Store.fingerprint store5 <> ref_fp then
+                   fail "request %s: uncrashed jobs-%d run diverged" r
+                     plan.pl_jobs
+               | Error e ->
+                 fail "request %s: parallel crash-run failed typed: %s" r
+                   (Binary.Errors.to_string e)
              end)))
-       (u.Gen.u_cache_roots @ u.Gen.u_requests)
+       (u.Gen.u_cache_roots @ u.Gen.u_requests);
+     (* 6. install storm: several independent installs — including two of
+        the same spec, to force cross-install claim contention — race
+        onto one shared store through one adaptive mirror fleet. The
+        union must equal the serial union, and no claim may leak. *)
+     (match List.rev !storm_specs with
+      | [] -> ()
+      | specs ->
+        let take n l =
+          List.filteri (fun i _ -> i < n) l
+        in
+        let distinct = take 3 specs in
+        let racers = distinct @ take 1 distinct in
+        let ref_union =
+          Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+        in
+        let union_ok =
+          List.for_all
+            (fun s ->
+              match
+                Binary.Installer.install ref_union ~repo ~caches:[ cache ] s
+              with
+              | Ok _ -> true
+              | Error e ->
+                fail "storm reference install failed: %s"
+                  (Binary.Errors.to_string e);
+                false)
+            distinct
+        in
+        if union_ok then begin
+          let storm_store =
+            Binary.Store.create ~root:store_root (Binary.Vfs.create ())
+          in
+          let fleet =
+            Binary.Mirror.fleet ~seed:plan.pl_crash_at
+              ~selection:Binary.Mirror.Adaptive ~size:8 cache
+          in
+          let results =
+            List.map
+              (fun s ->
+                Domain.spawn (fun () ->
+                    Binary.Installer.install storm_store ~repo ~mirrors:fleet s))
+              racers
+            |> List.map Domain.join
+          in
+          List.iter
+            (function
+              | Ok _ -> ()
+              | Error e ->
+                fail "storm install failed despite fallback: %s"
+                  (Binary.Errors.to_string e))
+            results;
+          if Binary.Store.in_flight storm_store <> [] then
+            fail "storm left claims in flight";
+          if
+            Binary.Store.fingerprint storm_store
+            <> Binary.Store.fingerprint ref_union
+          then fail "storm union diverged from serial union"
+          else stats.storms_converged <- stats.storms_converged + 1
+        end)
    with
   | Binary.Store.Crashed w ->
     violations := Printf.sprintf "unexpected crash escaped: %s" w :: !violations

@@ -11,7 +11,14 @@
       or fails with a typed error leaving the store untouched;
     - a crash injected at an arbitrary store mutation, followed by
       {!Binary.Store.recover} and a resumed install, always converges,
-      with no journal or staging residue.
+      with no journal or staging residue;
+    - a parallel ([--jobs N]) faultless run produces a report
+      byte-identical to the serial one and the same fingerprint; a
+      crash injected into a parallel faulty run recovers and resumes to
+      convergence; and an install {e storm} — several installs racing
+      onto one shared store through an adaptive mirror fleet, two of
+      them the same spec — converges to the serial union with no claim
+      left in flight.
 
     Like {!Oracle}, everything is a pure function of (seed, round), so
     any report line reproduces its failure exactly. *)
@@ -21,6 +28,7 @@ type plan = {
       (** one fault plan per simulated mirror, in failover order *)
   pl_crash_at : int;
       (** crash point; reduced mod the observed write count at use *)
+  pl_jobs : int;  (** domain count for the parallel-schedule scenarios *)
 }
 
 val gen_plan : Rng.t -> plan
@@ -37,6 +45,16 @@ type stats = {
   mutable typed_failures_clean : int;
       (** no-fallback runs that failed typed with the store untouched *)
   mutable crashes_recovered : int;
+  mutable parallel_converged : int;
+      (** jobs-N faultless runs whose report was byte-identical to the
+          serial one *)
+  mutable parallel_crashes_recovered : int;
+      (** crashes injected into jobs-N faulty runs that recovered and
+          resumed to convergence *)
+  mutable storms_converged : int;
+      (** concurrent multi-install unions (shared store, adaptive
+          fleet, duplicated spec for claim contention) that matched the
+          serial union with no claim leaked *)
   mutable entries_quarantined : int;
 }
 

@@ -277,7 +277,8 @@ let test_absent_entry_is_not_degradation () =
 let test_faulty_mirror_install_converges () =
   let faults =
     { M.fp_seed = 99; fp_transient_pct = 40; fp_corrupt_pct = 30;
-      fp_latency_ms = 2.0; fp_outage_after = Some 4; fp_outage_len = Some 3 }
+      fp_latency_ms = 2.0; fp_wall = false; fp_outage_after = Some 4;
+      fp_outage_len = Some 3 }
   in
   let g =
     M.group ~policy:fast_policy
@@ -342,6 +343,198 @@ let test_recover_idempotent () =
   check_converged "recover on a clean store" recovered;
   Alcotest.(check bool) "records answer installed-queries" true
     (B.Store.is_installed recovered ~hash:(root_hash ()))
+
+(* ---- parallel installs: schedules, contention, crashes ---- *)
+
+let serial_reference_report =
+  lazy
+    (let _, store = fresh_store () in
+     B.Errors.ok_exn
+       (B.Installer.install store ~repo ~caches:[ Lazy.force origin ] app_spec))
+
+let test_parallel_matches_serial () =
+  let serial = B.Installer.canonical_report (Lazy.force serial_reference_report) in
+  List.iter
+    (fun jobs ->
+      let _, store = fresh_store () in
+      let rep =
+        B.Errors.ok_exn
+          (B.Installer.install store ~repo ~caches:[ Lazy.force origin ] ~jobs
+             app_spec)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "jobs-%d report is byte-identical to serial" jobs)
+        serial
+        (B.Installer.canonical_report rep);
+      check_converged (Printf.sprintf "jobs-%d install" jobs) store)
+    [ 2; 3; 4 ]
+
+let test_concurrent_installs_dedup () =
+  (* two independent installs of the same spec race onto one store:
+     the per-hash claim lease must dedup in-flight work, both must
+     succeed, and no lease may survive the wave *)
+  let _, store = fresh_store () in
+  let results =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            B.Installer.install store ~repo ~caches:[ Lazy.force origin ] app_spec))
+    |> List.map Domain.join
+  in
+  List.iter (fun r -> ignore (B.Errors.ok_exn r)) results;
+  Alcotest.(check (list string)) "no claims left in flight" []
+    (B.Store.in_flight store);
+  check_converged "concurrent same-spec installs" store
+
+let parallel_crash_recover_at ~jobs crash_at =
+  let vfs, store = fresh_store () in
+  B.Store.set_crash_after store (Some crash_at);
+  match
+    B.Installer.install store ~repo ~caches:[ Lazy.force origin ] ~jobs app_spec
+  with
+  | exception B.Store.Crashed _ ->
+    let recovered, _ = B.Store.recover ~root:"/ice" vfs in
+    Alcotest.(check (list string))
+      (Printf.sprintf "no journal residue (jobs %d, crash at %d)" jobs crash_at)
+      []
+      (B.Vfs.list_prefix vfs "/ice/.journal");
+    Alcotest.(check (list string))
+      (Printf.sprintf "no staging residue (jobs %d, crash at %d)" jobs crash_at)
+      []
+      (B.Vfs.list_prefix vfs "/ice/.staging");
+    Alcotest.(check (list string)) "no claims on the recovered store" []
+      (B.Store.in_flight recovered);
+    ignore
+      (B.Errors.ok_exn
+         (B.Installer.install recovered ~repo ~caches:[ Lazy.force origin ]
+            app_spec));
+    check_converged
+      (Printf.sprintf "jobs-%d crash at write %d + recover + resume" jobs
+         crash_at)
+      recovered
+  | Ok _ -> check_converged "uncrashed parallel run" store
+  | Error e ->
+    Alcotest.failf "typed failure under parallel crash plan: %s"
+      (B.Errors.to_string e)
+
+let test_parallel_crash_recover_everywhere () =
+  (* total mutation count is schedule-independent (same transactions,
+     different order), so the serial count bounds the sweep *)
+  let _, probe = fresh_store () in
+  ignore
+    (B.Errors.ok_exn
+       (B.Installer.install probe ~repo ~caches:[ Lazy.force origin ] app_spec));
+  let writes = B.Store.write_count probe in
+  for k = 0 to writes - 1 do
+    parallel_crash_recover_at ~jobs:3 k
+  done
+
+let qcheck_recover_idempotent =
+  QCheck.Test.make
+    ~name:"recover is idempotent across crash points and schedules" ~count:40
+    QCheck.(pair (int_range 0 80) (int_range 1 4))
+    (fun (crash_at, jobs) ->
+      let vfs, store = fresh_store () in
+      B.Store.set_crash_after store (Some crash_at);
+      (match
+         B.Installer.install store ~repo ~caches:[ Lazy.force origin ] ~jobs
+           app_spec
+       with
+      | exception B.Store.Crashed _ -> ()
+      | Ok _ | Error _ -> ());
+      let s1, _ = B.Store.recover ~root:"/ice" vfs in
+      let fp1 = B.Store.fingerprint s1 in
+      let files1 = B.Vfs.file_count vfs in
+      (* recovering an already-recovered (consistent) store is a no-op *)
+      let s2, r2 = B.Store.recover ~root:"/ice" vfs in
+      r2.B.Store.rolled_back = []
+      && r2.B.Store.rolled_forward = []
+      && B.Store.fingerprint s2 = fp1
+      && B.Vfs.file_count vfs = files1)
+
+(* ---- adaptive mirror ordering ---- *)
+
+let test_adaptive_ordering_sinks_and_recovers () =
+  let cache = Lazy.force origin in
+  let lat ms = { M.no_faults with M.fp_latency_ms = ms } in
+  let slow = M.create ~name:"slow" ~faults:(lat 50.0) cache in
+  let fast = M.create ~name:"fast" ~faults:(lat 1.0) cache in
+  let g = M.group ~policy:fast_policy ~selection:M.Adaptive [ slow; fast ] in
+  let clk = M.group_clock g in
+  Alcotest.(check (list string)) "unmeasured mirrors keep configured order"
+    [ "slow"; "fast" ]
+    (List.map M.name (M.rank g));
+  (* one measured request each: the slow mirror sinks *)
+  ignore (M.fetch slow clk ~hash:(root_hash ()));
+  ignore (M.fetch fast clk ~hash:(root_hash ()));
+  Alcotest.(check (list string)) "slow mirror sinks behind the fast one"
+    [ "fast"; "slow" ]
+    (List.map M.name (M.rank g));
+  (* trip the fast mirror's breaker: it sinks to the very back *)
+  let b = M.breaker_of fast in
+  for _ = 1 to 3 do
+    ignore (M.breaker_record b clk ~ok:false)
+  done;
+  Alcotest.(check bool) "breaker open" true (M.breaker_state b = M.Open);
+  Alcotest.(check (list string)) "tripped mirror sinks to the back"
+    [ "slow"; "fast" ]
+    (List.map M.name (M.rank g));
+  (* cooldown elapses, probes succeed: it recovers to the front *)
+  M.advance clk M.default_breaker.M.cooldown_ms;
+  Alcotest.(check bool) "cooldown admits the probe" true (M.breaker_allows b clk);
+  ignore (M.breaker_record b clk ~ok:true);
+  Alcotest.(check (list string)) "recovered mirror returns to the front"
+    [ "fast"; "slow" ]
+    (List.map M.name (M.rank g))
+
+let qcheck_adaptive_rank_by_latency =
+  QCheck.Test.make
+    ~name:"adaptive rank orders healthy mirrors by measured latency" ~count:40
+    QCheck.(list_of_size (Gen.int_range 2 6) (int_range 0 500))
+    (fun lats ->
+      let cache = Lazy.force origin in
+      let ms =
+        List.mapi
+          (fun i l ->
+            M.create
+              ~name:(Printf.sprintf "m%d" i)
+              ~faults:{ M.no_faults with M.fp_latency_ms = float_of_int l }
+              cache)
+          lats
+      in
+      let g = M.group ~policy:fast_policy ~selection:M.Adaptive ms in
+      let clk = M.group_clock g in
+      List.iter (fun m -> ignore (M.fetch m clk ~hash:(root_hash ()))) ms;
+      let expected =
+        List.mapi (fun i l -> (l, i)) lats
+        |> List.stable_sort compare
+        |> List.map (fun (_, i) -> Printf.sprintf "m%d" i)
+      in
+      List.map M.name (M.rank g) = expected)
+
+let qcheck_tripped_mirrors_sink =
+  QCheck.Test.make
+    ~name:"mirrors with open breakers sink behind every healthy one" ~count:40
+    QCheck.(list_of_size (Gen.int_range 2 6) bool)
+    (fun trips ->
+      let cache = Lazy.force origin in
+      let ms = List.mapi (fun i _ -> M.create ~name:(string_of_int i) cache) trips in
+      let g = M.group ~selection:M.Adaptive ms in
+      let clk = M.group_clock g in
+      List.iteri
+        (fun i m ->
+          if List.nth trips i then
+            for _ = 1 to M.default_breaker.M.failure_threshold do
+              ignore (M.breaker_record (M.breaker_of m) clk ~ok:false)
+            done)
+        ms;
+      let is_tripped name = List.nth trips (int_of_string name) in
+      let rec healthy_prefix = function
+        | [] -> true
+        | x :: rest ->
+          if is_tripped x then List.for_all is_tripped rest
+          else healthy_prefix rest
+      in
+      healthy_prefix (List.map M.name (M.rank g)))
 
 (* ---- satellite regressions ---- *)
 
@@ -452,6 +645,19 @@ let () =
             test_crash_recover_everywhere;
           Alcotest.test_case "recover is safe on a clean store" `Quick
             test_recover_idempotent ] );
+      ( "parallel",
+        [ Alcotest.test_case "parallel reports are byte-identical to serial"
+            `Quick test_parallel_matches_serial;
+          Alcotest.test_case "concurrent installs dedup via claim leases"
+            `Quick test_concurrent_installs_dedup;
+          Alcotest.test_case "jobs-3 crash at every write point recovers"
+            `Quick test_parallel_crash_recover_everywhere;
+          QCheck_alcotest.to_alcotest qcheck_recover_idempotent ] );
+      ( "selection",
+        [ Alcotest.test_case "adaptive ordering sinks and recovers mirrors"
+            `Quick test_adaptive_ordering_sinks_and_recovers;
+          QCheck_alcotest.to_alcotest qcheck_adaptive_rank_by_latency;
+          QCheck_alcotest.to_alcotest qcheck_tripped_mirrors_sink ] );
       ( "satellites",
         [ Alcotest.test_case "relative requires a separator" `Quick
             test_relative_requires_separator;

@@ -591,6 +591,94 @@ let test_shutdown_drains () =
     (* returns only once the workers drained and exited *)
     Serve.wait t
 
+(* ---- 11. client auto-reconnect and overload retry ---- *)
+
+(* A hand-rolled fake server: lets the test script exact connection
+   lifetimes and responses that the real server would only produce
+   under racy load. *)
+let with_fake_server script f =
+  let socket = fresh_sock () in
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX socket);
+  Unix.listen srv 8;
+  let server = Domain.spawn (fun () -> script srv) in
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.join server;
+      Unix.close srv;
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () -> f socket)
+
+let id_of req =
+  match Sjson.member_opt "id" req with Some v -> v | None -> Sjson.Null
+
+let answer fd req status =
+  write_raw fd
+    (Sjson.Frame.encode
+       (Sjson.Object [ ("id", id_of req); ("status", Sjson.String status) ]))
+
+let test_client_reconnect () =
+  let script srv =
+    (* first connection: swallow part of the request, poison the
+       client's decoder with a truncated frame, hang up *)
+    let fd, _ = Unix.accept srv in
+    let buf = Bytes.create 8 in
+    ignore (Unix.read fd buf 0 8);
+    write_raw fd (frame_header 100 ^ "0123456789");
+    Unix.close fd;
+    (* second connection: the resent request, served properly — only
+       parseable if the client reconnected with a fresh decoder *)
+    let fd, _ = Unix.accept srv in
+    let dec = Sjson.Frame.create () in
+    let req = read_frame fd dec in
+    answer fd req "ok";
+    Unix.close fd
+  in
+  with_fake_server script @@ fun socket ->
+  let c = ok (Client.connect ~retries:2 ~backoff_ms:1.0 socket) in
+  Alcotest.(check string) "resent after mid-frame disconnect" "ok"
+    (status_of (ok (Client.ping c)));
+  Client.close c
+
+let test_client_overload_retry () =
+  let script srv =
+    (* connection 1 (retrying client): overloaded, then ok for the
+       backed-off resend on the same connection *)
+    let fd, _ = Unix.accept srv in
+    let dec = Sjson.Frame.create () in
+    answer fd (read_frame fd dec) "overloaded";
+    answer fd (read_frame fd dec) "ok";
+    Unix.close fd;
+    (* connection 2 (retries = 0): overloaded, passed straight through *)
+    let fd, _ = Unix.accept srv in
+    let dec = Sjson.Frame.create () in
+    answer fd (read_frame fd dec) "overloaded";
+    Unix.close fd;
+    (* connection 3 (retries exhausted): overloaded, every time *)
+    let fd, _ = Unix.accept srv in
+    let dec = Sjson.Frame.create () in
+    let rec go () =
+      match read_frame fd dec with
+      | req -> answer fd req "overloaded"; go ()
+      | exception _ -> (try Unix.close fd with Unix.Unix_error _ -> ())
+    in
+    go ()
+  in
+  with_fake_server script @@ fun socket ->
+  let c = ok (Client.connect ~retries:2 ~backoff_ms:1.0 socket) in
+  Alcotest.(check string) "overload retried to success" "ok"
+    (status_of (ok (Client.ping c)));
+  Client.close c;
+  let c = ok (Client.connect socket) in
+  Alcotest.(check string) "retries:0 passes overload through" "overloaded"
+    (status_of (ok (Client.ping c)));
+  Client.close c;
+  let c = ok (Client.connect ~retries:1 ~backoff_ms:1.0 socket) in
+  Alcotest.(check string)
+    "exhausted retries return the typed response, not an error" "overloaded"
+    (status_of (ok (Client.ping c)));
+  Client.close c
+
 let () =
   Alcotest.run "serve"
     (List.map
@@ -615,4 +703,9 @@ let () =
             Alcotest.test_case "overload admission" `Quick test_overload;
             Alcotest.test_case "queue-expired deadline" `Quick test_deadline;
             Alcotest.test_case "shutdown drains the queue" `Quick
-              test_shutdown_drains ] ) ])
+              test_shutdown_drains ] );
+        ( "client",
+          [ Alcotest.test_case "auto-reconnect resends after disconnect"
+              `Quick test_client_reconnect;
+            Alcotest.test_case "overload retry with bounded backoff" `Quick
+              test_client_overload_retry ] ) ])
