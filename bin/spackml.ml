@@ -26,6 +26,25 @@ let concretize_one ~opts text =
   | Ok o -> Ok o
   | Error e -> Error e
 
+(* One-shot concretize through the persistent ground cache: build (or
+   load) a warm delta-grounded universe rooted at the request's root
+   and solve the request as a session assumption set against it. *)
+let concretize_warm ~opts ~dir text =
+  match Core.Encode.request_of_string text with
+  | exception Spec.Parser.Parse_error e -> Error ("parse error: " ^ e)
+  | request -> (
+    let root = request.Core.Encode.req.Spec.Abstract.root.Spec.Abstract.name in
+    match
+      Core.Concretizer.Warm.create ~repo ~options:opts ~ground_cache:dir
+        ~roots:[ root ] ()
+    with
+    | Error e -> Error e
+    | Ok warm -> (
+      let s = Core.Concretizer.Warm.session warm in
+      match Core.Concretizer.Session.solve s request with
+      | Ok o -> Ok o
+      | Error f -> Error f.Core.Concretizer.f_message))
+
 (* ---- flags shared by several commands ---- *)
 
 let reuse_flag =
@@ -40,6 +59,20 @@ let old_flag =
 
 let stats_flag =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print solver statistics.")
+
+let ground_cache_flag =
+  Arg.(value & opt (some string) None & info [ "ground-cache" ] ~docv:"DIR"
+      ~doc:"Persistent on-disk ground cache: load the grounded \
+            request-independent program from DIR when its content key \
+            (program + repo encoding + buildcache digests) matches, and \
+            persist new groundings there. Turns a cold start against a \
+            large buildcache into a load instead of a reground.")
+
+let ground_jobs_flag =
+  Arg.(value & opt int 1 & info [ "ground-jobs" ] ~docv:"N"
+      ~doc:"Partition the grounder's instantiation phase across N \
+            parallel domains (default 1). The ground program is \
+            byte-identical for any N.")
 
 let spec_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC")
 
@@ -158,14 +191,17 @@ let run_batch ~opts ~jobs ~session ~stats file =
 
 let concretize_cmd =
   let spec_opt_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC") in
-  let run reuse splicing old_encoding stats json dot batch jobs session trace
-      trace_format spec_text =
+  let run reuse splicing old_encoding stats json dot batch jobs session
+      ground_cache ground_jobs trace trace_format spec_text =
     with_trace ~trace ~trace_format @@ fun obs ->
     let opts = options ~reuse ~splicing ~old_encoding in
     (* A traced concretize also re-validates its solutions: the verify
        span is part of the pipeline picture. *)
     let opts =
-      { opts with Core.Concretizer.obs; verify = Obs.enabled obs }
+      { opts with
+        Core.Concretizer.obs;
+        verify = Obs.enabled obs;
+        ground_jobs = max 1 ground_jobs }
     in
     match (batch, spec_text) with
     | Some file, None -> run_batch ~opts ~jobs ~session ~stats file
@@ -176,7 +212,11 @@ let concretize_cmd =
       Format.eprintf "error: give a SPEC or --batch FILE@.";
       2
     | None, Some spec_text -> (
-    match concretize_one ~opts spec_text with
+    match
+      match ground_cache with
+      | Some dir -> concretize_warm ~opts ~dir spec_text
+      | None -> concretize_one ~opts spec_text
+    with
     | Error e ->
       Format.eprintf "error: %s@." e;
       1
@@ -209,8 +249,8 @@ let concretize_cmd =
          "Resolve an abstract spec to a concrete spec DAG, or a whole file of \
           specs with $(b,--batch) (optionally in parallel with $(b,--jobs)).")
     Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag
-          $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ trace_flag
-          $ trace_format_flag $ spec_opt_arg)
+          $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ ground_cache_flag
+          $ ground_jobs_flag $ trace_flag $ trace_format_flag $ spec_opt_arg)
 
 (* ---- install ---- *)
 
@@ -873,8 +913,8 @@ let serve_cmd =
         ~doc:"Rebuild a worker's warm session after N solves to bound \
               solver-state growth; 0 never recycles (default 32).")
   in
-  let run reuse splicing workers queue deadline_ms mode socket recycle trace
-      trace_format =
+  let run reuse splicing workers queue deadline_ms mode socket recycle
+      ground_cache ground_jobs trace trace_format =
     with_trace ~trace ~trace_format @@ fun obs ->
     match
       match mode with
@@ -887,7 +927,9 @@ let serve_cmd =
       2
     | Ok default_mode ->
       let opts = options ~reuse ~splicing ~old_encoding:false in
-      let opts = { opts with Core.Concretizer.obs } in
+      let opts =
+        { opts with Core.Concretizer.obs; ground_jobs = max 1 ground_jobs }
+      in
       let config =
         { Core.Serve.default_config with
           Core.Serve.workers;
@@ -899,6 +941,7 @@ let serve_cmd =
             (if reuse then
                Some (fun () -> Radiuss.Caches.reusable_specs (Lazy.force local_cache))
              else None);
+          ground_cache;
           options = opts }
       in
       (match Core.Serve.start ~repo ~config ~socket () with
@@ -921,7 +964,8 @@ let serve_cmd =
           length-prefixed JSON protocol over a Unix socket. Stop it with \
           $(b,spackml client --shutdown).")
     Term.(const run $ reuse_flag $ splice_flag $ workers_flag $ queue_flag
-          $ deadline_flag $ mode_flag $ socket_opt $ recycle_flag $ trace_flag
+          $ deadline_flag $ mode_flag $ socket_opt $ recycle_flag
+          $ ground_cache_flag $ ground_jobs_flag $ trace_flag
           $ trace_format_flag)
 
 let client_cmd =

@@ -1,0 +1,114 @@
+(* Columnar interned fact store.
+
+   Pool-layer facts (one group per buildcache entry) dominate resident
+   memory at buildcache scale: 20k entries x ~15 facts each held as
+   [Ast.statement] lists cost a boxed atom, a boxed args list, and a
+   boxed term per argument — several hundred heap words per fact. This
+   store keeps them as struct-of-arrays instead: every string is
+   interned once, and a fact is a handful of ints in a shared flat
+   array. Groups materialize back to [Ast.atom] lists on demand (only
+   when a group actually enters the grounder as a delta). *)
+
+type arg = S of string | I of int
+
+(* Args are packed into one int each: string ids in the even codes,
+   immediate ints in the odd ones ([asr] keeps negatives exact). *)
+let enc_str sid = sid lsl 1
+let enc_int n = (n lsl 1) lor 1
+
+type group = {
+  g_off : int;  (* first column slot of the group *)
+  g_len : int;  (* column slots *)
+  g_facts : int;
+}
+
+type t = {
+  mutable strs : string array;
+  mutable nstrs : int;
+  sids : (string, int) Hashtbl.t;
+  (* Flat fact columns: each fact is [pred_sid; arity; arg...]. Facts
+     of one group are contiguous. *)
+  mutable cols : int array;
+  mutable ncols : int;
+  mutable nfacts : int;
+  groups : (string, group) Hashtbl.t;
+}
+
+let create () =
+  { strs = Array.make 64 "";
+    nstrs = 0;
+    sids = Hashtbl.create 256;
+    cols = Array.make 1024 0;
+    ncols = 0;
+    nfacts = 0;
+    groups = Hashtbl.create 256 }
+
+let intern t s =
+  match Hashtbl.find_opt t.sids s with
+  | Some id -> id
+  | None ->
+    let id = t.nstrs in
+    if id = Array.length t.strs then begin
+      let bigger = Array.make (2 * id) "" in
+      Array.blit t.strs 0 bigger 0 id;
+      t.strs <- bigger
+    end;
+    t.strs.(id) <- s;
+    t.nstrs <- id + 1;
+    Hashtbl.replace t.sids s id;
+    id
+
+let push t v =
+  if t.ncols = Array.length t.cols then begin
+    let bigger = Array.make (2 * t.ncols) 0 in
+    Array.blit t.cols 0 bigger 0 t.ncols;
+    t.cols <- bigger
+  end;
+  t.cols.(t.ncols) <- v;
+  t.ncols <- t.ncols + 1
+
+let add_group t key facts =
+  if Hashtbl.mem t.groups key then
+    invalid_arg (Printf.sprintf "Factstore.add_group: duplicate group %s" key);
+  let off = t.ncols in
+  List.iter
+    (fun (pred, args) ->
+      push t (intern t pred);
+      push t (List.length args);
+      List.iter
+        (fun a ->
+          push t (match a with S s -> enc_str (intern t s) | I n -> enc_int n))
+        args;
+      t.nfacts <- t.nfacts + 1)
+    facts;
+  Hashtbl.replace t.groups key
+    { g_off = off; g_len = t.ncols - off; g_facts = List.length facts }
+
+let mem t key = Hashtbl.mem t.groups key
+
+let keys t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.groups [] |> List.sort String.compare
+
+let group_atoms t key =
+  match Hashtbl.find_opt t.groups key with
+  | None -> invalid_arg (Printf.sprintf "Factstore.group_atoms: unknown group %s" key)
+  | Some g ->
+    let i = ref g.g_off in
+    let stop = g.g_off + g.g_len in
+    let acc = ref [] in
+    while !i < stop do
+      let pred = t.strs.(t.cols.(!i)) in
+      let arity = t.cols.(!i + 1) in
+      let args =
+        List.init arity (fun k ->
+            let v = t.cols.(!i + 2 + k) in
+            if v land 1 = 0 then Term.str t.strs.(v asr 1) else Term.Int (v asr 1))
+      in
+      i := !i + 2 + arity;
+      acc := Ast.atom pred args :: !acc
+    done;
+    List.rev !acc
+
+let group_count t = Hashtbl.length t.groups
+let fact_count t = t.nfacts
+let words t = Obj.reachable_words (Obj.repr t)

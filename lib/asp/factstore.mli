@@ -1,0 +1,38 @@
+(** Columnar interned fact store for pool-layer facts.
+
+    Holds named {e groups} of ground facts (one group per buildcache
+    entry) as struct-of-arrays over interned string ids: a fact is a
+    handful of ints in a shared flat array instead of a boxed
+    [Ast.statement]. At 20k-entry buildcache scale this is the
+    difference between a few MB and a few hundred MB of resident
+    metadata. Groups materialize to [Ast.atom] lists only when they
+    actually enter the grounder as a delta
+    ({!Ground.layered_update}). *)
+
+type t
+
+type arg = S of string | I of int
+
+val create : unit -> t
+
+val add_group : t -> string -> (string * arg list) list -> unit
+(** [add_group t key facts] appends the named group, each fact a
+    [(pred, args)] pair. Raises [Invalid_argument] on a duplicate
+    key. *)
+
+val mem : t -> string -> bool
+
+val keys : t -> string list
+(** All group keys, sorted. *)
+
+val group_atoms : t -> string -> Ast.atom list
+(** Materialize a group (terms go through the {!Term} interner).
+    Raises [Invalid_argument] on an unknown key. *)
+
+val group_count : t -> int
+
+val fact_count : t -> int
+
+val words : t -> int
+(** Heap words reachable from the store — the [factstore.words]
+    resident-memory gauge. *)

@@ -45,6 +45,11 @@ type options = {
           interchangeable; used by the [sat-smoke] bench and
           differential tests to compare the two cores on identical
           encodings. Sessions always run the default core. *)
+  ground_jobs : int;
+      (** partition the grounder's phase-2 instantiation across this
+          many OCaml 5 domains ({!Asp.Ground.ground}'s [jobs]); the
+          ground program is byte-identical for any value. Applies to
+          one-shot solves and {!Session.create}; default 1. *)
   obs : Obs.ctx;
       (** tracing context ({!Obs.disabled} by default): when enabled,
           every request emits a [concretize] span with child
@@ -162,6 +167,65 @@ module Session : sig
   (** Session-cumulative solver counters. *)
 
   val solves : t -> int
+end
+
+(** Warm delta-grounded universes: the request-independent session
+    program grounded once through {!Asp.Ground.layered_create}, with
+    the buildcache applied as named per-entry fact groups
+    ({!Encode.pool_groups}). A buildcache swap becomes a
+    {!Asp.Ground.layered_update} delta proportional to the churn
+    instead of a full reground, and the grounding itself can be
+    persisted to disk ({!Groundcache}) so a cold start at 20k pool
+    entries loads instead of regrounding. *)
+module Warm : sig
+  type t
+
+  val create :
+    repo:Pkg.Repo.t ->
+    ?options:options ->
+    ?ground_cache:string ->
+    roots:string list ->
+    unit ->
+    (t, string) result
+  (** Ground the (never-pruned) base universe for session requests
+      rooted at any of [roots], then apply [options.reuse] as the
+      initial pool delta. With [?ground_cache DIR], first try to load
+      the grounding keyed by (program + base facts digest, pool
+      digest) — a hit skips grounding entirely — and persist whatever
+      had to be computed for the next cold start. *)
+
+  val set_pool : t -> Spec.Concrete.t list -> bool
+  (** Swap the buildcache; [true] iff the pool digest changed. Applies
+      the entry-group delta in place (removed entries retract through
+      delete/re-derive, added ones extend semi-naively) and persists
+      the new grounding when a cache dir is configured. Any
+      {!session} built earlier must be discarded — it shares the
+      mutated atom store. *)
+
+  val session : t -> Session.t
+  (** A solve session over the current grounding (snapshot +
+      translate; no regrounding). Valid until the next {!set_pool}. *)
+
+  val pool_digest : Spec.Concrete.t list -> string
+  (** Content digest of a buildcache (sorted DAG hashes) — the pool
+      half of the ground-cache key, shared with the solve server's
+      eviction generation. *)
+
+  val generation : t -> int
+  (** Bumped by every applied pool delta. *)
+
+  val entry_count : t -> int
+
+  val digest : t -> string
+  (** Pool digest of the currently applied buildcache. *)
+
+  val words : t -> int
+  (** Resident heap words of the warm grounding. *)
+
+  val from_cache : t -> bool
+  (** Whether {!create} loaded the grounding from disk. *)
+
+  val setup_seconds : t -> float
 end
 
 val concretize_batch :

@@ -72,6 +72,23 @@ let versions_of universe p =
 let versions_satisfying universe p range =
   List.filter (fun v -> Vers.Range.satisfies v range) (versions_of universe p)
 
+(* A version hook: a place where a version range was precompiled
+   against the version universe. The layered encoding grounds the base
+   against the declared universe only and re-runs each hook against
+   pool-only versions when a buildcache entry arrives, so the base
+   layer never depends on pool contents. *)
+type hook = {
+  hk_pred : string;  (* cond_version_ok | dep_version_ok | splice_*_version_ok *)
+  hk_id : string;  (* condition or splice id, the fact's first argument *)
+  hk_pkg : string;  (* package whose versions the range tests *)
+  hk_range : Vers.Range.t;
+}
+
+let note_hook hooks pred id pkg range =
+  match hooks with
+  | None -> ()
+  | Some acc -> acc := { hk_pred = pred; hk_id = id; hk_pkg = pkg; hk_range = range } :: !acc
+
 (* ---- package facts ---------------------------------------------- *)
 
 let bool_values = [ "True"; "False" ]
@@ -99,18 +116,20 @@ let fresh_cond counter =
   incr counter;
   Printf.sprintf "c%d" !counter
 
-let encode_when universe pname (w : Spec.Abstract.node option) cid =
+let encode_when ?hooks universe pname (w : Spec.Abstract.node option) cid =
   let base = [ f "condition_requirement" [ str cid; str "node"; str pname ] ] in
   match w with
   | None -> base
   | Some n ->
     let version_reqs =
       if Vers.Range.is_any n.Spec.Abstract.version then []
-      else
+      else begin
+        note_hook hooks "cond_version_ok" cid pname n.Spec.Abstract.version;
         f "condition_requirement" [ str cid; str "version_ok"; str pname ]
         :: List.map
              (fun v -> f "cond_version_ok" [ str cid; str (vstr v) ])
              (versions_satisfying universe pname n.Spec.Abstract.version)
+      end
     in
     let variant_reqs =
       Spec.Types.Smap.fold
@@ -127,23 +146,26 @@ let deptype_atoms (dt : Spec.Types.deptypes) =
   (if dt.Spec.Types.link then [ "link" ] else [])
   @ if dt.Spec.Types.build then [ "build" ] else []
 
-let encode_dependency cond universe pname (d : Pkg.Package.dep_decl) =
+let encode_dependency ?hooks cond universe pname (d : Pkg.Package.dep_decl) =
   let cid = fresh_cond cond in
   let dname = d.Pkg.Package.d_spec.Spec.Abstract.root.Spec.Abstract.name in
   let droot = d.Pkg.Package.d_spec.Spec.Abstract.root in
   let base =
-    (f "condition" [ str cid ] :: encode_when universe pname d.Pkg.Package.d_when cid)
+    (f "condition" [ str cid ]
+    :: encode_when ?hooks universe pname d.Pkg.Package.d_when cid)
     @ List.map
         (fun dt -> f "imposed_dep" [ str cid; str pname; str dname; str dt ])
         (deptype_atoms d.Pkg.Package.d_types)
   in
   let version_constraint =
     if Vers.Range.is_any droot.Spec.Abstract.version then []
-    else
+    else begin
+      note_hook hooks "dep_version_ok" cid dname droot.Spec.Abstract.version;
       f "dep_req_version" [ str cid; str dname ]
       :: List.map
            (fun v -> f "dep_version_ok" [ str cid; str (vstr v) ])
            (versions_satisfying universe dname droot.Spec.Abstract.version)
+    end
   in
   let variant_constraints =
     Spec.Types.Smap.fold
@@ -156,7 +178,7 @@ let encode_dependency cond universe pname (d : Pkg.Package.dep_decl) =
   in
   base @ version_constraint @ variant_constraints
 
-let encode_conflict cond universe pname (c : Pkg.Package.conflict_decl) =
+let encode_conflict ?hooks cond universe pname (c : Pkg.Package.conflict_decl) =
   let cid = fresh_cond cond in
   (* The conflict fires when both the when-condition and the conflicting
      configuration hold: merge both into the requirements. *)
@@ -168,10 +190,10 @@ let encode_conflict cond universe pname (c : Pkg.Package.conflict_decl) =
   match merged with
   | None -> [] (* contradictory condition can never fire *)
   | Some m ->
-    (f "condition" [ str cid ] :: encode_when universe pname (Some m) cid)
+    (f "condition" [ str cid ] :: encode_when ?hooks universe pname (Some m) cid)
     @ [ f "imposed_conflict" [ str cid ] ]
 
-let encode_package cond universe (pkg : Pkg.Package.t) =
+let encode_package ?hooks cond universe (pkg : Pkg.Package.t) =
   let pname = pkg.Pkg.Package.name in
   let versions =
     List.concat
@@ -183,13 +205,15 @@ let encode_package cond universe (pkg : Pkg.Package.t) =
   in
   versions
   @ List.concat_map (encode_variant_decl pname) pkg.Pkg.Package.variants
-  @ List.concat_map (encode_dependency cond universe pname) pkg.Pkg.Package.dependencies
+  @ List.concat_map
+      (encode_dependency ?hooks cond universe pname)
+      pkg.Pkg.Package.dependencies
   @ List.concat_map
       (fun (p : Pkg.Package.provide_decl) ->
         [ f "provides" [ str pname; str p.Pkg.Package.p_virtual ];
           f "virtual" [ str p.Pkg.Package.p_virtual ] ])
       pkg.Pkg.Package.provides
-  @ List.concat_map (encode_conflict cond universe pname) pkg.Pkg.Package.conflicts
+  @ List.concat_map (encode_conflict ?hooks cond universe pname) pkg.Pkg.Package.conflicts
 
 (* Versions present only in the reuse pool still need version_decl /
    version_weight facts so the choice rule can select them; they rank
@@ -249,43 +273,85 @@ let encode_request universe (r : request) =
 (* ---- reusable specs --------------------------------------------- *)
 
 (* Attribute tuples shared by both encodings; the predicate differs
-   (imposed_constraint directly, or hash_attr + recovery rules). *)
+   (imposed_constraint directly, or hash_attr + recovery rules). Every
+   argument is a constant string, so the columnar pool layer can pack
+   the same tuples as interned ids. *)
+let entry_tuples h spec =
+  let n = Spec.Concrete.root_node spec in
+  let p = n.Spec.Concrete.name in
+  let base =
+    [ [ h; "version"; p; vstr n.Spec.Concrete.version ];
+      [ h; "node_os"; p; n.Spec.Concrete.os ];
+      [ h; "node_target"; p; n.Spec.Concrete.target ] ]
+  in
+  let variants =
+    Spec.Types.Smap.fold
+      (fun var value acc ->
+        [ h; "variant"; p; var; Spec.Types.variant_value_to_string value ] :: acc)
+      n.Spec.Concrete.variants []
+  in
+  let deps =
+    List.concat_map
+      (fun (c, (dt : Spec.Types.deptypes)) ->
+        if not dt.Spec.Types.link then []
+        else
+          [ [ h; "depends_on"; p; c; "link" ];
+            [ h; "hash"; c; Spec.Concrete.node_hash spec c ] ])
+      (Spec.Concrete.children spec p)
+  in
+  (p, base @ variants @ deps)
+
 let reusable_tuples pool =
   Hashtbl.fold
     (fun h spec acc ->
-      let n = Spec.Concrete.root_node spec in
-      let p = n.Spec.Concrete.name in
-      let base =
-        [ [ str h; str "version"; str p; str (vstr n.Spec.Concrete.version) ];
-          [ str h; str "node_os"; str p; str n.Spec.Concrete.os ];
-          [ str h; str "node_target"; str p; str n.Spec.Concrete.target ] ]
-      in
-      let variants =
-        Spec.Types.Smap.fold
-          (fun var value acc ->
-            [ str h; str "variant"; str p; str var;
-              str (Spec.Types.variant_value_to_string value) ]
-            :: acc)
-          n.Spec.Concrete.variants []
-      in
-      let deps =
-        List.concat_map
-          (fun (c, (dt : Spec.Types.deptypes)) ->
-            if not dt.Spec.Types.link then []
-            else
-              [ [ str h; str "depends_on"; str p; str c; str "link" ];
-                [ str h; str "hash"; str c; str (Spec.Concrete.node_hash spec c) ] ])
-          (Spec.Concrete.children spec p)
-      in
-      (h, p, base @ variants @ deps) :: acc)
+      let p, tuples = entry_tuples h spec in
+      (h, p, tuples) :: acc)
     pool.by_hash []
+
+(* Child hashes some entry imposes whose own sub-DAG is not an installed
+   candidate. [pool_of_specs] closes pools over sub-DAGs, so this is
+   empty for pools built there; an externally indexed buildcache can
+   hold a parent without its child, and the linear at-most-one encoding
+   (the stray_hash constraint in {!Program}) needs those pairs called
+   out. Deterministic order: entries by hash, children in DAG order. *)
+let stray_hashes pool =
+  let seen = Hashtbl.create 16 in
+  let strays = ref [] in
+  let hashes =
+    Hashtbl.fold (fun h _ acc -> h :: acc) pool.by_hash []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun h ->
+      let spec = Hashtbl.find pool.by_hash h in
+      let p = (Spec.Concrete.root_node spec).Spec.Concrete.name in
+      List.iter
+        (fun (c, (dt : Spec.Types.deptypes)) ->
+          if dt.Spec.Types.link then begin
+            let ch = Spec.Concrete.node_hash spec c in
+            let installed =
+              match Hashtbl.find_opt pool.by_hash ch with
+              | Some s ->
+                String.equal (Spec.Concrete.root_node s).Spec.Concrete.name c
+              | None -> false
+            in
+            if (not installed) && not (Hashtbl.mem seen (c, ch)) then begin
+              Hashtbl.replace seen (c, ch) ();
+              strays := (c, ch) :: !strays
+            end
+          end)
+        (Spec.Concrete.children spec p))
+    hashes;
+  List.rev !strays
 
 let encode_reusable ~encoding pool =
   let pred = match encoding with Old -> "imposed_constraint" | Hash_attr -> "hash_attr" in
   List.concat_map
     (fun (h, p, tuples) ->
-      f "installed_hash" [ str p; str h ] :: List.map (fun args -> f pred args) tuples)
+      f "installed_hash" [ str p; str h ]
+      :: List.map (fun args -> f pred (List.map str args)) tuples)
     (reusable_tuples pool)
+  @ List.map (fun (c, ch) -> f "stray_hash" [ str c; str ch ]) (stray_hashes pool)
 
 (* ---- can_splice rules (Fig. 4a) ---------------------------------- *)
 
@@ -293,7 +359,8 @@ let encode_reusable ~encoding pool =
    can_splice(node(S), T, Hash) :-
      installed_hash(T, Hash), attr("node", node(S)),
      <when-conditions over node(S)>, <target conditions over hash_attr>. *)
-let encode_can_splice scounter universe (pkg : Pkg.Package.t) (s : Pkg.Package.splice_decl) =
+let encode_can_splice ?hooks scounter universe (pkg : Pkg.Package.t)
+    (s : Pkg.Package.splice_decl) =
   incr scounter;
   let sid = Printf.sprintf "s%d" !scounter in
   let sname = pkg.Pkg.Package.name in
@@ -306,6 +373,7 @@ let encode_can_splice scounter universe (pkg : Pkg.Package.t) (s : Pkg.Package.s
     let version =
       if Vers.Range.is_any w.Spec.Abstract.version then []
       else begin
+        note_hook hooks "splice_when_version_ok" sid sname w.Spec.Abstract.version;
         facts :=
           List.map
             (fun v -> f "splice_when_version_ok" [ str sid; str (vstr v) ])
@@ -331,6 +399,8 @@ let encode_can_splice scounter universe (pkg : Pkg.Package.t) (s : Pkg.Package.s
     let version =
       if Vers.Range.is_any target.Spec.Abstract.version then []
       else begin
+        note_hook hooks "splice_target_version_ok" sid tname
+          target.Spec.Abstract.version;
         facts :=
           List.map
             (fun v -> f "splice_target_version_ok" [ str sid; str (vstr v) ])
@@ -423,6 +493,32 @@ let closure ~repo ~splicing ~pool roots =
 
 (* ---- top level ---------------------------------------------------- *)
 
+(* Provider weights rank a virtual's full provider list, so pruning
+   must keep the list (and hence the indices) intact: it only drops
+   virtuals no closure package provides — all providers of a virtual
+   that is actually requirable lie in the closure by construction. *)
+let provider_weight_facts ~repo packages =
+  let virtuals =
+    List.concat_map
+      (fun (p : Pkg.Package.t) ->
+        List.map (fun (pr : Pkg.Package.provide_decl) -> pr.Pkg.Package.p_virtual)
+          p.Pkg.Package.provides)
+      packages
+    |> List.sort_uniq String.compare
+  in
+  List.concat_map
+    (fun v ->
+      List.mapi
+        (fun i (q : Pkg.Package.t) ->
+          f "provider_weight" [ str q.Pkg.Package.name; str v; T.Int i ])
+        (Pkg.Repo.providers repo v))
+    virtuals
+
+(* Binaries built for the host's target or any of its ancestors are
+   deployable here (microarchitecture compatibility). *)
+let target_ok_facts host_target =
+  List.map (fun t -> f "target_ok" [ str t ]) (Spec.Targets.ancestors host_target)
+
 (* Everything request-independent: package facts (closure-filtered when
    pruning), the reusable pool, splice rules, provider weights, host
    facts. *)
@@ -497,32 +593,8 @@ let encode_base ~obs ~repo ~encoding ~splicing ~reuse ~prune ~closure_hint
     end
     else ([], [])
   in
-  (* Provider weights rank a virtual's full provider list, so pruning
-     must keep the list (and hence the indices) intact: it only drops
-     virtuals no closure package provides — all providers of a virtual
-     that is actually requirable lie in the closure by construction. *)
-  let provider_weights =
-    let virtuals =
-      List.concat_map
-        (fun (p : Pkg.Package.t) ->
-          List.map (fun (pr : Pkg.Package.provide_decl) -> pr.Pkg.Package.p_virtual)
-            p.Pkg.Package.provides)
-        packages
-      |> List.sort_uniq String.compare
-    in
-    List.concat_map
-      (fun v ->
-        List.mapi
-          (fun i (q : Pkg.Package.t) ->
-            f "provider_weight" [ str q.Pkg.Package.name; str v; T.Int i ])
-          (Pkg.Repo.providers repo v))
-      virtuals
-  in
-  (* Binaries built for the host's target or any of its ancestors are
-     deployable here (microarchitecture compatibility). *)
-  let target_facts =
-    List.map (fun t -> f "target_ok" [ str t ]) (Spec.Targets.ancestors host_target)
-  in
+  let provider_weights = provider_weight_facts ~repo packages in
+  let target_facts = target_ok_facts host_target in
   let facts =
     (f "host_os" [ str host_os ] :: f "host_target" [ str host_target ] :: package_facts)
     @ target_facts
@@ -746,3 +818,205 @@ let assumptions_for env (r : request) =
         (root_assumes @ req_assumes @ forbid_assumes @ version_assumes
        @ variant_assumes)
   end
+
+(* ---- layered (delta) encoding ------------------------------------- *)
+
+(* The session encoding above is monolithic: package facts are
+   precompiled against the full version universe (declared plus pool
+   versions), so any buildcache change invalidates everything. The
+   layered encoding splits that into a pool-independent base — package
+   facts against the declared universe only, with every range
+   precompilation recorded as a {!hook} — plus per-entry fact groups
+   the delta grounder ({!Asp.Ground.layered_update}) can apply and
+   retract one buildcache entry at a time:
+
+   - group [h:HASH]: [installed_hash] + attribute tuples of one
+     reusable sub-DAG;
+   - group [v:PKG@VER]: [version_decl]/[version_weight 20] for a
+     version only the pool knows, plus every hook fact that version
+     satisfies — exactly what the monolithic encode would have emitted
+     had the version been in its universe.
+
+   Base + groups over pool P is fact-for-fact the unpruned session
+   encode over P (condition ids are allocated by the same traversal,
+   so they coincide). *)
+
+type layered_base = {
+  lb_repo : Pkg.Repo.t;
+  lb_encoding : encoding;
+  lb_splicing : bool;
+  lb_facts : statement list;  (* pool-independent facts *)
+  lb_rules : statement list;  (* can_splice rules *)
+  lb_hooks : hook list;
+  lb_packages : Pkg.Package.t list;
+  lb_roots : string list;
+  lb_names : string list;
+  lb_variants : ((string * string) * string list) list;
+}
+
+let encode_layered_base ~repo ~encoding ~splicing ?(obs = Obs.disabled)
+    ~host_os ~host_target ~roots () =
+  Obs.with_span obs ~cat:"encode" "encode.layered_base" @@ fun _span ->
+  let roots = List.sort_uniq String.compare roots in
+  let cond = ref 0 in
+  let scounter = ref 0 in
+  let hooks = ref [] in
+  let universe = version_universe ~repo ~pool:{ by_hash = Hashtbl.create 1 } in
+  let packages = Pkg.Repo.packages repo in
+  let package_facts =
+    List.concat_map (encode_package ~hooks cond universe) packages
+  in
+  let splice_rules, splice_facts =
+    if splicing then begin
+      if encoding = Old then
+        invalid_arg "encode: splicing requires the hash_attr encoding (§5.3)";
+      List.fold_left
+        (fun (rules, facts) (pkg : Pkg.Package.t) ->
+          List.fold_left
+            (fun (rules, facts) decl ->
+              let r, fs = encode_can_splice ~hooks scounter universe pkg decl in
+              (r :: rules, fs @ facts))
+            (rules, facts) pkg.Pkg.Package.splices)
+        ([], []) packages
+    end
+    else ([], [])
+  in
+  let names =
+    let tbl = Hashtbl.create 64 in
+    List.iter
+      (fun (p : Pkg.Package.t) ->
+        Hashtbl.replace tbl p.Pkg.Package.name ();
+        List.iter
+          (fun (pr : Pkg.Package.provide_decl) ->
+            Hashtbl.replace tbl pr.Pkg.Package.p_virtual ())
+          p.Pkg.Package.provides)
+      packages;
+    Hashtbl.fold (fun n () acc -> n :: acc) tbl [] |> List.sort String.compare
+  in
+  let variants =
+    List.concat_map
+      (fun (p : Pkg.Package.t) ->
+        List.map
+          (fun (v : Pkg.Package.variant_decl) ->
+            let values =
+              match v.Pkg.Package.v_values with Some vs -> vs | None -> bool_values
+            in
+            ((p.Pkg.Package.name, v.Pkg.Package.v_name), values))
+          p.Pkg.Package.variants)
+      packages
+  in
+  let session_facts =
+    List.map (fun p -> f "possible_root" [ str p ]) roots
+    @ List.map (fun n -> f "known_name" [ str n ]) names
+  in
+  let facts =
+    (f "host_os" [ str host_os ] :: f "host_target" [ str host_target ]
+   :: package_facts)
+    @ target_ok_facts host_target
+    @ provider_weight_facts ~repo packages
+    @ splice_facts @ session_facts
+  in
+  { lb_repo = repo;
+    lb_encoding = encoding;
+    lb_splicing = splicing;
+    lb_facts = facts;
+    lb_rules = splice_rules;
+    lb_hooks = List.rev !hooks;
+    lb_packages = packages;
+    lb_roots = roots;
+    lb_names = names;
+    lb_variants = variants }
+
+let pool_groups ?(obs = Obs.disabled) lb pool =
+  Obs.with_span obs ~cat:"encode" "encode.pool_groups" @@ fun _span ->
+  let fs = Asp.Factstore.create () in
+  let pred =
+    match lb.lb_encoding with Old -> "imposed_constraint" | Hash_attr -> "hash_attr"
+  in
+  let hashes =
+    Hashtbl.fold (fun h _ acc -> h :: acc) pool.by_hash []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun h ->
+      let spec = Hashtbl.find pool.by_hash h in
+      let p, tuples = entry_tuples h spec in
+      Asp.Factstore.add_group fs ("h:" ^ h)
+        (("installed_hash", [ Asp.Factstore.S p; Asp.Factstore.S h ])
+        :: List.map
+             (fun args -> (pred, List.map (fun a -> Asp.Factstore.S a) args))
+             tuples))
+    hashes;
+  (* Stray child hashes (see {!stray_hashes}) are a cross-entry property
+     — removing one entry can make another entry's child stray — so they
+     live in their own group, keyed by content: any change to the stray
+     set swaps the whole group through the delta machinery. *)
+  (match stray_hashes pool with
+  | [] -> ()
+  | strays ->
+    let key =
+      "~stray:"
+      ^ Chash.hash_string
+          (String.concat "\x00" (List.map (fun (c, ch) -> c ^ "\x01" ^ ch) strays))
+    in
+    Asp.Factstore.add_group fs key
+      (List.map
+         (fun (c, ch) ->
+           ("stray_hash", [ Asp.Factstore.S c; Asp.Factstore.S ch ]))
+         strays));
+  (* Versions only the pool knows, one group per (package, version):
+     several entries may share a root version, but the selectable
+     version domain is keyed by the pair, not the entry. *)
+  let declared p =
+    match Pkg.Repo.find lb.lb_repo p with
+    | Some pkg -> pkg.Pkg.Package.versions
+    | None -> []
+  in
+  let pool_only = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ spec ->
+      let n = Spec.Concrete.root_node spec in
+      let p = n.Spec.Concrete.name in
+      let v = n.Spec.Concrete.version in
+      if not (List.exists (Vers.Version.equal v) (declared p)) then
+        Hashtbl.replace pool_only (p, vstr v) v)
+    pool.by_hash;
+  let pairs =
+    Hashtbl.fold (fun (p, vs) v acc -> (p, vs, v) :: acc) pool_only []
+    |> List.sort (fun (p1, v1, _) (p2, v2, _) ->
+           match String.compare p1 p2 with 0 -> String.compare v1 v2 | c -> c)
+  in
+  List.iter
+    (fun (p, vs, v) ->
+      let hook_facts =
+        List.filter_map
+          (fun hk ->
+            if String.equal hk.hk_pkg p && Vers.Range.satisfies v hk.hk_range then
+              Some (hk.hk_pred, [ Asp.Factstore.S hk.hk_id; Asp.Factstore.S vs ])
+            else None)
+          lb.lb_hooks
+      in
+      Asp.Factstore.add_group fs ("v:" ^ p ^ "@" ^ vs)
+        (("version_decl", [ Asp.Factstore.S p; Asp.Factstore.S vs ])
+        :: ("version_weight",
+            [ Asp.Factstore.S p; Asp.Factstore.S vs; Asp.Factstore.I 20 ])
+        :: hook_facts))
+    pairs;
+  (* words is an Obj.reachable_words walk — skip it unless the gauge is
+     actually being collected *)
+  if Obs.enabled obs then begin
+    Obs.gauge obs "factstore.words" (Asp.Factstore.words fs);
+    Obs.gauge obs "factstore.facts" (Asp.Factstore.fact_count fs)
+  end;
+  fs
+
+let layered_env lb pool =
+  let universe = version_universe ~repo:lb.lb_repo ~pool in
+  { se_roots = lb.lb_roots;
+    se_names = lb.lb_names;
+    se_versions =
+      List.map
+        (fun (p : Pkg.Package.t) ->
+          (p.Pkg.Package.name, versions_of universe p.Pkg.Package.name))
+        lb.lb_packages;
+    se_variants = lb.lb_variants }

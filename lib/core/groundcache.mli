@@ -1,0 +1,24 @@
+(** Persistent on-disk cache of layered groundings.
+
+    Serializes {!Asp.Ground.layered} values (plain data, no closures)
+    keyed by a {!Chash} digest over the assembled program text, the
+    rendered base facts, and the buildcache digest — so a repo,
+    program, or pool change lands on a different key and a stale file
+    is never consulted. A format version guards the unmarshal against
+    layout changes. All failures (missing dir, corrupt file, version
+    mismatch, I/O errors) degrade to a cache miss. *)
+
+val key : program:string -> pool:string -> string
+(** Cache key from a program-layer digest and a pool digest. *)
+
+val mem : dir:string -> string -> bool
+
+val save :
+  ?obs:Obs.ctx -> dir:string -> string -> Asp.Ground.layered -> bool
+(** Write-once: [false] if the key already exists (or the write
+    failed). Creates [dir] if missing; writes via temp file + rename,
+    so concurrent writers of the same key are safe. Counts
+    [groundcache.saves]. *)
+
+val load : ?obs:Obs.ctx -> dir:string -> string -> Asp.Ground.layered option
+(** [None] on any failure. Counts [groundcache.hits]/[groundcache.misses]. *)

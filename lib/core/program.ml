@@ -101,7 +101,15 @@ let reuse =
 reused(P) :- attr("hash", node(P), H).
 build(P) :- attr("node", node(P)), not reused(P).
 impose(H) :- attr("hash", node(P), H).
-:- attr("hash", node(P), H1), attr("hash", node(P), H2), H1 < H2.
+%% At most one hash per node. Among installed candidates the choice
+%% rule's upper bound already enforces this, so the naive pairwise
+%% exclusion — quadratic in the number of installed specs per package,
+%% and by far the largest rule family at buildcache scale — is only
+%% needed where a parent imposes a child hash that is not itself an
+%% installed candidate. The encoder marks those as stray_hash facts;
+%% conflicts involving a stray ground linearly per stray.
+:- stray_hash(P, H1), attr("hash", node(P), H1),
+   attr("hash", node(P), H2), H1 != H2.
 
 attr("version", node(P), V) :- impose(H), imposed_constraint(H, "version", P, V).
 attr("variant_value", node(P), Var, Val) :-

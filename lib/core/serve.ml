@@ -46,6 +46,11 @@ type config = {
   fault_injection : bool;  (* honor the "boom" request flag *)
   reuse_source : (unit -> Spec.Concrete.t list) option;
       (* backing of the wire "reload" op *)
+  ground_cache : string option;
+      (* persistent on-disk ground cache directory: workers load their
+         warm grounding from it on cold start and persist new pool
+         generations into it (keys carry the pool digest, so a reload
+         can never serve a stale grounding) *)
   options : Concretizer.options;
 }
 
@@ -59,6 +64,7 @@ let default_config =
     session_recycle = Some 32;
     fault_injection = false;
     reuse_source = None;
+    ground_cache = None;
     options = Concretizer.default_options }
 
 (* The buildcache identity: a content hash over the sorted DAG hashes
@@ -358,6 +364,8 @@ type worker_session =
 
 type worker = {
   w_index : int;
+  mutable w_warm : Concretizer.Warm.t option;
+      (* the worker's delta-grounded universe; survives evictions *)
   mutable w_session : worker_session;
 }
 
@@ -373,11 +381,15 @@ let budget_of ~conflicts ~deadline : Asp.Solver_intf.budget option =
 let solve_options t reuse =
   { t.config.options with Concretizer.reuse; mirrors = None }
 
-(* The worker's warm session for the current generation, rebuilding
-   after an eviction. [None] = session creation failed (served fresh
-   instead). *)
+(* The worker's warm session for the current generation. The worker
+   keeps a delta-grounded universe ([Concretizer.Warm]) across
+   evictions: a generation bump applies the buildcache delta to the
+   warm grounding instead of discarding it, and only the (cheap)
+   solver session is rebuilt from the updated snapshot. Recycling
+   likewise re-translates the existing grounding. [None] = warm-up
+   failed (served fresh instead). *)
 let ensure_session t w =
-  let reuse, gen, closure = pool_snapshot t t.roots in
+  let reuse, gen, _closure = pool_snapshot t t.roots in
   let worn_out s =
     match t.config.session_recycle with
     | Some cap when Concretizer.Session.solves s >= cap ->
@@ -392,11 +404,24 @@ let ensure_session t w =
     Obs.incr (obs t) "serve.session_builds";
     w.w_session <-
       (match
-         Concretizer.Session.create ~repo:t.repo ~options:(solve_options t reuse)
-           ?closure ~roots:t.roots ()
+         (match w.w_warm with
+         | Some warm ->
+           ignore (Concretizer.Warm.set_pool warm reuse);
+           Ok warm
+         | None -> (
+           match
+             Concretizer.Warm.create ~repo:t.repo
+               ~options:(solve_options t reuse)
+               ?ground_cache:t.config.ground_cache ~roots:t.roots ()
+           with
+           | Ok warm ->
+             w.w_warm <- Some warm;
+             Ok warm
+           | Error e -> Error e))
        with
-      | Ok s -> Warm (s, gen)
-      | Error e -> Broken (e, gen)));
+      | Ok warm -> Warm (Concretizer.Warm.session warm, gen)
+      | Error e -> Broken (e, gen)
+      | exception e -> Broken (Printexc.to_string e, gen)));
   match w.w_session with
   | Warm (s, _) -> Some s
   | Broken _ | No_session -> None
@@ -528,7 +553,7 @@ let handle_job t w job =
              :: extra) ) ])
 
 let worker_loop t i =
-  let w = { w_index = i; w_session = No_session } in
+  let w = { w_index = i; w_warm = None; w_session = No_session } in
   let rec go () =
     match take_job t i with
     | None -> ()

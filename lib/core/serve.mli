@@ -61,6 +61,13 @@ type config = {
   reuse_source : (unit -> Spec.Concrete.t list) option;
       (** backing of the wire ["reload"] op: re-read the buildcache
           and {!set_reuse} it *)
+  ground_cache : string option;
+      (** persistent ground-cache directory ({!Groundcache}): workers
+          load their warm grounding from it on cold start and persist
+          each new pool generation into it. Keys embed the pool
+          digest, so a ["reload"] that changes the buildcache can
+          never be served a stale on-disk grounding. [None] (default)
+          = in-memory only. *)
   options : Concretizer.options;
       (** solver options shared by all requests; [options.obs] is the
           server's tracing context ([serve.request] spans,
