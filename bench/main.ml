@@ -1518,6 +1518,283 @@ let serve_smoke () =
           grounding — the resident state is not paying for itself"
          warm_speedup)
 
+(* Live-telemetry smoke (dune build @obs-live-smoke): the windowed
+   stats, flight recorder, and enabled-path overhead of the solve
+   server's telemetry layer.
+
+     - agreement: replay a serve-smoke-style trace against a server
+       whose telemetry horizon covers the whole replay. The wire
+       "stats" windowed solve_ms histogram then summarizes exactly the
+       samples of the server's cumulative serve.solve_ms histogram, so
+       the windowed p99 must match the post-hoc p99 within one
+       histogram bucket's relative error (bucket ratio 2^(1/4)) and
+       the sample counts must match exactly.
+     - recorder: a deliberately missed deadline (deadline_ms ~ 0) with
+       a client-chosen rid must answer [timeout], echo the rid, and be
+       retrievable via "dump" under the "deadline" keep class with a
+       Perfetto-loadable span tree.
+     - overhead: interleaved min-of-3 replays against two long-lived
+       servers — telemetry on vs off, shared tracing disabled on both
+       sides — gate the enabled path at <= 5% wall. *)
+let obs_live_smoke () =
+  Printf.printf
+    "\n=== obs-live-smoke: live telemetry (windows + recorder + overhead) \
+     ===\n\
+     %!";
+  let pool = local_pool () in
+  let workers = 4 and clients = 4 in
+  let specs = Array.of_list quick_specs in
+  let nspecs = Array.length specs in
+  let start ~telemetry ~obs tag =
+    let options =
+      { Core.Concretizer.default_options with Core.Concretizer.reuse = pool; obs }
+    in
+    let config =
+      { Core.Serve.default_config with
+        Core.Serve.workers;
+        default_mode = Core.Serve.Fresh;
+        session_roots = quick_specs;
+        telemetry;
+        options }
+    in
+    let socket =
+      Printf.sprintf "/tmp/spackml-obslive-%d-%s.sock" (Unix.getpid ()) tag
+    in
+    match Core.Serve.start ~repo ~config ~socket () with
+    | Ok t -> (t, socket)
+    | Error e -> failwith ("obs-live-smoke: start " ^ tag ^ ": " ^ e)
+  in
+  let connect socket =
+    match Core.Serve.Client.connect socket with
+    | Ok c -> c
+    | Error e -> failwith ("obs-live-smoke: connect: " ^ e)
+  in
+  let num = function
+    | Sjson.Int n -> float_of_int n
+    | Sjson.Float f -> f
+    | _ -> failwith "obs-live-smoke: expected a JSON number"
+  in
+  (* Replay [total] solve requests round-robin over [clients] client
+     domains; with [sessions], every 4th request is a warm-session
+     solve (the serve-smoke mix), otherwise all run fresh. Returns
+     wall seconds and the count of non-ok responses. *)
+  let replay ~sessions socket total =
+    let run_client cid =
+      let c = connect socket in
+      let not_ok = ref 0 in
+      let i = ref cid in
+      while !i < total do
+        let idx = !i in
+        let spec = specs.(idx mod nspecs) in
+        let mode =
+          if sessions && idx mod 4 = 1 then Some Core.Serve.Session else None
+        in
+        (match Core.Serve.Client.solve ?mode c spec with
+        | Ok resp ->
+          if Sjson.get_string (Sjson.member "status" resp) <> "ok" then
+            incr not_ok
+        | Error e -> failwith ("obs-live-smoke: solve: " ^ e));
+        i := !i + clients
+      done;
+      Core.Serve.Client.close c;
+      !not_ok
+    in
+    let t0 = Obs.Clock.now_s () in
+    let not_ok =
+      List.fold_left ( + ) 0
+        (List.map Domain.join
+           (List.init clients (fun cid -> Domain.spawn (fun () -> run_client cid))))
+    in
+    (Obs.Clock.now_s () -. t0, not_ok)
+  in
+  (* --- agreement + flight recorder: telemetry on, horizon >> replay --- *)
+  let total = 500 in
+  let obs = Obs.create () in
+  let telemetry =
+    Some { Core.Serve.default_telemetry with Core.Serve.horizon_s = 600. }
+  in
+  let t, socket = start ~telemetry ~obs "live" in
+  let miss_rid = "bench-deadline-miss" in
+  let replay_s, w_count, w_p50, w_p99, recorder_seen, recorder_kept =
+    Fun.protect ~finally:(fun () -> Core.Serve.stop t) @@ fun () ->
+    let replay_s, not_ok = replay ~sessions:true socket total in
+    if not_ok > 0 then
+      failwith
+        (Printf.sprintf "obs-live-smoke: %d replay requests not ok" not_ok);
+    Printf.printf "replayed %d requests in %.1fs with live telemetry on\n%!"
+      total replay_s;
+    let c = connect socket in
+    Fun.protect ~finally:(fun () -> Core.Serve.Client.close c) @@ fun () ->
+    (* a missed deadline, tagged with a client-chosen rid *)
+    (match
+       Core.Serve.Client.solve ~deadline_ms:0.0001 ~rid:miss_rid c specs.(0)
+     with
+    | Ok resp ->
+      let st = Sjson.get_string (Sjson.member "status" resp) in
+      if st <> "timeout" then
+        failwith ("obs-live-smoke: deadline_ms~0 solve answered " ^ st);
+      if Sjson.get_string (Sjson.member "rid" resp) <> miss_rid then
+        failwith "obs-live-smoke: response does not echo the client rid"
+    | Error e -> failwith ("obs-live-smoke: deadline solve: " ^ e));
+    (* the missed deadline is in the flight recorder, under its rid,
+       with a Perfetto-loadable span tree *)
+    let dump =
+      match Core.Serve.Client.dump ~n:256 ~keep:"deadline" c with
+      | Ok d -> Sjson.member "result" d
+      | Error e -> failwith ("obs-live-smoke: dump: " ^ e)
+    in
+    let traces = Sjson.to_list (Sjson.member "traces" dump) in
+    let mine =
+      List.filter
+        (fun tr -> Sjson.get_string (Sjson.member "rid" tr) = miss_rid)
+        traces
+    in
+    (match mine with
+    | [] ->
+      failwith
+        "obs-live-smoke: missed-deadline trace not retrievable via dump"
+    | tr :: _ ->
+      let events = Sjson.to_list (Sjson.member "traceEvents" (Sjson.member "trace" tr)) in
+      let has_request_span =
+        List.exists
+          (fun ev ->
+            match (Sjson.member_opt "name" ev, Sjson.member_opt "ph" ev) with
+            | Some (Sjson.String "serve.request"), Some (Sjson.String "X") ->
+              true
+            | _ -> false)
+          events
+      in
+      if not has_request_span then
+        failwith
+          "obs-live-smoke: dumped deadline trace lacks a serve.request span");
+    Printf.printf "flight recorder: rid %s retrieved via dump (keep=deadline)\n%!"
+      miss_rid;
+    (* windowed stats over the full horizon *)
+    let stats =
+      match Core.Serve.Client.stats c with
+      | Ok s -> Sjson.member "result" s
+      | Error e -> failwith ("obs-live-smoke: stats: " ^ e)
+    in
+    let window =
+      match Sjson.member_opt "window" stats with
+      | Some w -> w
+      | None -> failwith "obs-live-smoke: stats answer has no window block"
+    in
+    let wsolve = Sjson.member "solve_ms" window in
+    let recorder = Sjson.member "recorder" window in
+    ( replay_s,
+      Sjson.get_int (Sjson.member "count" wsolve),
+      num (Sjson.member "p50" wsolve),
+      num (Sjson.member "p99" wsolve),
+      Sjson.get_int (Sjson.member "seen" recorder),
+      Sjson.get_int (Sjson.member "kept" recorder) )
+  in
+  (* post-hoc: the cumulative solve histogram the same requests fed *)
+  let cum =
+    match List.assoc_opt "serve.solve_ms" (Obs.metrics obs) with
+    | Some (Obs.Histogram h) -> h
+    | _ -> failwith "obs-live-smoke: no cumulative serve.solve_ms histogram"
+  in
+  let c_count = Obs.Hist.count cum in
+  let c_p50 = Obs.Hist.quantile cum 0.5 in
+  let c_p99 = Obs.Hist.quantile cum 0.99 in
+  let bucket_ratio = Float.pow 2.0 0.25 in
+  let p99_ratio = if c_p99 > 0.0 then w_p99 /. c_p99 else 1.0 in
+  Printf.printf
+    "windowed solve_ms p50 %.2f / p99 %.2f ms over %d samples; post-hoc p50 \
+     %.2f / p99 %.2f ms over %d samples (p99 ratio %.3f, bucket %.3f)\n%!"
+    w_p50 w_p99 w_count c_p50 c_p99 c_count p99_ratio bucket_ratio;
+  (* --- overhead: telemetry on vs off, shared tracing disabled --- *)
+  let rep_total = 480 and reps = 3 in
+  let t_off, sock_off = start ~telemetry:None ~obs:Obs.disabled "off" in
+  Fun.protect ~finally:(fun () -> Core.Serve.stop t_off) @@ fun () ->
+  let t_on, sock_on =
+    start ~telemetry:(Some Core.Serve.default_telemetry) ~obs:Obs.disabled "on"
+  in
+  Fun.protect ~finally:(fun () -> Core.Serve.stop t_on) @@ fun () ->
+  (* warm both servers (closure caches) outside the measurement *)
+  ignore (replay ~sessions:false sock_off (4 * nspecs));
+  ignore (replay ~sessions:false sock_on (4 * nspecs));
+  let off_min = ref infinity and on_min = ref infinity in
+  for _ = 1 to reps do
+    let s_off, n_off = replay ~sessions:false sock_off rep_total in
+    let s_on, n_on = replay ~sessions:false sock_on rep_total in
+    if n_off > 0 || n_on > 0 then
+      failwith "obs-live-smoke: overhead replay requests not ok";
+    off_min := Float.min !off_min s_off;
+    on_min := Float.min !on_min s_on
+  done;
+  let overhead_pct = ((!on_min /. !off_min) -. 1.0) *. 100.0 in
+  Printf.printf
+    "overhead: %d fresh solves, min of %d reps: telemetry off %.3fs, on %.3fs \
+     (%+.2f%%)\n%!"
+    rep_total reps !off_min !on_min overhead_pct;
+  (* record alongside the serve-smoke numbers without clobbering them *)
+  let bench_file = "BENCH_serve.json" in
+  let existing =
+    if Sys.file_exists bench_file then (
+      try
+        let ic = open_in_bin bench_file in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        match Sjson.of_string s with Sjson.Object kvs -> kvs | _ -> []
+      with _ -> [])
+    else []
+  in
+  let obs_live =
+    Sjson.Object
+      [ ("requests", Sjson.Int total);
+        ("workers", Sjson.Int workers);
+        ("clients", Sjson.Int clients);
+        ("replay_seconds", Sjson.Float replay_s);
+        ("windowed_count", Sjson.Int w_count);
+        ("windowed_p50_ms", Sjson.Float w_p50);
+        ("windowed_p99_ms", Sjson.Float w_p99);
+        ("posthoc_count", Sjson.Int c_count);
+        ("posthoc_p50_ms", Sjson.Float c_p50);
+        ("posthoc_p99_ms", Sjson.Float c_p99);
+        ("p99_ratio", Sjson.Float p99_ratio);
+        ("bucket_ratio", Sjson.Float bucket_ratio);
+        ("recorder_seen", Sjson.Int recorder_seen);
+        ("recorder_kept", Sjson.Int recorder_kept);
+        ("overhead_requests_per_rep", Sjson.Int rep_total);
+        ("overhead_reps", Sjson.Int reps);
+        ("telemetry_off_min_s", Sjson.Float !off_min);
+        ("telemetry_on_min_s", Sjson.Float !on_min);
+        ("overhead_pct", Sjson.Float overhead_pct) ]
+  in
+  let merged =
+    List.remove_assoc "obs_live" existing @ [ ("obs_live", obs_live) ]
+  in
+  let oc = open_out bench_file in
+  output_string oc (Sjson.to_string ~pretty:true (Sjson.Object merged));
+  output_string oc "\n";
+  close_out oc;
+  Printf.printf "[obs-live-smoke] merged obs_live into %s\n%!" bench_file;
+  (* gates *)
+  if w_count <> c_count then
+    failwith
+      (Printf.sprintf
+         "obs-live-smoke: windowed histogram saw %d solves, post-hoc saw %d"
+         w_count c_count);
+  if recorder_seen < w_count then
+    failwith
+      (Printf.sprintf
+         "obs-live-smoke: recorder saw %d requests for %d solves" recorder_seen
+         w_count);
+  let tol = bucket_ratio *. 1.0001 in
+  if p99_ratio > tol || p99_ratio < 1.0 /. tol then
+    failwith
+      (Printf.sprintf
+         "obs-live-smoke: windowed p99 %.2f ms diverges from post-hoc %.2f ms \
+          by more than one bucket (ratio %.3f, allowed %.3f)"
+         w_p99 c_p99 p99_ratio tol);
+  if !on_min > !off_min *. 1.05 then
+    failwith
+      (Printf.sprintf
+         "obs-live-smoke: live telemetry costs %.2f%% wall (> 5%% gate)"
+         overhead_pct)
+
 (* Parallel-installer storm (dune build @install-storm): a synthetic
    universe of wide DAGs with fattened per-node payloads, installed
    from a local buildcache and through a faulty mirror fleet.
@@ -1864,6 +2141,7 @@ let () =
     | "sat-smoke" -> sat_smoke ()
     | "obs-smoke" -> obs_smoke ()
     | "serve-smoke" -> serve_smoke ()
+    | "obs-live-smoke" -> obs_live_smoke ()
     | "install-storm" -> install_storm ()
     | "all" ->
       table1 ();
@@ -1876,7 +2154,7 @@ let () =
     | other ->
       Printf.eprintf
         "unknown command %s (try \
-         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|ground-smoke|perf-smoke|sat-smoke|obs-smoke|serve-smoke|install-storm|all)\n"
+         table1|fig5|fig6|fig7|ablate|micro|fuzz-smoke|resil-smoke|ground-smoke|perf-smoke|sat-smoke|obs-smoke|serve-smoke|obs-live-smoke|install-storm|all)\n"
         other;
       exit 2
   in

@@ -814,6 +814,7 @@ let trace_report_cmd =
              (num (Sjson.member "p99" v)))
       | _ -> ()
     in
+    let total_lines = ref 0 and skipped = ref 0 in
     match
       let trimmed = String.trim text in
       if trimmed = "" then Error "empty trace file"
@@ -825,16 +826,23 @@ let trace_report_cmd =
           | Some evs -> Ok (chrome_events evs)
           | None -> Ok (jsonl_line j))
         | exception Sjson.Parse_error _ ->
-          (* one JSON object per line *)
-          Ok
-            (String.split_on_char '\n' text
-            |> List.iter (fun line ->
-                   let line = String.trim line in
-                   if line <> "" then
-                     match Sjson.of_string line with
-                     | j -> jsonl_line j
-                     | exception Sjson.Parse_error e ->
-                       failwith (Printf.sprintf "bad trace line: %s" e)))
+          (* One JSON object per line. Unparseable lines are counted
+             and skipped, not fatal: a truncated tail (a crashed
+             writer) must not hide the rest of the trace. *)
+          String.split_on_char '\n' text
+          |> List.iter (fun line ->
+                 let line = String.trim line in
+                 if line <> "" then begin
+                   incr total_lines;
+                   match Sjson.of_string line with
+                   | j -> jsonl_line j
+                   | exception Sjson.Parse_error _ -> incr skipped
+                 end);
+          if !total_lines > 0 && !skipped = !total_lines then
+            Error
+              (Printf.sprintf "all %d lines of %s failed to parse" !total_lines
+                 file)
+          else Ok ()
     with
     | exception Failure e ->
       Format.eprintf "error: %s@." e;
@@ -843,10 +851,14 @@ let trace_report_cmd =
       Format.eprintf "error: %s@." e;
       1
     | Ok () ->
+      if !skipped > 0 then
+        Format.eprintf "warning: skipped %d of %d unparseable lines@." !skipped
+          !total_lines;
       let names = List.rev !order in
       if names = [] && !metric_lines = [] then begin
-        Format.eprintf "error: no events in %s@." file;
-        1
+        (* Valid input, nothing in it: say so explicitly, succeed. *)
+        Format.printf "no events in %s@." file;
+        0
       end
       else begin
         if names <> [] then begin
@@ -913,8 +925,26 @@ let serve_cmd =
         ~doc:"Rebuild a worker's warm session after N solves to bound \
               solver-state growth; 0 never recycles (default 32).")
   in
+  let horizon_flag =
+    Arg.(value & opt float 60.0 & info [ "stats-horizon" ] ~docv:"S"
+        ~doc:"Rolling-stats horizon in seconds: the largest window the \
+              wire $(b,stats) op (and $(b,spackml top)) can report \
+              (default 60).")
+  in
+  let recorder_flag =
+    Arg.(value & opt int 256 & info [ "recorder" ] ~docv:"N"
+        ~doc:"Flight-recorder capacity: completed request traces kept \
+              for the wire $(b,dump) op, tail-sampled (errors, deadline \
+              misses and slowest solves always kept). 0 disables \
+              (default 256).")
+  in
+  let no_live_flag =
+    Arg.(value & flag & info [ "no-live-telemetry" ]
+        ~doc:"Disable live telemetry entirely: no rolling-window stats, \
+              no flight recorder.")
+  in
   let run reuse splicing workers queue deadline_ms mode socket recycle
-      ground_cache ground_jobs trace trace_format =
+      horizon recorder no_live ground_cache ground_jobs trace trace_format =
     with_trace ~trace ~trace_format @@ fun obs ->
     match
       match mode with
@@ -937,6 +967,13 @@ let serve_cmd =
           default_deadline_ms = deadline_ms;
           default_mode;
           session_recycle = (if recycle <= 0 then None else Some recycle);
+          telemetry =
+            (if no_live then None
+             else
+               Some
+                 { Core.Serve.default_telemetry with
+                   Core.Serve.horizon_s = horizon;
+                   recorder_capacity = max 0 recorder });
           reuse_source =
             (if reuse then
                Some (fun () -> Radiuss.Caches.reusable_specs (Lazy.force local_cache))
@@ -965,6 +1002,7 @@ let serve_cmd =
           $(b,spackml client --shutdown).")
     Term.(const run $ reuse_flag $ splice_flag $ workers_flag $ queue_flag
           $ deadline_flag $ mode_flag $ socket_opt $ recycle_flag
+          $ horizon_flag $ recorder_flag $ no_live_flag
           $ ground_cache_flag $ ground_jobs_flag $ trace_flag
           $ trace_format_flag)
 
@@ -1071,6 +1109,151 @@ let client_cmd =
           $ client_retries_flag $ backoff_flag $ ping_flag $ stats_flag'
           $ reload_flag $ shutdown_flag $ specs_arg)
 
+(* ---- top (live dashboard over the wire stats/dump ops) ---- *)
+
+let top_cmd =
+  let interval_flag =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"S"
+        ~doc:"Refresh interval in seconds (default 2).")
+  in
+  let window_flag =
+    Arg.(value & opt (some float) None & info [ "window" ] ~docv:"S"
+        ~doc:"Rolling window to display (default: the server's full \
+              horizon; rounded up to the server's sub-window size).")
+  in
+  let count_flag =
+    Arg.(value & opt int 0 & info [ "count" ] ~docv:"N"
+        ~doc:"Render N frames then exit; 0 = run until interrupted.")
+  in
+  let once_flag =
+    Arg.(value & flag & info [ "once" ]
+        ~doc:"Render a single frame without clearing the screen \
+              (shorthand for --count 1; scripts and tests).")
+  in
+  (* Numeric field at a path into the stats JSON; 0. when absent. *)
+  let num path j =
+    let rec go j = function
+      | [] -> (
+        match j with
+        | Sjson.Int n -> float_of_int n
+        | Sjson.Float f -> f
+        | _ -> 0.)
+      | k :: rest -> (
+        match Sjson.member_opt k j with Some v -> go v rest | None -> 0.)
+    in
+    go j path
+  in
+  let str path j =
+    let rec go j = function
+      | [] -> (match j with Sjson.String s -> s | _ -> "?")
+      | k :: rest -> (
+        match Sjson.member_opt k j with Some v -> go v rest | None -> "?")
+    in
+    go j path
+  in
+  let render ~socket stats dump =
+    let n path = num path stats in
+    let pct x = 100. *. x in
+    Format.printf "spackml top — %s   uptime %.0fs   generation %d@." socket
+      (n [ "result"; "uptime_s" ])
+      (int_of_float (n [ "result"; "generation" ]));
+    Format.printf
+      "workers %d   pending %d   served %d   rejected %d   roots %d@."
+      (int_of_float (n [ "result"; "workers" ]))
+      (int_of_float (n [ "result"; "pending" ]))
+      (int_of_float (n [ "result"; "served" ]))
+      (int_of_float (n [ "result"; "rejected" ]))
+      (int_of_float (n [ "result"; "roots" ]));
+    (match Sjson.member_opt "window" (Sjson.member "result" stats) with
+    | None ->
+      Format.printf "@.(live telemetry disabled on this server)@."
+    | Some w ->
+      let wn path = num path w in
+      Format.printf "@.window %.0fs of %.0fs   %d requests   %.1f rps@."
+        (wn [ "window_s" ]) (wn [ "horizon_s" ])
+        (int_of_float (wn [ "requests" ]))
+        (wn [ "rps" ]);
+      Format.printf "%-10s %8s %9s %9s %9s %9s %9s@." "" "count" "mean" "p50"
+        "p90" "p99" "max";
+      List.iter
+        (fun key ->
+          Format.printf "%-10s %8d %9.1f %9.1f %9.1f %9.1f %9.1f@." key
+            (int_of_float (wn [ key; "count" ]))
+            (wn [ key; "mean" ]) (wn [ key; "p50" ]) (wn [ key; "p90" ])
+            (wn [ key; "p99" ]) (wn [ key; "max" ]))
+        [ "solve_ms"; "queue_ms" ];
+      Format.printf
+        "rates: overload %.1f%%   deadline-miss %.1f%%   error %.1f%%@."
+        (pct (wn [ "overload_rate" ]))
+        (pct (wn [ "deadline_miss_rate" ]))
+        (pct (wn [ "error_rate" ]));
+      Format.printf
+        "caches: closure %.1f%%   ground %.1f%%   session recycles %d@."
+        (pct (wn [ "closure_hit_rate" ]))
+        (pct (wn [ "ground_cache_hit_rate" ]))
+        (int_of_float (wn [ "session_recycles" ])));
+    match dump with
+    | None -> ()
+    | Some d ->
+      let traces =
+        match Sjson.member_opt "traces" (Sjson.member "result" d) with
+        | Some (Sjson.Array ts) -> ts
+        | _ -> []
+      in
+      if traces <> [] then begin
+        Format.printf "@.recent kept traces (%d of %d seen):@."
+          (List.length traces)
+          (int_of_float (num [ "result"; "seen" ] d));
+        Format.printf "  %-16s %-9s %-9s %9s %9s  %s@." "rid" "keep" "status"
+          "dur_ms" "queue_ms" "op";
+        List.iter
+          (fun tr ->
+            Format.printf "  %-16s %-9s %-9s %9.1f %9.1f  %s@."
+              (str [ "rid" ] tr) (str [ "keep" ] tr) (str [ "status" ] tr)
+              (num [ "dur_ms" ] tr) (num [ "queue_ms" ] tr) (str [ "op" ] tr))
+          traces
+      end
+  in
+  let run socket interval window count once =
+    let count = if once then 1 else count in
+    match Core.Serve.Client.connect socket with
+    | Error e ->
+      Format.eprintf "error: %s@." e;
+      1
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Core.Serve.Client.close c) @@ fun () ->
+      let rec loop frame =
+        match Core.Serve.Client.stats ?window_s:window c with
+        | Error e ->
+          Format.eprintf "error: %s@." e;
+          1
+        | Ok stats ->
+          let dump =
+            match Core.Serve.Client.dump ~n:8 c with
+            | Ok d -> Some d
+            | Error _ -> None
+          in
+          if not once then Format.printf "\027[2J\027[H";
+          render ~socket stats dump;
+          Format.printf "@?";
+          if count > 0 && frame + 1 >= count then 0
+          else begin
+            Unix.sleepf (Float.max 0.05 interval);
+            loop (frame + 1)
+          end
+      in
+      loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running $(b,spackml serve): polls the wire \
+          $(b,stats) and $(b,dump) ops and renders rolling-window latency \
+          quantiles, queue occupancy, overload/deadline-miss rates, cache \
+          hit rates, and the flight recorder's recent traces.")
+    Term.(const run $ socket_flag $ interval_flag $ window_flag $ count_flag
+          $ once_flag)
+
 (* ---- providers ---- *)
 
 let providers_cmd =
@@ -1098,5 +1281,5 @@ let () =
                "Source and binary package management with ABI-compatible splicing \
                 (OCaml reproduction of the SC'25 Spack splicing paper).")
           [ concretize_cmd; install_cmd; splice_cmd; buildcache_cmd; solve_cmd;
-            discover_cmd; providers_cmd; serve_cmd; client_cmd; fuzz_cmd;
-            trace_report_cmd ]))
+            discover_cmd; providers_cmd; serve_cmd; client_cmd; top_cmd;
+            fuzz_cmd; trace_report_cmd ]))

@@ -151,20 +151,22 @@ let publish_stats obs (s : stats) =
     Obs.observe obs "concretize.solve_seconds" s.solve_seconds
   end
 
-let concretize_v ~repo ?(options = default_options) ?budget ?closure requests =
+let concretize_v ~repo ?(options = default_options) ?budget ?closure
+    ?(attrs = []) requests =
   match check_known ~repo requests with
   | Some e -> fail e
   | None ->
   let obs = options.obs in
   Obs.with_span obs ~cat:"concretize" "concretize"
     ~attrs:
-      [ ( "roots",
-          Obs.S
-            (String.concat ","
-               (List.map
-                  (fun (r : Encode.request) ->
-                    r.Encode.req.Spec.Abstract.root.Spec.Abstract.name)
-                  requests)) ) ]
+      (( "roots",
+         Obs.S
+           (String.concat ","
+              (List.map
+                 (fun (r : Encode.request) ->
+                   r.Encode.req.Spec.Abstract.root.Spec.Abstract.name)
+                 requests)) )
+      :: attrs)
   @@ fun _span ->
   let t0 = now () in
   let encoded =
@@ -343,19 +345,23 @@ module Session = struct
 
   let solves s = Asp.Logic.session_solves s.session
 
-  let solve ?budget s (request : Encode.request) =
+  let solve ?budget ?obs ?(attrs = []) s (request : Encode.request) =
     match check_known ~repo:s.repo [ request ] with
     | Some e -> fail e
     | None -> (
       match Encode.assumptions_for s.env request with
       | Error e -> fail e
       | Ok assume -> (
-        let obs = s.options.obs in
+        (* [?obs] overrides the session's context for this request's
+           spans and stats — the serve layer tees in a per-request
+           flight-recorder context here. The solver-internal spans
+           still go to the context captured at session creation. *)
+        let obs = match obs with Some o -> o | None -> s.options.obs in
         Obs.with_span obs ~cat:"concretize" "session.request"
           ~attrs:
-            [ ( "root",
-                Obs.S request.Encode.req.Spec.Abstract.root.Spec.Abstract.name )
-            ]
+            (( "root",
+               Obs.S request.Encode.req.Spec.Abstract.root.Spec.Abstract.name )
+            :: attrs)
         @@ fun _span ->
         (* The budget is installed per call (and cleared when absent):
            a preempted request unwinds the solver to level 0 and all

@@ -104,10 +104,13 @@ val concretize_v :
   ?options:options ->
   ?budget:Asp.Solver_intf.budget ->
   ?closure:(string, unit) Hashtbl.t ->
+  ?attrs:(string * Obs.value) list ->
   Encode.request list ->
   (outcome, failure) result
 (** Like {!concretize} but with a structured failure that carries the
-    DRUP proof for certified UNSAT answers. [?budget] bounds the solve
+    DRUP proof for certified UNSAT answers. [?attrs] are stamped on the
+    root ["concretize"] span (the serve layer passes the request id
+    here). [?budget] bounds the solve
     (conflict cap and/or external stop probe); exhaustion yields a
     failure with [f_timeout = true]. [?closure] supplies a precomputed
     dependency closure for pruning (see {!Encode.encode}), letting a
@@ -151,14 +154,21 @@ module Session : sig
       {!Encode.encode}). *)
 
   val solve :
-    ?budget:Asp.Solver_intf.budget -> t -> Encode.request ->
+    ?budget:Asp.Solver_intf.budget ->
+    ?obs:Obs.ctx ->
+    ?attrs:(string * Obs.value) list ->
+    t ->
+    Encode.request ->
     (outcome, failure) result
   (** Serve one single-root request. [stats] report the session's
       (amortized) ground numbers, zero encode/ground seconds, and
       per-request deltas for the solver counters. [?budget] bounds this
       request's solver work; a preempted request fails with
       [f_timeout = true] and leaves the session fully reusable (the
-      solve server's deadline mechanism). *)
+      solve server's deadline mechanism). [?obs] overrides the
+      session's context for this request's ["session.request"]/decode
+      spans and published stats (request-scoped tracing); [?attrs] are
+      stamped on the ["session.request"] span. *)
 
   val setup_seconds : t -> float
   (** One-time encode + ground + translate cost paid by [create]. *)

@@ -30,6 +30,26 @@
 
 type mode = Session | Fresh
 
+(* Live-telemetry knobs: rolling SLO windows plus the flight recorder.
+   The horizon is split into [slots] rotating sub-windows, so the
+   wire "stats" op can answer "p99 over the last N seconds" without
+   ever scanning history; the recorder tail-samples completed request
+   traces (always keep errors/deadline misses/slowest K). *)
+type telemetry = {
+  horizon_s : float;  (* rolling-stats horizon *)
+  slots : int;  (* sub-windows per horizon *)
+  recorder_capacity : int;  (* flight-recorder ring size; 0 disables *)
+  recorder_sample : int;  (* keep 1-in-N unremarkable request traces *)
+  recorder_slowest : int;  (* slowest K per horizon always kept *)
+}
+
+let default_telemetry =
+  { horizon_s = 60.;
+    slots = 12;
+    recorder_capacity = 256;
+    recorder_sample = 16;
+    recorder_slowest = 8 }
+
 type config = {
   workers : int;  (* solver domains *)
   max_queue : int;  (* admission bound: max enqueued-not-yet-running jobs *)
@@ -51,6 +71,9 @@ type config = {
          warm grounding from it on cold start and persist new pool
          generations into it (keys carry the pool digest, so a reload
          can never serve a stale grounding) *)
+  telemetry : telemetry option;
+      (* live windowed stats + flight recorder; [None] turns the whole
+         layer off (the disabled path is a single branch per request) *)
   options : Concretizer.options;
 }
 
@@ -65,6 +88,7 @@ let default_config =
     fault_injection = false;
     reuse_source = None;
     ground_cache = None;
+    telemetry = Some default_telemetry;
     options = Concretizer.default_options }
 
 (* The buildcache identity: a content hash over the sorted DAG hashes
@@ -132,10 +156,74 @@ let rec write_all fd s off len =
 type job = {
   j_conn : conn;
   j_id : Sjson.t;  (* echoed verbatim in the response *)
+  j_rid : string;  (* request id: client-supplied or server-assigned *)
+  j_op : string;
   j_payload : Sjson.t;
   j_received : float;  (* monotonic, at frame decode *)
   j_deadline : float option;  (* absolute monotonic deadline *)
+  j_obs : Obs.ctx;
+      (* per-request recording context (flight recorder); [disabled]
+         when the recorder is off or the op is not traced *)
 }
+
+(* Rolling-window state behind the live "stats" answer. Every counter
+   and histogram here shares the configured horizon/slot layout, so
+   one "window" selector in the request applies uniformly. *)
+type live = {
+  lv_cfg : telemetry;
+  lv_solve_ms : Obs.Window.hist;  (* end-to-end latency of solve ops *)
+  lv_queue_ms : Obs.Window.hist;
+  lv_requests : Obs.Window.counter;  (* every answered request *)
+  lv_ok : Obs.Window.counter;
+  lv_unsat : Obs.Window.counter;
+  lv_timeout : Obs.Window.counter;
+  lv_error : Obs.Window.counter;
+  lv_overloaded : Obs.Window.counter;
+  lv_deadline_miss : Obs.Window.counter;
+  lv_closure_hits : Obs.Window.counter;
+  lv_closure_misses : Obs.Window.counter;
+  lv_gcache_hits : Obs.Window.counter;
+  lv_gcache_misses : Obs.Window.counter;
+  lv_recycles : Obs.Window.counter;
+  lv_recorder : Obs.Recorder.t option;
+}
+
+let make_live (tc : telemetry) =
+  let h () = Obs.Window.hist ~slots:tc.slots ~horizon_s:tc.horizon_s () in
+  let c () = Obs.Window.counter ~slots:tc.slots ~horizon_s:tc.horizon_s () in
+  { lv_cfg = tc;
+    lv_solve_ms = h ();
+    lv_queue_ms = h ();
+    lv_requests = c ();
+    lv_ok = c ();
+    lv_unsat = c ();
+    lv_timeout = c ();
+    lv_error = c ();
+    lv_overloaded = c ();
+    lv_deadline_miss = c ();
+    lv_closure_hits = c ();
+    lv_closure_misses = c ();
+    lv_gcache_hits = c ();
+    lv_gcache_misses = c ();
+    lv_recycles = c ();
+    lv_recorder =
+      (if tc.recorder_capacity > 0 then
+         Some
+           (Obs.Recorder.create ~capacity:tc.recorder_capacity
+              ~sample_every:tc.recorder_sample ~slowest_k:tc.recorder_slowest
+              ~window_s:tc.horizon_s ())
+       else None) }
+
+(* Count one answered (or rejected) request into the rolling windows. *)
+let live_count lv ~status ~deadline_missed =
+  Obs.Window.add lv.lv_requests 1;
+  (match status with
+  | "ok" -> Obs.Window.add lv.lv_ok 1
+  | "unsat" -> Obs.Window.add lv.lv_unsat 1
+  | "timeout" -> Obs.Window.add lv.lv_timeout 1
+  | "overloaded" -> Obs.Window.add lv.lv_overloaded 1
+  | _ -> Obs.Window.add lv.lv_error 1);
+  if deadline_missed then Obs.Window.add lv.lv_deadline_miss 1
 
 type t = {
   repo : Pkg.Repo.t;
@@ -161,10 +249,24 @@ type t = {
   mutable generation : int;
   closures : (string, (string, unit) Hashtbl.t) Hashtbl.t;
       (* roots key -> closure; valid for the current generation only *)
+  (* live telemetry *)
+  started_s : float;
+  rid_counter : int Atomic.t;  (* server-assigned request ids *)
+  live : live option;
   (* lifecycle *)
   mutable accept_thread : Thread.t option;
   mutable domains : unit Domain.t list;
 }
+
+let fresh_rid t = Printf.sprintf "srv-%d" (Atomic.fetch_and_add t.rid_counter 1)
+
+(* The request id joins client and server traces: take the client's
+   ("rid" string or int), assign one otherwise. *)
+let rid_of t payload =
+  match Sjson.member_opt "rid" payload with
+  | Some (Sjson.String s) when s <> "" -> s
+  | Some (Sjson.Int n) -> string_of_int n
+  | _ -> fresh_rid t
 
 let obs t = t.config.options.Concretizer.obs
 
@@ -213,6 +315,9 @@ let pool_snapshot t roots =
       match Hashtbl.find_opt t.closures key with
       | Some cl ->
         Obs.incr (obs t) "serve.closure_hits";
+        (match t.live with
+        | Some lv -> Obs.Window.add lv.lv_closure_hits 1
+        | None -> ());
         Some cl
       | None ->
         let cl =
@@ -221,6 +326,9 @@ let pool_snapshot t roots =
         in
         Hashtbl.replace t.closures key cl;
         Obs.incr (obs t) "serve.closure_misses";
+        (match t.live with
+        | Some lv -> Obs.Window.add lv.lv_closure_misses 1
+        | None -> ());
         Some cl
   in
   let snap = (t.reuse, t.generation, closure) in
@@ -394,6 +502,9 @@ let ensure_session t w =
     match t.config.session_recycle with
     | Some cap when Concretizer.Session.solves s >= cap ->
       Obs.incr (obs t) "serve.session_recycles";
+      (match t.live with
+      | Some lv -> Obs.Window.add lv.lv_recycles 1
+      | None -> ());
       true
     | _ -> false
   in
@@ -416,6 +527,12 @@ let ensure_session t w =
            with
            | Ok warm ->
              w.w_warm <- Some warm;
+             (match (t.live, t.config.ground_cache) with
+             | Some lv, Some _ ->
+               if Concretizer.Warm.from_cache warm then
+                 Obs.Window.add lv.lv_gcache_hits 1
+               else Obs.Window.add lv.lv_gcache_misses 1
+             | _ -> ());
              Ok warm
            | Error e -> Error e))
        with
@@ -427,9 +544,12 @@ let ensure_session t w =
   | Broken _ | No_session -> None
 
 (* Serve one solve request; returns (status, canonical result, extra
-   response fields). Raises on internal faults (caught by the caller
-   and answered as a typed error). *)
-let run_solve t w job =
+   response fields). [robs] is the request-scoped observation context
+   (the shared server context teed with the job's flight-recorder
+   context) — concretizer spans recorded through it land in both.
+   Raises on internal faults (caught by the caller and answered as a
+   typed error). *)
+let run_solve t w job robs =
   let payload = job.j_payload in
   if t.config.fault_injection && field_bool "boom" payload then
     failwith "injected worker fault";
@@ -464,11 +584,13 @@ let run_solve t w job =
         let root =
           request.Encode.req.Spec.Abstract.root.Spec.Abstract.name
         in
+        let rid_attr = [ ("rid", Obs.S job.j_rid) ] in
         let fresh () =
           let reuse, gen, closure = pool_snapshot t [ root ] in
           let r =
             Concretizer.concretize_v ~repo:t.repo
-              ~options:(solve_options t reuse) ?budget ?closure [ request ]
+              ~options:{ (solve_options t reuse) with Concretizer.obs = robs }
+              ?budget ?closure ~attrs:rid_attr [ request ]
           in
           (r, "fresh", gen)
         in
@@ -486,63 +608,204 @@ let run_solve t w job =
                 let gen =
                   match w.w_session with Warm (_, g) -> g | _ -> assert false
                 in
-                (Concretizer.Session.solve ?budget s request, "session", gen))
+                ( Concretizer.Session.solve ?budget ~obs:robs ~attrs:rid_attr s
+                    request,
+                  "session",
+                  gen ))
         in
         ( status_of_result result,
           canonical_of_result result,
           [ ("mode", Sjson.String mode_used); ("generation", Sjson.Int gen) ] )
       end)
 
-let run_stats t =
+let hist_summary_json h =
+  Sjson.Object
+    [ ("count", Sjson.Int (Obs.Hist.count h));
+      ( "mean",
+        Sjson.Float
+          (if Obs.Hist.count h = 0 then 0.
+           else Obs.Hist.sum h /. float_of_int (Obs.Hist.count h)) );
+      ("p50", Sjson.Float (Obs.Hist.quantile h 0.5));
+      ("p90", Sjson.Float (Obs.Hist.quantile h 0.9));
+      ("p99", Sjson.Float (Obs.Hist.quantile h 0.99));
+      ("max", Sjson.Float (Obs.Hist.max_value h)) ]
+
+(* The rolling-window block of a "stats" answer. [window_s] comes from
+   the request's "window" field (seconds), rounded up to slot
+   granularity and clamped to the horizon; default = full horizon. *)
+let live_stats_json lv ?window_s () =
+  let covered = Obs.Window.hist_covered_s ?window_s lv.lv_solve_ms in
+  let solve = Obs.Window.merged ?window_s lv.lv_solve_ms in
+  let queue = Obs.Window.merged ?window_s lv.lv_queue_ms in
+  let total = Obs.Window.total ?window_s lv.lv_requests in
+  let count c = Obs.Window.total ?window_s c in
+  let rate n = if total = 0 then 0. else float_of_int n /. float_of_int total in
+  let hit_rate h m =
+    let s = h + m in
+    if s = 0 then 0. else float_of_int h /. float_of_int s
+  in
+  let ok = count lv.lv_ok
+  and unsat = count lv.lv_unsat
+  and timeout = count lv.lv_timeout
+  and error = count lv.lv_error
+  and overloaded = count lv.lv_overloaded
+  and deadline_miss = count lv.lv_deadline_miss
+  and cl_hits = count lv.lv_closure_hits
+  and cl_misses = count lv.lv_closure_misses
+  and gc_hits = count lv.lv_gcache_hits
+  and gc_misses = count lv.lv_gcache_misses in
+  Sjson.Object
+    ([ ("window_s", Sjson.Float covered);
+       ("horizon_s", Sjson.Float (Obs.Window.hist_horizon_s lv.lv_solve_ms));
+       ("requests", Sjson.Int total);
+       ("rps", Sjson.Float (float_of_int total /. covered));
+       ("solve_ms", hist_summary_json solve);
+       ("queue_ms", hist_summary_json queue);
+       ( "statuses",
+         Sjson.Object
+           [ ("ok", Sjson.Int ok);
+             ("unsat", Sjson.Int unsat);
+             ("timeout", Sjson.Int timeout);
+             ("error", Sjson.Int error);
+             ("overloaded", Sjson.Int overloaded) ] );
+       ("overload_rate", Sjson.Float (rate overloaded));
+       ("deadline_miss_rate", Sjson.Float (rate deadline_miss));
+       ("error_rate", Sjson.Float (rate error));
+       ("closure_hit_rate", Sjson.Float (hit_rate cl_hits cl_misses));
+       ("ground_cache_hit_rate", Sjson.Float (hit_rate gc_hits gc_misses));
+       ("session_recycles", Sjson.Int (count lv.lv_recycles)) ]
+    @
+    match lv.lv_recorder with
+    | None -> []
+    | Some r ->
+      [ ( "recorder",
+          Sjson.Object
+            [ ("seen", Sjson.Int (Obs.Recorder.seen r));
+              ("kept", Sjson.Int (Obs.Recorder.kept r));
+              ("capacity", Sjson.Int (Obs.Recorder.capacity r)) ] ) ])
+
+let run_stats t payload =
   Mutex.lock t.mu;
   let pending = t.pending and served = t.served and rejected = t.rejected in
   Mutex.unlock t.mu;
   Sjson.Object
-    [ ("status", Sjson.String "ok");
-      ("workers", Sjson.Int (Array.length t.queues));
-      ("pending", Sjson.Int pending);
-      ("served", Sjson.Int served);
-      ("rejected", Sjson.Int rejected);
-      ("generation", Sjson.Int (generation t));
-      ("digest", Sjson.String (pool_digest_of t));
-      ("roots", Sjson.Int (List.length t.roots)) ]
+    ([ ("status", Sjson.String "ok");
+       ("workers", Sjson.Int (Array.length t.queues));
+       ("pending", Sjson.Int pending);
+       ("served", Sjson.Int served);
+       ("rejected", Sjson.Int rejected);
+       ("generation", Sjson.Int (generation t));
+       ("digest", Sjson.String (pool_digest_of t));
+       ("roots", Sjson.Int (List.length t.roots));
+       ("uptime_s", Sjson.Float (Obs.Clock.now_s () -. t.started_s)) ]
+    @
+    match t.live with
+    | None -> []
+    | Some lv ->
+      let window_s = field_number "window" payload in
+      [ ("window", live_stats_json lv ?window_s ()) ])
+
+(* One flight-recorder entry on the wire; "trace" is a self-contained
+   Perfetto-loadable object. *)
+let trace_json (tr : Obs.Recorder.trace) =
+  Sjson.Object
+    [ ("rid", Sjson.String tr.Obs.Recorder.tr_rid);
+      ("op", Sjson.String tr.Obs.Recorder.tr_op);
+      ("status", Sjson.String tr.Obs.Recorder.tr_status);
+      ( "keep",
+        Sjson.String (Obs.Recorder.keep_class_to_string tr.Obs.Recorder.tr_keep)
+      );
+      ("worker", Sjson.Int tr.Obs.Recorder.tr_worker);
+      ("age_s", Sjson.Float (Obs.Clock.now_s () -. tr.Obs.Recorder.tr_start_s));
+      ("dur_ms", Sjson.Float tr.Obs.Recorder.tr_dur_ms);
+      ("queue_ms", Sjson.Float tr.Obs.Recorder.tr_queue_ms);
+      ("trace", Obs.Sink.chrome_events tr.Obs.Recorder.tr_events) ]
+
+let run_dump t payload =
+  match t.live with
+  | Some { lv_recorder = Some r; _ } ->
+    let n = match field_int "n" payload with Some n -> max 0 n | None -> 32 in
+    let keep =
+      match field_string "keep" payload with
+      | Some s -> Obs.Recorder.keep_class_of_string s
+      | None -> None
+    in
+    let traces = Obs.Recorder.traces ~n ?keep r in
+    Sjson.Object
+      [ ("status", Sjson.String "ok");
+        ("seen", Sjson.Int (Obs.Recorder.seen r));
+        ("kept", Sjson.Int (Obs.Recorder.kept r));
+        ("returned", Sjson.Int (List.length traces));
+        ("traces", Sjson.Array (List.map trace_json traces)) ]
+  | _ -> canonical_error "dump: flight recorder disabled"
 
 let handle_job t w job =
   Fun.protect ~finally:(fun () -> conn_job_end job.j_conn) @@ fun () ->
   let queue_ms = (Obs.Clock.now_s () -. job.j_received) *. 1000. in
   Obs.observe (obs t) "serve.queue_ms" queue_ms;
-  let op =
-    match field_string "op" job.j_payload with Some o -> o | None -> "solve"
-  in
-  Obs.with_span (obs t) ~cat:"serve" "serve.request"
-    ~attrs:[ ("worker", Obs.I w.w_index); ("op", Obs.S op) ]
-  @@ fun span ->
+  let op = job.j_op in
+  (* [robs] carries every span of this request into both the shared
+     server context (--trace) and the job's flight-recorder context.
+     When both are disabled this is [Obs.disabled]. *)
+  let robs = Obs.tee (obs t) job.j_obs in
+  Obs.instant job.j_obs
+    ~attrs:[ ("worker", Obs.I w.w_index); ("queue_ms", Obs.F queue_ms) ]
+    "serve.dequeued";
   let status, result, extra =
-    match
-      match op with
-      | "solve" -> run_solve t w job
-      | "ping" ->
-        ("ok", Sjson.Object [ ("status", Sjson.String "pong") ], [])
-      | "stats" -> ("ok", run_stats t, [])
-      | op -> ("error", canonical_error ("unknown op: " ^ op), [])
-    with
-    | r -> r
-    | exception e ->
-      (* A worker fault answers the request instead of wedging the
-         queue; the domain lives on. *)
-      Obs.incr (obs t) "serve.worker_faults";
-      ("error", canonical_error (Printexc.to_string e), [])
+    Obs.with_span robs ~cat:"serve" "serve.request"
+      ~attrs:
+        [ ("rid", Obs.S job.j_rid);
+          ("worker", Obs.I w.w_index);
+          ("op", Obs.S op) ]
+    @@ fun span ->
+    let r =
+      match
+        match op with
+        | "solve" -> run_solve t w job robs
+        | "ping" -> ("ok", Sjson.Object [ ("status", Sjson.String "pong") ], [])
+        | "stats" -> ("ok", run_stats t job.j_payload, [])
+        | "dump" -> ("ok", run_dump t job.j_payload, [])
+        | op -> ("error", canonical_error ("unknown op: " ^ op), [])
+      with
+      | r -> r
+      | exception e ->
+        (* A worker fault answers the request instead of wedging the
+           queue; the domain lives on. *)
+        Obs.incr (obs t) "serve.worker_faults";
+        ("error", canonical_error (Printexc.to_string e), [])
+    in
+    let status, _, _ = r in
+    Obs.set_attr span "status" (Obs.S status);
+    r
   in
-  Obs.set_attr span "status" (Obs.S status);
   Obs.incr (obs t) ("serve.status." ^ status);
   let latency_ms = (Obs.Clock.now_s () -. job.j_received) *. 1000. in
   Obs.observe (obs t) "serve.latency_ms" latency_ms;
+  if op = "solve" then Obs.observe (obs t) "serve.solve_ms" latency_ms;
+  let deadline_missed = status = "timeout" && job.j_deadline <> None in
+  (match t.live with
+  | Some lv ->
+    Obs.Window.observe lv.lv_queue_ms queue_ms;
+    if op = "solve" then Obs.Window.observe lv.lv_solve_ms latency_ms;
+    live_count lv ~status ~deadline_missed;
+    (* Tail-sampling: the keep decision sees the completed request.
+       Only solve traces (and anything that errored) compete for ring
+       space — pings and stats polls would crowd out the signal. *)
+    (match lv.lv_recorder with
+    | Some r when op = "solve" || status <> "ok" ->
+      ignore
+        (Obs.Recorder.record r ~rid:job.j_rid ~op ~status ~deadline_missed
+           ~worker:w.w_index ~start_s:job.j_received ~dur_ms:latency_ms
+           ~queue_ms ~events:(Obs.events job.j_obs))
+    | _ -> ())
+  | None -> ());
   Mutex.lock t.mu;
   t.served <- t.served + 1;
   Mutex.unlock t.mu;
   respond t job.j_conn
     (Sjson.Object
        [ ("id", job.j_id);
+         ("rid", Sjson.String job.j_rid);
          ("status", Sjson.String status);
          ("result", result);
          ( "server",
@@ -565,9 +828,10 @@ let worker_loop t i =
 
 (* ---- connection I/O ------------------------------------------------ *)
 
-let overloaded_response id =
+let overloaded_response id rid =
   Sjson.Object
     [ ("id", id);
+      ("rid", Sjson.String rid);
       ("status", Sjson.String "overloaded");
       ( "result",
         Sjson.Object
@@ -582,7 +846,7 @@ let frame_error_response msg =
 
 (* Immediate (reader-thread) ops that must work even when the solve
    queue is saturated: admin and lifecycle. *)
-let dispatch_inline t conn id op =
+let dispatch_inline t conn id rid op =
   match op with
   | "reload" ->
     let result =
@@ -598,12 +862,16 @@ let dispatch_inline t conn id op =
     in
     respond t conn
       (Sjson.Object
-         [ ("id", id); ("status", Sjson.String "ok"); ("result", result) ]);
+         [ ("id", id);
+           ("rid", Sjson.String rid);
+           ("status", Sjson.String "ok");
+           ("result", result) ]);
     `Continue
   | "shutdown" ->
     respond t conn
       (Sjson.Object
          [ ("id", id);
+           ("rid", Sjson.String rid);
            ("status", Sjson.String "ok");
            ("result", Sjson.Object [ ("status", Sjson.String "stopping") ]) ]);
     `Shutdown
@@ -632,7 +900,8 @@ let dispatch t conn payload =
     match Sjson.member_opt "id" payload with Some v -> v | None -> Sjson.Null
   in
   let op = match field_string "op" payload with Some o -> o | None -> "solve" in
-  match dispatch_inline t conn id op with
+  let rid = rid_of t payload in
+  match dispatch_inline t conn id rid op with
   | `Shutdown -> request_stop t
   | `Continue -> ()
   | `Not_inline ->
@@ -642,19 +911,36 @@ let dispatch t conn payload =
       | Some ms -> Some ms
       | None -> t.config.default_deadline_ms
     in
+    (* The per-request context is created at frame decode, so its epoch
+       is the moment the request entered the server: the gap before
+       "serve.dequeued" is the queue wait, visible in the trace. *)
+    let j_obs =
+      match t.live with
+      | Some { lv_recorder = Some _; _ } when op = "solve" -> Obs.create ()
+      | _ -> Obs.disabled
+    in
+    Obs.instant j_obs
+      ~attrs:[ ("rid", Obs.S rid); ("op", Obs.S op) ]
+      "serve.received";
     let job =
       { j_conn = conn;
         j_id = id;
+        j_rid = rid;
+        j_op = op;
         j_payload = payload;
         j_received = now;
-        j_deadline = Option.map (fun ms -> now +. (ms /. 1000.)) deadline_ms }
+        j_deadline = Option.map (fun ms -> now +. (ms /. 1000.)) deadline_ms;
+        j_obs }
     in
     conn_job_begin conn;
     (match submit t job with
     | Admitted -> ()
     | Overloaded ->
       Obs.incr (obs t) "serve.status.overloaded";
-      respond t conn (overloaded_response id);
+      (match t.live with
+      | Some lv -> live_count lv ~status:"overloaded" ~deadline_missed:false
+      | None -> ());
+      respond t conn (overloaded_response id rid);
       conn_job_end conn)
 
 let reader t conn =
@@ -768,6 +1054,9 @@ let start ~repo ?(config = default_config) ~socket () =
         digest = pool_digest reuse;
         generation = 0;
         closures = Hashtbl.create 64;
+        started_s = Obs.Clock.now_s ();
+        rid_counter = Atomic.make 0;
+        live = Option.map make_live config.telemetry;
         accept_thread = None;
         domains = [] }
     in
@@ -934,7 +1223,7 @@ module Client = struct
 
   let mode_field = function Session -> "session" | Fresh -> "fresh"
 
-  let solve ?mode ?deadline_ms ?conflicts ?(boom = false) c spec =
+  let solve ?mode ?deadline_ms ?conflicts ?(boom = false) ?rid c spec =
     let fields =
       [ ("op", Sjson.String "solve"); ("spec", Sjson.String spec) ]
       @ (match mode with
@@ -946,13 +1235,31 @@ module Client = struct
       @ (match conflicts with
         | Some n -> [ ("conflicts", Sjson.Int n) ]
         | None -> [])
+      @ (match rid with
+        | Some r -> [ ("rid", Sjson.String r) ]
+        | None -> [])
       @ if boom then [ ("boom", Sjson.Bool true) ] else []
     in
     rpc c fields
 
   let ping c = rpc c [ ("op", Sjson.String "ping") ]
 
-  let stats c = rpc c [ ("op", Sjson.String "stats") ]
+  let stats ?window_s c =
+    rpc c
+      (("op", Sjson.String "stats")
+      ::
+      (match window_s with
+      | Some w -> [ ("window", Sjson.Float w) ]
+      | None -> []))
+
+  let dump ?n ?keep c =
+    rpc c
+      (("op", Sjson.String "dump")
+      :: ((match n with Some n -> [ ("n", Sjson.Int n) ] | None -> [])
+         @
+         match keep with
+         | Some k -> [ ("keep", Sjson.String k) ]
+         | None -> []))
 
   let reload c = rpc c [ ("op", Sjson.String "reload") ]
 

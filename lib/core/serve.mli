@@ -21,15 +21,50 @@
     {2 Wire protocol}
 
     Requests are JSON objects: [{"id": any, "op": "solve" | "ping" |
-    "stats" | "reload" | "shutdown", ...}]. A [solve] carries ["spec"]
-    (spec syntax), optional ["mode"] ("session"/"fresh"),
+    "stats" | "dump" | "reload" | "shutdown", ...}]. A [solve] carries
+    ["spec"] (spec syntax), optional ["mode"] ("session"/"fresh"),
     ["deadline_ms"], ["conflicts"], and (with fault injection) ["boom"].
-    Responses echo ["id"] and carry ["status"] ("ok" | "unsat" |
-    "timeout" | "error" | "overloaded"), a canonical ["result"] object
+    Any request may carry a ["rid"] request id (string); the server
+    assigns one (["srv-<n>"]) otherwise and stamps it on the request's
+    span tree, so client and server traces join. Responses echo ["id"]
+    and ["rid"] and carry ["status"] ("ok" | "unsat" | "timeout" |
+    "error" | "overloaded"), a canonical ["result"] object
     (byte-comparable against {!canonical_of_result} of a one-shot
     {!Concretizer} run), and a ["server"] object with timing and
     routing detail. Responses to pipelined requests may arrive out of
-    request order. *)
+    request order.
+
+    With live telemetry on (the default), ["stats"] additionally
+    answers a ["window"] object — rolling-window request counts, rps,
+    solve/queue latency quantiles, overload/deadline-miss/error rates,
+    closure- and ground-cache hit rates, session recycles — computed
+    over the last ["window"] seconds of the request (rounded up to
+    sub-window granularity, clamped to the horizon; default the full
+    horizon). ["dump"] returns the flight recorder's recent traces
+    ([{"n": int, "keep": "error"|"deadline"|"slow"|"sampled"}]
+    optional), each with its ["rid"] and a Perfetto-loadable ["trace"]
+    object. *)
+
+(** Live-telemetry configuration: the rolling-window layout behind the
+    ["stats"] window answer and the flight-recorder tail-sampling
+    policy. *)
+type telemetry = {
+  horizon_s : float;
+      (** rolling-stats horizon in seconds (default 60): the largest
+          window ["stats"] can answer *)
+  slots : int;
+      (** sub-windows per horizon (default 12): rotation granularity,
+          and the rounding unit of requested windows *)
+  recorder_capacity : int;
+      (** flight-recorder ring size (default 256); [0] disables the
+          recorder (and the ["dump"] op) but keeps the windows *)
+  recorder_sample : int;
+      (** keep 1-in-N unremarkable request traces (default 16) *)
+  recorder_slowest : int;
+      (** always keep the slowest K solves per horizon (default 8) *)
+}
+
+val default_telemetry : telemetry
 
 (** Solve mode: [Session] serves from the worker's warm session (cost
     parity with fresh solves; model ties may break differently),
@@ -68,6 +103,10 @@ type config = {
           digest, so a ["reload"] that changes the buildcache can
           never be served a stale on-disk grounding. [None] (default)
           = in-memory only. *)
+  telemetry : telemetry option;
+      (** live windowed stats and flight recorder (default
+          [Some default_telemetry]); [None] turns the layer off — the
+          disabled path costs one branch per request *)
   options : Concretizer.options;
       (** solver options shared by all requests; [options.obs] is the
           server's tracing context ([serve.request] spans,
@@ -147,12 +186,21 @@ module Client : sig
 
   val solve :
     ?mode:mode -> ?deadline_ms:float -> ?conflicts:int -> ?boom:bool ->
-    t -> string -> (Sjson.t, string) result
-  (** Solve one spec and await its response. *)
+    ?rid:string -> t -> string -> (Sjson.t, string) result
+  (** Solve one spec and await its response. [?rid] propagates a
+      client-chosen request id onto the server's span tree; without it
+      the server assigns one. Either way the response echoes ["rid"]. *)
 
   val ping : t -> (Sjson.t, string) result
 
-  val stats : t -> (Sjson.t, string) result
+  val stats : ?window_s:float -> t -> (Sjson.t, string) result
+  (** [?window_s] selects the rolling window of the ["window"] block
+      (rounded up to sub-window granularity, clamped to the horizon). *)
+
+  val dump : ?n:int -> ?keep:string -> t -> (Sjson.t, string) result
+  (** Fetch up to [n] (default 32) recent flight-recorder traces,
+      optionally filtered by keep class
+      (["error"|"deadline"|"slow"|"sampled"]). *)
 
   val reload : t -> (Sjson.t, string) result
 

@@ -71,6 +71,14 @@ module Hist = struct
 
   let max_value h = if h.count = 0 then 0. else h.vmax
 
+  (* Clear in place (window rotation reuses slot histograms). *)
+  let reset h =
+    Array.fill h.counts 0 n_buckets 0;
+    h.count <- 0;
+    h.sum <- 0.;
+    h.vmin <- infinity;
+    h.vmax <- neg_infinity
+
   let merge a b =
     {
       counts = Array.init n_buckets (fun i -> a.counts.(i) + b.counts.(i));
@@ -98,8 +106,10 @@ module Hist = struct
          done
        with Exit -> ());
       (* Never report beyond the observed extremes: tightens the
-         estimate and keeps quantile h 1.0 <= max_value h. *)
-      Float.min (upper_of !found) h.vmax
+         estimate and keeps min_value h <= quantile h q <= max_value h
+         for every q (bucket bounds alone could report a p99 above the
+         true maximum, or a p0 below the true minimum). *)
+      Float.max (Float.min (upper_of !found) h.vmax) h.vmin
     end
 
   let buckets h =
@@ -108,6 +118,122 @@ module Hist = struct
       if h.counts.(i) > 0 then out := (lower_of i, upper_of i, h.counts.(i)) :: !out
     done;
     !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Sliding windows *)
+
+module Window = struct
+  (* A horizon of [horizon_s] seconds is split into [slots] sub-windows
+     of [slot_s] seconds each. Slot [i] holds data for absolute period
+     [p] (p = floor (now / slot_s)) iff p mod slots = i and the slot was
+     last touched during period p; stale slots are reset lazily on the
+     next observe or merge that lands on them. A merge over the last
+     [window_s] seconds combines the ceil (window_s / slot_s) most
+     recent live periods — the window is rounded up to slot granularity
+     and clamped to the horizon. Time must be fed monotonically (the
+     default is Clock.now_s, which is). *)
+  type 'a slots = {
+    sl_mu : Mutex.t;
+    sl_slot_s : float;
+    sl_n : int;
+    sl_ids : int array; (* absolute period held by slot i; -1 = empty *)
+    sl_data : 'a array;
+  }
+
+  let make_slots ?(slots = 12) ~horizon_s mk =
+    let n = max 1 slots in
+    let horizon_s = if horizon_s > 0. then horizon_s else 60. in
+    {
+      sl_mu = Mutex.create ();
+      sl_slot_s = horizon_s /. float_of_int n;
+      sl_n = n;
+      sl_ids = Array.make n (-1);
+      sl_data = Array.init n (fun _ -> mk ());
+    }
+
+  let period sl now_s =
+    let p = int_of_float (Float.floor (now_s /. sl.sl_slot_s)) in
+    if p < 0 then 0 else p
+
+  (* Slot for [now_s], reset if it still holds an expired period. *)
+  let touch sl ~reset now_s =
+    let p = period sl now_s in
+    let i = p mod sl.sl_n in
+    if sl.sl_ids.(i) <> p then begin
+      reset sl.sl_data.(i);
+      sl.sl_ids.(i) <- p
+    end;
+    i
+
+  (* Fold over the live slots covering the last [window_s] seconds. *)
+  let fold_live sl ?window_s now_s f acc =
+    let p = period sl now_s in
+    let k =
+      match window_s with
+      | None -> sl.sl_n
+      | Some w ->
+          let k = int_of_float (Float.ceil (w /. sl.sl_slot_s)) in
+          max 1 (min sl.sl_n k)
+    in
+    let acc = ref acc in
+    for j = 0 to k - 1 do
+      let pj = p - j in
+      if pj >= 0 then begin
+        let i = pj mod sl.sl_n in
+        if sl.sl_ids.(i) = pj then acc := f !acc sl.sl_data.(i)
+      end
+    done;
+    !acc
+
+  let locked_sl sl f =
+    Mutex.lock sl.sl_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sl.sl_mu) f
+
+  let covered sl ?window_s () =
+    match window_s with
+    | None -> sl.sl_slot_s *. float_of_int sl.sl_n
+    | Some w ->
+        let k = int_of_float (Float.ceil (w /. sl.sl_slot_s)) in
+        sl.sl_slot_s *. float_of_int (max 1 (min sl.sl_n k))
+
+  type hist = Hist.t slots
+
+  let hist ?slots ~horizon_s () = make_slots ?slots ~horizon_s Hist.create
+
+  let observe ?now_s (h : hist) v =
+    let now = match now_s with Some t -> t | None -> Clock.now_s () in
+    locked_sl h (fun () ->
+        let i = touch h ~reset:Hist.reset now in
+        Hist.observe h.sl_data.(i) v)
+
+  let merged ?window_s ?now_s (h : hist) =
+    let now = match now_s with Some t -> t | None -> Clock.now_s () in
+    locked_sl h (fun () ->
+        fold_live h ?window_s now
+          (fun acc slot -> Hist.merge acc slot)
+          (Hist.create ()))
+
+  let hist_covered_s ?window_s (h : hist) = covered h ?window_s ()
+
+  let hist_horizon_s (h : hist) = h.sl_slot_s *. float_of_int h.sl_n
+
+  type counter = int ref slots
+
+  let counter ?slots ~horizon_s () =
+    make_slots ?slots ~horizon_s (fun () -> ref 0)
+
+  let add ?now_s (c : counter) n =
+    let now = match now_s with Some t -> t | None -> Clock.now_s () in
+    locked_sl c (fun () ->
+        let i = touch c ~reset:(fun r -> r := 0) now in
+        c.sl_data.(i) := !(c.sl_data.(i)) + n)
+
+  let total ?window_s ?now_s (c : counter) =
+    let now = match now_s with Some t -> t | None -> Clock.now_s () in
+    locked_sl c (fun () -> fold_live c ?window_s now (fun acc r -> acc + !r) 0)
+
+  let counter_covered_s ?window_s (c : counter) = covered c ?window_s ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -140,20 +266,33 @@ type impl = {
   mets : (string, metric_cell) Hashtbl.t;
 }
 
-type ctx = impl option
+(* A context is a (usually empty or singleton) list of backends. The
+   disabled context is the empty list — every operation starts with one
+   branch on it and allocates nothing. [tee] concatenates, so spans and
+   metrics recorded through a teed context land in every backend: the
+   serve layer uses this to feed a per-request flight-recorder context
+   and the long-lived --trace context from a single instrumentation
+   point. *)
+type ctx = impl list
 
-let disabled : ctx = None
+let disabled : ctx = []
 
 let create () : ctx =
-  Some
+  [
     {
       epoch_ns = Clock.now_ns ();
       lock = Mutex.create ();
       evs = [];
       mets = Hashtbl.create 64;
-    }
+    };
+  ]
 
-let enabled = function None -> false | Some _ -> true
+let enabled = function [] -> false | _ :: _ -> true
+
+let tee (a : ctx) (b : ctx) : ctx =
+  match (a, b) with
+  | [], c | c, [] -> c
+  | _ -> a @ List.filter (fun i -> not (List.memq i a)) b
 
 let locked c f =
   Mutex.lock c.lock;
@@ -173,14 +312,14 @@ type span_impl = {
   mutable sp_attrs : (string * value) list;
 }
 
-type span = span_impl option
+type span = span_impl list
 
-let dummy_span : span = None
+let dummy_span : span = []
 
 let set_attr sp k v =
-  match sp with
-  | None -> ()
-  | Some s -> locked s.sp_ctx (fun () -> s.sp_attrs <- (k, v) :: s.sp_attrs)
+  List.iter
+    (fun s -> locked s.sp_ctx (fun () -> s.sp_attrs <- (k, v) :: s.sp_attrs))
+    sp
 
 let finish_span s =
   let t1 = Clock.now_ns () in
@@ -200,30 +339,38 @@ let finish_span s =
 
 let with_span (ctx : ctx) ?(cat = "") ?(attrs = []) name f =
   match ctx with
-  | None -> f dummy_span
-  | Some c ->
-      let s =
-        {
-          sp_ctx = c;
-          sp_name = name;
-          sp_cat = cat;
-          sp_tid = (Domain.self () :> int);
-          sp_t0 = Clock.now_ns ();
-          sp_attrs = List.rev attrs;
-        }
+  | [] -> f dummy_span
+  | impls ->
+      let tid = (Domain.self () :> int) in
+      let t0 = Clock.now_ns () in
+      let sps =
+        List.map
+          (fun c ->
+            {
+              sp_ctx = c;
+              sp_name = name;
+              sp_cat = cat;
+              sp_tid = tid;
+              sp_t0 = t0;
+              sp_attrs = List.rev attrs;
+            })
+          impls
       in
-      Fun.protect ~finally:(fun () -> finish_span s) (fun () -> f (Some s))
+      Fun.protect
+        ~finally:(fun () -> List.iter finish_span sps)
+        (fun () -> f sps)
 
 let instant (ctx : ctx) ?(attrs = []) name =
   match ctx with
-  | None -> ()
-  | Some c ->
+  | [] -> ()
+  | impls ->
       let t = Clock.now_ns () in
-      locked c (fun () ->
-          c.evs <-
-            Instant
-              { name; tid = (Domain.self () :> int); t_ns = rel c t; attrs }
-            :: c.evs)
+      let tid = (Domain.self () :> int) in
+      List.iter
+        (fun c ->
+          locked c (fun () ->
+              c.evs <- Instant { name; tid; t_ns = rel c t; attrs } :: c.evs))
+        impls
 
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
@@ -238,47 +385,54 @@ let metric c name mk =
 
 let incr (ctx : ctx) ?(by = 1) name =
   match ctx with
-  | None -> ()
-  | Some c ->
-      locked c (fun () ->
-          match metric c name (fun () -> MCounter (ref 0)) with
-          | MCounter r -> r := !r + by
-          | MGauge _ | MHist _ -> ())
+  | [] -> ()
+  | impls ->
+      List.iter
+        (fun c ->
+          locked c (fun () ->
+              match metric c name (fun () -> MCounter (ref 0)) with
+              | MCounter r -> r := !r + by
+              | MGauge _ | MHist _ -> ()))
+        impls
 
 let gauge (ctx : ctx) name v =
   match ctx with
-  | None -> ()
-  | Some c ->
-      locked c (fun () ->
-          match metric c name (fun () -> MGauge (ref 0)) with
-          | MGauge r -> r := v
-          | MCounter _ | MHist _ -> ())
+  | [] -> ()
+  | impls ->
+      List.iter
+        (fun c ->
+          locked c (fun () ->
+              match metric c name (fun () -> MGauge (ref 0)) with
+              | MGauge r -> r := v
+              | MCounter _ | MHist _ -> ()))
+        impls
 
 let observe (ctx : ctx) name v =
   match ctx with
-  | None -> ()
-  | Some c ->
-      locked c (fun () ->
-          match metric c name (fun () -> MHist (Hist.create ())) with
-          | MHist h -> Hist.observe h v
-          | MCounter _ | MGauge _ -> ())
+  | [] -> ()
+  | impls ->
+      List.iter
+        (fun c ->
+          locked c (fun () ->
+              match metric c name (fun () -> MHist (Hist.create ())) with
+              | MHist h -> Hist.observe h v
+              | MCounter _ | MGauge _ -> ()))
+        impls
 
 let publish (ctx : ctx) ~prefix kvs =
   match ctx with
-  | None -> ()
-  | Some _ ->
-      List.iter (fun (k, v) -> incr ctx ~by:v (prefix ^ "." ^ k)) kvs
+  | [] -> ()
+  | _ -> List.iter (fun (k, v) -> incr ctx ~by:v (prefix ^ "." ^ k)) kvs
 
 (* ------------------------------------------------------------------ *)
 (* Introspection *)
 
 let events (ctx : ctx) =
-  match ctx with None -> [] | Some c -> locked c (fun () -> List.rev c.evs)
+  List.concat_map (fun c -> locked c (fun () -> List.rev c.evs)) ctx
 
 let metrics (ctx : ctx) =
-  match ctx with
-  | None -> []
-  | Some c ->
+  List.concat_map
+    (fun c ->
       locked c (fun () ->
           Hashtbl.fold
             (fun name cell acc ->
@@ -289,8 +443,9 @@ let metrics (ctx : ctx) =
                 | MHist h -> Histogram h
               in
               (name, v) :: acc)
-            c.mets [])
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+            c.mets []))
+    ctx
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks *)
@@ -318,53 +473,61 @@ module Sink = struct
   (* Chrome trace_event "JSON object format": Perfetto and
      chrome://tracing both load {"traceEvents": [...]}. Spans are "X"
      complete events with microsecond timestamps. *)
+  let chrome_event_json tids = function
+    | Span { name; cat; tid; t0_ns; dur_ns; attrs } ->
+        Hashtbl.replace tids tid ();
+        Sjson.Object
+          [
+            ("name", Sjson.String name);
+            ("cat", Sjson.String (if cat = "" then "spackml" else cat));
+            ("ph", Sjson.String "X");
+            ("ts", Sjson.Float (us t0_ns));
+            ("dur", Sjson.Float (us dur_ns));
+            ("pid", Sjson.Int 1);
+            ("tid", Sjson.Int tid);
+            ("args", jattrs attrs);
+          ]
+    | Instant { name; tid; t_ns; attrs } ->
+        Hashtbl.replace tids tid ();
+        Sjson.Object
+          [
+            ("name", Sjson.String name);
+            ("cat", Sjson.String "spackml");
+            ("ph", Sjson.String "i");
+            ("ts", Sjson.Float (us t_ns));
+            ("pid", Sjson.Int 1);
+            ("tid", Sjson.Int tid);
+            ("s", Sjson.String "t");
+            ("args", jattrs attrs);
+          ]
+
+  let thread_meta tids =
+    Hashtbl.fold
+      (fun tid () acc ->
+        Sjson.Object
+          [
+            ("name", Sjson.String "thread_name");
+            ("ph", Sjson.String "M");
+            ("pid", Sjson.Int 1);
+            ("tid", Sjson.Int tid);
+            ( "args",
+              Sjson.Object
+                [ ("name", Sjson.String (Printf.sprintf "domain %d" tid)) ] );
+          ]
+        :: acc)
+      tids []
+
+  (* Render a bare event list (e.g. one flight-recorder trace) as a
+     loadable Chrome trace object. *)
+  let chrome_events evs =
+    let tids = Hashtbl.create 4 in
+    let out = List.map (chrome_event_json tids) evs in
+    Sjson.Object [ ("traceEvents", Sjson.Array (thread_meta tids @ out)) ]
+
   let chrome ctx =
     let tids = Hashtbl.create 8 in
-    let ev_json = function
-      | Span { name; cat; tid; t0_ns; dur_ns; attrs } ->
-          Hashtbl.replace tids tid ();
-          Sjson.Object
-            [
-              ("name", Sjson.String name);
-              ("cat", Sjson.String (if cat = "" then "spackml" else cat));
-              ("ph", Sjson.String "X");
-              ("ts", Sjson.Float (us t0_ns));
-              ("dur", Sjson.Float (us dur_ns));
-              ("pid", Sjson.Int 1);
-              ("tid", Sjson.Int tid);
-              ("args", jattrs attrs);
-            ]
-      | Instant { name; tid; t_ns; attrs } ->
-          Hashtbl.replace tids tid ();
-          Sjson.Object
-            [
-              ("name", Sjson.String name);
-              ("cat", Sjson.String "spackml");
-              ("ph", Sjson.String "i");
-              ("ts", Sjson.Float (us t_ns));
-              ("pid", Sjson.Int 1);
-              ("tid", Sjson.Int tid);
-              ("s", Sjson.String "t");
-              ("args", jattrs attrs);
-            ]
-    in
-    let evs = List.map ev_json (events ctx) in
-    let meta =
-      Hashtbl.fold
-        (fun tid () acc ->
-          Sjson.Object
-            [
-              ("name", Sjson.String "thread_name");
-              ("ph", Sjson.String "M");
-              ("pid", Sjson.Int 1);
-              ("tid", Sjson.Int tid);
-              ( "args",
-                Sjson.Object
-                  [ ("name", Sjson.String (Printf.sprintf "domain %d" tid)) ] );
-            ]
-          :: acc)
-        tids []
-    in
+    let evs = List.map (chrome_event_json tids) (events ctx) in
+    let meta = thread_meta tids in
     (* Final metric values as counter events at the end of the trace. *)
     let t_end =
       List.fold_left
@@ -521,6 +684,175 @@ module Sink = struct
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () -> output_string oc (render ctx sink))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+module Recorder = struct
+  (* Bounded ring of completed per-request span trees with tail
+     sampling: the keep decision is made after the request finishes, so
+     the interesting traces (errors, deadline misses, the slowest K per
+     window) are always retained and the steady-state bulk is sampled
+     1-in-N. When the ring is full, the oldest sampled/slow entry is
+     evicted first; error and deadline-miss traces only fall off the end
+     once nothing else is left to evict. *)
+  type keep_class = Error | Deadline | Slow | Sampled
+
+  let keep_class_to_string = function
+    | Error -> "error"
+    | Deadline -> "deadline"
+    | Slow -> "slow"
+    | Sampled -> "sampled"
+
+  let keep_class_of_string = function
+    | "error" -> Some Error
+    | "deadline" -> Some Deadline
+    | "slow" -> Some Slow
+    | "sampled" -> Some Sampled
+    | _ -> None
+
+  type trace = {
+    tr_rid : string;
+    tr_op : string;
+    tr_status : string;
+    tr_keep : keep_class;
+    tr_worker : int;
+    tr_start_s : float; (* monotonic clock seconds at request receipt *)
+    tr_dur_ms : float;
+    tr_queue_ms : float;
+    tr_events : event list;
+  }
+
+  type t = {
+    r_mu : Mutex.t;
+    r_cap : int;
+    r_sample : int; (* keep 1 in N of unremarkable requests *)
+    r_slowk : int; (* slowest K per window always kept *)
+    r_window_s : float;
+    mutable r_seen : int;
+    mutable r_traces : trace list; (* newest first *)
+    mutable r_len : int;
+    mutable r_slow : float list; (* slow-set durations, ascending *)
+    mutable r_slow_period : int;
+  }
+
+  let create ?(capacity = 256) ?(sample_every = 16) ?(slowest_k = 8)
+      ?(window_s = 60.) () =
+    {
+      r_mu = Mutex.create ();
+      r_cap = max 1 capacity;
+      r_sample = max 1 sample_every;
+      r_slowk = max 0 slowest_k;
+      r_window_s = (if window_s > 0. then window_s else 60.);
+      r_seen = 0;
+      r_traces = [];
+      r_len = 0;
+      r_slow = [];
+      r_slow_period = -1;
+    }
+
+  let locked r f =
+    Mutex.lock r.r_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock r.r_mu) f
+
+  (* Track the K largest durations seen this window; returns true when
+     [dur_ms] belongs to the current slow set. *)
+  let note_slow r ~start_s ~dur_ms =
+    if r.r_slowk = 0 then false
+    else begin
+      let p = int_of_float (Float.floor (start_s /. r.r_window_s)) in
+      if p <> r.r_slow_period then begin
+        r.r_slow_period <- p;
+        r.r_slow <- []
+      end;
+      if List.length r.r_slow < r.r_slowk then begin
+        r.r_slow <- List.sort Float.compare (dur_ms :: r.r_slow);
+        true
+      end
+      else
+        match r.r_slow with
+        | mn :: rest when dur_ms > mn ->
+            r.r_slow <- List.sort Float.compare (dur_ms :: rest);
+            true
+        | _ -> false
+    end
+
+  let classify r ~status ~deadline_missed ~start_s ~dur_ms =
+    match status with
+    | "ok" | "unsat" ->
+        if note_slow r ~start_s ~dur_ms then Some Slow
+        else if (r.r_seen - 1) mod r.r_sample = 0 then Some Sampled
+        else None
+    | "timeout" when deadline_missed -> Some Deadline
+    | _ -> Some Error
+
+  (* Drop the oldest evictable entry: sampled/slow first, then the
+     oldest entry of any class. *)
+  let evict_one r =
+    let oldest_first = List.rev r.r_traces in
+    let evictable = function Slow | Sampled -> true | _ -> false in
+    let dropped = ref false in
+    let kept =
+      List.filter
+        (fun tr ->
+          if (not !dropped) && evictable tr.tr_keep then begin
+            dropped := true;
+            false
+          end
+          else true)
+        oldest_first
+    in
+    let kept = if !dropped then kept else List.tl kept in
+    r.r_traces <- List.rev kept;
+    r.r_len <- r.r_len - 1
+
+  let record r ~rid ~op ~status ~deadline_missed ~worker ~start_s ~dur_ms
+      ~queue_ms ~events =
+    locked r (fun () ->
+        r.r_seen <- r.r_seen + 1;
+        match classify r ~status ~deadline_missed ~start_s ~dur_ms with
+        | None -> false
+        | Some keep ->
+            let tr =
+              {
+                tr_rid = rid;
+                tr_op = op;
+                tr_status = status;
+                tr_keep = keep;
+                tr_worker = worker;
+                tr_start_s = start_s;
+                tr_dur_ms = dur_ms;
+                tr_queue_ms = queue_ms;
+                tr_events = events;
+              }
+            in
+            if r.r_len >= r.r_cap then evict_one r;
+            r.r_traces <- tr :: r.r_traces;
+            r.r_len <- r.r_len + 1;
+            true)
+
+  let traces ?n ?keep r =
+    locked r (fun () ->
+        let ts =
+          match keep with
+          | None -> r.r_traces
+          | Some k -> List.filter (fun tr -> tr.tr_keep = k) r.r_traces
+        in
+        match n with
+        | None -> ts
+        | Some n ->
+            let rec take k = function
+              | x :: rest when k > 0 -> x :: take (k - 1) rest
+              | _ -> []
+            in
+            take n ts)
+
+  let seen r = locked r (fun () -> r.r_seen)
+
+  let kept r = locked r (fun () -> r.r_len)
+
+  let capacity r = r.r_cap
 end
 
 (* ------------------------------------------------------------------ *)

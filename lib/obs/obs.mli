@@ -56,11 +56,52 @@ module Hist : sig
 
   val quantile : t -> float -> float
   (** [quantile h q] for [q] in [0, 1]: an upper estimate of the
-      [q]-quantile (the upper bound of the bucket holding the rank).
+      [q]-quantile (the upper bound of the bucket holding the rank),
+      clamped to the observed extremes so
+      [min_value h <= quantile h q <= max_value h].
       [0.] when empty. Monotone in [q]. *)
 
   val buckets : t -> (float * float * int) list
   (** Non-empty buckets as [(lo, hi, count)], ascending. *)
+end
+
+(** Rotating sliding-window metrics for live telemetry: a horizon of
+    [horizon_s] seconds split into [slots] sub-windows, each a plain
+    {!Hist.t} (or int counter). Observations land in the sub-window for
+    the current period; expired sub-windows are reset lazily when the
+    clock wraps onto them, so rotation is O(1) and allocation-free.
+    Reading merges the live sub-windows covering the requested window
+    (rounded {e up} to slot granularity and clamped to the horizon)
+    with the associative {!Hist.merge}. All operations are domain-safe.
+    Time must be fed monotonically; the [?now_s] parameters exist for
+    deterministic tests and default to {!Clock.now_s}. *)
+module Window : sig
+  type hist
+
+  val hist : ?slots:int -> horizon_s:float -> unit -> hist
+  (** Default 12 slots (a 60 s horizon rotates every 5 s). *)
+
+  val observe : ?now_s:float -> hist -> float -> unit
+
+  val merged : ?window_s:float -> ?now_s:float -> hist -> Hist.t
+  (** Merge of the sub-windows covering the last [window_s] seconds
+      (default: the full horizon). *)
+
+  val hist_covered_s : ?window_s:float -> hist -> float
+  (** Seconds actually covered by [merged ?window_s]: the window
+      rounded up to slot granularity, clamped to the horizon. *)
+
+  val hist_horizon_s : hist -> float
+
+  type counter
+
+  val counter : ?slots:int -> horizon_s:float -> unit -> counter
+
+  val add : ?now_s:float -> counter -> int -> unit
+
+  val total : ?window_s:float -> ?now_s:float -> counter -> int
+
+  val counter_covered_s : ?window_s:float -> counter -> float
 end
 
 (** {1 Contexts} *)
@@ -75,6 +116,15 @@ val create : unit -> ctx
     Render with {!Sink.render} (or never — the no-op sink). *)
 
 val enabled : ctx -> bool
+
+val tee : ctx -> ctx -> ctx
+(** A context that forwards every span, instant, and metric operation
+    to both arguments (deduplicated; teeing with {!disabled} is the
+    identity). The serve layer uses this to stamp one instrumentation
+    point into both a per-request flight-recorder context and the
+    long-lived [--trace] context. {!events}/{!metrics} on a teed
+    context concatenate the backends' views — introspect the original
+    contexts when you need them separately. *)
 
 (** {1 Spans} *)
 
@@ -152,6 +202,79 @@ module Sink : sig
       per-span-name aggregate table plus metrics. *)
 
   val write_file : ctx -> t -> string -> unit
+
+  val chrome_events : event list -> Sjson.t
+  (** Render a bare event list (e.g. one flight-recorder trace) as a
+      Perfetto-loadable [{"traceEvents": [...]}] object. *)
+end
+
+(** {1 Flight recorder}
+
+    A bounded ring of completed per-request span trees with {e tail
+    sampling}: the keep decision happens after the request finishes, so
+    error and deadline-miss traces are always retained, the slowest [K]
+    requests per window are retained, and the steady-state bulk is
+    sampled 1-in-N. Eviction under pressure drops the oldest
+    sampled/slow entry first; always-keep classes only age out when
+    nothing else is left. Domain-safe. *)
+module Recorder : sig
+  type t
+
+  type keep_class = Error | Deadline | Slow | Sampled
+
+  val keep_class_to_string : keep_class -> string
+
+  val keep_class_of_string : string -> keep_class option
+
+  type trace = {
+    tr_rid : string;  (** request id *)
+    tr_op : string;
+    tr_status : string;
+    tr_keep : keep_class;
+    tr_worker : int;
+    tr_start_s : float;  (** {!Clock.now_s} at request receipt *)
+    tr_dur_ms : float;
+    tr_queue_ms : float;
+    tr_events : event list;  (** render with {!Sink.chrome_events} *)
+  }
+
+  val create :
+    ?capacity:int ->
+    ?sample_every:int ->
+    ?slowest_k:int ->
+    ?window_s:float ->
+    unit ->
+    t
+  (** Defaults: capacity 256, sample 1-in-16, slowest 8 per 60 s
+      window. *)
+
+  val record :
+    t ->
+    rid:string ->
+    op:string ->
+    status:string ->
+    deadline_missed:bool ->
+    worker:int ->
+    start_s:float ->
+    dur_ms:float ->
+    queue_ms:float ->
+    events:event list ->
+    bool
+  (** Offer a completed request; returns whether it was kept. [status]
+      ["ok"]/["unsat"] are normal answers (slow-set or sampled);
+      ["timeout"] with [deadline_missed] is the always-keep deadline
+      class; anything else is the always-keep error class. *)
+
+  val traces : ?n:int -> ?keep:keep_class -> t -> trace list
+  (** Newest first, optionally filtered by class and truncated. *)
+
+  val seen : t -> int
+  (** Requests offered since creation. *)
+
+  val kept : t -> int
+  (** Traces currently held. *)
+
+  val capacity : t -> int
 end
 
 (** {1 Flat stat sets}

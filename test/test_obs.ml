@@ -54,6 +54,94 @@ let prop_quantiles_monotone =
       mono est
       && (values = [] || Obs.Hist.quantile h 1.0 <= Obs.Hist.max_value h))
 
+(* Quantile estimates are clamped to the observed range on both sides:
+   the bucket upper bound can overshoot the true maximum, and the
+   lowest occupied bucket's upper bound can still exceed every
+   observation. *)
+let prop_quantiles_clamped =
+  QCheck.Test.make ~name:"quantile estimates stay within [min, max] observed"
+    ~count:300
+    (QCheck.make
+       ~print:(fun (l, _) -> String.concat ";" (List.map string_of_float l))
+       (G.pair gen_values (G.list_size (G.return 10) (G.float_bound_inclusive 1.0))))
+    (fun (values, qs) ->
+      values = []
+      || begin
+           let h = hist_of values in
+           let lo = Obs.Hist.min_value h and hi = Obs.Hist.max_value h in
+           List.for_all
+             (fun q ->
+               let est = Obs.Hist.quantile h q in
+               lo <= est && est <= hi)
+             (0.0 :: 0.5 :: 1.0 :: qs)
+         end)
+
+(* A rolling window whose horizon covers every observation summarizes
+   exactly the same samples as a cumulative histogram: identical
+   buckets, counts, and sums. Times are fed in order (the server's
+   monotonic clock) and merged at the newest observation. *)
+let prop_window_merge_cumulative =
+  QCheck.Test.make
+    ~name:"windowed merge over a covering horizon equals the cumulative \
+           histogram"
+    ~count:300
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (o, v) -> Printf.sprintf "(%d,%f)" o v) l))
+       (G.list_size (G.int_range 0 60) (G.pair (G.int_range 0 550) gen_value)))
+    (fun raw ->
+      (* horizon 60 s in 12 slots of 5 s; offsets within [0, 55] s keep
+         every observation inside the merged coverage at the end *)
+      let t0 = 1000.0 in
+      let obs_list =
+        List.sort compare
+          (List.map (fun (off, v) -> (float_of_int off /. 10.0, v)) raw)
+      in
+      let w = Obs.Window.hist ~horizon_s:60.0 () in
+      let cum = Obs.Hist.create () in
+      List.iter
+        (fun (off, v) ->
+          Obs.Window.observe ~now_s:(t0 +. off) w v;
+          Obs.Hist.observe cum v)
+        obs_list;
+      let now =
+        t0 +. match List.rev obs_list with (off, _) :: _ -> off | [] -> 0.0
+      in
+      let m = Obs.Window.merged ~now_s:now w in
+      Obs.Hist.buckets m = Obs.Hist.buckets cum
+      && Obs.Hist.count m = Obs.Hist.count cum
+      (* sums are added in different orders; allow float reassociation *)
+      && abs_float (Obs.Hist.sum m -. Obs.Hist.sum cum)
+         <= 1e-9 *. (1.0 +. abs_float (Obs.Hist.sum cum)))
+
+(* Across arbitrary rotation (time advances up to two horizons per
+   step), a windowed counter never answers a negative total, never
+   more than was ever fed, and forgets everything once the horizon has
+   fully rotated past. *)
+let prop_window_rotation_counts =
+  QCheck.Test.make
+    ~name:"windowed counter totals stay within [0, fed] across rotation"
+    ~count:200
+    (QCheck.make
+       ~print:(fun l ->
+         String.concat ";"
+           (List.map (fun (dt, k) -> Printf.sprintf "(%d,%d)" dt k) l))
+       (G.list_size (G.int_range 0 40)
+          (G.pair (G.int_range 0 200) (G.int_range 0 5))))
+    (fun steps ->
+      let c = Obs.Window.counter ~horizon_s:10.0 () in
+      let t = ref 0.0 and fed = ref 0 and ok = ref true in
+      List.iter
+        (fun (dt, k) ->
+          t := !t +. (float_of_int dt /. 10.0);
+          Obs.Window.add ~now_s:!t c k;
+          fed := !fed + k;
+          let tot = Obs.Window.total ~now_s:!t c in
+          if tot < 0 || tot > !fed then ok := false)
+        steps;
+      !ok && Obs.Window.total ~now_s:(!t +. 100.0) c = 0)
+
 (* Concurrent domains tracing into one ctx: each domain's spans must be
    well-nested in its own timeline (that is the invariant the Chrome
    rendering relies on). *)
@@ -199,6 +287,99 @@ let test_chrome_roundtrip () =
   Alcotest.(check bool) "jsonl has lines" true (List.length lines > 0);
   List.iter (fun l -> ignore (Sjson.of_string l)) lines
 
+(* A teed ctx fans every span and metric into both backends; teeing
+   with a disabled ctx is the identity (no wrapper allocation). *)
+let test_tee () =
+  let a = Obs.create () and b = Obs.create () in
+  let t = Obs.tee a b in
+  Alcotest.(check bool) "tee of enabled ctxs is enabled" true (Obs.enabled t);
+  Alcotest.(check bool) "tee with disabled is identity" true
+    (Obs.tee a Obs.disabled == a && Obs.tee Obs.disabled b == b);
+  (* re-teeing an already-present backend must not double its events *)
+  let t = Obs.tee t b in
+  Obs.with_span t ~cat:"t" "both" (fun sp -> Obs.set_attr sp "k" (Obs.I 1));
+  Obs.incr t "c";
+  List.iter
+    (fun ctx ->
+      Alcotest.(check int) "span in each backend" 1
+        (List.length (Obs.events ctx));
+      match List.assoc "c" (Obs.metrics ctx) with
+      | Obs.Counter 1 -> ()
+      | _ -> Alcotest.fail "counter in each backend")
+    [ a; b ]
+
+(* Ring eviction drops sampled/slow traces first: after flooding a full
+   ring with unremarkable requests, the error and deadline traces are
+   still there. *)
+let test_recorder_eviction () =
+  let r =
+    Obs.Recorder.create ~capacity:8 ~sample_every:1 ~slowest_k:0 ~window_s:60.0
+      ()
+  in
+  let record ~rid ~status ~deadline_missed i =
+    ignore
+      (Obs.Recorder.record r ~rid ~op:"solve" ~status ~deadline_missed
+         ~worker:0 ~start_s:(float_of_int i) ~dur_ms:1.0 ~queue_ms:0.1
+         ~events:[])
+  in
+  record ~rid:"err-1" ~status:"error" ~deadline_missed:false 0;
+  record ~rid:"dl-1" ~status:"timeout" ~deadline_missed:true 1;
+  record ~rid:"err-2" ~status:"error" ~deadline_missed:false 2;
+  for i = 3 to 40 do
+    record ~rid:(Printf.sprintf "ok-%d" i) ~status:"ok" ~deadline_missed:false i
+  done;
+  Alcotest.(check int) "ring stays bounded" 8 (Obs.Recorder.kept r);
+  Alcotest.(check int) "offered count" 41 (Obs.Recorder.seen r);
+  let rids keep =
+    List.map
+      (fun tr -> tr.Obs.Recorder.tr_rid)
+      (Obs.Recorder.traces ?keep r)
+  in
+  Alcotest.(check (list string)) "errors survive the flood"
+    [ "err-2"; "err-1" ]
+    (rids (Some Obs.Recorder.Error));
+  Alcotest.(check (list string)) "deadline misses survive the flood"
+    [ "dl-1" ]
+    (rids (Some Obs.Recorder.Deadline));
+  (* newest first, and the sampled remainder is the newest sampled *)
+  (match rids None with
+  | "ok-40" :: _ -> ()
+  | l ->
+    Alcotest.fail
+      ("expected newest trace first, got " ^ String.concat "," l));
+  Alcotest.(check int) "n truncates" 3
+    (List.length (Obs.Recorder.traces ~n:3 r))
+
+(* [Sink.chrome_events] on a recorded event list produces the same
+   self-contained Chrome object shape the Chrome sink renders: it must
+   survive an Sjson round trip and contain the span/instant events. *)
+let test_chrome_events_roundtrip () =
+  let ctx = Obs.create () in
+  Obs.with_span ctx ~cat:"serve" "serve.request"
+    ~attrs:[ ("rid", Obs.S "r-1") ]
+    (fun _ ->
+      Obs.instant ctx "serve.dequeued";
+      Obs.with_span ctx ~cat:"serve" "solve" (fun _ -> ()));
+  let json = Obs.Sink.chrome_events (Obs.events ctx) in
+  Alcotest.(check bool) "round-trips through Sjson" true
+    (Sjson.of_string (Sjson.to_string json) = json);
+  let evs = Sjson.to_list (Sjson.member "traceEvents" json) in
+  let phased ph =
+    List.filter_map
+      (fun ev ->
+        match Sjson.member_opt "ph" ev with
+        | Some (Sjson.String p) when p = ph ->
+          Some (Sjson.get_string (Sjson.member "name" ev))
+        | _ -> None)
+      evs
+  in
+  let spans = phased "X" in
+  Alcotest.(check bool) "has serve.request span" true
+    (List.mem "serve.request" spans);
+  Alcotest.(check bool) "has solve span" true (List.mem "solve" spans);
+  Alcotest.(check (list string)) "has the instant" [ "serve.dequeued" ]
+    (phased "i")
+
 let test_sink_of_string () =
   Alcotest.(check bool) "chrome" true (Obs.Sink.of_string "chrome" = Ok Obs.Sink.Chrome);
   Alcotest.(check bool) "jsonl" true (Obs.Sink.of_string "jsonl" = Ok Obs.Sink.Jsonl);
@@ -214,7 +395,11 @@ let () =
     [ ( "histograms",
         [ QCheck_alcotest.to_alcotest prop_merge_associative;
           QCheck_alcotest.to_alcotest prop_merge_counts;
-          QCheck_alcotest.to_alcotest prop_quantiles_monotone ] );
+          QCheck_alcotest.to_alcotest prop_quantiles_monotone;
+          QCheck_alcotest.to_alcotest prop_quantiles_clamped ] );
+      ( "windows",
+        [ QCheck_alcotest.to_alcotest prop_window_merge_cumulative;
+          QCheck_alcotest.to_alcotest prop_window_rotation_counts ] );
       ("spans", [ QCheck_alcotest.to_alcotest prop_concurrent_spans_nest ]);
       ( "units",
         [ Alcotest.test_case "disabled ctx is free and empty" `Quick
@@ -223,7 +408,13 @@ let () =
             test_metrics;
           Alcotest.test_case "stat sets: snapshot order and delta" `Quick
             test_stats_shim;
+          Alcotest.test_case "tee fans out, disabled is identity" `Quick
+            test_tee;
+          Alcotest.test_case "recorder eviction keeps errors and deadlines"
+            `Quick test_recorder_eviction;
           Alcotest.test_case "sink names parse" `Quick test_sink_of_string ] );
       ( "golden",
         [ Alcotest.test_case "chrome trace of a concretization round-trips"
-            `Quick test_chrome_roundtrip ] ) ]
+            `Quick test_chrome_roundtrip;
+          Alcotest.test_case "chrome_events of a recorded span tree round-trips"
+            `Quick test_chrome_events_roundtrip ] ) ]

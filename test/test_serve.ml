@@ -12,7 +12,9 @@
      mid-request, injected worker exceptions, buildcache digest change
      mid-stream, queue overload, queue-expired deadlines, shutdown
      with a full queue — the server answers everything it admits,
-     evicts stale state, and never wedges. *)
+     evicts stale state, and never wedges;
+   - telemetry: request ids assigned/echoed, the stats window block,
+     and flight-recorder retrieval of a missed deadline by rid. *)
 
 module CC = Core.Concretizer
 module Serve = Core.Serve
@@ -679,6 +681,106 @@ let test_client_overload_retry () =
     (status_of (ok (Client.ping c)));
   Client.close c
 
+(* ---- 12. live telemetry: rids, windowed stats, flight recorder ---- *)
+
+let json_num = function
+  | Sjson.Int n -> float_of_int n
+  | Sjson.Float f -> f
+  | _ -> Alcotest.fail "expected a JSON number"
+
+let test_telemetry () =
+  let u, repo = universe 42 in
+  let config =
+    { Serve.default_config with Serve.workers = 1; options = options () }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  let rid_of resp = Sjson.get_string (Sjson.member "rid" resp) in
+  (* server-assigned rids are non-empty and distinct; client rids echo *)
+  let r1 = ok (Client.solve c r) and r2 = ok (Client.solve c r) in
+  Alcotest.(check bool) "server-assigned rids distinct" true
+    (rid_of r1 <> "" && rid_of r2 <> "" && rid_of r1 <> rid_of r2);
+  let r3 = ok (Client.solve ~rid:"client-rid-7" c r) in
+  Alcotest.(check string) "client rid echoed" "client-rid-7" (rid_of r3);
+  (* a missed deadline with a known rid *)
+  let miss = ok (Client.solve ~deadline_ms:0.0 ~rid:"t-deadline" c r) in
+  Alcotest.(check string) "deadline answers timeout" "timeout"
+    (status_of miss);
+  Alcotest.(check string) "deadline response echoes rid" "t-deadline"
+    (rid_of miss);
+  (* the stats window block summarizes exactly those four solves *)
+  let window = Sjson.member "window" (result_of (ok (Client.stats c))) in
+  Alcotest.(check (float 1e-9)) "full horizon by default" 60.0
+    (json_num (Sjson.member "horizon_s" window));
+  Alcotest.(check int) "window counted the solves" 4
+    (Sjson.get_int (Sjson.member "count" (Sjson.member "solve_ms" window)));
+  let statuses = Sjson.member "statuses" window in
+  Alcotest.(check int) "ok statuses" 3
+    (Sjson.get_int (Sjson.member "ok" statuses));
+  Alcotest.(check int) "timeout statuses" 1
+    (Sjson.get_int (Sjson.member "timeout" statuses));
+  Alcotest.(check (float 1e-9)) "deadline-miss rate" 0.25
+    (json_num (Sjson.member "deadline_miss_rate" window));
+  let recorder = Sjson.member "recorder" window in
+  Alcotest.(check int) "recorder offered every solve" 4
+    (Sjson.get_int (Sjson.member "seen" recorder));
+  Alcotest.(check bool) "recorder kept some" true
+    (Sjson.get_int (Sjson.member "kept" recorder) >= 1);
+  (* a narrow window answers clamped, positive coverage *)
+  let w5 = Sjson.member "window" (result_of (ok (Client.stats ~window_s:5.0 c))) in
+  let covered = json_num (Sjson.member "window_s" w5) in
+  Alcotest.(check bool) "narrow window clamped to (0, horizon]" true
+    (covered > 0.0 && covered <= 60.0);
+  (* the missed deadline is retrievable via dump, by rid, with its
+     span tree *)
+  let dump = result_of (ok (Client.dump ~keep:"deadline" c)) in
+  let traces = Sjson.to_list (Sjson.member "traces" dump) in
+  match
+    List.find_opt
+      (fun tr -> Sjson.get_string (Sjson.member "rid" tr) = "t-deadline")
+      traces
+  with
+  | None -> Alcotest.fail "missed-deadline trace not in dump"
+  | Some tr ->
+    Alcotest.(check string) "kept under the deadline class" "deadline"
+      (Sjson.get_string (Sjson.member "keep" tr));
+    Alcotest.(check string) "records the timeout status" "timeout"
+      (Sjson.get_string (Sjson.member "status" tr));
+    let events =
+      Sjson.to_list (Sjson.member "traceEvents" (Sjson.member "trace" tr))
+    in
+    Alcotest.(check bool) "span tree has the serve.request span" true
+      (List.exists
+         (fun ev ->
+           match (Sjson.member_opt "name" ev, Sjson.member_opt "ph" ev) with
+           | Some (Sjson.String "serve.request"), Some (Sjson.String "X") ->
+             true
+           | _ -> false)
+         events)
+
+let test_telemetry_off () =
+  let u, repo = universe 42 in
+  let config =
+    { Serve.default_config with
+      Serve.workers = 1;
+      telemetry = None;
+      options = options () }
+  in
+  let r = List.hd u.Fuzz.Gen.u_requests in
+  with_server ~repo ~config @@ fun t ->
+  with_client t @@ fun c ->
+  let resp = ok (Client.solve c r) in
+  Alcotest.(check string) "solves still answer" "ok" (status_of resp);
+  Alcotest.(check bool) "rids still assigned" true
+    (Sjson.get_string (Sjson.member "rid" resp) <> "");
+  (match Sjson.member_opt "window" (result_of (ok (Client.stats c))) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "stats answered a window block with telemetry off");
+  let dump = result_of (ok (Client.dump c)) in
+  Alcotest.(check string) "dump reports the recorder disabled" "error"
+    (Sjson.get_string (Sjson.member "status" dump))
+
 let () =
   Alcotest.run "serve"
     (List.map
@@ -708,4 +810,9 @@ let () =
           [ Alcotest.test_case "auto-reconnect resends after disconnect"
               `Quick test_client_reconnect;
             Alcotest.test_case "overload retry with bounded backoff" `Quick
-              test_client_overload_retry ] ) ])
+              test_client_overload_retry ] );
+        ( "telemetry",
+          [ Alcotest.test_case "rids, windowed stats, flight recorder" `Quick
+              test_telemetry;
+            Alcotest.test_case "telemetry off: no window, dump disabled"
+              `Quick test_telemetry_off ] ) ])
