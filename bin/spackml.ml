@@ -74,6 +74,15 @@ let ground_jobs_flag =
             parallel domains (default 1). The ground program is \
             byte-identical for any N.")
 
+let portfolio_flag =
+  Arg.(value & opt int 1 & info [ "portfolio" ] ~docv:"N"
+      ~doc:"Race N diversified SAT-solver configurations (restart mode, \
+            phase policy, seed, inprocessing budget) on the hard solve \
+            phase, exchanging low-LBD learnt clauses; first verdict \
+            wins and UNSAT proofs still certify. Results are identical \
+            to a single-solver run; only wall time changes. Default 1 \
+            (off).")
+
 let spec_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC")
 
 (* ---- tracing (shared by concretize / install / fuzz) ---- *)
@@ -192,7 +201,7 @@ let run_batch ~opts ~jobs ~session ~stats file =
 let concretize_cmd =
   let spec_opt_arg = Arg.(value & pos 0 (some string) None & info [] ~docv:"SPEC") in
   let run reuse splicing old_encoding stats json dot batch jobs session
-      ground_cache ground_jobs trace trace_format spec_text =
+      ground_cache ground_jobs portfolio trace trace_format spec_text =
     with_trace ~trace ~trace_format @@ fun obs ->
     let opts = options ~reuse ~splicing ~old_encoding in
     (* A traced concretize also re-validates its solutions: the verify
@@ -201,7 +210,8 @@ let concretize_cmd =
       { opts with
         Core.Concretizer.obs;
         verify = Obs.enabled obs;
-        ground_jobs = max 1 ground_jobs }
+        ground_jobs = max 1 ground_jobs;
+        portfolio = max 1 portfolio }
     in
     match (batch, spec_text) with
     | Some file, None -> run_batch ~opts ~jobs ~session ~stats file
@@ -250,7 +260,8 @@ let concretize_cmd =
           specs with $(b,--batch) (optionally in parallel with $(b,--jobs)).")
     Term.(const run $ reuse_flag $ splice_flag $ old_flag $ stats_flag $ json_flag
           $ dot_flag $ batch_flag $ jobs_flag $ session_flag $ ground_cache_flag
-          $ ground_jobs_flag $ trace_flag $ trace_format_flag $ spec_opt_arg)
+          $ ground_jobs_flag $ portfolio_flag $ trace_flag $ trace_format_flag
+          $ spec_opt_arg)
 
 (* ---- install ---- *)
 
@@ -564,10 +575,16 @@ let emit_drup path steps =
         line lits)
     steps
 
-let solve_dimacs dimacs proof_file =
+let solve_dimacs ?(portfolio = 1) dimacs proof_file =
   let sat = Asp.Sat.create () in
   if proof_file <> None then Asp.Sat.enable_proof sat;
   parse_dimacs sat dimacs;
+  (* DIMACS races use the first-model election rule: any verdict wins
+     (the verdict is still deterministic; the particular model of a SAT
+     answer may come from a racer). *)
+  if portfolio > 1 then
+    Asp.Sat.set_portfolio sat
+      (Some (Asp.Solver_intf.portfolio ~first_model:true portfolio));
   let t0 = Unix.gettimeofday () in
   let res = Asp.Sat.solve sat in
   let dt = Unix.gettimeofday () -. t0 in
@@ -575,6 +592,16 @@ let solve_dimacs dimacs proof_file =
     (fun (k, v) -> Printf.printf "c %-13s %d\n" k v)
     (Asp.Sat.stats sat);
   Printf.printf "c solve-seconds %.3f\n" dt;
+  (match Asp.Sat.last_portfolio sat with
+  | None -> ()
+  | Some r ->
+    Printf.printf "c winner        rank=%d config=%s\n" r.Asp.Sat.pr_winner
+      r.Asp.Sat.pr_winner_config;
+    Array.iteri
+      (fun rank (config, conflicts) ->
+        Printf.printf "c domain        rank=%d config=%s conflicts=%d\n" rank
+          config conflicts)
+      r.Asp.Sat.pr_domains);
   if res then begin
     print_endline "s SATISFIABLE";
     let n = Asp.Sat.nvars sat in
@@ -622,9 +649,9 @@ let solve_cmd =
               (derived clauses plus d-lines for learnt-DB deletions), \
               and certify UNSAT answers with the independent checker.")
   in
-  let run expr file dimacs proof =
+  let run expr file dimacs proof portfolio =
     match dimacs with
-    | Some d -> solve_dimacs d proof
+    | Some d -> solve_dimacs ~portfolio:(max 1 portfolio) d proof
     | None ->
     let text =
       match (expr, file) with
@@ -664,7 +691,7 @@ let solve_cmd =
        ~doc:
          "Run the built-in ASP solver on a logic program, or (with \
           --dimacs) the bare CDCL core on a DIMACS CNF file.")
-    Term.(const run $ expr $ file $ dimacs $ proof)
+    Term.(const run $ expr $ file $ dimacs $ proof $ portfolio_flag)
 
 (* ---- discover (automatic ABI discovery, the paper's future work) ---- *)
 
@@ -944,7 +971,8 @@ let serve_cmd =
               no flight recorder.")
   in
   let run reuse splicing workers queue deadline_ms mode socket recycle
-      horizon recorder no_live ground_cache ground_jobs trace trace_format =
+      horizon recorder no_live ground_cache ground_jobs portfolio trace
+      trace_format =
     with_trace ~trace ~trace_format @@ fun obs ->
     match
       match mode with
@@ -966,6 +994,7 @@ let serve_cmd =
           max_queue = queue;
           default_deadline_ms = deadline_ms;
           default_mode;
+          portfolio = max 1 portfolio;
           session_recycle = (if recycle <= 0 then None else Some recycle);
           telemetry =
             (if no_live then None
@@ -1003,8 +1032,8 @@ let serve_cmd =
     Term.(const run $ reuse_flag $ splice_flag $ workers_flag $ queue_flag
           $ deadline_flag $ mode_flag $ socket_opt $ recycle_flag
           $ horizon_flag $ recorder_flag $ no_live_flag
-          $ ground_cache_flag $ ground_jobs_flag $ trace_flag
-          $ trace_format_flag)
+          $ ground_cache_flag $ ground_jobs_flag $ portfolio_flag
+          $ trace_flag $ trace_format_flag)
 
 let client_cmd =
   let mode_flag =

@@ -16,14 +16,16 @@ let hook_skip_unfounded = ref false
    the documented copy). *)
 module type S = sig
   val solve :
-    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget -> Ground.t ->
-    outcome
+    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget ->
+    ?portfolio:int -> Ground.t -> outcome
 
   type session
 
-  val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
+  val session_create :
+    ?certify:bool -> ?obs:Obs.ctx -> ?portfolio:int -> Ground.t -> session
   val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
   val session_set_budget : session -> Solver_intf.budget option -> unit
+  val session_set_portfolio : session -> int -> unit
   val session_ground : session -> Ground.t
   val session_sat_stats : session -> (string * int) list
   val session_solves : session -> int
@@ -377,8 +379,24 @@ let extract_atoms ctx =
    clausing an activation literal false merely retires its constraint.
    Returns the per-priority costs of the optimal model (left loaded in
    the SAT core), or [None] when UNSAT under [assumptions]. *)
-let optimize ctx objectives ~assumptions =
-  if not (solve_stable ctx ~assumptions) then None
+let optimize ?(portfolio = 1) ctx objectives ~assumptions =
+  (* Only the initial (pre-descent) stable solve is raced: it carries
+     the bulk of the search, and under the byte-identity election rule
+     racers contribute UNSAT verdicts only — the primary's own model
+     and learnt state are untouched. The descent probes below must run
+     single: their learnt clauses are the baseline every later solve
+     of this session builds on, so seeding them from a race would make
+     costs depend on scheduling. *)
+  let initial_stable () =
+    if portfolio <= 1 then solve_stable ctx ~assumptions
+    else begin
+      S.set_portfolio ctx.sat (Some (Solver_intf.portfolio portfolio));
+      Fun.protect
+        ~finally:(fun () -> S.set_portfolio ctx.sat None)
+        (fun () -> solve_stable ctx ~assumptions)
+    end
+  in
+  if not (initial_stable ()) then None
   else begin
     (* Activation literals of the freezes accumulated this request. *)
     let frozen = ref [] in
@@ -437,11 +455,11 @@ let optimize ctx objectives ~assumptions =
     Some (List.map (fun o -> (o.priority, objective_cost ctx o)) objectives)
   end
 
-let solve ?(certify = false) ?(obs = Obs.disabled) ?budget g =
+let solve ?(certify = false) ?(obs = Obs.disabled) ?budget ?(portfolio = 1) g =
   let ctx = translate ~certify ~obs g in
   S.set_budget ctx.sat budget;
   let objectives = build_objectives ctx in
-  match optimize ctx objectives ~assumptions:[] with
+  match optimize ~portfolio ctx objectives ~assumptions:[] with
   | None -> Unsat (S.proof ctx.sat)
   | Some costs ->
     Sat
@@ -456,12 +474,17 @@ let solve ?(certify = false) ?(obs = Obs.disabled) ?budget g =
 type session = {
   s_ctx : ctx;
   s_objectives : objective list;
+  mutable s_portfolio : int;
   mutable s_solves : int;
 }
 
-let session_create ?(certify = false) ?(obs = Obs.disabled) g =
+let session_create ?(certify = false) ?(obs = Obs.disabled) ?(portfolio = 1) g
+    =
   let ctx = translate ~certify ~obs g in
-  { s_ctx = ctx; s_objectives = build_objectives ctx; s_solves = 0 }
+  { s_ctx = ctx;
+    s_objectives = build_objectives ctx;
+    s_portfolio = portfolio;
+    s_solves = 0 }
 
 let session_ground s = s.s_ctx.g
 
@@ -470,6 +493,11 @@ let session_ground s = s.s_ctx.g
    activation literals, so a preempted request leaves the session
    consistent for the next one. *)
 let session_set_budget s b = S.set_budget s.s_ctx.sat b
+
+(* Portfolio width for subsequent requests. Safe to retune between
+   requests: racing only ever touches clones, so the session's own
+   solver state is identical whatever the width. *)
+let session_set_portfolio s n = s.s_portfolio <- max 1 n
 
 let session_sat_stats s = S.stats s.s_ctx.sat
 
@@ -498,7 +526,7 @@ let session_solve s ~assume =
   | exception Unknown_true_assumption -> Unsat None
   | assumptions -> (
     let before = S.stats ctx.sat in
-    match optimize ctx s.s_objectives ~assumptions with
+    match optimize ~portfolio:s.s_portfolio ctx s.s_objectives ~assumptions with
     | None -> Unsat (S.proof ctx.sat)
     | Some costs ->
       let delta = S.stats_delta ~before ctx.sat in

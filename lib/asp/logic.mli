@@ -43,14 +43,21 @@ val hook_skip_unfounded : bool ref
 (** Operations provided by every solver instantiation. *)
 module type S = sig
   val solve :
-    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget -> Ground.t ->
-    outcome
+    ?certify:bool -> ?obs:Obs.ctx -> ?budget:Solver_intf.budget ->
+    ?portfolio:int -> Ground.t -> outcome
   (** [?obs] records a translate span, per-SAT-call [sat.solve] spans
       with stats deltas, per-optimization [opt.probe] spans (priority,
       bound, outcome), stable-check counters, and the SAT core's
       per-restart histograms. [?budget] installs a preemption budget on
       the underlying solver ({!Solver_intf.budget}); exhaustion raises
-      {!Solver_intf.Timeout}. *)
+      {!Solver_intf.Timeout}. [?portfolio] (default 1) races that many
+      diversified solver clones on the initial stable solve — the phase
+      that dominates hard instances — under the byte-identity election
+      rule ({!Solver_intf.portfolio}): results, models and costs are
+      identical to a single-solver run; only wall time changes. The
+      optimization descent itself always runs single, since its learnt
+      state seeds later solves. No-op on cores without portfolio
+      support (the baseline). *)
 
   (** {2 Incremental sessions}
 
@@ -68,10 +75,14 @@ module type S = sig
 
   type session
 
-  val session_create : ?certify:bool -> ?obs:Obs.ctx -> Ground.t -> session
+  val session_create :
+    ?certify:bool -> ?obs:Obs.ctx -> ?portfolio:int -> Ground.t -> session
   (** [?obs] traces the one-time translation and then every
       {!session_solve} as a [session.solve] span carrying that
-      request's solver-stat deltas. *)
+      request's solver-stat deltas. [?portfolio] (default 1) races the
+      initial stable solve of every {!session_solve} across that many
+      diversified clones, with outcomes byte-identical to a
+      single-solver session (see {!solve}). *)
 
   val session_solve : session -> assume:(Ast.atom * bool) list -> outcome
   (** Solve for the optimal stable model consistent with the assumed
@@ -89,6 +100,14 @@ module type S = sig
       optimization constraints are activation-literal-gated, so the
       next request is unaffected (this is the solve server's deadline
       mechanism). *)
+
+  val session_set_portfolio : session -> int -> unit
+  (** Retune the portfolio width ({!session_create}'s [?portfolio]) for
+      subsequent requests; clamped to at least 1. Safe between
+      requests — racing only ever touches throwaway clones, so session
+      state (and every outcome) is independent of the width. The solve
+      server uses this to widen a request to however many worker slots
+      are idle at admission time. *)
 
   val session_ground : session -> Ground.t
 

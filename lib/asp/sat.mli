@@ -31,9 +31,78 @@ val default_restart_mode : restart_mode ref
 (** Mode picked up by {!create}. Defaults to [Glucose]; flipped by
     tests and benches that compare the two policies. *)
 
+(** Inprocessing configuration: passes run at restart boundaries, at
+    decision level 0, each bounded by [ip_budget] propagations. Every
+    rewrite logs [P_derived new; P_delete old] so UNSAT proofs still
+    certify. [ip_interval] is the conflict distance between passes;
+    rephasing runs on its own growing schedule. *)
+type inprocess = {
+  ip_enabled : bool;
+  ip_vivify : bool;  (** clause vivification (+ self-subsumption) *)
+  ip_subsume : bool;  (** backward subsumption over the arena *)
+  ip_probe : bool;  (** failed-literal probing on binary roots *)
+  ip_rephase : bool;  (** target-phase rephasing *)
+  ip_budget : int;
+  ip_interval : int;
+}
+
+val inprocess_on : inprocess
+(** The default: everything enabled, 20k propagations per pass, a pass
+    every 4k conflicts. *)
+
+val inprocess_off : inprocess
+
+val default_inprocess : inprocess ref
+(** Configuration picked up by {!create}; benches and tests flip it to
+    measure inprocessing on/off without threading an argument through
+    {!Logic}. *)
+
+val default_chrono : int ref
+(** Chronological-backtracking threshold picked up by {!create}: when
+    the asserting level is more than this many levels below the
+    conflict, only the top level is undone. [0] disables. *)
+
+(** Re-export of {!Solver_intf.portfolio}. *)
+type portfolio = Solver_intf.portfolio = {
+  pf_n : int;
+  pf_first_model : bool;
+  pf_exchange : bool;
+}
+
+(** Outcome summary of the last portfolio race on a solver. *)
+type portfolio_report = {
+  pr_winner : int;  (** winning rank; -1 = every lane preempted *)
+  pr_winner_config : string;
+  pr_sat : bool;
+  pr_domains : (string * int) array;
+      (** per rank: configuration name, conflicts spent in the race *)
+}
+
 val create : unit -> t
 
 val set_restart_mode : t -> restart_mode -> unit
+
+val set_inprocess : t -> inprocess -> unit
+
+val set_chrono : t -> int -> unit
+(** Override the {!default_chrono} threshold; [0] disables. *)
+
+val set_portfolio : t -> portfolio option -> unit
+(** Race [pf_n] diversified clones of this solver on every subsequent
+    {!solve} call (capped at 16; [pf_n <= 1] solves normally). Rank 0
+    is this very solver, untouched; under the default byte-identity
+    rule ([pf_first_model = false]) only it may report SAT, so models
+    and downstream tie-breaks match a single-solver run bit for bit,
+    while racers contribute early UNSAT verdicts whose proofs are
+    merged into this solver's certificate. *)
+
+val last_portfolio : t -> portfolio_report option
+(** Report of the most recent race, or [None] if the last [solve] ran
+    single. *)
+
+val clone : t -> t
+(** Deep copy at decision level 0 (exposed for tests). The copy shares
+    the immutable proof prefix and nothing mutable. *)
 
 val set_reduce_interval : t -> int -> unit
 (** Arena-learnt count that triggers the next [reduce_db] (default
@@ -128,9 +197,12 @@ val stats : t -> (string * int) list
 (** Counters: conflicts, decisions, propagations, learned clauses,
     restarts, reduces (learnt-DB reductions), removed (clauses deleted
     by reduction), minimized (literals stripped by clause
-    minimization); plus gauges: clauses, pbs, vars, learnt_db,
-    arena_words. Stored in an {!Obs.Stats} set; this accessor is a
-    snapshot shim. *)
+    minimization), vivified (clauses strengthened by vivification or
+    self-subsumption), subsumed, probed_failed (failed literals found
+    by probing), rephases, exchanged_in/exchanged_out (portfolio clause
+    traffic, aggregated across the race's lanes); plus gauges: clauses,
+    pbs, vars, learnt_db, arena_words. Stored in an {!Obs.Stats} set;
+    this accessor is a snapshot shim. *)
 
 val stats_delta : before:(string * int) list -> t -> (string * int) list
 (** {!stats} relative to an earlier snapshot: monotonic counters are

@@ -637,6 +637,12 @@ exception Budget_exc
 
 let set_budget s b = s.budget <- b
 
+(* The baseline core has no portfolio machinery: it is the differential
+   reference, and racing it would only blur what it is for. Accept the
+   request (so it satisfies [Solver_intf.S]) and solve single-threaded;
+   verdicts are identical either way. *)
+let set_portfolio _s (_ : Solver_intf.portfolio option) = ()
+
 (* Called once per conflict with the number of conflicts this [solve]
    call has spent (same contract as the arena core's). *)
 let check_budget s spent =

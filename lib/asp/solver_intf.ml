@@ -35,6 +35,34 @@ let stop_poll_interval = 32
    left at decision level 0 and remains usable. *)
 exception Timeout
 
+(* Portfolio mode: [solve] races [pf_n] diversified configurations
+   (restart mode, polarity/phase policy, seed, inprocessing budget) on
+   clones of the same solver state, exchanging low-LBD learnt clauses
+   through a bounded lock-free ring. The first verdict wins and the
+   winner's proof stream is merged into the primary's certificate.
+
+   [pf_first_model] selects the model-election rule:
+   - [false] (the byte-identity rule used by [Logic]): only the primary
+     solver — rank 0, the caller's own solver object, which imports no
+     foreign clauses — may report SAT, so the model (and every
+     downstream tie-break) is byte-identical to a single-solver run.
+     Racers contribute UNSAT verdicts only.
+   - [true] (DIMACS/bench rule): the first verdict of either sign wins
+     and a winning racer's model is copied into the primary. The
+     verdict is still deterministic; the particular model is not
+     promised to match a single-solver run.
+
+   [pf_exchange] gates learnt-clause exchange (on by default; off is
+   useful for measuring the channel's contribution). *)
+type portfolio = {
+  pf_n : int;
+  pf_first_model : bool;
+  pf_exchange : bool;
+}
+
+let portfolio ?(first_model = false) ?(exchange = true) n =
+  { pf_n = n; pf_first_model = first_model; pf_exchange = exchange }
+
 (* DRUP-style proof steps. [P_input]/[P_pb_input] record the trusted
    problem; [P_pb_lemma (i, c)] claims clause [c] is implied by the
    [i]-th PB input alone; [P_derived c] claims [c] follows from the
@@ -77,6 +105,12 @@ module type S = sig
   val add_pb_le : t -> (int * lit) list -> int -> unit
 
   val set_budget : t -> budget option -> unit
+
+  val set_portfolio : t -> portfolio option -> unit
+  (** Race [pf_n] diversified clones on subsequent [solve] calls. A
+      solver without portfolio support (e.g. [Sat_baseline]) stores the
+      request and solves single-threaded — verdicts are unaffected, so
+      this is a documented no-op there. *)
 
   val solve : ?assumptions:lit list -> t -> bool
 

@@ -10,6 +10,7 @@ type options = {
   verify : bool;
   baseline_solver : bool;
   ground_jobs : int;
+  portfolio : int;
   obs : Obs.ctx;
 }
 
@@ -25,6 +26,7 @@ let default_options =
     verify = false;
     baseline_solver = false;
     ground_jobs = 1;
+    portfolio = 1;
     obs = Obs.disabled }
 
 (* The reusable pool a degraded solve actually sees: the explicit specs
@@ -195,7 +197,9 @@ let concretize_v ~repo ?(options = default_options) ?budget ?closure
              baseline dispatch is invisible downstream. *)
           if options.baseline_solver then
             Asp.Logic.Baseline.solve ~certify:options.certify ~obs ?budget ground
-          else Asp.Logic.solve ~certify:options.certify ~obs ?budget ground)
+          else
+            Asp.Logic.solve ~certify:options.certify ~obs ?budget
+              ~portfolio:options.portfolio ground)
     with
     | r -> Some r
     | exception Asp.Solver_intf.Timeout -> None
@@ -263,6 +267,16 @@ let pp_stats fmt s =
   if sat "reduces" > 0 then
     Format.fprintf fmt " reduces=%d removed=%d" (sat "reduces") (sat "removed");
   if sat "minimized" > 0 then Format.fprintf fmt " min_lits=%d" (sat "minimized");
+  (* Inprocessing counters; zero (and omitted) when no pass fired. *)
+  if sat "vivified" > 0 then Format.fprintf fmt " vivified=%d" (sat "vivified");
+  if sat "subsumed" > 0 then Format.fprintf fmt " subsumed=%d" (sat "subsumed");
+  if sat "probed_failed" > 0 then
+    Format.fprintf fmt " probed_failed=%d" (sat "probed_failed");
+  if sat "rephases" > 0 then Format.fprintf fmt " rephases=%d" (sat "rephases");
+  (* Portfolio clause traffic, nonzero only on raced solves. *)
+  if sat "exchanged_in" > 0 || sat "exchanged_out" > 0 then
+    Format.fprintf fmt " exchanged=%d/%d" (sat "exchanged_in")
+      (sat "exchanged_out");
   match s.verify_violations with
   | None -> ()
   | Some 0 -> Format.fprintf fmt " verify=ok"
@@ -325,7 +339,10 @@ module Session = struct
         Obs.with_span obs ~cat:"concretize" "ground" (fun _ ->
             Asp.Ground.ground ~obs ~jobs:options.ground_jobs statements)
       in
-      let session = Asp.Logic.session_create ~certify:options.certify ~obs ground in
+      let session =
+        Asp.Logic.session_create ~certify:options.certify ~obs
+          ~portfolio:options.portfolio ground
+      in
       Ok
         { repo;
           options;
@@ -344,6 +361,8 @@ module Session = struct
   let sat_stats s = Asp.Logic.session_sat_stats s.session
 
   let solves s = Asp.Logic.session_solves s.session
+
+  let set_portfolio s n = Asp.Logic.session_set_portfolio s.session n
 
   let solve ?budget ?obs ?(attrs = []) s (request : Encode.request) =
     match check_known ~repo:s.repo [ request ] with
@@ -597,7 +616,10 @@ module Warm = struct
     Obs.with_span obs ~cat:"concretize" "warm.session" @@ fun _span ->
     let t0 = now () in
     let g = Asp.Ground.layered_snapshot ~obs t.layered in
-    let session = Asp.Logic.session_create ~certify:t.options.certify ~obs g in
+    let session =
+      Asp.Logic.session_create ~certify:t.options.certify ~obs
+        ~portfolio:t.options.portfolio g
+    in
     { Session.repo = t.repo;
       options = t.options;
       env = t.env;

@@ -50,6 +50,14 @@ type options = {
           many OCaml 5 domains ({!Asp.Ground.ground}'s [jobs]); the
           ground program is byte-identical for any value. Applies to
           one-shot solves and {!Session.create}; default 1. *)
+  portfolio : int;
+      (** race the initial stable solve of every request across this
+          many diversified SAT-solver clones (restart mode, phase
+          policy, seed, inprocessing budget), exchanging low-LBD learnt
+          clauses; default 1 (single solver). Results — models, costs,
+          tie-breaks, proofs' verdicts — are byte-identical to a
+          single-solver run under {!Asp.Logic}'s election rule; only
+          wall time changes. Ignored by the baseline solver. *)
   obs : Obs.ctx;
       (** tracing context ({!Obs.disabled} by default): when enabled,
           every request emits a [concretize] span with child
@@ -177,6 +185,12 @@ module Session : sig
   (** Session-cumulative solver counters. *)
 
   val solves : t -> int
+
+  val set_portfolio : t -> int -> unit
+  (** Retune the portfolio width (initially [options.portfolio]) for
+      subsequent requests; clamped to at least 1. Safe between
+      requests — outcomes are width-independent (byte-identity rule),
+      only wall time changes. *)
 end
 
 (** Warm delta-grounded universes: the request-independent session

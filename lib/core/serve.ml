@@ -56,6 +56,11 @@ type config = {
   default_deadline_ms : float option;
   default_conflicts : int option;
   default_mode : mode;
+  portfolio : int;
+      (* upper bound on per-request portfolio width: a solve may race
+         up to this many diversified SAT clones, but only by borrowing
+         provably idle worker slots (a bounded token pool), so racing
+         never steals CPU from queued requests. 1 = feature off. *)
   session_roots : string list;
       (* universe of the warm sessions; [] = every non-virtual package *)
   session_recycle : int option;
@@ -83,6 +88,7 @@ let default_config =
     default_deadline_ms = None;
     default_conflicts = None;
     default_mode = Session;
+    portfolio = 1;
     session_roots = [];
     session_recycle = Some 32;
     fault_injection = false;
@@ -249,6 +255,12 @@ type t = {
   mutable generation : int;
   closures : (string, (string, unit) Hashtbl.t) Hashtbl.t;
       (* roots key -> closure; valid for the current generation only *)
+  (* Idle-worker tokens backing portfolio admission: capacity is
+     [workers - 1] (every slot but the one doing the solve). A raced
+     request CAS-borrows up to [portfolio - 1] tokens for its racer
+     domains and returns them when the race ends; when the server is
+     busy the pool is empty and solves simply run single. *)
+  idle_tokens : int Atomic.t;
   (* live telemetry *)
   started_s : float;
   rid_counter : int Atomic.t;  (* server-assigned request ids *)
@@ -489,6 +501,25 @@ let budget_of ~conflicts ~deadline : Asp.Solver_intf.budget option =
 let solve_options t reuse =
   { t.config.options with Concretizer.reuse; mirrors = None }
 
+(* CAS-borrow up to [want] idle-worker tokens for a portfolio race;
+   returns how many were actually free (possibly 0 — the solve then
+   runs single). Lock-free: competes only with other workers' borrows
+   and returns. *)
+let borrow_tokens t want =
+  let rec go got =
+    if got >= want then got
+    else
+      let cur = Atomic.get t.idle_tokens in
+      if cur <= 0 then got
+      else if Atomic.compare_and_set t.idle_tokens cur (cur - 1) then
+        go (got + 1)
+      else go got
+  in
+  if want <= 0 then 0 else go 0
+
+let return_tokens t n =
+  if n > 0 then ignore (Atomic.fetch_and_add t.idle_tokens n)
+
 (* The worker's warm session for the current generation. The worker
    keeps a delta-grounded universe ([Concretizer.Warm]) across
    evictions: a generation bump applies the buildcache delta to the
@@ -585,11 +616,30 @@ let run_solve t w job robs =
           request.Encode.req.Spec.Abstract.root.Spec.Abstract.name
         in
         let rid_attr = [ ("rid", Obs.S job.j_rid) ] in
+        (* Portfolio admission: the request may ask for a width (the
+           "portfolio" field, capped by the server's configured bound),
+           but the race only materializes to the extent idle worker
+           slots exist right now — borrowed tokens come back when the
+           race ends. Under load the pool is empty and this degrades to
+           a plain single solve. *)
+        let pf_want =
+          let cap = max 1 t.config.portfolio in
+          match field_int "portfolio" payload with
+          | Some n -> min (max 1 n) cap
+          | None -> cap
+        in
+        let pf_tokens = borrow_tokens t (pf_want - 1) in
+        let pf_n = 1 + pf_tokens in
+        Fun.protect ~finally:(fun () -> return_tokens t pf_tokens)
+        @@ fun () ->
         let fresh () =
           let reuse, gen, closure = pool_snapshot t [ root ] in
           let r =
             Concretizer.concretize_v ~repo:t.repo
-              ~options:{ (solve_options t reuse) with Concretizer.obs = robs }
+              ~options:
+                { (solve_options t reuse) with
+                  Concretizer.obs = robs;
+                  portfolio = pf_n }
               ?budget ?closure ~attrs:rid_attr [ request ]
           in
           (r, "fresh", gen)
@@ -608,6 +658,7 @@ let run_solve t w job robs =
                 let gen =
                   match w.w_session with Warm (_, g) -> g | _ -> assert false
                 in
+                Concretizer.Session.set_portfolio s pf_n;
                 ( Concretizer.Session.solve ?budget ~obs:robs ~attrs:rid_attr s
                     request,
                   "session",
@@ -615,7 +666,9 @@ let run_solve t w job robs =
         in
         ( status_of_result result,
           canonical_of_result result,
-          [ ("mode", Sjson.String mode_used); ("generation", Sjson.Int gen) ] )
+          ("mode", Sjson.String mode_used)
+          :: ("generation", Sjson.Int gen)
+          :: (if pf_n > 1 then [ ("portfolio", Sjson.Int pf_n) ] else []) )
       end)
 
 let hist_summary_json h =
@@ -1054,6 +1107,7 @@ let start ~repo ?(config = default_config) ~socket () =
         digest = pool_digest reuse;
         generation = 0;
         closures = Hashtbl.create 64;
+        idle_tokens = Atomic.make (max 0 (workers - 1));
         started_s = Obs.Clock.now_s ();
         rid_counter = Atomic.make 0;
         live = Option.map make_live config.telemetry;

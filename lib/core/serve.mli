@@ -81,6 +81,16 @@ type config = {
       (** deadline applied to requests that don't carry one *)
   default_conflicts : int option;  (** likewise for the conflict cap *)
   default_mode : mode;
+  portfolio : int;
+      (** upper bound on per-request SAT portfolio width (default 1 =
+          off). A solve may race up to this many diversified solver
+          clones ({!Concretizer.options.portfolio}), but only by
+          borrowing provably idle worker slots from a bounded token
+          pool of capacity [workers - 1], so racing never steals CPU
+          from queued requests; under load solves degrade to single.
+          Requests may lower (never raise) their own width with a
+          ["portfolio"] field. Answers carry the granted width when it
+          exceeded 1. *)
   session_roots : string list;
       (** root universe of the warm sessions; [[]] = every non-virtual
           package of the repo *)

@@ -54,9 +54,26 @@ type t = {
   mutable qhead : int;
   mutable contradiction : bool;
   pbs : ((int * lit) list * int) Vec.t;
-  (* sorted-literals -> live watched clauses, for deletion lookup *)
-  db : (int list, clause list ref) Hashtbl.t;
+  (* int-hash of sorted literals -> (sorted literals, clause) pairs,
+     for deletion lookup. Keyed by a cheap integer fold rather than the
+     literal list itself: polymorphic hashing/equality of lists walks
+     the spine on every probe, which made deletion-heavy inprocessing
+     proofs quadratic to check. Exact match is confirmed against the
+     stored sorted array. *)
+  db : (int, (int array * clause) list ref) Hashtbl.t;
 }
+
+(* Order-independent is not needed (keys are built from sorted lists),
+   but the fold must be cheap and spread adjacent literal ids. *)
+let clause_key lits =
+  List.fold_left (fun h l -> ((h * 31) + l) land max_int) 17 lits
+
+let arrays_equal a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
 
 let create () =
   { nvars = 0;
@@ -171,11 +188,14 @@ let add_clause t lits =
   if not t.contradiction then begin
     (* Dedupe — a clause like [x; x] is unit, and watching the same
        literal twice would hide that. Tautologies carry no content. *)
-    let lits = List.sort_uniq compare lits in
+    let lits = List.sort_uniq Int.compare lits in
     if List.exists (fun l -> List.mem (lit_not l) lits) lits then ()
     else begin
     List.iter (fun l -> ensure_var t (lit_var l)) lits;
-    let arr = Array.of_list lits in
+    (* [arr] gets permuted by watch maintenance; the index keeps its
+       own sorted copy for exact-match lookups. *)
+    let key_arr = Array.of_list lits in
+    let arr = Array.copy key_arr in
     (* Put two non-false literals up front to watch. *)
     let n = Array.length arr in
     let swap a b =
@@ -205,7 +225,7 @@ let add_clause t lits =
       let c = { lits = arr; dead = false } in
       Vec.push t.watches.(lit_not arr.(0)) c;
       Vec.push t.watches.(lit_not arr.(1)) c;
-      let key = lits in
+      let key = clause_key lits in
       let bucket =
         match Hashtbl.find_opt t.db key with
         | Some b -> b
@@ -214,7 +234,7 @@ let add_clause t lits =
           Hashtbl.add t.db key b;
           b
       in
-      bucket := c :: !bucket
+      bucket := (key_arr, c) :: !bucket
     end
   end
 
@@ -224,15 +244,20 @@ let add_clause t lits =
    like classic drup-trim, dropping a deletion only ever makes later
    RUP checks easier for the prover being audited, never unsound. *)
 let delete_clause t lits =
-  let key = List.sort_uniq compare lits in
-  match Hashtbl.find_opt t.db key with
+  let sorted = List.sort_uniq Int.compare lits in
+  let key_arr = Array.of_list sorted in
+  match Hashtbl.find_opt t.db (clause_key sorted) with
   | None -> ()
   | Some bucket -> (
-    match List.find_opt (fun c -> not c.dead) !bucket with
+    match
+      List.find_opt
+        (fun (k, c) -> (not c.dead) && arrays_equal k key_arr)
+        !bucket
+    with
     | None -> ()
-    | Some c ->
+    | Some (_, c) ->
       c.dead <- true;
-      bucket := List.filter (fun c' -> not c'.dead) !bucket)
+      bucket := List.filter (fun (_, c') -> not c'.dead) !bucket)
 
 (* Reverse-unit-propagation check: assume the negation of every
    literal, propagate, demand a conflict. *)

@@ -151,6 +151,58 @@ let prop_session_parity mode =
                   "request %s: session SAT but fresh failed: %s" r f.CC.f_message)
             u.Fuzz.Gen.u_requests)
 
+(* ---- 2b. portfolio vs single-solver solves ---- *)
+
+(* The byte-identity promise of [options.portfolio]: a raced solve must
+   return the same solvability, the same optimal costs, and the same
+   solution DAG (dag_hash) as the single-solver run — racing may only
+   change wall time. *)
+let prop_portfolio_parity mode =
+  QCheck.Test.make
+    ~name:
+      ("portfolio=4 solves are byte-identical to portfolio=1 ("
+     ^ mode_name mode ^ ")")
+    ~count:10 arb_universe (fun seed ->
+      with_mode mode @@ fun () ->
+      let u = Fuzz.Gen.generate (Fuzz.Rng.create seed) in
+      let repo = Fuzz.Gen.to_repo u in
+      let reuse = pool_of ~repo u in
+      let splicing = has_splices u in
+      let opts = options ~splicing ~reuse ~prune:true () in
+      List.for_all
+        (fun r ->
+          let single = concretize ~repo ~options:opts r in
+          let raced =
+            concretize ~repo ~options:{ opts with CC.portfolio = 4 } r
+          in
+          match (single, raced) with
+          | Ok a, Ok b ->
+            if costs a <> costs b then
+              QCheck.Test.fail_reportf
+                "request %s: portfolio costs %s, single costs %s" r
+                (pp_costs (costs b))
+                (pp_costs (costs a))
+            else if
+              Spec.Concrete.dag_hash (root_spec a)
+              <> Spec.Concrete.dag_hash (root_spec b)
+            then
+              QCheck.Test.fail_reportf "request %s: portfolio changed the DAG" r
+            else true
+          | Error a, Error b ->
+            a.CC.f_message = b.CC.f_message
+            || QCheck.Test.fail_reportf
+                 "request %s: failure messages differ: %S vs %S" r
+                 a.CC.f_message b.CC.f_message
+          | Ok _, Error f ->
+            QCheck.Test.fail_reportf
+              "request %s: single SAT but portfolio failed: %s" r
+              f.CC.f_message
+          | Error f, Ok _ ->
+            QCheck.Test.fail_reportf
+              "request %s: portfolio SAT but single failed: %s" r
+              f.CC.f_message)
+        (u.Fuzz.Gen.u_requests @ u.Fuzz.Gen.u_cache_roots))
+
 (* ---- 3. layered (delta) grounding vs full regrounding ---- *)
 
 (* Rendered, order-insensitive image of a ground program: rules and
@@ -498,6 +550,7 @@ let () =
            ( "equivalence-" ^ mode_name mode,
              [ QCheck_alcotest.to_alcotest (prop_prune_parity mode);
                QCheck_alcotest.to_alcotest (prop_session_parity mode);
+               QCheck_alcotest.to_alcotest (prop_portfolio_parity mode);
                QCheck_alcotest.to_alcotest (prop_warm_delta_parity mode);
                Alcotest.test_case
                  ("batch determinism (" ^ mode_name mode ^ ")")

@@ -187,6 +187,94 @@ let prop_restart_modes_agree =
       let l = build_new ~mode:S.Luby inst in
       S.solve g = S.solve l)
 
+(* ---- 4b. inprocessing + chronological backtracking ---- *)
+
+(* A pass at every restart with a healthy budget: on instances this
+   small, the interval-1 schedule means essentially every restart
+   vivifies/subsumes/probes, and chrono=1 makes chronological
+   backtracking the common case instead of the exception. *)
+let aggressive_ip = { S.inprocess_on with S.ip_interval = 1; ip_budget = 2_000 }
+
+let prop_inprocessed_agrees =
+  QCheck.Test.make
+    ~name:"inprocessed+chrono solver agrees with baseline core" ~count:400
+    arb_instance (fun ((_, clauses, pbs) as inst) ->
+      let s = build_new ~reduce:1 inst in
+      S.set_inprocess s aggressive_ip;
+      S.set_chrono s 1;
+      let b = build_baseline inst in
+      let sat_s = S.solve s in
+      let sat_b = B.solve b in
+      if sat_s <> sat_b then
+        QCheck.Test.fail_reportf "inprocessed=%b baseline=%b" sat_s sat_b
+      else (not sat_s) || check_model clauses pbs (S.value s))
+
+(* every (restart mode x inprocessing budget) cell must still certify;
+   budget 0 = inprocessing off (the control cell of the matrix) *)
+let prop_unsat_certifies_ip mode ip_budget name =
+  QCheck.Test.make ~name ~count:150 arb_instance (fun inst ->
+      let s = build_new ~proof:true ~reduce:1 ~mode inst in
+      S.set_inprocess s
+        (if ip_budget = 0 then S.inprocess_off
+         else { S.inprocess_on with S.ip_interval = 1; ip_budget });
+      S.set_chrono s 1;
+      if S.solve s then true
+      else
+        match S.proof s with
+        | None -> false
+        | Some steps -> (
+          match Fuzz.Drup.check steps with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "proof rejected: %s" e))
+
+let certify_matrix =
+  List.concat_map
+    (fun (mode, mname) ->
+      List.map
+        (fun ip_budget ->
+          prop_unsat_certifies_ip mode ip_budget
+            (Printf.sprintf "UNSAT certifies (%s restarts, ip_budget=%d)"
+               mname ip_budget))
+        [ 0; 200; 20_000 ])
+    [ (S.Glucose, "glucose"); (S.Luby, "luby") ]
+
+(* ---- 4c. portfolio racing ---- *)
+
+let prop_portfolio_byte_identical =
+  QCheck.Test.make
+    ~name:"portfolio race is byte-identical to the single-solver run"
+    ~count:60 arb_instance (fun ((nvars, clauses, pbs) as inst) ->
+      let single = build_new inst in
+      let raced = build_new inst in
+      S.set_portfolio raced (Some (Asp.Solver_intf.portfolio 4));
+      let r1 = S.solve single in
+      let r2 = S.solve raced in
+      if r1 <> r2 then
+        QCheck.Test.fail_reportf "single=%b raced=%b" r1 r2
+      else if r1 then begin
+        for v = 0 to nvars - 1 do
+          if S.value single v <> S.value raced v then
+            QCheck.Test.fail_reportf "model differs at var %d" v
+        done;
+        check_model clauses pbs (S.value raced)
+      end
+      else true)
+
+let prop_portfolio_unsat_certifies =
+  QCheck.Test.make
+    ~name:"portfolio UNSAT merges a certificate that still certifies"
+    ~count:60 arb_instance (fun inst ->
+      let s = build_new ~proof:true ~reduce:1 inst in
+      S.set_portfolio s (Some (Asp.Solver_intf.portfolio 4));
+      if S.solve s then true
+      else
+        match S.proof s with
+        | None -> false
+        | Some steps -> (
+          match Fuzz.Drup.check steps with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_reportf "merged proof rejected: %s" e))
+
 (* ---- 5. reductions under a conflict-heavy search ---- *)
 
 (* PHP(n+1, n): forces thousands of conflicts, so a 1-clause reduction
@@ -299,6 +387,74 @@ let check_budget_preempt (type a) (module M : Asp.Solver_intf.S with type t = a)
   M.set_budget s2 None;
   Alcotest.(check bool) "reusable after stop preemption" false (M.solve s2)
 
+(* PHP is dense enough that a frequent, well-funded inprocessing
+   schedule must find work for every pass: vivification/subsumption
+   rewrites and failed binary-root literals, with the rewritten proof
+   still certifying. *)
+let test_php_inprocessing () =
+  let s = S.create () in
+  S.enable_proof s;
+  S.set_inprocess s
+    { S.inprocess_on with S.ip_interval = 200; ip_budget = 50_000 };
+  (* PHP(8,7): inprocessing shortens PHP(7,6) below the first rephase
+     checkpoint (1000 conflicts), so size up one notch to see the
+     rephase schedule actually fire. *)
+  let pigeons = 8 and holes = 7 in
+  let v =
+    Array.init pigeons (fun _ -> Array.init holes (fun _ -> S.new_var s))
+  in
+  for i = 0 to pigeons - 1 do
+    S.add_clause s (Array.to_list (Array.map S.pos v.(i)))
+  done;
+  for j = 0 to holes - 1 do
+    for i = 0 to pigeons - 1 do
+      for k = i + 1 to pigeons - 1 do
+        S.add_clause s [ S.neg v.(i).(j); S.neg v.(k).(j) ]
+      done
+    done
+  done;
+  Alcotest.(check bool) "php unsat" false (S.solve s);
+  let g k = match List.assoc_opt k (S.stats s) with Some x -> x | None -> 0 in
+  Alcotest.(check bool) "inprocessing rewrote or probed something" true
+    (g "vivified" + g "subsumed" + g "probed_failed" > 0);
+  Alcotest.(check bool) "rephased at least once" true (g "rephases" >= 1);
+  match S.proof s with
+  | None -> Alcotest.fail "no proof recorded"
+  | Some steps -> (
+    match Fuzz.Drup.check steps with
+    | Ok () -> ()
+    | Error e -> Alcotest.fail ("inprocessed proof rejected: " ^ e))
+
+(* ---- 7. Drup checker under deletion-heavy proofs ---- *)
+
+(* 12k real deletions (every one a live database hit) followed by a
+   two-unit contradiction. The checker's hashed clause-key index makes
+   this near-linear; the pre-index tombstone scan was quadratic here.
+   The generous wall-clock bound documents the regression without
+   being load-sensitive. *)
+let test_drup_many_deletions () =
+  let n = 12_000 in
+  let steps = ref [] in
+  let push s = steps := s :: !steps in
+  for i = 0 to n - 1 do
+    push (S.P_input [ S.pos (3 * i); S.pos ((3 * i) + 1); S.pos ((3 * i) + 2) ])
+  done;
+  for i = 0 to n - 1 do
+    push
+      (S.P_delete [ S.pos (3 * i); S.pos ((3 * i) + 1); S.pos ((3 * i) + 2) ])
+  done;
+  let contra = 3 * n in
+  push (S.P_input [ S.pos contra ]);
+  push (S.P_input [ S.neg contra ]);
+  let t0 = Unix.gettimeofday () in
+  (match Fuzz.Drup.check (List.rev !steps) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("deletion-heavy proof rejected: " ^ e));
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "12k deletions checked in %.3fs (< 5s)" dt)
+    true (dt < 5.0)
+
 let test_budget_mode mode () =
   let old = !S.default_restart_mode in
   S.default_restart_mode := mode;
@@ -313,13 +469,23 @@ let () =
         [ QCheck_alcotest.to_alcotest prop_cores_agree;
           QCheck_alcotest.to_alcotest prop_incremental_agrees;
           QCheck_alcotest.to_alcotest prop_restart_modes_agree ] );
+      ( "inprocessing",
+        QCheck_alcotest.to_alcotest prop_inprocessed_agrees
+        :: List.map QCheck_alcotest.to_alcotest certify_matrix
+        @ [ Alcotest.test_case "PHP inprocessing counters + proof" `Quick
+              test_php_inprocessing ] );
+      ( "portfolio",
+        [ QCheck_alcotest.to_alcotest prop_portfolio_byte_identical;
+          QCheck_alcotest.to_alcotest prop_portfolio_unsat_certifies ] );
       ( "proofs",
         [ QCheck_alcotest.to_alcotest
             (prop_unsat_certifies S.Glucose
                "UNSAT certifies under Glucose restarts with reductions");
           QCheck_alcotest.to_alcotest
             (prop_unsat_certifies S.Luby
-               "UNSAT certifies under Luby restarts with reductions") ] );
+               "UNSAT certifies under Luby restarts with reductions");
+          Alcotest.test_case "12k-deletion proof stays near-linear" `Quick
+            test_drup_many_deletions ] );
       ( "reduction",
         [ Alcotest.test_case "PHP under 1-clause reduce interval" `Quick
             test_php_under_reduction ] );
